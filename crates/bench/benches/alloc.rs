@@ -1,0 +1,107 @@
+//! Criterion bench for E2/E3: SMA allocation cost vs the system
+//! allocator, with and without daemon-mediated budget growth.
+//!
+//! The paper's table-scale runs live in the `table1_stress` binary;
+//! these benches give statistically solid per-batch numbers for the
+//! same three paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use softmem_bench::stress::ALLOC_BYTES;
+use softmem_core::{bytes_to_pages, MachineMemory, Priority, Sma, SmaConfig};
+use softmem_daemon::{Smd, SmdConfig, SoftProcess};
+
+/// Allocations per measured batch.
+const BATCH: usize = 4_096;
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_1KiB");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("system_allocator", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let mut kept = Vec::with_capacity(BATCH);
+                for _ in 0..BATCH {
+                    kept.push(vec![0u8; ALLOC_BYTES]);
+                }
+                kept
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("sma_sufficient_budget", |b| {
+        b.iter_batched(
+            || {
+                let pages = bytes_to_pages(BATCH * ALLOC_BYTES) + 64;
+                let sma = Sma::with_config(SmaConfig::for_testing(pages));
+                let sds = sma.register_sds("bench", Priority::default());
+                (sma, sds)
+            },
+            |(sma, sds)| {
+                let mut kept = Vec::with_capacity(BATCH);
+                for _ in 0..BATCH {
+                    kept.push(sma.alloc_bytes(sds, ALLOC_BYTES).expect("budget"));
+                }
+                (sma, kept)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("sma_budget_growth_via_smd", |b| {
+        b.iter_batched(
+            || {
+                let pages = bytes_to_pages(BATCH * ALLOC_BYTES) + 512;
+                let machine = MachineMemory::new(pages * 2);
+                let smd = Smd::new(SmdConfig::new(&machine, pages).initial_budget(4));
+                let proc = SoftProcess::spawn(&smd, "bench").expect("spawn");
+                let sds = proc.sma().register_sds("bench", Priority::default());
+                (smd, proc, sds)
+            },
+            |(smd, proc, sds)| {
+                let mut kept = Vec::with_capacity(BATCH);
+                for _ in 0..BATCH {
+                    kept.push(proc.sma().alloc_bytes(sds, ALLOC_BYTES).expect("grown"));
+                }
+                (smd, proc, kept)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+fn bench_alloc_free_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_free_cycle");
+    group.throughput(Throughput::Elements(1));
+    let sma = Sma::standalone(64);
+    let sds = sma.register_sds("cycle", Priority::default());
+    group.bench_function("sma_1KiB", |b| {
+        b.iter(|| {
+            let h = sma.alloc_bytes(sds, ALLOC_BYTES).expect("budget");
+            sma.free_bytes(h).expect("live");
+        })
+    });
+    group.bench_function("system_1KiB", |b| {
+        b.iter(|| std::hint::black_box(vec![0u8; ALLOC_BYTES]))
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_alloc, bench_alloc_free_cycle
+}
+criterion_main!(benches);

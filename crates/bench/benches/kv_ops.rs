@@ -1,0 +1,104 @@
+//! Criterion bench: KV-store command throughput — the soft-memory
+//! store against a plain `HashMap` store, plus the cost of a GET
+//! stream over a partially reclaimed keyspace.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use softmem_core::{Priority, Sma, SmaConfig};
+use softmem_kv::Store;
+use softmem_sim::workload::ZipfKeys;
+
+const KEYS: usize = 4_096;
+
+fn keys() -> Vec<Vec<u8>> {
+    (0..KEYS)
+        .map(|k| ZipfKeys::key_name(k).into_bytes())
+        .collect()
+}
+
+fn bench_set_get(c: &mut Criterion) {
+    let keyset = keys();
+    let mut group = c.benchmark_group("kv_set_then_get");
+    group.throughput(Throughput::Elements((KEYS * 2) as u64));
+
+    group.bench_function("soft_store", |b| {
+        let sma = Sma::standalone(1 << 16);
+        b.iter_batched(
+            || Store::new(&sma, "bench", Priority::default()),
+            |store| {
+                for k in &keyset {
+                    store.set(k, &[9u8; 64]).expect("budget");
+                }
+                for k in &keyset {
+                    assert!(store.get(k).is_some());
+                }
+                store
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("std_hashmap_store", |b| {
+        b.iter(|| {
+            let mut store = std::collections::HashMap::new();
+            for k in &keyset {
+                store.insert(k.clone(), vec![9u8; 64]);
+            }
+            for k in &keyset {
+                assert!(store.contains_key(k));
+            }
+            store
+        })
+    });
+    group.finish();
+}
+
+fn bench_get_after_reclaim(c: &mut Criterion) {
+    let keyset = keys();
+    let mut group = c.benchmark_group("kv_get_after_reclaim");
+    group.throughput(Throughput::Elements(KEYS as u64));
+    group.bench_function("half_reclaimed", |b| {
+        b.iter_batched(
+            || {
+                let sma = Sma::with_config(
+                    SmaConfig::for_testing(1 << 16)
+                        .free_pool_retain(0)
+                        .sds_retain(0),
+                );
+                let store = Store::new(&sma, "bench", Priority::default());
+                for k in &keyset {
+                    store.set(k, &[9u8; 64]).expect("budget");
+                }
+                let demand = sma.stats().slack_pages() + sma.held_pages() / 2;
+                sma.reclaim(demand);
+                (sma, store)
+            },
+            |(sma, store)| {
+                let mut hits = 0;
+                for k in &keyset {
+                    if store.get(k).is_some() {
+                        hits += 1;
+                    }
+                }
+                assert!(hits > 0 && hits < KEYS);
+                (sma, store)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_set_get, bench_get_after_reclaim
+}
+criterion_main!(benches);

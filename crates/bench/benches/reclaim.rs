@@ -1,0 +1,78 @@
+//! Criterion bench for the reclamation path: latency of an SMA-side
+//! reclamation as a function of the page quota, and of the number of
+//! SDSs sharing the burden.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use softmem_core::{Priority, Sma, SmaConfig};
+use softmem_sds::SoftQueue;
+
+/// Builds an SMA holding `pages` of queue data, ready to be reclaimed.
+fn loaded_sma(pages: usize, queues: usize) -> (std::sync::Arc<Sma>, Vec<SoftQueue<[u8; 4096]>>) {
+    let sma = Sma::with_config(
+        SmaConfig::for_testing(pages + 16)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    let qs: Vec<SoftQueue<[u8; 4096]>> = (0..queues)
+        .map(|i| SoftQueue::new(&sma, &format!("q{i}"), Priority::new(i as u32)))
+        .collect();
+    for p in 0..pages {
+        qs[p % queues].push([0u8; 4096]).expect("budget");
+    }
+    (sma, qs)
+}
+
+fn bench_reclaim_quota(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclaim_quota");
+    for quota in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(quota), &quota, |b, &quota| {
+            b.iter_batched(
+                || loaded_sma(512, 1),
+                |(sma, qs)| {
+                    let report = sma.reclaim(quota);
+                    assert!(report.satisfied());
+                    (sma, qs)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_reclaim_sds_spread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclaim_across_sds");
+    for queues in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(queues),
+            &queues,
+            |b, &queues| {
+                b.iter_batched(
+                    || loaded_sma(256, queues),
+                    |(sma, qs)| {
+                        let report = sma.reclaim(64);
+                        assert!(report.satisfied());
+                        (sma, qs)
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_reclaim_quota, bench_reclaim_sds_spread
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Criterion bench: Soft Data Structure operation costs against their
+//! `std` counterparts — the per-operation price of revocability
+//! (handle indirection + generation checks + locking).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use softmem_core::{Priority, Sma};
+use softmem_sds::{SoftHashMap, SoftLinkedList, SoftLruCache, SoftQueue, SoftVec};
+
+const N: usize = 1_000;
+
+fn bench_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_push_pop");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("soft_linked_list", |b| {
+        let sma = Sma::standalone(1 << 16);
+        b.iter_batched(
+            || SoftLinkedList::<u64>::new(&sma, "bench", Priority::default()),
+            |l| {
+                for i in 0..N as u64 {
+                    l.push_back(i).expect("budget");
+                }
+                while l.pop_front().expect("live").is_some() {}
+                l
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("std_vecdeque", |b| {
+        b.iter(|| {
+            let mut l = std::collections::VecDeque::new();
+            for i in 0..N as u64 {
+                l.push_back(i);
+            }
+            while l.pop_front().is_some() {}
+            l
+        })
+    });
+    group.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_push_pop");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("soft_queue", |b| {
+        let sma = Sma::standalone(1 << 16);
+        b.iter_batched(
+            || SoftQueue::<u64>::new(&sma, "bench", Priority::default()),
+            |q| {
+                for i in 0..N as u64 {
+                    q.push(i).expect("budget");
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_hashmap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashmap_insert_get");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("soft_hashmap", |b| {
+        let sma = Sma::standalone(1 << 16);
+        b.iter_batched(
+            || SoftHashMap::<u64, u64>::new(&sma, "bench", Priority::default()),
+            |m| {
+                for i in 0..N as u64 {
+                    m.insert(i, i * 2).expect("budget");
+                }
+                for i in 0..N as u64 {
+                    assert_eq!(m.get(&i), Some(i * 2));
+                }
+                m
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("std_hashmap", |b| {
+        b.iter(|| {
+            let mut m = std::collections::HashMap::new();
+            for i in 0..N as u64 {
+                m.insert(i, i * 2);
+            }
+            for i in 0..N as u64 {
+                assert_eq!(m.get(&i), Some(&(i * 2)));
+            }
+            m
+        })
+    });
+    group.finish();
+}
+
+fn bench_vec_and_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vec_and_lru");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("soft_vec_push_get", |b| {
+        let sma = Sma::standalone(1 << 16);
+        b.iter_batched(
+            || SoftVec::<u64>::new(&sma, "bench", Priority::default()),
+            |v| {
+                for i in 0..N as u64 {
+                    v.push(i).expect("budget");
+                }
+                for i in 0..N {
+                    assert_eq!(v.get(i).expect("in range"), i as u64);
+                }
+                v
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("soft_lru_insert_get", |b| {
+        let sma = Sma::standalone(1 << 16);
+        b.iter_batched(
+            || SoftLruCache::<u64, u64>::new(&sma, "bench", Priority::default()),
+            |cache| {
+                for i in 0..N as u64 {
+                    cache.insert(i, i).expect("budget");
+                }
+                for i in 0..N as u64 {
+                    assert_eq!(cache.get(&i), Some(i));
+                }
+                cache
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_list, bench_queue, bench_hashmap, bench_vec_and_lru
+}
+criterion_main!(benches);

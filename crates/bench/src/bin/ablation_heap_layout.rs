@@ -1,0 +1,39 @@
+//! A2 — the §3.1 "Efficacy" heap-layout ablation.
+//!
+//! Run: `cargo run --release -p softmem-bench --bin ablation_heap_layout`
+
+use softmem_bench::heap_layout::run_all_layouts;
+use softmem_bench::report::Table;
+
+fn main() {
+    println!("== Heap-layout ablation: frees per reclaimed page vs space ==\n");
+    for &(structures, per_structure, alloc_bytes) in &[
+        (4usize, 4096usize, 1024usize),
+        (8, 4096, 256),
+        (4, 2048, 2048),
+    ] {
+        println!("{structures} structures × {per_structure} allocations × {alloc_bytes} B:");
+        let mut t = Table::new(&[
+            "layout",
+            "frees",
+            "pages released",
+            "frees/page",
+            "pages per MiB payload",
+        ]);
+        for o in run_all_layouts(structures, per_structure, alloc_bytes) {
+            t.row(&[
+                o.layout.name().into(),
+                o.frees.to_string(),
+                o.pages_released.to_string(),
+                format!("{:.1}", o.frees_per_page),
+                format!("{:.0}", o.pages_per_mib_payload),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!(
+        "per-SDS heaps (the paper's design) release pages at slab-packing \
+         density; a shared heap pins pages across structures; a page per \
+         allocation reclaims cheapest but wastes space."
+    );
+}

@@ -1,0 +1,49 @@
+//! Extension figure — the §2 diurnal use case, end to end: a soft
+//! cache tracks the day/night load curve while a nightly batch job
+//! borrows the machine's idle soft memory through the daemon.
+//!
+//! (Not a figure in the paper — it quantifies the narrative of §2's
+//! "Example Use-case: Key-Value Store".)
+//!
+//! Run: `cargo run --release -p softmem-bench --bin fig3_diurnal_cache`
+
+use softmem_bench::report::Table;
+use softmem_core::fmt_bytes;
+use softmem_sim::diurnal::{run_diurnal, DiurnalConfig};
+
+fn main() {
+    let cfg = DiurnalConfig::default();
+    println!("== Diurnal cache scaling (§2 narrative, quantified) ==");
+    println!(
+        "machine soft capacity {} | {} keys | batch wants {} from {}h to {}h\n",
+        fmt_bytes(cfg.soft_capacity_pages * 4096),
+        cfg.cache_keys,
+        fmt_bytes(cfg.batch_pages * 4096),
+        cfg.batch_start_hour,
+        cfg.batch_end_hour
+    );
+    let out = run_diurnal(&cfg);
+
+    println!("{}", out.timeline.render_ascii(72, 12));
+
+    let mut t = Table::new(&["hour", "load", "requests", "hit rate", "cache", "batch"]);
+    for h in &out.hourly {
+        t.row(&[
+            format!("{:02}h", h.hour),
+            format!("{:.0}%", h.load * 100.0),
+            h.requests.to_string(),
+            format!("{:.1}%", h.hit_rate() * 100.0),
+            fmt_bytes(h.cache_pages * 4096),
+            fmt_bytes(h.batch_pages * 4096),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "daemon: {} reclamation rounds moved {} pages over the day; \
+         nightly (1–6h) hit rate {:.1}%, afternoon (14–20h) {:.1}%",
+        out.reclaim_rounds,
+        out.pages_moved,
+        out.mean_hit_rate(1..6) * 100.0,
+        out.mean_hit_rate(14..20) * 100.0,
+    );
+}

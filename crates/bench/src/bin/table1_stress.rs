@@ -1,0 +1,90 @@
+//! E2–E4 — the §5 allocator stress tests (cases 1–3).
+//!
+//! Run: `cargo run --release -p softmem-bench --bin table1_stress`
+//! Options: `--small` (≈20× scaled down), `--n COUNT` (custom size).
+
+use softmem_bench::report::{fmt_duration, fmt_ratio, Table};
+use softmem_bench::stress::{
+    case1_sufficient_budget, case2_budget_growth, case3_cross_process_pressure,
+    system_allocator_baseline, StressResult, PAPER_ALLOC_COUNT, PAPER_PRESSURE_COUNT,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let n = args
+        .iter()
+        .position(|a| a == "--n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if small {
+            PAPER_ALLOC_COUNT / 20
+        } else {
+            PAPER_ALLOC_COUNT
+        });
+    let extra = n * PAPER_PRESSURE_COUNT / PAPER_ALLOC_COUNT;
+
+    let reps = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(3);
+
+    println!("== Table 1: SMA/SMD stress tests (1 KiB allocations, payload written) ==");
+    println!("allocations per case: {n} (paper: {PAPER_ALLOC_COUNT}); best of {reps} runs\n");
+
+    // Warm both allocators (page faults, arena growth), then take the
+    // minimum over repetitions: the host VM's page-supply state varies
+    // wildly between runs, and the minimum reflects the steady-state
+    // cost the paper's ratios describe.
+    system_allocator_baseline(n / 4);
+    let _ = case1_sufficient_budget(n / 4);
+
+    let min = |xs: &mut dyn Iterator<Item = std::time::Duration>| xs.min().expect("reps >= 1");
+    let baseline = min(&mut (0..reps).map(|_| system_allocator_baseline(n)));
+    let c1 = StressResult {
+        soft: min(&mut (0..reps).map(|_| case1_sufficient_budget(n))),
+        baseline,
+    };
+    let c2 = StressResult {
+        soft: min(&mut (0..reps).map(|_| case2_budget_growth(n))),
+        baseline,
+    };
+    let c3 = (0..reps)
+        .map(|_| case3_cross_process_pressure(n, extra))
+        .min_by_key(|r| r.under_pressure)
+        .expect("reps >= 1");
+
+    let mut t = Table::new(&["case", "soft", "baseline", "ratio", "paper"]);
+    t.row(&[
+        "(1) sufficient budget".into(),
+        fmt_duration(c1.soft),
+        fmt_duration(c1.baseline),
+        fmt_ratio(c1.ratio()),
+        "1.22×".into(),
+    ]);
+    t.row(&[
+        "(2) budget growth via SMD".into(),
+        fmt_duration(c2.soft),
+        fmt_duration(c2.baseline),
+        fmt_ratio(c2.ratio()),
+        "1.23×".into(),
+    ]);
+    t.row(&[
+        format!("(3) {extra} allocs under pressure"),
+        fmt_duration(c3.under_pressure),
+        fmt_duration(c3.without_pressure),
+        fmt_ratio(c3.ratio()),
+        "1.44×".into(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "case (3) moved {} pages between processes via the SMD",
+        c3.pages_moved
+    );
+    println!(
+        "\nbaselines: cases 1–2 vs the system allocator (boxed, written \
+         1 KiB blocks); case 3 vs the same allocations without pressure."
+    );
+}

@@ -1,0 +1,133 @@
+//! E6 — crash/restart baseline vs soft-memory reclamation.
+//!
+//! §5: "Without soft memory, Redis would crash under memory pressure.
+//! The cost of such a termination is a minimum of 12 ms of downtime
+//! … with an additional, load-dependent period of increased tail
+//! latency while the cache refills." This harness quantifies both
+//! failure modes on the same event: the machine takes back 25% of the
+//! cache's pages. Capacity stays squeezed in *both* arms (after a
+//! crash, the restarted process faces the same pressure), so the only
+//! difference is what each mechanism destroys: the crash loses the
+//! whole cache; reclamation loses a fraction.
+//!
+//! Run: `cargo run --release -p softmem-bench --bin table2_crash_vs_reclaim`
+
+use std::sync::Arc;
+
+use softmem_bench::report::{fmt_duration, Table};
+use softmem_core::{Priority, Sma, SmaConfig};
+use softmem_kv::crash::CrashModel;
+use softmem_kv::Store;
+use softmem_sds::EvictionOrder;
+use softmem_sim::workload::{seeded_rng, ZipfKeys};
+
+use rand::seq::SliceRandom;
+
+const KEYS: usize = 20_000;
+const REQUESTS: usize = 60_000;
+/// Fraction of the store's soft memory the machine takes back.
+const PRESSURE_FRACTION: f64 = 0.25;
+
+/// Builds a squeezed-capacity SMA and a store filled in shuffled order:
+/// insertion-order eviction then samples keys independently of
+/// popularity while staying page-clustered (random eviction would
+/// scatter frees and almost never empty a page — the §3.1
+/// fragmentation trade-off, measured in `ablation_heap_layout`).
+fn filled_store() -> (Arc<Sma>, Store) {
+    let sma = Sma::with_config(
+        SmaConfig::for_testing(1 << 20)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    let store = Store::with_eviction(
+        &sma,
+        "cache",
+        Priority::new(4),
+        EvictionOrder::InsertionOrder,
+    );
+    let mut order: Vec<usize> = (0..KEYS).collect();
+    order.shuffle(&mut seeded_rng(7));
+    for k in order {
+        store
+            .set(ZipfKeys::key_name(k).as_bytes(), &[7u8; 64])
+            .expect("budget suffices");
+    }
+    // Freeze the budget at exactly the filled footprint: the cache is
+    // at capacity from here on.
+    let slack = sma.stats().slack_pages();
+    sma.shrink_budget(slack);
+    (sma, store)
+}
+
+fn request_keys(seed: u64) -> Vec<Vec<u8>> {
+    let mut zipf = ZipfKeys::new(KEYS, 1.0, seed);
+    (0..REQUESTS)
+        .map(|_| ZipfKeys::key_name(zipf.next_key()).into_bytes())
+        .collect()
+}
+
+fn main() {
+    let model = CrashModel::default();
+    let keys = request_keys(42);
+    let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+    // --- Baseline: the OOM kill. The machine keeps the taken pages,
+    // so the restarted cache runs at 75% of its old footprint. ---
+    let (sma, store) = filled_store();
+    let cache_pages = sma.held_pages();
+    let taken = (cache_pages as f64 * PRESSURE_FRACTION) as usize;
+    let (cold, downtime) = model.crash_and_restart(store, &sma, "cache", Priority::new(4));
+    sma.shrink_budget(taken); // the pressure that killed it persists
+    let crash_outcome = model.refill(&cold, refs.iter().copied(), |_k| vec![7u8; 64]);
+
+    // --- Soft memory: reclaim the same number of pages instead. ---
+    let (sma2, store2) = filled_store();
+    let (reclaim_wall, report) =
+        softmem_bench::report::time(|| sma2.reclaim(sma2.stats().slack_pages() + taken));
+    let lost_at_event = store2.stats().reclaimed_entries;
+    let soft_outcome = model.refill(&store2, refs.iter().copied(), |_k| vec![7u8; 64]);
+
+    println!("== Table 2: OOM kill vs soft reclamation ==");
+    println!(
+        "cache: {KEYS} keys ({cache_pages} pages); event: machine takes {taken} pages \
+         ({:.0}%); workload: {REQUESTS} Zipfian GETs\n",
+        PRESSURE_FRACTION * 100.0
+    );
+    let mut t = Table::new(&["metric", "crash+restart", "soft reclaim", "paper"]);
+    t.row(&[
+        "downtime".into(),
+        fmt_duration(downtime),
+        "none".into(),
+        "≥12 ms vs 0".into(),
+    ]);
+    t.row(&[
+        "entries lost at the event".into(),
+        format!("{KEYS} (all)"),
+        lost_at_event.to_string(),
+        "all vs part".into(),
+    ]);
+    t.row(&[
+        "misses during workload".into(),
+        crash_outcome.cold_misses.to_string(),
+        soft_outcome.cold_misses.to_string(),
+        "(shape)".into(),
+    ]);
+    t.row(&[
+        "db re-fetch cost".into(),
+        fmt_duration(crash_outcome.refetch_cost),
+        fmt_duration(soft_outcome.refetch_cost),
+        "(shape)".into(),
+    ]);
+    t.row(&[
+        "total client-visible penalty".into(),
+        fmt_duration(crash_outcome.total_penalty()),
+        fmt_duration(soft_outcome.refetch_cost + reclaim_wall),
+        "crash ≫ reclaim".into(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "reclamation released {} pages in {}",
+        report.pages_released(),
+        fmt_duration(reclaim_wall)
+    );
+}

@@ -1,0 +1,197 @@
+//! A2 — the §3.1 "Efficacy" trade-off ablation.
+//!
+//! "The SMA faces a trade-off between space and the number of
+//! allocation frees required to free up entire pages for reclamation":
+//!
+//! * freeing arbitrarily from a **shared heap** needs many frees per
+//!   whole page (other structures' allocations pin pages);
+//! * a **page per allocation** frees a page per free but "wastes
+//!   copious amounts of space" for small allocations;
+//! * **per-SDS heaps** (the paper's design) localise frees so whole
+//!   pages emerge quickly at slab-packing density.
+//!
+//! This harness measures all three layouts with the real allocator.
+
+use softmem_core::{Priority, Sma, SmaConfig, SoftHandle, PAGE_SIZE};
+
+/// The layout strategies under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// One isolated heap per data structure (the paper's SMA design).
+    PerSds,
+    /// All structures interleaved in a single shared heap.
+    SharedHeap,
+    /// Every allocation gets its own page.
+    PagePerAllocation,
+}
+
+impl Layout {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Layout::PerSds => "per-SDS heaps",
+            Layout::SharedHeap => "shared heap",
+            Layout::PagePerAllocation => "page per allocation",
+        }
+    }
+}
+
+/// Measured outcome of one layout.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutOutcome {
+    /// The layout measured.
+    pub layout: Layout,
+    /// Allocation frees needed to release the target pages.
+    pub frees: usize,
+    /// Whole pages actually released to the OS.
+    pub pages_released: usize,
+    /// Frees per released page (lower = cheaper reclamation).
+    pub frees_per_page: f64,
+    /// Pages held per MiB of payload (higher = more space overhead).
+    pub pages_per_mib_payload: f64,
+}
+
+/// Runs one layout: `structures` logical data structures × `per_structure`
+/// allocations of `alloc_bytes`, then reclaims structure #0's memory
+/// and counts the frees needed to release whole pages.
+pub fn run_layout(
+    layout: Layout,
+    structures: usize,
+    per_structure: usize,
+    alloc_bytes: usize,
+) -> LayoutOutcome {
+    let total = structures * per_structure;
+    let sma = Sma::with_config(
+        SmaConfig::for_testing(total * 2 + 64)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    // `owner[i]` = logical structure an allocation belongs to.
+    let mut handles: Vec<(usize, SoftHandle)> = Vec::with_capacity(total);
+    match layout {
+        Layout::PerSds => {
+            let ids: Vec<_> = (0..structures)
+                .map(|i| sma.register_sds(format!("sds-{i}"), Priority::default()))
+                .collect();
+            for j in 0..per_structure {
+                for (i, id) in ids.iter().enumerate() {
+                    let _ = j;
+                    handles.push((i, sma.alloc_bytes(*id, alloc_bytes).expect("budget")));
+                }
+            }
+        }
+        Layout::SharedHeap => {
+            let id = sma.register_sds("shared", Priority::default());
+            // Round-robin interleaving: adjacent slots belong to
+            // different structures, the worst case §3.1 describes.
+            for _ in 0..per_structure {
+                for i in 0..structures {
+                    handles.push((i, sma.alloc_bytes(id, alloc_bytes).expect("budget")));
+                }
+            }
+        }
+        Layout::PagePerAllocation => {
+            let ids: Vec<_> = (0..structures)
+                .map(|i| sma.register_sds(format!("sds-{i}"), Priority::default()))
+                .collect();
+            for _ in 0..per_structure {
+                for (i, id) in ids.iter().enumerate() {
+                    // Pad the request to a whole page.
+                    handles.push((i, sma.alloc_bytes(*id, PAGE_SIZE).expect("budget")));
+                }
+            }
+        }
+    }
+    let payload_bytes = total * alloc_bytes;
+    let held = sma.held_pages();
+    let pages_per_mib_payload = held as f64 / (payload_bytes as f64 / (1024.0 * 1024.0));
+
+    // Reclaim: free structure #0's allocations (oldest first) until its
+    // memory is gone, counting frees and whole pages released.
+    let released_before = sma.stats().pool.released_total;
+    let mut frees = 0usize;
+    for (owner, handle) in handles {
+        if owner == 0 {
+            sma.free_bytes(handle).expect("live handle");
+            frees += 1;
+        }
+    }
+    let pages_released = (sma.stats().pool.released_total - released_before) as usize;
+    LayoutOutcome {
+        layout,
+        frees,
+        pages_released,
+        frees_per_page: frees as f64 / pages_released.max(1) as f64,
+        pages_per_mib_payload,
+    }
+}
+
+/// Runs all three layouts with one parameter set.
+pub fn run_all_layouts(
+    structures: usize,
+    per_structure: usize,
+    alloc_bytes: usize,
+) -> Vec<LayoutOutcome> {
+    [
+        Layout::PerSds,
+        Layout::SharedHeap,
+        Layout::PagePerAllocation,
+    ]
+    .into_iter()
+    .map(|l| run_layout(l, structures, per_structure, alloc_bytes))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_sds_releases_pages_at_packing_density() {
+        let out = run_layout(Layout::PerSds, 4, 512, 1024);
+        // 1 KiB class: 4 slots per page ⇒ ≈4 frees per released page.
+        assert!(out.pages_released > 0);
+        assert!(
+            (3.5..=4.5).contains(&out.frees_per_page),
+            "frees/page = {}",
+            out.frees_per_page
+        );
+    }
+
+    #[test]
+    fn shared_heap_needs_far_more_frees_per_page() {
+        let per_sds = run_layout(Layout::PerSds, 4, 512, 1024);
+        let shared = run_layout(Layout::SharedHeap, 4, 512, 1024);
+        // Interleaving pins pages: freeing one structure's quarter of
+        // each page releases (almost) nothing.
+        assert!(
+            shared.pages_released < per_sds.pages_released / 4,
+            "shared released {} vs per-sds {}",
+            shared.pages_released,
+            per_sds.pages_released
+        );
+        assert!(shared.frees_per_page > per_sds.frees_per_page * 2.0);
+    }
+
+    #[test]
+    fn page_per_allocation_frees_cheaply_but_wastes_space() {
+        let per_sds = run_layout(Layout::PerSds, 4, 512, 1024);
+        let per_page = run_layout(Layout::PagePerAllocation, 4, 512, 1024);
+        assert!(
+            per_page.frees_per_page <= 1.01,
+            "one free releases one page: {}",
+            per_page.frees_per_page
+        );
+        // …but holds ≈4× the pages for the same payload.
+        assert!(per_page.pages_per_mib_payload > per_sds.pages_per_mib_payload * 3.0);
+    }
+
+    #[test]
+    fn all_layouts_report() {
+        let outs = run_all_layouts(2, 128, 512);
+        assert_eq!(outs.len(), 3);
+        for o in outs {
+            assert!(o.frees > 0);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! A1 — the §7 "Policies for Soft Memory" ablation.
+//!
+//! The paper asks: should heavy soft-memory users pay first when
+//! memory is tight? Its §3.3 weight deliberately avoids punishing
+//! adoption. This harness runs the same pressure scenario under every
+//! built-in weight policy and reports who got disturbed — showing that
+//! the naive "weight = soft usage" policy disturbs the *adopter*
+//! (a disincentive), while the paper's weight shifts the burden to the
+//! process that tied up more traditional memory.
+
+use std::collections::BTreeMap;
+
+use softmem_core::{MachineMemory, Priority};
+use softmem_daemon::policy::{
+    BudgetProportional, FootprintOnly, PaperWeight, SoftUsageOnly, Uniform,
+};
+use softmem_daemon::{Smd, SmdConfig, SoftProcess, WeightPolicy};
+use softmem_sds::SoftQueue;
+
+/// One victim's profile in the scenario.
+#[derive(Debug, Clone)]
+pub struct VictimProfile {
+    /// Registration name.
+    pub name: &'static str,
+    /// Pages of soft memory it fills.
+    pub soft_pages: usize,
+    /// Pages of traditional memory it reports.
+    pub traditional_pages: usize,
+}
+
+/// The canonical cast: an adopter (mostly soft), a hoarder (same-ish
+/// soft but a big traditional footprint), a small tenant, and a
+/// traditional-heavy process with a token soft cache.
+pub fn default_victims() -> Vec<VictimProfile> {
+    vec![
+        VictimProfile {
+            name: "adopter",
+            soft_pages: 450,
+            traditional_pages: 100,
+        },
+        VictimProfile {
+            name: "hoarder",
+            soft_pages: 400,
+            traditional_pages: 900,
+        },
+        VictimProfile {
+            name: "small",
+            soft_pages: 100,
+            traditional_pages: 100,
+        },
+        VictimProfile {
+            name: "trad-heavy",
+            soft_pages: 50,
+            traditional_pages: 1200,
+        },
+    ]
+}
+
+/// Result of running the scenario under one policy.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Reclamation demands issued to each victim.
+    pub demands: BTreeMap<String, u64>,
+    /// Pages yielded by each victim.
+    pub pages_yielded: BTreeMap<String, u64>,
+    /// Requests the daemon denied.
+    pub denials: u64,
+    /// Total pages moved by reclamation.
+    pub pages_moved: u64,
+}
+
+impl PolicyOutcome {
+    /// Pages the named victim yielded.
+    pub fn yielded_by(&self, name: &str) -> u64 {
+        self.pages_yielded.get(name).copied().unwrap_or(0)
+    }
+
+    /// Jain's fairness index over the victims' yielded pages, in
+    /// `(0, 1]`: 1.0 = perfectly even spread, 1/n = one victim bore
+    /// everything. (Whether *even* is *fair* is exactly the §7
+    /// question — this quantifies the spread, the policies argue the
+    /// ethics.)
+    pub fn jain_index(&self) -> f64 {
+        let xs: Vec<f64> = self.pages_yielded.values().map(|&v| v as f64).collect();
+        let sum: f64 = xs.iter().sum();
+        let sq_sum: f64 = xs.iter().map(|x| x * x).sum();
+        if sq_sum == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (xs.len() as f64 * sq_sum)
+    }
+}
+
+/// Runs the pressure scenario under `policy`.
+///
+/// Every victim fills a soft queue with its profile's pages and
+/// reports its traditional footprint; then a newcomer requests
+/// `request_pages` in `rounds` instalments, each of which requires
+/// reclamation.
+pub fn run_policy_scenario(
+    policy: Box<dyn WeightPolicy>,
+    victims: &[VictimProfile],
+    request_pages: usize,
+    rounds: usize,
+) -> PolicyOutcome {
+    let total_soft: usize = victims.iter().map(|v| v.soft_pages).sum();
+    let machine = MachineMemory::new(total_soft * 8 + 16_384);
+    let policy_name = policy.name();
+    let smd = Smd::with_policy(
+        // Capacity exactly covers the victims: every newcomer request
+        // triggers reclamation.
+        SmdConfig::new(&machine, total_soft).initial_budget(0),
+        policy,
+    );
+    let mut procs = Vec::new();
+    let mut queues = Vec::new();
+    let mut names = Vec::new();
+    for v in victims {
+        let p = SoftProcess::spawn(&smd, v.name).expect("spawn victim");
+        let q: SoftQueue<[u8; 4096]> = SoftQueue::new(p.sma(), "data", Priority::default());
+        for _ in 0..v.soft_pages {
+            q.push([0u8; 4096]).expect("fits capacity");
+        }
+        p.set_traditional_pages(v.traditional_pages)
+            .expect("machine has room");
+        names.push((p.pid(), v.name.to_string()));
+        procs.push(p);
+        queues.push(q);
+    }
+    let newcomer = SoftProcess::spawn(&smd, "newcomer").expect("spawn newcomer");
+    let mut denials = 0;
+    for _ in 0..rounds {
+        if newcomer.request_pages(request_pages).is_err() {
+            denials += 1;
+        }
+    }
+    let mut demands: BTreeMap<String, u64> = BTreeMap::new();
+    let mut pages_yielded: BTreeMap<String, u64> = BTreeMap::new();
+    for (_, name) in &names {
+        demands.insert(name.clone(), 0);
+        pages_yielded.insert(name.clone(), 0);
+    }
+    let mut pages_moved = 0;
+    for decision in smd.take_decisions() {
+        for t in decision.targets {
+            if let Some((_, name)) = names.iter().find(|(pid, _)| *pid == t.pid) {
+                *demands.get_mut(name).expect("prefilled") += 1;
+                *pages_yielded.get_mut(name).expect("prefilled") += t.yielded_pages as u64;
+            }
+            pages_moved += t.yielded_pages as u64;
+        }
+    }
+    PolicyOutcome {
+        policy: policy_name,
+        demands,
+        pages_yielded,
+        denials,
+        pages_moved,
+    }
+}
+
+/// Runs the default scenario under every built-in policy.
+pub fn run_all_policies(request_pages: usize, rounds: usize) -> Vec<PolicyOutcome> {
+    let victims = default_victims();
+    let policies: Vec<Box<dyn WeightPolicy>> = vec![
+        Box::new(PaperWeight),
+        Box::new(FootprintOnly),
+        Box::new(SoftUsageOnly),
+        Box::new(BudgetProportional),
+        Box::new(Uniform),
+    ];
+    policies
+        .into_iter()
+        .map(|p| run_policy_scenario(p, &victims, request_pages, rounds))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weight_spares_the_adopter() {
+        let victims = default_victims();
+        let out = run_policy_scenario(Box::new(PaperWeight), &victims, 32, 4);
+        assert!(out.pages_moved > 0, "{out:?}");
+        // Same-ish soft usage, but the hoarder tied up far more
+        // traditional memory ⇒ it pays first.
+        assert!(
+            out.yielded_by("hoarder") > out.yielded_by("adopter"),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn soft_only_policy_punishes_the_adopter() {
+        let victims = default_victims();
+        let out = run_policy_scenario(Box::new(SoftUsageOnly), &victims, 32, 4);
+        // The naive policy makes the biggest soft user pay — the
+        // disincentive §7 warns about.
+        assert!(
+            out.yielded_by("adopter") > out.yielded_by("hoarder"),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        let mut o = PolicyOutcome {
+            policy: "t",
+            demands: Default::default(),
+            pages_yielded: Default::default(),
+            denials: 0,
+            pages_moved: 0,
+        };
+        o.pages_yielded.insert("a".into(), 10);
+        o.pages_yielded.insert("b".into(), 10);
+        assert!((o.jain_index() - 1.0).abs() < 1e-9, "even spread");
+        o.pages_yielded.insert("b".into(), 0);
+        assert!((o.jain_index() - 0.5).abs() < 1e-9, "one of two bears all");
+        o.pages_yielded.clear();
+        assert_eq!(o.jain_index(), 1.0, "vacuous");
+    }
+
+    #[test]
+    fn all_policies_produce_an_outcome() {
+        let outs = run_all_policies(16, 2);
+        assert_eq!(outs.len(), 5);
+        for o in &outs {
+            assert!(o.pages_moved > 0, "{o:?}");
+            assert_eq!(o.demands.len(), 4);
+        }
+        // Names are distinct per policy.
+        let names: std::collections::HashSet<_> = outs.iter().map(|o| o.policy).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text table rendering for harness output.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified already).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table with column padding.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                line.push_str(&format!(" {:<w$} |", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = render_row(&self.header);
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+}
+
+/// Formats a `Duration` compactly (µs/ms/s).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2} s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Formats a ratio like `1.22×`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}×")
+}
+
+/// Times a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (std::time::Duration, R) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (start.elapsed(), r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["case", "value"]);
+        t.row(&["one".into(), "1".into()]);
+        t.row(&["twenty-two".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(s.contains("| case "));
+        assert!(s.contains("| twenty-two |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_column_count_panics() {
+        Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_micros(10)), "10 µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2500)), "2.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00 s");
+        assert_eq!(fmt_ratio(1.224), "1.22×");
+    }
+
+    #[test]
+    fn time_measures() {
+        let (d, v) = time(|| 42);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

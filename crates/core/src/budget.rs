@@ -1,0 +1,107 @@
+//! The budget-growth hook connecting an SMA to the machine-wide daemon.
+//!
+//! The SMA never talks to the Soft Memory Daemon directly (that would
+//! invert the crate dependency); instead a [`BudgetSource`] is attached by
+//! the `softmem-daemon` crate's process runtime. When an allocation
+//! exceeds the current budget, the SMA drops its internal lock, asks the
+//! budget source for more pages, and retries — reproducing §5 case (2) of
+//! the paper, where "communication with the memory daemon to increase
+//! resource budget is amortized over many allocations".
+
+use crate::error::SoftResult;
+
+/// Outcome of a budget-growth request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Pages granted (0 ⇒ denied).
+    pub pages: usize,
+    /// Whether the source already applied the grant to the SMA's
+    /// budget. The daemon client applies grants itself *under the
+    /// daemon lock* (so a subsequent reclamation demand can never
+    /// observe a granted-but-unapplied budget); standalone sources
+    /// leave application to the SMA.
+    pub already_applied: bool,
+}
+
+impl Grant {
+    /// A grant the SMA should apply itself.
+    pub fn unapplied(pages: usize) -> Self {
+        Grant {
+            pages,
+            already_applied: false,
+        }
+    }
+
+    /// A grant the source has already applied.
+    pub fn applied(pages: usize) -> Self {
+        Grant {
+            pages,
+            already_applied: true,
+        }
+    }
+}
+
+/// A provider of additional soft-memory budget.
+///
+/// Implemented by the daemon client in `softmem-daemon`; test code can
+/// supply closures or fixed-grant stubs.
+pub trait BudgetSource: Send + Sync {
+    /// Requests additional budget: at least `need` pages (the
+    /// allocation's shortfall — worth triggering machine-wide
+    /// reclamation for), opportunistically up to `want` pages (the
+    /// SMA's growth chunk, taken only from uncontended capacity so
+    /// daemon round-trips amortise over many allocations).
+    ///
+    /// Returns the grant; `Grant { pages: 0, .. }` makes the
+    /// triggering allocation fail with
+    /// [`crate::SoftError::BudgetExceeded`].
+    fn grant_more(&self, need: usize, want: usize) -> SoftResult<Grant>;
+}
+
+impl<F> BudgetSource for F
+where
+    F: Fn(usize, usize) -> SoftResult<usize> + Send + Sync,
+{
+    fn grant_more(&self, need: usize, want: usize) -> SoftResult<Grant> {
+        self(need, want).map(Grant::unapplied)
+    }
+}
+
+/// A budget source that always grants the full `want` (for tests and
+/// standalone examples without a daemon).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UnlimitedBudget;
+
+impl BudgetSource for UnlimitedBudget {
+    fn grant_more(&self, _need: usize, want: usize) -> SoftResult<Grant> {
+        Ok(Grant::unapplied(want))
+    }
+}
+
+/// A budget source that always denies (for failure-injection tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeniedBudget;
+
+impl BudgetSource for DeniedBudget {
+    fn grant_more(&self, _need: usize, _want: usize) -> SoftResult<Grant> {
+        Ok(Grant::unapplied(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_a_budget_source() {
+        let src = |need: usize, _want: usize| Ok(need * 2);
+        assert_eq!(src.grant_more(10, 64).unwrap(), Grant::unapplied(20));
+    }
+
+    #[test]
+    fn stub_sources() {
+        assert_eq!(UnlimitedBudget.grant_more(7, 32).unwrap().pages, 32);
+        assert_eq!(DeniedBudget.grant_more(7, 32).unwrap().pages, 0);
+        assert!(!UnlimitedBudget.grant_more(1, 1).unwrap().already_applied);
+    }
+}

@@ -1,0 +1,108 @@
+//! Configuration knobs for the Soft Memory Allocator.
+
+use std::sync::Arc;
+
+use crate::page::MachineMemory;
+
+/// Configuration for an [`crate::Sma`] instance.
+///
+/// The defaults mirror the prototype described in §4 of the paper; the
+/// knobs exist so that the ablation benches can vary individual design
+/// decisions (free-pool retention, auto-grow chunking, self-reclaim).
+#[derive(Clone)]
+pub struct SmaConfig {
+    /// Soft-memory budget (in pages) granted at startup, before any daemon
+    /// interaction. The daemon later grows/shrinks the live budget.
+    pub initial_budget_pages: usize,
+    /// How many wholly-free pages the process-global free pool may retain
+    /// before surplus frames are released back to the OS.
+    ///
+    /// §4: "Each SDS ... periodically transfers free pages back to the
+    /// global free pool of transferable, on-demand soft memory." Retained
+    /// pages make re-allocation cheap; surplus is given back.
+    pub free_pool_retain_pages: usize,
+    /// How many wholly-free pages each SDS heap keeps attached before
+    /// transferring them to the process-global free pool.
+    pub sds_retain_pages: usize,
+    /// Pages requested from the daemon per budget-growth round when an
+    /// allocation hits [`crate::SoftError::BudgetExceeded`] and a
+    /// [`crate::BudgetSource`] is attached. Growth is chunked so daemon
+    /// communication amortises over many allocations (§5, case 2).
+    pub auto_grow_chunk_pages: usize,
+    /// Shared machine-wide physical capacity model. SMAs on the same
+    /// simulated machine share one instance.
+    pub machine: Arc<MachineMemory>,
+}
+
+impl SmaConfig {
+    /// A configuration backed by the given machine model with an initial
+    /// budget of `budget_pages`.
+    pub fn new(machine: Arc<MachineMemory>, budget_pages: usize) -> Self {
+        SmaConfig {
+            initial_budget_pages: budget_pages,
+            free_pool_retain_pages: 64,
+            sds_retain_pages: 4,
+            auto_grow_chunk_pages: 256,
+            machine,
+        }
+    }
+
+    /// A standalone configuration for unit tests: a private machine with
+    /// ample capacity and the given initial budget.
+    pub fn for_testing(budget_pages: usize) -> Self {
+        SmaConfig::new(MachineMemory::unbounded(), budget_pages)
+    }
+
+    /// Sets the free-pool retention watermark.
+    pub fn free_pool_retain(mut self, pages: usize) -> Self {
+        self.free_pool_retain_pages = pages;
+        self
+    }
+
+    /// Sets the per-SDS free-page retention watermark.
+    pub fn sds_retain(mut self, pages: usize) -> Self {
+        self.sds_retain_pages = pages;
+        self
+    }
+
+    /// Sets the budget auto-growth chunk.
+    pub fn auto_grow_chunk(mut self, pages: usize) -> Self {
+        self.auto_grow_chunk_pages = pages.max(1);
+        self
+    }
+}
+
+impl std::fmt::Debug for SmaConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmaConfig")
+            .field("initial_budget_pages", &self.initial_budget_pages)
+            .field("free_pool_retain_pages", &self.free_pool_retain_pages)
+            .field("sds_retain_pages", &self.sds_retain_pages)
+            .field("auto_grow_chunk_pages", &self.auto_grow_chunk_pages)
+            .field("machine_capacity_pages", &self.machine.capacity_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = SmaConfig::for_testing(100)
+            .free_pool_retain(8)
+            .sds_retain(2)
+            .auto_grow_chunk(32);
+        assert_eq!(cfg.initial_budget_pages, 100);
+        assert_eq!(cfg.free_pool_retain_pages, 8);
+        assert_eq!(cfg.sds_retain_pages, 2);
+        assert_eq!(cfg.auto_grow_chunk_pages, 32);
+    }
+
+    #[test]
+    fn auto_grow_chunk_is_nonzero() {
+        let cfg = SmaConfig::for_testing(1).auto_grow_chunk(0);
+        assert_eq!(cfg.auto_grow_chunk_pages, 1);
+    }
+}

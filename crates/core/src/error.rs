@@ -1,0 +1,173 @@
+//! Error types shared across the soft-memory stack.
+
+use crate::handle::SdsId;
+
+/// Convenience alias for results returned by soft-memory operations.
+pub type SoftResult<T> = Result<T, SoftError>;
+
+/// Errors produced by the soft-memory allocator and its clients.
+///
+/// Soft memory is *revocable*, so unlike a conventional allocator the error
+/// surface includes conditions like [`SoftError::Revoked`] (an allocation
+/// was reclaimed underneath a handle) and [`SoftError::BudgetExceeded`]
+/// (the process must ask the machine-wide daemon for more budget).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoftError {
+    /// The process's soft-memory budget cannot cover the request.
+    ///
+    /// Callers typically react by requesting additional budget from the
+    /// Soft Memory Daemon (the SMA does this automatically when a
+    /// [`crate::BudgetSource`] is attached) and retrying.
+    BudgetExceeded {
+        /// Pages the operation needed to acquire.
+        requested_pages: usize,
+        /// Pages still available under the current budget.
+        available_pages: usize,
+    },
+    /// The machine's physical memory is exhausted.
+    ///
+    /// This models a `mmap`/`sbrk` failure: the budget allowed the growth
+    /// but no physical pages exist. The daemon escapes this state by
+    /// reclaiming soft memory from other processes.
+    MachineFull {
+        /// Pages the operation attempted to reserve.
+        requested_pages: usize,
+    },
+    /// The allocation behind a handle was reclaimed; the handle is stale.
+    ///
+    /// This is the *safe* manifestation of the paper's "all pointers into a
+    /// reclaimed allocation become invalid" problem: generation checking
+    /// turns a dangling access into this error instead of undefined
+    /// behaviour.
+    Revoked,
+    /// The handle does not refer to a live allocation in this SMA:
+    /// fabricated coordinates (wrong SDS, out-of-range page, kind
+    /// mismatch) — or a *stale* handle whose page has since been
+    /// re-formatted for another size class (where [`SoftError::Revoked`]
+    /// can no longer be distinguished). Both cases are safe failures;
+    /// callers should treat `Revoked` and `InvalidHandle` alike when
+    /// probing old handles.
+    InvalidHandle,
+    /// No SDS with this id is registered.
+    UnknownSds(SdsId),
+    /// The requested allocation exceeds the maximum supported size.
+    AllocTooLarge {
+        /// Requested size in bytes.
+        requested: usize,
+        /// Largest supported allocation in bytes.
+        max: usize,
+    },
+    /// A reclamation demand could not be fully satisfied.
+    ReclaimShortfall {
+        /// Pages demanded.
+        requested_pages: usize,
+        /// Pages actually reclaimed.
+        reclaimed_pages: usize,
+    },
+    /// The Soft Memory Daemon denied a budget request.
+    Denied {
+        /// Human-readable reason recorded by the daemon.
+        reason: DenyReason,
+    },
+    /// The daemon connection is gone (shut down or never attached).
+    DaemonUnavailable,
+    /// The process is not registered with the daemon.
+    UnknownProcess(u64),
+}
+
+/// Why the Soft Memory Daemon denied a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenyReason {
+    /// Machine-wide reclamation could not free enough pages within the
+    /// target cap (the paper's "denies the soft memory request that
+    /// triggered the reclamation").
+    ReclaimShortfall,
+    /// The request exceeded the per-process budget cap configured on the
+    /// daemon.
+    PerProcessCap,
+    /// The daemon is shutting down.
+    ShuttingDown,
+}
+
+impl core::fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DenyReason::ReclaimShortfall => {
+                write!(f, "machine-wide reclamation fell short of the request")
+            }
+            DenyReason::PerProcessCap => write!(f, "per-process soft budget cap reached"),
+            DenyReason::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+impl core::fmt::Display for SoftError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SoftError::BudgetExceeded {
+                requested_pages,
+                available_pages,
+            } => write!(
+                f,
+                "soft budget exceeded: requested {requested_pages} page(s), \
+                 {available_pages} available"
+            ),
+            SoftError::MachineFull { requested_pages } => {
+                write!(
+                    f,
+                    "machine out of physical memory ({requested_pages} page(s) requested)"
+                )
+            }
+            SoftError::Revoked => write!(f, "allocation was reclaimed; handle is stale"),
+            SoftError::InvalidHandle => write!(f, "handle does not refer to a live allocation"),
+            SoftError::UnknownSds(id) => write!(f, "no registered SDS with id {id:?}"),
+            SoftError::AllocTooLarge { requested, max } => {
+                write!(f, "allocation of {requested} bytes exceeds maximum {max}")
+            }
+            SoftError::ReclaimShortfall {
+                requested_pages,
+                reclaimed_pages,
+            } => write!(
+                f,
+                "reclamation shortfall: demanded {requested_pages} page(s), \
+                 reclaimed {reclaimed_pages}"
+            ),
+            SoftError::Denied { reason } => write!(f, "request denied: {reason}"),
+            SoftError::DaemonUnavailable => write!(f, "soft memory daemon unavailable"),
+            SoftError::UnknownProcess(pid) => write!(f, "process {pid} not registered"),
+        }
+    }
+}
+
+impl std::error::Error for SoftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SoftError::BudgetExceeded {
+            requested_pages: 3,
+            available_pages: 1,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains('1'), "{msg}");
+
+        assert!(SoftError::Revoked.to_string().contains("reclaimed"));
+        assert!(SoftError::Denied {
+            reason: DenyReason::ReclaimShortfall
+        }
+        .to_string()
+        .contains("fell short"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SoftError::Revoked, SoftError::Revoked);
+        assert_ne!(
+            SoftError::Revoked,
+            SoftError::MachineFull { requested_pages: 1 }
+        );
+    }
+}

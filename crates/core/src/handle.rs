@@ -1,0 +1,262 @@
+//! Generation-checked handles into soft memory.
+//!
+//! Raw pointers into revocable memory are unsound: the Soft Memory Daemon
+//! may demand reclamation at any time, invalidating every pointer into the
+//! reclaimed allocation (§7 of the paper). Instead of pointers, this crate
+//! hands out *handles* — small, `Copy`-able coordinates (SDS, page, slot)
+//! tagged with a *generation*. Every access revalidates the generation, so
+//! an access through a stale handle yields [`crate::SoftError::Revoked`]
+//! rather than undefined behaviour.
+
+use std::marker::PhantomData;
+
+/// Identifier of a registered Soft Data Structure within one SMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SdsId(pub(crate) u32);
+
+impl SdsId {
+    /// Returns the raw index value (useful for logging and tests).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Builds an id from a raw index.
+    ///
+    /// Only meaningful for ids previously obtained from
+    /// [`crate::Sma::register_sds`]; a fabricated id is rejected at use
+    /// time with [`crate::SoftError::UnknownSds`].
+    pub fn from_index(index: u32) -> Self {
+        SdsId(index)
+    }
+}
+
+/// User-defined reclamation priority of an SDS.
+///
+/// Higher values mean *more important*: during reclamation the SMA visits
+/// SDSs in ascending priority order, so low-priority structures give up
+/// memory first (§3.1, "Non-Disruptiveness").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Priority(pub u32);
+
+impl Priority {
+    /// Lowest priority: first in line for reclamation.
+    pub const MIN: Priority = Priority(0);
+    /// Highest priority: last in line for reclamation.
+    pub const MAX: Priority = Priority(u32::MAX);
+
+    /// Creates a priority with the given level.
+    pub const fn new(level: u32) -> Self {
+        Priority(level)
+    }
+
+    /// Returns the numeric level.
+    pub const fn level(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority(16)
+    }
+}
+
+/// Whether a handle points into a slab slot or a multi-page span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocKind {
+    /// A slot within a size-class slab page.
+    Slab,
+    /// A dedicated, contiguous multi-page span (allocations > 4 KiB, and
+    /// [`crate::heap`] span requests such as `SoftArray` backing stores).
+    Span,
+}
+
+/// The raw coordinates of a soft allocation inside one SMA.
+///
+/// `RawHandle` is the untyped currency of the allocator; most code uses
+/// the typed wrapper [`SoftSlot`] or byte-level [`SoftHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RawHandle {
+    /// Which SDS heap the allocation lives in.
+    pub sds: SdsId,
+    /// Heap-local page-table index (slab page or span).
+    pub page: u32,
+    /// Slot index within a slab page (0 for spans).
+    pub slot: u16,
+    /// Slab/span discriminator.
+    pub kind: AllocKind,
+    /// Generation at allocation time; mismatch ⇒ the slot was freed or
+    /// reclaimed since. Generations are unique per heap for the lifetime
+    /// of the process (64-bit counter), so stale handles can never
+    /// alias a newer allocation.
+    pub generation: u64,
+}
+
+/// An untyped handle to a byte allocation in soft memory.
+///
+/// Obtained from [`crate::Sma::alloc_bytes`]; access the bytes with
+/// [`crate::Sma::with_bytes`] / [`crate::Sma::with_bytes_mut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SoftHandle {
+    pub(crate) raw: RawHandle,
+    /// Requested length in bytes (≤ the slot/span capacity).
+    pub(crate) len: usize,
+}
+
+impl SoftHandle {
+    /// The SDS this allocation belongs to.
+    pub fn sds(&self) -> SdsId {
+        self.raw.sds
+    }
+
+    /// Requested allocation length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the allocation has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw coordinates (for diagnostics).
+    pub fn raw(&self) -> RawHandle {
+        self.raw
+    }
+}
+
+/// A typed handle to a value of type `T` stored in soft memory.
+///
+/// The value is reached through [`crate::Sma::with_value`] /
+/// [`crate::Sma::with_value_mut`], and recovered (moved out) with
+/// [`crate::Sma::take_value`]. If the allocation is reclaimed, all of
+/// these return [`crate::SoftError::Revoked`].
+///
+/// `SoftSlot` is deliberately *not* `Clone`: exactly one handle owns the
+/// logical slot, mirroring `Box<T>`-style ownership. Use
+/// [`SoftSlot::shared_view`] for read-only aliases.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct SoftSlot<T> {
+    pub(crate) raw: RawHandle,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> SoftSlot<T> {
+    pub(crate) fn new(raw: RawHandle) -> Self {
+        SoftSlot {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reconstructs a typed slot from raw coordinates.
+    ///
+    /// Intended for intrusive soft data structures (e.g. linked lists
+    /// whose nodes store the raw coordinates of their successor in soft
+    /// memory) that need to round-trip handles through plain data.
+    ///
+    /// # Safety
+    ///
+    /// `raw` must have been produced by [`SoftSlot::into_raw`] (or
+    /// [`SoftSlot::raw`]) on a slot of the *same* `T`, within the same
+    /// SMA. Constructing a slot with a mismatched type leads to reads of
+    /// the payload at the wrong type, which is undefined behaviour.
+    /// Stale coordinates are fine: generation checking turns them into
+    /// [`crate::SoftError::Revoked`].
+    pub unsafe fn from_raw(raw: RawHandle) -> Self {
+        SoftSlot::new(raw)
+    }
+
+    /// Dissolves the slot into its raw coordinates (see
+    /// [`SoftSlot::from_raw`]).
+    pub fn into_raw(self) -> RawHandle {
+        self.raw
+    }
+
+    /// The SDS this slot belongs to.
+    pub fn sds(&self) -> SdsId {
+        self.raw.sds
+    }
+
+    /// The raw coordinates (for diagnostics and logging).
+    pub fn raw(&self) -> RawHandle {
+        self.raw
+    }
+
+    /// Creates a read-only alias of this slot.
+    ///
+    /// Views do not confer ownership: freeing through the owning slot (or
+    /// reclamation) revokes every view, whose accesses then return
+    /// [`crate::SoftError::Revoked`].
+    pub fn shared_view(&self) -> SoftView<T> {
+        SoftView {
+            raw: self.raw,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A read-only, copyable alias of a [`SoftSlot`].
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub struct SoftView<T> {
+    pub(crate) raw: RawHandle,
+    pub(crate) _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for SoftView<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SoftView<T> {}
+
+impl<T> SoftView<T> {
+    /// The raw coordinates of the viewed slot.
+    pub fn raw(&self) -> RawHandle {
+        self.raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_raw() -> RawHandle {
+        RawHandle {
+            sds: SdsId(3),
+            page: 7,
+            slot: 2,
+            kind: AllocKind::Slab,
+            generation: 9,
+        }
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::MIN < Priority::default());
+        assert!(Priority::default() < Priority::MAX);
+        assert_eq!(Priority::new(4).level(), 4);
+    }
+
+    #[test]
+    fn handle_accessors() {
+        let h = SoftHandle {
+            raw: sample_raw(),
+            len: 128,
+        };
+        assert_eq!(h.sds(), SdsId::from_index(3));
+        assert_eq!(h.len(), 128);
+        assert!(!h.is_empty());
+        assert_eq!(h.raw().generation, 9);
+    }
+
+    #[test]
+    fn views_are_copyable() {
+        let slot: SoftSlot<u32> = SoftSlot::new(sample_raw());
+        let v1 = slot.shared_view();
+        let v2 = v1;
+        assert_eq!(v1.raw(), v2.raw());
+        assert_eq!(v1.raw(), slot.raw());
+    }
+}

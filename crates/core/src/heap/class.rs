@@ -1,0 +1,98 @@
+//! Segregated-fit size classes.
+//!
+//! Slab pages are divided into power-of-two slots between 64 B and 4 KiB.
+//! Allocations above [`MAX_SLAB_ALLOC`] are backed by dedicated spans.
+//! The class spacing trades internal fragmentation against the number of
+//! distinct partial-page lists — the same balance "a simple textbook
+//! memory allocator" (§5) strikes.
+
+use crate::page::PAGE_SIZE;
+
+/// Slot sizes of the slab classes, ascending.
+pub const CLASS_SIZES: [usize; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Largest allocation served from a slab page; bigger requests get spans.
+pub const MAX_SLAB_ALLOC: usize = PAGE_SIZE;
+
+/// A slab size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SizeClass(u8);
+
+impl SizeClass {
+    /// Number of classes.
+    pub const COUNT: usize = CLASS_SIZES.len();
+
+    /// The smallest class whose slots fit `size` bytes, or `None` if the
+    /// request needs a span.
+    pub fn for_size(size: usize) -> Option<SizeClass> {
+        CLASS_SIZES
+            .iter()
+            .position(|&s| s >= size)
+            .map(|i| SizeClass(i as u8))
+    }
+
+    /// Builds a class from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= SizeClass::COUNT`.
+    pub fn from_index(index: usize) -> SizeClass {
+        assert!(index < Self::COUNT, "size class index out of range");
+        SizeClass(index as u8)
+    }
+
+    /// Index of this class in [`CLASS_SIZES`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Slot size in bytes.
+    pub fn slot_size(self) -> usize {
+        CLASS_SIZES[self.0 as usize]
+    }
+
+    /// Number of slots per 4 KiB page.
+    pub fn slots_per_page(self) -> usize {
+        PAGE_SIZE / self.slot_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_selection() {
+        assert_eq!(SizeClass::for_size(0).unwrap().slot_size(), 64);
+        assert_eq!(SizeClass::for_size(1).unwrap().slot_size(), 64);
+        assert_eq!(SizeClass::for_size(64).unwrap().slot_size(), 64);
+        assert_eq!(SizeClass::for_size(65).unwrap().slot_size(), 128);
+        assert_eq!(SizeClass::for_size(1024).unwrap().slot_size(), 1024);
+        assert_eq!(SizeClass::for_size(2049).unwrap().slot_size(), 4096);
+        assert_eq!(SizeClass::for_size(4096).unwrap().slot_size(), 4096);
+        assert!(SizeClass::for_size(4097).is_none());
+    }
+
+    #[test]
+    fn slots_per_page() {
+        assert_eq!(SizeClass::for_size(64).unwrap().slots_per_page(), 64);
+        // The paper's example: two 2 KB list elements fit in a 4 KB page.
+        assert_eq!(SizeClass::for_size(2048).unwrap().slots_per_page(), 2);
+        assert_eq!(SizeClass::for_size(4096).unwrap().slots_per_page(), 1);
+        // The stress tests use 1 KiB allocations: four per page.
+        assert_eq!(SizeClass::for_size(1024).unwrap().slots_per_page(), 4);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..SizeClass::COUNT {
+            assert_eq!(SizeClass::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = SizeClass::from_index(SizeClass::COUNT);
+    }
+}

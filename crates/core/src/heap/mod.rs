@@ -1,0 +1,77 @@
+//! Per-SDS heaps: size-class slab pages plus multi-page spans.
+//!
+//! The paper's SMA "provides each SDS with its own heap and set of memory
+//! pages" (§3.1). Giving every data structure an isolated heap is the
+//! paper's answer to the reclamation-efficacy trade-off: freeing
+//! allocations that are *localised within one SDS's pages* maximises the
+//! chance of producing wholly-free pages, which are the unit of
+//! reclamation. This module implements those heaps:
+//!
+//! * [`SizeClass`] — the segregated-fit size classes (64 B … 4 KiB).
+//! * [`SlabPage`] — one 4 KiB page divided into equal slots of one class,
+//!   with per-slot generation and type-erased drop metadata.
+//! * [`SdsHeap`] — the heap proper: a page table of slabs and spans,
+//!   per-class partial-page lists, a wholly-free page list, and the
+//!   harvest operation used by reclamation.
+
+mod class;
+mod sds_heap;
+mod slab;
+
+pub use class::{SizeClass, CLASS_SIZES, MAX_SLAB_ALLOC};
+pub use sds_heap::{FreeOutcome, HeapStats, SdsHeap};
+pub use slab::SlabPage;
+
+/// Type-erased destructor invoked on a slot's payload when it is freed or
+/// reclaimed without being moved out first.
+pub type DropFn = unsafe fn(*mut u8);
+
+/// Returns the erased drop function for `T`, or `None` for types that
+/// need no drop glue.
+pub fn drop_fn_for<T>() -> Option<DropFn> {
+    if std::mem::needs_drop::<T>() {
+        // SAFETY-ADJACENT: the returned function must only ever be called
+        // with a pointer to a live, properly initialised `T`; the heap
+        // guarantees this by construction (a slot's drop fn is recorded
+        // at allocation time and cleared when the value is moved out).
+        unsafe fn erased<T>(ptr: *mut u8) {
+            // SAFETY: caller contract (see above) — `ptr` addresses a
+            // live `T` that is dropped exactly once.
+            unsafe { std::ptr::drop_in_place(ptr.cast::<T>()) }
+        }
+        Some(erased::<T>)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_fn_presence_matches_needs_drop() {
+        assert!(drop_fn_for::<String>().is_some());
+        assert!(drop_fn_for::<Vec<u8>>().is_some());
+        assert!(drop_fn_for::<u64>().is_none());
+        assert!(drop_fn_for::<[u8; 32]>().is_none());
+    }
+
+    #[test]
+    fn drop_fn_runs_destructor() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let f = drop_fn_for::<Probe>().unwrap();
+        let mut slot = std::mem::MaybeUninit::new(Probe);
+        // SAFETY: `slot` holds a live `Probe`; it is dropped exactly once
+        // here and never used again.
+        unsafe { f(slot.as_mut_ptr().cast()) };
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+}

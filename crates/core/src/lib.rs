@@ -1,0 +1,121 @@
+//! # softmem-core — the Soft Memory Allocator (SMA)
+//!
+//! This crate implements the per-application half of *soft memory* as
+//! described in "Towards Increased Datacenter Efficiency with Soft Memory"
+//! (HotOS '23): an opt-in memory abstraction whose allocations are
+//! *revocable* under memory pressure.
+//!
+//! The building blocks, bottom-up:
+//!
+//! * [`page`] — the primary-storage substrate: 4 KiB [`page::PageFrame`]s,
+//!   a machine-wide physical capacity model ([`page::MachineMemory`]) and a
+//!   per-process [`page::PagePool`] that tracks pages released back to the
+//!   OS (so they can be re-backed before the heap grows again, as in §4 of
+//!   the paper).
+//! * [`heap`] — one isolated heap per Soft Data Structure (SDS): size-class
+//!   slab pages plus multi-page spans, with per-page live counters so that
+//!   wholly-free pages can be harvested for reclamation.
+//! * [`handle`] — generation-checked handles ([`handle::SoftHandle`],
+//!   [`handle::SoftSlot`]). Reclaiming an allocation bumps its slot
+//!   generation, so stale handles observe [`SoftError::Revoked`] instead of
+//!   undefined behaviour — the crate's answer to the paper's "all pointers
+//!   become invalid" open question (§7).
+//! * [`sma`] — the allocator proper: an SDS registry, a process-global free
+//!   pool, a soft-memory budget granted by the machine-wide daemon, and the
+//!   two-tier reclamation protocol (the SMA picks SDSs by priority, each
+//!   SDS picks allocations to give up).
+//!
+//! The machine-wide Soft Memory Daemon (SMD) lives in the companion
+//! `softmem-daemon` crate; ready-made Soft Data Structures live in
+//! `softmem-sds`.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmem_core::{Sma, SmaConfig, Priority};
+//!
+//! let sma = Sma::with_config(SmaConfig::for_testing(256));
+//! let sds = sma.register_sds("example", Priority::new(5));
+//! let slot = sma.alloc_value(sds, 42u64).unwrap();
+//! assert_eq!(sma.with_value(&slot, |v| *v).unwrap(), 42);
+//! sma.free_value(slot).unwrap();
+//! ```
+
+pub mod budget;
+pub mod config;
+pub mod error;
+pub mod handle;
+pub mod heap;
+pub mod page;
+pub mod sma;
+pub mod stats;
+
+pub use budget::BudgetSource;
+pub use config::SmaConfig;
+pub use error::{SoftError, SoftResult};
+pub use handle::{Priority, RawHandle, SdsId, SoftHandle, SoftSlot};
+pub use page::{MachineMemory, PAGE_SIZE};
+pub use sma::{ReclaimReport, SdsReclaimer, SdsStats, Sma, MAX_ALLOC_BYTES};
+pub use stats::SmaStats;
+
+/// Converts a byte count to the number of 4 KiB pages needed to hold it.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(softmem_core::bytes_to_pages(1), 1);
+/// assert_eq!(softmem_core::bytes_to_pages(4096), 1);
+/// assert_eq!(softmem_core::bytes_to_pages(4097), 2);
+/// assert_eq!(softmem_core::bytes_to_pages(0), 0);
+/// ```
+pub const fn bytes_to_pages(bytes: usize) -> usize {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+/// Converts a page count to bytes.
+pub const fn pages_to_bytes(pages: usize) -> usize {
+    pages * PAGE_SIZE
+}
+
+/// Formats a byte count with a binary-unit suffix for log/report output.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(softmem_core::fmt_bytes(512), "512 B");
+/// assert_eq!(softmem_core::fmt_bytes(10 * 1024 * 1024), "10.00 MiB");
+/// ```
+pub fn fmt_bytes(bytes: usize) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b < KIB {
+        format!("{bytes} B")
+    } else if b < KIB * KIB {
+        format!("{:.2} KiB", b / KIB)
+    } else if b < KIB * KIB * KIB {
+        format!("{:.2} MiB", b / (KIB * KIB))
+    } else {
+        format!("{:.2} GiB", b / (KIB * KIB * KIB))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_pages_roundtrip() {
+        for pages in [0usize, 1, 2, 17, 1024] {
+            assert_eq!(bytes_to_pages(pages_to_bytes(pages)), pages);
+        }
+    }
+
+    #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(1023), "1023 B");
+        assert_eq!(fmt_bytes(1024), "1.00 KiB");
+        assert_eq!(fmt_bytes(1536), "1.50 KiB");
+        assert_eq!(fmt_bytes(3 << 30), "3.00 GiB");
+    }
+}

@@ -1,0 +1,233 @@
+//! Owned, page-aligned blocks of raw memory.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+use super::PAGE_SIZE;
+
+/// Layout of a single 4 KiB page, aligned to its own size.
+fn page_layout() -> Layout {
+    // SAFETY-ADJACENT: PAGE_SIZE is a power of two and non-zero, so this
+    // layout is always valid; `expect` documents the invariant.
+    Layout::from_size_align(PAGE_SIZE, PAGE_SIZE).expect("PAGE_SIZE layout is valid")
+}
+
+/// Layout of a contiguous span of `pages` pages.
+fn span_layout(pages: usize) -> Layout {
+    Layout::from_size_align(pages * PAGE_SIZE, PAGE_SIZE).expect("span layout is valid")
+}
+
+/// An exclusively-held, zero-initialised, 4 KiB-aligned page of memory.
+///
+/// `PageFrame` is the unit of transfer between the OS (modelled by the
+/// page pool's arenas), the process-global free pool, and SDS heaps.
+///
+/// Frames come in two flavours:
+///
+/// * **owned** (via [`PageFrame::new_zeroed`]) — backed by its own
+///   allocation, freed on drop; used by unit tests and standalone
+///   slab pages.
+/// * **arena** (via the page pool's internal `from_arena`) — a lease
+///   on one page
+///   of a [`super::PagePool`] arena. The pool's arena owns the memory;
+///   the frame grants exclusive access while it exists, and "releasing
+///   it to the OS" returns the lease to the pool (the `madvise`-style
+///   model real allocators use — virtual pages are retained and
+///   re-backed later, exactly the paper's §4 mechanism).
+pub struct PageFrame {
+    ptr: NonNull<u8>,
+    owned: bool,
+}
+
+// SAFETY: A `PageFrame` holds exclusive access to its page (unique
+// lease or unique ownership) and no thread-affine state, so
+// transferring it between threads is sound.
+unsafe impl Send for PageFrame {}
+
+impl PageFrame {
+    /// Allocates a fresh zeroed, self-owned page from the OS.
+    ///
+    /// Aborts on allocation failure, like the rest of the Rust allocation
+    /// machinery (a real machine-full condition is modelled by
+    /// [`super::MachineMemory`], not by exhausting the host allocator).
+    pub fn new_zeroed() -> Self {
+        let layout = page_layout();
+        // SAFETY: `layout` has non-zero size.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        PageFrame { ptr, owned: true }
+    }
+
+    /// Wraps one page of a pool arena.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to a `PAGE_SIZE`-byte, page-aligned region that
+    /// stays live for the frame's lifetime (the pool's arenas are never
+    /// freed while the pool exists), and no other `PageFrame` may alias
+    /// it until this frame is returned to the pool.
+    pub(crate) unsafe fn from_arena(ptr: NonNull<u8>) -> Self {
+        PageFrame { ptr, owned: false }
+    }
+
+    /// Dissolves an arena frame back into its page pointer (`None` for
+    /// owned frames, which keep ownership semantics).
+    pub(crate) fn into_arena_ptr(self) -> Option<NonNull<u8>> {
+        if self.owned {
+            None
+        } else {
+            let ptr = self.ptr;
+            std::mem::forget(self);
+            Some(ptr)
+        }
+    }
+
+    /// Base pointer of the page.
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// Zeroes the page content (used when recycling a frame between SDSs
+    /// so no data leaks across soft data structures).
+    pub fn zero(&mut self) {
+        // SAFETY: `self.ptr` points to a live page of exactly PAGE_SIZE
+        // bytes to which we hold exclusive access.
+        unsafe { std::ptr::write_bytes(self.ptr.as_ptr(), 0, PAGE_SIZE) }
+    }
+}
+
+impl Drop for PageFrame {
+    fn drop(&mut self) {
+        if self.owned {
+            // SAFETY: `self.ptr` was produced by `alloc_zeroed` with the
+            // same layout and has not been freed (unique ownership).
+            unsafe { dealloc(self.ptr.as_ptr(), page_layout()) }
+        }
+        // Arena frames: the memory belongs to the pool's arena. A frame
+        // dropped outside the pool (process teardown paths) just ends
+        // the lease; the page is recovered when the pool goes away.
+    }
+}
+
+impl std::fmt::Debug for PageFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageFrame").field("ptr", &self.ptr).finish()
+    }
+}
+
+/// An owned, contiguous, page-aligned span of `pages` pages.
+///
+/// Spans back allocations larger than one page (and `SoftArray`-style
+/// single-block data structures). Unlike slab pages, a span is freed as a
+/// unit — matching the paper's observation that "an array is a single,
+/// contiguous memory block" that gives up all of its memory at once.
+pub struct Span {
+    ptr: NonNull<u8>,
+    pages: usize,
+}
+
+// SAFETY: A `Span` uniquely owns its allocation; see `PageFrame`.
+unsafe impl Send for Span {}
+
+impl Span {
+    /// Allocates a zeroed span of `pages` contiguous pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0`.
+    pub fn new_zeroed(pages: usize) -> Self {
+        assert!(pages > 0, "span must cover at least one page");
+        let layout = span_layout(pages);
+        // SAFETY: `layout` has non-zero size.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        Span { ptr, pages }
+    }
+
+    /// Base pointer of the span.
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// Number of pages covered.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Span size in bytes.
+    pub fn len(&self) -> usize {
+        self.pages * PAGE_SIZE
+    }
+
+    /// Whether the span is empty (never true; spans cover ≥ 1 page).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        // SAFETY: `self.ptr` was produced by `alloc_zeroed` with the same
+        // layout (same page count) and has not been freed.
+        unsafe { dealloc(self.ptr.as_ptr(), span_layout(self.pages)) }
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("ptr", &self.ptr)
+            .field("pages", &self.pages)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_is_aligned_and_zeroed() {
+        let frame = PageFrame::new_zeroed();
+        assert_eq!(frame.as_ptr() as usize % PAGE_SIZE, 0);
+        // SAFETY: the frame owns PAGE_SIZE readable bytes.
+        let bytes = unsafe { std::slice::from_raw_parts(frame.as_ptr(), PAGE_SIZE) };
+        assert!(bytes.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn frame_zero_clears_writes() {
+        let mut frame = PageFrame::new_zeroed();
+        // SAFETY: in-bounds write to owned memory.
+        unsafe { *frame.as_ptr() = 0xAB };
+        frame.zero();
+        // SAFETY: in-bounds read of owned memory.
+        assert_eq!(unsafe { *frame.as_ptr() }, 0);
+    }
+
+    #[test]
+    fn span_geometry() {
+        let span = Span::new_zeroed(3);
+        assert_eq!(span.pages(), 3);
+        assert_eq!(span.len(), 3 * PAGE_SIZE);
+        assert_eq!(span.as_ptr() as usize % PAGE_SIZE, 0);
+        assert!(!span.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_page_span_panics() {
+        let _ = Span::new_zeroed(0);
+    }
+
+    #[test]
+    fn frames_move_across_threads() {
+        let frame = PageFrame::new_zeroed();
+        let handle = std::thread::spawn(move || frame.as_ptr() as usize % PAGE_SIZE);
+        assert_eq!(handle.join().unwrap(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The machine-wide physical memory model.
+//!
+//! On a real deployment the OS enforces physical memory limits; in this
+//! reproduction a [`MachineMemory`] instance plays that role for every
+//! simulated process sharing a "machine". All page acquisitions reserve
+//! capacity here first, so machine-level pressure (the trigger for the
+//! entire soft-memory mechanism) is observable and deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::error::{SoftError, SoftResult};
+
+/// Shared, thread-safe model of a machine's physical memory.
+#[derive(Debug)]
+pub struct MachineMemory {
+    /// Total physical pages on the machine.
+    capacity_pages: usize,
+    /// Pages currently reserved (soft + traditional).
+    used_pages: AtomicUsize,
+    /// Pages reserved as *traditional* (non-soft) memory; a subset of
+    /// `used_pages`, reported by the simulation layer.
+    traditional_pages: AtomicUsize,
+    /// High-watermark of `used_pages` (for reports).
+    peak_pages: AtomicUsize,
+}
+
+/// A point-in-time snapshot of machine memory accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Total physical pages.
+    pub capacity_pages: usize,
+    /// Pages currently reserved.
+    pub used_pages: usize,
+    /// Pages reserved as traditional memory.
+    pub traditional_pages: usize,
+    /// Highest observed usage.
+    pub peak_pages: usize,
+}
+
+impl MachineStats {
+    /// Pages still free on the machine.
+    pub fn free_pages(&self) -> usize {
+        self.capacity_pages.saturating_sub(self.used_pages)
+    }
+
+    /// Utilisation in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        if self.capacity_pages == 0 {
+            0.0
+        } else {
+            self.used_pages as f64 / self.capacity_pages as f64
+        }
+    }
+}
+
+impl MachineMemory {
+    /// A machine with `capacity_pages` physical pages.
+    pub fn new(capacity_pages: usize) -> Arc<Self> {
+        Arc::new(MachineMemory {
+            capacity_pages,
+            used_pages: AtomicUsize::new(0),
+            traditional_pages: AtomicUsize::new(0),
+            peak_pages: AtomicUsize::new(0),
+        })
+    }
+
+    /// A machine with `capacity_bytes` of physical memory (rounded down to
+    /// whole pages).
+    pub fn with_bytes(capacity_bytes: usize) -> Arc<Self> {
+        Self::new(capacity_bytes / super::PAGE_SIZE)
+    }
+
+    /// An effectively unbounded machine, for unit tests that are not about
+    /// machine pressure.
+    pub fn unbounded() -> Arc<Self> {
+        Self::new(usize::MAX / 2)
+    }
+
+    /// Total physical pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Attempts to reserve `pages` physical pages.
+    ///
+    /// Fails with [`SoftError::MachineFull`] (reserving nothing) if the
+    /// machine lacks capacity — the condition that, in a deployment,
+    /// triggers OOM kills and that soft memory exists to defuse.
+    pub fn reserve(&self, pages: usize) -> SoftResult<()> {
+        let mut current = self.used_pages.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(pages);
+            if next > self.capacity_pages {
+                return Err(SoftError::MachineFull {
+                    requested_pages: pages,
+                });
+            }
+            match self.used_pages.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak_pages.fetch_max(next, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Releases `pages` previously reserved pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if more pages are released than were
+    /// reserved — an accounting bug in the caller.
+    pub fn release(&self, pages: usize) {
+        let prev = self.used_pages.fetch_sub(pages, Ordering::AcqRel);
+        debug_assert!(prev >= pages, "machine page accounting underflow");
+    }
+
+    /// Reserves `pages` as traditional (non-soft) memory.
+    ///
+    /// Used by the simulation layer to model the non-revocable footprint
+    /// of processes; feeds the daemon's reclamation-weight policies.
+    pub fn reserve_traditional(&self, pages: usize) -> SoftResult<()> {
+        self.reserve(pages)?;
+        self.traditional_pages.fetch_add(pages, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Releases `pages` of traditional memory.
+    pub fn release_traditional(&self, pages: usize) {
+        let prev = self.traditional_pages.fetch_sub(pages, Ordering::AcqRel);
+        debug_assert!(prev >= pages, "traditional page accounting underflow");
+        self.release(pages);
+    }
+
+    /// Pages currently free.
+    pub fn free_pages(&self) -> usize {
+        self.capacity_pages
+            .saturating_sub(self.used_pages.load(Ordering::Acquire))
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            capacity_pages: self.capacity_pages,
+            used_pages: self.used_pages.load(Ordering::Acquire),
+            traditional_pages: self.traditional_pages.load(Ordering::Acquire),
+            peak_pages: self.peak_pages.load(Ordering::Acquire),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let m = MachineMemory::new(10);
+        m.reserve(4).unwrap();
+        m.reserve(6).unwrap();
+        assert_eq!(m.free_pages(), 0);
+        assert_eq!(
+            m.reserve(1),
+            Err(SoftError::MachineFull { requested_pages: 1 })
+        );
+        m.release(5);
+        assert_eq!(m.free_pages(), 5);
+        m.reserve(5).unwrap();
+    }
+
+    #[test]
+    fn failed_reserve_reserves_nothing() {
+        let m = MachineMemory::new(3);
+        m.reserve(2).unwrap();
+        assert!(m.reserve(2).is_err());
+        assert_eq!(m.stats().used_pages, 2);
+    }
+
+    #[test]
+    fn traditional_accounting() {
+        let m = MachineMemory::new(100);
+        m.reserve_traditional(30).unwrap();
+        m.reserve(20).unwrap();
+        let s = m.stats();
+        assert_eq!(s.used_pages, 50);
+        assert_eq!(s.traditional_pages, 30);
+        m.release_traditional(30);
+        assert_eq!(m.stats().used_pages, 20);
+        assert_eq!(m.stats().traditional_pages, 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_watermark() {
+        let m = MachineMemory::new(100);
+        m.reserve(60).unwrap();
+        m.release(50);
+        m.reserve(10).unwrap();
+        let s = m.stats();
+        assert_eq!(s.peak_pages, 60);
+        assert_eq!(s.used_pages, 20);
+        assert!((s.utilisation() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_oversubscribe() {
+        let m = MachineMemory::new(1000);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let mut held = 0usize;
+                for _ in 0..1000 {
+                    if m.reserve(1).is_ok() {
+                        held += 1;
+                    }
+                }
+                held
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total <= 1000);
+        assert_eq!(m.stats().used_pages, total);
+    }
+}

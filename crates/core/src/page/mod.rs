@@ -1,0 +1,25 @@
+//! The primary-storage substrate: page frames, the machine-wide physical
+//! capacity model, and the per-process page pool.
+//!
+//! The paper's prototype obtains memory from the OS and "releases pages
+//! back to the operating system upon a reclamation demand, tracking the
+//! released virtual pages to re-back them with physical pages before
+//! extending the heap" (§4). This module reproduces that structure in a
+//! portable way: [`PageFrame`]s are real 4 KiB aligned allocations,
+//! [`MachineMemory`] stands in for the machine's finite physical memory
+//! (shared by every simulated process on the machine), and [`PagePool`]
+//! is the per-process interface that acquires, caches, releases, and
+//! re-backs pages.
+
+mod frame;
+mod machine;
+mod pool;
+
+pub use frame::{PageFrame, Span};
+pub use machine::{MachineMemory, MachineStats};
+pub use pool::{PagePool, PoolStats};
+
+/// Size of one memory page in bytes. Matches the ubiquitous 4 KiB page of
+/// x86-64 and the paper's examples ("two 2 KB list elements fit in a 4 KB
+/// page").
+pub const PAGE_SIZE: usize = 4096;

@@ -1,0 +1,364 @@
+//! The per-process page pool: the SMA's interface to "the OS".
+//!
+//! The pool mediates every frame and span acquisition against the shared
+//! [`MachineMemory`] capacity model, caches a bounded number of free
+//! frames for cheap re-allocation, and reproduces the §4 mechanism of the
+//! paper's prototype: pages released to the OS during reclamation are
+//! tracked as *unbacked virtual pages* and re-backed with physical pages
+//! before the heap is extended again.
+//!
+//! Frames are carved from multi-page **arenas** (like any production
+//! allocator): "releasing a page to the OS" returns its physical claim
+//! to the machine model and marks the virtual page unbacked — the
+//! `madvise(DONTNEED)` model — while the arena's virtual range stays
+//! mapped, ready to be re-backed. This keeps steady-state frame churn
+//! at memset cost instead of an mmap round-trip per page.
+
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use super::{MachineMemory, PageFrame, Span, PAGE_SIZE};
+use crate::error::SoftResult;
+
+/// Pages per arena (256 KiB growth granule).
+const ARENA_PAGES: usize = 64;
+
+/// Per-process page pool.
+///
+/// Not internally synchronised; the owning [`crate::Sma`] serialises
+/// access.
+#[derive(Debug)]
+pub struct PagePool {
+    machine: Arc<MachineMemory>,
+    /// Cached free frames, still counted against the machine (backed).
+    cached: Vec<PageFrame>,
+    /// Maximum frames to keep in `cached`; surplus goes back to the OS.
+    retain: usize,
+    /// Arena blocks owning the frames' memory. Never freed while the
+    /// pool lives (outstanding frames lease pages out of them).
+    arenas: Vec<Span>,
+    /// Arena pages never leased yet (still calloc-zeroed).
+    fresh: Vec<NonNull<u8>>,
+    /// Arena pages returned to the OS (unbacked virtual pages awaiting
+    /// re-backing; content is stale and re-zeroed on lease).
+    dirty: Vec<NonNull<u8>>,
+    /// Virtual pages currently released to the OS (§4 accounting;
+    /// includes span pages, whose memory really is unmapped).
+    unbacked_virtual: usize,
+    /// Cumulative counters for stats.
+    acquired_total: u64,
+    released_total: u64,
+    rebacked_total: u64,
+}
+
+// SAFETY: the raw arena-page pointers in `fresh`/`dirty` are exclusive
+// leases into `arenas`, which the pool owns; no aliasing or
+// thread-affinity is involved, so moving the pool between threads is
+// sound.
+unsafe impl Send for PagePool {}
+
+/// Snapshot of pool accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Frames currently cached (backed, idle).
+    pub cached_pages: usize,
+    /// Virtual pages currently released to the OS awaiting re-backing.
+    pub unbacked_virtual_pages: usize,
+    /// Pages ever acquired from the machine.
+    pub acquired_total: u64,
+    /// Pages ever released back to the machine.
+    pub released_total: u64,
+    /// Pages re-backed after having been released (§4 path).
+    pub rebacked_total: u64,
+}
+
+impl PagePool {
+    /// A pool drawing from `machine`, caching at most `retain` free
+    /// frames.
+    pub fn new(machine: Arc<MachineMemory>, retain: usize) -> Self {
+        PagePool {
+            machine,
+            cached: Vec::new(),
+            retain,
+            arenas: Vec::new(),
+            fresh: Vec::new(),
+            dirty: Vec::new(),
+            unbacked_virtual: 0,
+            acquired_total: 0,
+            released_total: 0,
+            rebacked_total: 0,
+        }
+    }
+
+    /// The machine this pool draws from.
+    pub fn machine(&self) -> &Arc<MachineMemory> {
+        &self.machine
+    }
+
+    /// Acquires one page frame, reusing a cached frame if available.
+    ///
+    /// Fails with [`crate::SoftError::MachineFull`] when the machine has
+    /// no free physical pages (cached frames are already backed, so they
+    /// never fail).
+    pub fn acquire(&mut self) -> SoftResult<PageFrame> {
+        if let Some(mut frame) = self.cached.pop() {
+            frame.zero();
+            return Ok(frame);
+        }
+        self.machine.reserve(1)?;
+        // Re-backing: growth first consumes the pool of previously
+        // released virtual pages (§4).
+        if self.unbacked_virtual > 0 {
+            self.unbacked_virtual -= 1;
+            self.rebacked_total += 1;
+        }
+        self.acquired_total += 1;
+        if let Some(ptr) = self.dirty.pop() {
+            // SAFETY: `ptr` is an un-leased page of an arena this pool
+            // owns; leasing it out again is exclusive by construction.
+            let mut frame = unsafe { PageFrame::from_arena(ptr) };
+            frame.zero();
+            return Ok(frame);
+        }
+        if self.fresh.is_empty() {
+            self.grow_arena();
+        }
+        let ptr = self.fresh.pop().expect("arena growth refilled `fresh`");
+        // SAFETY: as above; fresh pages are additionally still zeroed.
+        Ok(unsafe { PageFrame::from_arena(ptr) })
+    }
+
+    /// Maps a new arena and carves it into fresh pages.
+    fn grow_arena(&mut self) {
+        let span = Span::new_zeroed(ARENA_PAGES);
+        let base = span.as_ptr();
+        for i in (0..ARENA_PAGES).rev() {
+            // SAFETY: `base + i * PAGE_SIZE` is within the span's
+            // allocation for every `i < ARENA_PAGES`.
+            let ptr = unsafe { base.add(i * PAGE_SIZE) };
+            self.fresh
+                .push(NonNull::new(ptr).expect("span base is non-null"));
+        }
+        self.arenas.push(span);
+    }
+
+    /// Acquires a contiguous span of `pages` pages.
+    ///
+    /// Spans bypass the frame arenas (cached frames are not contiguous)
+    /// but still reserve machine capacity.
+    pub fn acquire_span(&mut self, pages: usize) -> SoftResult<Span> {
+        self.machine.reserve(pages)?;
+        let rebacked = pages.min(self.unbacked_virtual);
+        self.unbacked_virtual -= rebacked;
+        self.rebacked_total += rebacked as u64;
+        self.acquired_total += pages as u64;
+        Ok(Span::new_zeroed(pages))
+    }
+
+    /// Returns a frame to the pool.
+    ///
+    /// The frame is cached for reuse up to the retention watermark;
+    /// beyond it, the frame is released to the OS (machine capacity
+    /// freed, virtual page recorded as unbacked).
+    pub fn recycle(&mut self, frame: PageFrame) {
+        if self.cached.len() < self.retain {
+            self.cached.push(frame);
+        } else {
+            self.release_to_os(frame);
+        }
+    }
+
+    /// Releases a frame straight back to the OS, freeing machine capacity
+    /// immediately. Used on the reclamation path, where the whole point
+    /// is to hand physical memory to another process.
+    pub fn release_to_os(&mut self, frame: PageFrame) {
+        if let Some(ptr) = frame.into_arena_ptr() {
+            self.dirty.push(ptr);
+        }
+        // Owned (non-arena) frames free their memory on drop.
+        self.machine.release(1);
+        self.unbacked_virtual += 1;
+        self.released_total += 1;
+    }
+
+    /// Releases a span back to the OS.
+    pub fn release_span(&mut self, span: Span) {
+        let pages = span.pages();
+        drop(span);
+        self.machine.release(pages);
+        self.unbacked_virtual += pages;
+        self.released_total += pages as u64;
+    }
+
+    /// Releases every cached frame to the OS (used when the daemon
+    /// reclaims the free pool itself).
+    ///
+    /// Returns how many pages were released.
+    pub fn flush_cache(&mut self) -> usize {
+        self.shed_cached(usize::MAX)
+    }
+
+    /// Releases up to `pages` cached frames to the OS; returns how many
+    /// were actually released.
+    pub fn shed_cached(&mut self, pages: usize) -> usize {
+        let n = pages.min(self.cached.len());
+        for _ in 0..n {
+            let frame = self.cached.pop().expect("bounded by len");
+            self.release_to_os(frame);
+        }
+        n
+    }
+
+    /// Number of idle cached frames.
+    pub fn cached_pages(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Current pool accounting snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            cached_pages: self.cached.len(),
+            unbacked_virtual_pages: self.unbacked_virtual,
+            acquired_total: self.acquired_total,
+            released_total: self.released_total,
+            rebacked_total: self.rebacked_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SoftError;
+
+    #[test]
+    fn acquire_respects_machine_capacity() {
+        let machine = MachineMemory::new(2);
+        let mut pool = PagePool::new(machine, 8);
+        let a = pool.acquire().unwrap();
+        let _b = pool.acquire().unwrap();
+        assert_eq!(
+            pool.acquire().unwrap_err(),
+            SoftError::MachineFull { requested_pages: 1 }
+        );
+        // Recycling makes capacity available again through the cache.
+        pool.recycle(a);
+        assert!(pool.acquire().is_ok());
+    }
+
+    #[test]
+    fn recycle_caches_up_to_retain_then_releases() {
+        let machine = MachineMemory::new(10);
+        let mut pool = PagePool::new(Arc::clone(&machine), 2);
+        let frames: Vec<_> = (0..4).map(|_| pool.acquire().unwrap()).collect();
+        assert_eq!(machine.stats().used_pages, 4);
+        for f in frames {
+            pool.recycle(f);
+        }
+        let s = pool.stats();
+        assert_eq!(s.cached_pages, 2);
+        assert_eq!(s.unbacked_virtual_pages, 2);
+        assert_eq!(machine.stats().used_pages, 2);
+    }
+
+    #[test]
+    fn released_pages_are_rebacked_before_growth() {
+        let machine = MachineMemory::new(10);
+        let mut pool = PagePool::new(machine, 0);
+        let f = pool.acquire().unwrap();
+        pool.release_to_os(f);
+        assert_eq!(pool.stats().unbacked_virtual_pages, 1);
+        let _f2 = pool.acquire().unwrap();
+        let s = pool.stats();
+        assert_eq!(s.unbacked_virtual_pages, 0);
+        assert_eq!(s.rebacked_total, 1);
+    }
+
+    #[test]
+    fn rebacked_pages_come_back_zeroed() {
+        let machine = MachineMemory::new(4);
+        let mut pool = PagePool::new(machine, 0);
+        let f = pool.acquire().unwrap();
+        // SAFETY: in-bounds write to a leased page.
+        unsafe { *f.as_ptr() = 0x5A };
+        pool.release_to_os(f);
+        let f2 = pool.acquire().unwrap();
+        // SAFETY: in-bounds read of a leased page.
+        assert_eq!(unsafe { *f2.as_ptr() }, 0);
+    }
+
+    #[test]
+    fn spans_reserve_and_release_page_counts() {
+        let machine = MachineMemory::new(8);
+        let mut pool = PagePool::new(Arc::clone(&machine), 0);
+        let span = pool.acquire_span(5).unwrap();
+        assert_eq!(machine.stats().used_pages, 5);
+        assert!(pool.acquire_span(4).is_err());
+        pool.release_span(span);
+        assert_eq!(machine.stats().used_pages, 0);
+        assert_eq!(pool.stats().unbacked_virtual_pages, 5);
+        let _s2 = pool.acquire_span(8).unwrap();
+        assert_eq!(pool.stats().rebacked_total, 5);
+    }
+
+    #[test]
+    fn recycled_frames_come_back_zeroed() {
+        let machine = MachineMemory::new(4);
+        let mut pool = PagePool::new(machine, 4);
+        let f = pool.acquire().unwrap();
+        // SAFETY: in-bounds write to a leased page.
+        unsafe { *f.as_ptr() = 0x5A };
+        pool.recycle(f);
+        let f2 = pool.acquire().unwrap();
+        // SAFETY: in-bounds read of a leased page.
+        assert_eq!(unsafe { *f2.as_ptr() }, 0);
+    }
+
+    #[test]
+    fn flush_and_shed_cache() {
+        let machine = MachineMemory::new(10);
+        let mut pool = PagePool::new(Arc::clone(&machine), 10);
+        let frames: Vec<_> = (0..6).map(|_| pool.acquire().unwrap()).collect();
+        for f in frames {
+            pool.recycle(f);
+        }
+        assert_eq!(pool.cached_pages(), 6);
+        assert_eq!(pool.shed_cached(2), 2);
+        assert_eq!(pool.cached_pages(), 4);
+        assert_eq!(pool.flush_cache(), 4);
+        assert_eq!(pool.cached_pages(), 0);
+        assert_eq!(machine.stats().used_pages, 0);
+    }
+
+    #[test]
+    fn frames_beyond_one_arena() {
+        let machine = MachineMemory::unbounded();
+        let mut pool = PagePool::new(machine, 0);
+        // Force multiple arena growths and verify all frames are
+        // distinct, aligned pages.
+        let frames: Vec<_> = (0..super::ARENA_PAGES * 2 + 3)
+            .map(|_| pool.acquire().unwrap())
+            .collect();
+        let mut ptrs: Vec<usize> = frames.iter().map(|f| f.as_ptr() as usize).collect();
+        ptrs.sort_unstable();
+        ptrs.dedup();
+        assert_eq!(ptrs.len(), frames.len(), "no aliasing");
+        assert!(ptrs.iter().all(|p| p % PAGE_SIZE == 0));
+    }
+
+    #[test]
+    fn owned_frames_survive_release_to_os() {
+        // Owned frames (tests, standalone slabs) are freed rather than
+        // returned to an arena.
+        let machine = MachineMemory::new(4);
+        let mut pool = PagePool::new(machine, 0);
+        machine_reserve_and_release_owned(&mut pool);
+        assert_eq!(pool.stats().unbacked_virtual_pages, 1);
+    }
+
+    fn machine_reserve_and_release_owned(pool: &mut PagePool) {
+        pool.machine().reserve(1).unwrap();
+        let frame = PageFrame::new_zeroed();
+        pool.release_to_os(frame);
+    }
+}

@@ -1,0 +1,630 @@
+//! The Soft Memory Allocator.
+//!
+//! One [`Sma`] instance manages all soft memory of one (simulated or
+//! real) process: it owns the process-global free pool, the soft-memory
+//! budget granted by the daemon, and one isolated heap per registered
+//! Soft Data Structure. Its headline capability — the reason it exists —
+//! is [`Sma::reclaim`]: yielding pages back on demand (the tiered
+//! protocol is documented on that method and its `ReclaimReport`).
+
+mod reclaim_impl;
+
+pub use reclaim_impl::{ReclaimReport, SdsContribution};
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::budget::BudgetSource;
+use crate::config::SmaConfig;
+use crate::error::{SoftError, SoftResult};
+use crate::handle::{Priority, RawHandle, SdsId, SoftHandle, SoftSlot, SoftView};
+use crate::heap::{drop_fn_for, DropFn, HeapStats, SdsHeap, MAX_SLAB_ALLOC};
+use crate::page::{PageFrame, PagePool};
+use crate::stats::SmaStats;
+
+/// How many times an allocation retries after budget grants before
+/// giving up (guards against a budget source that grants tiny amounts
+/// forever).
+const MAX_BUDGET_RETRIES: usize = 8;
+
+/// Largest single allocation the SMA accepts (1 GiB). Bigger requests
+/// are almost certainly arithmetic bugs; failing them early with
+/// [`SoftError::AllocTooLarge`] beats asking the daemon to reclaim
+/// the whole machine.
+pub const MAX_ALLOC_BYTES: usize = 1 << 30;
+
+/// A data structure's hook for SMA-driven reclamation.
+///
+/// The SMA's reclamation is two-tiered (§3.1): the SMA picks SDSs in
+/// ascending priority order; each chosen SDS picks *which allocations*
+/// to give up (oldest first, least-recently-used first, everything —
+/// whatever its engineer decided) by freeing them through the normal
+/// allocator API.
+///
+/// Implementations are called **without** the SMA lock held and free
+/// through the regular `Sma` methods. They should keep freeing until
+/// roughly `bytes` bytes are freed or they run out of allocations.
+pub trait SdsReclaimer: Send + Sync {
+    /// Frees about `bytes` bytes of this SDS's soft allocations,
+    /// returning the bytes actually freed (0 ⇒ nothing left to give).
+    fn reclaim(&self, bytes: usize) -> usize;
+}
+
+impl<F> SdsReclaimer for F
+where
+    F: Fn(usize) -> usize + Send + Sync,
+{
+    fn reclaim(&self, bytes: usize) -> usize {
+        self(bytes)
+    }
+}
+
+/// Per-SDS snapshot returned by [`Sma::sds_stats`].
+#[derive(Debug, Clone)]
+pub struct SdsStats {
+    /// SDS id.
+    pub id: SdsId,
+    /// Debug name given at registration.
+    pub name: String,
+    /// Current reclamation priority.
+    pub priority: Priority,
+    /// Heap accounting.
+    pub heap: HeapStats,
+}
+
+pub(crate) struct SdsEntry {
+    pub(crate) name: String,
+    pub(crate) priority: Priority,
+    pub(crate) heap: SdsHeap,
+    pub(crate) reclaimer: Option<Arc<dyn SdsReclaimer>>,
+}
+
+pub(crate) struct SmaInner {
+    /// The process-global free pool of idle, backed page frames.
+    pub(crate) free_pool: Vec<PageFrame>,
+    /// Current soft budget in pages (held + slack).
+    pub(crate) budget_pages: usize,
+    /// Pages physically held (free pool + all SDS heaps).
+    pub(crate) held_pages: usize,
+    pub(crate) sds: Vec<Option<SdsEntry>>,
+    pub(crate) reclaims_total: u64,
+    pub(crate) pages_reclaimed_total: u64,
+    pub(crate) budget_granted_total: u64,
+    /// The OS interface owning the frame arenas. Declared (and thus
+    /// dropped) *after* `free_pool` and `sds`: outstanding frames are
+    /// leases into the pool's arenas, and SDS heaps run value
+    /// destructors against that memory while dropping.
+    pub(crate) pool: PagePool,
+}
+
+impl Drop for SmaInner {
+    fn drop(&mut self) {
+        // Return the machine claims of every physically held page
+        // (free pool + SDS heaps): the frames themselves are arena
+        // leases the pool recovers, but the machine model must see
+        // the capacity come back when the process exits.
+        self.pool.machine().release(self.held_pages);
+    }
+}
+
+impl SmaInner {
+    pub(crate) fn entry(&self, id: SdsId) -> SoftResult<&SdsEntry> {
+        self.sds
+            .get(id.index() as usize)
+            .and_then(|e| e.as_ref())
+            .ok_or(SoftError::UnknownSds(id))
+    }
+
+    pub(crate) fn entry_mut(&mut self, id: SdsId) -> SoftResult<&mut SdsEntry> {
+        self.sds
+            .get_mut(id.index() as usize)
+            .and_then(|e| e.as_mut())
+            .ok_or(SoftError::UnknownSds(id))
+    }
+}
+
+/// The Soft Memory Allocator for one process.
+///
+/// Thread-safe: share it with `Arc<Sma>`. Access closures passed to
+/// [`Sma::with_value`] and friends run under the allocator lock and must
+/// not call back into the same `Sma`.
+pub struct Sma {
+    pub(crate) inner: Mutex<SmaInner>,
+    pub(crate) cfg: SmaConfig,
+    budget_source: Mutex<Option<Arc<dyn BudgetSource>>>,
+}
+
+impl Sma {
+    /// Creates an allocator with the given configuration.
+    pub fn with_config(cfg: SmaConfig) -> Arc<Self> {
+        // The PagePool's own cache is disabled: the SMA's free pool *is*
+        // the process-level cache, and budget accounting covers it.
+        let pool = PagePool::new(Arc::clone(&cfg.machine), 0);
+        Arc::new(Sma {
+            inner: Mutex::new(SmaInner {
+                free_pool: Vec::new(),
+                budget_pages: cfg.initial_budget_pages,
+                held_pages: 0,
+                sds: Vec::new(),
+                reclaims_total: 0,
+                pages_reclaimed_total: 0,
+                budget_granted_total: 0,
+                pool,
+            }),
+            cfg,
+            budget_source: Mutex::new(None),
+        })
+    }
+
+    /// Creates an allocator on a private, effectively unbounded machine
+    /// with `budget_pages` of budget — convenient for tests and
+    /// standalone examples.
+    pub fn standalone(budget_pages: usize) -> Arc<Self> {
+        Self::with_config(SmaConfig::for_testing(budget_pages))
+    }
+
+    /// The machine model this allocator draws physical pages from.
+    pub fn machine(&self) -> &Arc<crate::page::MachineMemory> {
+        &self.cfg.machine
+    }
+
+    /// Attaches the budget source consulted when allocations exceed the
+    /// current budget (set by the daemon client at registration).
+    pub fn set_budget_source(&self, source: Arc<dyn BudgetSource>) {
+        *self.budget_source.lock() = Some(source);
+    }
+
+    /// Detaches the budget source (daemon disconnect).
+    pub fn clear_budget_source(&self) {
+        *self.budget_source.lock() = None;
+    }
+
+    /// Adds `pages` to the soft budget (a grant pushed by the daemon).
+    pub fn grow_budget(&self, pages: usize) {
+        let mut inner = self.inner.lock();
+        inner.budget_pages += pages;
+        inner.budget_granted_total += pages as u64;
+    }
+
+    /// Voluntarily returns up to `pages` of unused budget (slack only;
+    /// held pages are untouched). Returns the pages actually shed —
+    /// the caller hands them back to the daemon.
+    pub fn shrink_budget(&self, pages: usize) -> usize {
+        let mut inner = self.inner.lock();
+        let slack = inner.budget_pages.saturating_sub(inner.held_pages);
+        let take = slack.min(pages);
+        inner.budget_pages -= take;
+        take
+    }
+
+    /// Current budget in pages.
+    pub fn budget_pages(&self) -> usize {
+        self.inner.lock().budget_pages
+    }
+
+    /// Pages physically held by soft memory (heaps + free pool).
+    pub fn held_pages(&self) -> usize {
+        self.inner.lock().held_pages
+    }
+
+    // ------------------------------------------------------------------
+    // SDS registry
+    // ------------------------------------------------------------------
+
+    /// Registers a Soft Data Structure, giving it an isolated heap.
+    pub fn register_sds(&self, name: impl Into<String>, priority: Priority) -> SdsId {
+        let mut inner = self.inner.lock();
+        let idx = inner
+            .sds
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or(inner.sds.len());
+        let id = SdsId(idx as u32);
+        let entry = SdsEntry {
+            name: name.into(),
+            priority,
+            heap: SdsHeap::new(id),
+            reclaimer: None,
+        };
+        if idx == inner.sds.len() {
+            inner.sds.push(Some(entry));
+        } else {
+            inner.sds[idx] = Some(entry);
+        }
+        id
+    }
+
+    /// Installs the reclaimer invoked when the SMA orders this SDS to
+    /// give up memory. SDS implementations call this from their
+    /// constructors.
+    pub fn set_reclaimer(&self, id: SdsId, reclaimer: Arc<dyn SdsReclaimer>) -> SoftResult<()> {
+        self.inner.lock().entry_mut(id)?.reclaimer = Some(reclaimer);
+        Ok(())
+    }
+
+    /// Updates an SDS's reclamation priority.
+    pub fn set_priority(&self, id: SdsId, priority: Priority) -> SoftResult<()> {
+        self.inner.lock().entry_mut(id)?.priority = priority;
+        Ok(())
+    }
+
+    /// Unregisters an SDS, dropping all its live allocations and
+    /// recycling its pages into the free pool / OS.
+    pub fn destroy_sds(&self, id: SdsId) -> SoftResult<()> {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .sds
+            .get_mut(id.index() as usize)
+            .and_then(Option::take)
+            .ok_or(SoftError::UnknownSds(id))?;
+        let (frames, spans) = entry.heap.destroy();
+        for frame in frames {
+            if inner.free_pool.len() < self.cfg.free_pool_retain_pages {
+                inner.free_pool.push(frame);
+            } else {
+                inner.pool.release_to_os(frame);
+                inner.held_pages -= 1;
+            }
+        }
+        for span in spans {
+            inner.held_pages -= span.pages();
+            inner.pool.release_span(span);
+        }
+        Ok(())
+    }
+
+    /// Snapshot of one SDS's accounting.
+    pub fn sds_stats(&self, id: SdsId) -> SoftResult<SdsStats> {
+        let inner = self.inner.lock();
+        let e = inner.entry(id)?;
+        Ok(SdsStats {
+            id,
+            name: e.name.clone(),
+            priority: e.priority,
+            heap: e.heap.stats(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates `len` bytes of soft memory in `sds` — the `soft_malloc`
+    /// of the paper's API.
+    ///
+    /// If the budget is insufficient and a budget source is attached,
+    /// the SMA requests more budget (in configured chunks, so daemon
+    /// round-trips amortise over many allocations) and retries.
+    pub fn alloc_bytes(&self, sds: SdsId, len: usize) -> SoftResult<SoftHandle> {
+        let raw = self.alloc_retrying(sds, len.max(1), None, |_| {})?;
+        Ok(SoftHandle { raw, len })
+    }
+
+    /// Moves `value` into soft memory in `sds`.
+    ///
+    /// The value is dropped in place if the allocation is later
+    /// reclaimed or freed without [`Sma::take_value`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softmem_core::{Priority, Sma, SoftError};
+    ///
+    /// let sma = Sma::standalone(16);
+    /// let sds = sma.register_sds("data", Priority::default());
+    /// let slot = sma.alloc_value(sds, String::from("soft"))?;
+    /// assert_eq!(sma.with_value(&slot, |s| s.len())?, 4);
+    /// let back = sma.take_value(slot)?;
+    /// assert_eq!(back, "soft");
+    /// # Ok::<(), SoftError>(())
+    /// ```
+    pub fn alloc_value<T: Send>(&self, sds: SdsId, value: T) -> SoftResult<SoftSlot<T>> {
+        let len = std::mem::size_of::<T>().max(1);
+        debug_assert!(std::mem::align_of::<T>() <= 64 || len > MAX_SLAB_ALLOC);
+        let mut value = Some(value);
+        let raw = self.alloc_retrying(sds, len, drop_fn_for::<T>(), |ptr| {
+            // SAFETY: `ptr` addresses a fresh slot of at least
+            // `size_of::<T>()` bytes, aligned to the slot size (≥ the
+            // value's alignment); the value is moved in exactly once.
+            unsafe { ptr.cast::<T>().write(value.take().expect("init runs once")) }
+        })?;
+        Ok(SoftSlot::new(raw))
+    }
+
+    /// Allocation with budget-growth retry. `init` runs under the SMA
+    /// lock immediately after the slot is carved out, so no reclamation
+    /// can observe an uninitialised slot.
+    fn alloc_retrying(
+        &self,
+        sds: SdsId,
+        len: usize,
+        drop_fn: Option<DropFn>,
+        mut init: impl FnMut(*mut u8),
+    ) -> SoftResult<RawHandle> {
+        let mut attempts = 0;
+        loop {
+            let shortfall = {
+                match self.try_alloc(sds, len, drop_fn, &mut init) {
+                    Ok(raw) => return Ok(raw),
+                    Err(SoftError::BudgetExceeded {
+                        requested_pages,
+                        available_pages,
+                    }) => requested_pages - available_pages.min(requested_pages),
+                    Err(other) => return Err(other),
+                }
+            };
+            attempts += 1;
+            if attempts > MAX_BUDGET_RETRIES {
+                return Err(SoftError::BudgetExceeded {
+                    requested_pages: shortfall,
+                    available_pages: 0,
+                });
+            }
+            let source = self.budget_source.lock().clone();
+            let Some(source) = source else {
+                return Err(SoftError::BudgetExceeded {
+                    requested_pages: shortfall,
+                    available_pages: 0,
+                });
+            };
+            let want = shortfall.max(self.cfg.auto_grow_chunk_pages);
+            let grant = source.grant_more(shortfall, want)?;
+            if grant.pages == 0 {
+                return Err(SoftError::BudgetExceeded {
+                    requested_pages: shortfall,
+                    available_pages: 0,
+                });
+            }
+            if !grant.already_applied {
+                self.grow_budget(grant.pages);
+            }
+        }
+    }
+
+    /// One allocation attempt under the lock.
+    fn try_alloc(
+        &self,
+        sds: SdsId,
+        len: usize,
+        drop_fn: Option<DropFn>,
+        init: &mut impl FnMut(*mut u8),
+    ) -> SoftResult<RawHandle> {
+        if len > MAX_ALLOC_BYTES {
+            return Err(SoftError::AllocTooLarge {
+                requested: len,
+                max: MAX_ALLOC_BYTES,
+            });
+        }
+        let inner = &mut *self.inner.lock();
+        inner.entry(sds)?; // validate id before acquiring pages
+        if len > MAX_SLAB_ALLOC {
+            let pages = SdsHeap::pages_needed(len);
+            if inner.held_pages + pages > inner.budget_pages {
+                return Err(SoftError::BudgetExceeded {
+                    requested_pages: pages,
+                    available_pages: inner.budget_pages - inner.held_pages,
+                });
+            }
+            let span = inner.pool.acquire_span(pages)?;
+            inner.held_pages += pages;
+            let entry = inner.entry_mut(sds).expect("validated above");
+            let raw = entry.heap.insert_span(span, len, drop_fn);
+            let (ptr, _) = entry.heap.resolve(raw).expect("just inserted");
+            init(ptr);
+            return Ok(raw);
+        }
+        // Slab path: optimistic allocation from attached pages; only
+        // on failure acquire a frame (free pool, then the machine,
+        // under budget) and retry.
+        let entry = inner.entry_mut(sds).expect("validated above");
+        match entry.heap.alloc_slab(len, drop_fn, None) {
+            Ok(raw) => {
+                let (ptr, _) = entry.heap.resolve(raw).expect("just allocated");
+                init(ptr);
+                return Ok(raw);
+            }
+            Err(SoftError::BudgetExceeded { .. }) => {}
+            Err(other) => return Err(other),
+        }
+        let frame = if let Some(frame) = inner.free_pool.pop() {
+            frame
+        } else {
+            if inner.held_pages + 1 > inner.budget_pages {
+                return Err(SoftError::BudgetExceeded {
+                    requested_pages: 1,
+                    available_pages: inner.budget_pages.saturating_sub(inner.held_pages),
+                });
+            }
+            let frame = inner.pool.acquire()?;
+            inner.held_pages += 1;
+            frame
+        };
+        let entry = inner.entry_mut(sds).expect("validated above");
+        let raw = entry.heap.alloc_slab(len, drop_fn, Some(frame))?;
+        let (ptr, _) = entry.heap.resolve(raw).expect("just allocated");
+        init(ptr);
+        Ok(raw)
+    }
+
+    // ------------------------------------------------------------------
+    // Freeing
+    // ------------------------------------------------------------------
+
+    /// Frees a byte allocation — the `soft_free` of the paper's API.
+    pub fn free_bytes(&self, handle: SoftHandle) -> SoftResult<()> {
+        self.free_raw(handle.raw, true).map(|_| ())
+    }
+
+    /// Frees a typed slot, dropping its value in place.
+    pub fn free_value<T>(&self, slot: SoftSlot<T>) -> SoftResult<()> {
+        self.free_raw(slot.raw, true).map(|_| ())
+    }
+
+    /// Moves the value out of a slot and frees it.
+    pub fn take_value<T: Send>(&self, slot: SoftSlot<T>) -> SoftResult<T> {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry_mut(slot.raw.sds)?;
+        let (ptr, _) = entry.heap.resolve(slot.raw)?;
+        // SAFETY: the slot is live (just resolved under the lock) and
+        // holds an initialised `T` written by `alloc_value`; the drop fn
+        // is disarmed before the slot is freed, so the value is moved
+        // out exactly once and never dropped in place.
+        let value = unsafe { ptr.cast::<T>().read() };
+        entry
+            .heap
+            .disarm_drop(slot.raw)
+            .expect("slot verified live");
+        drop(inner);
+        self.free_raw(slot.raw, false)?;
+        Ok(value)
+    }
+
+    pub(crate) fn free_raw(&self, raw: RawHandle, run_drop: bool) -> SoftResult<usize> {
+        let inner = &mut *self.inner.lock();
+        let entry = inner.entry_mut(raw.sds)?;
+        let out = entry.heap.free(raw, run_drop)?;
+        if out.page_now_free {
+            let frames = entry.heap.harvest_free_pages(self.cfg.sds_retain_pages);
+            for frame in frames {
+                if inner.free_pool.len() < self.cfg.free_pool_retain_pages {
+                    inner.free_pool.push(frame);
+                } else {
+                    inner.pool.release_to_os(frame);
+                    inner.held_pages -= 1;
+                }
+            }
+        }
+        if let Some(span) = out.released_span {
+            inner.held_pages -= span.pages();
+            inner.pool.release_span(span);
+        }
+        Ok(out.freed_bytes)
+    }
+
+    // ------------------------------------------------------------------
+    // Access
+    // ------------------------------------------------------------------
+
+    /// Reads the bytes of an allocation.
+    ///
+    /// Returns [`SoftError::Revoked`] if the allocation was reclaimed.
+    /// The closure runs under the allocator lock: keep it short and do
+    /// not call back into this `Sma`.
+    pub fn with_bytes<R>(&self, handle: &SoftHandle, f: impl FnOnce(&[u8]) -> R) -> SoftResult<R> {
+        let inner = self.inner.lock();
+        let (ptr, len) = inner.entry(handle.raw.sds)?.heap.resolve(handle.raw)?;
+        // SAFETY: the slot is live and `len` bytes long; the SMA lock is
+        // held for the closure's duration, so no free/reclaim can race.
+        let bytes = unsafe { std::slice::from_raw_parts(ptr, len) };
+        Ok(f(bytes))
+    }
+
+    /// Mutates the bytes of an allocation.
+    pub fn with_bytes_mut<R>(
+        &self,
+        handle: &SoftHandle,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> SoftResult<R> {
+        let inner = self.inner.lock();
+        let (ptr, len) = inner.entry(handle.raw.sds)?.heap.resolve(handle.raw)?;
+        // SAFETY: as in `with_bytes`; exclusivity holds because handles
+        // are unique and the lock blocks all other access paths.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+        Ok(f(bytes))
+    }
+
+    /// Reads a typed value.
+    pub fn with_value<T, R>(&self, slot: &SoftSlot<T>, f: impl FnOnce(&T) -> R) -> SoftResult<R> {
+        self.with_raw_value(slot.raw, f)
+    }
+
+    /// Mutates a typed value.
+    pub fn with_value_mut<T, R>(
+        &self,
+        slot: &mut SoftSlot<T>,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> SoftResult<R> {
+        let inner = self.inner.lock();
+        let (ptr, _) = inner.entry(slot.raw.sds)?.heap.resolve(slot.raw)?;
+        // SAFETY: live slot holding an initialised `T` (written by
+        // `alloc_value`); `&mut` exclusivity per `with_bytes_mut`.
+        let value = unsafe { &mut *ptr.cast::<T>() };
+        Ok(f(value))
+    }
+
+    /// Reads a typed value through a shared view.
+    pub fn with_view<T, R>(&self, view: &SoftView<T>, f: impl FnOnce(&T) -> R) -> SoftResult<R> {
+        self.with_raw_value(view.raw, f)
+    }
+
+    fn with_raw_value<T, R>(&self, raw: RawHandle, f: impl FnOnce(&T) -> R) -> SoftResult<R> {
+        let inner = self.inner.lock();
+        let (ptr, _) = inner.entry(raw.sds)?.heap.resolve(raw)?;
+        // SAFETY: live slot holding an initialised `T`; shared access is
+        // sound because the lock excludes writers for the closure's
+        // duration.
+        let value = unsafe { &*ptr.cast::<T>() };
+        Ok(f(value))
+    }
+
+    /// Whether the allocation behind `raw` is still live.
+    pub fn is_live(&self, raw: RawHandle) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .entry(raw.sds)
+            .and_then(|e| e.heap.resolve(raw))
+            .is_ok()
+    }
+
+    // ------------------------------------------------------------------
+    // Stats
+    // ------------------------------------------------------------------
+
+    /// Snapshot of the allocator's accounting.
+    pub fn stats(&self) -> SmaStats {
+        let inner = self.inner.lock();
+        let mut live_bytes = 0;
+        let mut live_allocs = 0;
+        let mut allocs_total = 0;
+        let mut frees_total = 0;
+        let mut sds_count = 0;
+        for entry in inner.sds.iter().flatten() {
+            let h = entry.heap.stats();
+            live_bytes += h.live_bytes;
+            live_allocs += h.live_allocs;
+            allocs_total += h.allocs_total;
+            frees_total += h.frees_total;
+            sds_count += 1;
+        }
+        SmaStats {
+            budget_pages: inner.budget_pages,
+            held_pages: inner.held_pages,
+            free_pool_pages: inner.free_pool.len(),
+            live_bytes,
+            live_allocs,
+            sds_count,
+            allocs_total,
+            frees_total,
+            reclaims_total: inner.reclaims_total,
+            pages_reclaimed_total: inner.pages_reclaimed_total,
+            budget_granted_total: inner.budget_granted_total,
+            pool: inner.pool.stats(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Sma {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Sma")
+            .field("budget_pages", &s.budget_pages)
+            .field("held_pages", &s.held_pages)
+            .field("live_bytes", &s.live_bytes)
+            .field("sds_count", &s.sds_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests;

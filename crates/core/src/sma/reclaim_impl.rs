@@ -1,0 +1,263 @@
+//! The SMA-side reclamation protocol (§3.1 of the paper).
+//!
+//! A reclamation demand arrives from the Soft Memory Daemon as a page
+//! quota. The SMA satisfies it in escalating tiers of disruptiveness:
+//!
+//! 1. **Budget slack** — budget pages not backed by physical pages are
+//!    surrendered for free ("if the application has excess soft budget
+//!    … it first exhausts these").
+//! 2. **Idle pages** — the process-global free pool and wholly-free
+//!    pages still attached to SDS heaps are released to the OS.
+//! 3. **Live allocations** — SDSs are visited in ascending priority
+//!    order; each frees allocations of its choosing (via its
+//!    [`super::SdsReclaimer`]) until enough whole pages come free.
+//!
+//! Tier 3 runs *without* the SMA lock so that the reclaimer can free
+//! through the ordinary allocator API (and so concurrent application
+//! threads are never blocked for the whole reclamation, only for
+//! individual frees). Pages released by those frees — whether through
+//! the retention watermarks or the explicit harvest — are counted
+//! against the demand via the page pool's release counter.
+
+use std::sync::Arc;
+
+use super::{Sma, SmaInner};
+use crate::handle::SdsId;
+use crate::page::PAGE_SIZE;
+
+/// How many free→harvest rounds to run per SDS before concluding the
+/// SDS cannot produce more whole pages (fragmentation guard: freed
+/// allocations may not pack into whole pages on the first pass).
+const MAX_ROUNDS_PER_SDS: usize = 4;
+
+/// What one SDS contributed to a reclamation.
+#[derive(Debug, Clone)]
+pub struct SdsContribution {
+    /// The SDS ordered to give up memory.
+    pub id: SdsId,
+    /// Its debug name.
+    pub name: String,
+    /// Whole pages released to the OS while processing this SDS.
+    pub pages: usize,
+    /// Bytes of live allocations it reported freeing.
+    pub bytes_freed: usize,
+    /// Number of allocations it freed.
+    pub allocs_freed: u64,
+}
+
+/// Outcome of one [`Sma::reclaim`] call.
+#[derive(Debug, Clone, Default)]
+pub struct ReclaimReport {
+    /// Pages the daemon demanded.
+    pub demanded_pages: usize,
+    /// Pages yielded from budget slack (no physical release needed).
+    pub from_slack: usize,
+    /// Physical pages released from the free pool and already-free SDS
+    /// pages (tier 2).
+    pub from_idle: usize,
+    /// Physical pages released by freeing live allocations (tier 3),
+    /// per SDS in the order they were visited.
+    pub from_sds: Vec<SdsContribution>,
+}
+
+impl ReclaimReport {
+    /// Total pages yielded (slack + physical).
+    pub fn total_yielded(&self) -> usize {
+        self.from_slack + self.pages_released()
+    }
+
+    /// Physical pages released to the OS.
+    pub fn pages_released(&self) -> usize {
+        self.from_idle + self.from_sds.iter().map(|c| c.pages).sum::<usize>()
+    }
+
+    /// Pages short of the demand (0 when fully satisfied).
+    pub fn shortfall(&self) -> usize {
+        self.demanded_pages.saturating_sub(self.total_yielded())
+    }
+
+    /// Whether the demand was fully satisfied.
+    pub fn satisfied(&self) -> bool {
+        self.shortfall() == 0
+    }
+
+    /// Total allocations freed across all SDSs.
+    pub fn allocs_freed(&self) -> u64 {
+        self.from_sds.iter().map(|c| c.allocs_freed).sum()
+    }
+}
+
+impl Sma {
+    /// Services a reclamation demand for `demanded_pages` pages.
+    ///
+    /// Returns a report of where the pages came from; the demand may
+    /// fall short if every SDS runs dry (the daemon then reports the
+    /// shortfall upstream and may deny the triggering request).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use softmem_core::{Priority, Sma};
+    ///
+    /// let sma = Sma::standalone(32);
+    /// let sds = sma.register_sds("cache", Priority::new(1));
+    /// let _slot = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    ///
+    /// // 31 budget pages are slack; the demand is satisfied without
+    /// // touching the live allocation.
+    /// let report = sma.reclaim(10);
+    /// assert!(report.satisfied());
+    /// assert_eq!(report.from_slack, 10);
+    /// assert_eq!(sma.budget_pages(), 22);
+    /// ```
+    pub fn reclaim(&self, demanded_pages: usize) -> ReclaimReport {
+        let mut report = ReclaimReport {
+            demanded_pages,
+            ..ReclaimReport::default()
+        };
+        let mut remaining = demanded_pages;
+        let order: Vec<(SdsId, String, Arc<dyn super::SdsReclaimer>)>;
+        {
+            // ---- Tier 1 + 2 (locked): slack and idle pages. ----
+            let inner = &mut *self.inner.lock();
+            inner.reclaims_total += 1;
+            let slack = inner.budget_pages.saturating_sub(inner.held_pages);
+            report.from_slack = slack.min(remaining);
+            inner.budget_pages -= report.from_slack;
+            remaining -= report.from_slack;
+
+            report.from_idle = Self::release_idle_pages(inner, remaining);
+            inner.budget_pages = inner.budget_pages.saturating_sub(report.from_idle);
+            remaining -= report.from_idle;
+
+            let mut sorted: Vec<_> = inner
+                .sds
+                .iter()
+                .flatten()
+                .filter_map(|e| {
+                    e.reclaimer
+                        .as_ref()
+                        .map(|r| (e.priority, e.heap.id(), e.name.clone(), Arc::clone(r)))
+                })
+                .collect();
+            // Ascending priority; ties broken by registration order for
+            // determinism.
+            sorted.sort_by_key(|&(prio, id, _, _)| (prio, id));
+            order = sorted
+                .into_iter()
+                .map(|(_, id, name, r)| (id, name, r))
+                .collect();
+        }
+        // ---- Tier 3 (unlocked): ask SDSs to free live allocations. ----
+        for (id, name, reclaimer) in order {
+            if remaining == 0 {
+                break;
+            }
+            let mut contribution = SdsContribution {
+                id,
+                name,
+                pages: 0,
+                bytes_freed: 0,
+                allocs_freed: 0,
+            };
+            for _ in 0..MAX_ROUNDS_PER_SDS {
+                if remaining == 0 {
+                    break;
+                }
+                let target_bytes = remaining * PAGE_SIZE;
+                let (released_before, frees_before) = {
+                    let inner = self.inner.lock();
+                    let frees = inner
+                        .entry(id)
+                        .map(|e| e.heap.stats().frees_total)
+                        .unwrap_or(0);
+                    (inner.pool.stats().released_total, frees)
+                };
+                // A panicking reclaimer (buggy SDS policy or user
+                // callback) must not unwind into the daemon: treat it
+                // as "nothing freed" and move on to the next SDS.
+                let freed_bytes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    reclaimer.reclaim(target_bytes)
+                }))
+                .unwrap_or(0);
+                let released_this_round = {
+                    let inner = &mut *self.inner.lock();
+                    // Pages auto-released by the frees themselves
+                    // (retention watermark overflow, spans)…
+                    let auto = (inner.pool.stats().released_total - released_before) as usize;
+                    // …plus an explicit harvest of pages the frees left
+                    // idle but attached.
+                    let explicit = Self::release_idle_pages(inner, remaining.saturating_sub(auto));
+                    let released = auto + explicit;
+                    inner.budget_pages = inner.budget_pages.saturating_sub(released);
+                    contribution.allocs_freed += inner
+                        .entry(id)
+                        .map(|e| e.heap.stats().frees_total)
+                        .unwrap_or(frees_before)
+                        - frees_before;
+                    released
+                };
+                contribution.bytes_freed += freed_bytes;
+                contribution.pages += released_this_round;
+                remaining = remaining.saturating_sub(released_this_round);
+                if freed_bytes == 0 {
+                    break;
+                }
+            }
+            if contribution.pages > 0 || contribution.bytes_freed > 0 {
+                report.from_sds.push(contribution);
+            }
+        }
+        self.inner.lock().pages_reclaimed_total += report.total_yielded() as u64;
+        report
+    }
+
+    /// Like [`Sma::reclaim`], but treats a shortfall as an error —
+    /// convenient for callers that need all-or-error semantics (the
+    /// daemon instead inspects the report and applies its own policy).
+    pub fn reclaim_strict(&self, demanded_pages: usize) -> crate::SoftResult<ReclaimReport> {
+        let report = self.reclaim(demanded_pages);
+        if report.satisfied() {
+            Ok(report)
+        } else {
+            Err(crate::SoftError::ReclaimShortfall {
+                requested_pages: demanded_pages,
+                reclaimed_pages: report.total_yielded(),
+            })
+        }
+    }
+
+    /// Releases up to `want` idle pages (free pool first, then
+    /// wholly-free pages attached to SDS heaps) back to the OS.
+    /// Returns pages released; the caller adjusts the budget.
+    fn release_idle_pages(inner: &mut SmaInner, want: usize) -> usize {
+        let mut released = 0;
+        while released < want {
+            let Some(frame) = inner.free_pool.pop() else {
+                break;
+            };
+            inner.pool.release_to_os(frame);
+            inner.held_pages -= 1;
+            released += 1;
+        }
+        if released < want {
+            for entry in inner.sds.iter_mut().flatten() {
+                if released >= want {
+                    break;
+                }
+                let surplus = entry.heap.wholly_free_pages();
+                if surplus == 0 {
+                    continue;
+                }
+                let take = surplus.min(want - released);
+                let keep = surplus - take;
+                for frame in entry.heap.harvest_free_pages(keep) {
+                    inner.pool.release_to_os(frame);
+                    inner.held_pages -= 1;
+                    released += 1;
+                }
+            }
+        }
+        released
+    }
+}

@@ -1,0 +1,495 @@
+//! Unit tests for the Soft Memory Allocator.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::*;
+use crate::budget::{DeniedBudget, UnlimitedBudget};
+use crate::error::SoftError;
+use crate::page::MachineMemory;
+
+fn sma_with_budget(pages: usize) -> Arc<Sma> {
+    Sma::standalone(pages)
+}
+
+#[test]
+fn value_roundtrip() {
+    let sma = sma_with_budget(16);
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, [7u8; 100]).unwrap();
+    assert_eq!(sma.with_value(&slot, |v| v[99]).unwrap(), 7);
+    let back = sma.take_value(slot).unwrap();
+    assert_eq!(back, [7u8; 100]);
+    assert_eq!(sma.stats().live_allocs, 0);
+}
+
+#[test]
+fn bytes_roundtrip() {
+    let sma = sma_with_budget(16);
+    let sds = sma.register_sds("t", Priority::default());
+    let h = sma.alloc_bytes(sds, 300).unwrap();
+    sma.with_bytes_mut(&h, |b| b[0..4].copy_from_slice(&[1, 2, 3, 4]))
+        .unwrap();
+    let sum: u32 = sma
+        .with_bytes(&h, |b| b[0..4].iter().map(|&x| x as u32).sum())
+        .unwrap();
+    assert_eq!(sum, 10);
+    assert_eq!(h.len(), 300);
+    sma.free_bytes(h).unwrap();
+}
+
+#[test]
+fn drop_runs_on_free_value() {
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Probe(#[allow(dead_code)] u64);
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    DROPS.store(0, Ordering::SeqCst);
+    let sma = sma_with_budget(16);
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, Probe(1)).unwrap();
+    sma.free_value(slot).unwrap();
+    assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn take_value_skips_in_place_drop() {
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Probe;
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    DROPS.store(0, Ordering::SeqCst);
+    let sma = sma_with_budget(16);
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, Probe).unwrap();
+    let v = sma.take_value(slot).unwrap();
+    assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+    drop(v);
+    assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn budget_exceeded_without_source() {
+    let sma = sma_with_budget(1);
+    let sds = sma.register_sds("t", Priority::default());
+    // First page fits; second page exceeds the 1-page budget.
+    let _a = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    let err = sma.alloc_value(sds, [0u8; 4096]).unwrap_err();
+    assert!(matches!(err, SoftError::BudgetExceeded { .. }), "{err}");
+}
+
+#[test]
+fn budget_source_grows_on_demand() {
+    let sma = sma_with_budget(1);
+    sma.set_budget_source(Arc::new(UnlimitedBudget));
+    let sds = sma.register_sds("t", Priority::default());
+    for _ in 0..10 {
+        sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    }
+    assert!(sma.budget_pages() >= 10);
+    assert!(sma.stats().budget_granted_total > 0);
+}
+
+#[test]
+fn denied_budget_surfaces_as_budget_exceeded() {
+    let sma = sma_with_budget(1);
+    sma.set_budget_source(Arc::new(DeniedBudget));
+    let sds = sma.register_sds("t", Priority::default());
+    let _a = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    let err = sma.alloc_value(sds, [0u8; 4096]).unwrap_err();
+    assert!(matches!(err, SoftError::BudgetExceeded { .. }));
+}
+
+#[test]
+fn budget_source_error_propagates() {
+    let sma = sma_with_budget(0);
+    sma.set_budget_source(Arc::new(|_need: usize, _want: usize| {
+        Err(SoftError::DaemonUnavailable)
+    }));
+    let sds = sma.register_sds("t", Priority::default());
+    assert_eq!(
+        sma.alloc_bytes(sds, 8).unwrap_err(),
+        SoftError::DaemonUnavailable
+    );
+}
+
+#[test]
+fn machine_full_is_distinct_from_budget() {
+    let machine = MachineMemory::new(2);
+    let cfg = crate::SmaConfig::new(machine, 100);
+    let sma = Sma::with_config(cfg);
+    let sds = sma.register_sds("t", Priority::default());
+    let _a = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    let _b = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    let err = sma.alloc_value(sds, [0u8; 4096]).unwrap_err();
+    assert!(matches!(err, SoftError::MachineFull { .. }), "{err}");
+}
+
+#[test]
+fn span_allocations() {
+    let sma = sma_with_budget(64);
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, [42u8; 20_000]).unwrap();
+    assert_eq!(sma.with_value(&slot, |v| v[19_999]).unwrap(), 42);
+    let before = sma.held_pages();
+    assert!(before >= 5);
+    sma.free_value(slot).unwrap();
+    assert_eq!(sma.held_pages(), before - 5);
+}
+
+#[test]
+fn unknown_sds_is_rejected() {
+    let sma = sma_with_budget(4);
+    let bogus = SdsId::from_index(7);
+    assert_eq!(
+        sma.alloc_bytes(bogus, 8).unwrap_err(),
+        SoftError::UnknownSds(bogus)
+    );
+}
+
+#[test]
+fn revoked_after_free() {
+    let sma = sma_with_budget(4);
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, 5u32).unwrap();
+    let view = slot.shared_view();
+    sma.free_value(slot).unwrap();
+    assert_eq!(
+        sma.with_view(&view, |v| *v).unwrap_err(),
+        SoftError::Revoked
+    );
+    assert!(!sma.is_live(view.raw()));
+}
+
+#[test]
+fn destroy_sds_releases_everything() {
+    let sma = sma_with_budget(64);
+    let sds = sma.register_sds("t", Priority::default());
+    for i in 0..20 {
+        sma.alloc_value(sds, [i as u8; 1000]).unwrap();
+    }
+    let held = sma.held_pages();
+    assert!(held >= 5);
+    sma.destroy_sds(sds).unwrap();
+    let stats = sma.stats();
+    assert_eq!(stats.live_allocs, 0);
+    assert_eq!(stats.sds_count, 0);
+    // Pages went to the free pool (retained) or back to the OS.
+    assert_eq!(stats.held_pages, stats.free_pool_pages);
+    // The id is dead now.
+    assert_eq!(
+        sma.alloc_bytes(sds, 8).unwrap_err(),
+        SoftError::UnknownSds(sds)
+    );
+}
+
+#[test]
+fn sds_ids_are_recycled() {
+    let sma = sma_with_budget(4);
+    let a = sma.register_sds("a", Priority::default());
+    sma.destroy_sds(a).unwrap();
+    let b = sma.register_sds("b", Priority::default());
+    assert_eq!(a, b, "vacant registry slots are reused");
+    assert_eq!(sma.sds_stats(b).unwrap().name, "b");
+}
+
+// ---------------------------------------------------------------------
+// Reclamation tiers
+// ---------------------------------------------------------------------
+
+#[test]
+fn reclaim_prefers_budget_slack() {
+    let sma = sma_with_budget(100);
+    let sds = sma.register_sds("t", Priority::default());
+    let _x = sma.alloc_value(sds, [0u8; 4096]).unwrap(); // 1 held page
+    let report = sma.reclaim(50);
+    assert_eq!(report.from_slack, 50);
+    assert_eq!(report.pages_released(), 0);
+    assert!(report.satisfied());
+    assert_eq!(sma.budget_pages(), 50);
+    // The live allocation is untouched.
+    assert_eq!(sma.stats().live_allocs, 1);
+}
+
+#[test]
+fn reclaim_releases_idle_pages_before_live_data() {
+    let sma = Sma::with_config(crate::SmaConfig::for_testing(10).free_pool_retain(10));
+    let sds = sma.register_sds("t", Priority::default());
+    // Allocate 4 full pages then free 3: three idle pages remain held
+    // (free pool / SDS free list), one page is live.
+    let slots: Vec<_> = (0..4)
+        .map(|_| sma.alloc_value(sds, [1u8; 4096]).unwrap())
+        .collect();
+    let mut slots = slots;
+    let keep = slots.pop().unwrap();
+    for s in slots {
+        sma.free_value(s).unwrap();
+    }
+    assert_eq!(sma.held_pages(), 4);
+    // Budget is 10: 6 slack + 3 idle = 9 yieldable without touching data.
+    let report = sma.reclaim(9);
+    assert_eq!(report.from_slack, 6);
+    assert_eq!(report.from_idle, 3);
+    assert!(report.from_sds.is_empty());
+    assert!(report.satisfied());
+    assert_eq!(sma.held_pages(), 1);
+    assert_eq!(sma.budget_pages(), 1);
+    assert!(sma.with_value(&keep, |v| v[0]).is_ok());
+}
+
+/// A reclaimable stack of page-sized allocations, used to exercise tier 3.
+struct PageStack {
+    sma: Arc<Sma>,
+    sds: SdsId,
+    slots: Mutex<Vec<SoftSlot<[u8; 4096]>>>,
+    freed: AtomicUsize,
+}
+
+impl PageStack {
+    fn install(sma: &Arc<Sma>, name: &str, priority: Priority, pages: usize) -> Arc<Self> {
+        let sds = sma.register_sds(name, priority);
+        let stack = Arc::new(PageStack {
+            sma: Arc::clone(sma),
+            sds,
+            slots: Mutex::new(Vec::new()),
+            freed: AtomicUsize::new(0),
+        });
+        for _ in 0..pages {
+            let slot = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+            stack.slots.lock().push(slot);
+        }
+        let weak = Arc::downgrade(&stack);
+        sma.set_reclaimer(
+            sds,
+            Arc::new(move |bytes: usize| {
+                let Some(stack) = weak.upgrade() else {
+                    return 0;
+                };
+                let mut freed = 0;
+                while freed < bytes {
+                    let Some(slot) = stack.slots.lock().pop() else {
+                        break;
+                    };
+                    stack.sma.free_value(slot).unwrap();
+                    stack.freed.fetch_add(1, Ordering::SeqCst);
+                    freed += 4096;
+                }
+                freed
+            }),
+        )
+        .unwrap();
+        stack
+    }
+}
+
+#[test]
+fn reclaim_frees_live_allocations_lowest_priority_first() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(20)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    let low = PageStack::install(&sma, "low", Priority::new(1), 8);
+    let high = PageStack::install(&sma, "high", Priority::new(9), 8);
+    assert_eq!(sma.held_pages(), 16);
+    // Demand 10: 4 slack, then live data. Low priority must bleed first.
+    let report = sma.reclaim(10);
+    assert!(report.satisfied(), "{report:?}");
+    assert_eq!(report.from_slack, 4);
+    assert_eq!(low.freed.load(Ordering::SeqCst), 6);
+    assert_eq!(high.freed.load(Ordering::SeqCst), 0);
+    assert_eq!(sma.held_pages(), 10);
+    assert_eq!(sma.budget_pages(), 10);
+    let names: Vec<_> = report.from_sds.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, ["low"]);
+}
+
+#[test]
+fn reclaim_cascades_to_higher_priority_when_needed() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(12)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    let low = PageStack::install(&sma, "low", Priority::new(1), 4);
+    let high = PageStack::install(&sma, "high", Priority::new(9), 8);
+    let report = sma.reclaim(8);
+    assert!(report.satisfied(), "{report:?}");
+    assert_eq!(low.freed.load(Ordering::SeqCst), 4, "low exhausted");
+    assert_eq!(high.freed.load(Ordering::SeqCst), 4, "high covers the rest");
+}
+
+#[test]
+fn reclaim_reports_shortfall_when_everything_runs_dry() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(4)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    let _stack = PageStack::install(&sma, "only", Priority::new(1), 4);
+    let report = sma.reclaim(10);
+    assert_eq!(report.total_yielded(), 4);
+    assert_eq!(report.shortfall(), 6);
+    assert!(!report.satisfied());
+    assert_eq!(sma.held_pages(), 0);
+}
+
+#[test]
+fn reclaim_invalidates_handles_safely() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(4)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    let stack = PageStack::install(&sma, "s", Priority::new(1), 4);
+    let view = stack.slots.lock()[3].shared_view();
+    let report = sma.reclaim(2);
+    assert!(report.satisfied());
+    // The newest slot was popped first by this reclaimer; its view is
+    // now revoked, not dangling.
+    assert_eq!(
+        sma.with_view(&view, |v| v[0]).unwrap_err(),
+        SoftError::Revoked
+    );
+}
+
+#[test]
+fn reclaim_updates_counters() {
+    let sma = sma_with_budget(10);
+    let _sds = sma.register_sds("t", Priority::default());
+    sma.reclaim(3);
+    sma.reclaim(2);
+    let s = sma.stats();
+    assert_eq!(s.reclaims_total, 2);
+    assert_eq!(s.pages_reclaimed_total, 5);
+    assert_eq!(s.budget_pages, 5);
+}
+
+#[test]
+fn stats_track_pool_interactions() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(8)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    sma.free_value(slot).unwrap();
+    let s = sma.stats();
+    // With zero retention the page went straight back to the OS.
+    assert_eq!(s.held_pages, 0);
+    assert_eq!(s.pool.released_total, 1);
+    assert_eq!(s.pool.unbacked_virtual_pages, 1);
+    // Allocating again re-backs the virtual page (§4).
+    let _slot = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    assert_eq!(sma.stats().pool.rebacked_total, 1);
+}
+
+#[test]
+fn free_pool_reuse_avoids_machine_traffic() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(8)
+            .free_pool_retain(8)
+            .sds_retain(0),
+    );
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    sma.free_value(slot).unwrap();
+    assert_eq!(sma.stats().free_pool_pages, 1);
+    let _slot = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    let s = sma.stats();
+    assert_eq!(s.free_pool_pages, 0);
+    assert_eq!(s.pool.acquired_total, 1, "second alloc reused the frame");
+}
+
+#[test]
+fn concurrent_alloc_free_smoke() {
+    let sma = sma_with_budget(4096);
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let sma = Arc::clone(&sma);
+        handles.push(std::thread::spawn(move || {
+            let sds = sma.register_sds(format!("t{t}"), Priority::default());
+            for i in 0..2000u64 {
+                let slot = sma.alloc_value(sds, i).unwrap();
+                assert_eq!(sma.with_value(&slot, |v| *v).unwrap(), i);
+                if i % 2 == 0 {
+                    sma.free_value(slot).unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(sma.stats().live_allocs, 4000);
+}
+
+#[test]
+fn concurrent_reclaim_and_alloc() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(512)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    let stack = PageStack::install(&sma, "s", Priority::new(1), 64);
+    let reclaimer = {
+        let sma = Arc::clone(&sma);
+        std::thread::spawn(move || {
+            for _ in 0..16 {
+                sma.reclaim(2);
+            }
+        })
+    };
+    let allocator = {
+        let sma = Arc::clone(&sma);
+        let stack = Arc::clone(&stack);
+        std::thread::spawn(move || {
+            for _ in 0..64 {
+                if let Ok(slot) = sma.alloc_value(stack.sds, [1u8; 4096]) {
+                    stack.slots.lock().push(slot);
+                }
+            }
+        })
+    };
+    reclaimer.join().unwrap();
+    allocator.join().unwrap();
+    // No deadlock, no panic; every remaining handle is consistent.
+    let slots = stack.slots.lock();
+    for slot in slots.iter() {
+        match sma.with_value(slot, |v| v[0]) {
+            Ok(_) | Err(SoftError::Revoked) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn paper_workload_shape_977k_allocs() {
+    // A miniature of §5 case (1): many 1 KiB allocations under ample
+    // budget. Scaled down 100× for test speed; the bench harness runs
+    // the full size.
+    let n = 9_770;
+    let sma = sma_with_budget(n / 4 + 64);
+    let sds = sma.register_sds("stress", Priority::default());
+    let mut slots = Vec::with_capacity(n);
+    for i in 0..n {
+        slots.push(sma.alloc_value(sds, [i as u8; 1024]).unwrap());
+    }
+    let s = sma.stats();
+    assert_eq!(s.live_allocs, n);
+    // 4 slots per page: tight packing.
+    assert!(s.held_pages <= n / 4 + 1, "held {} pages", s.held_pages);
+    for slot in slots {
+        sma.free_value(slot).unwrap();
+    }
+    assert_eq!(sma.stats().live_allocs, 0);
+}

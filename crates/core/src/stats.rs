@@ -1,0 +1,58 @@
+//! Allocator-level statistics.
+
+use crate::page::PoolStats;
+
+/// A point-in-time snapshot of one SMA's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmaStats {
+    /// Soft-memory budget currently granted (pages).
+    pub budget_pages: usize,
+    /// Pages physically held by the process's soft memory (SDS heaps +
+    /// process-global free pool).
+    pub held_pages: usize,
+    /// Idle pages in the process-global free pool.
+    pub free_pool_pages: usize,
+    /// Sum of requested lengths of live allocations (bytes).
+    pub live_bytes: usize,
+    /// Live allocation count across all SDSs.
+    pub live_allocs: usize,
+    /// Registered SDS count.
+    pub sds_count: usize,
+    /// Cumulative allocations served.
+    pub allocs_total: u64,
+    /// Cumulative frees (application frees + reclaimed allocations).
+    pub frees_total: u64,
+    /// Reclamation demands served.
+    pub reclaims_total: u64,
+    /// Pages yielded to reclamation demands (slack + physical).
+    pub pages_reclaimed_total: u64,
+    /// Budget pages received from the budget source (daemon).
+    pub budget_granted_total: u64,
+    /// Page-pool accounting (OS interface).
+    pub pool: PoolStats,
+}
+
+impl SmaStats {
+    /// Budget pages not yet backed by held pages (headroom before the
+    /// next daemon request).
+    pub fn slack_pages(&self) -> usize {
+        self.budget_pages.saturating_sub(self.held_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_is_saturating() {
+        let mut s = SmaStats {
+            budget_pages: 10,
+            held_pages: 4,
+            ..SmaStats::default()
+        };
+        assert_eq!(s.slack_pages(), 6);
+        s.held_pages = 12;
+        assert_eq!(s.slack_pages(), 0);
+    }
+}

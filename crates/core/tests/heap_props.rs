@@ -1,0 +1,152 @@
+//! Property tests on the per-SDS heap itself (below the SMA): slab and
+//! span bookkeeping must stay exact under arbitrary op interleavings.
+
+use proptest::prelude::*;
+
+use softmem_core::handle::{RawHandle, SdsId};
+use softmem_core::heap::SdsHeap;
+use softmem_core::page::{PageFrame, Span, PAGE_SIZE};
+use softmem_core::SoftError;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Slab allocation of `size` bytes (≤ 4096).
+    Alloc { size: usize },
+    /// Span allocation of `pages` pages.
+    AllocSpan { pages: usize },
+    /// Free the `idx % live`-th live allocation.
+    Free { idx: usize },
+    /// Harvest wholly-free pages, keeping `keep`.
+    Harvest { keep: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (1usize..=4096).prop_map(|size| Op::Alloc { size }),
+        1 => (1usize..4).prop_map(|pages| Op::AllocSpan { pages }),
+        4 => any::<usize>().prop_map(|idx| Op::Free { idx }),
+        1 => (0usize..4).prop_map(|keep| Op::Harvest { keep }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn heap_bookkeeping_is_exact(ops in proptest::collection::vec(op_strategy(), 1..160)) {
+        let mut heap = SdsHeap::new(SdsId::from_index(0));
+        let mut live: Vec<(RawHandle, usize)> = Vec::new();
+        let mut dead: Vec<RawHandle> = Vec::new();
+        let mut expected_bytes = 0usize;
+        let mut seen: std::collections::HashSet<(u32, u16, u64)> =
+            std::collections::HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { size } => {
+                    let extra = if heap.can_alloc_without_frame(size) {
+                        None
+                    } else {
+                        Some(PageFrame::new_zeroed())
+                    };
+                    let raw = heap.alloc_slab(size, None, extra).expect("frame provided");
+                    // Generations are globally unique: the coordinate
+                    // triple must never repeat across the whole run.
+                    prop_assert!(
+                        seen.insert((raw.page, raw.slot, raw.generation)),
+                        "coordinate reuse: {raw:?}"
+                    );
+                    expected_bytes += size;
+                    live.push((raw, size));
+                }
+                Op::AllocSpan { pages } => {
+                    let size = pages * PAGE_SIZE;
+                    let raw = heap.insert_span(Span::new_zeroed(pages), size, None);
+                    prop_assert!(seen.insert((raw.page, raw.slot, raw.generation)));
+                    expected_bytes += size;
+                    live.push((raw, size));
+                }
+                Op::Free { idx } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (raw, size) = live.swap_remove(idx % live.len());
+                    let out = heap.free(raw, true).expect("live handle");
+                    prop_assert_eq!(out.freed_bytes, size);
+                    expected_bytes -= size;
+                    dead.push(raw);
+                }
+                Op::Harvest { keep } => {
+                    let before = heap.wholly_free_pages();
+                    let frames = heap.harvest_free_pages(keep);
+                    prop_assert_eq!(frames.len(), before.saturating_sub(keep));
+                    prop_assert_eq!(heap.wholly_free_pages(), before.min(keep));
+                }
+            }
+            // Exact accounting after every step.
+            prop_assert_eq!(heap.live_bytes(), expected_bytes);
+            prop_assert_eq!(heap.live_allocs(), live.len());
+            // Every live handle resolves with its requested length;
+            // every dead handle is revoked, not dangling.
+            for (raw, size) in &live {
+                let (_, len) = heap.resolve(*raw).expect("live");
+                prop_assert_eq!(len, *size);
+            }
+            for raw in &dead {
+                // Revoked normally; InvalidHandle if the page has been
+                // re-formatted for another class since (both safe).
+                prop_assert!(matches!(
+                    heap.resolve(*raw).unwrap_err(),
+                    SoftError::Revoked | SoftError::InvalidHandle
+                ));
+                prop_assert!(matches!(
+                    heap.free(*raw, true).unwrap_err(),
+                    SoftError::Revoked | SoftError::InvalidHandle
+                ));
+            }
+            // Held pages always cover the live payload.
+            prop_assert!(heap.held_pages() * PAGE_SIZE >= heap.live_bytes());
+        }
+
+        // Drain: everything balances out.
+        for (raw, _) in live.drain(..) {
+            heap.free(raw, true).expect("live handle");
+        }
+        prop_assert_eq!(heap.live_bytes(), 0);
+        prop_assert_eq!(heap.live_allocs(), 0);
+        let stats = heap.stats();
+        prop_assert_eq!(stats.allocs_total, stats.frees_total);
+        // After a full harvest the heap holds nothing.
+        heap.harvest_free_pages(0);
+        prop_assert_eq!(heap.held_pages(), 0);
+    }
+
+    #[test]
+    fn payload_isolation_across_slots(sizes in proptest::collection::vec(1usize..2048, 2..40)) {
+        // Write a unique pattern into each slot; no write may bleed
+        // into a neighbour (slot arithmetic correctness).
+        let mut heap = SdsHeap::new(SdsId::from_index(0));
+        let mut handles = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let extra = if heap.can_alloc_without_frame(size) {
+                None
+            } else {
+                Some(PageFrame::new_zeroed())
+            };
+            let raw = heap.alloc_slab(size, None, extra).expect("frame provided");
+            let (ptr, len) = heap.resolve(raw).expect("live");
+            prop_assert_eq!(len, size);
+            // SAFETY: `ptr` addresses `len` exclusive bytes of the live
+            // slot (just resolved; no other access in this test).
+            unsafe { std::ptr::write_bytes(ptr, (i % 251) as u8, len) };
+            handles.push((raw, size, (i % 251) as u8));
+        }
+        for (raw, size, byte) in &handles {
+            let (ptr, len) = heap.resolve(*raw).expect("live");
+            prop_assert_eq!(len, *size);
+            // SAFETY: as above; read-only view of the live slot.
+            let bytes = unsafe { std::slice::from_raw_parts(ptr, len) };
+            prop_assert!(bytes.iter().all(|b| b == byte), "payload bled");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The standalone Soft Memory Daemon.
+//!
+//! Serves the SMD on a unix socket so that real processes (e.g.
+//! several `kv_server` instances) share one machine's soft memory:
+//!
+//! ```sh
+//! cargo run --release -p softmem-daemon --bin smd_daemon -- \
+//!     --socket /tmp/softmem.sock --capacity-mib 64
+//! # then, in other terminals:
+//! cargo run --release -p softmem-kv --bin kv_server -- --smd-socket /tmp/softmem.sock
+//! ```
+//!
+//! Prints an accounting snapshot whenever the assignment changes.
+
+use std::time::Duration;
+
+use softmem_core::{bytes_to_pages, MachineMemory};
+use softmem_daemon::uds::UdsSmdServer;
+use softmem_daemon::{Smd, SmdConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let socket = arg("--socket").unwrap_or_else(|| "/tmp/softmem-smd.sock".to_string());
+    let capacity_mib: usize = arg("--capacity-mib")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let initial_budget: usize = arg("--initial-budget-pages")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+
+    let machine = MachineMemory::unbounded();
+    let smd = Smd::new(
+        SmdConfig::new(&machine, bytes_to_pages(capacity_mib * 1024 * 1024))
+            .initial_budget(initial_budget),
+    );
+    let server = UdsSmdServer::bind(smd, &socket).expect("bind daemon socket");
+    println!("softmem-smd: serving {capacity_mib} MiB of machine soft memory on {socket}");
+
+    // Report whenever the picture changes (simple polling console).
+    let mut last = (usize::MAX, 0u64, 0u64);
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        let s = server.smd().stats();
+        let now = (s.assigned_pages, s.pages_reclaimed_total, s.denials_total);
+        if now != last {
+            last = now;
+            println!(
+                "assigned {}/{} pages | {} procs | {} rounds moved {} pages | {} denials",
+                s.assigned_pages,
+                s.capacity_pages,
+                s.procs.len(),
+                s.reclaim_rounds_total,
+                s.pages_reclaimed_total,
+                s.denials_total
+            );
+            for p in &s.procs {
+                println!(
+                    "  pid {:<3} {:<16} budget {:>6} soft {:>6} trad {:>6} weight {:>8.1}",
+                    p.pid,
+                    p.name,
+                    p.usage.budget_pages,
+                    p.usage.soft_pages,
+                    p.usage.traditional_pages,
+                    p.weight
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Reclamation-weight policies (§3.3 and the §7 "Policies" question).
+//!
+//! The weight of a process decides how likely it is to be picked as a
+//! reclamation target (higher ⇒ picked earlier). The paper specifies
+//! two properties for a good metric:
+//!
+//! (i) the larger the (soft **and** traditional) footprint, the higher
+//! the weight; and (ii) soft usage should raise the weight *in
+//! proportion to traditional usage*, so that processes that moved a
+//! large share of their data into soft memory — increasing system
+//! flexibility — are not punished for it.
+//!
+//! [`PaperWeight`] implements exactly that; the other policies are the
+//! ablation alternatives the open-questions section invites (see the
+//! `ablation_policies` bench).
+
+use crate::account::ProcUsage;
+
+/// Scores a process's likelihood of being picked for reclamation.
+pub trait WeightPolicy: Send + Sync {
+    /// The reclamation weight (≥ 0; higher ⇒ reclaimed from earlier).
+    fn weight(&self, usage: &ProcUsage) -> f64;
+
+    /// Stable policy name for logs and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's incentive-preserving weight:
+/// `soft × (1 + traditional / footprint)`.
+///
+/// * Monotone in both soft and traditional pages (property i).
+/// * For equal soft usage, the process with *less* traditional memory
+///   (higher soft share) weighs less (property ii) — the paper's
+///   example: `T_A < T_B ⇒ weight(A) < weight(B)`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PaperWeight;
+
+impl WeightPolicy for PaperWeight {
+    fn weight(&self, u: &ProcUsage) -> f64 {
+        let footprint = u.footprint();
+        if footprint == 0 {
+            return 0.0;
+        }
+        let trad_share = u.traditional_pages as f64 / footprint as f64;
+        u.soft_pages as f64 * (1.0 + trad_share)
+    }
+
+    fn name(&self) -> &'static str {
+        "paper-weight"
+    }
+}
+
+/// Weight = total footprint (soft + traditional). Ignores the soft
+/// share, so heavy soft users are punished as much as heavy
+/// traditional users — the disincentive the paper warns about.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FootprintOnly;
+
+impl WeightPolicy for FootprintOnly {
+    fn weight(&self, u: &ProcUsage) -> f64 {
+        u.footprint() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "footprint-only"
+    }
+}
+
+/// Weight = soft pages only. The maximally naive policy: "whoever
+/// benefits most from soft memory pays first" — §7 calls out exactly
+/// this as a disincentive to adopt soft memory.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SoftUsageOnly;
+
+impl WeightPolicy for SoftUsageOnly {
+    fn weight(&self, u: &ProcUsage) -> f64 {
+        u.soft_pages as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "soft-usage-only"
+    }
+}
+
+/// Weight = assigned budget. Targets whoever was *granted* the most,
+/// regardless of what they actually use; reclaims slack aggressively.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BudgetProportional;
+
+impl WeightPolicy for BudgetProportional {
+    fn weight(&self, u: &ProcUsage) -> f64 {
+        u.budget_pages as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "budget-proportional"
+    }
+}
+
+/// Uniform weight: every process is an equally likely target
+/// (selection falls back to registration order). The fairness
+/// baseline for the policy ablation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Uniform;
+
+impl WeightPolicy for Uniform {
+    fn weight(&self, u: &ProcUsage) -> f64 {
+        if u.footprint() == 0 && u.budget_pages == 0 {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// All built-in policies, for sweeps.
+pub fn all_policies() -> Vec<Box<dyn WeightPolicy>> {
+    vec![
+        Box::new(PaperWeight),
+        Box::new(FootprintOnly),
+        Box::new(SoftUsageOnly),
+        Box::new(BudgetProportional),
+        Box::new(Uniform),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(soft: usize, trad: usize) -> ProcUsage {
+        ProcUsage {
+            soft_pages: soft,
+            traditional_pages: trad,
+            budget_pages: soft,
+        }
+    }
+
+    #[test]
+    fn paper_weight_prefers_reclaiming_from_low_soft_share() {
+        // The paper's example: A and B use the same soft pages; A has
+        // less traditional memory ⇒ A's weight is lower ⇒ B (which
+        // "tied up more memory") gets disturbed first.
+        let a = PaperWeight.weight(&usage(100, 50));
+        let b = PaperWeight.weight(&usage(100, 500));
+        assert!(a < b, "a={a} b={b}");
+    }
+
+    #[test]
+    fn paper_weight_is_monotone_in_both_dimensions() {
+        let base = PaperWeight.weight(&usage(100, 100));
+        assert!(PaperWeight.weight(&usage(150, 100)) > base);
+        assert!(PaperWeight.weight(&usage(100, 150)) > base);
+        assert_eq!(PaperWeight.weight(&usage(0, 0)), 0.0);
+        // No soft memory ⇒ nothing to reclaim ⇒ weight 0.
+        assert_eq!(PaperWeight.weight(&usage(0, 1000)), 0.0);
+    }
+
+    #[test]
+    fn footprint_only_ignores_composition() {
+        assert_eq!(
+            FootprintOnly.weight(&usage(100, 50)),
+            FootprintOnly.weight(&usage(50, 100))
+        );
+    }
+
+    #[test]
+    fn soft_only_punishes_adoption() {
+        // The adopter (all soft) outweighs the hoarder (mostly
+        // traditional) despite identical footprints — the disincentive
+        // §7 warns about, kept for the ablation.
+        assert!(SoftUsageOnly.weight(&usage(150, 0)) > SoftUsageOnly.weight(&usage(10, 140)));
+    }
+
+    #[test]
+    fn uniform_flags_only_nonempty_processes() {
+        assert_eq!(Uniform.weight(&usage(0, 0)), 0.0);
+        assert_eq!(Uniform.weight(&usage(1, 0)), 1.0);
+        assert_eq!(Uniform.weight(&usage(5, 9)), 1.0);
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names: Vec<_> = all_policies().iter().map(|p| p.name()).collect();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,306 @@
+//! A threaded daemon deployment: the SMD behind a message channel.
+//!
+//! The paper's SMD is "a machine-wide memory manager" — a separate
+//! daemon process that applications talk to over IPC. This module
+//! reproduces that shape: [`SmdService::start`] runs the daemon logic
+//! on its own event-loop thread, and [`SmdClient`] handles marshal
+//! requests over crossbeam channels (our stand-in for the IPC socket).
+//! Reclamation demands still reach target processes through their
+//! [`crate::ReclaimChannel`], executed on the daemon thread — the
+//! moral equivalent of the daemon's blocking demand RPC.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use softmem_core::{SoftError, SoftResult};
+
+use crate::account::ReclaimChannel;
+use crate::client::DaemonHandle;
+use crate::smd::{Pid, Smd, SmdConfig, SmdStats};
+
+enum Msg {
+    Register {
+        name: String,
+        channel: Arc<dyn ReclaimChannel>,
+        reply: Sender<(Pid, usize)>,
+    },
+    Request {
+        pid: Pid,
+        need: usize,
+        want: usize,
+        reply: Sender<SoftResult<usize>>,
+    },
+    Release {
+        pid: Pid,
+        pages: usize,
+        reply: Sender<SoftResult<usize>>,
+    },
+    ReportTraditional {
+        pid: Pid,
+        pages: usize,
+        reply: Sender<SoftResult<()>>,
+    },
+    Deregister {
+        pid: Pid,
+        reply: Sender<SoftResult<()>>,
+    },
+    Stats {
+        reply: Sender<SmdStats>,
+    },
+    Shutdown,
+}
+
+/// A running daemon thread.
+///
+/// Create clients with [`SmdService::client`]; stop the thread with
+/// [`SmdService::shutdown`] (also happens on drop).
+pub struct SmdService {
+    tx: Sender<Msg>,
+    handle: Option<JoinHandle<()>>,
+    smd: Arc<Smd>,
+}
+
+impl SmdService {
+    /// Starts the daemon event loop on its own thread.
+    pub fn start(cfg: SmdConfig) -> Self {
+        Self::start_with(Smd::new(cfg))
+    }
+
+    /// Starts the event loop around an existing daemon (e.g. one with
+    /// a custom weight policy).
+    pub fn start_with(smd: Arc<Smd>) -> Self {
+        let smd_handle = Arc::clone(&smd);
+        let (tx, rx) = unbounded::<Msg>();
+        let handle = std::thread::Builder::new()
+            .name("softmem-smd".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Register {
+                            name,
+                            channel,
+                            reply,
+                        } => {
+                            let _ = reply.send(smd.register(&name, channel));
+                        }
+                        Msg::Request {
+                            pid,
+                            need,
+                            want,
+                            reply,
+                        } => {
+                            let _ = reply.send(smd.request_range(pid, need, want));
+                        }
+                        Msg::Release { pid, pages, reply } => {
+                            let _ = reply.send(smd.release_pages(pid, pages));
+                        }
+                        Msg::ReportTraditional { pid, pages, reply } => {
+                            let _ = reply.send(smd.report_traditional(pid, pages));
+                        }
+                        Msg::Deregister { pid, reply } => {
+                            let _ = reply.send(smd.deregister(pid));
+                        }
+                        Msg::Stats { reply } => {
+                            let _ = reply.send(smd.stats());
+                        }
+                        Msg::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn daemon thread");
+        SmdService {
+            tx,
+            handle: Some(handle),
+            smd: smd_handle,
+        }
+    }
+
+    /// A client handle for registering processes against this daemon.
+    pub fn client(&self) -> SmdClient {
+        SmdClient {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Stops the daemon thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            // Deny in-flight and queued requests with ShuttingDown
+            // before stopping the event loop.
+            self.smd.begin_shutdown();
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SmdService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// A channel-backed daemon handle (the process side of the "IPC").
+#[derive(Clone)]
+pub struct SmdClient {
+    tx: Sender<Msg>,
+}
+
+impl SmdClient {
+    fn call<T>(&self, build: impl FnOnce(Sender<T>) -> Msg) -> SoftResult<T>
+    where
+        T: Send,
+    {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(build(reply_tx))
+            .map_err(|_| SoftError::DaemonUnavailable)?;
+        reply_rx.recv().map_err(|_| SoftError::DaemonUnavailable)
+    }
+}
+
+impl DaemonHandle for SmdClient {
+    fn register(&self, name: &str, channel: Arc<dyn ReclaimChannel>) -> (Pid, usize) {
+        self.call(|reply| Msg::Register {
+            name: name.to_string(),
+            channel,
+            reply,
+        })
+        .expect("daemon thread alive during registration")
+    }
+
+    fn request_range(&self, pid: Pid, need: usize, want: usize) -> SoftResult<usize> {
+        self.call(|reply| Msg::Request {
+            pid,
+            need,
+            want,
+            reply,
+        })?
+    }
+
+    fn release_pages(&self, pid: Pid, pages: usize) -> SoftResult<usize> {
+        self.call(|reply| Msg::Release { pid, pages, reply })?
+    }
+
+    fn report_traditional(&self, pid: Pid, pages: usize) -> SoftResult<()> {
+        self.call(|reply| Msg::ReportTraditional { pid, pages, reply })?
+    }
+
+    fn deregister(&self, pid: Pid) -> SoftResult<()> {
+        self.call(|reply| Msg::Deregister { pid, reply })?
+    }
+
+    fn stats(&self) -> SmdStats {
+        self.call(|reply| Msg::Stats { reply })
+            .expect("daemon thread alive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmem_core::{MachineMemory, Priority, SmaConfig};
+    use softmem_sds::SoftQueue;
+
+    use crate::client::SoftProcess;
+
+    #[test]
+    fn threaded_daemon_serves_requests() {
+        let machine = MachineMemory::new(1024);
+        let service = SmdService::start(SmdConfig::new(&machine, 64).initial_budget(4));
+        let client = service.client();
+        let p = SoftProcess::spawn_with(
+            Arc::new(client),
+            "svc",
+            SmaConfig::new(Arc::clone(&machine), 0),
+        )
+        .unwrap();
+        assert_eq!(p.sma().budget_pages(), 4);
+        let sds = p.sma().register_sds("d", Priority::default());
+        for _ in 0..16 {
+            p.sma().alloc_value(sds, [0u8; 4096]).unwrap();
+        }
+        assert!(p.sma().budget_pages() >= 16);
+        drop(p);
+        assert!(Arc::new(service.client()).stats().procs.is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn cross_process_reclaim_over_the_service() {
+        let machine = MachineMemory::new(1024);
+        let service = SmdService::start(SmdConfig::new(&machine, 32).initial_budget(0));
+        let a = SoftProcess::spawn_with(
+            Arc::new(service.client()),
+            "a",
+            SmaConfig::new(Arc::clone(&machine), 0),
+        )
+        .unwrap();
+        let b = SoftProcess::spawn_with(
+            Arc::new(service.client()),
+            "b",
+            SmaConfig::new(Arc::clone(&machine), 0),
+        )
+        .unwrap();
+        let qa: SoftQueue<[u8; 4096]> = SoftQueue::new(a.sma(), "qa", Priority::new(1));
+        for _ in 0..28 {
+            qa.push([0u8; 4096]).unwrap();
+        }
+        let qb: SoftQueue<[u8; 4096]> = SoftQueue::new(b.sma(), "qb", Priority::new(1));
+        for _ in 0..16 {
+            qb.push([1u8; 4096]).unwrap();
+        }
+        assert_eq!(qb.len(), 16);
+        assert!(qa.len() < 28);
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_processes_hammer_the_daemon() {
+        let machine = MachineMemory::new(4096);
+        let service = SmdService::start(SmdConfig::new(&machine, 512).initial_budget(0));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let client = Arc::new(service.client());
+            let machine = Arc::clone(&machine);
+            handles.push(std::thread::spawn(move || {
+                let p =
+                    SoftProcess::spawn_with(client, &format!("p{t}"), SmaConfig::new(machine, 0))
+                        .unwrap();
+                let q: SoftQueue<[u8; 1024]> =
+                    SoftQueue::new(p.sma(), "q", Priority::new(t as u32));
+                for i in 0..400 {
+                    // Push/occasionally pop to churn budget both ways.
+                    q.push([t as u8; 1024]).unwrap();
+                    if i % 5 == 0 {
+                        q.pop();
+                    }
+                }
+                q.len()
+            }));
+        }
+        for h in handles {
+            let len = h.join().unwrap();
+            assert_eq!(len, 320);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn client_after_shutdown_reports_daemon_unavailable() {
+        let machine = MachineMemory::new(64);
+        let service = SmdService::start(SmdConfig::new(&machine, 16));
+        let client = service.client();
+        service.shutdown();
+        assert_eq!(
+            client.request_pages(1, 1).unwrap_err(),
+            SoftError::DaemonUnavailable
+        );
+    }
+}

@@ -1,0 +1,773 @@
+//! The daemon core: accounts, grants, and the reclamation state
+//! machine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use softmem_core::error::DenyReason;
+use softmem_core::{MachineMemory, SoftError, SoftResult};
+
+use crate::account::{ProcSnapshot, ProcUsage, ReclaimChannel};
+use crate::policy::{PaperWeight, WeightPolicy};
+
+/// Daemon-assigned process identifier.
+pub type Pid = u64;
+
+/// Configuration of a Soft Memory Daemon.
+#[derive(Clone)]
+pub struct SmdConfig {
+    /// The machine whose memory this daemon arbitrates.
+    pub machine: Arc<MachineMemory>,
+    /// Total soft-memory pages the daemon may assign across processes.
+    pub capacity_pages: usize,
+    /// Maximum processes disturbed per reclamation ("the SMD selects a
+    /// capped number of processes", §3.3). Limits the blast radius of
+    /// one soft memory request.
+    pub max_reclaim_targets: usize,
+    /// Over-reclamation: each target is asked for at least this
+    /// fraction of its held soft pages, "which may exceed the immediate
+    /// soft memory request, in order to amortize reclamation costs"
+    /// (§4).
+    pub over_reclaim_fraction: f64,
+    /// Budget granted to a process at registration.
+    pub initial_budget_pages: usize,
+    /// Optional hard cap on any single process's budget.
+    pub per_process_cap_pages: Option<usize>,
+    /// Whether the requester itself may be selected as a reclamation
+    /// target (§7 leaves this open; off by default).
+    pub allow_self_reclaim: bool,
+}
+
+impl SmdConfig {
+    /// A configuration with the paper-faithful defaults.
+    pub fn new(machine: &Arc<MachineMemory>, capacity_pages: usize) -> Self {
+        SmdConfig {
+            machine: Arc::clone(machine),
+            capacity_pages,
+            max_reclaim_targets: 4,
+            over_reclaim_fraction: 0.25,
+            initial_budget_pages: 8,
+            per_process_cap_pages: None,
+            allow_self_reclaim: false,
+        }
+    }
+
+    /// Sets the reclamation-target cap.
+    pub fn max_targets(mut self, n: usize) -> Self {
+        self.max_reclaim_targets = n.max(1);
+        self
+    }
+
+    /// Sets the over-reclamation fraction.
+    pub fn over_reclaim(mut self, fraction: f64) -> Self {
+        self.over_reclaim_fraction = fraction.max(0.0);
+        self
+    }
+
+    /// Sets the registration-time budget grant.
+    pub fn initial_budget(mut self, pages: usize) -> Self {
+        self.initial_budget_pages = pages;
+        self
+    }
+
+    /// Caps every process's budget.
+    pub fn per_process_cap(mut self, pages: usize) -> Self {
+        self.per_process_cap_pages = Some(pages);
+        self
+    }
+
+    /// Allows the requester to be reclaimed from.
+    pub fn self_reclaim(mut self, allow: bool) -> Self {
+        self.allow_self_reclaim = allow;
+        self
+    }
+}
+
+struct Proc {
+    name: String,
+    budget_pages: usize,
+    traditional_pages: usize,
+    channel: Arc<dyn ReclaimChannel>,
+}
+
+struct SmdInner {
+    procs: HashMap<Pid, Proc>,
+    next_pid: Pid,
+    decisions: Vec<ReclaimDecision>,
+    grants_total: u64,
+    denials_total: u64,
+    reclaim_rounds_total: u64,
+    pages_reclaimed_total: u64,
+    shutting_down: bool,
+}
+
+/// One target's part in a reclamation round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetOutcome {
+    /// The disturbed process.
+    pub pid: Pid,
+    /// Pages demanded from it.
+    pub demanded_pages: usize,
+    /// Pages it yielded.
+    pub yielded_pages: usize,
+    /// Whether it was picked in the low-disturbance pass (had budget
+    /// slack to surrender).
+    pub had_slack: bool,
+    /// Its reclamation weight at selection time.
+    pub weight: f64,
+}
+
+/// An audit-log record of one pressure-handling round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReclaimDecision {
+    /// The process whose request triggered the round.
+    pub requester: Pid,
+    /// Pages it requested.
+    pub requested_pages: usize,
+    /// Pages that had to come from reclamation (request − unassigned).
+    pub need_pages: usize,
+    /// The targets disturbed, in visit order.
+    pub targets: Vec<TargetOutcome>,
+    /// Whether the triggering request was granted afterwards.
+    pub granted: bool,
+}
+
+/// Daemon-level statistics.
+#[derive(Debug, Clone)]
+pub struct SmdStats {
+    /// Assignable soft-memory capacity (pages).
+    pub capacity_pages: usize,
+    /// Pages currently assigned as budgets.
+    pub assigned_pages: usize,
+    /// Requests granted.
+    pub grants_total: u64,
+    /// Requests denied.
+    pub denials_total: u64,
+    /// Pressure rounds run.
+    pub reclaim_rounds_total: u64,
+    /// Pages moved between processes by reclamation.
+    pub pages_reclaimed_total: u64,
+    /// Per-process snapshots.
+    pub procs: Vec<ProcSnapshot>,
+}
+
+impl SmdStats {
+    /// Pages not assigned to any process.
+    pub fn unassigned_pages(&self) -> usize {
+        self.capacity_pages.saturating_sub(self.assigned_pages)
+    }
+}
+
+/// The machine-wide Soft Memory Daemon.
+///
+/// The daemon "is designed to almost never deny a process's soft memory
+/// request, while not unfairly burdening other processes with
+/// reclamation demands" (§3.3): requests are granted from unassigned
+/// capacity when possible, and otherwise trigger a bounded reclamation
+/// round over the highest-weight targets.
+pub struct Smd {
+    cfg: SmdConfig,
+    policy: Box<dyn WeightPolicy>,
+    inner: Mutex<SmdInner>,
+}
+
+impl Smd {
+    /// A daemon with the paper's weight policy.
+    pub fn new(cfg: SmdConfig) -> Arc<Self> {
+        Self::with_policy(cfg, Box::new(PaperWeight))
+    }
+
+    /// A daemon with a custom reclamation-weight policy.
+    pub fn with_policy(cfg: SmdConfig, policy: Box<dyn WeightPolicy>) -> Arc<Self> {
+        Arc::new(Smd {
+            cfg,
+            policy,
+            inner: Mutex::new(SmdInner {
+                procs: HashMap::new(),
+                next_pid: 1,
+                decisions: Vec::new(),
+                grants_total: 0,
+                denials_total: 0,
+                reclaim_rounds_total: 0,
+                pages_reclaimed_total: 0,
+                shutting_down: false,
+            }),
+        })
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &SmdConfig {
+        &self.cfg
+    }
+
+    /// The active weight policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Registers a process; returns its pid and the initial budget
+    /// grant (bounded by unassigned capacity).
+    pub fn register(&self, name: &str, channel: Arc<dyn ReclaimChannel>) -> (Pid, usize) {
+        let mut inner = self.inner.lock();
+        let pid = inner.next_pid;
+        inner.next_pid += 1;
+        let assigned: usize = inner.procs.values().map(|p| p.budget_pages).sum();
+        let unassigned = self.cfg.capacity_pages.saturating_sub(assigned);
+        let grant = self.cfg.initial_budget_pages.min(unassigned);
+        if grant > 0 {
+            channel.grant(grant);
+        }
+        inner.procs.insert(
+            pid,
+            Proc {
+                name: name.to_string(),
+                budget_pages: grant,
+                traditional_pages: 0,
+                channel,
+            },
+        );
+        (pid, grant)
+    }
+
+    /// Deregisters a process, returning its budget to the pool.
+    pub fn deregister(&self, pid: Pid) -> SoftResult<()> {
+        self.inner
+            .lock()
+            .procs
+            .remove(&pid)
+            .map(|_| ())
+            .ok_or(SoftError::UnknownProcess(pid))
+    }
+
+    /// Records a process's traditional-memory footprint (used by the
+    /// weight policy; reported by the process/simulator).
+    pub fn report_traditional(&self, pid: Pid, pages: usize) -> SoftResult<()> {
+        let mut inner = self.inner.lock();
+        let proc = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(SoftError::UnknownProcess(pid))?;
+        proc.traditional_pages = pages;
+        Ok(())
+    }
+
+    /// Requests exactly `pages` additional budget pages for `pid`.
+    ///
+    /// Grants from unassigned capacity when possible; otherwise runs a
+    /// reclamation round and grants if it freed enough, denying the
+    /// triggering request otherwise (§3.3).
+    pub fn request_pages(&self, pid: Pid, pages: usize) -> SoftResult<usize> {
+        self.request_range(pid, pages, pages)
+    }
+
+    /// Requests at least `need` pages (worth triggering machine-wide
+    /// reclamation for), opportunistically up to `want` pages (taken
+    /// only from uncontended capacity). Returns the grant, which is
+    /// ≥ `need` on success.
+    pub fn request_range(&self, pid: Pid, need: usize, want: usize) -> SoftResult<usize> {
+        match self.request_range_once(pid, need, want) {
+            Err(SoftError::Denied {
+                reason: DenyReason::ReclaimShortfall,
+            }) => {
+                // A target may have died mid-round (remote transports),
+                // leaving phantom budget that made the round fall
+                // short. If reaping changes the ledger, the verdict
+                // deserves one retry.
+                let reaped = {
+                    let mut inner = self.inner.lock();
+                    let before = inner.procs.len();
+                    inner.procs.retain(|_, p| p.channel.is_alive());
+                    before != inner.procs.len()
+                };
+                if reaped {
+                    self.request_range_once(pid, need, want)
+                } else {
+                    Err(SoftError::Denied {
+                        reason: DenyReason::ReclaimShortfall,
+                    })
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Begins an orderly shutdown: every subsequent budget request is
+    /// denied with [`DenyReason::ShuttingDown`] (processes fall back
+    /// to their already-granted budgets; nothing is revoked).
+    pub fn begin_shutdown(&self) {
+        self.inner.lock().shutting_down = true;
+    }
+
+    fn request_range_once(&self, pid: Pid, need: usize, want: usize) -> SoftResult<usize> {
+        let want = want.max(need);
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        if inner.shutting_down {
+            inner.denials_total += 1;
+            return Err(SoftError::Denied {
+                reason: DenyReason::ShuttingDown,
+            });
+        }
+        // Reap departed processes first: a dead client's budget is
+        // phantom capacity that would otherwise force needless
+        // reclamation (or denials) until its deregistration lands.
+        inner.procs.retain(|_, p| p.channel.is_alive());
+        let requester = inner
+            .procs
+            .get(&pid)
+            .ok_or(SoftError::UnknownProcess(pid))?;
+        let mut want = want;
+        if let Some(cap) = self.cfg.per_process_cap_pages {
+            if requester.budget_pages + need > cap {
+                inner.denials_total += 1;
+                return Err(SoftError::Denied {
+                    reason: DenyReason::PerProcessCap,
+                });
+            }
+            want = want.min(cap - requester.budget_pages);
+        }
+        let assigned: usize = inner.procs.values().map(|p| p.budget_pages).sum();
+        let unassigned = self.cfg.capacity_pages.saturating_sub(assigned);
+        if unassigned >= need {
+            let grant = want.min(unassigned);
+            let proc = inner.procs.get_mut(&pid).expect("checked");
+            proc.budget_pages += grant;
+            proc.channel.grant(grant);
+            inner.grants_total += 1;
+            return Ok(grant);
+        }
+
+        // ---- Memory pressure: run a reclamation round. ----
+        let need = need - unassigned;
+        inner.reclaim_rounds_total += 1;
+        let targets = self.select_targets(inner, pid);
+        let mut outcomes = Vec::new();
+        let mut reclaimed = 0usize;
+        for (tpid, weight, had_slack, usage) in targets {
+            if reclaimed >= need || outcomes.len() >= self.cfg.max_reclaim_targets {
+                break;
+            }
+            let remaining = need - reclaimed;
+            let over = (usage.soft_pages as f64 * self.cfg.over_reclaim_fraction).ceil() as usize;
+            let demanded = remaining.max(over);
+            let proc = inner.procs.get_mut(&tpid).expect("selected from the map");
+            let reply = proc.channel.demand(demanded);
+            proc.budget_pages = proc.budget_pages.saturating_sub(reply.yielded_pages);
+            reclaimed += reply.yielded_pages;
+            inner.pages_reclaimed_total += reply.yielded_pages as u64;
+            outcomes.push(TargetOutcome {
+                pid: tpid,
+                demanded_pages: demanded,
+                yielded_pages: reply.yielded_pages,
+                had_slack,
+                weight,
+            });
+        }
+        let assigned_now: usize = inner.procs.values().map(|p| p.budget_pages).sum();
+        let unassigned_now = self.cfg.capacity_pages.saturating_sub(assigned_now);
+        let granted = unassigned_now >= need + unassigned;
+        inner.decisions.push(ReclaimDecision {
+            requester: pid,
+            requested_pages: want,
+            need_pages: need,
+            targets: outcomes,
+            granted,
+        });
+        if granted {
+            let grant = want.min(unassigned_now);
+            let proc = inner.procs.get_mut(&pid).expect("checked");
+            proc.budget_pages += grant;
+            proc.channel.grant(grant);
+            inner.grants_total += 1;
+            Ok(grant)
+        } else {
+            inner.denials_total += 1;
+            Err(SoftError::Denied {
+                reason: DenyReason::ReclaimShortfall,
+            })
+        }
+    }
+
+    /// Returns `pages` of budget from `pid` to the unassigned pool.
+    /// Returns the pages actually released.
+    pub fn release_pages(&self, pid: Pid, pages: usize) -> SoftResult<usize> {
+        let mut inner = self.inner.lock();
+        let proc = inner
+            .procs
+            .get_mut(&pid)
+            .ok_or(SoftError::UnknownProcess(pid))?;
+        let released = pages.min(proc.budget_pages);
+        proc.budget_pages -= released;
+        Ok(released)
+    }
+
+    /// Candidate targets in visit order: descending weight, with
+    /// flexible targets (those with budget slack) visited first — the
+    /// §4 bias "towards targets that will experience little or no
+    /// disturbance from the reclamation".
+    fn select_targets(&self, inner: &SmdInner, requester: Pid) -> Vec<(Pid, f64, bool, ProcUsage)> {
+        let mut cands: Vec<(Pid, f64, bool, ProcUsage)> = inner
+            .procs
+            .iter()
+            .filter(|(pid, _)| self.cfg.allow_self_reclaim || **pid != requester)
+            .filter_map(|(pid, p)| {
+                let usage = ProcUsage {
+                    soft_pages: p.channel.soft_pages_held(),
+                    traditional_pages: p.traditional_pages,
+                    budget_pages: p.budget_pages,
+                };
+                if usage.soft_pages == 0 && p.budget_pages == 0 {
+                    return None; // nothing to take
+                }
+                let weight = self.policy.weight(&usage);
+                let slack = p.channel.slack_pages() > 0;
+                Some((*pid, weight, slack, usage))
+            })
+            .collect();
+        // Descending weight; ties by pid for determinism.
+        cands.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        // Stable partition: slack-holders first, each group still in
+        // weight order.
+        let (flexible, inflexible): (Vec<_>, Vec<_>) =
+            cands.into_iter().partition(|(_, _, slack, _)| *slack);
+        flexible.into_iter().chain(inflexible).collect()
+    }
+
+    /// Drains the decision log (audit records of pressure rounds).
+    pub fn take_decisions(&self) -> Vec<ReclaimDecision> {
+        std::mem::take(&mut self.inner.lock().decisions)
+    }
+
+    /// Snapshot of daemon accounting.
+    pub fn stats(&self) -> SmdStats {
+        let inner = self.inner.lock();
+        let procs = inner
+            .procs
+            .iter()
+            .map(|(pid, p)| {
+                let usage = ProcUsage {
+                    soft_pages: p.channel.soft_pages_held(),
+                    traditional_pages: p.traditional_pages,
+                    budget_pages: p.budget_pages,
+                };
+                ProcSnapshot {
+                    pid: *pid,
+                    name: p.name.clone(),
+                    weight: self.policy.weight(&usage),
+                    usage,
+                }
+            })
+            .collect();
+        SmdStats {
+            capacity_pages: self.cfg.capacity_pages,
+            assigned_pages: inner.procs.values().map(|p| p.budget_pages).sum(),
+            grants_total: inner.grants_total,
+            denials_total: inner.denials_total,
+            reclaim_rounds_total: inner.reclaim_rounds_total,
+            pages_reclaimed_total: inner.pages_reclaimed_total,
+            procs,
+        }
+    }
+}
+
+impl std::fmt::Debug for Smd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Smd")
+            .field("capacity_pages", &s.capacity_pages)
+            .field("assigned_pages", &s.assigned_pages)
+            .field("procs", &s.procs.len())
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::ReclaimReply;
+    use parking_lot::Mutex as PlMutex;
+
+    /// A scripted fake process for daemon-logic tests.
+    struct FakeProc {
+        held: PlMutex<usize>,
+        slack: PlMutex<usize>,
+        demands: PlMutex<Vec<usize>>,
+        /// Yields min(demand, held + slack).
+        yield_all: bool,
+    }
+
+    impl FakeProc {
+        fn new(held: usize, slack: usize) -> Arc<Self> {
+            Arc::new(FakeProc {
+                held: PlMutex::new(held),
+                slack: PlMutex::new(slack),
+                demands: PlMutex::new(Vec::new()),
+                yield_all: true,
+            })
+        }
+
+        fn stingy(held: usize) -> Arc<Self> {
+            Arc::new(FakeProc {
+                held: PlMutex::new(held),
+                slack: PlMutex::new(0),
+                demands: PlMutex::new(Vec::new()),
+                yield_all: false,
+            })
+        }
+    }
+
+    impl ReclaimChannel for FakeProc {
+        fn soft_pages_held(&self) -> usize {
+            *self.held.lock()
+        }
+
+        fn slack_pages(&self) -> usize {
+            *self.slack.lock()
+        }
+
+        fn grant(&self, _pages: usize) {
+            // Scripted fake: held/slack are set explicitly by tests.
+        }
+
+        fn demand(&self, pages: usize) -> ReclaimReply {
+            self.demands.lock().push(pages);
+            if !self.yield_all {
+                return ReclaimReply {
+                    yielded_pages: 0,
+                    shortfall_pages: pages,
+                };
+            }
+            let mut slack = self.slack.lock();
+            let mut held = self.held.lock();
+            let from_slack = pages.min(*slack);
+            *slack -= from_slack;
+            let from_held = (pages - from_slack).min(*held);
+            *held -= from_held;
+            let yielded = from_slack + from_held;
+            ReclaimReply {
+                yielded_pages: yielded,
+                shortfall_pages: pages - yielded,
+            }
+        }
+    }
+
+    fn smd(capacity: usize) -> Arc<Smd> {
+        let machine = MachineMemory::unbounded();
+        Smd::new(SmdConfig::new(&machine, capacity).initial_budget(0))
+    }
+
+    #[test]
+    fn grants_from_unassigned_capacity() {
+        let smd = smd(100);
+        let (pid, grant) = smd.register("a", FakeProc::new(0, 0));
+        assert_eq!(grant, 0);
+        assert_eq!(smd.request_pages(pid, 60).unwrap(), 60);
+        assert_eq!(smd.request_pages(pid, 40).unwrap(), 40);
+        let s = smd.stats();
+        assert_eq!(s.assigned_pages, 100);
+        assert_eq!(s.unassigned_pages(), 0);
+        assert_eq!(s.grants_total, 2);
+        assert!(smd.take_decisions().is_empty(), "no pressure yet");
+    }
+
+    #[test]
+    fn initial_budget_grant_is_capacity_bounded() {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(SmdConfig::new(&machine, 10).initial_budget(8));
+        let (_, g1) = smd.register("a", FakeProc::new(0, 0));
+        let (_, g2) = smd.register("b", FakeProc::new(0, 0));
+        assert_eq!(g1, 8);
+        assert_eq!(g2, 2, "only 2 pages were left unassigned");
+    }
+
+    #[test]
+    fn pressure_reclaims_from_other_process() {
+        let smd = smd(100);
+        let a = FakeProc::new(0, 0);
+        let (pa, _) = smd.register("a", Arc::clone(&a) as Arc<dyn ReclaimChannel>);
+        smd.request_pages(pa, 90).unwrap();
+        *a.held.lock() = 90;
+        let b = FakeProc::new(0, 0);
+        let (pb, _) = smd.register("b", b);
+        // 10 unassigned; b wants 30 ⇒ reclaim 20 from a.
+        assert_eq!(smd.request_pages(pb, 30).unwrap(), 30);
+        let decisions = smd.take_decisions();
+        assert_eq!(decisions.len(), 1);
+        let d = &decisions[0];
+        assert_eq!(d.requester, pb);
+        assert_eq!(d.need_pages, 20);
+        assert!(d.granted);
+        assert_eq!(d.targets.len(), 1);
+        assert_eq!(d.targets[0].pid, pa);
+        // Over-reclamation: demanded ≥ max(need, 25% of 90 = 23).
+        assert_eq!(d.targets[0].demanded_pages, 23);
+        let s = smd.stats();
+        assert_eq!(s.assigned_pages, 90 - 23 + 30);
+    }
+
+    #[test]
+    fn denies_when_reclamation_falls_short() {
+        let smd = smd(50);
+        let a = FakeProc::stingy(40);
+        let (pa, _) = smd.register("a", Arc::clone(&a) as Arc<dyn ReclaimChannel>);
+        smd.request_pages(pa, 40).unwrap();
+        let (pb, _) = smd.register("b", FakeProc::new(0, 0));
+        let err = smd.request_pages(pb, 30).unwrap_err();
+        assert_eq!(
+            err,
+            SoftError::Denied {
+                reason: DenyReason::ReclaimShortfall
+            }
+        );
+        let d = smd.take_decisions().pop().unwrap();
+        assert!(!d.granted);
+        assert_eq!(smd.stats().denials_total, 1);
+        // a was disturbed but yielded nothing.
+        assert_eq!(d.targets[0].yielded_pages, 0);
+    }
+
+    #[test]
+    fn target_cap_limits_disturbance() {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(
+            SmdConfig::new(&machine, 100)
+                .initial_budget(0)
+                .max_targets(2)
+                .over_reclaim(0.0),
+        );
+        // Five processes, each holding 10 pages but yielding nothing.
+        for i in 0..5 {
+            let p = FakeProc::stingy(10);
+            let (pid, _) = smd.register(&format!("p{i}"), p);
+            smd.request_pages(pid, 10).unwrap();
+        }
+        let (pb, _) = smd.register("req", FakeProc::new(0, 0));
+        let _ = smd.request_pages(pb, 60).unwrap_err();
+        let d = smd.take_decisions().pop().unwrap();
+        assert_eq!(d.targets.len(), 2, "only the cap's worth of targets");
+    }
+
+    #[test]
+    fn flexible_targets_are_visited_first() {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(
+            SmdConfig::new(&machine, 100)
+                .initial_budget(0)
+                .over_reclaim(0.0),
+        );
+        // heavy: huge weight, no slack. light: small weight, has slack.
+        let heavy = FakeProc::new(60, 0);
+        let (ph, _) = smd.register("heavy", Arc::clone(&heavy) as Arc<dyn ReclaimChannel>);
+        smd.request_pages(ph, 60).unwrap();
+        smd.report_traditional(ph, 100).unwrap();
+        let light = FakeProc::new(10, 30);
+        let (pl, _) = smd.register("light", Arc::clone(&light) as Arc<dyn ReclaimChannel>);
+        smd.request_pages(pl, 40).unwrap();
+        let (pr, _) = smd.register("req", FakeProc::new(0, 0));
+        // 0 unassigned; need 20; light's slack (30) covers it without
+        // touching heavy, despite heavy's larger weight (§4 bias).
+        assert_eq!(smd.request_pages(pr, 20).unwrap(), 20);
+        let d = smd.take_decisions().pop().unwrap();
+        assert_eq!(d.targets[0].pid, pl);
+        assert!(d.targets[0].had_slack);
+        assert!(heavy.demands.lock().is_empty(), "heavy was not disturbed");
+    }
+
+    #[test]
+    fn requester_is_not_its_own_target_by_default() {
+        let smd = smd(50);
+        let a = FakeProc::new(50, 0);
+        let (pa, _) = smd.register("a", Arc::clone(&a) as Arc<dyn ReclaimChannel>);
+        smd.request_pages(pa, 50).unwrap();
+        let err = smd.request_pages(pa, 10).unwrap_err();
+        assert!(matches!(err, SoftError::Denied { .. }));
+        assert!(a.demands.lock().is_empty());
+    }
+
+    #[test]
+    fn self_reclaim_can_be_enabled() {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(
+            SmdConfig::new(&machine, 50)
+                .initial_budget(0)
+                .self_reclaim(true),
+        );
+        let a = FakeProc::new(50, 0);
+        let (pa, _) = smd.register("a", Arc::clone(&a) as Arc<dyn ReclaimChannel>);
+        smd.request_pages(pa, 50).unwrap();
+        assert_eq!(smd.request_pages(pa, 10).unwrap(), 10);
+        assert!(!a.demands.lock().is_empty(), "a reclaimed its own pages");
+    }
+
+    #[test]
+    fn per_process_cap_denies_early() {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(
+            SmdConfig::new(&machine, 100)
+                .initial_budget(0)
+                .per_process_cap(20),
+        );
+        let (pid, _) = smd.register("a", FakeProc::new(0, 0));
+        smd.request_pages(pid, 20).unwrap();
+        let err = smd.request_pages(pid, 1).unwrap_err();
+        assert_eq!(
+            err,
+            SoftError::Denied {
+                reason: DenyReason::PerProcessCap
+            }
+        );
+    }
+
+    #[test]
+    fn release_returns_budget_to_pool() {
+        let smd = smd(30);
+        let (pid, _) = smd.register("a", FakeProc::new(0, 0));
+        smd.request_pages(pid, 30).unwrap();
+        assert_eq!(smd.release_pages(pid, 12).unwrap(), 12);
+        assert_eq!(smd.stats().unassigned_pages(), 12);
+        // Releasing more than held releases only what's there.
+        assert_eq!(smd.release_pages(pid, 100).unwrap(), 18);
+    }
+
+    #[test]
+    fn deregister_frees_budget() {
+        let smd = smd(30);
+        let (pid, _) = smd.register("a", FakeProc::new(0, 0));
+        smd.request_pages(pid, 30).unwrap();
+        smd.deregister(pid).unwrap();
+        assert_eq!(smd.stats().unassigned_pages(), 30);
+        assert_eq!(
+            smd.request_pages(pid, 1).unwrap_err(),
+            SoftError::UnknownProcess(pid)
+        );
+    }
+
+    #[test]
+    fn weight_ordering_picks_heaviest_inflexible_target() {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(
+            SmdConfig::new(&machine, 100)
+                .initial_budget(0)
+                .over_reclaim(0.0)
+                .max_targets(1),
+        );
+        let small = FakeProc::new(20, 0);
+        let big = FakeProc::new(80, 0);
+        let (ps, _) = smd.register("small", Arc::clone(&small) as Arc<dyn ReclaimChannel>);
+        let (pb, _) = smd.register("big", Arc::clone(&big) as Arc<dyn ReclaimChannel>);
+        smd.request_pages(ps, 20).unwrap();
+        smd.request_pages(pb, 80).unwrap();
+        let (pr, _) = smd.register("req", FakeProc::new(0, 0));
+        smd.request_pages(pr, 10).unwrap();
+        let d = smd.take_decisions().pop().unwrap();
+        assert_eq!(d.targets.len(), 1);
+        assert_eq!(d.targets[0].pid, pb, "heaviest target picked first");
+    }
+}

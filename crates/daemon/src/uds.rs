@@ -1,0 +1,835 @@
+//! A Unix-domain-socket deployment of the Soft Memory Daemon.
+//!
+//! The paper's SMD is "a machine-wide memory manager for soft memory
+//! requests" — a daemon that *separate processes* talk to over IPC.
+//! This module provides that deployment: [`UdsSmdServer`] serves an
+//! [`Smd`] on a unix socket, and [`UdsProcess`] is the client runtime a
+//! process links against (its own [`Sma`], its own address space; only
+//! protocol messages cross the socket).
+//!
+//! ## Protocol (line-oriented text)
+//!
+//! Client → daemon:
+//!
+//! | line | meaning |
+//! |---|---|
+//! | `REGISTER <name>` | join the machine |
+//! | `REQUEST <need> <want> <held> <slack>` | budget request + usage report |
+//! | `RELEASE <pages>` | return budget |
+//! | `TRAD <pages>` | report traditional footprint |
+//! | `YIELD <req-id> <pages> <held> <slack>` | reply to a demand |
+//! | `BYE` | deregister |
+//!
+//! Daemon → client:
+//!
+//! | line | meaning |
+//! |---|---|
+//! | `REGISTERED <pid> <grant>` | registration reply |
+//! | `GRANT <pages>` / `DENY <reason>` | request reply |
+//! | `OK` / `ERR <msg>` | generic replies |
+//! | `DEMAND <req-id> <pages>` | reclamation demand (asynchronous) |
+//!
+//! ## Ordering and consistency
+//!
+//! Each connection is a FIFO byte stream and the client processes
+//! daemon lines on a single reader thread, applying budget grants to
+//! its SMA *before* dispatching any later `DEMAND` — preserving the
+//! grant-before-demand consistency the in-process mode gets from
+//! applying grants under the daemon lock. Demand execution itself runs
+//! on a worker thread so a long reclamation never blocks the socket.
+//!
+//! The daemon cannot inspect a remote process's memory, so usage
+//! (held/slack pages) is piggybacked on every `REQUEST` and `YIELD`;
+//! the weight policies score the last reported values.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use softmem_core::budget::Grant;
+use softmem_core::error::DenyReason;
+use softmem_core::{BudgetSource, Sma, SmaConfig, SoftError, SoftResult};
+
+use crate::account::{ReclaimChannel, ReclaimReply};
+use crate::smd::{Pid, Smd};
+
+/// How long the daemon waits for a client to answer a demand before
+/// treating it as yielding nothing (a hung process must not wedge the
+/// machine).
+const DEMAND_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a client waits for a request reply.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(30);
+
+// ---------------------------------------------------------------------
+// Daemon side
+// ---------------------------------------------------------------------
+
+/// The daemon side of one client connection: implements
+/// [`ReclaimChannel`] by exchanging `DEMAND`/`YIELD` lines.
+struct RemoteChannel {
+    writer: Mutex<UnixStream>,
+    /// Last usage report from the client: (held, slack).
+    usage: Mutex<(usize, usize)>,
+    /// In-flight demands awaiting a `YIELD`.
+    pending: Mutex<HashMap<u64, Sender<usize>>>,
+    next_req: AtomicU64,
+    /// Set when the client hangs up: demands resolve to zero
+    /// immediately instead of riding out the timeout (deregistration
+    /// may briefly trail the disconnect, and a pressure round must not
+    /// stall on a corpse).
+    closed: std::sync::atomic::AtomicBool,
+}
+
+impl RemoteChannel {
+    fn new(stream: UnixStream) -> Self {
+        RemoteChannel {
+            writer: Mutex::new(stream),
+            usage: Mutex::new((0, 0)),
+            pending: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(1),
+            closed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    fn send_line(&self, line: &str) -> std::io::Result<()> {
+        let mut w = self.writer.lock();
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")
+    }
+
+    fn record_usage(&self, held: usize, slack: usize) {
+        *self.usage.lock() = (held, slack);
+    }
+
+    fn deliver_yield(&self, req_id: u64, pages: usize) {
+        if std::env::var_os("SOFTMEM_UDS_DEBUG").is_some() {
+            eprintln!("[daemon] yield {req_id} pages={pages} ch={:p}", self);
+        }
+        if let Some(tx) = self.pending.lock().remove(&req_id) {
+            let _ = tx.send(pages);
+        }
+    }
+
+    /// Resolves every in-flight demand to zero yield. Called when the
+    /// client hangs up, *before* deregistration: a departing client
+    /// can never answer, and letting its demands ride out the timeout
+    /// would stall the daemon lock for everyone.
+    fn fail_all_pending(&self) {
+        self.closed.store(true, Ordering::Release);
+        for (_, tx) in self.pending.lock().drain() {
+            let _ = tx.send(0);
+        }
+    }
+}
+
+impl ReclaimChannel for RemoteChannel {
+    fn soft_pages_held(&self) -> usize {
+        self.usage.lock().0
+    }
+
+    fn slack_pages(&self) -> usize {
+        self.usage.lock().1
+    }
+
+    fn demand(&self, pages: usize) -> ReclaimReply {
+        if self.closed.load(Ordering::Acquire) {
+            return ReclaimReply {
+                yielded_pages: 0,
+                shortfall_pages: pages,
+            };
+        }
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        if std::env::var_os("SOFTMEM_UDS_DEBUG").is_some() {
+            eprintln!("[daemon] demand {req_id} pages={pages} ch={:p}", self);
+        }
+        let (tx, rx): (Sender<usize>, Receiver<usize>) = bounded(1);
+        self.pending.lock().insert(req_id, tx);
+        if self.send_line(&format!("DEMAND {req_id} {pages}")).is_err() {
+            self.pending.lock().remove(&req_id);
+            return ReclaimReply {
+                yielded_pages: 0,
+                shortfall_pages: pages,
+            };
+        }
+        let yielded = rx.recv_timeout(DEMAND_TIMEOUT).unwrap_or_else(|_| {
+            self.pending.lock().remove(&req_id);
+            if std::env::var_os("SOFTMEM_UDS_DEBUG").is_some() {
+                eprintln!("[daemon] demand {req_id} TIMED OUT");
+            }
+            0
+        });
+        ReclaimReply {
+            yielded_pages: yielded,
+            shortfall_pages: pages.saturating_sub(yielded),
+        }
+    }
+
+    fn grant(&self, pages: usize) {
+        // Sent over the same FIFO stream as any later DEMAND, and the
+        // client's reader applies it before dispatching later lines,
+        // so grant-before-demand ordering is preserved end to end.
+        let _ = self.send_line(&format!("CREDIT {pages}"));
+    }
+
+    fn is_alive(&self) -> bool {
+        !self.closed.load(Ordering::Acquire)
+    }
+}
+
+/// A running unix-socket daemon.
+pub struct UdsSmdServer {
+    path: PathBuf,
+    accept_thread: Option<JoinHandle<()>>,
+    smd: Arc<Smd>,
+}
+
+impl UdsSmdServer {
+    /// Serves `smd` on a fresh socket at `path` (an existing file at
+    /// that path is replaced).
+    pub fn bind(smd: Arc<Smd>, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        let smd2 = Arc::clone(&smd);
+        let accept_thread = std::thread::Builder::new()
+            .name("softmem-smd-uds".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { break };
+                    let smd = Arc::clone(&smd2);
+                    let _ = std::thread::Builder::new()
+                        .name("softmem-smd-conn".into())
+                        .spawn(move || serve_connection(smd, stream));
+                }
+            })?;
+        Ok(UdsSmdServer {
+            path,
+            accept_thread: Some(accept_thread),
+            smd,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The daemon being served.
+    pub fn smd(&self) -> &Arc<Smd> {
+        &self.smd
+    }
+}
+
+impl Drop for UdsSmdServer {
+    fn drop(&mut self) {
+        // Unblock the accept loop and remove the socket file; per-
+        // connection threads exit when their clients hang up.
+        let _ = UnixStream::connect(&self.path);
+        let _ = std::fs::remove_file(&self.path);
+        if let Some(t) = self.accept_thread.take() {
+            drop(t);
+        }
+    }
+}
+
+/// Handles one client connection on the daemon side.
+///
+/// The reader must never block on daemon work: a `REQUEST` can stall
+/// on the SMD lock while *this* client owes a `YIELD` to some other
+/// client's in-flight reclamation, and that `YIELD` arrives on this
+/// very socket. Blocking verbs therefore run on a worker thread
+/// (clients serialise their own requests, so at most one is in flight
+/// per connection), while `YIELD` routing stays on the reader.
+fn serve_connection(smd: Arc<Smd>, stream: UnixStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let channel = Arc::new(RemoteChannel::new(write_half));
+    let mut pid: Option<Pid> = None;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if std::env::var_os("SOFTMEM_UDS_DEBUG").is_some() {
+            eprintln!("[daemon] rx ch={:p}: {line}", &*channel);
+        }
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().unwrap_or("");
+        let args: Vec<String> = parts.map(|s| s.to_string()).collect();
+        match (verb, pid) {
+            ("REGISTER", None) => {
+                let name = args.first().map(String::as_str).unwrap_or("anonymous");
+                let (new_pid, grant) =
+                    smd.register(name, Arc::clone(&channel) as Arc<dyn ReclaimChannel>);
+                pid = Some(new_pid);
+                if channel
+                    .send_line(&format!("REGISTERED {new_pid} {grant}"))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            ("YIELD", Some(_)) => {
+                if let Some((req_id, pages, held, slack)) = parse4(&args) {
+                    channel.record_usage(held, slack);
+                    channel.deliver_yield(req_id as u64, pages);
+                } else if channel.send_line("ERR malformed YIELD").is_err() {
+                    break;
+                }
+            }
+            ("BYE", _) => break,
+            (_, None) => {
+                if channel
+                    .send_line(&format!("ERR {verb} before REGISTER"))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            (verb, Some(pid)) => {
+                let verb = verb.to_string();
+                let smd = Arc::clone(&smd);
+                let channel = Arc::clone(&channel);
+                let _ = std::thread::Builder::new()
+                    .name("softmem-smd-req".into())
+                    .spawn(move || {
+                        let reply = execute_verb(&smd, pid, &channel, &verb, &args);
+                        let _ = channel.send_line(&reply);
+                    });
+            }
+        }
+    }
+    // Fail in-flight demands first (no daemon lock needed), then
+    // deregister (which may have to wait for the current pressure
+    // round to finish — quickly, now that its demand has resolved).
+    channel.fail_all_pending();
+    if let Some(pid) = pid {
+        let _ = smd.deregister(pid);
+    }
+}
+
+/// Executes a potentially-blocking client verb against the daemon.
+fn execute_verb(
+    smd: &Smd,
+    pid: Pid,
+    channel: &RemoteChannel,
+    verb: &str,
+    args: &[String],
+) -> String {
+    match verb {
+        "REQUEST" => match parse4(args) {
+            Some((need, want, held, slack)) => {
+                channel.record_usage(held, slack);
+                match smd.request_range(pid, need, want) {
+                    Ok(granted) => format!("GRANT {granted}"),
+                    Err(SoftError::Denied { reason }) => format!("DENY {}", deny_code(reason)),
+                    Err(e) => format!("ERR {e}"),
+                }
+            }
+            None => "ERR malformed REQUEST".into(),
+        },
+        "RELEASE" => match args.first().and_then(|v| v.parse().ok()) {
+            Some(pages) => match smd.release_pages(pid, pages) {
+                Ok(released) => format!("OK {released}"),
+                Err(e) => format!("ERR {e}"),
+            },
+            None => "ERR malformed RELEASE".into(),
+        },
+        "TRAD" => match args.first().and_then(|v| v.parse().ok()) {
+            Some(pages) => match smd.report_traditional(pid, pages) {
+                Ok(()) => "OK 0".into(),
+                Err(e) => format!("ERR {e}"),
+            },
+            None => "ERR malformed TRAD".into(),
+        },
+        other => format!("ERR unknown verb {other}"),
+    }
+}
+
+fn parse4(args: &[String]) -> Option<(usize, usize, usize, usize)> {
+    match args {
+        [a, b, c, d] => Some((
+            a.parse().ok()?,
+            b.parse().ok()?,
+            c.parse().ok()?,
+            d.parse().ok()?,
+        )),
+        _ => None,
+    }
+}
+
+fn deny_code(reason: DenyReason) -> &'static str {
+    match reason {
+        DenyReason::ReclaimShortfall => "shortfall",
+        DenyReason::PerProcessCap => "cap",
+        DenyReason::ShuttingDown => "shutdown",
+    }
+}
+
+fn parse_deny(code: &str) -> DenyReason {
+    match code {
+        "cap" => DenyReason::PerProcessCap,
+        "shutdown" => DenyReason::ShuttingDown,
+        _ => DenyReason::ReclaimShortfall,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+/// A reply the client-side reader routes to the waiting caller.
+#[derive(Debug)]
+enum Reply {
+    Grant(usize),
+    Deny(DenyReason),
+    Registered(Pid, usize),
+    Ok(usize),
+    Err(String),
+}
+
+struct ClientShared {
+    sma: Arc<Sma>,
+    writer: Mutex<UnixStream>,
+    /// The single waiting request (requests are serialised by
+    /// `request_lock`).
+    waiting: Mutex<Option<Sender<Reply>>>,
+}
+
+impl ClientShared {
+    fn send_line(&self, line: &str) -> SoftResult<()> {
+        let mut w = self.writer.lock();
+        w.write_all(line.as_bytes())
+            .and_then(|_| w.write_all(b"\n"))
+            .map_err(|_| SoftError::DaemonUnavailable)
+    }
+
+    /// Sends a line and waits for its routed reply.
+    fn call(&self, line: &str) -> SoftResult<Reply> {
+        let (tx, rx) = bounded(1);
+        *self.waiting.lock() = Some(tx);
+        self.send_line(line)?;
+        rx.recv_timeout(REQUEST_TIMEOUT)
+            .map_err(|_| SoftError::DaemonUnavailable)
+    }
+
+    fn usage(&self) -> (usize, usize) {
+        let stats = self.sma.stats();
+        (stats.held_pages, stats.slack_pages())
+    }
+}
+
+/// A process connected to a [`UdsSmdServer`]: its own SMA, budget
+/// growth and reclamation demands wired over the socket.
+pub struct UdsProcess {
+    shared: Arc<ClientShared>,
+    /// Serialises outgoing request/reply exchanges.
+    request_lock: Mutex<()>,
+    pid: Pid,
+    reader_thread: Option<JoinHandle<()>>,
+}
+
+impl UdsProcess {
+    /// Connects to the daemon socket at `path` and registers as
+    /// `name`, building an SMA from `cfg` (its initial budget is
+    /// replaced by the daemon's registration grant).
+    pub fn connect(
+        path: impl AsRef<Path>,
+        name: &str,
+        mut cfg: SmaConfig,
+    ) -> SoftResult<Arc<Self>> {
+        cfg.initial_budget_pages = 0;
+        let sma = Sma::with_config(cfg);
+        let stream = UnixStream::connect(path).map_err(|_| SoftError::DaemonUnavailable)?;
+        let write_half = stream
+            .try_clone()
+            .map_err(|_| SoftError::DaemonUnavailable)?;
+        let shared = Arc::new(ClientShared {
+            sma,
+            writer: Mutex::new(write_half),
+            waiting: Mutex::new(None),
+        });
+
+        // Reader thread: routes replies, applies credits, dispatches
+        // demands. Runs until the daemon hangs up.
+        let reader_shared = Arc::clone(&shared);
+        let reader_thread = std::thread::Builder::new()
+            .name("softmem-uds-client".into())
+            .spawn(move || client_reader(reader_shared, stream))
+            .map_err(|_| SoftError::DaemonUnavailable)?;
+
+        let reply = shared.call(&format!("REGISTER {name}"))?;
+        let Reply::Registered(pid, _grant) = reply else {
+            return Err(SoftError::DaemonUnavailable);
+        };
+        // The registration grant was already applied by the reader (the
+        // daemon sends it as a CREDIT line ahead of REGISTERED).
+        let process = Arc::new(UdsProcess {
+            shared: Arc::clone(&shared),
+            request_lock: Mutex::new(()),
+            pid,
+            reader_thread: Some(reader_thread),
+        });
+        let source = UdsBudgetSource {
+            process: Arc::downgrade(&process),
+        };
+        process.shared.sma.set_budget_source(Arc::new(source));
+        Ok(process)
+    }
+
+    /// The process's allocator.
+    pub fn sma(&self) -> &Arc<Sma> {
+        &self.shared.sma
+    }
+
+    /// The daemon-assigned pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Requests `need..=want` budget pages over the socket. The grant
+    /// is applied to the SMA before this returns.
+    pub fn request_range(&self, need: usize, want: usize) -> SoftResult<usize> {
+        let _serial = self.request_lock.lock();
+        let (held, slack) = self.shared.usage();
+        let reply = self
+            .shared
+            .call(&format!("REQUEST {need} {want} {held} {slack}"))?;
+        match reply {
+            // The grant was already applied by the reader: the daemon
+            // pushes every grant as a CREDIT line, which precedes the
+            // GRANT reply on the FIFO stream. Only report the count.
+            Reply::Grant(pages) => Ok(pages),
+            Reply::Deny(reason) => Err(SoftError::Denied { reason }),
+            Reply::Err(msg) => {
+                let _ = msg;
+                Err(SoftError::DaemonUnavailable)
+            }
+            _ => Err(SoftError::DaemonUnavailable),
+        }
+    }
+
+    /// Reports the process's traditional footprint.
+    pub fn report_traditional(&self, pages: usize) -> SoftResult<()> {
+        let _serial = self.request_lock.lock();
+        match self.shared.call(&format!("TRAD {pages}"))? {
+            Reply::Ok(_) => Ok(()),
+            _ => Err(SoftError::DaemonUnavailable),
+        }
+    }
+
+    /// Returns up to `pages` of unused budget to the daemon.
+    pub fn release_slack(&self, pages: usize) -> SoftResult<usize> {
+        let shed = self.shared.sma.shrink_budget(pages);
+        if shed > 0 {
+            let _serial = self.request_lock.lock();
+            match self.shared.call(&format!("RELEASE {shed}"))? {
+                Reply::Ok(released) => return Ok(released),
+                _ => return Err(SoftError::DaemonUnavailable),
+            }
+        }
+        Ok(0)
+    }
+}
+
+impl Drop for UdsProcess {
+    fn drop(&mut self) {
+        self.shared.sma.clear_budget_source();
+        let _ = self.shared.send_line("BYE");
+        if let Some(t) = self.reader_thread.take() {
+            // The daemon closes the stream after BYE; the reader exits.
+            let _ = t.join();
+        }
+    }
+}
+
+/// The client's reader loop: one thread, in-order processing.
+fn client_reader(shared: Arc<ClientShared>, stream: UnixStream) {
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        match verb {
+            // Budget pushed by the daemon (e.g. ahead of a DEMAND):
+            // applied here, in stream order, before any later line.
+            "CREDIT" => {
+                if let Some(pages) = args.first().and_then(|v| v.parse().ok()) {
+                    shared.sma.grow_budget(pages);
+                }
+            }
+            "DEMAND" => {
+                if std::env::var_os("SOFTMEM_UDS_DEBUG").is_some() {
+                    eprintln!("[client] got DEMAND {args:?}");
+                }
+                let (Some(req_id), Some(pages)) = (
+                    args.first().and_then(|v| v.parse::<u64>().ok()),
+                    args.get(1).and_then(|v| v.parse::<usize>().ok()),
+                ) else {
+                    continue;
+                };
+                // Run the reclamation off-thread so a slow callback
+                // never blocks credit/reply processing.
+                let shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("softmem-uds-reclaim".into())
+                    .spawn(move || {
+                        let t = std::time::Instant::now();
+                        let report = shared.sma.reclaim(pages);
+                        if std::env::var_os("SOFTMEM_UDS_DEBUG").is_some() {
+                            eprintln!("[client] reclaim {req_id} took {:?}", t.elapsed());
+                        }
+                        let (held, slack) = shared.usage();
+                        if std::env::var_os("SOFTMEM_UDS_DEBUG").is_some() {
+                            eprintln!("[client] yield {req_id} -> {}", report.total_yielded());
+                        }
+                        let _ = shared.send_line(&format!(
+                            "YIELD {req_id} {} {held} {slack}",
+                            report.total_yielded()
+                        ));
+                    });
+            }
+            "GRANT" | "DENY" | "REGISTERED" | "OK" | "ERR" => {
+                let reply = match verb {
+                    "GRANT" => args.first().and_then(|v| v.parse().ok()).map(Reply::Grant),
+                    "DENY" => Some(Reply::Deny(parse_deny(args.first().copied().unwrap_or("")))),
+                    "REGISTERED" => match (
+                        args.first().and_then(|v| v.parse().ok()),
+                        args.get(1).and_then(|v| v.parse().ok()),
+                    ) {
+                        (Some(pid), Some(grant)) => Some(Reply::Registered(pid, grant)),
+                        _ => None,
+                    },
+                    "OK" => Some(Reply::Ok(
+                        args.first().and_then(|v| v.parse().ok()).unwrap_or(0),
+                    )),
+                    "ERR" => Some(Reply::Err(args.join(" "))),
+                    _ => None,
+                };
+                if let (Some(reply), Some(tx)) = (reply, shared.waiting.lock().take()) {
+                    let _ = tx.send(reply);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Budget source wiring alloc-time growth to the socket.
+struct UdsBudgetSource {
+    process: std::sync::Weak<UdsProcess>,
+}
+
+impl BudgetSource for UdsBudgetSource {
+    fn grant_more(&self, need: usize, want: usize) -> SoftResult<Grant> {
+        let process = self.process.upgrade().ok_or(SoftError::DaemonUnavailable)?;
+        // `request_range` applies the grant to the SMA itself.
+        process.request_range(need, want).map(Grant::applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmem_core::{MachineMemory, Priority};
+    use softmem_sds::SoftQueue;
+
+    use crate::smd::SmdConfig;
+
+    fn socket_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "softmem-uds-test-{tag}-{}.sock",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn server(tag: &str, capacity: usize) -> (UdsSmdServer, PathBuf) {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(SmdConfig::new(&machine, capacity).initial_budget(4));
+        let path = socket_path(tag);
+        let server = UdsSmdServer::bind(smd, &path).expect("bind socket");
+        (server, path)
+    }
+
+    fn client(path: &Path, name: &str) -> Arc<UdsProcess> {
+        UdsProcess::connect(path, name, SmaConfig::for_testing(0)).expect("connect")
+    }
+
+    #[test]
+    fn register_and_grow_over_the_socket() {
+        let (_server, path) = server("grow", 128);
+        let p = client(&path, "svc");
+        assert_eq!(p.sma().budget_pages(), 4, "registration grant applied");
+        let sds = p.sma().register_sds("data", Priority::default());
+        for _ in 0..32 {
+            p.sma().alloc_bytes(sds, 4096).expect("daemon grows budget");
+        }
+        assert!(p.sma().budget_pages() >= 32);
+    }
+
+    #[test]
+    fn cross_process_reclaim_over_the_socket() {
+        let (server, path) = server("reclaim", 64);
+        let a = client(&path, "a");
+        let b = client(&path, "b");
+        let qa: SoftQueue<[u8; 4096]> = SoftQueue::new(a.sma(), "qa", Priority::new(1));
+        for _ in 0..60 {
+            qa.push([1u8; 4096]).expect("fits capacity");
+        }
+        // B's demand exceeds what is unassigned: the daemon sends A a
+        // DEMAND over the socket; A's reader reclaims and YIELDs.
+        let qb: SoftQueue<[u8; 4096]> = SoftQueue::new(b.sma(), "qb", Priority::new(1));
+        for _ in 0..32 {
+            qb.push([2u8; 4096]).expect("reclamation frees room");
+        }
+        assert_eq!(qb.len(), 32);
+        assert!(qa.len() < 60, "A was reclaimed from: {}", qa.len());
+        assert!(server.smd().stats().pages_reclaimed_total > 0);
+    }
+
+    #[test]
+    fn explicit_request_release_and_trad() {
+        let (server, path) = server("api", 64);
+        let p = client(&path, "svc");
+        assert_eq!(p.request_range(10, 10).expect("capacity free"), 10);
+        assert_eq!(p.sma().budget_pages(), 14);
+        p.report_traditional(40).expect("reported");
+        assert_eq!(server.smd().stats().procs[0].usage.traditional_pages, 40);
+        let released = p.release_slack(usize::MAX).expect("released");
+        assert_eq!(released, 14);
+        assert_eq!(server.smd().stats().assigned_pages, 0);
+    }
+
+    #[test]
+    fn denial_travels_back_over_the_socket() {
+        let (_server, path) = server("deny", 8);
+        let p = client(&path, "greedy");
+        let err = p.request_range(64, 64).unwrap_err();
+        assert_eq!(
+            err,
+            SoftError::Denied {
+                reason: DenyReason::ReclaimShortfall
+            }
+        );
+    }
+
+    #[test]
+    fn disconnect_deregisters() {
+        let (server, path) = server("bye", 64);
+        {
+            let p = client(&path, "transient");
+            p.request_range(16, 16).expect("granted");
+            assert_eq!(server.smd().stats().procs.len(), 1);
+        }
+        // Drop sent BYE; the daemon connection thread deregisters.
+        for _ in 0..100 {
+            if server.smd().stats().procs.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(server.smd().stats().procs.is_empty());
+        assert_eq!(server.smd().stats().assigned_pages, 0);
+    }
+
+    #[test]
+    fn crashed_client_without_bye_is_reaped() {
+        // A client that dies abruptly (no BYE — think SIGKILL) must
+        // not wedge the machine: its connection EOFs, its channel is
+        // marked dead, and the next pressure round reaps its budget.
+        let (server, path) = server("crash", 64);
+        {
+            // Raw socket: register, grab budget, then vanish.
+            let mut raw = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+            raw.write_all(b"REGISTER doomed\n").expect("write");
+            let mut buf = [0u8; 256];
+            let _ = std::io::Read::read(&mut raw, &mut buf);
+            raw.write_all(b"REQUEST 40 40 0 0\n").expect("write");
+            let _ = std::io::Read::read(&mut raw, &mut buf);
+            assert_eq!(server.smd().stats().assigned_pages, 44);
+            // Dropped here: abrupt close, no BYE.
+        }
+        // A healthy client can still get the whole machine.
+        let p = client(&path, "survivor");
+        assert_eq!(p.request_range(60, 60).expect("reaped the corpse"), 60);
+        assert!(server.smd().stats().procs.len() <= 2);
+    }
+
+    #[test]
+    fn client_crashing_mid_demand_does_not_wedge_the_round() {
+        // The victim dies *while* a demand to it is in flight: the
+        // daemon's connection reader EOFs, fails the pending demand to
+        // zero, and the requester is served after the reap retry.
+        let (server, path) = server("middemand", 64);
+        // The victim: a raw-socket client that takes the capacity and
+        // then never answers demands (it just closes on receipt).
+        let victim = std::thread::spawn({
+            let path = path.clone();
+            move || {
+                let mut raw = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+                raw.write_all(b"REGISTER victim\n").expect("write");
+                let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("REGISTERED");
+                raw.write_all(b"REQUEST 56 56 0 0\n").expect("write");
+                // Read CREDIT + GRANT, then wait for the DEMAND and die.
+                loop {
+                    line.clear();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        return;
+                    }
+                    if line.starts_with("DEMAND") {
+                        return; // drop both halves: simulated crash
+                    }
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(server.smd().stats().assigned_pages, 60);
+        let p = client(&path, "requester");
+        // Needs more than the 0 unassigned pages: triggers a demand to
+        // the victim, which crashes instead of yielding.
+        let granted = p.request_range(32, 32).expect("served after the reap");
+        assert_eq!(granted, 32);
+        victim.join().expect("victim thread exits");
+    }
+
+    #[test]
+    fn concurrent_clients_hammer_the_socket_daemon() {
+        let (server, path) = server("hammer", 256);
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let path = path.clone();
+            handles.push(std::thread::spawn(move || {
+                let p = client(&path, &format!("p{t}"));
+                let q: SoftQueue<[u8; 1024]> =
+                    SoftQueue::new(p.sma(), "q", Priority::new(t as u32));
+                for i in 0..300 {
+                    q.push([t; 1024]).expect("daemon serves everyone");
+                    if i % 4 == 0 {
+                        q.pop();
+                    }
+                }
+                q.len()
+            }));
+        }
+        for h in handles {
+            // 300 pushes − 75 pops = 225, minus whatever machine-wide
+            // reclamation took from this queue along the way.
+            let len = h.join().expect("no panics");
+            assert!(len > 0 && len <= 225, "len={len}");
+        }
+        assert!(server.smd().stats().grants_total > 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! A minimal interactive client for `kv_server`.
+//!
+//! ```sh
+//! cargo run --release -p softmem-kv --bin kv_cli -- 127.0.0.1:PORT
+//! ```
+
+use std::io::{BufRead, Write};
+
+use softmem_kv::server::TcpKvClient;
+use softmem_kv::Response;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .expect("usage: kv_cli <host:port>")
+        .parse()
+        .expect("valid socket address");
+    let mut client = TcpKvClient::connect(addr).expect("connect");
+    println!("connected to {addr}; type commands (Ctrl-D to quit)");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("softmem-kv> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match client.request(line) {
+            Ok(Response::Ok(s)) => println!("{s}"),
+            Ok(Response::Bulk(None)) => println!("(nil)"),
+            Ok(Response::Bulk(Some(v))) => println!("\"{}\"", String::from_utf8_lossy(&v)),
+            Ok(Response::Int(n)) => println!("(integer) {n}"),
+            Ok(Response::Array(items)) => {
+                for (i, item) in items.iter().enumerate() {
+                    println!("{}) {}", i + 1, String::from_utf8_lossy(item));
+                }
+                if items.is_empty() {
+                    println!("(empty)");
+                }
+            }
+            Ok(Response::Error(msg)) => println!("(error) {msg}"),
+            Err(e) => {
+                println!("connection error: {e}");
+                break;
+            }
+        }
+        if line.eq_ignore_ascii_case("shutdown") {
+            break;
+        }
+    }
+}

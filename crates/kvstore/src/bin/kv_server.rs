@@ -1,0 +1,90 @@
+//! A standalone soft-memory KV server over TCP.
+//!
+//! Runs the Redis-like store on its own soft-memory allocator with a
+//! fixed budget, so the cache degrades (sheds entries) instead of
+//! growing without bound — `maxmemory` semantics out of the box.
+//!
+//! ```sh
+//! cargo run --release -p softmem-kv --bin kv_server -- --budget-mib 64
+//! # in another terminal:
+//! cargo run --release -p softmem-kv --bin kv_cli -- 127.0.0.1:<port>
+//! ```
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use softmem_core::{bytes_to_pages, Priority, Sma, SmaConfig};
+use softmem_daemon::uds::UdsProcess;
+use softmem_kv::server::{KvHandle, KvServer};
+use softmem_kv::{Response, Store};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let budget_mib: usize = arg("--budget-mib")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let addr = arg("--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+
+    // Two modes: a fixed standalone budget, or membership of a
+    // machine-wide daemon (multiple kv_server processes then share
+    // soft memory, reclaiming from each other under pressure).
+    let (_daemon_membership, sma) = match arg("--smd-socket") {
+        Some(socket) => {
+            let proc = UdsProcess::connect(&socket, "kv-server", SmaConfig::for_testing(0))
+                .expect("connect to the soft memory daemon");
+            println!("joined soft memory daemon at {socket}");
+            let sma = Arc::clone(proc.sma());
+            (Some(proc), sma)
+        }
+        None => (
+            None,
+            Sma::with_config(SmaConfig::for_testing(bytes_to_pages(
+                budget_mib * 1024 * 1024,
+            ))),
+        ),
+    };
+    let store = Store::new(&sma, "keyspace", Priority::new(4));
+    let server = KvServer::start(store);
+    let handle = server.handle();
+
+    let listener = TcpListener::bind(&addr).expect("bind listen address");
+    let local = listener.local_addr().expect("bound address");
+    println!("softmem-kv listening on {local} (soft budget {budget_mib} MiB)");
+    println!("commands: GET SET DEL EXISTS DBSIZE KEYS INCR INCRBY APPEND PEXPIRE PTTL PERSIST INFO SHED FLUSHALL SHUTDOWN");
+
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let handle: KvHandle = handle.clone();
+        std::thread::spawn(move || {
+            use std::io::{BufRead, BufReader, Write};
+            let _ = stream.set_nodelay(true);
+            let mut writer = match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.is_empty() {
+                    continue;
+                }
+                let reply = match handle.request(&line) {
+                    Ok(resp) => resp.encode(),
+                    Err(msg) => Response::Error(msg).encode(),
+                };
+                if writer.write_all(reply.as_bytes()).is_err() {
+                    break;
+                }
+                if line.eq_ignore_ascii_case("shutdown") {
+                    std::process::exit(0);
+                }
+            }
+        });
+    }
+}

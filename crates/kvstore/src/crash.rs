@@ -1,0 +1,165 @@
+//! The no-soft-memory baseline: crash under pressure, restart cold.
+//!
+//! "Without soft memory, Redis would crash under memory pressure. The
+//! cost of such a termination is a minimum of 12 ms of downtime for
+//! Redis to restart, with an additional, load-dependent period of
+//! increased tail latency while the cache refills" (§5). This module
+//! models that baseline so the `table2_crash_vs_reclaim` harness can
+//! put the two failure modes side by side.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use softmem_core::{Priority, Sma};
+
+use crate::store::Store;
+
+/// Parameters of the crash/restart baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashModel {
+    /// Process restart time (the paper measured ≥ 12 ms for Redis).
+    pub restart: Duration,
+    /// Cost of re-fetching one missed entry from the backing database,
+    /// charged per cold miss during the refill period.
+    pub db_fetch: Duration,
+}
+
+impl Default for CrashModel {
+    fn default() -> Self {
+        CrashModel {
+            restart: Duration::from_millis(12),
+            db_fetch: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Outcome of a simulated crash plus refill workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashOutcome {
+    /// Wall-clock downtime while restarting.
+    pub downtime: Duration,
+    /// Requests served during the refill phase.
+    pub refill_requests: u64,
+    /// Cold misses among them (all of them, right after a crash, until
+    /// keys are re-fetched).
+    pub cold_misses: u64,
+    /// Total simulated time lost to database re-fetches.
+    pub refetch_cost: Duration,
+}
+
+impl CrashOutcome {
+    /// Downtime plus re-fetch cost: the total client-visible penalty.
+    pub fn total_penalty(&self) -> Duration {
+        self.downtime + self.refetch_cost
+    }
+}
+
+impl CrashModel {
+    /// Kills `store` (drops it — all entries gone, like an OOM kill),
+    /// waits out the restart, and returns the cold replacement.
+    pub fn crash_and_restart(
+        &self,
+        store: Store,
+        sma: &Arc<Sma>,
+        name: &str,
+        priority: Priority,
+    ) -> (Store, Duration) {
+        drop(store);
+        let start = Instant::now();
+        std::thread::sleep(self.restart);
+        (Store::new(sma, name, priority), start.elapsed())
+    }
+
+    /// Replays `requests` (keys) against a cold `store`, re-fetching
+    /// each miss from the "database" (`fetch`) and re-populating the
+    /// cache — the paper's refill period.
+    pub fn refill<'k>(
+        &self,
+        store: &Store,
+        requests: impl IntoIterator<Item = &'k [u8]>,
+        mut fetch: impl FnMut(&[u8]) -> Vec<u8>,
+    ) -> CrashOutcome {
+        let mut refill_requests = 0;
+        let mut cold_misses = 0;
+        for key in requests {
+            refill_requests += 1;
+            if store.get(key).is_none() {
+                cold_misses += 1;
+                let value = fetch(key);
+                // Best effort: refill may itself hit budget limits.
+                let _ = store.set(key, &value);
+            }
+        }
+        CrashOutcome {
+            downtime: self.restart,
+            refill_requests,
+            cold_misses,
+            refetch_cost: self.db_fetch * cold_misses as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_loses_everything_and_costs_downtime() {
+        let sma = Sma::standalone(512);
+        let store = Store::new(&sma, "kv", Priority::default());
+        for i in 0..200 {
+            store.set(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        let model = CrashModel {
+            restart: Duration::from_millis(12),
+            ..CrashModel::default()
+        };
+        let (cold, downtime) = model.crash_and_restart(store, &sma, "kv", Priority::default());
+        assert!(downtime >= Duration::from_millis(12));
+        assert_eq!(cold.dbsize(), 0, "restart is cold");
+        assert_eq!(sma.stats().live_allocs, 0, "old store fully released");
+    }
+
+    #[test]
+    fn refill_counts_cold_misses_and_repopulates() {
+        let sma = Sma::standalone(512);
+        let store = Store::new(&sma, "kv", Priority::default());
+        let keys: Vec<Vec<u8>> = (0..100).map(|i| format!("k{i}").into_bytes()).collect();
+        // Request each key twice: first pass misses and refills, second
+        // pass hits.
+        let mut requests: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        requests.extend(keys.iter().map(|k| k.as_slice()));
+        let model = CrashModel::default();
+        let outcome = model.refill(&store, requests, |_k| b"from-db".to_vec());
+        assert_eq!(outcome.refill_requests, 200);
+        assert_eq!(outcome.cold_misses, 100);
+        assert_eq!(store.dbsize(), 100);
+        assert_eq!(outcome.refetch_cost, model.db_fetch * 100);
+        assert!(outcome.total_penalty() > outcome.refetch_cost);
+    }
+
+    #[test]
+    fn soft_reclaim_penalty_is_partial_by_contrast() {
+        // Companion check: after a *partial* soft reclaim (rather than
+        // a crash), only the reclaimed fraction misses.
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(512)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        let store = Store::new(&sma, "kv", Priority::default());
+        let keys: Vec<Vec<u8>> = (0..400).map(|i| format!("k{i}").into_bytes()).collect();
+        for k in &keys {
+            store.set(k, &[9u8; 64]).unwrap();
+        }
+        // Demand beyond the budget slack so live entries must go.
+        sma.reclaim(sma.stats().slack_pages() + sma.held_pages() / 4);
+        // Read-only sweep: only the reclaimed fraction misses (a
+        // refilling workload at squeezed capacity would churn, which
+        // `table2_crash_vs_reclaim` measures with a realistic Zipf
+        // stream instead of a sequential scan).
+        let misses = keys.iter().filter(|k| store.get(k).is_none()).count();
+        assert!(misses > 0, "reclaim caused some misses");
+        assert!(misses < 400, "but far fewer than a crash: {misses}");
+    }
+}

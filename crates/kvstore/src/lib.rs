@@ -1,0 +1,47 @@
+//! # softmem-kv — a Redis-like in-memory key-value store on soft memory
+//!
+//! The paper evaluates soft memory by patching Redis so that its hash
+//! table stores "the elements of its buckets in soft memory, turning it
+//! into an SDS", while keys and values point to traditional heap memory
+//! that the reclamation callback cleans up (§5). This crate is the
+//! from-scratch substitute for that patched Redis (DESIGN.md §2):
+//!
+//! * [`Store`] — the single-threaded command engine: a soft-memory hash
+//!   table of entries whose key/value buffers live on the traditional
+//!   heap and are released when an entry is reclaimed. A reclaimed key
+//!   simply reads as *not found*, and "in a caching setup, the client
+//!   would re-fetch these entries from a database".
+//! * [`protocol`] — a line-oriented command protocol (`SET`/`GET`/…)
+//!   with Redis-flavoured replies.
+//! * [`server`] — an in-process server (command channel + worker
+//!   thread, mirroring Redis's single-threaded event loop) and a TCP
+//!   front-end over the same engine.
+//! * [`crash`] — the no-soft-memory baseline: a store that is killed
+//!   under memory pressure and restarts cold (≥ 12 ms downtime plus a
+//!   refill period of elevated misses, §5).
+//!
+//! # Examples
+//!
+//! ```
+//! use softmem_core::{Priority, Sma};
+//! use softmem_kv::Store;
+//!
+//! let sma = Sma::standalone(1024);
+//! let store = Store::new(&sma, "cache", Priority::new(4));
+//! store.set(b"user:1", b"alice").unwrap();
+//! assert_eq!(store.get(b"user:1"), Some(b"alice".to_vec()));
+//! assert_eq!(store.dbsize(), 1);
+//!
+//! // Under pressure the SMA reclaims entries; lookups turn into
+//! // cache misses instead of crashes.
+//! sma.reclaim(usize::MAX / 4096);
+//! assert_eq!(store.get(b"user:1"), None);
+//! ```
+
+pub mod crash;
+pub mod protocol;
+pub mod server;
+mod store;
+
+pub use protocol::{Command, Response};
+pub use store::{Store, StoreStats, Ttl};

@@ -1,0 +1,569 @@
+//! The wire protocol: a line-oriented, Redis-flavoured command set.
+//!
+//! Requests are single lines, e.g. `SET user:1 alice`; values with
+//! spaces can be sent as the remainder of the line after the key.
+//! Replies use Redis-style sigils: `+OK`, `$<value>`, `:<integer>`,
+//! `-ERR <message>`, `*<n>` followed by `n` element lines.
+
+use crate::store::{Store, StoreStats};
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `PING` → `+PONG`.
+    Ping,
+    /// `SET key value` → `+OK`.
+    Set {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes (remainder of the line).
+        value: Vec<u8>,
+    },
+    /// `GET key` → `$value` or `$-1` (miss).
+    Get {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// `DEL key` → `:1`/`:0`.
+    Del {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// `EXISTS key` → `:1`/`:0`.
+    Exists {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// `DBSIZE` → `:n`.
+    DbSize,
+    /// `FLUSHALL` → `+OK`.
+    FlushAll,
+    /// `KEYS prefix` (empty prefix lists all) → `*n` + keys.
+    Keys {
+        /// Required key prefix.
+        prefix: Vec<u8>,
+    },
+    /// `INFO` → `$<multi-line stats>`.
+    Info,
+    /// `SHED bytes` → `:freed` (voluntary soft-memory scale-down).
+    Shed {
+        /// Bytes to give up.
+        bytes: usize,
+    },
+    /// `INCR key` / `INCRBY key n` → `:new-value`.
+    IncrBy {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Signed delta.
+        delta: i64,
+    },
+    /// `APPEND key value` → `:new-length`.
+    Append {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Bytes to append.
+        value: Vec<u8>,
+    },
+    /// `PEXPIRE key ms` → `:1`/`:0`.
+    PExpire {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Time to live in milliseconds.
+        ms: u64,
+    },
+    /// `PTTL key` → remaining ms, `:-1` (no expiry) or `:-2` (no key).
+    PTtl {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// `PERSIST key` → `:1`/`:0`.
+    Persist {
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// `SETNX key value` → `:1` (stored) / `:0` (already present).
+    SetNx {
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// `MGET key…` → `*n` with one element per key (`(nil)` for a
+    /// miss).
+    MGet {
+        /// Keys, position-matched in the reply.
+        keys: Vec<Vec<u8>>,
+    },
+    /// `SHUTDOWN` → `+OK` and the server exits.
+    Shutdown,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `+<text>`.
+    Ok(String),
+    /// `$<bytes>`; `None` encodes a miss (`$-1`).
+    Bulk(Option<Vec<u8>>),
+    /// `:<n>`.
+    Int(i64),
+    /// `*<n>` + element lines.
+    Array(Vec<Vec<u8>>),
+    /// `-ERR <message>`.
+    Error(String),
+}
+
+impl Command {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Command, String> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let mut parts = line.splitn(2, ' ');
+        let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+        let rest = parts.next().unwrap_or("");
+        let one_arg = |rest: &str, verb: &str| -> Result<Vec<u8>, String> {
+            if rest.is_empty() {
+                Err(format!("wrong number of arguments for '{verb}'"))
+            } else {
+                Ok(rest.as_bytes().to_vec())
+            }
+        };
+        match verb.as_str() {
+            "PING" => Ok(Command::Ping),
+            "SET" => {
+                let mut kv = rest.splitn(2, ' ');
+                let key = kv.next().unwrap_or("");
+                let value = kv.next();
+                match (key.is_empty(), value) {
+                    (false, Some(v)) => Ok(Command::Set {
+                        key: key.as_bytes().to_vec(),
+                        value: v.as_bytes().to_vec(),
+                    }),
+                    _ => Err("wrong number of arguments for 'SET'".into()),
+                }
+            }
+            "GET" => Ok(Command::Get {
+                key: one_arg(rest, "GET")?,
+            }),
+            "DEL" => Ok(Command::Del {
+                key: one_arg(rest, "DEL")?,
+            }),
+            "EXISTS" => Ok(Command::Exists {
+                key: one_arg(rest, "EXISTS")?,
+            }),
+            "DBSIZE" => Ok(Command::DbSize),
+            "FLUSHALL" => Ok(Command::FlushAll),
+            "KEYS" => Ok(Command::Keys {
+                prefix: rest.as_bytes().to_vec(),
+            }),
+            "INFO" => Ok(Command::Info),
+            "SHED" => rest
+                .trim()
+                .parse::<usize>()
+                .map(|bytes| Command::Shed { bytes })
+                .map_err(|_| "SHED requires a byte count".into()),
+            "INCR" => Ok(Command::IncrBy {
+                key: one_arg(rest, "INCR")?,
+                delta: 1,
+            }),
+            "INCRBY" => {
+                let mut kv = rest.splitn(2, ' ');
+                let key = kv.next().unwrap_or("");
+                let delta = kv.next().and_then(|s| s.trim().parse::<i64>().ok());
+                match (key.is_empty(), delta) {
+                    (false, Some(delta)) => Ok(Command::IncrBy {
+                        key: key.as_bytes().to_vec(),
+                        delta,
+                    }),
+                    _ => Err("INCRBY requires a key and an integer".into()),
+                }
+            }
+            "APPEND" => {
+                let mut kv = rest.splitn(2, ' ');
+                let key = kv.next().unwrap_or("");
+                let value = kv.next();
+                match (key.is_empty(), value) {
+                    (false, Some(v)) => Ok(Command::Append {
+                        key: key.as_bytes().to_vec(),
+                        value: v.as_bytes().to_vec(),
+                    }),
+                    _ => Err("wrong number of arguments for 'APPEND'".into()),
+                }
+            }
+            "PEXPIRE" => {
+                let mut kv = rest.splitn(2, ' ');
+                let key = kv.next().unwrap_or("");
+                let ms = kv.next().and_then(|s| s.trim().parse::<u64>().ok());
+                match (key.is_empty(), ms) {
+                    (false, Some(ms)) => Ok(Command::PExpire {
+                        key: key.as_bytes().to_vec(),
+                        ms,
+                    }),
+                    _ => Err("PEXPIRE requires a key and milliseconds".into()),
+                }
+            }
+            "PTTL" => Ok(Command::PTtl {
+                key: one_arg(rest, "PTTL")?,
+            }),
+            "PERSIST" => Ok(Command::Persist {
+                key: one_arg(rest, "PERSIST")?,
+            }),
+            "SETNX" => {
+                let mut kv = rest.splitn(2, ' ');
+                let key = kv.next().unwrap_or("");
+                let value = kv.next();
+                match (key.is_empty(), value) {
+                    (false, Some(v)) => Ok(Command::SetNx {
+                        key: key.as_bytes().to_vec(),
+                        value: v.as_bytes().to_vec(),
+                    }),
+                    _ => Err("wrong number of arguments for 'SETNX'".into()),
+                }
+            }
+            "MGET" => {
+                let keys: Vec<Vec<u8>> = rest
+                    .split_whitespace()
+                    .map(|k| k.as_bytes().to_vec())
+                    .collect();
+                if keys.is_empty() {
+                    Err("wrong number of arguments for 'MGET'".into())
+                } else {
+                    Ok(Command::MGet { keys })
+                }
+            }
+            "SHUTDOWN" => Ok(Command::Shutdown),
+            "" => Err("empty command".into()),
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+
+    /// Executes against a store. (`Shutdown` is handled by the server
+    /// loop; here it just acknowledges.)
+    pub fn execute(&self, store: &Store) -> Response {
+        match self {
+            Command::Ping => Response::Ok("PONG".into()),
+            Command::Set { key, value } => match store.set(key, value) {
+                Ok(()) => Response::Ok("OK".into()),
+                Err(e) => Response::Error(format!("OOM {e}")),
+            },
+            Command::Get { key } => Response::Bulk(store.get(key)),
+            Command::Del { key } => Response::Int(store.del(key) as i64),
+            Command::Exists { key } => Response::Int(store.exists(key) as i64),
+            Command::DbSize => Response::Int(store.dbsize() as i64),
+            Command::FlushAll => {
+                store.flushall();
+                Response::Ok("OK".into())
+            }
+            Command::Keys { prefix } => Response::Array(store.keys_with_prefix(prefix)),
+            Command::Info => Response::Bulk(Some(render_info(store).into_bytes())),
+            Command::Shed { bytes } => Response::Int(store.shed(*bytes) as i64),
+            Command::IncrBy { key, delta } => match store.incr_by(key, *delta) {
+                Ok(n) => Response::Int(n),
+                Err(msg) => Response::Error(msg),
+            },
+            Command::Append { key, value } => match store.append(key, value) {
+                Ok(len) => Response::Int(len as i64),
+                Err(e) => Response::Error(format!("OOM {e}")),
+            },
+            Command::PExpire { key, ms } => {
+                Response::Int(store.expire(key, std::time::Duration::from_millis(*ms)) as i64)
+            }
+            Command::PTtl { key } => Response::Int(match store.ttl(key) {
+                crate::store::Ttl::NoKey => -2,
+                crate::store::Ttl::NoExpiry => -1,
+                crate::store::Ttl::Remaining(d) => d.as_millis() as i64,
+            }),
+            Command::Persist { key } => Response::Int(store.persist(key) as i64),
+            Command::SetNx { key, value } => match store.setnx(key, value) {
+                Ok(stored) => Response::Int(stored as i64),
+                Err(e) => Response::Error(format!("OOM {e}")),
+            },
+            Command::MGet { keys } => Response::Array(
+                store
+                    .mget(keys.iter().map(|k| k.as_slice()))
+                    .into_iter()
+                    .map(|v| v.unwrap_or_else(|| b"(nil)".to_vec()))
+                    .collect(),
+            ),
+            Command::Shutdown => Response::Ok("OK".into()),
+        }
+    }
+}
+
+fn render_info(store: &Store) -> String {
+    // Single line: the protocol frames replies by lines, so INFO packs
+    // its fields with `;` separators.
+    let StoreStats {
+        hits,
+        misses,
+        sets,
+        reclaimed_entries,
+        reclaimed_bytes,
+    } = store.stats();
+    format!(
+        "keys:{};soft_bytes:{};soft_pages:{};hits:{hits};misses:{misses};sets:{sets};\
+         reclaimed_entries:{reclaimed_entries};reclaimed_bytes:{reclaimed_bytes}",
+        store.dbsize(),
+        store.soft_bytes(),
+        store.soft_pages(),
+    )
+}
+
+impl Response {
+    /// Encodes the reply as protocol text (always ends with `\n`).
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Ok(s) => format!("+{s}\n"),
+            Response::Bulk(None) => "$-1\n".into(),
+            Response::Bulk(Some(v)) => format!("${}\n", String::from_utf8_lossy(v)),
+            Response::Int(n) => format!(":{n}\n"),
+            Response::Array(items) => {
+                let mut out = format!("*{}\n", items.len());
+                for item in items {
+                    out.push_str(&String::from_utf8_lossy(item));
+                    out.push('\n');
+                }
+                out
+            }
+            Response::Error(msg) => format!("-ERR {msg}\n"),
+        }
+    }
+
+    /// Decodes a reply from protocol text (the first line, plus array
+    /// elements where applicable).
+    pub fn decode(text: &str) -> Result<Response, String> {
+        let mut lines = text.lines();
+        let first = lines.next().ok_or("empty response")?;
+        match first.as_bytes().first() {
+            Some(b'+') => Ok(Response::Ok(first[1..].to_string())),
+            Some(b':') => first[1..]
+                .parse::<i64>()
+                .map(Response::Int)
+                .map_err(|e| e.to_string()),
+            Some(b'$') => {
+                if first == "$-1" {
+                    Ok(Response::Bulk(None))
+                } else {
+                    // Bulk payload = rest of first line + any
+                    // remaining lines (INFO is multi-line).
+                    let mut payload = first[1..].to_string();
+                    for line in lines {
+                        payload.push('\n');
+                        payload.push_str(line);
+                    }
+                    Ok(Response::Bulk(Some(payload.into_bytes())))
+                }
+            }
+            Some(b'*') => {
+                let n: usize = first[1..].parse().map_err(|_| "bad array length")?;
+                let items: Vec<Vec<u8>> = lines.take(n).map(|l| l.as_bytes().to_vec()).collect();
+                if items.len() != n {
+                    return Err("truncated array".into());
+                }
+                Ok(Response::Array(items))
+            }
+            Some(b'-') => Ok(Response::Error(
+                first.trim_start_matches("-ERR ").to_string(),
+            )),
+            _ => Err(format!("unparseable response: {first}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmem_core::{Priority, Sma};
+
+    #[test]
+    fn parse_basic_commands() {
+        assert_eq!(Command::parse("PING").unwrap(), Command::Ping);
+        assert_eq!(
+            Command::parse("SET k hello world").unwrap(),
+            Command::Set {
+                key: b"k".to_vec(),
+                value: b"hello world".to_vec()
+            }
+        );
+        assert_eq!(
+            Command::parse("get k\r\n").unwrap(),
+            Command::Get { key: b"k".to_vec() }
+        );
+        assert_eq!(Command::parse("DBSIZE").unwrap(), Command::DbSize);
+        assert_eq!(
+            Command::parse("KEYS user:").unwrap(),
+            Command::Keys {
+                prefix: b"user:".to_vec()
+            }
+        );
+        assert_eq!(
+            Command::parse("SHED 4096").unwrap(),
+            Command::Shed { bytes: 4096 }
+        );
+    }
+
+    #[test]
+    fn parse_new_commands() {
+        assert_eq!(
+            Command::parse("INCR n").unwrap(),
+            Command::IncrBy {
+                key: b"n".to_vec(),
+                delta: 1
+            }
+        );
+        assert_eq!(
+            Command::parse("INCRBY n -5").unwrap(),
+            Command::IncrBy {
+                key: b"n".to_vec(),
+                delta: -5
+            }
+        );
+        assert_eq!(
+            Command::parse("APPEND k tail text").unwrap(),
+            Command::Append {
+                key: b"k".to_vec(),
+                value: b"tail text".to_vec()
+            }
+        );
+        assert_eq!(
+            Command::parse("PEXPIRE k 1500").unwrap(),
+            Command::PExpire {
+                key: b"k".to_vec(),
+                ms: 1500
+            }
+        );
+        assert_eq!(
+            Command::parse("PTTL k").unwrap(),
+            Command::PTtl { key: b"k".to_vec() }
+        );
+        assert_eq!(
+            Command::parse("PERSIST k").unwrap(),
+            Command::Persist { key: b"k".to_vec() }
+        );
+        assert!(Command::parse("INCRBY n lots").is_err());
+        assert!(Command::parse("PEXPIRE k").is_err());
+    }
+
+    #[test]
+    fn execute_new_commands() {
+        let sma = Sma::standalone(64);
+        let store = Store::new(&sma, "kv", Priority::default());
+        assert_eq!(
+            Command::parse("INCR hits").unwrap().execute(&store),
+            Response::Int(1)
+        );
+        assert_eq!(
+            Command::parse("INCRBY hits 9").unwrap().execute(&store),
+            Response::Int(10)
+        );
+        assert_eq!(
+            Command::parse("APPEND log a").unwrap().execute(&store),
+            Response::Int(1)
+        );
+        assert_eq!(
+            Command::parse("PTTL log").unwrap().execute(&store),
+            Response::Int(-1)
+        );
+        assert_eq!(
+            Command::parse("PEXPIRE log 60000").unwrap().execute(&store),
+            Response::Int(1)
+        );
+        match Command::parse("PTTL log").unwrap().execute(&store) {
+            Response::Int(ms) => assert!((0..=60_000).contains(&ms)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(
+            Command::parse("PERSIST log").unwrap().execute(&store),
+            Response::Int(1)
+        );
+        assert_eq!(
+            Command::parse("PTTL missing").unwrap().execute(&store),
+            Response::Int(-2)
+        );
+    }
+
+    #[test]
+    fn setnx_and_mget_protocol() {
+        let sma = Sma::standalone(64);
+        let store = Store::new(&sma, "kv", Priority::default());
+        assert_eq!(
+            Command::parse("SETNX lock holder-1")
+                .unwrap()
+                .execute(&store),
+            Response::Int(1)
+        );
+        assert_eq!(
+            Command::parse("SETNX lock holder-2")
+                .unwrap()
+                .execute(&store),
+            Response::Int(0)
+        );
+        store.set(b"a", b"1").unwrap();
+        assert_eq!(
+            Command::parse("MGET a nope lock").unwrap().execute(&store),
+            Response::Array(vec![b"1".to_vec(), b"(nil)".to_vec(), b"holder-1".to_vec()])
+        );
+        assert!(Command::parse("MGET").is_err());
+        assert!(Command::parse("SETNX k").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Command::parse("").is_err());
+        assert!(Command::parse("SET k").is_err());
+        assert!(Command::parse("GET").is_err());
+        assert!(Command::parse("SHED lots").is_err());
+        assert!(Command::parse("BANANA").is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for resp in [
+            Response::Ok("OK".into()),
+            Response::Bulk(None),
+            Response::Bulk(Some(b"value".to_vec())),
+            Response::Int(-3),
+            Response::Array(vec![b"a".to_vec(), b"b".to_vec()]),
+            Response::Error("boom".into()),
+        ] {
+            let decoded = Response::decode(&resp.encode()).unwrap();
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn execute_against_store() {
+        let sma = Sma::standalone(256);
+        let store = Store::new(&sma, "kv", Priority::default());
+        assert_eq!(
+            Command::parse("SET a 1").unwrap().execute(&store),
+            Response::Ok("OK".into())
+        );
+        assert_eq!(
+            Command::parse("GET a").unwrap().execute(&store),
+            Response::Bulk(Some(b"1".to_vec()))
+        );
+        assert_eq!(
+            Command::parse("GET b").unwrap().execute(&store),
+            Response::Bulk(None)
+        );
+        assert_eq!(
+            Command::parse("EXISTS a").unwrap().execute(&store),
+            Response::Int(1)
+        );
+        assert_eq!(
+            Command::parse("DEL a").unwrap().execute(&store),
+            Response::Int(1)
+        );
+        assert_eq!(
+            Command::parse("DBSIZE").unwrap().execute(&store),
+            Response::Int(0)
+        );
+        if let Response::Bulk(Some(info)) = Command::Info.execute(&store) {
+            let text = String::from_utf8(info).unwrap();
+            assert!(text.contains("keys:0"), "{text}");
+            assert!(text.contains("hits:1"), "{text}");
+        } else {
+            panic!("INFO must return bulk");
+        }
+    }
+}

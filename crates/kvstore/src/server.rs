@@ -1,0 +1,359 @@
+//! Servers: an in-process command loop and a TCP front-end.
+//!
+//! Redis is single-threaded; we mirror that with one worker thread
+//! that owns command execution, fed by a channel (in-process clients)
+//! and/or TCP connection threads that forward lines to the same
+//! worker.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use crate::protocol::{Command, Response};
+use crate::store::Store;
+
+enum Req {
+    Line(String, Sender<String>),
+    Stop,
+}
+
+/// An in-process KV server: one worker thread executing commands
+/// sequentially against its [`Store`].
+pub struct KvServer {
+    store: Arc<Store>,
+    tx: Sender<Req>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl KvServer {
+    /// Starts the command loop over `store`.
+    pub fn start(store: Store) -> Self {
+        let store = Arc::new(store);
+        let (tx, rx) = unbounded::<Req>();
+        let worker_store = Arc::clone(&store);
+        let worker = std::thread::Builder::new()
+            .name("softmem-kv".into())
+            .spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        Req::Line(line, reply) => {
+                            let (text, stop) = match Command::parse(&line) {
+                                Ok(Command::Shutdown) => (Response::Ok("OK".into()).encode(), true),
+                                Ok(cmd) => (cmd.execute(&worker_store).encode(), false),
+                                Err(msg) => (Response::Error(msg).encode(), false),
+                            };
+                            let _ = reply.send(text);
+                            if stop {
+                                break;
+                            }
+                        }
+                        Req::Stop => break,
+                    }
+                }
+            })
+            .expect("spawn kv worker");
+        KvServer {
+            store,
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// A client handle to this server.
+    pub fn handle(&self) -> KvHandle {
+        KvHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Shared read access to the underlying store (metrics sampling —
+    /// what the Figure-2 timeline recorder uses).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Stops the worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = self.tx.send(Req::Stop);
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// An in-process client handle.
+#[derive(Clone)]
+pub struct KvHandle {
+    tx: Sender<Req>,
+}
+
+impl KvHandle {
+    /// Sends one raw protocol line; returns the decoded reply.
+    pub fn request(&self, line: &str) -> Result<Response, String> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Req::Line(line.to_string(), reply_tx))
+            .map_err(|_| "server stopped".to_string())?;
+        let text = reply_rx.recv().map_err(|_| "server stopped".to_string())?;
+        Response::decode(&text)
+    }
+
+    /// `SET key value`.
+    pub fn set(&self, key: &str, value: &str) -> Result<(), String> {
+        match self.request(&format!("SET {key} {value}"))? {
+            Response::Ok(_) => Ok(()),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    /// `GET key` (None = miss).
+    pub fn get(&self, key: &str) -> Result<Option<Vec<u8>>, String> {
+        match self.request(&format!("GET {key}"))? {
+            Response::Bulk(v) => Ok(v),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    /// `DEL key`; whether the key existed.
+    pub fn del(&self, key: &str) -> Result<bool, String> {
+        match self.request(&format!("DEL {key}"))? {
+            Response::Int(n) => Ok(n == 1),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    /// `DBSIZE`.
+    pub fn dbsize(&self) -> Result<usize, String> {
+        match self.request("DBSIZE")? {
+            Response::Int(n) => Ok(n as usize),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+}
+
+/// A TCP front-end forwarding lines to an in-process server.
+pub struct TcpFrontend {
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpFrontend {
+    /// Binds `127.0.0.1:0` (ephemeral port) and serves `handle`.
+    pub fn bind(handle: KvHandle) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let accept_thread = std::thread::Builder::new()
+            .name("softmem-kv-tcp".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { break };
+                    let handle = handle.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("softmem-kv-conn".into())
+                        .spawn(move || serve_connection(stream, handle));
+                }
+            })?;
+        Ok(TcpFrontend {
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TcpFrontend {
+    fn drop(&mut self) {
+        // Unblock the accept loop with a dummy connection, then join.
+        if let Some(t) = self.accept_thread.take() {
+            drop(TcpStream::connect(self.addr));
+            drop(t); // listener thread exits when the process does; do
+                     // not block shutdown on lingering connections.
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, handle: KvHandle) {
+    // Request/response protocol: disable Nagle so replies are not
+    // held back waiting for the client's delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.is_empty() {
+            continue;
+        }
+        let reply = match handle.request(&line) {
+            Ok(resp) => resp.encode(),
+            Err(msg) => Response::Error(msg).encode(),
+        };
+        if writer.write_all(reply.as_bytes()).is_err() {
+            break;
+        }
+        if line.eq_ignore_ascii_case("shutdown") {
+            break;
+        }
+    }
+}
+
+/// A blocking TCP client for the line protocol.
+pub struct TcpKvClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpKvClient {
+    /// Connects to a [`TcpFrontend`].
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(TcpKvClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one line, reads one reply line (INFO and arrays read
+    /// additional lines as indicated by the reply header).
+    pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
+        // One write per request (line + terminator): with Nagle off
+        // this is one packet, one reply.
+        let mut msg = String::with_capacity(line.len() + 1);
+        msg.push_str(line);
+        msg.push('\n');
+        self.writer.write_all(msg.as_bytes())?;
+        let mut first = String::new();
+        self.reader.read_line(&mut first)?;
+        let mut text = first.clone();
+        if let Some(rest) = first.strip_prefix('*') {
+            let n: usize = rest.trim().parse().unwrap_or(0);
+            for _ in 0..n {
+                let mut item = String::new();
+                self.reader.read_line(&mut item)?;
+                text.push_str(&item);
+            }
+        }
+        Response::decode(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmem_core::{Priority, Sma};
+
+    fn server() -> (Arc<Sma>, KvServer) {
+        let sma = Sma::standalone(512);
+        let store = Store::new(&sma, "kv", Priority::default());
+        (sma, KvServer::start(store))
+    }
+
+    #[test]
+    fn inproc_roundtrip() {
+        let (_sma, server) = server();
+        let h = server.handle();
+        h.set("a", "hello world").unwrap();
+        assert_eq!(h.get("a").unwrap(), Some(b"hello world".to_vec()));
+        assert_eq!(h.get("missing").unwrap(), None);
+        assert!(h.del("a").unwrap());
+        assert_eq!(h.dbsize().unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_are_reported() {
+        let (_sma, server) = server();
+        let h = server.handle();
+        match h.request("WAT").unwrap() {
+            Response::Error(msg) => assert!(msg.contains("unknown command")),
+            other => panic!("expected error, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn store_metrics_visible_while_serving() {
+        let (_sma, server) = server();
+        let h = server.handle();
+        for i in 0..50 {
+            h.set(&format!("k{i}"), "v").unwrap();
+        }
+        assert_eq!(server.store().dbsize(), 50);
+        assert!(server.store().soft_pages() > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_stops_worker() {
+        let (_sma, server) = server();
+        let h = server.handle();
+        assert_eq!(h.request("SHUTDOWN").unwrap(), Response::Ok("OK".into()));
+        assert!(h.request("PING").is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let (_sma, server) = server();
+        let frontend = TcpFrontend::bind(server.handle()).unwrap();
+        let mut client = TcpKvClient::connect(frontend.addr()).unwrap();
+        assert_eq!(
+            client.request("SET k tcp value").unwrap(),
+            Response::Ok("OK".into())
+        );
+        assert_eq!(
+            client.request("GET k").unwrap(),
+            Response::Bulk(Some(b"tcp value".to_vec()))
+        );
+        assert_eq!(client.request("DBSIZE").unwrap(), Response::Int(1));
+        assert_eq!(
+            client.request("KEYS ").unwrap(),
+            Response::Array(vec![b"k".to_vec()])
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_tcp_clients() {
+        let (_sma, server) = server();
+        let frontend = TcpFrontend::bind(server.handle()).unwrap();
+        let addr = frontend.addr();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let mut c = TcpKvClient::connect(addr).unwrap();
+                for i in 0..50 {
+                    assert_eq!(
+                        c.request(&format!("SET t{t}-k{i} v{i}")).unwrap(),
+                        Response::Ok("OK".into())
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.store().dbsize(), 200);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,338 @@
+//! A soft fixed-length array.
+//!
+//! "Our soft array gives up all of its soft memory upon a reclamation
+//! demand because an array is a single, contiguous memory block"
+//! (§3.2). After reclamation every access returns
+//! [`softmem_core::SoftError::Revoked`] until [`SoftArray::reset`]
+//! re-allocates the backing store.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use softmem_core::{Priority, SdsId, Sma, SoftError, SoftHandle, SoftResult};
+
+use crate::common::{register_with_reclaimer, ReclaimStats, SoftContainer};
+
+struct Inner<T> {
+    handle: Option<SoftHandle>,
+    len: usize,
+    fill: T,
+    /// Called with the element count just before the array is given up.
+    callback: Option<Box<dyn FnMut(usize) + Send>>,
+    stats: ReclaimStats,
+}
+
+/// A fixed-length array of `Copy` elements in revocable soft memory.
+///
+/// The whole array is one contiguous allocation (a span for large
+/// arrays), so reclamation is all-or-nothing.
+///
+/// # Examples
+///
+/// ```
+/// use softmem_core::{Priority, Sma};
+/// use softmem_sds::{SoftArray, SoftContainer};
+///
+/// let sma = Sma::standalone(64);
+/// let arr = SoftArray::new(&sma, "lut", Priority::new(1), 1000, 0u32).unwrap();
+/// arr.set(10, 42).unwrap();
+/// assert_eq!(arr.get(10).unwrap(), 42);
+/// arr.reclaim_now(usize::MAX); // revokes the whole array
+/// assert!(arr.get(10).is_err());
+/// arr.reset().unwrap(); // re-allocate, re-filled with 0
+/// assert_eq!(arr.get(10).unwrap(), 0);
+/// ```
+pub struct SoftArray<T: Copy + Send + 'static> {
+    sma: Arc<Sma>,
+    id: SdsId,
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+// SAFETY: mutex-guarded state; payload access under the SMA lock.
+unsafe impl<T: Copy + Send> Sync for SoftArray<T> {}
+
+impl<T: Copy + Send + 'static> SoftArray<T> {
+    /// Allocates an array of `len` elements, each initialised to `fill`.
+    pub fn new(
+        sma: &Arc<Sma>,
+        name: &str,
+        priority: Priority,
+        len: usize,
+        fill: T,
+    ) -> SoftResult<Self> {
+        assert!(
+            std::mem::align_of::<T>() <= 64,
+            "SoftArray elements must not require alignment above 64 bytes"
+        );
+        let inner = Arc::new(Mutex::new(Inner {
+            handle: None,
+            len,
+            fill,
+            callback: None,
+            stats: ReclaimStats::default(),
+        }));
+        let id = register_with_reclaimer(sma, name, priority, &inner, Self::reclaim_locked);
+        let arr = SoftArray {
+            sma: Arc::clone(sma),
+            id,
+            inner,
+        };
+        arr.reset()?;
+        Ok(arr)
+    }
+
+    /// Installs the pre-reclamation callback; it receives the element
+    /// count being given up.
+    pub fn set_reclaim_callback(&self, cb: impl FnMut(usize) + Send + 'static) {
+        self.inner.lock().callback = Some(Box::new(cb));
+    }
+
+    /// Element count (fixed at construction).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// Whether the array has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the backing store is currently allocated (not reclaimed).
+    pub fn is_live(&self) -> bool {
+        self.inner.lock().handle.is_some()
+    }
+
+    /// Reclamation counters.
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.inner.lock().stats
+    }
+
+    /// Re-allocates the backing store after a reclamation, filling every
+    /// element with the construction-time fill value.
+    pub fn reset(&self) -> SoftResult<()> {
+        // Allocate outside the array lock (a budget stall must not
+        // deadlock against a concurrent reclamation of this array).
+        let (len, fill) = {
+            let inner = self.inner.lock();
+            if inner.handle.is_some() {
+                return Ok(());
+            }
+            (inner.len, inner.fill)
+        };
+        let bytes = (len * std::mem::size_of::<T>()).max(1);
+        let handle = self.sma.alloc_bytes(self.id, bytes)?;
+        self.sma
+            .with_bytes_mut(&handle, |b| {
+                // SAFETY: the allocation is `len * size_of::<T>()` bytes
+                // and at least 64-byte aligned (slab slots are aligned
+                // to their size; spans to 4 KiB), satisfying `T`'s
+                // alignment (asserted ≤ 64 in `new`).
+                let slice =
+                    unsafe { std::slice::from_raw_parts_mut(b.as_mut_ptr().cast::<T>(), len) };
+                slice.fill(fill);
+            })
+            .expect("fresh handle is live");
+        let mut inner = self.inner.lock();
+        if inner.handle.is_some() {
+            // Lost a race with another resetter; discard our copy.
+            self.sma.free_bytes(handle).expect("fresh handle is live");
+        } else {
+            inner.handle = Some(handle);
+        }
+        Ok(())
+    }
+
+    /// Reads element `i`.
+    ///
+    /// Returns [`SoftError::Revoked`] after reclamation and
+    /// [`SoftError::InvalidHandle`] for out-of-range indices.
+    pub fn get(&self, i: usize) -> SoftResult<T> {
+        self.with_slice(|s| s.get(i).copied().ok_or(SoftError::InvalidHandle))?
+    }
+
+    /// Writes element `i`.
+    pub fn set(&self, i: usize, value: T) -> SoftResult<()> {
+        self.with_slice_mut(|s| {
+            s.get_mut(i)
+                .map(|slot| *slot = value)
+                .ok_or(SoftError::InvalidHandle)
+        })?
+    }
+
+    /// Runs `f` over the whole array contents.
+    pub fn with_slice<R>(&self, f: impl FnOnce(&[T]) -> R) -> SoftResult<R> {
+        let inner = self.inner.lock();
+        let handle = inner.handle.as_ref().ok_or(SoftError::Revoked)?;
+        let len = inner.len;
+        self.sma.with_bytes(handle, |b| {
+            // SAFETY: see `reset` — correctly sized and aligned for
+            // `[T; len]`, initialised at reset time, `T: Copy`.
+            let slice = unsafe { std::slice::from_raw_parts(b.as_ptr().cast::<T>(), len) };
+            f(slice)
+        })
+    }
+
+    /// Runs `f` over the whole array contents, mutably.
+    pub fn with_slice_mut<R>(&self, f: impl FnOnce(&mut [T]) -> R) -> SoftResult<R> {
+        let inner = self.inner.lock();
+        let handle = inner.handle.as_ref().ok_or(SoftError::Revoked)?;
+        let len = inner.len;
+        self.sma.with_bytes_mut(handle, |b| {
+            // SAFETY: see `with_slice`; exclusivity via the SMA lock.
+            let slice = unsafe { std::slice::from_raw_parts_mut(b.as_mut_ptr().cast::<T>(), len) };
+            f(slice)
+        })
+    }
+
+    /// Overwrites every element with `value`.
+    pub fn fill_all(&self, value: T) -> SoftResult<()> {
+        self.with_slice_mut(|s| s.fill(value))
+    }
+
+    fn reclaim_locked(sma: &Arc<Sma>, inner: &mut Inner<T>, _bytes: usize) -> usize {
+        let Some(handle) = inner.handle.take() else {
+            return 0;
+        };
+        if let Some(cb) = inner.callback.as_mut() {
+            // Contain panicking user callbacks; the block is freed
+            // regardless.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(inner.len)));
+        }
+        let freed = handle.len();
+        sma.free_bytes(handle).expect("array handle was live");
+        inner.stats.record(inner.len as u64, freed as u64);
+        freed
+    }
+}
+
+impl<T: Copy + Send + 'static> SoftContainer for SoftArray<T> {
+    fn sds_id(&self) -> SdsId {
+        self.id
+    }
+
+    fn sma(&self) -> &Arc<Sma> {
+        &self.sma
+    }
+
+    fn reclaim_now(&self, bytes: usize) -> usize {
+        let mut inner = self.inner.lock();
+        Self::reclaim_locked(&self.sma, &mut inner, bytes)
+    }
+}
+
+impl<T: Copy + Send + 'static> Drop for SoftArray<T> {
+    fn drop(&mut self) {
+        let _ = self.sma.destroy_sds(self.id);
+    }
+}
+
+impl<T: Copy + Send + 'static> std::fmt::Debug for SoftArray<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SoftArray")
+            .field("id", &self.id)
+            .field("len", &inner.len)
+            .field("live", &inner.handle.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let sma = Sma::standalone(64);
+        let arr = SoftArray::new(&sma, "a", Priority::default(), 100, 0u64).unwrap();
+        for i in 0..100 {
+            arr.set(i, (i * i) as u64).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(arr.get(i).unwrap(), (i * i) as u64);
+        }
+        assert_eq!(arr.get(100).unwrap_err(), SoftError::InvalidHandle);
+    }
+
+    #[test]
+    fn large_array_uses_a_span() {
+        let sma = Sma::standalone(64);
+        let arr = SoftArray::new(&sma, "big", Priority::default(), 10_000, 7u32).unwrap();
+        // 40 KB → 10 pages.
+        assert_eq!(sma.held_pages(), 10);
+        assert_eq!(arr.get(9_999).unwrap(), 7);
+        let sum: u64 = arr
+            .with_slice(|s| s.iter().map(|&x| x as u64).sum())
+            .unwrap();
+        assert_eq!(sum, 7 * 10_000);
+    }
+
+    #[test]
+    fn reclaim_gives_up_everything_at_once() {
+        let sma = Sma::standalone(64);
+        let arr = SoftArray::new(&sma, "a", Priority::default(), 10_000, 1u32).unwrap();
+        let held = sma.held_pages();
+        // Even a tiny demand surrenders the whole block (§3.2).
+        let freed = arr.reclaim_now(1);
+        assert_eq!(freed, 40_000);
+        assert!(!arr.is_live());
+        assert_eq!(sma.held_pages(), held - 10);
+        assert_eq!(arr.get(0).unwrap_err(), SoftError::Revoked);
+        assert_eq!(arr.set(0, 9).unwrap_err(), SoftError::Revoked);
+        // Second reclaim is a no-op.
+        assert_eq!(arr.reclaim_now(1), 0);
+    }
+
+    #[test]
+    fn reset_restores_fill_value() {
+        let sma = Sma::standalone(64);
+        let arr = SoftArray::new(&sma, "a", Priority::default(), 50, 3u8).unwrap();
+        arr.fill_all(9).unwrap();
+        arr.reclaim_now(usize::MAX);
+        arr.reset().unwrap();
+        assert_eq!(arr.get(49).unwrap(), 3);
+        // Reset on a live array is a no-op.
+        arr.set(0, 5).unwrap();
+        arr.reset().unwrap();
+        assert_eq!(arr.get(0).unwrap(), 5);
+    }
+
+    #[test]
+    fn callback_sees_element_count() {
+        let sma = Sma::standalone(64);
+        let arr = SoftArray::new(&sma, "a", Priority::default(), 32, 0u16).unwrap();
+        let seen = Arc::new(Mutex::new(0usize));
+        let seen2 = Arc::clone(&seen);
+        arr.set_reclaim_callback(move |n| *seen2.lock() = n);
+        arr.reclaim_now(1);
+        assert_eq!(*seen.lock(), 32);
+        let s = arr.reclaim_stats();
+        assert_eq!(s.elements_reclaimed, 32);
+        assert_eq!(s.reclaim_calls, 1);
+    }
+
+    #[test]
+    fn sma_pressure_revokes_array() {
+        // Budget exactly covers the array's single page: no slack, so
+        // the demand must revoke live data.
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(1)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        let arr = SoftArray::new(&sma, "a", Priority::new(0), 4096, 1u8).unwrap();
+        let report = sma.reclaim(1);
+        assert!(report.satisfied());
+        assert!(!arr.is_live());
+    }
+
+    #[test]
+    fn zero_length_array_works() {
+        let sma = Sma::standalone(8);
+        let arr = SoftArray::new(&sma, "z", Priority::default(), 0, 0u8).unwrap();
+        assert!(arr.is_empty());
+        assert_eq!(arr.get(0).unwrap_err(), SoftError::InvalidHandle);
+        assert!(arr.reclaim_now(usize::MAX) > 0); // the 1-byte backing slot
+    }
+}

@@ -1,0 +1,203 @@
+//! Shared plumbing for Soft Data Structures.
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+use softmem_core::{Priority, SdsId, Sma};
+
+/// Behaviour common to every Soft Data Structure.
+///
+/// This is the Rust rendition of the paper's SDS contract (Listing 1):
+/// a priority, a view of the structure's soft footprint, and a
+/// `reclaim`-style entry point. The SMA normally drives reclamation
+/// through the reclaimer installed at construction; [`reclaim_now`]
+/// exposes the same logic for manual shrinking and tests.
+///
+/// [`reclaim_now`]: SoftContainer::reclaim_now
+pub trait SoftContainer {
+    /// The SDS id under which this structure is registered.
+    fn sds_id(&self) -> SdsId;
+
+    /// The allocator this structure lives in.
+    fn sma(&self) -> &Arc<Sma>;
+
+    /// Current reclamation priority (lower ⇒ reclaimed earlier).
+    fn priority(&self) -> Priority {
+        self.sma()
+            .sds_stats(self.sds_id())
+            .map(|s| s.priority)
+            .unwrap_or_default()
+    }
+
+    /// Updates the reclamation priority.
+    fn set_priority(&self, priority: Priority) {
+        let _ = self.sma().set_priority(self.sds_id(), priority);
+    }
+
+    /// Bytes of live soft allocations held by this structure.
+    fn soft_bytes(&self) -> usize {
+        self.sma()
+            .sds_stats(self.sds_id())
+            .map(|s| s.heap.live_bytes)
+            .unwrap_or(0)
+    }
+
+    /// Pages attached to this structure's heap.
+    fn soft_pages(&self) -> usize {
+        self.sma()
+            .sds_stats(self.sds_id())
+            .map(|s| s.heap.held_pages)
+            .unwrap_or(0)
+    }
+
+    /// Voluntarily gives up about `bytes` bytes, exactly as an
+    /// SMA-driven reclamation would. Returns bytes freed.
+    fn reclaim_now(&self, bytes: usize) -> usize;
+}
+
+impl<T: SoftContainer + ?Sized> SoftContainer for Arc<T> {
+    fn sds_id(&self) -> SdsId {
+        (**self).sds_id()
+    }
+
+    fn sma(&self) -> &Arc<Sma> {
+        (**self).sma()
+    }
+
+    fn reclaim_now(&self, bytes: usize) -> usize {
+        (**self).reclaim_now(bytes)
+    }
+}
+
+/// Per-structure reclamation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimStats {
+    /// Elements given up to reclamation so far.
+    pub elements_reclaimed: u64,
+    /// Bytes given up to reclamation so far.
+    pub bytes_reclaimed: u64,
+    /// Reclamation rounds that touched this structure.
+    pub reclaim_calls: u64,
+}
+
+impl ReclaimStats {
+    pub(crate) fn record(&mut self, elements: u64, bytes: u64) {
+        self.reclaim_calls += 1;
+        self.elements_reclaimed += elements;
+        self.bytes_reclaimed += bytes;
+    }
+}
+
+/// Registers `inner` as an SDS and installs `reclaim` as its reclaimer.
+///
+/// The reclaimer closure holds only weak references, so dropping the
+/// data structure (which destroys the SDS) never leaks a cycle through
+/// the SMA's registry.
+///
+/// # Lock order
+///
+/// The system-wide lock hierarchy is **SDS inner lock → SMA lock**, and
+/// *neither* may be held while waiting on the Soft Memory Daemon. The
+/// SMA already drops its own lock before consulting its budget source;
+/// SDS implementations uphold the rest by allocating **before** taking
+/// their inner lock on every insert path (a budget stall inside an
+/// allocation may transitively wait for the daemon, and the daemon may
+/// concurrently demand reclamation from this very structure, which
+/// needs the inner lock).
+pub(crate) fn register_with_reclaimer<I, F>(
+    sma: &Arc<Sma>,
+    name: &str,
+    priority: Priority,
+    inner: &Arc<Mutex<I>>,
+    reclaim: F,
+) -> SdsId
+where
+    I: Send + 'static,
+    F: Fn(&Arc<Sma>, &mut I, usize) -> usize + Send + Sync + 'static,
+{
+    let id = sma.register_sds(name, priority);
+    let weak_inner: Weak<Mutex<I>> = Arc::downgrade(inner);
+    let weak_sma: Weak<Sma> = Arc::downgrade(sma);
+    sma.set_reclaimer(
+        id,
+        Arc::new(move |bytes: usize| {
+            let (Some(inner), Some(sma)) = (weak_inner.upgrade(), weak_sma.upgrade()) else {
+                return 0;
+            };
+            // Lock order is SDS-then-SMA everywhere (application
+            // operations lock their structure first, then call the
+            // allocator), so locking here cannot deadlock with them.
+            let mut guard = inner.lock();
+            reclaim(&sma, &mut guard, bytes)
+        }),
+    )
+    .expect("freshly registered SDS accepts a reclaimer");
+    id
+}
+
+/// A tiny deterministic xorshift generator for pseudo-random eviction,
+/// kept dependency-free (the `rand` crate stays out of the library's
+/// runtime dependencies).
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift(u64);
+
+impl XorShift {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish index in `[0, n)`.
+    pub(crate) fn next_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_varied() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        let seq_a: Vec<_> = (0..16).map(|_| a.next_u64()).collect();
+        let seq_b: Vec<_> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(seq_a, seq_b);
+        let distinct: std::collections::HashSet<_> = seq_a.iter().collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn xorshift_zero_seed_is_fixed_up() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_index_in_bounds() {
+        let mut r = XorShift::new(7);
+        for _ in 0..1000 {
+            assert!(r.next_index(10) < 10);
+        }
+    }
+
+    #[test]
+    fn reclaim_stats_accumulate() {
+        let mut s = ReclaimStats::default();
+        s.record(3, 300);
+        s.record(2, 200);
+        assert_eq!(s.elements_reclaimed, 5);
+        assert_eq!(s.bytes_reclaimed, 500);
+        assert_eq!(s.reclaim_calls, 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! Grouping soft data structures — one of §7's wished-for APIs:
+//! "Better APIs for composition, for grouping soft allocations, and
+//! for prioritizing soft allocations would be desirable."
+//!
+//! A [`SoftGroup`] ties several structures (e.g. a cache's index *and*
+//! its payload store) into one unit with a single priority knob and
+//! aggregated accounting, so the application reasons about "the
+//! cache's soft memory" instead of its parts. Under SMA-driven
+//! reclamation, members share the group's priority and are therefore
+//! drained together (in registration order) before higher-priority
+//! structures.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use softmem_core::{Priority, SdsId, Sma};
+
+use crate::common::SoftContainer;
+
+/// A registered group member: id plus a reclaim trampoline.
+struct Member {
+    id: SdsId,
+    reclaim: Box<dyn Fn(usize) -> usize + Send + Sync>,
+}
+
+/// A set of soft data structures managed as one unit.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use softmem_core::{Priority, Sma};
+/// use softmem_sds::{SoftGroup, SoftHashMap, SoftLinkedList};
+///
+/// let sma = Sma::standalone(128);
+/// let index: Arc<SoftHashMap<u64, u32>> =
+///     Arc::new(SoftHashMap::new(&sma, "index", Priority::new(5)));
+/// let log: Arc<SoftLinkedList<u64>> =
+///     Arc::new(SoftLinkedList::new(&sma, "log", Priority::new(5)));
+///
+/// let group = SoftGroup::new(&sma);
+/// group.add(&index);
+/// group.add(&log);
+/// group.set_priority(Priority::new(1)); // the whole unit, one knob
+/// assert_eq!(group.member_count(), 2);
+/// ```
+pub struct SoftGroup {
+    sma: Arc<Sma>,
+    members: Mutex<Vec<Member>>,
+}
+
+impl SoftGroup {
+    /// An empty group on `sma`.
+    pub fn new(sma: &Arc<Sma>) -> Self {
+        SoftGroup {
+            sma: Arc::clone(sma),
+            members: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Adds a structure to the group (pass an `&Arc<…>` — the group
+    /// keeps a clone so it can drive the member's reclamation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure lives in a different SMA (groups span
+    /// one allocator).
+    pub fn add<C>(&self, member: &C)
+    where
+        C: SoftContainer + Clone + Send + Sync + 'static,
+    {
+        assert!(
+            Arc::ptr_eq(member.sma(), &self.sma),
+            "group members must share the group's SMA"
+        );
+        let id = member.sds_id();
+        let cloned = member.clone();
+        self.members.lock().push(Member {
+            id,
+            reclaim: Box::new(move |bytes| cloned.reclaim_now(bytes)),
+        });
+    }
+
+    /// Number of member structures.
+    pub fn member_count(&self) -> usize {
+        self.members.lock().len()
+    }
+
+    /// Sets every member's reclamation priority.
+    pub fn set_priority(&self, priority: Priority) {
+        let members = self.members.lock();
+        for m in members.iter() {
+            let _ = self.sma.set_priority(m.id, priority);
+        }
+    }
+
+    /// Total live soft bytes across the group.
+    pub fn soft_bytes(&self) -> usize {
+        let members = self.members.lock();
+        members
+            .iter()
+            .map(|m| {
+                self.sma
+                    .sds_stats(m.id)
+                    .map(|s| s.heap.live_bytes)
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Total pages attached across the group.
+    pub fn soft_pages(&self) -> usize {
+        let members = self.members.lock();
+        members
+            .iter()
+            .map(|m| {
+                self.sma
+                    .sds_stats(m.id)
+                    .map(|s| s.heap.held_pages)
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Voluntarily gives up about `bytes` across the group, visiting
+    /// members in insertion order (so put the most expendable
+    /// structure first). Returns bytes freed.
+    pub fn reclaim_now(&self, bytes: usize) -> usize {
+        let members = self.members.lock();
+        let mut freed = 0;
+        for m in members.iter() {
+            if freed >= bytes {
+                break;
+            }
+            freed += (m.reclaim)(bytes - freed);
+        }
+        freed
+    }
+}
+
+impl std::fmt::Debug for SoftGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoftGroup")
+            .field("members", &self.member_count())
+            .field("soft_bytes", &self.soft_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SoftHashMap, SoftQueue};
+
+    #[test]
+    fn group_aggregates_and_reprioritises() {
+        let sma = Sma::standalone(128);
+        let q: Arc<SoftQueue<[u8; 1024]>> =
+            Arc::new(SoftQueue::new(&sma, "payload", Priority::new(7)));
+        let m: Arc<SoftHashMap<u32, u32>> =
+            Arc::new(SoftHashMap::new(&sma, "index", Priority::new(7)));
+        for i in 0..8 {
+            q.push([0u8; 1024]).unwrap();
+            m.insert(i, i).unwrap();
+        }
+        let group = SoftGroup::new(&sma);
+        group.add(&q);
+        group.add(&m);
+        assert_eq!(group.member_count(), 2);
+        assert_eq!(
+            group.soft_bytes(),
+            8 * 1024 + 8 * std::mem::size_of::<(u32, u32)>()
+        );
+        assert!(group.soft_pages() >= 3);
+
+        group.set_priority(Priority::new(0));
+        assert_eq!(
+            sma.sds_stats(q.sds_id()).unwrap().priority,
+            Priority::new(0)
+        );
+        assert_eq!(
+            sma.sds_stats(m.sds_id()).unwrap().priority,
+            Priority::new(0)
+        );
+    }
+
+    #[test]
+    fn group_reclaim_spreads_across_members() {
+        let sma = Sma::standalone(128);
+        let q: Arc<SoftQueue<[u8; 1024]>> =
+            Arc::new(SoftQueue::new(&sma, "payload", Priority::new(1)));
+        let m: Arc<SoftHashMap<u32, [u8; 1024]>> =
+            Arc::new(SoftHashMap::new(&sma, "index", Priority::new(1)));
+        for i in 0..6 {
+            q.push([0u8; 1024]).unwrap();
+            m.insert(i, [0u8; 1024]).unwrap();
+        }
+        let group = SoftGroup::new(&sma);
+        group.add(&q);
+        group.add(&m);
+        // Demand more than the queue alone holds: the overflow reaches
+        // the second member.
+        let freed = group.reclaim_now(9 * 1024);
+        assert!(freed >= 9 * 1024, "freed {freed}");
+        assert!(q.is_empty(), "first member drained first");
+        assert!(m.len() < 6, "second member covered the rest");
+    }
+
+    #[test]
+    fn grouped_members_bleed_together_under_sma_pressure() {
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(12)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        let grouped: Arc<SoftQueue<[u8; 4096]>> =
+            Arc::new(SoftQueue::new(&sma, "grouped", Priority::new(5)));
+        let other: Arc<SoftQueue<[u8; 4096]>> =
+            Arc::new(SoftQueue::new(&sma, "other", Priority::new(5)));
+        for _ in 0..6 {
+            grouped.push([0u8; 4096]).unwrap();
+            other.push([0u8; 4096]).unwrap();
+        }
+        // Demote the group below `other`: pressure hits it first.
+        let group = SoftGroup::new(&sma);
+        group.add(&grouped);
+        group.set_priority(Priority::new(0));
+        let report = sma.reclaim(4);
+        assert!(report.satisfied());
+        assert!(grouped.len() < 6, "group bled: {}", grouped.len());
+        assert_eq!(other.len(), 6, "non-member untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "share the group's SMA")]
+    fn cross_sma_membership_is_rejected() {
+        let sma_a = Sma::standalone(16);
+        let sma_b = Sma::standalone(16);
+        let q: Arc<SoftQueue<u8>> = Arc::new(SoftQueue::new(&sma_b, "q", Priority::new(1)));
+        let group = SoftGroup::new(&sma_a);
+        group.add(&q);
+    }
+}

@@ -1,0 +1,64 @@
+//! # softmem-sds — Soft Data Structures
+//!
+//! Familiar container APIs over revocable soft memory (§3.2 of the
+//! paper). Each structure registers an isolated heap with the process's
+//! [`Sma`](softmem_core::Sma), installs a *reclaimer* that decides which
+//! of its allocations to give up when the SMA distributes a reclamation
+//! quota, and optionally invokes an application-provided *callback*
+//! before each element is dropped — the developer's "last chance" to tag
+//! data for re-computation or stash it elsewhere.
+//!
+//! | Structure | Reclamation policy |
+//! |---|---|
+//! | [`SoftArray`] | gives up the whole array (single contiguous block) |
+//! | [`SoftVec`] | drops whole chunks from the tail (newest first) |
+//! | [`SoftLinkedList`] | frees elements oldest → newest |
+//! | [`SoftQueue`] | frees elements oldest → newest |
+//! | [`SoftHashMap`] | evicts entries (insertion order or pseudo-random) |
+//! | [`SoftLruCache`] | evicts least-recently-used entries |
+//! | [`SoftSortedMap`] | evicts from one end of the key space (e.g. oldest timestamps) |
+//!
+//! All structures are `Send + Sync` and internally locked; a reclamation
+//! demand arriving on a daemon thread serialises against application
+//! operations, so a revoked element can only be observed as a clean
+//! *miss* (e.g. [`SoftArray::get`] returning `Err(Revoked)`), never as a
+//! dangling pointer.
+//!
+//! # Examples
+//!
+//! ```
+//! use softmem_core::{Priority, Sma};
+//! use softmem_sds::{SoftContainer, SoftLinkedList};
+//!
+//! let sma = Sma::standalone(64);
+//! let list: SoftLinkedList<u64> =
+//!     SoftLinkedList::new(&sma, "jobs", Priority::new(3));
+//! list.push_back(1).unwrap();
+//! list.push_back(2).unwrap();
+//! assert_eq!(list.pop_front().unwrap(), Some(1));
+//! assert_eq!(list.len(), 1);
+//! // Under memory pressure the SMA calls the list's reclaimer, which
+//! // frees the *oldest* elements first; here we trigger it manually.
+//! list.reclaim_now(usize::MAX);
+//! assert_eq!(list.len(), 0);
+//! ```
+
+mod array;
+mod common;
+mod group;
+mod hashmap;
+mod list;
+mod lru;
+mod queue;
+mod sorted;
+mod vec;
+
+pub use array::SoftArray;
+pub use common::{ReclaimStats, SoftContainer};
+pub use group::SoftGroup;
+pub use hashmap::{EvictionOrder, SoftHashMap};
+pub use list::SoftLinkedList;
+pub use lru::{CacheStats, SoftLruCache};
+pub use queue::SoftQueue;
+pub use sorted::{ReclaimEnd, SoftSortedMap};
+pub use vec::SoftVec;

@@ -1,0 +1,533 @@
+//! A soft singly-linked list — the paper's flagship SDS (Listing 1).
+//!
+//! Nodes live in soft memory and embed the raw handle of their
+//! successor, so the structure is genuinely linked *through* soft
+//! memory (the composition case §7 discusses). The traditional-memory
+//! spine is just the head/tail coordinates and a length.
+//!
+//! Reclamation policy: elements are freed **oldest → newest** ("our
+//! soft linked list prioritizes newer entries over older entries"),
+//! invoking the application callback on each value first.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use softmem_core::{Priority, RawHandle, SdsId, Sma, SoftResult, SoftSlot};
+
+use crate::common::{register_with_reclaimer, ReclaimStats, SoftContainer};
+
+/// A list node stored in soft memory.
+struct Node<T> {
+    value: T,
+    next: Option<RawHandle>,
+}
+
+/// Application callback invoked on each value before it is reclaimed.
+pub type ReclaimCallback<T> = Box<dyn FnMut(&T) + Send>;
+
+struct Inner<T> {
+    head: Option<RawHandle>,
+    tail: Option<RawHandle>,
+    len: usize,
+    callback: Option<ReclaimCallback<T>>,
+    stats: ReclaimStats,
+}
+
+/// A linked list whose elements live in revocable soft memory.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct SoftLinkedList<T: Send + 'static> {
+    sma: Arc<Sma>,
+    id: SdsId,
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+// SAFETY: the inner state is fully guarded by its mutex and every
+// payload access goes through the SMA's own lock, so sharing across
+// threads is sound whenever the payload itself is `Send`.
+unsafe impl<T: Send> Sync for SoftLinkedList<T> {}
+
+impl<T: Send + 'static> SoftLinkedList<T> {
+    /// Creates an empty list registered with `sma` under `name`.
+    pub fn new(sma: &Arc<Sma>, name: &str, priority: Priority) -> Self {
+        let inner = Arc::new(Mutex::new(Inner {
+            head: None,
+            tail: None,
+            len: 0,
+            callback: None,
+            stats: ReclaimStats::default(),
+        }));
+        let id = register_with_reclaimer(sma, name, priority, &inner, Self::reclaim_locked);
+        SoftLinkedList {
+            sma: Arc::clone(sma),
+            id,
+            inner,
+        }
+    }
+
+    /// Installs the callback invoked on each value just before it is
+    /// given up to reclamation — the paper's `reclaim_callback_t`.
+    pub fn set_reclaim_callback(&self, cb: impl FnMut(&T) + Send + 'static) {
+        self.inner.lock().callback = Some(Box::new(cb));
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reclamation counters for this list.
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.inner.lock().stats
+    }
+
+    fn slot(raw: RawHandle) -> SoftSlot<Node<T>> {
+        // SAFETY: every handle stored in this list's spine or in a
+        // node's `next` field was produced by `alloc_value::<Node<T>>`
+        // on the same SMA, so the type always matches.
+        unsafe { SoftSlot::from_raw(raw) }
+    }
+
+    /// Appends `value` to the back of the list.
+    ///
+    /// The node is allocated *before* the list lock is taken: an
+    /// allocation may block on the daemon for budget, and the daemon
+    /// may concurrently be reclaiming from this very list (which needs
+    /// the lock); see the crate's lock-order note in `common`.
+    pub fn push_back(&self, value: T) -> SoftResult<()> {
+        let raw = self
+            .sma
+            .alloc_value(self.id, Node { value, next: None })?
+            .into_raw();
+        let mut inner = self.inner.lock();
+        match inner.tail {
+            Some(tail) => {
+                let mut tail_slot = Self::slot(tail);
+                self.sma
+                    .with_value_mut(&mut tail_slot, |n| n.next = Some(raw))
+                    .expect("tail handle is kept live by the spine");
+            }
+            None => inner.head = Some(raw),
+        }
+        inner.tail = Some(raw);
+        inner.len += 1;
+        Ok(())
+    }
+
+    /// Prepends `value` to the front of the list.
+    pub fn push_front(&self, value: T) -> SoftResult<()> {
+        // Allocate before locking (see `push_back`); the successor is
+        // patched in under the lock.
+        let raw = self
+            .sma
+            .alloc_value(self.id, Node { value, next: None })?
+            .into_raw();
+        let mut inner = self.inner.lock();
+        if let Some(head) = inner.head {
+            let mut slot = Self::slot(raw);
+            self.sma
+                .with_value_mut(&mut slot, |n| n.next = Some(head))
+                .expect("freshly allocated node is live");
+        }
+        if inner.tail.is_none() {
+            inner.tail = Some(raw);
+        }
+        inner.head = Some(raw);
+        inner.len += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the front (oldest) element.
+    pub fn pop_front(&self) -> SoftResult<Option<T>> {
+        let mut inner = self.inner.lock();
+        Ok(Self::pop_front_locked(&self.sma, &mut inner, &mut None))
+    }
+
+    /// Removes and returns the back (newest) element. `O(n)`: singly
+    /// linked, so the predecessor must be found by walking.
+    pub fn pop_back(&self) -> SoftResult<Option<T>> {
+        let mut inner = self.inner.lock();
+        let Some(tail) = inner.tail else {
+            return Ok(None);
+        };
+        // Find the predecessor of the tail.
+        let mut pred: Option<RawHandle> = None;
+        let mut cur = inner.head.expect("non-empty list has a head");
+        while cur != tail {
+            let next = self
+                .sma
+                .with_value(&Self::slot(cur), |n| n.next)
+                .expect("spine handles are live");
+            pred = Some(cur);
+            cur = next.expect("walk ends at the tail");
+        }
+        let node = self
+            .sma
+            .take_value(Self::slot(tail))
+            .expect("tail handle is live");
+        match pred {
+            Some(p) => {
+                let mut p_slot = Self::slot(p);
+                self.sma
+                    .with_value_mut(&mut p_slot, |n| n.next = None)
+                    .expect("predecessor is live");
+                inner.tail = Some(p);
+            }
+            None => {
+                inner.head = None;
+                inner.tail = None;
+            }
+        }
+        inner.len -= 1;
+        Ok(Some(node.value))
+    }
+
+    /// Visits every element front-to-back.
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        let inner = self.inner.lock();
+        let mut cur = inner.head;
+        while let Some(raw) = cur {
+            cur = self
+                .sma
+                .with_value(&Self::slot(raw), |n| {
+                    f(&n.value);
+                    n.next
+                })
+                .expect("spine handles are live");
+        }
+    }
+
+    /// Copies the elements into a `Vec` front-to-back.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|v| out.push(v.clone()));
+        out
+    }
+
+    /// Returns a clone of the element at `index` (front = 0).
+    pub fn get(&self, index: usize) -> Option<T>
+    where
+        T: Clone,
+    {
+        let inner = self.inner.lock();
+        let mut cur = inner.head;
+        let mut i = 0;
+        while let Some(raw) = cur {
+            let (value, next) = self
+                .sma
+                .with_value(&Self::slot(raw), |n| {
+                    ((i == index).then(|| n.value.clone()), n.next)
+                })
+                .expect("spine handles are live");
+            if let Some(v) = value {
+                return Some(v);
+            }
+            cur = next;
+            i += 1;
+        }
+        None
+    }
+
+    /// Drops every element (no callbacks; this is an application
+    /// operation, not a reclamation).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        while Self::pop_front_locked(&self.sma, &mut inner, &mut None).is_some() {}
+    }
+
+    /// Pops the front element, running `callback` (if any) on it first.
+    fn pop_front_locked(
+        sma: &Arc<Sma>,
+        inner: &mut Inner<T>,
+        callback: &mut Option<&mut ReclaimCallback<T>>,
+    ) -> Option<T> {
+        let head = inner.head?;
+        let slot = Self::slot(head);
+        if let Some(cb) = callback {
+            // Contain panicking user callbacks (the element is freed
+            // either way; see the queue's reclaimer).
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sma.with_value(&slot, |n| cb(&n.value))
+                    .expect("head handle is live")
+            }));
+        }
+        let node = sma.take_value(slot).expect("head handle is live");
+        inner.head = node.next;
+        if inner.head.is_none() {
+            inner.tail = None;
+        }
+        inner.len -= 1;
+        Some(node.value)
+    }
+
+    /// The SMA-driven reclaimer: frees oldest elements until about
+    /// `bytes` bytes are given up.
+    fn reclaim_locked(sma: &Arc<Sma>, inner: &mut Inner<T>, bytes: usize) -> usize {
+        let node_bytes = std::mem::size_of::<Node<T>>().max(1);
+        let mut freed = 0usize;
+        let mut elements = 0u64;
+        let mut callback = inner.callback.take();
+        while freed < bytes {
+            let mut cb_ref = callback.as_mut();
+            if Self::pop_front_locked(sma, inner, &mut cb_ref).is_none() {
+                break;
+            }
+            freed += node_bytes;
+            elements += 1;
+        }
+        inner.callback = callback;
+        if elements > 0 {
+            inner.stats.record(elements, freed as u64);
+        }
+        freed
+    }
+}
+
+impl<T: Send + 'static> SoftContainer for SoftLinkedList<T> {
+    fn sds_id(&self) -> SdsId {
+        self.id
+    }
+
+    fn sma(&self) -> &Arc<Sma> {
+        &self.sma
+    }
+
+    fn reclaim_now(&self, bytes: usize) -> usize {
+        let mut inner = self.inner.lock();
+        Self::reclaim_locked(&self.sma, &mut inner, bytes)
+    }
+}
+
+impl<T: Send + 'static> Drop for SoftLinkedList<T> {
+    fn drop(&mut self) {
+        // Destroys the heap, dropping any remaining nodes in place.
+        let _ = self.sma.destroy_sds(self.id);
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for SoftLinkedList<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoftLinkedList")
+            .field("id", &self.id)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn list(budget: usize) -> (Arc<Sma>, SoftLinkedList<u64>) {
+        let sma = Sma::standalone(budget);
+        let l = SoftLinkedList::new(&sma, "l", Priority::default());
+        (sma, l)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (_sma, l) = list(64);
+        for i in 0..10 {
+            l.push_back(i).unwrap();
+        }
+        assert_eq!(l.len(), 10);
+        for i in 0..10 {
+            assert_eq!(l.pop_front().unwrap(), Some(i));
+        }
+        assert_eq!(l.pop_front().unwrap(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn push_front_and_pop_back() {
+        let (_sma, l) = list(64);
+        l.push_front(2).unwrap();
+        l.push_front(1).unwrap();
+        l.push_back(3).unwrap();
+        assert_eq!(l.to_vec(), vec![1, 2, 3]);
+        assert_eq!(l.pop_back().unwrap(), Some(3));
+        assert_eq!(l.pop_back().unwrap(), Some(2));
+        assert_eq!(l.pop_back().unwrap(), Some(1));
+        assert_eq!(l.pop_back().unwrap(), None);
+    }
+
+    #[test]
+    fn get_and_for_each() {
+        let (_sma, l) = list(64);
+        for i in 0..5 {
+            l.push_back(i * 10).unwrap();
+        }
+        assert_eq!(l.get(0), Some(0));
+        assert_eq!(l.get(4), Some(40));
+        assert_eq!(l.get(5), None);
+        let mut sum = 0;
+        l.for_each(|v| sum += v);
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn reclaim_frees_oldest_first() {
+        let (_sma, l) = list(64);
+        for i in 0..10 {
+            l.push_back(i).unwrap();
+        }
+        let node_bytes = std::mem::size_of::<Node<u64>>();
+        let freed = l.reclaim_now(3 * node_bytes);
+        assert_eq!(freed, 3 * node_bytes);
+        assert_eq!(l.len(), 7);
+        // Oldest (0, 1, 2) are gone; 3 is now the front.
+        assert_eq!(l.pop_front().unwrap(), Some(3));
+        let s = l.reclaim_stats();
+        assert_eq!(s.elements_reclaimed, 3);
+        assert_eq!(s.reclaim_calls, 1);
+    }
+
+    #[test]
+    fn reclaim_invokes_callback_with_values() {
+        let (_sma, l) = list(64);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        l.set_reclaim_callback(move |v: &u64| seen2.lock().push(*v));
+        for i in 0..6 {
+            l.push_back(i).unwrap();
+        }
+        l.reclaim_now(2 * std::mem::size_of::<Node<u64>>());
+        assert_eq!(*seen.lock(), vec![0, 1]);
+        // Normal pops do not fire the callback.
+        l.pop_front().unwrap();
+        assert_eq!(seen.lock().len(), 2);
+    }
+
+    #[test]
+    fn reclaim_everything_empties_the_list() {
+        let (_sma, l) = list(64);
+        for i in 0..20 {
+            l.push_back(i).unwrap();
+        }
+        l.reclaim_now(usize::MAX);
+        assert!(l.is_empty());
+        assert_eq!(l.pop_front().unwrap(), None);
+        // The list remains usable afterwards.
+        l.push_back(99).unwrap();
+        assert_eq!(l.pop_front().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn sma_driven_reclaim_shrinks_the_list() {
+        // Node<[u8; 2048]> lands in the 4 KiB class: one node per page.
+        // Budget equals held pages, so the demand must free live nodes.
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(12)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        let l: SoftLinkedList<[u8; 2048]> = SoftLinkedList::new(&sma, "big", Priority::new(1));
+        for _ in 0..12 {
+            l.push_back([7u8; 2048]).unwrap();
+        }
+        let held_before = sma.held_pages();
+        let report = sma.reclaim(3);
+        assert!(report.satisfied(), "{report:?}");
+        assert!(l.len() < 12, "list shrank: {}", l.len());
+        assert!(sma.held_pages() <= held_before - 3);
+    }
+
+    #[test]
+    fn values_are_dropped_on_reclaim() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let sma = Sma::standalone(64);
+        let l: SoftLinkedList<Probe> = SoftLinkedList::new(&sma, "p", Priority::default());
+        for _ in 0..5 {
+            l.push_back(Probe).unwrap();
+        }
+        l.reclaim_now(usize::MAX);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn drop_destroys_heap() {
+        let sma = Sma::standalone(64);
+        {
+            let l: SoftLinkedList<u64> = SoftLinkedList::new(&sma, "l", Priority::default());
+            for i in 0..100 {
+                l.push_back(i).unwrap();
+            }
+            assert!(sma.stats().live_allocs == 100);
+        }
+        assert_eq!(sma.stats().live_allocs, 0);
+        assert_eq!(sma.stats().sds_count, 0);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let (_sma, l) = list(64);
+        for i in 0..10 {
+            l.push_back(i).unwrap();
+        }
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.to_vec(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn container_trait_surface() {
+        let (sma, l) = list(64);
+        for i in 0..4 {
+            l.push_back(i).unwrap();
+        }
+        assert_eq!(l.priority(), Priority::default());
+        l.set_priority(Priority::new(2));
+        assert_eq!(l.priority(), Priority::new(2));
+        assert!(l.soft_bytes() >= 4 * std::mem::size_of::<Node<u64>>());
+        assert!(l.soft_pages() >= 1);
+        assert_eq!(l.sma().stats().sds_count, sma.stats().sds_count);
+    }
+
+    #[test]
+    fn concurrent_pushes_and_reclaims() {
+        let sma = Sma::standalone(4096);
+        let l = Arc::new(SoftLinkedList::<u64>::new(&sma, "c", Priority::default()));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    l.push_back(t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        let reclaimer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    l.reclaim_now(256);
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reclaimer.join().unwrap();
+        // Remaining elements are walkable and consistent.
+        let mut count = 0;
+        l.for_each(|_| count += 1);
+        assert_eq!(count, l.len());
+    }
+}

@@ -1,0 +1,445 @@
+//! A soft LRU cache.
+//!
+//! Values live in soft memory; the key index and recency order live in
+//! traditional memory. Reclamation evicts the **least recently used**
+//! entries first — an SDS engineer's "different policy … that
+//! prioritizes infrequently-accessed elements for reclamation" (§3.2).
+//!
+//! The cache keeps hit/miss counters, since its natural role (per §1 of
+//! the paper) is an application cache whose misses are re-fetchable.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use softmem_core::{Priority, SdsId, Sma, SoftResult, SoftSlot};
+
+use crate::common::{register_with_reclaimer, ReclaimStats, SoftContainer};
+
+/// Pre-eviction application callback.
+type EvictCallback<K, V> = Box<dyn FnMut(&K, &V) + Send>;
+
+struct Inner<K, V> {
+    map: HashMap<K, (SoftSlot<V>, u64)>,
+    /// Recency index: unique tick → key. First entry = LRU.
+    by_tick: BTreeMap<u64, K>,
+    tick: u64,
+    /// Optional hard cap on entries (evicts LRU on insert).
+    capacity: Option<usize>,
+    callback: Option<EvictCallback<K, V>>,
+    stats: ReclaimStats,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that found nothing (including reclaimed entries).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU cache whose values live in revocable soft memory.
+///
+/// # Examples
+///
+/// ```
+/// use softmem_core::{Priority, Sma};
+/// use softmem_sds::{SoftContainer, SoftLruCache};
+///
+/// let sma = Sma::standalone(64);
+/// let c: SoftLruCache<u32, String> = SoftLruCache::new(&sma, "cache", Priority::new(2));
+/// c.insert(1, "one".into()).unwrap();
+/// c.insert(2, "two".into()).unwrap();
+/// c.get(&1); // 2 is now the least recently used
+/// c.reclaim_now(std::mem::size_of::<String>());
+/// assert!(c.contains_key(&1));
+/// assert!(!c.contains_key(&2));
+/// ```
+pub struct SoftLruCache<K, V>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    sma: Arc<Sma>,
+    id: SdsId,
+    inner: Arc<Mutex<Inner<K, V>>>,
+}
+
+// SAFETY: mutex-guarded state; payload access under the SMA lock.
+unsafe impl<K: Hash + Eq + Clone + Send, V: Send> Sync for SoftLruCache<K, V> {}
+
+impl<K, V> SoftLruCache<K, V>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    /// Creates an unbounded cache (shrinks only under reclamation).
+    pub fn new(sma: &Arc<Sma>, name: &str, priority: Priority) -> Self {
+        Self::build(sma, name, priority, None)
+    }
+
+    /// Creates a cache capped at `capacity` entries (LRU-evicts on
+    /// insert beyond the cap, independent of memory pressure).
+    pub fn with_capacity(sma: &Arc<Sma>, name: &str, priority: Priority, capacity: usize) -> Self {
+        Self::build(sma, name, priority, Some(capacity))
+    }
+
+    fn build(sma: &Arc<Sma>, name: &str, priority: Priority, capacity: Option<usize>) -> Self {
+        let inner = Arc::new(Mutex::new(Inner {
+            map: HashMap::new(),
+            by_tick: BTreeMap::new(),
+            tick: 0,
+            capacity,
+            callback: None,
+            stats: ReclaimStats::default(),
+            hits: 0,
+            misses: 0,
+        }));
+        let id = register_with_reclaimer(sma, name, priority, &inner, Self::reclaim_locked);
+        SoftLruCache {
+            sma: Arc::clone(sma),
+            id,
+            inner,
+        }
+    }
+
+    /// Installs the pre-eviction callback.
+    pub fn set_reclaim_callback(&self, cb: impl FnMut(&K, &V) + Send + 'static) {
+        self.inner.lock().callback = Some(Box::new(cb));
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+        }
+    }
+
+    /// Reclamation counters.
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.inner.lock().stats
+    }
+
+    /// Inserts `key → value`, returning the previous value if present.
+    /// May LRU-evict if a capacity cap is set.
+    pub fn insert(&self, key: K, value: V) -> SoftResult<Option<V>> {
+        // Allocate before locking, so a budget stall cannot deadlock
+        // against a concurrent reclamation of this cache.
+        let slot = self.sma.alloc_value(self.id, value)?;
+        let mut inner = self.inner.lock();
+        let old = if let Some((old_slot, old_tick)) = inner.map.remove(&key) {
+            inner.by_tick.remove(&old_tick);
+            Some(
+                self.sma
+                    .take_value(old_slot)
+                    .expect("cached handles stay live under the cache lock"),
+            )
+        } else {
+            if let Some(cap) = inner.capacity {
+                while inner.map.len() >= cap {
+                    if Self::evict_lru(&self.sma, &mut inner).is_none() {
+                        break;
+                    }
+                }
+            }
+            None
+        };
+        let tick = Self::bump(&mut inner);
+        inner.by_tick.insert(tick, key.clone());
+        inner.map.insert(key, (slot, tick));
+        Ok(old)
+    }
+
+    /// Looks up `key`, refreshing its recency; clones the value.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_with(key, V::clone)
+    }
+
+    /// Looks up `key`, refreshing its recency; applies `f`.
+    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let mut inner = self.inner.lock();
+        let new_tick = Self::bump(&mut inner);
+        let Some((slot, tick)) = inner.map.get_mut(key) else {
+            inner.misses += 1;
+            return None;
+        };
+        let old_tick = std::mem::replace(tick, new_tick);
+        let result = self
+            .sma
+            .with_value(slot, f)
+            .expect("cached handles stay live under the cache lock");
+        inner.by_tick.remove(&old_tick);
+        inner.by_tick.insert(new_tick, key.clone());
+        inner.hits += 1;
+        Some(result)
+    }
+
+    /// Looks up `key` without refreshing recency.
+    pub fn peek(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        let inner = self.inner.lock();
+        let (slot, _) = inner.map.get(key)?;
+        Some(
+            self.sma
+                .with_value(slot, V::clone)
+                .expect("cached handles stay live under the cache lock"),
+        )
+    }
+
+    /// Whether `key` is cached (no recency refresh, no counters).
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock();
+        let (slot, tick) = inner.map.remove(key)?;
+        inner.by_tick.remove(&tick);
+        Some(
+            self.sma
+                .take_value(slot)
+                .expect("cached handles stay live under the cache lock"),
+        )
+    }
+
+    /// Drops every entry (no callbacks).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let entries = std::mem::take(&mut inner.map);
+        inner.by_tick.clear();
+        for (_, (slot, _)) in entries {
+            self.sma
+                .free_value(slot)
+                .expect("cached handles stay live under the cache lock");
+        }
+    }
+
+    fn bump(inner: &mut Inner<K, V>) -> u64 {
+        inner.tick += 1;
+        inner.tick
+    }
+
+    /// Evicts the least-recently-used entry; returns its key.
+    fn evict_lru(sma: &Arc<Sma>, inner: &mut Inner<K, V>) -> Option<K> {
+        let (&tick, _) = inner.by_tick.iter().next()?;
+        let key = inner.by_tick.remove(&tick).expect("tick just observed");
+        let (slot, _) = inner.map.remove(&key).expect("indexes are in sync");
+        if let Some(cb) = inner.callback.as_mut() {
+            // Contain panicking user callbacks; the eviction proceeds.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sma.with_value(&slot, |v| cb(&key, v))
+                    .expect("victim handle is live")
+            }));
+        }
+        sma.free_value(slot).expect("victim handle is live");
+        Some(key)
+    }
+
+    fn reclaim_locked(sma: &Arc<Sma>, inner: &mut Inner<K, V>, bytes: usize) -> usize {
+        let value_bytes = std::mem::size_of::<V>().max(1);
+        let mut freed = 0usize;
+        let mut evicted = 0u64;
+        while freed < bytes {
+            if Self::evict_lru(sma, inner).is_none() {
+                break;
+            }
+            freed += value_bytes;
+            evicted += 1;
+        }
+        if evicted > 0 {
+            inner.stats.record(evicted, freed as u64);
+        }
+        freed
+    }
+}
+
+impl<K, V> SoftContainer for SoftLruCache<K, V>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    fn sds_id(&self) -> SdsId {
+        self.id
+    }
+
+    fn sma(&self) -> &Arc<Sma> {
+        &self.sma
+    }
+
+    fn reclaim_now(&self, bytes: usize) -> usize {
+        let mut inner = self.inner.lock();
+        Self::reclaim_locked(&self.sma, &mut inner, bytes)
+    }
+}
+
+impl<K, V> Drop for SoftLruCache<K, V>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    fn drop(&mut self) {
+        let _ = self.sma.destroy_sds(self.id);
+    }
+}
+
+impl<K, V> std::fmt::Debug for SoftLruCache<K, V>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoftLruCache")
+            .field("id", &self.id)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(budget: usize) -> (Arc<Sma>, SoftLruCache<u32, String>) {
+        let sma = Sma::standalone(budget);
+        let c = SoftLruCache::new(&sma, "c", Priority::default());
+        (sma, c)
+    }
+
+    #[test]
+    fn insert_get_peek_remove() {
+        let (_sma, c) = cache(64);
+        c.insert(1, "one".into()).unwrap();
+        c.insert(2, "two".into()).unwrap();
+        assert_eq!(c.get(&1), Some("one".to_string()));
+        assert_eq!(c.peek(&2), Some("two".to_string()));
+        assert_eq!(c.insert(1, "uno".into()).unwrap(), Some("one".to_string()));
+        assert_eq!(c.remove(&1), Some("uno".to_string()));
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reclaim_evicts_lru_first() {
+        let (_sma, c) = cache(64);
+        for i in 0..5 {
+            c.insert(i, format!("v{i}")).unwrap();
+        }
+        // Touch 0 and 1 so 2 becomes the LRU.
+        c.get(&0);
+        c.get(&1);
+        let vbytes = std::mem::size_of::<String>();
+        c.reclaim_now(2 * vbytes);
+        assert!(!c.contains_key(&2), "LRU evicted");
+        assert!(!c.contains_key(&3));
+        assert!(c.contains_key(&0) && c.contains_key(&1) && c.contains_key(&4));
+    }
+
+    #[test]
+    fn capacity_cap_evicts_on_insert() {
+        let sma = Sma::standalone(64);
+        let c: SoftLruCache<u32, u32> =
+            SoftLruCache::with_capacity(&sma, "c", Priority::default(), 3);
+        for i in 0..10 {
+            c.insert(i, i * 10).unwrap();
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.peek(&9), Some(90));
+        assert_eq!(c.peek(&0), None);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let (_sma, c) = cache(64);
+        c.insert(1, "x".into()).unwrap();
+        c.get(&1);
+        c.get(&1);
+        c.get(&2);
+        let s = c.cache_stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn callback_fires_per_eviction() {
+        let (_sma, c) = cache(64);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        c.set_reclaim_callback(move |k: &u32, _| seen2.lock().push(*k));
+        for i in 0..4 {
+            c.insert(i, format!("{i}")).unwrap();
+        }
+        c.reclaim_now(usize::MAX);
+        assert_eq!(*seen.lock(), vec![0, 1, 2, 3]);
+        assert!(c.is_empty());
+        assert_eq!(c.reclaim_stats().elements_reclaimed, 4);
+    }
+
+    #[test]
+    fn sma_pressure_evicts_lru_entries() {
+        // 32 × 1 KiB values pack 4 per page: 8 pages, zero slack.
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(8)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        let c: SoftLruCache<u32, [u8; 1024]> = SoftLruCache::new(&sma, "c", Priority::new(0));
+        for i in 0..32 {
+            c.insert(i, [0u8; 1024]).unwrap();
+        }
+        c.get(&0); // protect entry 0
+        let report = sma.reclaim(2);
+        assert!(report.satisfied());
+        assert!(c.contains_key(&0), "recently used survives");
+        assert!(c.len() < 32);
+    }
+
+    #[test]
+    fn clear_releases_memory() {
+        let (sma, c) = cache(64);
+        for i in 0..20 {
+            c.insert(i, format!("{i}")).unwrap();
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(sma.stats().live_allocs, 0);
+        // Usable after clear.
+        c.insert(1, "back".into()).unwrap();
+        assert_eq!(c.get(&1), Some("back".to_string()));
+    }
+}

@@ -1,0 +1,253 @@
+//! A soft FIFO queue — "temporary request queues" (§1 of the paper).
+//!
+//! Elements live in soft memory; the order spine (a ring of handles)
+//! lives in traditional memory, mirroring the paper's Redis integration
+//! where structure metadata stays in traditional memory. Reclamation
+//! frees elements **oldest → newest**.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use softmem_core::{Priority, SdsId, Sma, SoftResult, SoftSlot};
+
+use crate::common::{register_with_reclaimer, ReclaimStats, SoftContainer};
+
+/// Pre-reclamation application callback.
+type ReclaimCallback<T> = Box<dyn FnMut(&T) + Send>;
+
+struct Inner<T> {
+    slots: VecDeque<SoftSlot<T>>,
+    callback: Option<ReclaimCallback<T>>,
+    stats: ReclaimStats,
+}
+
+/// A FIFO queue whose elements live in revocable soft memory.
+///
+/// # Examples
+///
+/// ```
+/// use softmem_core::{Priority, Sma};
+/// use softmem_sds::{SoftContainer, SoftQueue};
+///
+/// let sma = Sma::standalone(32);
+/// let q: SoftQueue<u32> = SoftQueue::new(&sma, "requests", Priority::new(2));
+/// q.push(1).unwrap();
+/// q.push(2).unwrap();
+/// assert_eq!(q.pop(), Some(1));
+/// // Under pressure the queue gives up its *oldest* elements first.
+/// q.reclaim_now(usize::MAX);
+/// assert!(q.is_empty());
+/// ```
+pub struct SoftQueue<T: Send + 'static> {
+    sma: Arc<Sma>,
+    id: SdsId,
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+// SAFETY: all shared state is mutex-guarded; payload access goes
+// through the SMA lock. Sound whenever `T: Send`.
+unsafe impl<T: Send> Sync for SoftQueue<T> {}
+
+impl<T: Send + 'static> SoftQueue<T> {
+    /// Creates an empty queue registered with `sma` under `name`.
+    pub fn new(sma: &Arc<Sma>, name: &str, priority: Priority) -> Self {
+        let inner = Arc::new(Mutex::new(Inner {
+            slots: VecDeque::new(),
+            callback: None,
+            stats: ReclaimStats::default(),
+        }));
+        let id = register_with_reclaimer(sma, name, priority, &inner, Self::reclaim_locked);
+        SoftQueue {
+            sma: Arc::clone(sma),
+            id,
+            inner,
+        }
+    }
+
+    /// Installs the pre-reclamation callback.
+    pub fn set_reclaim_callback(&self, cb: impl FnMut(&T) + Send + 'static) {
+        self.inner.lock().callback = Some(Box::new(cb));
+    }
+
+    /// Enqueues `value`.
+    ///
+    /// The element is allocated before the queue lock is taken, so a
+    /// budget stall can never deadlock against a concurrent reclamation
+    /// of this queue.
+    pub fn push(&self, value: T) -> SoftResult<()> {
+        let slot = self.sma.alloc_value(self.id, value)?;
+        self.inner.lock().slots.push_back(slot);
+        Ok(())
+    }
+
+    /// Dequeues the oldest element, or `None` if empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        let slot = inner.slots.pop_front()?;
+        Some(
+            self.sma
+                .take_value(slot)
+                .expect("queued handles stay live under the queue lock"),
+        )
+    }
+
+    /// Reads the oldest element without removing it.
+    pub fn peek_with<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let inner = self.inner.lock();
+        let slot = inner.slots.front()?;
+        Some(
+            self.sma
+                .with_value(slot, f)
+                .expect("queued handles stay live under the queue lock"),
+        )
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reclamation counters.
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.inner.lock().stats
+    }
+
+    fn reclaim_locked(sma: &Arc<Sma>, inner: &mut Inner<T>, bytes: usize) -> usize {
+        let elem_bytes = std::mem::size_of::<T>().max(1);
+        let mut freed = 0usize;
+        let mut elements = 0u64;
+        let mut callback = inner.callback.take();
+        while freed < bytes {
+            let Some(slot) = inner.slots.pop_front() else {
+                break;
+            };
+            if let Some(cb) = callback.as_mut() {
+                // A panicking user callback must not leak the element
+                // or abort the reclamation: contain it and free anyway.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sma.with_value(&slot, |v| cb(v))
+                        .expect("queued handles stay live")
+                }));
+            }
+            sma.free_value(slot).expect("queued handles stay live");
+            freed += elem_bytes;
+            elements += 1;
+        }
+        inner.callback = callback;
+        if elements > 0 {
+            inner.stats.record(elements, freed as u64);
+        }
+        freed
+    }
+}
+
+impl<T: Send + 'static> SoftContainer for SoftQueue<T> {
+    fn sds_id(&self) -> SdsId {
+        self.id
+    }
+
+    fn sma(&self) -> &Arc<Sma> {
+        &self.sma
+    }
+
+    fn reclaim_now(&self, bytes: usize) -> usize {
+        let mut inner = self.inner.lock();
+        Self::reclaim_locked(&self.sma, &mut inner, bytes)
+    }
+}
+
+impl<T: Send + 'static> Drop for SoftQueue<T> {
+    fn drop(&mut self) {
+        let _ = self.sma.destroy_sds(self.id);
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for SoftQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoftQueue")
+            .field("id", &self.id)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_semantics() {
+        let sma = Sma::standalone(32);
+        let q: SoftQueue<String> = SoftQueue::new(&sma, "q", Priority::default());
+        q.push("a".into()).unwrap();
+        q.push("b".into()).unwrap();
+        assert_eq!(q.peek_with(|s| s.clone()), Some("a".to_string()));
+        assert_eq!(q.pop(), Some("a".to_string()));
+        assert_eq!(q.pop(), Some("b".to_string()));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn reclaim_oldest_first_with_callback() {
+        let sma = Sma::standalone(32);
+        let q: SoftQueue<u32> = SoftQueue::new(&sma, "q", Priority::default());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        q.set_reclaim_callback(move |v: &u32| seen2.lock().push(*v));
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        let freed = q.reclaim_now(3 * std::mem::size_of::<u32>());
+        assert_eq!(freed, 12);
+        assert_eq!(*seen.lock(), vec![0, 1, 2]);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn reclaim_via_sma_respects_priority() {
+        // Two queues × 16 × 1 KiB = 8 pages; budget leaves no slack.
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(8)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        let low: SoftQueue<[u8; 1024]> = SoftQueue::new(&sma, "low", Priority::new(0));
+        let high: SoftQueue<[u8; 1024]> = SoftQueue::new(&sma, "high", Priority::new(5));
+        for _ in 0..16 {
+            low.push([1; 1024]).unwrap();
+            high.push([2; 1024]).unwrap();
+        }
+        let report = sma.reclaim(2);
+        assert!(report.satisfied());
+        assert!(low.len() < 16, "low-priority queue bled first");
+        assert_eq!(high.len(), 16);
+    }
+
+    #[test]
+    fn empty_reclaim_returns_zero() {
+        let sma = Sma::standalone(8);
+        let q: SoftQueue<u8> = SoftQueue::new(&sma, "q", Priority::default());
+        assert_eq!(q.reclaim_now(1024), 0);
+        assert_eq!(q.reclaim_stats().reclaim_calls, 0);
+    }
+
+    #[test]
+    fn drop_releases_allocations() {
+        let sma = Sma::standalone(32);
+        {
+            let q: SoftQueue<u64> = SoftQueue::new(&sma, "q", Priority::default());
+            for i in 0..50 {
+                q.push(i).unwrap();
+            }
+        }
+        assert_eq!(sma.stats().live_allocs, 0);
+    }
+}

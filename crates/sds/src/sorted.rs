@@ -1,0 +1,407 @@
+//! A soft sorted map (B-tree index over soft values).
+//!
+//! The index lives in traditional memory; the values live in revocable
+//! soft memory. Reclamation evicts entries from a chosen **end of the
+//! key space** — for time-indexed data (metrics, logs, sessions keyed
+//! by timestamp) evicting from the smallest keys drops the oldest data
+//! first, a natural fit for the paper's "temporary request queues and
+//! data structures with similar non-essential purposes" (§1), with
+//! range queries the hash map cannot offer.
+
+use std::collections::BTreeMap;
+use std::ops::RangeBounds;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use softmem_core::{Priority, SdsId, Sma, SoftResult, SoftSlot};
+
+use crate::common::{register_with_reclaimer, ReclaimStats, SoftContainer};
+
+/// Which end of the key space reclamation evicts first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReclaimEnd {
+    /// Evict the smallest keys first (oldest timestamps, lowest ids).
+    #[default]
+    Smallest,
+    /// Evict the largest keys first.
+    Largest,
+}
+
+/// Pre-eviction application callback.
+type EvictCallback<K, V> = Box<dyn FnMut(&K, &V) + Send>;
+
+struct Inner<K, V> {
+    map: BTreeMap<K, SoftSlot<V>>,
+    end: ReclaimEnd,
+    callback: Option<EvictCallback<K, V>>,
+    stats: ReclaimStats,
+}
+
+/// An ordered map whose values live in revocable soft memory.
+///
+/// # Examples
+///
+/// ```
+/// use softmem_core::{Priority, Sma};
+/// use softmem_sds::{SoftContainer, SoftSortedMap};
+///
+/// let sma = Sma::standalone(64);
+/// let m: SoftSortedMap<u64, f32> = SoftSortedMap::new(&sma, "metrics", Priority::new(1));
+/// for t in 0..10 {
+///     m.insert(t, t as f32).unwrap();
+/// }
+/// // Reclamation ages out the *smallest* keys (oldest timestamps).
+/// m.reclaim_now(3 * std::mem::size_of::<f32>());
+/// assert_eq!(m.first_key(), Some(3));
+/// assert_eq!(m.range_collect(5..8).len(), 3);
+/// ```
+pub struct SoftSortedMap<K, V>
+where
+    K: Ord + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    sma: Arc<Sma>,
+    id: SdsId,
+    inner: Arc<Mutex<Inner<K, V>>>,
+}
+
+// SAFETY: mutex-guarded state; payload access under the SMA lock.
+unsafe impl<K: Ord + Clone + Send, V: Send> Sync for SoftSortedMap<K, V> {}
+
+impl<K, V> SoftSortedMap<K, V>
+where
+    K: Ord + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    /// Creates an empty map evicting smallest keys first.
+    pub fn new(sma: &Arc<Sma>, name: &str, priority: Priority) -> Self {
+        Self::with_reclaim_end(sma, name, priority, ReclaimEnd::Smallest)
+    }
+
+    /// Creates an empty map with the given eviction end.
+    pub fn with_reclaim_end(
+        sma: &Arc<Sma>,
+        name: &str,
+        priority: Priority,
+        end: ReclaimEnd,
+    ) -> Self {
+        let inner = Arc::new(Mutex::new(Inner {
+            map: BTreeMap::new(),
+            end,
+            callback: None,
+            stats: ReclaimStats::default(),
+        }));
+        let id = register_with_reclaimer(sma, name, priority, &inner, Self::reclaim_locked);
+        SoftSortedMap {
+            sma: Arc::clone(sma),
+            id,
+            inner,
+        }
+    }
+
+    /// Installs the pre-eviction callback.
+    pub fn set_reclaim_callback(&self, cb: impl FnMut(&K, &V) + Send + 'static) {
+        self.inner.lock().callback = Some(Box::new(cb));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reclamation counters.
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.inner.lock().stats
+    }
+
+    /// Inserts `key → value`, returning the previous value if present.
+    pub fn insert(&self, key: K, value: V) -> SoftResult<Option<V>> {
+        // Allocate before locking (lock-order rule; see `common`).
+        let slot = self.sma.alloc_value(self.id, value)?;
+        let mut inner = self.inner.lock();
+        let old = inner.map.insert(key, slot).map(|old_slot| {
+            self.sma
+                .take_value(old_slot)
+                .expect("indexed handles stay live under the map lock")
+        });
+        Ok(old)
+    }
+
+    /// Looks up `key` and clones the value.
+    pub fn get(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.get_with(key, V::clone)
+    }
+
+    /// Looks up `key` and applies `f`.
+    pub fn get_with<R>(&self, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        let inner = self.inner.lock();
+        let slot = inner.map.get(key)?;
+        Some(
+            self.sma
+                .with_value(slot, f)
+                .expect("indexed handles stay live under the map lock"),
+        )
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock();
+        let slot = inner.map.remove(key)?;
+        Some(
+            self.sma
+                .take_value(slot)
+                .expect("indexed handles stay live under the map lock"),
+        )
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    /// The smallest key, if any.
+    pub fn first_key(&self) -> Option<K> {
+        self.inner.lock().map.keys().next().cloned()
+    }
+
+    /// The largest key, if any.
+    pub fn last_key(&self) -> Option<K> {
+        self.inner.lock().map.keys().next_back().cloned()
+    }
+
+    /// Clones the entries within `range`, in key order.
+    pub fn range_collect(&self, range: impl RangeBounds<K>) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .range(range)
+            .map(|(k, slot)| {
+                let v = self
+                    .sma
+                    .with_value(slot, V::clone)
+                    .expect("indexed handles stay live under the map lock");
+                (k.clone(), v)
+            })
+            .collect()
+    }
+
+    /// Visits every entry in key order.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let inner = self.inner.lock();
+        for (k, slot) in &inner.map {
+            self.sma
+                .with_value(slot, |v| f(k, v))
+                .expect("indexed handles stay live under the map lock");
+        }
+    }
+
+    /// Drops every entry (no callbacks).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let map = std::mem::take(&mut inner.map);
+        for (_, slot) in map {
+            self.sma
+                .free_value(slot)
+                .expect("indexed handles stay live under the map lock");
+        }
+    }
+
+    fn evict_one(sma: &Arc<Sma>, inner: &mut Inner<K, V>) -> bool {
+        let key = match inner.end {
+            ReclaimEnd::Smallest => inner.map.keys().next().cloned(),
+            ReclaimEnd::Largest => inner.map.keys().next_back().cloned(),
+        };
+        let Some(key) = key else {
+            return false;
+        };
+        let slot = inner.map.remove(&key).expect("key just observed");
+        if let Some(cb) = inner.callback.as_mut() {
+            // Contain panicking user callbacks; the eviction proceeds.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sma.with_value(&slot, |v| cb(&key, v))
+                    .expect("victim handle is live")
+            }));
+        }
+        sma.free_value(slot).expect("victim handle is live");
+        true
+    }
+
+    fn reclaim_locked(sma: &Arc<Sma>, inner: &mut Inner<K, V>, bytes: usize) -> usize {
+        let value_bytes = std::mem::size_of::<V>().max(1);
+        let mut freed = 0usize;
+        let mut evicted = 0u64;
+        while freed < bytes {
+            if !Self::evict_one(sma, inner) {
+                break;
+            }
+            freed += value_bytes;
+            evicted += 1;
+        }
+        if evicted > 0 {
+            inner.stats.record(evicted, freed as u64);
+        }
+        freed
+    }
+}
+
+impl<K, V> SoftContainer for SoftSortedMap<K, V>
+where
+    K: Ord + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    fn sds_id(&self) -> SdsId {
+        self.id
+    }
+
+    fn sma(&self) -> &Arc<Sma> {
+        &self.sma
+    }
+
+    fn reclaim_now(&self, bytes: usize) -> usize {
+        let mut inner = self.inner.lock();
+        Self::reclaim_locked(&self.sma, &mut inner, bytes)
+    }
+}
+
+impl<K, V> Drop for SoftSortedMap<K, V>
+where
+    K: Ord + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    fn drop(&mut self) {
+        let _ = self.sma.destroy_sds(self.id);
+    }
+}
+
+impl<K, V> std::fmt::Debug for SoftSortedMap<K, V>
+where
+    K: Ord + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoftSortedMap")
+            .field("id", &self.id)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> (Arc<Sma>, SoftSortedMap<u64, String>) {
+        let sma = Sma::standalone(256);
+        let m = SoftSortedMap::new(&sma, "m", Priority::default());
+        (sma, m)
+    }
+
+    #[test]
+    fn ordered_semantics() {
+        let (_sma, m) = map();
+        for k in [5u64, 1, 9, 3] {
+            m.insert(k, format!("v{k}")).unwrap();
+        }
+        assert_eq!(m.first_key(), Some(1));
+        assert_eq!(m.last_key(), Some(9));
+        assert_eq!(m.get(&3), Some("v3".to_string()));
+        assert_eq!(m.insert(3, "v3b".into()).unwrap(), Some("v3".to_string()));
+        assert_eq!(m.remove(&5), Some("v5".to_string()));
+        assert_eq!(m.len(), 3);
+        let keys: Vec<u64> = {
+            let mut ks = Vec::new();
+            m.for_each(|k, _| ks.push(*k));
+            ks
+        };
+        assert_eq!(keys, vec![1, 3, 9]);
+    }
+
+    #[test]
+    fn range_queries() {
+        let (_sma, m) = map();
+        for k in 0..20u64 {
+            m.insert(k, format!("{k}")).unwrap();
+        }
+        let mid = m.range_collect(5..10);
+        assert_eq!(mid.len(), 5);
+        assert_eq!(mid[0], (5, "5".to_string()));
+        assert_eq!(mid[4], (9, "9".to_string()));
+        assert_eq!(m.range_collect(100..).len(), 0);
+    }
+
+    #[test]
+    fn reclaim_evicts_smallest_first_by_default() {
+        let (_sma, m) = map();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        m.set_reclaim_callback(move |k: &u64, _| sink.lock().push(*k));
+        for k in 0..10u64 {
+            m.insert(k, format!("{k}")).unwrap();
+        }
+        m.reclaim_now(3 * std::mem::size_of::<String>());
+        assert_eq!(*seen.lock(), vec![0, 1, 2]);
+        assert_eq!(m.first_key(), Some(3));
+        assert_eq!(m.reclaim_stats().elements_reclaimed, 3);
+    }
+
+    #[test]
+    fn reclaim_from_the_largest_end() {
+        let sma = Sma::standalone(64);
+        let m: SoftSortedMap<u64, u64> =
+            SoftSortedMap::with_reclaim_end(&sma, "m", Priority::default(), ReclaimEnd::Largest);
+        for k in 0..10 {
+            m.insert(k, k).unwrap();
+        }
+        m.reclaim_now(4 * std::mem::size_of::<u64>());
+        assert_eq!(m.last_key(), Some(5));
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn sma_pressure_drops_oldest_timestamps() {
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(8)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        // 1 KiB values, 4 per page, keyed by "timestamp".
+        let m: SoftSortedMap<u64, [u8; 1024]> =
+            SoftSortedMap::new(&sma, "metrics", Priority::new(0));
+        for t in 0..32u64 {
+            m.insert(t, [t as u8; 1024]).unwrap();
+        }
+        let report = sma.reclaim(2);
+        assert!(report.satisfied());
+        assert!(m.first_key().unwrap() > 0, "oldest timestamps evicted");
+        assert_eq!(m.last_key(), Some(31), "newest retained");
+    }
+
+    #[test]
+    fn clear_and_drop_release_memory() {
+        let sma = Sma::standalone(64);
+        {
+            let m: SoftSortedMap<u32, u32> = SoftSortedMap::new(&sma, "m", Priority::default());
+            for k in 0..50 {
+                m.insert(k, k).unwrap();
+            }
+            m.clear();
+            assert!(m.is_empty());
+            assert_eq!(sma.stats().live_allocs, 0);
+            m.insert(1, 1).unwrap();
+        }
+        assert_eq!(sma.stats().live_allocs, 0);
+        assert_eq!(sma.stats().sds_count, 0);
+    }
+}

@@ -1,0 +1,397 @@
+//! A growable soft vector with chunked backing storage.
+//!
+//! Elements are packed into fixed-size soft chunks. Unlike
+//! [`crate::SoftArray`], reclamation is *partial*: whole chunks are
+//! dropped from the **tail** (newest elements first), so a cache filled
+//! front-to-back with decreasing importance degrades gracefully — the
+//! paper's ML-training-cache use case (§2), where a shrunken cache
+//! still serves its oldest (already-resident) entries.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use softmem_core::{Priority, SdsId, Sma, SoftError, SoftHandle, SoftResult};
+
+use crate::common::{register_with_reclaimer, ReclaimStats, SoftContainer};
+
+/// Default chunk payload size: 4 pages.
+const DEFAULT_CHUNK_BYTES: usize = 4 * 4096;
+
+struct Inner<T> {
+    chunks: Vec<SoftHandle>,
+    len: usize,
+    elems_per_chunk: usize,
+    /// Called with the count of elements lost, per reclaimed chunk.
+    callback: Option<Box<dyn FnMut(usize) + Send>>,
+    stats: ReclaimStats,
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// A growable vector of `Copy` elements in revocable soft memory.
+///
+/// # Examples
+///
+/// ```
+/// use softmem_core::{Priority, Sma};
+/// use softmem_sds::SoftVec;
+///
+/// let sma = Sma::standalone(64);
+/// let v: SoftVec<f64> = SoftVec::new(&sma, "samples", Priority::new(1));
+/// v.push(1.5).unwrap();
+/// assert_eq!(v.get(0).unwrap(), 1.5);
+/// // Reclamation drops whole chunks from the *tail* (newest data).
+/// ```
+pub struct SoftVec<T: Copy + Send + 'static> {
+    sma: Arc<Sma>,
+    id: SdsId,
+    inner: Arc<Mutex<Inner<T>>>,
+}
+
+// SAFETY: mutex-guarded state; payload access under the SMA lock.
+unsafe impl<T: Copy + Send> Sync for SoftVec<T> {}
+
+impl<T: Copy + Send + 'static> SoftVec<T> {
+    /// Creates an empty vector with the default chunk size (16 KiB).
+    pub fn new(sma: &Arc<Sma>, name: &str, priority: Priority) -> Self {
+        Self::with_chunk_bytes(sma, name, priority, DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Creates an empty vector with `chunk_bytes` of payload per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a single element does not fit in a chunk, or if `T`
+    /// requires alignment above 64 bytes.
+    pub fn with_chunk_bytes(
+        sma: &Arc<Sma>,
+        name: &str,
+        priority: Priority,
+        chunk_bytes: usize,
+    ) -> Self {
+        assert!(
+            std::mem::align_of::<T>() <= 64,
+            "SoftVec elements must not require alignment above 64 bytes"
+        );
+        let elems_per_chunk = chunk_bytes / std::mem::size_of::<T>().max(1);
+        assert!(elems_per_chunk > 0, "chunk too small for one element");
+        let inner = Arc::new(Mutex::new(Inner {
+            chunks: Vec::new(),
+            len: 0,
+            elems_per_chunk,
+            callback: None,
+            stats: ReclaimStats::default(),
+            _marker: std::marker::PhantomData,
+        }));
+        let id = register_with_reclaimer(sma, name, priority, &inner, Self::reclaim_locked);
+        SoftVec {
+            sma: Arc::clone(sma),
+            id,
+            inner,
+        }
+    }
+
+    /// Installs the pre-reclamation callback (receives elements lost
+    /// per reclaimed chunk).
+    pub fn set_reclaim_callback(&self, cb: impl FnMut(usize) + Send + 'static) {
+        self.inner.lock().callback = Some(Box::new(cb));
+    }
+
+    /// Number of elements currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reclamation counters.
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.inner.lock().stats
+    }
+
+    /// Appends an element.
+    pub fn push(&self, value: T) -> SoftResult<()> {
+        let mut inner = self.inner.lock();
+        let epc = inner.elems_per_chunk;
+        if inner.len == inner.chunks.len() * epc {
+            // Allocate the new chunk outside the vec lock (a budget
+            // stall must not deadlock against a concurrent reclamation
+            // of this vec), then re-check for races.
+            drop(inner);
+            let bytes = epc * std::mem::size_of::<T>().max(1);
+            let chunk = self.sma.alloc_bytes(self.id, bytes)?;
+            inner = self.inner.lock();
+            if inner.len == inner.chunks.len() * epc {
+                inner.chunks.push(chunk);
+            } else {
+                self.sma.free_bytes(chunk).expect("fresh chunk is live");
+            }
+        }
+        let idx = inner.len;
+        Self::write_elem(&self.sma, &inner, idx, value);
+        inner.len += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        if inner.len == 0 {
+            return None;
+        }
+        let idx = inner.len - 1;
+        let value = Self::read_elem(&self.sma, &inner, idx);
+        inner.len = idx;
+        // Drop now-empty trailing chunks.
+        let chunks_needed = inner.len.div_ceil(inner.elems_per_chunk);
+        while inner.chunks.len() > chunks_needed {
+            let chunk = inner.chunks.pop().expect("length checked");
+            self.sma.free_bytes(chunk).expect("chunk handle is live");
+        }
+        Some(value)
+    }
+
+    /// Reads element `i`.
+    pub fn get(&self, i: usize) -> SoftResult<T> {
+        let inner = self.inner.lock();
+        if i >= inner.len {
+            return Err(SoftError::InvalidHandle);
+        }
+        Ok(Self::read_elem(&self.sma, &inner, i))
+    }
+
+    /// Writes element `i`.
+    pub fn set(&self, i: usize, value: T) -> SoftResult<()> {
+        let inner = self.inner.lock();
+        if i >= inner.len {
+            return Err(SoftError::InvalidHandle);
+        }
+        Self::write_elem(&self.sma, &inner, i, value);
+        Ok(())
+    }
+
+    /// Shortens the vector to `new_len` elements, freeing emptied
+    /// chunks.
+    pub fn truncate(&self, new_len: usize) {
+        let mut inner = self.inner.lock();
+        if new_len >= inner.len {
+            return;
+        }
+        inner.len = new_len;
+        let epc = inner.elems_per_chunk;
+        let chunks_needed = new_len.div_ceil(epc);
+        while inner.chunks.len() > chunks_needed {
+            let chunk = inner.chunks.pop().expect("length checked");
+            self.sma.free_bytes(chunk).expect("chunk handle is live");
+        }
+    }
+
+    /// Visits every element in order.
+    pub fn for_each(&self, mut f: impl FnMut(T)) {
+        let inner = self.inner.lock();
+        for i in 0..inner.len {
+            f(Self::read_elem(&self.sma, &inner, i));
+        }
+    }
+
+    fn read_elem(sma: &Arc<Sma>, inner: &Inner<T>, i: usize) -> T {
+        let (c, o) = (i / inner.elems_per_chunk, i % inner.elems_per_chunk);
+        sma.with_bytes(&inner.chunks[c], |b| {
+            // SAFETY: chunk allocations are sized for
+            // `elems_per_chunk` elements and aligned ≥ 64 (slab slots
+            // align to slot size, spans to 4 KiB); index bounds are
+            // enforced by callers against `inner.len`.
+            unsafe { *b.as_ptr().cast::<T>().add(o) }
+        })
+        .expect("chunk handles stay live under the vec lock")
+    }
+
+    fn write_elem(sma: &Arc<Sma>, inner: &Inner<T>, i: usize, value: T) {
+        let (c, o) = (i / inner.elems_per_chunk, i % inner.elems_per_chunk);
+        sma.with_bytes_mut(&inner.chunks[c], |b| {
+            // SAFETY: see `read_elem`; exclusivity via the SMA lock.
+            unsafe { b.as_mut_ptr().cast::<T>().add(o).write(value) }
+        })
+        .expect("chunk handles stay live under the vec lock")
+    }
+
+    /// Reclaimer: drops whole chunks from the tail until the byte quota
+    /// is met.
+    fn reclaim_locked(sma: &Arc<Sma>, inner: &mut Inner<T>, bytes: usize) -> usize {
+        let mut freed = 0usize;
+        let mut lost = 0u64;
+        let mut callback = inner.callback.take();
+        while freed < bytes {
+            let Some(chunk) = inner.chunks.pop() else {
+                break;
+            };
+            let boundary = inner.chunks.len() * inner.elems_per_chunk;
+            let losing = inner.len.saturating_sub(boundary);
+            if let Some(cb) = callback.as_mut() {
+                // Contain panicking user callbacks; the chunk is freed
+                // regardless.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(losing)));
+            }
+            inner.len = boundary;
+            freed += chunk.len();
+            lost += losing as u64;
+            sma.free_bytes(chunk).expect("chunk handle is live");
+        }
+        inner.callback = callback;
+        if freed > 0 {
+            inner.stats.record(lost, freed as u64);
+        }
+        freed
+    }
+}
+
+impl<T: Copy + Send + 'static> SoftContainer for SoftVec<T> {
+    fn sds_id(&self) -> SdsId {
+        self.id
+    }
+
+    fn sma(&self) -> &Arc<Sma> {
+        &self.sma
+    }
+
+    fn reclaim_now(&self, bytes: usize) -> usize {
+        let mut inner = self.inner.lock();
+        Self::reclaim_locked(&self.sma, &mut inner, bytes)
+    }
+}
+
+impl<T: Copy + Send + 'static> Drop for SoftVec<T> {
+    fn drop(&mut self) {
+        let _ = self.sma.destroy_sds(self.id);
+    }
+}
+
+impl<T: Copy + Send + 'static> std::fmt::Debug for SoftVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoftVec")
+            .field("id", &self.id)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_vec(sma: &Arc<Sma>) -> SoftVec<u64> {
+        // 64-byte chunks → 8 u64 per chunk: forces multi-chunk paths.
+        SoftVec::with_chunk_bytes(sma, "v", Priority::default(), 64)
+    }
+
+    #[test]
+    fn push_get_set_pop() {
+        let sma = Sma::standalone(64);
+        let v = small_vec(&sma);
+        for i in 0..50 {
+            v.push(i).unwrap();
+        }
+        assert_eq!(v.len(), 50);
+        assert_eq!(v.get(49).unwrap(), 49);
+        v.set(10, 999).unwrap();
+        assert_eq!(v.get(10).unwrap(), 999);
+        assert_eq!(v.pop(), Some(49));
+        assert_eq!(v.len(), 49);
+        assert_eq!(v.get(49).unwrap_err(), SoftError::InvalidHandle);
+    }
+
+    #[test]
+    fn pop_to_empty_frees_chunks() {
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(64)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        let v = small_vec(&sma);
+        for i in 0..20 {
+            v.push(i).unwrap();
+        }
+        while v.pop().is_some() {}
+        assert!(v.is_empty());
+        assert_eq!(sma.stats().live_allocs, 0);
+    }
+
+    #[test]
+    fn truncate_frees_trailing_chunks() {
+        let sma = Sma::standalone(64);
+        let v = small_vec(&sma);
+        for i in 0..64 {
+            v.push(i).unwrap();
+        }
+        let allocs_before = sma.stats().live_allocs;
+        v.truncate(9); // 2 chunks needed (8 + 1)
+        assert_eq!(v.len(), 9);
+        assert!(sma.stats().live_allocs < allocs_before);
+        assert_eq!(v.get(8).unwrap(), 8);
+        assert_eq!(v.get(9).unwrap_err(), SoftError::InvalidHandle);
+        // Pushing again grows from the truncated point.
+        v.push(100).unwrap();
+        assert_eq!(v.get(9).unwrap(), 100);
+    }
+
+    #[test]
+    fn reclaim_drops_newest_chunks_first() {
+        let sma = Sma::standalone(64);
+        let v = small_vec(&sma);
+        let lost = Arc::new(Mutex::new(Vec::new()));
+        let lost2 = Arc::clone(&lost);
+        v.set_reclaim_callback(move |n| lost2.lock().push(n));
+        for i in 0..24 {
+            v.push(i).unwrap();
+        }
+        // 3 chunks of 8; reclaim one chunk's worth (64 bytes).
+        let freed = v.reclaim_now(64);
+        assert_eq!(freed, 64);
+        assert_eq!(v.len(), 16);
+        assert_eq!(*lost.lock(), vec![8]);
+        // Oldest elements survive.
+        assert_eq!(v.get(0).unwrap(), 0);
+        assert_eq!(v.get(15).unwrap(), 15);
+        let s = v.reclaim_stats();
+        assert_eq!(s.elements_reclaimed, 8);
+    }
+
+    #[test]
+    fn reclaim_partial_chunk_counts_only_lost_elements() {
+        let sma = Sma::standalone(64);
+        let v = small_vec(&sma);
+        for i in 0..10 {
+            v.push(i).unwrap();
+        }
+        // Second chunk holds 2 elements; reclaiming it loses exactly 2.
+        v.reclaim_now(1);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.reclaim_stats().elements_reclaimed, 2);
+    }
+
+    #[test]
+    fn for_each_in_order() {
+        let sma = Sma::standalone(64);
+        let v = small_vec(&sma);
+        for i in 0..17 {
+            v.push(i).unwrap();
+        }
+        let mut seen = Vec::new();
+        v.for_each(|x| seen.push(x));
+        assert_eq!(seen, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_chunking_packs_pages() {
+        let sma = Sma::standalone(64);
+        let v: SoftVec<u8> = SoftVec::new(&sma, "bytes", Priority::default());
+        for _ in 0..DEFAULT_CHUNK_BYTES {
+            v.push(0xAA).unwrap();
+        }
+        // One full chunk: 4 pages.
+        assert_eq!(sma.held_pages(), 4);
+    }
+}

@@ -1,0 +1,555 @@
+//! Cluster-scheduler simulation: kill-under-pressure vs soft memory.
+//!
+//! The paper's motivation (§1–2): schedulers like Borg terminate
+//! low-priority jobs when memory requests cannot be satisfied, wasting
+//! the CPU cycles already invested; soft memory instead revokes
+//! revocable pages, so jobs slow down (cold caches) but finish. This
+//! simulation quantifies that trade-off: same job trace, two memory
+//! policies, compare evictions, wasted work and completion times.
+//!
+//! The model is admission-based, like Borg: a job's memory demand is
+//! fixed; an arriving job is admitted if it fits, may evict strictly
+//! lower-priority jobs to make room (baseline) or have the machine
+//! reclaim *soft* pages from running jobs (soft policy), and otherwise
+//! waits in the queue.
+
+use std::collections::VecDeque;
+
+/// One job in the trace.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Display name.
+    pub name: String,
+    /// Scheduler priority; higher wins admission conflicts.
+    pub priority: u32,
+    /// CPU work to complete, in simulated ms.
+    pub work_ms: u64,
+    /// Total memory footprint in pages.
+    pub mem_pages: usize,
+    /// Fraction of `mem_pages` the job keeps in soft memory
+    /// (caches, lookup tables; `0.0` = all hard).
+    pub soft_fraction: f64,
+    /// Arrival time (ms).
+    pub arrival_ms: u64,
+}
+
+impl JobSpec {
+    /// Pages that can never be reclaimed.
+    pub fn hard_pages(&self) -> usize {
+        self.mem_pages - self.soft_pages()
+    }
+
+    /// Pages that are revocable under the soft-memory policy.
+    pub fn soft_pages(&self) -> usize {
+        (self.mem_pages as f64 * self.soft_fraction).round() as usize
+    }
+}
+
+/// How the machine resolves memory pressure at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryPolicy {
+    /// Borg-style: evict strictly lower-priority running jobs (their
+    /// progress is destroyed and recomputed on a later attempt).
+    KillLowestPriority,
+    /// Soft memory: reclaim revocable pages from running jobs (lowest
+    /// priority first); a job with reclaimed soft fraction `r` runs at
+    /// rate `1 − slowdown × r`. Evicts only if even that is not
+    /// enough.
+    SoftReclaim,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Machine memory in pages.
+    pub capacity_pages: usize,
+    /// Simulation step (ms).
+    pub tick_ms: u64,
+    /// Relative slowdown when *all* of a job's soft memory is
+    /// reclaimed (the paper's ML example: training slows, but
+    /// completes).
+    pub full_reclaim_slowdown: f64,
+    /// Safety valve: stop after this much simulated time.
+    pub horizon_ms: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            capacity_pages: 4096,
+            tick_ms: 100,
+            full_reclaim_slowdown: 0.5,
+            horizon_ms: 100_000_000,
+        }
+    }
+}
+
+/// What a simulation run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Policy simulated.
+    pub policy: MemoryPolicy,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Eviction events (kills).
+    pub evictions: u64,
+    /// CPU-ms of progress destroyed by evictions (recomputed later).
+    pub wasted_cpu_ms: u64,
+    /// Total CPU-ms actually spent (useful + wasted).
+    pub total_cpu_ms: u64,
+    /// Time the last job finished.
+    pub makespan_ms: u64,
+    /// Page-ms of reclaimed soft memory (disruption under the soft
+    /// policy; 0 for the baseline).
+    pub reclaimed_page_ms: u64,
+}
+
+impl ClusterOutcome {
+    /// Fraction of CPU time wasted on destroyed progress.
+    pub fn waste_ratio(&self) -> f64 {
+        if self.total_cpu_ms == 0 {
+            0.0
+        } else {
+            self.wasted_cpu_ms as f64 / self.total_cpu_ms as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunningJob {
+    spec: JobSpec,
+    progress_ms: f64,
+    /// Soft pages currently reclaimed from this job.
+    reclaimed_pages: usize,
+    /// CPU-ms invested in the current attempt (lost if evicted).
+    attempt_cpu_ms: u64,
+}
+
+impl RunningJob {
+    fn resident_pages(&self) -> usize {
+        self.spec.mem_pages - self.reclaimed_pages
+    }
+
+    fn rate(&self, slowdown: f64) -> f64 {
+        let soft = self.spec.soft_pages();
+        if soft == 0 {
+            return 1.0;
+        }
+        let r = self.reclaimed_pages as f64 / soft as f64;
+        (1.0 - slowdown * r).max(0.05)
+    }
+}
+
+struct Sim<'c> {
+    cfg: &'c ClusterConfig,
+    policy: MemoryPolicy,
+    running: Vec<RunningJob>,
+    waiting: VecDeque<JobSpec>,
+    out: ClusterOutcome,
+}
+
+impl Sim<'_> {
+    fn resident(&self) -> usize {
+        self.running.iter().map(|j| j.resident_pages()).sum()
+    }
+
+    fn free(&self) -> usize {
+        self.cfg.capacity_pages.saturating_sub(self.resident())
+    }
+
+    /// Tries to admit `spec`; returns it back if it must wait.
+    fn try_admit(&mut self, spec: JobSpec) -> Option<JobSpec> {
+        if spec.mem_pages <= self.free() {
+            self.start(spec);
+            return None;
+        }
+        let mut need = spec.mem_pages - self.free();
+        match self.policy {
+            MemoryPolicy::KillLowestPriority => {
+                // Can strictly-lower-priority jobs cover the need?
+                let mut victims: Vec<usize> = (0..self.running.len())
+                    .filter(|&i| self.running[i].spec.priority < spec.priority)
+                    .collect();
+                // Cheapest progress destroyed first.
+                victims.sort_by(|&a, &b| {
+                    let ja = &self.running[a];
+                    let jb = &self.running[b];
+                    (ja.spec.priority, ja.attempt_cpu_ms)
+                        .cmp(&(jb.spec.priority, jb.attempt_cpu_ms))
+                });
+                let mut chosen = Vec::new();
+                let mut reclaimable = 0;
+                for i in victims {
+                    if reclaimable >= need {
+                        break;
+                    }
+                    reclaimable += self.running[i].resident_pages();
+                    chosen.push(i);
+                }
+                if reclaimable < need {
+                    return Some(spec); // wait; nothing evictable helps
+                }
+                chosen.sort_unstable_by(|a, b| b.cmp(a)); // remove high→low
+                for i in chosen {
+                    self.evict(i);
+                }
+                self.start(spec);
+                None
+            }
+            MemoryPolicy::SoftReclaim => {
+                // Reclaim soft pages from *any* running job, lowest
+                // priority first: soft memory is an opt-in lend, so
+                // the machine may repurpose it regardless of scheduler
+                // priority ("extra workloads can reclaim the soft
+                // memory in under-utilized services", §2).
+                let mut order: Vec<usize> = (0..self.running.len()).collect();
+                order.sort_by_key(|&i| self.running[i].spec.priority);
+                let reclaimable: usize = self
+                    .running
+                    .iter()
+                    .map(|j| j.spec.soft_pages() - j.reclaimed_pages)
+                    .sum();
+                if reclaimable >= need {
+                    for i in order {
+                        if need == 0 {
+                            break;
+                        }
+                        let job = &mut self.running[i];
+                        let avail = job.spec.soft_pages() - job.reclaimed_pages;
+                        let take = avail.min(need);
+                        job.reclaimed_pages += take;
+                        need -= take;
+                    }
+                    self.start(spec);
+                    return None;
+                }
+                // Hard overcommit: fall back to Borg behaviour.
+                let fallback = self.policy;
+                self.policy = MemoryPolicy::KillLowestPriority;
+                let result = self.try_admit(spec);
+                self.policy = fallback;
+                result
+            }
+        }
+    }
+
+    fn start(&mut self, spec: JobSpec) {
+        debug_assert!(spec.mem_pages <= self.free());
+        self.running.push(RunningJob {
+            spec,
+            progress_ms: 0.0,
+            reclaimed_pages: 0,
+            attempt_cpu_ms: 0,
+        });
+    }
+
+    fn evict(&mut self, index: usize) {
+        let job = self.running.remove(index);
+        self.out.evictions += 1;
+        self.out.wasted_cpu_ms += job.attempt_cpu_ms;
+        // The work must be redone from scratch; it waits for room.
+        self.waiting.push_back(job.spec);
+    }
+
+    /// Gives reclaimed soft pages back while capacity allows (highest
+    /// priority recovers first).
+    fn regrow_soft(&mut self) {
+        let mut free = self.free();
+        if free == 0 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.running.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.running[i].spec.priority));
+        for i in order {
+            if free == 0 {
+                break;
+            }
+            let job = &mut self.running[i];
+            let back = job.reclaimed_pages.min(free);
+            job.reclaimed_pages -= back;
+            free -= back;
+        }
+    }
+}
+
+/// Runs the trace under one policy.
+///
+/// # Panics
+///
+/// Panics if any single job's memory footprint exceeds machine
+/// capacity (it could never run).
+pub fn run_cluster(cfg: &ClusterConfig, jobs: &[JobSpec], policy: MemoryPolicy) -> ClusterOutcome {
+    for j in jobs {
+        assert!(
+            j.mem_pages <= cfg.capacity_pages,
+            "job {} can never fit",
+            j.name
+        );
+    }
+    let mut pending: VecDeque<JobSpec> = {
+        let mut sorted = jobs.to_vec();
+        sorted.sort_by_key(|j| j.arrival_ms);
+        sorted.into()
+    };
+    let mut sim = Sim {
+        cfg,
+        policy,
+        running: Vec::new(),
+        waiting: VecDeque::new(),
+        out: ClusterOutcome {
+            policy,
+            completed: 0,
+            evictions: 0,
+            wasted_cpu_ms: 0,
+            total_cpu_ms: 0,
+            makespan_ms: 0,
+            reclaimed_page_ms: 0,
+        },
+    };
+    let mut now = 0u64;
+    while (sim.running.len() + sim.waiting.len() + pending.len() > 0) && now < cfg.horizon_ms {
+        // Due arrivals join the wait queue.
+        while pending
+            .front()
+            .map(|j| j.arrival_ms <= now)
+            .unwrap_or(false)
+        {
+            sim.waiting.push_back(pending.pop_front().expect("peeked"));
+        }
+        // Admission: highest priority first (FIFO within a priority).
+        let mut queue: Vec<JobSpec> = sim.waiting.drain(..).collect();
+        queue.sort_by_key(|j| std::cmp::Reverse(j.priority));
+        for spec in queue {
+            if let Some(deferred) = sim.try_admit(spec) {
+                sim.waiting.push_back(deferred);
+            }
+        }
+        // One tick of progress.
+        let mut finished = Vec::new();
+        for (i, job) in sim.running.iter_mut().enumerate() {
+            let rate = match policy {
+                MemoryPolicy::KillLowestPriority => 1.0,
+                MemoryPolicy::SoftReclaim => job.rate(cfg.full_reclaim_slowdown),
+            };
+            job.progress_ms += cfg.tick_ms as f64 * rate;
+            job.attempt_cpu_ms += cfg.tick_ms;
+            sim.out.total_cpu_ms += cfg.tick_ms;
+            sim.out.reclaimed_page_ms += job.reclaimed_pages as u64 * cfg.tick_ms;
+            if job.progress_ms >= job.spec.work_ms as f64 {
+                finished.push(i);
+            }
+        }
+        for i in finished.into_iter().rev() {
+            sim.running.swap_remove(i);
+            sim.out.completed += 1;
+            sim.out.makespan_ms = now + cfg.tick_ms;
+        }
+        // Freed memory lets reclaimed jobs recover their soft pages.
+        if policy == MemoryPolicy::SoftReclaim {
+            sim.regrow_soft();
+        }
+        now += cfg.tick_ms;
+    }
+    sim.out
+}
+
+/// Builds the canonical trace used by the motivation bench: a web
+/// service with a large soft cache, a wave of low-priority batch jobs
+/// filling the machine, then a high-priority surge that overcommits
+/// it — the moment where the baseline kills and soft memory reclaims.
+pub fn motivation_trace(batch_jobs: usize) -> (ClusterConfig, Vec<JobSpec>) {
+    let cfg = ClusterConfig {
+        capacity_pages: 2048,
+        tick_ms: 100,
+        full_reclaim_slowdown: 0.5,
+        horizon_ms: 10_000_000,
+    };
+    let mut jobs = vec![
+        JobSpec {
+            name: "web-service".into(),
+            priority: 10,
+            work_ms: 300_000,
+            mem_pages: 900,
+            soft_fraction: 0.5, // half of it is cache
+            arrival_ms: 0,
+        },
+        JobSpec {
+            name: "web-surge".into(),
+            priority: 9,
+            work_ms: 40_000,
+            mem_pages: 700,
+            soft_fraction: 0.2,
+            arrival_ms: 60_000,
+        },
+    ];
+    for i in 0..batch_jobs {
+        jobs.push(JobSpec {
+            name: format!("batch-{i}"),
+            priority: 1,
+            work_ms: 80_000,
+            mem_pages: 450,
+            soft_fraction: 0.3,
+            arrival_ms: 10_000 + (i as u64) * 5_000,
+        });
+    }
+    (cfg, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_job(name: &str, prio: u32, work: u64, mem: usize, soft: f64, at: u64) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            priority: prio,
+            work_ms: work,
+            mem_pages: mem,
+            soft_fraction: soft,
+            arrival_ms: at,
+        }
+    }
+
+    #[test]
+    fn uncontended_jobs_complete_identically_under_both_policies() {
+        let cfg = ClusterConfig {
+            capacity_pages: 1000,
+            ..ClusterConfig::default()
+        };
+        let jobs = vec![
+            simple_job("a", 5, 1_000, 300, 0.5, 0),
+            simple_job("b", 1, 2_000, 300, 0.5, 0),
+        ];
+        for policy in [MemoryPolicy::KillLowestPriority, MemoryPolicy::SoftReclaim] {
+            let out = run_cluster(&cfg, &jobs, policy);
+            assert_eq!(out.completed, 2, "{policy:?}");
+            assert_eq!(out.evictions, 0);
+            assert_eq!(out.wasted_cpu_ms, 0);
+        }
+    }
+
+    #[test]
+    fn lower_priority_arrival_waits_instead_of_evicting() {
+        let cfg = ClusterConfig {
+            capacity_pages: 500,
+            ..ClusterConfig::default()
+        };
+        let jobs = vec![
+            simple_job("high", 9, 20_000, 400, 0.0, 0),
+            simple_job("low", 1, 5_000, 400, 0.0, 1_000),
+        ];
+        let out = run_cluster(&cfg, &jobs, MemoryPolicy::KillLowestPriority);
+        assert_eq!(out.evictions, 0, "equal/lower priority must queue");
+        assert_eq!(out.completed, 2);
+        // low finished after high released the machine.
+        assert!(out.makespan_ms >= 25_000);
+    }
+
+    #[test]
+    fn baseline_evicts_low_priority_under_pressure() {
+        let cfg = ClusterConfig {
+            capacity_pages: 500,
+            ..ClusterConfig::default()
+        };
+        // Low-priority long job, then a high-priority arrival that
+        // overcommits memory.
+        let jobs = vec![
+            simple_job("low", 1, 50_000, 400, 0.5, 0),
+            simple_job("high", 9, 10_000, 400, 0.0, 10_000),
+        ];
+        let out = run_cluster(&cfg, &jobs, MemoryPolicy::KillLowestPriority);
+        assert_eq!(out.evictions, 1, "low-priority job was killed once");
+        assert!(
+            out.wasted_cpu_ms >= 10_000,
+            "its progress was destroyed: {}",
+            out.wasted_cpu_ms
+        );
+        assert_eq!(out.completed, 2, "it eventually re-ran and finished");
+    }
+
+    #[test]
+    fn soft_policy_avoids_the_eviction() {
+        let cfg = ClusterConfig {
+            capacity_pages: 500,
+            ..ClusterConfig::default()
+        };
+        // Low holds 400 pages, 320 of them soft: the 300-page shortfall
+        // for high's arrival is coverable by reclamation.
+        let jobs = vec![
+            simple_job("low", 1, 50_000, 400, 0.8, 0),
+            simple_job("high", 9, 10_000, 400, 0.0, 10_000),
+        ];
+        let out = run_cluster(&cfg, &jobs, MemoryPolicy::SoftReclaim);
+        assert_eq!(out.evictions, 0, "reclamation replaced the kill");
+        assert_eq!(out.wasted_cpu_ms, 0);
+        assert_eq!(out.completed, 2);
+        assert!(out.reclaimed_page_ms > 0, "the low job ran degraded");
+    }
+
+    #[test]
+    fn soft_policy_still_kills_when_hard_memory_overcommits() {
+        let cfg = ClusterConfig {
+            capacity_pages: 500,
+            ..ClusterConfig::default()
+        };
+        // Both jobs are all-hard: reclamation has nothing to take.
+        let jobs = vec![
+            simple_job("low", 1, 50_000, 400, 0.0, 0),
+            simple_job("high", 9, 10_000, 400, 0.0, 10_000),
+        ];
+        let out = run_cluster(&cfg, &jobs, MemoryPolicy::SoftReclaim);
+        assert_eq!(out.evictions, 1, "no soft memory ⇒ fall back to kill");
+        assert_eq!(out.completed, 2);
+    }
+
+    #[test]
+    fn soft_jobs_recover_pages_when_pressure_passes() {
+        let cfg = ClusterConfig {
+            capacity_pages: 500,
+            tick_ms: 100,
+            full_reclaim_slowdown: 0.9,
+            horizon_ms: 10_000_000,
+        };
+        let jobs = vec![
+            simple_job("svc", 5, 100_000, 400, 0.8, 0),
+            simple_job("burst", 9, 5_000, 300, 0.0, 10_000),
+        ];
+        let out = run_cluster(&cfg, &jobs, MemoryPolicy::SoftReclaim);
+        assert_eq!(out.completed, 2);
+        assert_eq!(out.evictions, 0);
+        // Disruption is bounded: reclaimed page-time is an order of
+        // magnitude below holding the pages reclaimed for the whole
+        // (slowdown-stretched) run.
+        assert!(out.reclaimed_page_ms < 300 * 40_000);
+    }
+
+    #[test]
+    fn motivation_trace_shows_the_headline_claim() {
+        let (cfg, jobs) = motivation_trace(2);
+        let kill = run_cluster(&cfg, &jobs, MemoryPolicy::KillLowestPriority);
+        let soft = run_cluster(&cfg, &jobs, MemoryPolicy::SoftReclaim);
+        assert!(kill.evictions > 0, "baseline kills: {kill:?}");
+        assert!(kill.wasted_cpu_ms > 0);
+        assert!(
+            soft.evictions < kill.evictions,
+            "soft memory reduces evictions ({} vs {})",
+            soft.evictions,
+            kill.evictions
+        );
+        assert!(soft.wasted_cpu_ms < kill.wasted_cpu_ms);
+        assert_eq!(soft.completed, jobs.len());
+        assert_eq!(kill.completed, jobs.len());
+        assert!(soft.waste_ratio() <= kill.waste_ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fit")]
+    fn impossible_job_is_rejected() {
+        let cfg = ClusterConfig {
+            capacity_pages: 100,
+            ..ClusterConfig::default()
+        };
+        let jobs = vec![simple_job("huge", 1, 1_000, 200, 0.0, 0)];
+        run_cluster(&cfg, &jobs, MemoryPolicy::KillLowestPriority);
+    }
+}

@@ -1,0 +1,259 @@
+//! The §2 diurnal scenario as a simulated day: a web service's soft
+//! cache serves Zipfian traffic that follows the day/night load curve;
+//! a batch job borrows the machine's soft memory during the nightly
+//! lull and returns it in the morning.
+//!
+//! "Redis can put the cache in soft memory, so that when batch jobs in
+//! the datacenter scale up at night, they can reclaim part of the
+//! cache memory. The cache can be scaled back up during the day when
+//! latency is critical and batch jobs have finished."
+
+use std::sync::Arc;
+
+use softmem_core::{MachineMemory, Priority, PAGE_SIZE};
+use softmem_daemon::{Smd, SmdConfig, SoftProcess};
+use softmem_kv::Store;
+use softmem_sds::SoftQueue;
+
+use crate::timeline::Timeline;
+use crate::workload::{DiurnalLoad, ZipfKeys};
+
+/// Parameters of the simulated day.
+#[derive(Debug, Clone)]
+pub struct DiurnalConfig {
+    /// Machine-wide soft memory (pages).
+    pub soft_capacity_pages: usize,
+    /// Distinct keys in the service's keyspace.
+    pub cache_keys: usize,
+    /// Requests per simulated hour at peak load.
+    pub peak_requests_per_hour: usize,
+    /// Nightly load trough, in `[0, 1]` of peak.
+    pub trough: f64,
+    /// Pages the batch job wants during its window.
+    pub batch_pages: usize,
+    /// Batch window: starting hour (0 = midnight).
+    pub batch_start_hour: usize,
+    /// Batch window: first hour after the job ends.
+    pub batch_end_hour: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for DiurnalConfig {
+    fn default() -> Self {
+        DiurnalConfig {
+            soft_capacity_pages: 1024,
+            cache_keys: 40_000,
+            peak_requests_per_hour: 30_000,
+            trough: 0.15,
+            batch_pages: 700,
+            batch_start_hour: 0,
+            batch_end_hour: 6,
+            seed: 42,
+        }
+    }
+}
+
+/// One simulated hour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HourStats {
+    /// Hour of day (0–23).
+    pub hour: usize,
+    /// Load factor in `[trough, 1]`.
+    pub load: f64,
+    /// Requests served this hour.
+    pub requests: u64,
+    /// Cache hits among them.
+    pub hits: u64,
+    /// Pages the cache held at the end of the hour.
+    pub cache_pages: usize,
+    /// Pages the batch job held at the end of the hour.
+    pub batch_pages: usize,
+}
+
+impl HourStats {
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// What the simulated day produced.
+#[derive(Debug)]
+pub struct DiurnalOutcome {
+    /// Per-hour statistics.
+    pub hourly: Vec<HourStats>,
+    /// Footprint timeline (series "cache" and "batch", hourly).
+    pub timeline: Timeline,
+    /// Reclamation rounds the daemon ran over the day.
+    pub reclaim_rounds: u64,
+    /// Pages moved between the processes over the day.
+    pub pages_moved: u64,
+}
+
+impl DiurnalOutcome {
+    /// Mean hit rate over a half-open hour range.
+    pub fn mean_hit_rate(&self, hours: std::ops::Range<usize>) -> f64 {
+        let slice: Vec<_> = self
+            .hourly
+            .iter()
+            .filter(|h| hours.contains(&h.hour))
+            .collect();
+        if slice.is_empty() {
+            return 0.0;
+        }
+        slice.iter().map(|h| h.hit_rate()).sum::<f64>() / slice.len() as f64
+    }
+}
+
+/// Runs one simulated day.
+pub fn run_diurnal(cfg: &DiurnalConfig) -> DiurnalOutcome {
+    let machine = MachineMemory::new(cfg.soft_capacity_pages * 4);
+    let smd = Smd::new(SmdConfig::new(&machine, cfg.soft_capacity_pages).initial_budget(0));
+    let web = SoftProcess::spawn(&smd, "web-service").expect("spawn web");
+    let cache = Store::new(web.sma(), "cache", Priority::new(5));
+    let day = DiurnalLoad::new(24, cfg.trough); // 1 "ms" per hour
+    let mut zipf = ZipfKeys::new(cfg.cache_keys, 1.0, cfg.seed);
+
+    // Pre-day warm-up: the service ran yesterday, so the cache is
+    // populated when the nightly batch arrives at midnight (making the
+    // batch's demand an actual reclamation, as in §2).
+    for _ in 0..(cfg.peak_requests_per_hour * 3) {
+        let key = ZipfKeys::key_name(zipf.next_key());
+        if cache.get(key.as_bytes()).is_none() {
+            let _ = cache.set(key.as_bytes(), &[1u8; 64]);
+        }
+    }
+
+    let mut batch: Option<(Arc<SoftProcess>, SoftQueue<[u8; PAGE_SIZE]>)> = None;
+    let mut timeline = Timeline::new();
+    let mut hourly = Vec::with_capacity(24);
+
+    for hour in 0..24 {
+        // Batch window edges.
+        if hour == cfg.batch_start_hour {
+            let p = SoftProcess::spawn(&smd, "nightly-batch").expect("spawn batch");
+            let q: SoftQueue<[u8; PAGE_SIZE]> =
+                SoftQueue::new(p.sma(), "batch-data", Priority::new(1));
+            for _ in 0..cfg.batch_pages {
+                // Reclamation makes room; failures are tolerated (the
+                // batch takes what it can get).
+                if q.push([0u8; PAGE_SIZE]).is_err() {
+                    break;
+                }
+            }
+            batch = Some((p, q));
+        }
+        if hour == cfg.batch_end_hour {
+            batch = None; // job done: its memory returns to the pool
+        }
+
+        // Serve this hour's traffic.
+        let load = day.load_at(hour as u64);
+        let requests = (cfg.peak_requests_per_hour as f64 * load) as u64;
+        let h0 = cache.stats().hits;
+        for _ in 0..requests {
+            let key = ZipfKeys::key_name(zipf.next_key());
+            if cache.get(key.as_bytes()).is_none() {
+                // Miss: re-fetch from the database and re-cache.
+                let _ = cache.set(key.as_bytes(), &[1u8; 64]);
+            }
+        }
+        let s = cache.stats();
+        let cache_pages = web.sma().held_pages();
+        let batch_pages = batch
+            .as_ref()
+            .map(|(p, _)| p.sma().held_pages())
+            .unwrap_or(0);
+        timeline.record(hour as u64, "cache", cache_pages * PAGE_SIZE);
+        timeline.record(hour as u64, "batch", batch_pages * PAGE_SIZE);
+        hourly.push(HourStats {
+            hour,
+            load,
+            requests,
+            hits: s.hits - h0,
+            cache_pages,
+            batch_pages,
+        });
+    }
+    let stats = smd.stats();
+    DiurnalOutcome {
+        hourly,
+        timeline,
+        reclaim_rounds: stats.reclaim_rounds_total,
+        pages_moved: stats.pages_reclaimed_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DiurnalConfig {
+        DiurnalConfig {
+            soft_capacity_pages: 256,
+            cache_keys: 8_000,
+            peak_requests_per_hour: 4_000,
+            batch_pages: 180,
+            ..DiurnalConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_borrows_at_night_and_returns_by_day() {
+        let out = run_diurnal(&small());
+        assert_eq!(out.hourly.len(), 24);
+        let night = &out.hourly[2];
+        let day = &out.hourly[12];
+        assert!(night.batch_pages > 0, "batch held memory at night");
+        assert_eq!(day.batch_pages, 0, "batch gone by midday");
+        assert!(
+            day.cache_pages > night.cache_pages,
+            "cache regrew for the day: {} vs {}",
+            day.cache_pages,
+            night.cache_pages
+        );
+        assert!(out.pages_moved > 0, "the daemon moved memory");
+    }
+
+    #[test]
+    fn hit_rate_dips_at_night_and_recovers() {
+        let out = run_diurnal(&small());
+        // Compare the batch window's hit rate with the late-day rate.
+        let night = out.mean_hit_rate(1..6);
+        let day = out.mean_hit_rate(14..20);
+        assert!(
+            day > night,
+            "daytime hit rate {day:.3} should exceed nightly {night:.3}"
+        );
+        assert!(day > 0.5, "the regrown cache serves most traffic: {day:.3}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_diurnal(&small());
+        let b = run_diurnal(&small());
+        assert_eq!(a.hourly, b.hourly);
+        assert_eq!(a.pages_moved, b.pages_moved);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let cfg = small();
+        let out = run_diurnal(&cfg);
+        for h in &out.hourly {
+            assert!(
+                h.cache_pages + h.batch_pages <= cfg.soft_capacity_pages,
+                "hour {}: {} + {} > {}",
+                h.hour,
+                h.cache_pages,
+                h.batch_pages,
+                cfg.soft_capacity_pages
+            );
+        }
+    }
+}

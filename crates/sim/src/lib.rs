@@ -1,0 +1,35 @@
+//! # softmem-sim — simulation substrate for the soft-memory experiments
+//!
+//! The paper's evaluation runs on a real machine with real processes;
+//! this crate supplies the deterministic equivalents the benchmark
+//! harnesses drive (DESIGN.md §2):
+//!
+//! * [`clock`] — a logical millisecond clock, so timelines are exact
+//!   and tests are reproducible.
+//! * [`timeline`] — the per-process footprint recorder behind the
+//!   Figure-2 reproduction, with CSV and ASCII-chart rendering.
+//! * [`workload`] — key/load generators: Zipfian key popularity, the
+//!   diurnal load curve of §2, batch-job arrivals.
+//! * [`pressure`] — the canonical two-process pressure scenario of
+//!   Figure 2: a KV store holding soft memory, a second process whose
+//!   demand forces the daemon to move pages between them.
+//! * [`cluster`] — a cluster-scheduler simulation quantifying the §2
+//!   motivation: job evictions and recomputed work with a
+//!   kill-under-pressure policy versus soft-memory reclamation.
+//! * [`diurnal`] — the §2 day/night scenario: a soft cache tracks the
+//!   diurnal load curve while a nightly batch job borrows the idle
+//!   memory through the daemon.
+
+pub mod clock;
+pub mod cluster;
+pub mod diurnal;
+pub mod pressure;
+pub mod timeline;
+pub mod workload;
+
+pub use clock::SimClock;
+pub use cluster::{ClusterConfig, ClusterOutcome, JobSpec, MemoryPolicy};
+pub use diurnal::{DiurnalConfig, DiurnalOutcome, HourStats};
+pub use pressure::{PressureConfig, PressureOutcome};
+pub use timeline::{Timeline, TimelinePoint};
+pub use workload::{BatchArrivals, DiurnalLoad, ZipfKeys};

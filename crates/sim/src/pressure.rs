@@ -1,0 +1,271 @@
+//! The Figure-2 scenario: cross-process reclamation under pressure.
+//!
+//! §5 of the paper: a Redis server holds ≈10 MiB of soft memory
+//! (130 K key-value pairs); a second process then requests 12 MiB,
+//! exceeding the machine's 20 MiB of soft memory, so the SMD reclaims
+//! ≈2 MiB from Redis and both processes survive. This module builds
+//! that scenario from the real components (KV store, SMA, SMD) and
+//! records the per-process footprint timeline the figure plots.
+
+use std::time::Duration;
+
+use softmem_core::{MachineMemory, Priority, PAGE_SIZE};
+use softmem_daemon::{Smd, SmdConfig, SoftProcess};
+use softmem_kv::Store;
+use softmem_sds::SoftQueue;
+
+use crate::timeline::Timeline;
+
+/// Parameters of the pressure scenario (defaults = the paper's §5
+/// setup).
+#[derive(Debug, Clone)]
+pub struct PressureConfig {
+    /// Physical machine pages (generous; soft capacity is the binding
+    /// constraint, as in the paper).
+    pub machine_pages: usize,
+    /// Machine-wide soft-memory capacity in bytes (paper: 20 MiB).
+    pub soft_capacity_bytes: usize,
+    /// Target soft footprint of the KV store in bytes (paper: 10 MiB,
+    /// from 130 K pairs).
+    pub kv_soft_target_bytes: usize,
+    /// Bytes the second process requests (paper: 12 MiB).
+    pub other_request_bytes: usize,
+    /// Value payload size per KV pair (traditional memory).
+    pub value_bytes: usize,
+    /// Logical time at which the second process makes its request
+    /// (paper: t = 10.13 s).
+    pub request_at_ms: u64,
+    /// Total logical timeline span (paper's figure: 20 s).
+    pub horizon_ms: u64,
+    /// Timeline sampling interval.
+    pub sample_every_ms: u64,
+    /// Simulated per-entry cleanup cost in the KV store's reclamation
+    /// callback (models the Redis traditional-memory cleanup that made
+    /// the paper's reclamation take 3.75 s). Zero ⇒ no extra cost.
+    pub callback_cost: Duration,
+    /// SMD over-reclamation fraction (0.0 reproduces the figure's
+    /// "exactly the shortfall moved" shape).
+    pub over_reclaim_fraction: f64,
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        const MIB: usize = 1024 * 1024;
+        PressureConfig {
+            machine_pages: 64 * MIB / PAGE_SIZE,
+            soft_capacity_bytes: 20 * MIB,
+            kv_soft_target_bytes: 10 * MIB,
+            other_request_bytes: 12 * MIB,
+            value_bytes: 32,
+            request_at_ms: 10_130,
+            horizon_ms: 20_000,
+            sample_every_ms: 250,
+            callback_cost: Duration::ZERO,
+            over_reclaim_fraction: 0.0,
+        }
+    }
+}
+
+impl PressureConfig {
+    /// A down-scaled configuration for fast tests (≈100× smaller).
+    pub fn small() -> Self {
+        const KIB: usize = 1024;
+        PressureConfig {
+            machine_pages: 2048,
+            soft_capacity_bytes: 200 * KIB,
+            kv_soft_target_bytes: 100 * KIB,
+            other_request_bytes: 120 * KIB,
+            value_bytes: 16,
+            request_at_ms: 1_000,
+            horizon_ms: 2_000,
+            sample_every_ms: 100,
+            callback_cost: Duration::ZERO,
+            over_reclaim_fraction: 0.0,
+        }
+    }
+}
+
+/// What the scenario produced.
+#[derive(Debug)]
+pub struct PressureOutcome {
+    /// The per-process soft-footprint timeline (Figure 2's data).
+    pub timeline: Timeline,
+    /// KV pairs loaded during setup.
+    pub kv_pairs: usize,
+    /// KV store soft footprint before the request (bytes).
+    pub kv_soft_before: usize,
+    /// …and after the reclamation settled.
+    pub kv_soft_after: usize,
+    /// Second process's soft footprint after its request (bytes).
+    pub other_soft_after: usize,
+    /// Entries the KV store lost to reclamation.
+    pub entries_reclaimed: u64,
+    /// Wall-clock duration of the request burst (allocation +
+    /// daemon-driven reclamation).
+    pub reclaim_wall: Duration,
+    /// Wall-clock time spent inside the KV store's reclamation
+    /// callback (the paper's dominant cost).
+    pub callback_wall: Duration,
+    /// Whether any of the second process's allocations failed.
+    pub other_failed_allocs: usize,
+}
+
+impl PressureOutcome {
+    /// Bytes the KV store gave up.
+    pub fn bytes_moved(&self) -> usize {
+        self.kv_soft_before.saturating_sub(self.kv_soft_after)
+    }
+
+    /// Callback share of the reclamation wall time, in `[0, 1]`.
+    pub fn callback_share(&self) -> f64 {
+        if self.reclaim_wall.is_zero() {
+            0.0
+        } else {
+            (self.callback_wall.as_secs_f64() / self.reclaim_wall.as_secs_f64()).min(1.0)
+        }
+    }
+}
+
+/// Runs the scenario and records the timeline.
+pub fn run_pressure(cfg: &PressureConfig) -> PressureOutcome {
+    let machine = MachineMemory::new(cfg.machine_pages);
+    let smd = Smd::new(
+        SmdConfig::new(&machine, cfg.soft_capacity_bytes / PAGE_SIZE)
+            .initial_budget(0)
+            .over_reclaim(cfg.over_reclaim_fraction),
+    );
+    // Process A: the KV store ("Redis").
+    let proc_kv = SoftProcess::spawn(&smd, "redis").expect("spawn kv process");
+    let store = Store::new(proc_kv.sma(), "hashtable", Priority::new(4));
+    store.set_reclaim_cost(cfg.callback_cost);
+
+    // Fill until the soft footprint reaches the target.
+    let mut kv_pairs = 0usize;
+    let value = vec![0xABu8; cfg.value_bytes];
+    while proc_kv.sma().held_pages() * PAGE_SIZE < cfg.kv_soft_target_bytes {
+        store
+            .set(format!("key-{kv_pairs:08}").as_bytes(), &value)
+            .expect("fill fits under machine capacity");
+        kv_pairs += 1;
+    }
+    let kv_soft_before = proc_kv.sma().held_pages() * PAGE_SIZE;
+
+    // Process B: the memory-hungry newcomer.
+    let proc_other = SoftProcess::spawn(&smd, "other").expect("spawn other process");
+    let other_data: SoftQueue<[u8; PAGE_SIZE]> =
+        SoftQueue::new(proc_other.sma(), "blocks", Priority::new(4));
+
+    let mut timeline = Timeline::new();
+    let kv_bytes = |p: &SoftProcess| p.sma().held_pages() * PAGE_SIZE;
+
+    // Phase 1: steady state before the request.
+    let mut t = 0;
+    while t < cfg.request_at_ms {
+        timeline.record(t, "redis", kv_bytes(&proc_kv));
+        timeline.record(t, "other", kv_bytes(&proc_other));
+        t += cfg.sample_every_ms;
+    }
+
+    // Phase 2: the burst. Wall time is measured; the timeline embeds
+    // it 1:1 after `request_at_ms`.
+    let callback_before = store.callback_time();
+    let start = std::time::Instant::now();
+    let mut other_failed_allocs = 0usize;
+    let blocks = cfg.other_request_bytes / PAGE_SIZE;
+    for _ in 0..blocks {
+        if other_data.push([0u8; PAGE_SIZE]).is_err() {
+            other_failed_allocs += 1;
+        }
+    }
+    let reclaim_wall = start.elapsed();
+    let callback_wall = store.callback_time() - callback_before;
+
+    // Phase 3: settled state after the reclamation.
+    let settle_at = cfg.request_at_ms + (reclaim_wall.as_millis() as u64).max(1);
+    let mut t = settle_at;
+    while t <= cfg.horizon_ms {
+        timeline.record(t, "redis", kv_bytes(&proc_kv));
+        timeline.record(t, "other", kv_bytes(&proc_other));
+        t += cfg.sample_every_ms;
+    }
+
+    PressureOutcome {
+        kv_pairs,
+        kv_soft_before,
+        kv_soft_after: kv_bytes(&proc_kv),
+        other_soft_after: kv_bytes(&proc_other),
+        entries_reclaimed: store.stats().reclaimed_entries,
+        reclaim_wall,
+        callback_wall,
+        other_failed_allocs,
+        timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_moves_memory_without_crashing_anyone() {
+        let cfg = PressureConfig::small();
+        let out = run_pressure(&cfg);
+        assert_eq!(out.other_failed_allocs, 0, "no failed allocations");
+        assert!(out.kv_pairs > 0);
+        // The newcomer got (at least) its request.
+        assert!(out.other_soft_after >= cfg.other_request_bytes);
+        // The KV store shrank by roughly the capacity shortfall:
+        // kv + other − capacity.
+        let shortfall =
+            (out.kv_soft_before + cfg.other_request_bytes).saturating_sub(cfg.soft_capacity_bytes);
+        assert!(shortfall > 0, "scenario must actually create pressure");
+        let moved = out.bytes_moved();
+        assert!(
+            moved >= shortfall && moved <= shortfall + 64 * PAGE_SIZE,
+            "moved {moved} vs shortfall {shortfall}"
+        );
+        assert!(out.entries_reclaimed > 0);
+    }
+
+    #[test]
+    fn timeline_has_the_figure_2_shape() {
+        let cfg = PressureConfig::small();
+        let out = run_pressure(&cfg);
+        let summary = out.timeline.summary();
+        let (r_first, r_peak, r_last) = summary["redis"];
+        let (o_first, _o_peak, o_last) = summary["other"];
+        // Redis: flat at target, then a step down.
+        assert_eq!(r_first, r_peak);
+        assert!(r_last < r_first, "redis footprint dropped");
+        // Other: zero, then a step up to its request.
+        assert_eq!(o_first, 0);
+        assert!(o_last >= cfg.other_request_bytes);
+        // Both series cover the whole horizon.
+        let redis_pts = out.timeline.series_points("redis");
+        assert!(redis_pts.first().unwrap().0 == 0);
+        assert!(redis_pts.last().unwrap().0 >= cfg.request_at_ms);
+    }
+
+    #[test]
+    fn callback_cost_dominates_reclaim_time_when_configured() {
+        let mut cfg = PressureConfig::small();
+        cfg.callback_cost = Duration::from_micros(50);
+        let out = run_pressure(&cfg);
+        assert!(out.entries_reclaimed > 0);
+        assert!(
+            out.callback_share() > 0.5,
+            "callback share {} (wall {:?}, cb {:?})",
+            out.callback_share(),
+            out.reclaim_wall,
+            out.callback_wall
+        );
+    }
+
+    #[test]
+    fn ascii_rendering_of_the_scenario_is_plottable() {
+        let out = run_pressure(&PressureConfig::small());
+        let chart = out.timeline.render_ascii(50, 10);
+        assert!(chart.contains("# = redis"));
+        assert!(chart.contains("* = other"));
+    }
+}

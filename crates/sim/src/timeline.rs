@@ -1,0 +1,219 @@
+//! Per-process footprint timelines — the raw material of Figure 2.
+
+use std::collections::BTreeMap;
+
+/// One sample of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelinePoint {
+    /// Sample time (ms).
+    pub t_ms: u64,
+    /// Series label (e.g. process name).
+    pub series: String,
+    /// Soft-memory footprint at the sample, in bytes.
+    pub soft_bytes: usize,
+}
+
+/// A multi-series footprint recording.
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    points: Vec<TimelinePoint>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, t_ms: u64, series: &str, soft_bytes: usize) {
+        self.points.push(TimelinePoint {
+            t_ms,
+            series: series.to_string(),
+            soft_bytes,
+        });
+    }
+
+    /// All samples, in recording order.
+    pub fn points(&self) -> &[TimelinePoint] {
+        &self.points
+    }
+
+    /// Distinct series labels, in first-appearance order.
+    pub fn series(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.series) {
+                out.push(p.series.clone());
+            }
+        }
+        out
+    }
+
+    /// The samples of one series, time-ordered.
+    pub fn series_points(&self, series: &str) -> Vec<(u64, usize)> {
+        let mut pts: Vec<(u64, usize)> = self
+            .points
+            .iter()
+            .filter(|p| p.series == series)
+            .map(|p| (p.t_ms, p.soft_bytes))
+            .collect();
+        pts.sort_by_key(|&(t, _)| t);
+        pts
+    }
+
+    /// Renders `time_ms,series,soft_bytes` CSV (header included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_ms,series,soft_bytes\n");
+        for p in &self.points {
+            out.push_str(&format!("{},{},{}\n", p.t_ms, p.series, p.soft_bytes));
+        }
+        out
+    }
+
+    /// Renders an ASCII chart (soft footprint in MiB vs time), one
+    /// glyph per series — the terminal stand-in for Figure 2.
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        let series = self.series();
+        if self.points.is_empty() || width == 0 || height == 0 {
+            return String::from("(empty timeline)\n");
+        }
+        let t_max = self.points.iter().map(|p| p.t_ms).max().unwrap_or(1).max(1);
+        let y_max = self
+            .points
+            .iter()
+            .map(|p| p.soft_bytes)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        const GLYPHS: [char; 6] = ['#', '*', 'o', '+', 'x', '@'];
+        // grid[row][col]; row 0 = top.
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, name) in series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            // Sample-and-hold: each column shows the latest value at
+            // or before that column's time.
+            let pts = self.series_points(name);
+            let mut value = 0usize;
+            let mut iter = pts.iter().peekable();
+            for (col, col_t) in
+                (0..width).map(|c| (c, (t_max as u128 * c as u128 / width.max(1) as u128) as u64))
+            {
+                while let Some(&&(t, v)) = iter.peek() {
+                    if t <= col_t {
+                        value = v;
+                        iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                let row_from_bottom =
+                    ((value as u128 * (height - 1) as u128) / y_max as u128) as usize;
+                let row = height - 1 - row_from_bottom.min(height - 1);
+                grid[row][col] = glyph;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "soft memory footprint (y: 0..{} bytes, x: 0..{} ms)\n",
+            y_max, t_max
+        ));
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', width));
+        out.push('\n');
+        for (si, name) in series.iter().enumerate() {
+            out.push_str(&format!("  {} = {}\n", GLYPHS[si % GLYPHS.len()], name));
+        }
+        out
+    }
+
+    /// Per-series summary: `(first, peak, last)` soft bytes.
+    pub fn summary(&self) -> BTreeMap<String, (usize, usize, usize)> {
+        let mut out = BTreeMap::new();
+        for name in self.series() {
+            let pts = self.series_points(&name);
+            let first = pts.first().map(|&(_, v)| v).unwrap_or(0);
+            let peak = pts.iter().map(|&(_, v)| v).max().unwrap_or(0);
+            let last = pts.last().map(|&(_, v)| v).unwrap_or(0);
+            out.insert(name, (first, peak, last));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_timeline() -> Timeline {
+        let mut t = Timeline::new();
+        for ms in 0..10 {
+            t.record(ms * 1000, "redis", (10 - ms as usize) * 1024 * 1024);
+            t.record(ms * 1000, "other", ms as usize * 1024 * 1024);
+        }
+        t
+    }
+
+    #[test]
+    fn series_are_tracked_in_order() {
+        let t = sample_timeline();
+        assert_eq!(t.series(), vec!["redis".to_string(), "other".to_string()]);
+        assert_eq!(t.points().len(), 20);
+    }
+
+    #[test]
+    fn series_points_sorted_by_time() {
+        let mut t = Timeline::new();
+        t.record(500, "a", 2);
+        t.record(100, "a", 1);
+        assert_eq!(t.series_points("a"), vec![(100, 1), (500, 2)]);
+        assert!(t.series_points("missing").is_empty());
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let t = sample_timeline();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_ms,series,soft_bytes");
+        assert_eq!(lines.len(), 21);
+        assert!(lines[1].starts_with("0,redis,"));
+    }
+
+    #[test]
+    fn ascii_chart_contains_both_series() {
+        let t = sample_timeline();
+        let chart = t.render_ascii(60, 12);
+        assert!(chart.contains('#'));
+        assert!(chart.contains('*'));
+        assert!(chart.contains("# = redis"));
+        assert!(chart.contains("* = other"));
+        // 12 grid rows + header + axis + 2 legend lines.
+        assert_eq!(chart.lines().count(), 16);
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let t = Timeline::new();
+        assert!(t.render_ascii(10, 5).contains("empty"));
+    }
+
+    #[test]
+    fn summary_first_peak_last() {
+        let t = sample_timeline();
+        let s = t.summary();
+        let (first, peak, last) = s["redis"];
+        assert_eq!(first, 10 * 1024 * 1024);
+        assert_eq!(peak, 10 * 1024 * 1024);
+        assert_eq!(last, 1024 * 1024);
+        let (ofirst, opeak, olast) = s["other"];
+        assert_eq!(ofirst, 0);
+        assert_eq!(opeak, 9 * 1024 * 1024);
+        assert_eq!(olast, 9 * 1024 * 1024);
+    }
+}

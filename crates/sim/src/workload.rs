@@ -1,0 +1,224 @@
+//! Workload generators: key popularity, diurnal load, batch arrivals.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipf-distributed key popularity over `n` keys.
+///
+/// Web-cache traffic is famously skewed; the Figure-2 and crash/refill
+/// harnesses use this to generate realistic GET streams.
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    /// Cumulative probability table (index = key rank).
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfKeys {
+    /// A generator over `n` keys with exponent `s` (1.0 ≈ classic web
+    /// skew) and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one key");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        ZipfKeys {
+            cdf: weights,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws the next key rank (0 = most popular).
+    pub fn next_key(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Renders rank `k` as a key string (stable formatting).
+    pub fn key_name(k: usize) -> String {
+        format!("key-{k:08}")
+    }
+}
+
+/// The §2 diurnal load curve: "low nocturnal user interaction with web
+/// services leads to reduced utilization".
+///
+/// Load is a raised cosine over a 24 h period: 1.0 at peak (midday),
+/// `trough` at night.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalLoad {
+    /// Period of one day, in simulated ms.
+    pub day_ms: u64,
+    /// Load factor at the nightly trough, in `[0, 1]`.
+    pub trough: f64,
+}
+
+impl DiurnalLoad {
+    /// A day of `day_ms` with the given nightly trough.
+    pub fn new(day_ms: u64, trough: f64) -> Self {
+        DiurnalLoad {
+            day_ms: day_ms.max(1),
+            trough: trough.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Load factor in `[trough, 1]` at time `t_ms` (peak at mid-day,
+    /// trough at t = 0 / midnight).
+    pub fn load_at(&self, t_ms: u64) -> f64 {
+        let phase = (t_ms % self.day_ms) as f64 / self.day_ms as f64;
+        let wave = 0.5 - 0.5 * (phase * std::f64::consts::TAU).cos(); // 0 at midnight, 1 midday
+        self.trough + (1.0 - self.trough) * wave
+    }
+
+    /// Whether `t_ms` falls in the nightly lull (load below the
+    /// midpoint).
+    pub fn is_night(&self, t_ms: u64) -> bool {
+        self.load_at(t_ms) < (1.0 + self.trough) / 2.0
+    }
+}
+
+/// Poisson-ish batch-job arrivals: "batch jobs in the datacenter scale
+/// up at night" (§2).
+#[derive(Debug, Clone)]
+pub struct BatchArrivals {
+    rng: StdRng,
+    /// Mean inter-arrival gap in ms.
+    pub mean_gap_ms: u64,
+}
+
+impl BatchArrivals {
+    /// Arrivals with the given mean gap and seed.
+    pub fn new(mean_gap_ms: u64, seed: u64) -> Self {
+        BatchArrivals {
+            rng: StdRng::seed_from_u64(seed),
+            mean_gap_ms: mean_gap_ms.max(1),
+        }
+    }
+
+    /// Draws the next inter-arrival gap (exponential).
+    pub fn next_gap_ms(&mut self) -> u64 {
+        let u: f64 = self.rng.gen_range(1e-9..1.0f64);
+        (-u.ln() * self.mean_gap_ms as f64).ceil() as u64
+    }
+
+    /// Generates arrival times within `[0, horizon_ms)`.
+    pub fn arrivals_until(&mut self, horizon_ms: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut t = 0;
+        loop {
+            t += self.next_gap_ms();
+            if t >= horizon_ms {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Convenience: a seeded uniform RNG for harnesses.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws a value size in bytes around `mean` (uniform ±50%).
+pub fn value_size(rng: &mut StdRng, mean: usize) -> usize {
+    let lo = mean / 2;
+    let hi = mean + mean / 2;
+    rng.gen_range(lo..=hi.max(lo + 1))
+}
+
+// Re-export so callers do not need a direct rand dependency for the
+// common case.
+#[doc(hidden)]
+pub use rand::distributions::Uniform as _Uniform;
+
+/// Draws `count` samples from a uniform integer range (test helper).
+pub fn uniform_samples(rng: &mut StdRng, lo: u64, hi: u64, count: usize) -> Vec<u64> {
+    let dist = rand::distributions::Uniform::new_inclusive(lo, hi);
+    (0..count).map(|_| dist.sample(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let mut a = ZipfKeys::new(1000, 1.0, 42);
+        let mut b = ZipfKeys::new(1000, 1.0, 42);
+        let draws_a: Vec<usize> = (0..10_000).map(|_| a.next_key()).collect();
+        let draws_b: Vec<usize> = (0..10_000).map(|_| b.next_key()).collect();
+        assert_eq!(draws_a, draws_b, "seeded ⇒ reproducible");
+        let top10 = draws_a.iter().filter(|&&k| k < 10).count();
+        assert!(
+            top10 > 2500,
+            "top-10 keys draw a large share of traffic: {top10}"
+        );
+        assert!(draws_a.iter().all(|&k| k < 1000));
+    }
+
+    #[test]
+    fn zipf_single_key() {
+        let mut z = ZipfKeys::new(1, 1.0, 7);
+        assert_eq!(z.next_key(), 0);
+        assert_eq!(ZipfKeys::key_name(3), "key-00000003");
+    }
+
+    #[test]
+    fn diurnal_peaks_at_midday_troughs_at_midnight() {
+        let d = DiurnalLoad::new(24 * 3600 * 1000, 0.2);
+        let midnight = d.load_at(0);
+        let midday = d.load_at(12 * 3600 * 1000);
+        assert!((midnight - 0.2).abs() < 1e-9);
+        assert!((midday - 1.0).abs() < 1e-9);
+        assert!(d.is_night(0));
+        assert!(!d.is_night(12 * 3600 * 1000));
+        // Periodic.
+        assert!((d.load_at(24 * 3600 * 1000) - midnight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_arrivals_mean_roughly_matches() {
+        let mut b = BatchArrivals::new(100, 9);
+        let arrivals = b.arrivals_until(100_000);
+        // Expect ≈1000 arrivals; accept a generous band.
+        assert!(
+            (600..1500).contains(&arrivals.len()),
+            "got {}",
+            arrivals.len()
+        );
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn value_sizes_in_band() {
+        let mut rng = seeded_rng(5);
+        for _ in 0..1000 {
+            let v = value_size(&mut rng, 100);
+            assert!((50..=150).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_samples_in_range() {
+        let mut rng = seeded_rng(11);
+        let xs = uniform_samples(&mut rng, 5, 10, 100);
+        assert_eq!(xs.len(), 100);
+        assert!(xs.iter().all(|&x| (5..=10).contains(&x)));
+    }
+}

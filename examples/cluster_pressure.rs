@@ -1,0 +1,110 @@
+//! A whole machine under pressure: several processes, one Soft Memory
+//! Daemon, and an audit log of every reclamation decision — the §3.3
+//! machinery end to end, including a denial when nothing is left.
+//!
+//! Run: `cargo run --release --example cluster_pressure`
+
+use softmem::core::{MachineMemory, Priority, PAGE_SIZE};
+use softmem::daemon::{Smd, SmdConfig, SoftProcess};
+use softmem::sds::SoftQueue;
+
+const CAPACITY_PAGES: usize = 1024; // 4 MiB of machine soft memory
+
+fn main() {
+    let machine = MachineMemory::new(CAPACITY_PAGES * 4);
+    let smd = Smd::new(
+        SmdConfig::new(&machine, CAPACITY_PAGES)
+            .initial_budget(16)
+            .max_targets(3)
+            .over_reclaim(0.25),
+    );
+
+    // Three tenants with different memory habits.
+    let tenants = [
+        ("analytics", 600usize, 200usize), // big soft user, some traditional
+        ("web-cache", 300, 50),            // mostly soft
+        ("logger", 50, 400),               // mostly traditional
+    ];
+    let mut procs = Vec::new();
+    let mut queues = Vec::new();
+    for (name, soft_pages, trad_pages) in tenants {
+        let p = SoftProcess::spawn(&smd, name).expect("spawn");
+        p.set_traditional_pages(trad_pages).expect("machine fits");
+        let q: SoftQueue<[u8; PAGE_SIZE]> = SoftQueue::new(p.sma(), "data", Priority::new(3));
+        for _ in 0..soft_pages {
+            if q.push([0u8; PAGE_SIZE]).is_err() {
+                break;
+            }
+        }
+        println!(
+            "{name:<10} soft {:>4} pages | traditional {:>4} pages",
+            p.sma().held_pages(),
+            trad_pages
+        );
+        procs.push(p);
+        queues.push(q);
+    }
+
+    // A newcomer bursts in and needs 256 pages at once.
+    println!("\nnewcomer requests 256 pages (machine soft memory is full)…");
+    let newcomer = SoftProcess::spawn(&smd, "newcomer").expect("spawn");
+    match newcomer.request_pages(256) {
+        Ok(granted) => println!("granted {granted} pages"),
+        Err(e) => println!("denied: {e}"),
+    }
+
+    // Inspect the daemon's decision log: who was disturbed, and why.
+    for d in smd.take_decisions() {
+        println!(
+            "\ndecision: requester pid {} asked {} pages ({} needed reclamation) → {}",
+            d.requester,
+            d.requested_pages,
+            d.need_pages,
+            if d.granted { "GRANTED" } else { "DENIED" }
+        );
+        for t in d.targets {
+            println!(
+                "  target pid {} (weight {:.1}{}) demanded {:>4}, yielded {:>4}",
+                t.pid,
+                t.weight,
+                if t.had_slack { ", had slack" } else { "" },
+                t.demanded_pages,
+                t.yielded_pages
+            );
+        }
+    }
+
+    println!("\nafter the dust settles:");
+    for (i, p) in procs.iter().enumerate() {
+        println!(
+            "  {:<10} holds {:>4} pages ({} elements reclaimed)",
+            p.name(),
+            p.sma().held_pages(),
+            queues[i].reclaim_stats().elements_reclaimed
+        );
+    }
+    println!(
+        "  newcomer   holds {:>4} pages of budget",
+        newcomer.sma().budget_pages()
+    );
+
+    // Keep asking until the machine genuinely cannot serve: the SMD
+    // denies rather than killing anyone (§3.3).
+    let mut denied = 0;
+    let mut granted_pages = 0;
+    loop {
+        match newcomer.request_pages(128) {
+            Ok(g) => granted_pages += g,
+            Err(_) => {
+                denied += 1;
+                break;
+            }
+        }
+    }
+    let stats = smd.stats();
+    println!(
+        "\npushed to the limit: {granted_pages} more pages granted, then {denied} denial; \
+         {} pages moved across {} reclamation rounds; every process still alive",
+        stats.pages_reclaimed_total, stats.reclaim_rounds_total
+    );
+}

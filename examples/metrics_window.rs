@@ -1,0 +1,62 @@
+//! A sliding metrics window on `SoftSortedMap`: samples are keyed by
+//! timestamp, so memory pressure naturally truncates *history* — the
+//! oldest samples go first, the live window stays queryable.
+//!
+//! Run: `cargo run --release --example metrics_window`
+
+use softmem::core::{Priority, Sma, SmaConfig};
+use softmem::sds::{SoftContainer, SoftSortedMap};
+
+/// One monitoring sample.
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    cpu: f32,
+    rss_mib: f32,
+}
+
+fn main() {
+    let sma = Sma::with_config(SmaConfig::for_testing(64).free_pool_retain(0).sds_retain(0));
+    // Smallest-first eviction = oldest timestamps go first.
+    let window: SoftSortedMap<u64, Sample> = SoftSortedMap::new(&sma, "metrics", Priority::new(1));
+    window.set_reclaim_callback(|ts, s| {
+        // A real agent might down-sample into a coarser archive here.
+        let _ = (ts, s);
+    });
+
+    // Ingest a day of per-second samples (86 400 — far beyond budget).
+    for t in 0..86_400u64 {
+        let sample = Sample {
+            cpu: ((t % 100) as f32) / 100.0,
+            rss_mib: 512.0 + (t % 7) as f32,
+        };
+        if window.insert(t, sample).is_err() {
+            // Budget full: age out the oldest page's worth of samples.
+            window.reclaim_now(4096);
+            window.insert(t, sample).expect("room after aging out");
+        }
+    }
+
+    let oldest = window.first_key().expect("window non-empty");
+    let newest = window.last_key().expect("window non-empty");
+    println!(
+        "ingested 86400 samples into a {}-page budget:",
+        sma.budget_pages()
+    );
+    println!(
+        "  live window: t = {oldest}..={newest} ({} samples, {} aged out)",
+        window.len(),
+        window.reclaim_stats().elements_reclaimed
+    );
+
+    // Range query over the most recent 5 minutes.
+    let recent = window.range_collect((newest - 299)..=newest);
+    let avg_cpu: f32 = recent.iter().map(|(_, s)| s.cpu).sum::<f32>() / recent.len() as f32;
+    println!(
+        "  last 5 min: {} samples, avg cpu {:.2}, rss {:.0} MiB",
+        recent.len(),
+        avg_cpu,
+        recent.last().expect("non-empty").1.rss_mib
+    );
+    assert_eq!(recent.len(), 300, "the recent window is fully resident");
+    assert_eq!(newest, 86_399, "the newest sample is always retained");
+}

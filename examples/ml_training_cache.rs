@@ -1,0 +1,115 @@
+//! The paper's ML training-cache use case (§2): a training job keeps
+//! part of its dataset in a soft cache. Growing the cache with
+//! otherwise-idle memory speeds up epochs; when a latency-critical
+//! service needs the memory back, the cache shrinks and training slows
+//! — but completes.
+//!
+//! Run: `cargo run --release --example ml_training_cache`
+
+use softmem::core::{fmt_bytes, MachineMemory, Priority, PAGE_SIZE};
+use softmem::daemon::{Smd, SmdConfig, SoftProcess};
+use softmem::sds::{SoftQueue, SoftVec};
+use softmem::sim::workload::seeded_rng;
+
+use rand::Rng;
+
+/// One training sample (a small feature vector).
+type Sample = [f32; 64];
+
+const DATASET: usize = 40_000;
+const SOFT_CAPACITY_PAGES: usize = 4096;
+
+/// "Loads" a sample from slow storage (simulated cost: some work).
+fn load_from_storage(idx: usize) -> Sample {
+    let mut s = [0f32; 64];
+    let mut acc = idx as f32;
+    for v in s.iter_mut() {
+        acc = acc * 1.000001 + 1.0;
+        *v = acc;
+    }
+    s
+}
+
+/// Runs one epoch: random sample order; cached samples are free,
+/// misses pay the storage cost. Returns (hits, misses).
+fn epoch(cache: &SoftVec<Sample>, order: &[usize]) -> (usize, usize) {
+    let mut hits = 0;
+    let mut misses = 0;
+    let cached = cache.len();
+    let mut checksum = 0f32;
+    for &idx in order {
+        let sample = if idx < cached {
+            hits += 1;
+            cache.get(idx).expect("cached index")
+        } else {
+            misses += 1;
+            load_from_storage(idx)
+        };
+        checksum += sample[0];
+    }
+    std::hint::black_box(checksum);
+    (hits, misses)
+}
+
+fn main() {
+    let machine = MachineMemory::new(SOFT_CAPACITY_PAGES * 4);
+    let smd = Smd::new(SmdConfig::new(&machine, SOFT_CAPACITY_PAGES).initial_budget(0));
+
+    let trainer = SoftProcess::spawn(&smd, "ml-training").expect("spawn trainer");
+    // The dataset cache: a chunked soft vector. Reclamation drops the
+    // newest chunks, so the cache degrades from the tail.
+    let cache: SoftVec<Sample> = SoftVec::new(trainer.sma(), "dataset-cache", Priority::new(2));
+
+    // Fill the cache as far as the idle machine allows.
+    let mut cached = 0;
+    while cached < DATASET {
+        if cache.push(load_from_storage(cached)).is_err() {
+            break;
+        }
+        cached += 1;
+    }
+    println!(
+        "cache warm: {}/{} samples ({})",
+        cache.len(),
+        DATASET,
+        fmt_bytes(trainer.sma().held_pages() * PAGE_SIZE)
+    );
+
+    let mut rng = seeded_rng(99);
+    let order: Vec<usize> = (0..DATASET).map(|_| rng.gen_range(0..DATASET)).collect();
+
+    let (hits, misses) = epoch(&cache, &order);
+    println!("epoch 1 (idle machine): {hits} cache hits, {misses} storage loads");
+
+    // A latency-critical service scales up: the SMD takes cache pages.
+    println!("\nlatency-critical service claims half the machine…");
+    let service = SoftProcess::spawn(&smd, "frontend").expect("spawn service");
+    let q: SoftQueue<[u8; PAGE_SIZE]> = SoftQueue::new(service.sma(), "buffers", Priority::new(9));
+    for _ in 0..(SOFT_CAPACITY_PAGES / 2) {
+        q.push([0u8; PAGE_SIZE]).expect("reclamation makes room");
+    }
+    println!(
+        "cache shrank to {} samples ({} reclaimed chunks → {} samples lost)",
+        cache.len(),
+        cache.reclaim_stats().reclaim_calls,
+        cache.reclaim_stats().elements_reclaimed,
+    );
+
+    let (hits, misses) = epoch(&cache, &order);
+    println!("epoch 2 (under pressure): {hits} cache hits, {misses} storage loads");
+    println!(
+        "training slowed (more storage loads) but was neither killed nor OOMed;\n\
+         the service got its {} immediately",
+        fmt_bytes(service.sma().held_pages() * PAGE_SIZE)
+    );
+
+    // The service finishes; the cache can grow again.
+    drop(q);
+    drop(service);
+    while cache.push(load_from_storage(cache.len())).is_ok() && cache.len() < DATASET {}
+    let (hits, misses) = epoch(&cache, &order);
+    println!(
+        "\nservice done; cache regrown to {} samples; epoch 3: {hits} hits, {misses} loads",
+        cache.len()
+    );
+}

@@ -1,0 +1,95 @@
+//! Soft memory across **real OS processes**: a daemon process serving
+//! the SMD on a unix socket, and worker processes (separate address
+//! spaces, spawned via `std::process`) whose allocations move machine
+//! capacity between them over the socket — the paper's deployment
+//! shape, end to end.
+//!
+//! Run: `cargo run --release --example multi_process`
+//! (The binary re-executes itself with `--worker` for each process.)
+
+use std::process::Command;
+
+use softmem::core::{MachineMemory, Priority, SmaConfig};
+use softmem::daemon::uds::{UdsProcess, UdsSmdServer};
+use softmem::daemon::{Smd, SmdConfig};
+use softmem::sds::SoftQueue;
+
+const CAPACITY_PAGES: usize = 512; // 2 MiB of machine soft memory
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--worker") {
+        worker(&args[2], &args[3], args[4].parse().expect("page count"));
+        return;
+    }
+    coordinator();
+}
+
+/// The daemon process (here also the coordinator for brevity).
+fn coordinator() {
+    let socket = std::env::temp_dir().join(format!("softmem-demo-{}.sock", std::process::id()));
+    let machine = MachineMemory::unbounded();
+    let smd = Smd::new(SmdConfig::new(&machine, CAPACITY_PAGES).initial_budget(8));
+    let server = UdsSmdServer::bind(smd, &socket).expect("bind daemon socket");
+    println!("daemon: serving SMD on {}", socket.display());
+
+    let me = std::env::current_exe().expect("own path");
+    let spawn = |name: &str, pages: usize| {
+        Command::new(&me)
+            .args(["--worker", socket.to_str().expect("utf8 path"), name])
+            .arg(pages.to_string())
+            .spawn()
+            .expect("spawn worker process")
+    };
+
+    // First worker fills most of the machine, then holds.
+    let mut first = spawn("greedy", 400);
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let snap = server.smd().stats();
+    println!(
+        "daemon: after greedy — assigned {} / {} pages across {} process(es)",
+        snap.assigned_pages,
+        snap.capacity_pages,
+        snap.procs.len()
+    );
+
+    // Second worker's demand forces cross-process reclamation: the
+    // daemon sends DEMANDs to the first worker over its socket.
+    let mut second = spawn("latecomer", 300);
+    let s1 = first.wait().expect("first worker exits");
+    let s2 = second.wait().expect("second worker exits");
+    assert!(s1.success() && s2.success(), "both processes succeeded");
+
+    let stats = server.smd().stats();
+    println!(
+        "daemon: done — {} reclamation round(s) moved {} pages between \
+         processes; {} grants, {} denials",
+        stats.reclaim_rounds_total,
+        stats.pages_reclaimed_total,
+        stats.grants_total,
+        stats.denials_total
+    );
+    println!("no process was killed; the latecomer's memory came from the greedy one.");
+}
+
+/// A worker process: fills a soft queue with `pages` pages, reports
+/// what it experienced, and exits.
+fn worker(socket: &str, name: &str, pages: usize) {
+    let proc = UdsProcess::connect(socket, name, SmaConfig::for_testing(0))
+        .expect("connect to the daemon");
+    let queue: SoftQueue<[u8; 4096]> = SoftQueue::new(proc.sma(), "data", Priority::new(2));
+    for i in 0..pages {
+        queue
+            .push([i as u8; 4096])
+            .expect("allocation served (possibly via reclamation)");
+    }
+    // Hold the memory long enough for a rival to show up.
+    std::thread::sleep(std::time::Duration::from_millis(1200));
+    let reclaimed = queue.reclaim_stats().elements_reclaimed;
+    println!(
+        "worker {name} (pid {}): pushed {pages} pages, kept {}, \
+         {reclaimed} reclaimed by the machine",
+        std::process::id(),
+        queue.len(),
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: allocate revocable soft memory, survive reclamation.
+//!
+//! Run: `cargo run --example quickstart`
+
+use softmem::core::{Priority, Sma, SoftError};
+use softmem::sds::{SoftContainer, SoftLinkedList};
+
+fn main() {
+    // One SMA per process. `standalone` gives it a private machine and
+    // a fixed budget; real deployments attach a Soft Memory Daemon
+    // (see the `cluster_pressure` example).
+    let sma = Sma::standalone(256);
+
+    // --- Raw soft allocations: the paper's soft_malloc/soft_free. ---
+    let sds = sma.register_sds("scratch", Priority::new(5));
+    let slot = sma.alloc_value(sds, [42u8; 512]).expect("within budget");
+    let sum: u32 = sma
+        .with_value(&slot, |v| v.iter().map(|&b| b as u32).sum())
+        .expect("live");
+    println!("sum over soft bytes: {sum}");
+
+    // Handles are revocable: after a free (or a reclamation), access
+    // fails safely instead of dangling.
+    let view = slot.shared_view();
+    sma.free_value(slot).expect("live");
+    assert_eq!(sma.with_view(&view, |v| v[0]), Err(SoftError::Revoked));
+    println!("stale handle observed Revoked — no dangling pointers");
+
+    // --- Soft Data Structures hide the handles. ---
+    let list: SoftLinkedList<String> = SoftLinkedList::new(&sma, "events", Priority::new(1));
+    list.set_reclaim_callback(|lost: &String| {
+        // The paper's last-chance callback: tag for re-computation,
+        // write to a log, drop an index entry…
+        println!("  reclaimed: {lost}");
+    });
+    for i in 0..8 {
+        list.push_back(format!("event-{i}")).expect("within budget");
+    }
+    println!(
+        "list holds {} elements, {} soft bytes",
+        list.len(),
+        list.soft_bytes()
+    );
+
+    // Under memory pressure the SMA invokes the list's reclaimer; the
+    // list gives up its *oldest* elements first. Trigger it manually:
+    let freed = list.reclaim_now(3 * std::mem::size_of::<String>());
+    println!("reclaimed {freed} bytes; {} elements remain:", list.len());
+    list.for_each(|e| println!("  kept: {e}"));
+
+    // Accounting is always visible.
+    let stats = sma.stats();
+    println!(
+        "SMA: budget {} pages, held {} pages, {} live allocations",
+        stats.budget_pages, stats.held_pages, stats.live_allocs
+    );
+}

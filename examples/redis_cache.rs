@@ -1,0 +1,101 @@
+//! The paper's key-value store use case (§2): a web service's Redis
+//! cache lives in soft memory; during the nightly lull a batch job
+//! borrows the idle memory, and the cache scales back up for the day.
+//!
+//! Run: `cargo run --release --example redis_cache`
+
+use softmem::core::{fmt_bytes, MachineMemory, Priority, PAGE_SIZE};
+use softmem::daemon::{Smd, SmdConfig, SoftProcess};
+use softmem::kv::Store;
+use softmem::sds::SoftQueue;
+use softmem::sim::workload::ZipfKeys;
+
+const SOFT_CAPACITY_PAGES: usize = 768; // 3 MiB of soft memory
+const CACHE_KEYS: usize = 30_000;
+
+fn serve_requests(store: &Store, zipf: &mut ZipfKeys, n: usize) -> (u64, u64) {
+    let (h0, m0) = {
+        let s = store.stats();
+        (s.hits, s.misses)
+    };
+    for _ in 0..n {
+        let key = ZipfKeys::key_name(zipf.next_key());
+        if store.get(key.as_bytes()).is_none() {
+            // Cache miss: re-fetch from the "database" and re-cache.
+            let _ = store.set(key.as_bytes(), &[1u8; 100]);
+        }
+    }
+    let s = store.stats();
+    (s.hits - h0, s.misses - m0)
+}
+
+fn main() {
+    let machine = MachineMemory::new(SOFT_CAPACITY_PAGES * 4);
+    let smd = Smd::new(SmdConfig::new(&machine, SOFT_CAPACITY_PAGES).initial_budget(0));
+
+    // The long-running web service and its soft cache.
+    let web = SoftProcess::spawn(&smd, "web-service").expect("spawn web");
+    let cache = Store::new(web.sma(), "redis-cache", Priority::new(5));
+    let mut zipf = ZipfKeys::new(CACHE_KEYS, 1.0, 7);
+    for k in 0..CACHE_KEYS {
+        cache
+            .set(ZipfKeys::key_name(k).as_bytes(), &[1u8; 100])
+            .expect("fits in capacity");
+    }
+    println!(
+        "daytime: cache {} keys, {} soft",
+        cache.dbsize(),
+        fmt_bytes(web.sma().held_pages() * PAGE_SIZE)
+    );
+    let (h, m) = serve_requests(&cache, &mut zipf, 50_000);
+    println!(
+        "  50K requests → {h} hits / {m} misses ({:.1}% hit rate)",
+        100.0 * h as f64 / (h + m) as f64
+    );
+
+    // Night: a batch job scales up and takes most of the machine. The
+    // SMD reclaims cache pages instead of failing or killing anyone.
+    println!(
+        "\nnight: batch job requests {} of soft memory…",
+        fmt_bytes(3 * SOFT_CAPACITY_PAGES / 4 * PAGE_SIZE)
+    );
+    let batch = SoftProcess::spawn(&smd, "nightly-batch").expect("spawn batch");
+    let work: SoftQueue<[u8; PAGE_SIZE]> =
+        SoftQueue::new(batch.sma(), "batch-data", Priority::new(1));
+    for _ in 0..(3 * SOFT_CAPACITY_PAGES / 4) {
+        work.push([0u8; PAGE_SIZE]).expect("reclamation makes room");
+    }
+    println!(
+        "  cache shrank to {} keys, {}; batch holds {}",
+        cache.dbsize(),
+        fmt_bytes(web.sma().held_pages() * PAGE_SIZE),
+        fmt_bytes(batch.sma().held_pages() * PAGE_SIZE),
+    );
+    let s = cache.stats();
+    println!(
+        "  entries reclaimed: {} ({})",
+        s.reclaimed_entries,
+        fmt_bytes(s.reclaimed_bytes as usize)
+    );
+    let (h, m) = serve_requests(&cache, &mut zipf, 50_000);
+    println!(
+        "  nocturnal traffic: {h} hits / {m} misses ({:.1}% hit rate — degraded, not dead)",
+        100.0 * h as f64 / (h + m) as f64
+    );
+
+    // Morning: the batch job finishes; the cache refills on demand.
+    drop(work);
+    drop(batch);
+    let (h, m) = serve_requests(&cache, &mut zipf, 100_000);
+    println!(
+        "\nmorning: batch gone; after 100K requests the cache is back to {} keys \
+         ({:.1}% hit rate)",
+        cache.dbsize(),
+        100.0 * h as f64 / (h + m) as f64
+    );
+    println!(
+        "machine-wide: {} reclamation rounds moved {} pages, 0 processes killed",
+        smd.stats().reclaim_rounds_total,
+        smd.stats().pages_reclaimed_total
+    );
+}

@@ -1,0 +1,18 @@
+//! # softmem — facade crate for the soft-memory workspace
+//!
+//! Re-exports the whole stack behind one dependency:
+//!
+//! * [`core`] — the Soft Memory Allocator (SMA), pages, heaps, handles.
+//! * [`sds`] — ready-made Soft Data Structures.
+//! * [`daemon`] — the machine-wide Soft Memory Daemon (SMD) and client.
+//! * [`kv`] — the Redis-like key-value store used by the paper's
+//!   evaluation.
+//! * [`sim`] — the machine/cluster simulation substrate.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use softmem_core as core;
+pub use softmem_daemon as daemon;
+pub use softmem_kv as kv;
+pub use softmem_sds as sds;
+pub use softmem_sim as sim;

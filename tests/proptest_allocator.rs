@@ -1,0 +1,154 @@
+//! Property tests on the core allocator: no interleaving of
+//! allocations, frees, and reclamations may break the accounting
+//! invariants or produce an unsafe handle.
+
+use proptest::prelude::*;
+
+use softmem::core::{Priority, Sma, SmaConfig, SoftError, SoftHandle};
+
+/// One scripted allocator operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `size` bytes into SDS `sds % N_SDS`.
+    Alloc { sds: u8, size: usize },
+    /// Free the `idx % live`-th live handle.
+    Free { idx: usize },
+    /// Re-read a previously freed handle (must observe `Revoked`).
+    UseStale { idx: usize },
+    /// SMA-wide reclamation demand of `pages` pages.
+    Reclaim { pages: usize },
+}
+
+const N_SDS: u8 = 3;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..N_SDS, 1usize..6000).prop_map(|(sds, size)| Op::Alloc { sds, size }),
+        3 => any::<usize>().prop_map(|idx| Op::Free { idx }),
+        1 => any::<usize>().prop_map(|idx| Op::UseStale { idx }),
+        1 => (1usize..32).prop_map(|pages| Op::Reclaim { pages }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accounting_never_drifts(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let sma = Sma::with_config(
+            SmaConfig::for_testing(4096)
+                .free_pool_retain(2)
+                .sds_retain(1),
+        );
+        let ids: Vec<_> = (0..N_SDS)
+            .map(|i| sma.register_sds(format!("sds-{i}"), Priority::new(i as u32)))
+            .collect();
+        let mut live: Vec<SoftHandle> = Vec::new();
+        let mut stale: Vec<SoftHandle> = Vec::new();
+        let mut expected_live_bytes = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Alloc { sds, size } => {
+                    let h = sma.alloc_bytes(ids[sds as usize], size).expect("budget is ample");
+                    expected_live_bytes += size;
+                    live.push(h);
+                }
+                Op::Free { idx } => {
+                    if live.is_empty() { continue; }
+                    let h = live.swap_remove(idx % live.len());
+                    expected_live_bytes -= h.len();
+                    sma.free_bytes(h).expect("handle is live");
+                    stale.push(h);
+                }
+                Op::UseStale { idx } => {
+                    if stale.is_empty() { continue; }
+                    let h = stale[idx % stale.len()];
+                    // Revoked normally; InvalidHandle if the slot's page
+                    // was re-formatted for another size class since.
+                    prop_assert!(matches!(
+                        sma.with_bytes(&h, |_| ()).unwrap_err(),
+                        SoftError::Revoked | SoftError::InvalidHandle
+                    ));
+                    prop_assert!(matches!(
+                        sma.free_bytes(h).unwrap_err(),
+                        SoftError::Revoked | SoftError::InvalidHandle
+                    ));
+                }
+                Op::Reclaim { pages } => {
+                    // No reclaimers are registered, so only slack and
+                    // idle pages may be yielded — live data survives.
+                    sma.reclaim(pages);
+                }
+            }
+            let stats = sma.stats();
+            prop_assert_eq!(stats.live_bytes, expected_live_bytes);
+            prop_assert_eq!(stats.live_allocs, live.len());
+            // Physical claims match the machine model exactly.
+            prop_assert_eq!(stats.held_pages, sma.machine().stats().used_pages);
+            // Held memory always covers the live payload.
+            prop_assert!(stats.held_pages * 4096 >= stats.live_bytes);
+            // All live handles still resolve.
+            for h in &live {
+                prop_assert!(sma.with_bytes(h, |b| b.len()).is_ok());
+            }
+        }
+        // Drain everything: accounting returns to zero.
+        for h in live.drain(..) {
+            sma.free_bytes(h).expect("handle is live");
+        }
+        let stats = sma.stats();
+        prop_assert_eq!(stats.live_bytes, 0);
+        prop_assert_eq!(stats.live_allocs, 0);
+        prop_assert_eq!(stats.allocs_total, stats.frees_total);
+    }
+
+    #[test]
+    fn data_integrity_across_churn(
+        payloads in proptest::collection::vec(
+            (1usize..3000, any::<u8>()), 1..60
+        )
+    ) {
+        // Write a distinct pattern into every allocation, churn, and
+        // verify every byte afterwards: slots must never alias.
+        let sma = Sma::standalone(4096);
+        let sds = sma.register_sds("data", Priority::default());
+        let mut entries = Vec::new();
+        for (i, (size, byte)) in payloads.iter().enumerate() {
+            let h = sma.alloc_bytes(sds, *size).expect("budget");
+            sma.with_bytes_mut(&h, |b| b.fill(byte.wrapping_add(i as u8)))
+                .expect("live");
+            entries.push((h, *size, byte.wrapping_add(i as u8)));
+            // Free every third entry to force slot reuse.
+            if i % 3 == 2 {
+                let (h, ..) = entries.swap_remove(i / 2 % entries.len());
+                sma.free_bytes(h).expect("live");
+            }
+        }
+        for (h, size, byte) in &entries {
+            let ok = sma
+                .with_bytes(h, |b| b.len() == *size && b.iter().all(|x| x == byte))
+                .expect("live");
+            prop_assert!(ok, "payload corrupted");
+        }
+    }
+
+    #[test]
+    fn budget_is_a_hard_ceiling(budget in 1usize..64, sizes in proptest::collection::vec(1usize..4096, 1..200)) {
+        let sma = Sma::with_config(
+            SmaConfig::for_testing(budget)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        let sds = sma.register_sds("capped", Priority::default());
+        let mut held = Vec::new();
+        for size in sizes {
+            match sma.alloc_bytes(sds, size) {
+                Ok(h) => held.push(h),
+                Err(SoftError::BudgetExceeded { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+            prop_assert!(sma.held_pages() <= budget, "budget breached");
+        }
+    }
+}

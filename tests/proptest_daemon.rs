@@ -1,0 +1,111 @@
+//! Property tests on the daemon's accounting: no sequence of
+//! requests, releases, and allocation-driven pressure may break the
+//! machine-wide invariants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use softmem::core::{MachineMemory, Priority, PAGE_SIZE};
+use softmem::daemon::{Smd, SmdConfig, SoftProcess};
+use softmem::sds::SoftQueue;
+
+const N_PROCS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push `n` page-sized elements into process `p`'s queue
+    /// (allocation-driven budget growth, possibly with reclamation).
+    Push { p: usize, n: usize },
+    /// Pop `n` elements from process `p`'s queue.
+    Pop { p: usize, n: usize },
+    /// Explicitly request `pages` budget for process `p`.
+    Request { p: usize, pages: usize },
+    /// Return unused budget from process `p`.
+    ReleaseSlack { p: usize },
+    /// Report `pages` of traditional memory for process `p`.
+    Trad { p: usize, pages: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0..N_PROCS, 1usize..24).prop_map(|(p, n)| Op::Push { p, n }),
+        3 => (0..N_PROCS, 1usize..24).prop_map(|(p, n)| Op::Pop { p, n }),
+        2 => (0..N_PROCS, 1usize..32).prop_map(|(p, pages)| Op::Request { p, pages }),
+        2 => (0..N_PROCS).prop_map(|p| Op::ReleaseSlack { p }),
+        1 => (0..N_PROCS, 0usize..64).prop_map(|(p, pages)| Op::Trad { p, pages }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn daemon_ledger_never_breaks(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        const CAPACITY: usize = 96;
+        let machine = MachineMemory::new(CAPACITY * 8);
+        let smd = Smd::new(SmdConfig::new(&machine, CAPACITY).initial_budget(4));
+        let procs: Vec<Arc<SoftProcess>> = (0..N_PROCS)
+            .map(|i| SoftProcess::spawn(&smd, &format!("p{i}")).expect("spawn"))
+            .collect();
+        let queues: Vec<SoftQueue<[u8; PAGE_SIZE]>> = procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SoftQueue::new(p.sma(), "q", Priority::new(i as u32)))
+            .collect();
+
+        for op in ops {
+            match op {
+                Op::Push { p, n } => {
+                    for _ in 0..n {
+                        // May be denied when the machine is truly out
+                        // of reclaimable memory — an error, never a
+                        // panic or an accounting leak.
+                        let _ = queues[p].push([p as u8; PAGE_SIZE]);
+                    }
+                }
+                Op::Pop { p, n } => {
+                    for _ in 0..n {
+                        queues[p].pop();
+                    }
+                }
+                Op::Request { p, pages } => {
+                    let _ = procs[p].request_pages(pages);
+                }
+                Op::ReleaseSlack { p } => {
+                    let _ = procs[p].release_slack(usize::MAX);
+                }
+                Op::Trad { p, pages } => {
+                    let _ = procs[p].set_traditional_pages(pages);
+                }
+            }
+            // --- Invariants after every step. ---
+            let stats = smd.stats();
+            // Ledger sums match and respect capacity.
+            let ledger: usize = stats.procs.iter().map(|s| s.usage.budget_pages).sum();
+            prop_assert_eq!(ledger, stats.assigned_pages);
+            prop_assert!(stats.assigned_pages <= stats.capacity_pages);
+            // The daemon ledger and each SMA's own budget agree.
+            for snap in &stats.procs {
+                let proc = procs.iter().find(|p| p.pid() == snap.pid).expect("known");
+                prop_assert_eq!(proc.sma().budget_pages(), snap.usage.budget_pages);
+                // Physical usage never exceeds the granted budget.
+                prop_assert!(
+                    proc.sma().held_pages() <= proc.sma().budget_pages(),
+                    "held {} > budget {}",
+                    proc.sma().held_pages(),
+                    proc.sma().budget_pages()
+                );
+            }
+            // Machine-wide soft usage never exceeds the soft capacity.
+            let soft_used: usize = procs.iter().map(|p| p.sma().held_pages()).sum();
+            prop_assert!(soft_used <= CAPACITY, "soft usage {soft_used} > {CAPACITY}");
+        }
+
+        // Teardown: everything returns to the pool.
+        drop(queues);
+        drop(procs);
+        prop_assert_eq!(smd.stats().assigned_pages, 0);
+        prop_assert_eq!(machine.stats().used_pages, 0);
+    }
+}

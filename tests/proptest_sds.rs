@@ -1,0 +1,204 @@
+//! Property tests on the Soft Data Structures: each one must behave
+//! exactly like its `std` counterpart, modulo explicitly-observed
+//! reclamations.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use softmem::core::{Priority, Sma};
+use softmem::sds::{
+    SoftContainer, SoftHashMap, SoftLinkedList, SoftLruCache, SoftSortedMap, SoftVec,
+};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u8, u16),
+    Remove(u8),
+    Get(u8),
+    Reclaim(usize),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<u16>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        2 => any::<u8>().prop_map(MapOp::Remove),
+        3 => any::<u8>().prop_map(MapOp::Get),
+        1 => (1usize..2000).prop_map(MapOp::Reclaim),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn soft_hashmap_matches_std_model(ops in proptest::collection::vec(map_op(), 1..200)) {
+        let sma = Sma::standalone(1 << 14);
+        let map: SoftHashMap<u8, u16> = SoftHashMap::new(&sma, "m", Priority::default());
+        // Reclaimed keys are reported through the callback; mirror them
+        // into the model so it stays exact.
+        let evicted: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&evicted);
+        map.set_reclaim_callback(move |k: &u8, _v: &u16| sink.lock().push(*k));
+        let mut model = std::collections::HashMap::new();
+
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(map.insert(k, v).expect("budget"), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(map.remove(&k), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(map.get(&k), model.get(&k).copied());
+                }
+                MapOp::Reclaim(bytes) => {
+                    map.reclaim_now(bytes);
+                    for k in evicted.lock().drain(..) {
+                        model.remove(&k);
+                    }
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+        }
+        // Full sweep at the end.
+        let mut seen = 0;
+        map.for_each(|k, v| {
+            assert_eq!(model.get(k), Some(v));
+            seen += 1;
+        });
+        prop_assert_eq!(seen, model.len());
+    }
+
+    #[test]
+    fn soft_list_matches_std_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                3 => any::<u32>().prop_map(Some),
+                1 => Just(None), // pop_front
+            ],
+            1..150,
+        ),
+        reclaim_at in 0usize..150,
+        reclaim_n in 0usize..20,
+    ) {
+        let sma = Sma::standalone(1 << 14);
+        let list: SoftLinkedList<u32> = SoftLinkedList::new(&sma, "l", Priority::default());
+        let mut model = std::collections::VecDeque::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Some(v) => {
+                    list.push_back(*v).expect("budget");
+                    model.push_back(*v);
+                }
+                None => {
+                    prop_assert_eq!(list.pop_front().expect("consistent"), model.pop_front());
+                }
+            }
+            if i == reclaim_at {
+                // Oldest-first reclamation = popping from the front;
+                // the model drops however many elements the list lost.
+                list.reclaim_now(reclaim_n * 64);
+                while model.len() > list.len() {
+                    model.pop_front();
+                }
+            }
+            prop_assert_eq!(list.len(), model.len());
+        }
+        prop_assert_eq!(list.to_vec(), Vec::from(model));
+    }
+
+    #[test]
+    fn soft_vec_matches_std_model(
+        values in proptest::collection::vec(any::<u64>(), 1..300),
+        truncate_to in 0usize..300,
+    ) {
+        let sma = Sma::standalone(1 << 14);
+        let v: SoftVec<u64> = SoftVec::with_chunk_bytes(&sma, "v", Priority::default(), 128);
+        for &x in &values {
+            v.push(x).expect("budget");
+        }
+        let mut model = values.clone();
+        v.truncate(truncate_to);
+        model.truncate(truncate_to);
+        prop_assert_eq!(v.len(), model.len());
+        for (i, &x) in model.iter().enumerate() {
+            prop_assert_eq!(v.get(i).expect("in range"), x);
+        }
+        // Pops agree too.
+        while let Some(got) = v.pop() {
+            prop_assert_eq!(Some(got), model.pop());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn soft_sorted_map_matches_btreemap_model(ops in proptest::collection::vec(map_op(), 1..200)) {
+        let sma = Sma::standalone(1 << 14);
+        let map: SoftSortedMap<u8, u16> = SoftSortedMap::new(&sma, "m", Priority::default());
+        let mut model = std::collections::BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(map.insert(k, v).expect("budget"), model.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(map.remove(&k), model.remove(&k));
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(map.get(&k), model.get(&k).copied());
+                }
+                MapOp::Reclaim(bytes) => {
+                    // Smallest-first eviction: drop the model's head to
+                    // match however many entries the map lost.
+                    map.reclaim_now(bytes);
+                    while model.len() > map.len() {
+                        let k = *model.keys().next().expect("nonempty");
+                        model.remove(&k);
+                    }
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+            prop_assert_eq!(map.first_key(), model.keys().next().copied());
+            prop_assert_eq!(map.last_key(), model.keys().next_back().copied());
+        }
+        let collected = map.range_collect(..);
+        let expected: Vec<(u8, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn lru_reclaims_strictly_by_recency(
+        n in 4usize..40,
+        touches in proptest::collection::vec(any::<usize>(), 0..40),
+        evict in 1usize..10,
+    ) {
+        let sma = Sma::standalone(1 << 14);
+        let cache: SoftLruCache<usize, u64> = SoftLruCache::new(&sma, "c", Priority::default());
+        for i in 0..n {
+            cache.insert(i, i as u64).expect("budget");
+        }
+        // Recency order after touches:
+        let mut order: Vec<usize> = (0..n).collect();
+        for &t in &touches {
+            let k = t % n;
+            if cache.get(&k).is_some() {
+                let pos = order.iter().position(|&x| x == k).expect("tracked");
+                let k = order.remove(pos);
+                order.push(k);
+            }
+        }
+        let evict = evict.min(n - 1);
+        cache.reclaim_now(evict * std::mem::size_of::<u64>());
+        // The `evict` least-recently-used keys are gone, the rest live.
+        for (i, &k) in order.iter().enumerate() {
+            prop_assert_eq!(
+                cache.contains_key(&k),
+                i >= evict,
+                "key {} at recency position {}", k, i
+            );
+        }
+    }
+}

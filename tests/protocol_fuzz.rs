@@ -1,0 +1,112 @@
+//! Protocol robustness: arbitrary client input must never crash the
+//! KV server or the unix-socket daemon — only produce error replies.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+
+use proptest::prelude::*;
+
+use softmem::core::{MachineMemory, Priority, Sma};
+use softmem::daemon::uds::UdsSmdServer;
+use softmem::daemon::{Smd, SmdConfig};
+use softmem::kv::{Command, Store};
+
+/// Printable-ish junk lines (no newlines — the framing layer splits
+/// on them anyway).
+fn junk_line() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => proptest::char::range(' ', '~'),
+            1 => Just('\t'),
+        ],
+        0..80,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kv_command_parser_never_panics(line in junk_line()) {
+        // Parsing junk either yields a command or a clean error.
+        let _ = Command::parse(&line);
+    }
+
+    #[test]
+    fn kv_store_executes_arbitrary_parsed_commands(lines in proptest::collection::vec(junk_line(), 1..24)) {
+        let sma = Sma::standalone(256);
+        let store = Store::new(&sma, "fuzz", Priority::default());
+        for line in &lines {
+            if let Ok(cmd) = Command::parse(line) {
+                // Execution must not panic, whatever was parsed.
+                let _ = cmd.execute(&store);
+            }
+        }
+        // The store remains consistent and usable.
+        store.set(b"sentinel", b"alive").expect("budget");
+        prop_assert_eq!(store.get(b"sentinel"), Some(b"alive".to_vec()));
+    }
+}
+
+#[test]
+fn uds_daemon_survives_garbage_clients() {
+    let socket = std::env::temp_dir().join(format!("softmem-fuzz-{}.sock", std::process::id()));
+    let machine = MachineMemory::unbounded();
+    let smd = Smd::new(SmdConfig::new(&machine, 64).initial_budget(4));
+    let server = UdsSmdServer::bind(smd, &socket).expect("bind");
+
+    let garbage: &[&str] = &[
+        "",
+        "   ",
+        "REQUEST 1 1 0 0",                // before REGISTER
+        "YIELD x y z w",                  // malformed numbers
+        "REGISTER",                       // no name (anonymous)
+        "REGISTER again",                 // double registration
+        "REQUEST -5 huge 0 0",            // bad integers
+        "REQUEST 1",                      // wrong arity
+        "RELEASE lots",                   //
+        "TRAD",                           //
+        "CREDIT 99",                      // a daemon→client verb, reversed
+        "DEMAND 1 1",                     // likewise
+        "\u{7f}\u{1b}[31mweird\u{1b}[0m", // control characters
+        "REQUEST 2 2 0 0",                // a real request at the end
+    ];
+    let mut stream = UnixStream::connect(&socket).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut replies = 0;
+    for line in garbage {
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        // Not every line gets a reply (YIELD is fire-and-forget); poll
+        // with a short timeout.
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+            .expect("timeout");
+        let mut reply = String::new();
+        if reader.read_line(&mut reply).is_ok() && !reply.is_empty() {
+            replies += 1;
+            assert!(
+                reply.starts_with("ERR")
+                    || reply.starts_with("REGISTERED")
+                    || reply.starts_with("GRANT")
+                    || reply.starts_with("DENY")
+                    || reply.starts_with("CREDIT")
+                    || reply.starts_with("OK"),
+                "unexpected reply: {reply}"
+            );
+        }
+    }
+    assert!(replies > 5, "the daemon kept answering: {replies}");
+    // The daemon is still fully functional for a well-behaved client.
+    let p = softmem::daemon::uds::UdsProcess::connect(
+        &socket,
+        "clean",
+        softmem::core::SmaConfig::for_testing(0),
+    )
+    .expect("connect");
+    assert_eq!(p.request_range(8, 8).expect("granted"), 8);
+    drop(p);
+    drop(server);
+}

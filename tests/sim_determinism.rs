@@ -1,0 +1,93 @@
+//! The simulation substrate must be fully deterministic: identical
+//! configurations produce identical timelines, traces and outcomes.
+
+use softmem::sim::cluster::{motivation_trace, run_cluster, MemoryPolicy};
+use softmem::sim::pressure::{run_pressure, PressureConfig};
+use softmem::sim::workload::{BatchArrivals, DiurnalLoad, ZipfKeys};
+
+#[test]
+fn pressure_scenario_is_deterministic() {
+    let cfg = PressureConfig::small();
+    let a = run_pressure(&cfg);
+    let b = run_pressure(&cfg);
+    assert_eq!(a.kv_pairs, b.kv_pairs);
+    assert_eq!(a.kv_soft_before, b.kv_soft_before);
+    assert_eq!(a.kv_soft_after, b.kv_soft_after);
+    assert_eq!(a.other_soft_after, b.other_soft_after);
+    assert_eq!(a.entries_reclaimed, b.entries_reclaimed);
+    // The timelines match sample for sample (timestamps may differ in
+    // the settle phase, which embeds wall time; values must not).
+    let av: Vec<_> = a
+        .timeline
+        .points()
+        .iter()
+        .map(|p| (&p.series, p.soft_bytes))
+        .collect();
+    let bv: Vec<_> = b
+        .timeline
+        .points()
+        .iter()
+        .map(|p| (&p.series, p.soft_bytes))
+        .collect();
+    assert_eq!(av, bv);
+}
+
+#[test]
+fn cluster_runs_are_reproducible() {
+    let (cfg, jobs) = motivation_trace(3);
+    for policy in [MemoryPolicy::KillLowestPriority, MemoryPolicy::SoftReclaim] {
+        let a = run_cluster(&cfg, &jobs, policy);
+        let b = run_cluster(&cfg, &jobs, policy);
+        assert_eq!(a, b, "{policy:?}");
+    }
+}
+
+#[test]
+fn cluster_headline_monotonicity() {
+    // Across a range of contention levels, soft memory never does
+    // worse than the kill baseline on evictions or wasted work.
+    for batch_jobs in [1, 2, 3, 4, 6] {
+        let (cfg, jobs) = motivation_trace(batch_jobs);
+        let kill = run_cluster(&cfg, &jobs, MemoryPolicy::KillLowestPriority);
+        let soft = run_cluster(&cfg, &jobs, MemoryPolicy::SoftReclaim);
+        assert!(
+            soft.evictions <= kill.evictions,
+            "batch_jobs={batch_jobs}: {} vs {}",
+            soft.evictions,
+            kill.evictions
+        );
+        assert!(soft.wasted_cpu_ms <= kill.wasted_cpu_ms);
+        assert_eq!(soft.completed, jobs.len(), "everything finishes");
+        assert_eq!(kill.completed, jobs.len());
+    }
+}
+
+#[test]
+fn workload_generators_are_seed_stable() {
+    let draws = |seed: u64| -> Vec<usize> {
+        let mut z = ZipfKeys::new(500, 1.0, seed);
+        (0..100).map(|_| z.next_key()).collect()
+    };
+    assert_eq!(draws(1), draws(1));
+    assert_ne!(draws(1), draws(2), "different seeds diverge");
+
+    let arrivals = |seed: u64| BatchArrivals::new(50, seed).arrivals_until(10_000);
+    assert_eq!(arrivals(9), arrivals(9));
+
+    let d = DiurnalLoad::new(86_400_000, 0.3);
+    // Pure function of time.
+    for t in (0..86_400_000).step_by(3_600_000) {
+        assert_eq!(d.load_at(t), d.load_at(t));
+    }
+}
+
+#[test]
+fn figure2_full_scale_parameters_are_the_papers() {
+    let cfg = PressureConfig::default();
+    const MIB: usize = 1024 * 1024;
+    assert_eq!(cfg.soft_capacity_bytes, 20 * MIB);
+    assert_eq!(cfg.kv_soft_target_bytes, 10 * MIB);
+    assert_eq!(cfg.other_request_bytes, 12 * MIB);
+    assert_eq!(cfg.request_at_ms, 10_130); // t = 10.13 s
+    assert_eq!(cfg.horizon_ms, 20_000);
+}
