@@ -1,0 +1,327 @@
+//! A minimal, API-compatible stand-in for the `criterion` crate.
+//!
+//! This workspace builds in offline environments with no registry
+//! access, so the external `criterion` dependency is replaced by this
+//! shim. It provides the builder/group/bencher surface the workspace's
+//! benches use and measures with plain wall-clock timing: each
+//! benchmark warms up briefly, then reports the mean ns/iteration over
+//! a few timed batches. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export point used by benches to defeat constant folding.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver (builder-style configuration).
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how many timed samples to collect.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = (self.warm_up_time, self.measurement_time, self.sample_size);
+        run_one(name, None, config, f);
+        self
+    }
+}
+
+/// Units for reporting throughput alongside latency.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter value alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` as the benchmark `name` within this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let c = &*self.criterion;
+        let config = (c.warm_up_time, c.measurement_time, c.sample_size);
+        run_one(&format!("{}/{name}", self.name), self.throughput, config, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let c = &*self.criterion;
+        let config = (c.warm_up_time, c.measurement_time, c.sample_size);
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.throughput,
+            config,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// How much setup output to batch per timed routine call.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state: larger batches.
+    SmallInput,
+    /// Large per-iteration state: one setup per routine call.
+    LargeInput,
+}
+
+/// Passed to benchmark closures to drive timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back to back for the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F>(
+    label: &str,
+    throughput: Option<Throughput>,
+    (warm_up, measurement, samples): (Duration, Duration, usize),
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up + calibration: grow the iteration count until one call
+    // takes a measurable slice of the warm-up budget.
+    let mut iters: u64 = 1;
+    let calibration_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if calibration_start.elapsed() >= warm_up || b.elapsed >= warm_up / 4 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    // Measurement: fixed samples at the calibrated count, bounded by
+    // the measurement budget.
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    let measure_start = Instant::now();
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+        if measure_start.elapsed() >= measurement {
+            break;
+        }
+    }
+
+    let ns_per_iter = if total_iters == 0 {
+        0.0
+    } else {
+        total.as_nanos() as f64 / total_iters as f64
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            println!("bench {label:<48} {ns_per_iter:>12.1} ns/iter  {per_sec:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            println!("bench {label:<48} {ns_per_iter:>12.1} ns/iter  {per_sec:>14.0} B/s");
+        }
+        _ => {
+            println!("bench {label:<48} {ns_per_iter:>12.1} ns/iter");
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// `config = ...` expression building the [`Criterion`] driver.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn group_and_bencher_run_routines() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        let mut runs = 0u64;
+        group.bench_function("iter", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| {
+            b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+        assert!(runs > 0, "routine executed");
+    }
+
+    criterion_group! {
+        name = benches;
+        config = quick();
+        targets = noop_target
+    }
+
+    fn noop_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn declared_group_is_callable() {
+        benches();
+    }
+}

@@ -1,0 +1,540 @@
+//! A minimal, API-compatible stand-in for the `proptest` crate.
+//!
+//! This workspace builds in offline environments with no registry
+//! access, so the external `proptest` dependency is replaced by this
+//! shim. It implements the subset the workspace's property tests use:
+//! [`Strategy`] with `prop_map`, [`any`], [`Just`], integer-range and
+//! tuple strategies, `collection::vec`, `char::range`, weighted
+//! [`prop_oneof!`], and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case prints
+//! its seed instead — rerun with `PROPTEST_SEED=<seed>` to reproduce),
+//! and value streams are not bit-compatible with upstream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// The generator handed to strategies while a property test runs.
+pub type TestRng = StdRng;
+
+/// How a property test executes (number of cases; seed comes from the
+/// `PROPTEST_SEED` environment variable or a per-test default).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of `Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy (used by [`prop_oneof!`] to mix arms
+    /// of different concrete types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Object-safe view of [`Strategy`] for boxing.
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a default "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// Weighted union of strategies — the engine behind [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs at least one positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (weight, strat) in &self.arms {
+            let weight = *weight as u64;
+            if pick < weight {
+                return strat.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Ways of expressing the size of a generated collection.
+    pub trait IntoSizeRange {
+        /// Lower bound (inclusive) and upper bound (exclusive).
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty collection size range");
+        VecStrategy {
+            element,
+            min,
+            max_exclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..self.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of values from `element`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// A set of roughly `size` distinct elements drawn from `element`.
+    /// Like upstream proptest, the generator retries duplicates a
+    /// bounded number of times, so a narrow element domain may yield a
+    /// smaller set than requested (never smaller than the domain
+    /// allows).
+    pub fn btree_set<S>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty collection size range");
+        BTreeSetStrategy {
+            element,
+            min,
+            max_exclusive,
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> std::collections::BTreeSet<S::Value> {
+            let target = rng.gen_range(self.min..self.max_exclusive);
+            let mut set = std::collections::BTreeSet::new();
+            let mut misses = 0usize;
+            while set.len() < target && misses < 64 {
+                if !set.insert(self.element.generate(rng)) {
+                    misses += 1;
+                }
+            }
+            set
+        }
+    }
+}
+
+/// Character strategies (`range`).
+pub mod char {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing chars in an inclusive code-point range.
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Chars from `lo` to `hi` inclusive (surrogate gaps are re-rolled).
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+
+        fn generate(&self, rng: &mut TestRng) -> char {
+            loop {
+                if let Some(c) = char::from_u32(rng.gen_range(self.lo..=self.hi)) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// Runs `body` for `config.cases` seeded cases, printing the failing
+/// seed before propagating any panic. Called by the [`proptest!`]
+/// macro — not intended for direct use.
+pub fn run_proptest<F>(config: &ProptestConfig, test_name: &str, body: F)
+where
+    F: Fn(&mut TestRng),
+{
+    let forced_seed: Option<u64> = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok());
+
+    // Per-test deterministic base seed: FNV-1a of the test name, so
+    // different tests explore different streams but every run of the
+    // same binary replays the same cases.
+    let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        base ^= b as u64;
+        base = base.wrapping_mul(0x1000_0000_01b3);
+    }
+
+    let cases = if forced_seed.is_some() {
+        1
+    } else {
+        config.cases
+    };
+    for case in 0..cases {
+        let seed = forced_seed.unwrap_or_else(|| base.wrapping_add(case as u64));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = TestRng::seed_from_u64(seed);
+            body(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest shim: test `{test_name}` failed at case {case}/{cases} \
+                 (seed {seed}); rerun with PROPTEST_SEED={seed}"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions
+/// whose arguments are drawn from strategies with `arg in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    (($config:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $config;
+                $crate::run_proptest(&config, stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; the
+/// harness prints the reproducing seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strategies_cover_their_domains() {
+        let mut rng = crate::TestRng::seed_from_u64(11);
+        let strat = prop_oneof![
+            3 => (1usize..10).prop_map(|n| n * 2),
+            1 => Just(1usize),
+        ];
+        let mut saw_even = false;
+        let mut saw_one = false;
+        for _ in 0..200 {
+            match crate::Strategy::generate(&strat, &mut rng) {
+                1 => saw_one = true,
+                n => {
+                    assert!(n % 2 == 0 && (2..20).contains(&n));
+                    saw_even = true;
+                }
+            }
+        }
+        assert!(saw_even && saw_one);
+
+        let chars = crate::collection::vec(crate::char::range('a', 'f'), 2..5);
+        for _ in 0..50 {
+            let v = crate::Strategy::generate(&chars, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|c| ('a'..='f').contains(c)));
+        }
+
+        let pair = (any::<u8>(), 5u64..=6).prop_map(|(a, b)| (a as u64, b));
+        for _ in 0..50 {
+            let (_, b) = crate::Strategy::generate(&pair, &mut rng);
+            assert!(b == 5 || b == 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_round_trip(xs in crate::collection::vec(any::<u16>(), 1..20), k in 1usize..4) {
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(xs.len() * k / k, xs.len());
+        }
+    }
+}
+
+/// Weighted choice between strategies: `prop_oneof![3 => a, 1 => b]`
+/// (or unweighted: `prop_oneof![a, b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}

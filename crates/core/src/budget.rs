@@ -88,6 +88,94 @@ impl BudgetSource for DeniedBudget {
     }
 }
 
+/// What a [`BudgetTap`] does with one budget-growth request.
+///
+/// The benign variants model real protocol failures the stack must
+/// survive with its accounting intact; [`ForgeGrant`] deliberately
+/// corrupts accounting so invariant checkers can prove they detect it.
+///
+/// [`ForgeGrant`]: BudgetFault::ForgeGrant
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetFault {
+    /// Forward the request to the inner source unchanged.
+    PassThrough,
+    /// Deny without consulting the inner source (a daemon denial as
+    /// seen from the SMA).
+    Deny,
+    /// Sleep this many milliseconds, then forward (a slow daemon).
+    DelayMs(u64),
+    /// Forward the request but discard the reply: the caller sees a
+    /// zero grant even though the source may have committed one (a
+    /// reply lost after the daemon applied the grant — the applied
+    /// pages are still accounted on both sides, only this allocation's
+    /// retry is lost).
+    DropReply,
+    /// Fabricate an unapplied grant of this many pages without
+    /// consulting the inner source. The SMA's budget grows without any
+    /// daemon assignment — this deliberately BREAKS budget
+    /// conservation and exists so checkers can prove they catch it.
+    ForgeGrant(usize),
+}
+
+/// Interposes on every budget-growth request of an
+/// [`InterposedBudget`]. Implementations decide per call which
+/// [`BudgetFault`] to apply and may observe outcomes for accounting.
+pub trait BudgetTap: Send + Sync {
+    /// Decides what happens to this request.
+    fn intercept(&self, need: usize, want: usize) -> BudgetFault;
+
+    /// Observes the outcome actually returned to the SMA (after any
+    /// fault was applied).
+    fn observe(&self, need: usize, want: usize, outcome: &SoftResult<Grant>) {
+        let _ = (need, want, outcome);
+    }
+}
+
+/// A [`BudgetSource`] wrapper that routes every request through a
+/// [`BudgetTap`] — the protocol point where testing harnesses inject
+/// daemon denials, delayed or dropped grants, and (deliberately
+/// corrupt) forged grants between an SMA and its real budget source.
+pub struct InterposedBudget {
+    inner: std::sync::Arc<dyn BudgetSource>,
+    tap: std::sync::Arc<dyn BudgetTap>,
+}
+
+impl InterposedBudget {
+    /// Wraps `inner` so every request passes through `tap`.
+    pub fn new(
+        inner: std::sync::Arc<dyn BudgetSource>,
+        tap: std::sync::Arc<dyn BudgetTap>,
+    ) -> Self {
+        InterposedBudget { inner, tap }
+    }
+}
+
+impl BudgetSource for InterposedBudget {
+    fn grant_more(&self, need: usize, want: usize) -> SoftResult<Grant> {
+        let outcome = match self.tap.intercept(need, want) {
+            BudgetFault::PassThrough => self.inner.grant_more(need, want),
+            BudgetFault::Deny => Ok(Grant::unapplied(0)),
+            BudgetFault::DelayMs(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                self.inner.grant_more(need, want)
+            }
+            BudgetFault::DropReply => {
+                let inner = self.inner.grant_more(need, want);
+                // Report nothing, but never un-apply what the source
+                // committed: an applied grant stays applied (and stays
+                // consistently accounted); only the reply is lost.
+                inner.map(|g| Grant {
+                    pages: 0,
+                    already_applied: g.already_applied,
+                })
+            }
+            BudgetFault::ForgeGrant(pages) => Ok(Grant::unapplied(pages)),
+        };
+        self.tap.observe(need, want, &outcome);
+        outcome
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +191,65 @@ mod tests {
         assert_eq!(UnlimitedBudget.grant_more(7, 32).unwrap().pages, 32);
         assert_eq!(DeniedBudget.grant_more(7, 32).unwrap().pages, 0);
         assert!(!UnlimitedBudget.grant_more(1, 1).unwrap().already_applied);
+    }
+
+    #[test]
+    fn interposed_budget_applies_each_fault() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct ScriptedTap {
+            calls: AtomicUsize,
+            script: Vec<BudgetFault>,
+        }
+
+        impl BudgetTap for ScriptedTap {
+            fn intercept(&self, _need: usize, _want: usize) -> BudgetFault {
+                let i = self.calls.fetch_add(1, Ordering::Relaxed);
+                self.script[i % self.script.len()]
+            }
+        }
+
+        let tap = Arc::new(ScriptedTap {
+            calls: AtomicUsize::new(0),
+            script: vec![
+                BudgetFault::PassThrough,
+                BudgetFault::Deny,
+                BudgetFault::DropReply,
+                BudgetFault::ForgeGrant(99),
+            ],
+        });
+        let src = InterposedBudget::new(Arc::new(UnlimitedBudget), tap);
+        assert_eq!(src.grant_more(4, 16).unwrap(), Grant::unapplied(16));
+        assert_eq!(src.grant_more(4, 16).unwrap(), Grant::unapplied(0));
+        assert_eq!(src.grant_more(4, 16).unwrap(), Grant::unapplied(0));
+        assert_eq!(src.grant_more(4, 16).unwrap(), Grant::unapplied(99));
+    }
+
+    #[test]
+    fn drop_reply_preserves_applied_flag() {
+        use std::sync::Arc;
+
+        struct AppliedSource;
+        impl BudgetSource for AppliedSource {
+            fn grant_more(&self, _need: usize, want: usize) -> SoftResult<Grant> {
+                Ok(Grant::applied(want))
+            }
+        }
+
+        struct AlwaysDrop;
+        impl BudgetTap for AlwaysDrop {
+            fn intercept(&self, _need: usize, _want: usize) -> BudgetFault {
+                BudgetFault::DropReply
+            }
+        }
+
+        let src = InterposedBudget::new(Arc::new(AppliedSource), Arc::new(AlwaysDrop));
+        let g = src.grant_more(8, 8).unwrap();
+        assert_eq!(g.pages, 0, "the reply is lost");
+        assert!(
+            g.already_applied,
+            "what the source committed is never silently un-applied"
+        );
     }
 }

@@ -87,6 +87,8 @@ pub enum DenyReason {
     PerProcessCap,
     /// The daemon is shutting down.
     ShuttingDown,
+    /// A testing hook forcibly denied the request (fault injection).
+    Injected,
 }
 
 impl core::fmt::Display for DenyReason {
@@ -97,6 +99,7 @@ impl core::fmt::Display for DenyReason {
             }
             DenyReason::PerProcessCap => write!(f, "per-process soft budget cap reached"),
             DenyReason::ShuttingDown => write!(f, "daemon is shutting down"),
+            DenyReason::Injected => write!(f, "denied by an injected fault"),
         }
     }
 }

@@ -50,7 +50,7 @@ pub mod page;
 pub mod sma;
 pub mod stats;
 
-pub use budget::BudgetSource;
+pub use budget::{BudgetFault, BudgetSource, BudgetTap, Grant, InterposedBudget};
 pub use config::SmaConfig;
 pub use error::{SoftError, SoftResult};
 pub use handle::{Priority, RawHandle, SdsId, SoftHandle, SoftSlot};

@@ -67,4 +67,4 @@ pub mod uds;
 pub use account::{DirectChannel, ProcSnapshot, ProcUsage, ReclaimChannel, ReclaimReply};
 pub use client::{DaemonHandle, SoftProcess};
 pub use policy::WeightPolicy;
-pub use smd::{Pid, ReclaimDecision, Smd, SmdConfig, SmdStats, TargetOutcome};
+pub use smd::{Pid, ReclaimDecision, Smd, SmdConfig, SmdHook, SmdStats, TargetOutcome};

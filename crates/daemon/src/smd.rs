@@ -103,6 +103,37 @@ struct SmdInner {
     shutting_down: bool,
 }
 
+/// Observation and fault-injection points on the daemon's protocol.
+///
+/// Installed with [`Smd::set_hook`]; every method has a no-op default,
+/// so implementations override only the points they care about. Methods
+/// are called with the daemon lock held — implementations must not call
+/// back into the [`Smd`] (that would self-deadlock) and should return
+/// quickly.
+pub trait SmdHook: Send + Sync {
+    /// Consulted before a budget request is served. Returning
+    /// `Some(reason)` forcibly denies the request at the daemon —
+    /// the injection point for daemon-denial faults. Note that
+    /// [`Smd::request_range`] retries a shortfall denial once, so this
+    /// may be consulted twice per caller-visible request.
+    fn pre_request(&self, pid: Pid, need: usize, want: usize) -> Option<DenyReason> {
+        let _ = (pid, need, want);
+        None
+    }
+
+    /// Called after each reclamation demand in a pressure round, with
+    /// the pages demanded from and yielded by the target.
+    fn on_demand(&self, requester: Pid, target: Pid, demanded: usize, yielded: usize) {
+        let _ = (requester, target, demanded, yielded);
+    }
+
+    /// Called after each grant is committed (registration grants
+    /// included).
+    fn on_grant(&self, pid: Pid, pages: usize) {
+        let _ = (pid, pages);
+    }
+}
+
 /// One target's part in a reclamation round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TargetOutcome {
@@ -171,6 +202,7 @@ pub struct Smd {
     cfg: SmdConfig,
     policy: Box<dyn WeightPolicy>,
     inner: Mutex<SmdInner>,
+    hook: Mutex<Option<Arc<dyn SmdHook>>>,
 }
 
 impl Smd {
@@ -194,7 +226,23 @@ impl Smd {
                 pages_reclaimed_total: 0,
                 shutting_down: false,
             }),
+            hook: Mutex::new(None),
         })
+    }
+
+    /// Installs a protocol hook (replacing any previous one). See
+    /// [`SmdHook`] for the reentrancy rules.
+    pub fn set_hook(&self, hook: Arc<dyn SmdHook>) {
+        *self.hook.lock() = Some(hook);
+    }
+
+    /// Removes the protocol hook.
+    pub fn clear_hook(&self) {
+        *self.hook.lock() = None;
+    }
+
+    fn hook(&self) -> Option<Arc<dyn SmdHook>> {
+        self.hook.lock().clone()
     }
 
     /// The daemon's configuration.
@@ -210,6 +258,7 @@ impl Smd {
     /// Registers a process; returns its pid and the initial budget
     /// grant (bounded by unassigned capacity).
     pub fn register(&self, name: &str, channel: Arc<dyn ReclaimChannel>) -> (Pid, usize) {
+        let hook = self.hook();
         let mut inner = self.inner.lock();
         let pid = inner.next_pid;
         inner.next_pid += 1;
@@ -218,6 +267,9 @@ impl Smd {
         let grant = self.cfg.initial_budget_pages.min(unassigned);
         if grant > 0 {
             channel.grant(grant);
+            if let Some(h) = &hook {
+                h.on_grant(pid, grant);
+            }
         }
         inner.procs.insert(
             pid,
@@ -273,15 +325,21 @@ impl Smd {
             }) => {
                 // A target may have died mid-round (remote transports),
                 // leaving phantom budget that made the round fall
-                // short. If reaping changes the ledger, the verdict
-                // deserves one retry.
-                let reaped = {
+                // short. The corpse may be reaped *here*, or by its own
+                // connection thread calling `deregister` between the
+                // round releasing the lock and this block taking it —
+                // so retry when reaping changes the ledger OR the
+                // ledger already has room (someone else reaped).
+                let retry = {
                     let mut inner = self.inner.lock();
                     let before = inner.procs.len();
                     inner.procs.retain(|_, p| p.channel.is_alive());
-                    before != inner.procs.len()
+                    let reaped = before != inner.procs.len();
+                    let assigned: usize = inner.procs.values().map(|p| p.budget_pages).sum();
+                    let unassigned = self.cfg.capacity_pages.saturating_sub(assigned);
+                    reaped || unassigned >= need
                 };
-                if reaped {
+                if retry {
                     self.request_range_once(pid, need, want)
                 } else {
                     Err(SoftError::Denied {
@@ -302,6 +360,7 @@ impl Smd {
 
     fn request_range_once(&self, pid: Pid, need: usize, want: usize) -> SoftResult<usize> {
         let want = want.max(need);
+        let hook = self.hook();
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
         if inner.shutting_down {
@@ -318,6 +377,10 @@ impl Smd {
             .procs
             .get(&pid)
             .ok_or(SoftError::UnknownProcess(pid))?;
+        if let Some(reason) = hook.as_ref().and_then(|h| h.pre_request(pid, need, want)) {
+            inner.denials_total += 1;
+            return Err(SoftError::Denied { reason });
+        }
         let mut want = want;
         if let Some(cap) = self.cfg.per_process_cap_pages {
             if requester.budget_pages + need > cap {
@@ -336,6 +399,9 @@ impl Smd {
             proc.budget_pages += grant;
             proc.channel.grant(grant);
             inner.grants_total += 1;
+            if let Some(h) = &hook {
+                h.on_grant(pid, grant);
+            }
             return Ok(grant);
         }
 
@@ -355,6 +421,9 @@ impl Smd {
             let proc = inner.procs.get_mut(&tpid).expect("selected from the map");
             let reply = proc.channel.demand(demanded);
             proc.budget_pages = proc.budget_pages.saturating_sub(reply.yielded_pages);
+            if let Some(h) = &hook {
+                h.on_demand(pid, tpid, demanded, reply.yielded_pages);
+            }
             reclaimed += reply.yielded_pages;
             inner.pages_reclaimed_total += reply.yielded_pages as u64;
             outcomes.push(TargetOutcome {
@@ -381,6 +450,9 @@ impl Smd {
             proc.budget_pages += grant;
             proc.channel.grant(grant);
             inner.grants_total += 1;
+            if let Some(h) = &hook {
+                h.on_grant(pid, grant);
+            }
             Ok(grant)
         } else {
             inner.denials_total += 1;
@@ -769,5 +841,163 @@ mod tests {
         let d = smd.take_decisions().pop().unwrap();
         assert_eq!(d.targets.len(), 1);
         assert_eq!(d.targets[0].pid, pb, "heaviest target picked first");
+    }
+
+    #[test]
+    fn hook_observes_grants_and_demands() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        #[derive(Default)]
+        struct Recorder {
+            grants: PlMutex<Vec<(Pid, usize)>>,
+            demands: PlMutex<Vec<(Pid, Pid, usize, usize)>>,
+            deny: AtomicBool,
+        }
+
+        impl SmdHook for Recorder {
+            fn pre_request(&self, _pid: Pid, _need: usize, _want: usize) -> Option<DenyReason> {
+                if self.deny.load(Ordering::SeqCst) {
+                    Some(DenyReason::Injected)
+                } else {
+                    None
+                }
+            }
+
+            fn on_demand(&self, requester: Pid, target: Pid, demanded: usize, yielded: usize) {
+                self.demands
+                    .lock()
+                    .push((requester, target, demanded, yielded));
+            }
+
+            fn on_grant(&self, pid: Pid, pages: usize) {
+                self.grants.lock().push((pid, pages));
+            }
+        }
+
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(
+            SmdConfig::new(&machine, 100)
+                .initial_budget(5)
+                .over_reclaim(0.0),
+        );
+        let rec = Arc::new(Recorder::default());
+        smd.set_hook(Arc::clone(&rec) as Arc<dyn SmdHook>);
+
+        // Registration grant is observed.
+        let a = FakeProc::new(0, 0);
+        let (pa, g) = smd.register("a", Arc::clone(&a) as Arc<dyn ReclaimChannel>);
+        assert_eq!(g, 5);
+        assert_eq!(rec.grants.lock().as_slice(), &[(pa, 5)]);
+
+        // Uncontended grant is observed.
+        smd.request_pages(pa, 95).unwrap();
+        *a.held.lock() = 95;
+        assert_eq!(rec.grants.lock().last(), Some(&(pa, 95)));
+
+        // A pressure round's demand and the ensuing grant are observed.
+        let (pb, _) = smd.register("b", FakeProc::new(0, 0));
+        smd.request_pages(pb, 10).unwrap();
+        assert_eq!(rec.demands.lock().as_slice(), &[(pb, pa, 10, 10)]);
+        assert_eq!(rec.grants.lock().last(), Some(&(pb, 10)));
+
+        // pre_request can forcibly deny — and it counts as a denial.
+        rec.deny.store(true, Ordering::SeqCst);
+        let denials_before = smd.stats().denials_total;
+        assert_eq!(
+            smd.request_pages(pb, 1).unwrap_err(),
+            SoftError::Denied {
+                reason: DenyReason::Injected
+            }
+        );
+        assert_eq!(smd.stats().denials_total, denials_before + 1);
+
+        // Clearing the hook restores normal service.
+        smd.clear_hook();
+        smd.release_pages(pb, 5).unwrap();
+        assert_eq!(smd.request_pages(pb, 1).unwrap(), 1);
+    }
+
+    /// A victim whose channel dies *during* a reclamation round and
+    /// whose connection thread races the daemon to clean up the corpse.
+    struct DyingVictim {
+        dead: std::sync::atomic::AtomicBool,
+        /// Signalled from inside `demand` so the deregister helper
+        /// parks on the daemon lock while the round is still running.
+        start_deregister: PlMutex<Option<std::sync::mpsc::Sender<()>>>,
+        held: usize,
+    }
+
+    impl ReclaimChannel for DyingVictim {
+        fn soft_pages_held(&self) -> usize {
+            if self.is_alive() {
+                self.held
+            } else {
+                0
+            }
+        }
+
+        fn slack_pages(&self) -> usize {
+            0
+        }
+
+        fn grant(&self, _pages: usize) {}
+
+        fn demand(&self, pages: usize) -> ReclaimReply {
+            if let Some(tx) = self.start_deregister.lock().take() {
+                let _ = tx.send(());
+            }
+            // Let the helper thread reach the daemon lock and park.
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            self.dead.store(true, std::sync::atomic::Ordering::SeqCst);
+            ReclaimReply {
+                yielded_pages: 0,
+                shortfall_pages: pages,
+            }
+        }
+
+        fn is_alive(&self) -> bool {
+            !self.dead.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    /// Regression test for the deregister-vs-retry race: when a target
+    /// dies mid-round, its own connection thread may win the daemon
+    /// lock after the failed round and deregister the corpse before the
+    /// requester's retry path looks at the ledger. The retry's reap
+    /// then removes nothing — but the ledger already has room, so the
+    /// request must still be retried, not denied.
+    #[test]
+    fn deregister_between_round_and_retry_is_not_a_denial() {
+        for _ in 0..10 {
+            let smd = smd(50);
+            let victim = Arc::new(DyingVictim {
+                dead: std::sync::atomic::AtomicBool::new(false),
+                start_deregister: PlMutex::new(None),
+                held: 40,
+            });
+            let (pv, _) = smd.register("victim", Arc::clone(&victim) as Arc<dyn ReclaimChannel>);
+            smd.request_pages(pv, 40).unwrap();
+
+            let (tx, rx) = std::sync::mpsc::channel();
+            *victim.start_deregister.lock() = Some(tx);
+            let smd2 = Arc::clone(&smd);
+            let helper = std::thread::spawn(move || {
+                if rx.recv().is_ok() {
+                    // Races the requester's retry for the daemon lock;
+                    // both orderings must end in a grant.
+                    let _ = smd2.deregister(pv);
+                }
+            });
+
+            let (pr, _) = smd.register("req", FakeProc::new(0, 0));
+            // 10 unassigned; the round demands the other 20 from the
+            // victim, which yields nothing and dies.
+            assert_eq!(
+                smd.request_pages(pr, 30)
+                    .expect("dead victim's budget covers the request"),
+                30
+            );
+            helper.join().unwrap();
+        }
     }
 }

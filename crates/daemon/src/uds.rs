@@ -249,15 +249,35 @@ impl Drop for UdsSmdServer {
 /// very socket. Blocking verbs therefore run on a worker thread
 /// (clients serialise their own requests, so at most one is in flight
 /// per connection), while `YIELD` routing stays on the reader.
+/// Reads the next *complete* (newline-terminated) protocol line into
+/// `buf`, terminator stripped. Returns `false` on EOF, I/O error, or a
+/// truncated final line: a peer that died mid-write must not have its
+/// half frame interpreted — acting on `RELEASE 10` out of a truncated
+/// `RELEASE 100` would corrupt the budget ledger.
+fn read_complete_line(reader: &mut impl BufRead, buf: &mut String) -> bool {
+    buf.clear();
+    match reader.read_line(buf) {
+        Ok(0) | Err(_) => return false,
+        Ok(_) => {}
+    }
+    if !buf.ends_with('\n') {
+        return false;
+    }
+    while buf.ends_with(['\r', '\n']) {
+        buf.pop();
+    }
+    true
+}
+
 fn serve_connection(smd: Arc<Smd>, stream: UnixStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let channel = Arc::new(RemoteChannel::new(write_half));
     let mut pid: Option<Pid> = None;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while read_complete_line(&mut reader, &mut line) {
         if std::env::var_os("SOFTMEM_UDS_DEBUG").is_some() {
             eprintln!("[daemon] rx ch={:p}: {line}", &*channel);
         }
@@ -371,6 +391,7 @@ fn deny_code(reason: DenyReason) -> &'static str {
         DenyReason::ReclaimShortfall => "shortfall",
         DenyReason::PerProcessCap => "cap",
         DenyReason::ShuttingDown => "shutdown",
+        DenyReason::Injected => "injected",
     }
 }
 
@@ -378,6 +399,7 @@ fn parse_deny(code: &str) -> DenyReason {
     match code {
         "cap" => DenyReason::PerProcessCap,
         "shutdown" => DenyReason::ShuttingDown,
+        "injected" => DenyReason::Injected,
         _ => DenyReason::ReclaimShortfall,
     }
 }
@@ -553,9 +575,9 @@ impl Drop for UdsProcess {
 
 /// The client's reader loop: one thread, in-order processing.
 fn client_reader(shared: Arc<ClientShared>, stream: UnixStream) {
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while read_complete_line(&mut reader, &mut line) {
         let mut parts = line.split_whitespace();
         let verb = parts.next().unwrap_or("");
         let args: Vec<&str> = parts.collect();

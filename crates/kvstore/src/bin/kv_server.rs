@@ -62,15 +62,15 @@ fn main() {
         let Ok(stream) = stream else { continue };
         let handle: KvHandle = handle.clone();
         std::thread::spawn(move || {
-            use std::io::{BufRead, BufReader, Write};
+            use std::io::{BufReader, Write};
             let _ = stream.set_nodelay(true);
             let mut writer = match stream.try_clone() {
                 Ok(w) => w,
                 Err(_) => return,
             };
-            let reader = BufReader::new(stream);
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            while softmem_kv::server::read_frame(&mut reader, &mut line) {
                 if line.is_empty() {
                     continue;
                 }

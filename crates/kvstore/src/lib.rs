@@ -44,4 +44,5 @@ pub mod server;
 mod store;
 
 pub use protocol::{Command, Response};
+pub use server::{KvHandle, KvServer, TcpFrontend, TcpKvClient};
 pub use store::{Store, StoreStats, Ttl};

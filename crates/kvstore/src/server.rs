@@ -189,6 +189,27 @@ impl Drop for TcpFrontend {
     }
 }
 
+/// Reads the next *complete* protocol frame into `buf` (terminator
+/// stripped). Returns `false` on EOF, I/O error, or a truncated final
+/// line: a frame is only complete once its newline arrives, and a peer
+/// that died mid-write must not have its half frame interpreted —
+/// executing `SET k 10` out of a truncated `SET k 1000` would silently
+/// corrupt data.
+pub fn read_frame(reader: &mut impl BufRead, buf: &mut String) -> bool {
+    buf.clear();
+    match reader.read_line(buf) {
+        Ok(0) | Err(_) => return false,
+        Ok(_) => {}
+    }
+    if !buf.ends_with('\n') {
+        return false;
+    }
+    while buf.ends_with(['\r', '\n']) {
+        buf.pop();
+    }
+    true
+}
+
 fn serve_connection(stream: TcpStream, handle: KvHandle) {
     // Request/response protocol: disable Nagle so replies are not
     // held back waiting for the client's delayed ACK.
@@ -197,9 +218,9 @@ fn serve_connection(stream: TcpStream, handle: KvHandle) {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while read_frame(&mut reader, &mut line) {
         if line.is_empty() {
             continue;
         }

@@ -1,0 +1,251 @@
+//! Declarative fault plans and the injectors that execute them.
+//!
+//! A [`FaultPlan`] names every fault a scenario injects, at three
+//! protocol layers:
+//!
+//! - **budget taps** ([`ScriptedTap`], plugged into
+//!   [`softmem_core::InterposedBudget`]) corrupt the SMA↔daemon
+//!   budget path: denials, delays, dropped replies, forged grants;
+//! - **daemon hooks** ([`CadenceDenyHook`], installed with
+//!   [`softmem_daemon::Smd::set_hook`]) deny requests inside the
+//!   daemon itself;
+//! - **chaos faults** ([`ChaosFault`], applied by the scenario runner
+//!   between phases) deliberately break one invariant family each, to
+//!   prove the corresponding checker can fail.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use softmem_core::budget::Grant;
+use softmem_core::error::DenyReason;
+use softmem_core::{BudgetFault, BudgetTap, SoftResult};
+use softmem_daemon::{Pid, SmdHook};
+
+use crate::invariants::InvariantFamily;
+
+/// One deliberate invariant break, applied once by the runner after a
+/// configured phase. Each variant targets exactly one family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Reserves machine pages behind every SMA's back →
+    /// [`InvariantFamily::MachinePages`].
+    LeakMachinePages(usize),
+    /// Grows a process's SMA budget without any daemon assignment (a
+    /// forged/duplicated grant reply) →
+    /// [`InvariantFamily::BudgetConservation`].
+    ForgeBudget(usize),
+    /// Marks a live handle stale without freeing it →
+    /// [`InvariantFamily::GenerationSafety`].
+    ZombieHandle,
+    /// Moves a queue element without telling the counters →
+    /// [`InvariantFamily::CallbackAccounting`].
+    StealthQueueOp,
+}
+
+impl ChaosFault {
+    /// The invariant family this fault breaks.
+    pub fn target_family(&self) -> InvariantFamily {
+        match self {
+            ChaosFault::LeakMachinePages(_) => InvariantFamily::MachinePages,
+            ChaosFault::ForgeBudget(_) => InvariantFamily::BudgetConservation,
+            ChaosFault::ZombieHandle => InvariantFamily::GenerationSafety,
+            ChaosFault::StealthQueueOp => InvariantFamily::CallbackAccounting,
+        }
+    }
+}
+
+/// The complete fault configuration of one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Budget-tap script, cycled per request on every process. Empty
+    /// means no tap is interposed.
+    pub budget_script: Vec<BudgetFault>,
+    /// Deny every Nth daemon request inside the daemon (via
+    /// [`CadenceDenyHook`]); `None` installs no hook.
+    pub deny_every: Option<u64>,
+    /// `(worker, phase)` pairs: the worker's process disconnects
+    /// abruptly at the start of that phase.
+    pub disconnects: Vec<(usize, usize)>,
+    /// Install panicking reclaim callbacks on every queue.
+    pub panic_callbacks: bool,
+    /// One deliberate invariant break, applied after the given phase.
+    pub chaos: Option<(ChaosFault, usize)>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// A [`BudgetTap`] that cycles through a scripted fault sequence, one
+/// entry per budget-growth request.
+pub struct ScriptedTap {
+    script: Vec<BudgetFault>,
+    cursor: AtomicUsize,
+    denied: AtomicU64,
+    dropped: AtomicU64,
+    forged_pages: AtomicU64,
+}
+
+impl ScriptedTap {
+    /// A tap cycling `script` (which must be non-empty).
+    pub fn new(script: Vec<BudgetFault>) -> Self {
+        assert!(!script.is_empty(), "a tap needs at least one script entry");
+        ScriptedTap {
+            script,
+            cursor: AtomicUsize::new(0),
+            denied: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            forged_pages: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests denied at the tap.
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::SeqCst)
+    }
+
+    /// Replies dropped at the tap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::SeqCst)
+    }
+
+    /// Budget pages forged (conservation damage done).
+    pub fn forged_pages(&self) -> u64 {
+        self.forged_pages.load(Ordering::SeqCst)
+    }
+}
+
+impl BudgetTap for ScriptedTap {
+    fn intercept(&self, _need: usize, _want: usize) -> BudgetFault {
+        let i = self.cursor.fetch_add(1, Ordering::SeqCst);
+        let fault = self.script[i % self.script.len()];
+        match fault {
+            BudgetFault::Deny => {
+                self.denied.fetch_add(1, Ordering::SeqCst);
+            }
+            BudgetFault::DropReply => {
+                self.dropped.fetch_add(1, Ordering::SeqCst);
+            }
+            BudgetFault::ForgeGrant(pages) => {
+                self.forged_pages.fetch_add(pages as u64, Ordering::SeqCst);
+            }
+            BudgetFault::PassThrough | BudgetFault::DelayMs(_) => {}
+        }
+        fault
+    }
+
+    fn observe(&self, _need: usize, _want: usize, _outcome: &SoftResult<Grant>) {}
+}
+
+/// An [`SmdHook`] that forcibly denies every Nth budget request at
+/// the daemon — the "daemon denial" fault. Grants and demands are
+/// counted for assertions.
+pub struct CadenceDenyHook {
+    every: u64,
+    requests: AtomicU64,
+    denied: AtomicU64,
+    grants: AtomicU64,
+    demands: AtomicU64,
+}
+
+impl CadenceDenyHook {
+    /// Denies request numbers `every`, `2*every`, … (1-based).
+    pub fn new(every: u64) -> Self {
+        CadenceDenyHook {
+            every: every.max(1),
+            requests: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
+            grants: AtomicU64::new(0),
+            demands: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests denied by this hook.
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::SeqCst)
+    }
+
+    /// Grants observed.
+    pub fn grants(&self) -> u64 {
+        self.grants.load(Ordering::SeqCst)
+    }
+
+    /// Reclamation demands observed.
+    pub fn demands(&self) -> u64 {
+        self.demands.load(Ordering::SeqCst)
+    }
+}
+
+impl SmdHook for CadenceDenyHook {
+    fn pre_request(&self, _pid: Pid, _need: usize, _want: usize) -> Option<DenyReason> {
+        let n = self.requests.fetch_add(1, Ordering::SeqCst) + 1;
+        if n.is_multiple_of(self.every) {
+            self.denied.fetch_add(1, Ordering::SeqCst);
+            Some(DenyReason::Injected)
+        } else {
+            None
+        }
+    }
+
+    fn on_demand(&self, _requester: Pid, _target: Pid, _demanded: usize, _yielded: usize) {
+        self.demands.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_grant(&self, _pid: Pid, _pages: usize) {
+        self.grants.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_tap_cycles_and_counts() {
+        let tap = ScriptedTap::new(vec![
+            BudgetFault::PassThrough,
+            BudgetFault::Deny,
+            BudgetFault::ForgeGrant(7),
+        ]);
+        for _ in 0..6 {
+            tap.intercept(1, 1);
+        }
+        assert_eq!(tap.denied(), 2);
+        assert_eq!(tap.forged_pages(), 14);
+    }
+
+    #[test]
+    fn cadence_hook_denies_every_third() {
+        let hook = CadenceDenyHook::new(3);
+        let outcomes: Vec<bool> = (0..9)
+            .map(|_| hook.pre_request(1, 1, 1).is_some())
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(hook.denied(), 3);
+    }
+
+    #[test]
+    fn chaos_faults_map_to_families() {
+        assert_eq!(
+            ChaosFault::LeakMachinePages(1).target_family(),
+            InvariantFamily::MachinePages
+        );
+        assert_eq!(
+            ChaosFault::ForgeBudget(1).target_family(),
+            InvariantFamily::BudgetConservation
+        );
+        assert_eq!(
+            ChaosFault::ZombieHandle.target_family(),
+            InvariantFamily::GenerationSafety
+        );
+        assert_eq!(
+            ChaosFault::StealthQueueOp.target_family(),
+            InvariantFamily::CallbackAccounting
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! The machine-wide invariant checker.
+//!
+//! Four families, checked between pressure phases (with every worker
+//! parked at a barrier) and again at quiesce:
+//!
+//! 1. **Machine-page conservation** — the machine model's used pages
+//!    equal the sum of every process's physically held soft pages plus
+//!    all reserved traditional pages.
+//! 2. **Budget conservation** — for every registered process, the
+//!    daemon's ledger and the process's SMA agree on the budget; total
+//!    assignment never exceeds daemon capacity; no SMA holds more
+//!    pages than its budget.
+//! 3. **Generation safety** — every live handle reads back its fill
+//!    pattern; every revoked/freed handle fails with `Revoked` or
+//!    `InvalidHandle`, never stale data.
+//! 4. **Callback accounting** — queue elements are conserved across
+//!    push/pop/reclaim, and every reclaimed element produced exactly
+//!    one reclaim-callback invocation (even when callbacks panic).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use softmem_core::MachineMemory;
+use softmem_daemon::Smd;
+
+use crate::pool::HandlePool;
+use crate::process::TkProcess;
+use crate::queue::CountedQueue;
+
+/// The four invariant families the harness checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InvariantFamily {
+    /// Machine-page conservation.
+    MachinePages,
+    /// Budget conservation across SMD accounts.
+    BudgetConservation,
+    /// Generation safety of handles.
+    GenerationSafety,
+    /// No-lost-callback accounting.
+    CallbackAccounting,
+}
+
+impl fmt::Display for InvariantFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InvariantFamily::MachinePages => "machine-pages",
+            InvariantFamily::BudgetConservation => "budget-conservation",
+            InvariantFamily::GenerationSafety => "generation-safety",
+            InvariantFamily::CallbackAccounting => "callback-accounting",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One observed invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which family failed.
+    pub family: InvariantFamily,
+    /// Where in the run it was observed (e.g. `after phase 1`,
+    /// `quiesce`).
+    pub at: String,
+    /// Human-readable description with the observed numbers.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.family, self.at, self.detail)
+    }
+}
+
+/// Everything the checker needs to see at a checkpoint.
+pub struct CheckScope<'a> {
+    /// The machine model under test.
+    pub machine: &'a Arc<MachineMemory>,
+    /// The daemon under test.
+    pub smd: &'a Arc<Smd>,
+    /// Every process ever created by the scenario (including
+    /// disconnected ones — their memory is still reserved).
+    pub procs: &'a [Arc<TkProcess>],
+    /// Every handle pool.
+    pub pools: &'a [Arc<HandlePool>],
+    /// Every counted queue.
+    pub queues: &'a [Arc<CountedQueue>],
+}
+
+impl CheckScope<'_> {
+    /// Runs all four families, labelling violations with `at`.
+    pub fn check_all(&self, at: &str) -> Vec<Violation> {
+        let mut v = Vec::new();
+        v.extend(self.check_machine_pages(at));
+        v.extend(self.check_budget_conservation(at));
+        v.extend(self.check_generation_safety(at));
+        v.extend(self.check_callback_accounting(at));
+        v
+    }
+
+    /// Family 1: machine-page conservation.
+    pub fn check_machine_pages(&self, at: &str) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let ms = self.machine.stats();
+        let held: usize = self.procs.iter().map(|p| p.sma().held_pages()).sum();
+        let expected = held + ms.traditional_pages;
+        if ms.used_pages != expected {
+            v.push(Violation {
+                family: InvariantFamily::MachinePages,
+                at: at.to_string(),
+                detail: format!(
+                    "machine used_pages {} != sum of SMA held {} + traditional {}",
+                    ms.used_pages, held, ms.traditional_pages
+                ),
+            });
+        }
+        let trad: usize = self.procs.iter().map(|p| p.traditional_pages()).sum();
+        if ms.traditional_pages != trad {
+            v.push(Violation {
+                family: InvariantFamily::MachinePages,
+                at: at.to_string(),
+                detail: format!(
+                    "machine traditional_pages {} != sum of process traditional {}",
+                    ms.traditional_pages, trad
+                ),
+            });
+        }
+        v
+    }
+
+    /// Family 2: budget conservation across SMD accounts.
+    pub fn check_budget_conservation(&self, at: &str) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let stats = self.smd.stats();
+        if stats.assigned_pages > stats.capacity_pages {
+            v.push(Violation {
+                family: InvariantFamily::BudgetConservation,
+                at: at.to_string(),
+                detail: format!(
+                    "daemon assigned {} pages over its capacity {}",
+                    stats.assigned_pages, stats.capacity_pages
+                ),
+            });
+        }
+        let by_pid: HashMap<u64, &Arc<TkProcess>> =
+            self.procs.iter().map(|p| (p.pid(), p)).collect();
+        for snap in &stats.procs {
+            let Some(proc) = by_pid.get(&snap.pid) else {
+                continue; // a process the harness doesn't own
+            };
+            let sma_budget = proc.sma().budget_pages();
+            if sma_budget != snap.usage.budget_pages {
+                v.push(Violation {
+                    family: InvariantFamily::BudgetConservation,
+                    at: at.to_string(),
+                    detail: format!(
+                        "pid {} (`{}`): SMA budget {} != daemon ledger {}",
+                        snap.pid, snap.name, sma_budget, snap.usage.budget_pages
+                    ),
+                });
+            }
+            let held = proc.sma().held_pages();
+            if held > sma_budget {
+                v.push(Violation {
+                    family: InvariantFamily::BudgetConservation,
+                    at: at.to_string(),
+                    detail: format!(
+                        "pid {} (`{}`): holds {} pages over its budget {}",
+                        snap.pid, snap.name, held, sma_budget
+                    ),
+                });
+            }
+        }
+        // Active processes must still be on the daemon's books.
+        let ledger: HashMap<u64, usize> = stats
+            .procs
+            .iter()
+            .map(|s| (s.pid, s.usage.budget_pages))
+            .collect();
+        for proc in self.procs {
+            if proc.is_active() && !ledger.contains_key(&proc.pid()) {
+                v.push(Violation {
+                    family: InvariantFamily::BudgetConservation,
+                    at: at.to_string(),
+                    detail: format!(
+                        "active pid {} (`{}`) missing from the daemon ledger",
+                        proc.pid(),
+                        proc.name()
+                    ),
+                });
+            }
+        }
+        v
+    }
+
+    /// Family 3: generation safety.
+    pub fn check_generation_safety(&self, at: &str) -> Vec<Violation> {
+        self.pools
+            .iter()
+            .flat_map(|pool| pool.audit())
+            .map(|detail| Violation {
+                family: InvariantFamily::GenerationSafety,
+                at: at.to_string(),
+                detail,
+            })
+            .collect()
+    }
+
+    /// Family 4: no-lost-callback accounting.
+    pub fn check_callback_accounting(&self, at: &str) -> Vec<Violation> {
+        self.queues
+            .iter()
+            .flat_map(|queue| queue.audit())
+            .map(|detail| Violation {
+                family: InvariantFamily::CallbackAccounting,
+                at: at.to_string(),
+                detail,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmem_core::Priority;
+    use softmem_daemon::SmdConfig;
+
+    type Fixture = (
+        Arc<MachineMemory>,
+        Arc<Smd>,
+        Vec<Arc<TkProcess>>,
+        Vec<Arc<HandlePool>>,
+        Vec<Arc<CountedQueue>>,
+    );
+
+    fn scope_fixture() -> Fixture {
+        let machine = MachineMemory::new(256);
+        let smd = Smd::new(SmdConfig::new(&machine, 128).initial_budget(8));
+        let proc = TkProcess::connect(&smd, "p0", None);
+        let pool = HandlePool::new(proc.sma(), "pool", Priority::new(1));
+        let queue = CountedQueue::new(proc.sma(), "q", Priority::new(2), false);
+        (machine, smd, vec![proc], vec![pool], vec![queue])
+    }
+
+    #[test]
+    fn clean_state_passes_all_families() {
+        let (machine, smd, procs, pools, queues) = scope_fixture();
+        pools[0].insert(1024, 0x11).unwrap();
+        queues[0].push(7);
+        let scope = CheckScope {
+            machine: &machine,
+            smd: &smd,
+            procs: &procs,
+            pools: &pools,
+            queues: &queues,
+        };
+        let violations = scope.check_all("test");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn each_family_detects_its_injected_fault() {
+        let (machine, smd, procs, pools, queues) = scope_fixture();
+        pools[0].insert(1024, 0x11).unwrap();
+        queues[0].push(7);
+
+        // Family 1: leak machine pages behind the SMAs' backs.
+        machine.reserve(3).unwrap();
+        // Family 2: forge budget out of thin air.
+        procs[0].sma().grow_budget(5);
+        // Family 3: zombie handle.
+        assert!(pools[0].inject_zombie());
+        // Family 4: stealth queue op.
+        queues[0].inject_stealth_op();
+
+        let scope = CheckScope {
+            machine: &machine,
+            smd: &smd,
+            procs: &procs,
+            pools: &pools,
+            queues: &queues,
+        };
+        let families: std::collections::BTreeSet<_> = scope
+            .check_all("test")
+            .into_iter()
+            .map(|v| v.family)
+            .collect();
+        assert!(families.contains(&InvariantFamily::MachinePages));
+        assert!(families.contains(&InvariantFamily::BudgetConservation));
+        assert!(families.contains(&InvariantFamily::GenerationSafety));
+        assert!(families.contains(&InvariantFamily::CallbackAccounting));
+        machine.release(3); // undo the leak for a clean drop
+    }
+}

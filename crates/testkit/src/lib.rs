@@ -1,0 +1,43 @@
+//! softmem-testkit: a deterministic, seeded concurrency-stress harness
+//! for the whole soft-memory stack.
+//!
+//! The harness spawns N "soft processes" (each an [`Sma`] wired to one
+//! shared [`Smd`]/[`MachineMemory`]) and drives them through seeded
+//! pressure waves. Phase boundaries are barrier-controlled; while every
+//! worker is parked, a machine-wide invariant checker sweeps four
+//! families:
+//!
+//! 1. **Machine-page conservation** — the machine's used pages equal
+//!    the sum of every allocator's held pages plus traditional memory.
+//! 2. **Budget conservation** — the daemon's assigned pages never
+//!    exceed capacity, and each ledger entry matches the live SMA.
+//! 3. **Generation safety** — every revoked [`SoftHandle`] access
+//!    yields `Err(Revoked)`, never stale data.
+//! 4. **Callback accounting** — no reclaim callback is lost, even when
+//!    callbacks panic.
+//!
+//! Every run is reproducible from `(scenario, seed)`: a failing
+//! verdict prints exactly the call needed to replay it. Fault plans
+//! inject daemon denials, delayed/dropped/forged grants, abrupt
+//! disconnections, panicking reclaim callbacks, and deliberate
+//! invariant breakage (chaos faults) that prove the checker can fail.
+//!
+//! [`Sma`]: softmem_core::Sma
+//! [`Smd`]: softmem_daemon::Smd
+//! [`MachineMemory`]: softmem_core::MachineMemory
+//! [`SoftHandle`]: softmem_core::SoftHandle
+
+pub mod fault;
+pub mod invariants;
+pub mod pool;
+pub mod process;
+pub mod queue;
+pub mod scenario;
+pub mod scenarios;
+
+pub use fault::{CadenceDenyHook, ChaosFault, FaultPlan, ScriptedTap};
+pub use invariants::{CheckScope, InvariantFamily, Violation};
+pub use pool::{HandlePool, PoolCounters};
+pub use process::{FlakyChannel, TkProcess};
+pub use queue::CountedQueue;
+pub use scenario::{run_scenario, OpMix, Phase, ScenarioSpec, Verdict};

@@ -1,0 +1,326 @@
+//! A raw-handle SDS built for generation-safety auditing.
+//!
+//! [`HandlePool`] keeps every handle it has ever produced, partitioned
+//! into *live* (owned, pattern-filled allocations) and *stale* (freed
+//! or reclaimed). The invariant checker can then prove the two halves
+//! of generation safety:
+//!
+//! - every live handle still reads back its fill pattern;
+//! - every stale handle fails with [`SoftError::Revoked`] or
+//!   [`SoftError::InvalidHandle`] — never stale data.
+//!
+//! Lock order: the pool's state lock is an SDS-inner lock, so it may
+//! be taken before the SMA lock (frees, probes) but never while the
+//! SMA is waiting on the daemon — allocations therefore happen
+//! *before* the state lock is taken, exactly like the shipped SDSs.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use softmem_core::{Priority, SdsId, SdsReclaimer, Sma, SoftError, SoftHandle, SoftResult};
+
+#[derive(Default)]
+struct PoolState {
+    live: VecDeque<(SoftHandle, u8)>,
+    stale: Vec<SoftHandle>,
+    inserted: u64,
+    freed: u64,
+    reclaimed: u64,
+}
+
+/// Counters snapshot for assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Successful inserts.
+    pub inserted: u64,
+    /// Application frees.
+    pub freed: u64,
+    /// Allocations taken by reclamation.
+    pub reclaimed: u64,
+    /// Live handles right now.
+    pub live: usize,
+    /// Stale handles retained for probing.
+    pub stale: usize,
+}
+
+struct PoolReclaimer {
+    sma: Weak<Sma>,
+    state: Weak<Mutex<PoolState>>,
+}
+
+impl SdsReclaimer for PoolReclaimer {
+    fn reclaim(&self, bytes: usize) -> usize {
+        let (Some(sma), Some(state)) = (self.sma.upgrade(), self.state.upgrade()) else {
+            return 0;
+        };
+        let mut st = state.lock();
+        let mut freed = 0usize;
+        while freed < bytes {
+            let Some((handle, _)) = st.live.pop_front() else {
+                break;
+            };
+            let len = handle.len().max(1);
+            if sma.free_bytes(handle).is_ok() {
+                freed += len;
+            }
+            st.stale.push(handle);
+            st.reclaimed += 1;
+        }
+        freed
+    }
+}
+
+/// The auditing SDS. One worker owns the mutating operations; the
+/// checker probes it (under the state lock) while workers are parked.
+pub struct HandlePool {
+    sma: Arc<Sma>,
+    name: String,
+    priority: Priority,
+    sds: Mutex<SdsId>,
+    state: Arc<Mutex<PoolState>>,
+    reclaimer: Arc<dyn SdsReclaimer>,
+}
+
+impl HandlePool {
+    /// Registers a new pool SDS on `sma`.
+    pub fn new(sma: &Arc<Sma>, name: &str, priority: Priority) -> Arc<Self> {
+        let state = Arc::new(Mutex::new(PoolState::default()));
+        let reclaimer: Arc<dyn SdsReclaimer> = Arc::new(PoolReclaimer {
+            sma: Arc::downgrade(sma),
+            state: Arc::downgrade(&state),
+        });
+        let sds = sma.register_sds(name, priority);
+        sma.set_reclaimer(sds, Arc::clone(&reclaimer))
+            .expect("freshly registered SDS");
+        Arc::new(HandlePool {
+            sma: Arc::clone(sma),
+            name: name.to_string(),
+            priority,
+            sds: Mutex::new(sds),
+            state,
+            reclaimer,
+        })
+    }
+
+    /// Allocates `len` bytes filled with `fill` and tracks the handle.
+    pub fn insert(&self, len: usize, fill: u8) -> SoftResult<()> {
+        let sds = *self.sds.lock();
+        // Allocate before taking the state lock: the allocation may
+        // wait on the daemon, and the daemon may be reclaiming from
+        // this very pool on another thread.
+        let handle = self.sma.alloc_bytes(sds, len)?;
+        self.sma.with_bytes_mut(&handle, |b| b.fill(fill))?;
+        let mut st = self.state.lock();
+        st.live.push_back((handle, fill));
+        st.inserted += 1;
+        Ok(())
+    }
+
+    /// Frees the oldest live allocation (keeping the handle for stale
+    /// probing). Returns whether anything was freed.
+    pub fn remove_oldest(&self) -> bool {
+        let mut st = self.state.lock();
+        let Some((handle, _)) = st.live.pop_front() else {
+            return false;
+        };
+        let _ = self.sma.free_bytes(handle);
+        st.stale.push(handle);
+        st.freed += 1;
+        true
+    }
+
+    /// Probes one live and one stale handle (chosen by `pick`),
+    /// returning the number of generation-safety anomalies observed
+    /// (0, 1 or 2).
+    pub fn probe(&self, pick: usize) -> u64 {
+        let st = self.state.lock();
+        let mut anomalies = 0;
+        if !st.live.is_empty() {
+            let (handle, fill) = st.live[pick % st.live.len()];
+            match self
+                .sma
+                .with_bytes(&handle, |b| b.iter().all(|&x| x == fill))
+            {
+                Ok(true) => {}
+                _ => anomalies += 1,
+            }
+        }
+        if !st.stale.is_empty() {
+            let handle = st.stale[pick % st.stale.len()];
+            match self.sma.with_bytes(&handle, |_| ()) {
+                Err(SoftError::Revoked) | Err(SoftError::InvalidHandle) => {}
+                _ => anomalies += 1,
+            }
+        }
+        anomalies
+    }
+
+    /// Destroys the SDS and registers a fresh one — the
+    /// register/release churn operation. All handles become stale-ish
+    /// history and the counters reset.
+    pub fn recycle(&self) {
+        let mut st = self.state.lock();
+        let mut sds = self.sds.lock();
+        let _ = self.sma.destroy_sds(*sds);
+        st.live.clear();
+        st.stale.clear();
+        st.inserted = 0;
+        st.freed = 0;
+        st.reclaimed = 0;
+        *sds = self.sma.register_sds(self.name.clone(), self.priority);
+        self.sma
+            .set_reclaimer(*sds, Arc::clone(&self.reclaimer))
+            .expect("freshly registered SDS");
+    }
+
+    /// CHAOS: moves a live handle to the stale set *without freeing
+    /// it*. The allocation stays live, so the stale probe will read it
+    /// successfully — a deliberate generation-safety violation the
+    /// checker must catch. Returns whether a handle was available.
+    pub fn inject_zombie(&self) -> bool {
+        let mut st = self.state.lock();
+        let Some((handle, _)) = st.live.pop_front() else {
+            return false;
+        };
+        st.stale.push(handle);
+        true
+    }
+
+    /// Counters snapshot.
+    pub fn counters(&self) -> PoolCounters {
+        let st = self.state.lock();
+        PoolCounters {
+            inserted: st.inserted,
+            freed: st.freed,
+            reclaimed: st.reclaimed,
+            live: st.live.len(),
+            stale: st.stale.len(),
+        }
+    }
+
+    /// Exhaustive generation-safety audit: every live handle must read
+    /// back its pattern, every stale handle must error, and the
+    /// conservation identity `inserted == live + freed + reclaimed`
+    /// must hold. Returns human-readable defect descriptions.
+    pub fn audit(&self) -> Vec<String> {
+        let st = self.state.lock();
+        let mut defects = Vec::new();
+        for (i, (handle, fill)) in st.live.iter().enumerate() {
+            match self
+                .sma
+                .with_bytes(handle, |b| b.iter().all(|&x| x == *fill))
+            {
+                Ok(true) => {}
+                Ok(false) => defects.push(format!(
+                    "live handle #{i} in `{}` lost its fill pattern {fill:#04x}",
+                    self.name
+                )),
+                Err(e) => defects.push(format!(
+                    "live handle #{i} in `{}` unexpectedly unreadable: {e}",
+                    self.name
+                )),
+            }
+        }
+        for (i, handle) in st.stale.iter().enumerate() {
+            match self.sma.with_bytes(handle, |b| b.to_vec()) {
+                Err(SoftError::Revoked) | Err(SoftError::InvalidHandle) => {}
+                Ok(_) => defects.push(format!(
+                    "stale handle #{i} in `{}` still readable (revocation leak)",
+                    self.name
+                )),
+                Err(e) => defects.push(format!(
+                    "stale handle #{i} in `{}` failed with unexpected error: {e}",
+                    self.name
+                )),
+            }
+        }
+        let accounted = st.live.len() as u64 + st.freed + st.reclaimed;
+        if st.inserted != accounted {
+            defects.push(format!(
+                "`{}` handle conservation broken: inserted {} != live {} + freed {} + reclaimed {}",
+                self.name,
+                st.inserted,
+                st.live.len(),
+                st.freed,
+                st.reclaimed
+            ));
+        }
+        defects
+    }
+}
+
+impl Drop for HandlePool {
+    fn drop(&mut self) {
+        // Frees every remaining live allocation.
+        let _ = self.sma.destroy_sds(*self.sds.lock());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_probe_remove_roundtrip() {
+        let sma = Sma::standalone(32);
+        let pool = HandlePool::new(&sma, "p", Priority::default());
+        for i in 0..10 {
+            pool.insert(512, i as u8).unwrap();
+        }
+        assert_eq!(pool.probe(3), 0);
+        assert!(pool.remove_oldest());
+        assert_eq!(pool.probe(0), 0, "freed handle probes as stale");
+        assert!(pool.audit().is_empty());
+        let c = pool.counters();
+        assert_eq!((c.inserted, c.freed, c.live, c.stale), (10, 1, 9, 1));
+    }
+
+    #[test]
+    fn reclaim_moves_handles_to_stale_and_audit_stays_clean() {
+        let sma = Sma::standalone(32);
+        let pool = HandlePool::new(&sma, "p", Priority::default());
+        for _ in 0..16 {
+            pool.insert(4096, 0xAB).unwrap();
+        }
+        // Demand the whole budget so reclamation digs past the slack
+        // and idle tiers into live pool allocations.
+        let report = sma.reclaim(32);
+        assert!(report.total_yielded() > 0);
+        let c = pool.counters();
+        assert!(c.reclaimed > 0, "reclaimer took from the pool");
+        assert!(pool.audit().is_empty());
+    }
+
+    #[test]
+    fn zombie_injection_is_caught_by_audit() {
+        let sma = Sma::standalone(32);
+        let pool = HandlePool::new(&sma, "p", Priority::default());
+        pool.insert(256, 0x55).unwrap();
+        assert!(pool.inject_zombie());
+        let defects = pool.audit();
+        assert!(
+            defects.iter().any(|d| d.contains("still readable")),
+            "{defects:?}"
+        );
+        assert!(
+            defects.iter().any(|d| d.contains("conservation broken")),
+            "{defects:?}"
+        );
+    }
+
+    #[test]
+    fn recycle_resets_the_pool() {
+        let sma = Sma::standalone(32);
+        let pool = HandlePool::new(&sma, "p", Priority::default());
+        for _ in 0..5 {
+            pool.insert(1024, 1).unwrap();
+        }
+        pool.recycle();
+        assert_eq!(sma.stats().live_allocs, 0);
+        assert!(pool.audit().is_empty());
+        pool.insert(1024, 2).unwrap();
+        assert_eq!(pool.counters().inserted, 1);
+    }
+}

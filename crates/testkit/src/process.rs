@@ -1,0 +1,344 @@
+//! A harness-controlled "soft process": an SMA wired to the daemon
+//! through interposable fault-injection layers.
+//!
+//! [`TkProcess`] mirrors `softmem_daemon::SoftProcess`, with two
+//! differences that make it a test instrument:
+//!
+//! - the reclaim channel is a [`FlakyChannel`], which can refuse or
+//!   delay demands and simulate a dead connection;
+//! - the budget source can be wrapped in a
+//!   [`softmem_core::InterposedBudget`] so a scenario's
+//!   [`softmem_core::BudgetTap`] sees (and may corrupt) every
+//!   budget-growth request.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use softmem_core::budget::Grant;
+use softmem_core::{
+    BudgetSource, BudgetTap, InterposedBudget, Sma, SmaConfig, SoftError, SoftResult,
+};
+use softmem_daemon::{DirectChannel, Pid, ReclaimChannel, ReclaimReply, Smd};
+
+/// A [`ReclaimChannel`] wrapper with run-time switchable faults.
+pub struct FlakyChannel {
+    inner: DirectChannel,
+    dead: AtomicBool,
+    refuse_demands: AtomicBool,
+    demand_delay_ms: AtomicU64,
+    demands_seen: AtomicU64,
+    grants_dropped: AtomicU64,
+}
+
+impl FlakyChannel {
+    /// Wraps a direct channel to `sma`.
+    pub fn new(sma: Arc<Sma>) -> Arc<Self> {
+        Arc::new(FlakyChannel {
+            inner: DirectChannel::new(sma),
+            dead: AtomicBool::new(false),
+            refuse_demands: AtomicBool::new(false),
+            demand_delay_ms: AtomicU64::new(0),
+            demands_seen: AtomicU64::new(0),
+            grants_dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Simulates the process's connection dropping: the daemon sees
+    /// `is_alive() == false`, demands yield nothing, and grants are
+    /// silently dropped (the daemon reaps the account on its next
+    /// request cycle).
+    pub fn kill(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`FlakyChannel::kill`] has been called.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Makes every demand yield nothing (an uncooperative process).
+    pub fn refuse_demands(&self, refuse: bool) {
+        self.refuse_demands.store(refuse, Ordering::SeqCst);
+    }
+
+    /// Delays each demand by `ms` milliseconds (a slow reclaim path,
+    /// widening grant-vs-reclaim race windows).
+    pub fn set_demand_delay_ms(&self, ms: u64) {
+        self.demand_delay_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// Demands the daemon has sent this channel.
+    pub fn demands_seen(&self) -> u64 {
+        self.demands_seen.load(Ordering::SeqCst)
+    }
+
+    /// Grants dropped because the channel was dead.
+    pub fn grants_dropped(&self) -> u64 {
+        self.grants_dropped.load(Ordering::SeqCst)
+    }
+}
+
+impl ReclaimChannel for FlakyChannel {
+    fn soft_pages_held(&self) -> usize {
+        if self.is_dead() {
+            0
+        } else {
+            self.inner.soft_pages_held()
+        }
+    }
+
+    fn slack_pages(&self) -> usize {
+        if self.is_dead() {
+            0
+        } else {
+            self.inner.slack_pages()
+        }
+    }
+
+    fn demand(&self, pages: usize) -> ReclaimReply {
+        self.demands_seen.fetch_add(1, Ordering::SeqCst);
+        let delay = self.demand_delay_ms.load(Ordering::SeqCst);
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+        }
+        if self.is_dead() || self.refuse_demands.load(Ordering::SeqCst) {
+            return ReclaimReply {
+                yielded_pages: 0,
+                shortfall_pages: pages,
+            };
+        }
+        self.inner.demand(pages)
+    }
+
+    fn grant(&self, pages: usize) {
+        if self.is_dead() {
+            self.grants_dropped.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        self.inner.grant(pages);
+    }
+
+    fn is_alive(&self) -> bool {
+        !self.is_dead()
+    }
+}
+
+/// The budget source behind a [`TkProcess`]: forwards growth requests
+/// to the daemon, which applies grants through the reclaim channel
+/// (mirroring the production client, so grants are applied under the
+/// daemon lock).
+struct DaemonSource {
+    smd: Weak<Smd>,
+    pid: Pid,
+}
+
+impl BudgetSource for DaemonSource {
+    fn grant_more(&self, need: usize, want: usize) -> SoftResult<Grant> {
+        let smd = self.smd.upgrade().ok_or(SoftError::DaemonUnavailable)?;
+        smd.request_range(self.pid, need, want).map(Grant::applied)
+    }
+}
+
+/// One harness-controlled soft process.
+pub struct TkProcess {
+    name: String,
+    pid: Pid,
+    sma: Arc<Sma>,
+    channel: Arc<FlakyChannel>,
+    smd: Weak<Smd>,
+    traditional_pages: Mutex<usize>,
+    active: AtomicBool,
+}
+
+impl TkProcess {
+    /// Registers a new process with `smd`. When `tap` is given, every
+    /// budget-growth request is routed through it.
+    pub fn connect(smd: &Arc<Smd>, name: &str, tap: Option<Arc<dyn BudgetTap>>) -> Arc<Self> {
+        let cfg = SmaConfig::new(Arc::clone(&smd.config().machine), 0);
+        let sma = Sma::with_config(cfg);
+        let channel = FlakyChannel::new(Arc::clone(&sma));
+        // The daemon applies the registration grant through the channel.
+        let (pid, _grant) = smd.register(name, Arc::clone(&channel) as Arc<dyn ReclaimChannel>);
+        let source: Arc<dyn BudgetSource> = Arc::new(DaemonSource {
+            smd: Arc::downgrade(smd),
+            pid,
+        });
+        let source: Arc<dyn BudgetSource> = match tap {
+            Some(tap) => Arc::new(InterposedBudget::new(source, tap)),
+            None => source,
+        };
+        sma.set_budget_source(source);
+        Arc::new(TkProcess {
+            name: name.to_string(),
+            pid,
+            sma,
+            channel,
+            smd: Arc::downgrade(smd),
+            traditional_pages: Mutex::new(0),
+            active: AtomicBool::new(true),
+        })
+    }
+
+    /// The process's allocator (pass to SDS constructors).
+    pub fn sma(&self) -> &Arc<Sma> {
+        &self.sma
+    }
+
+    /// The daemon-assigned pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The registration name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fault-injectable reclaim channel.
+    pub fn channel(&self) -> &Arc<FlakyChannel> {
+        &self.channel
+    }
+
+    /// Whether the process is still registered (neither disconnected
+    /// nor shut down).
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Current modelled traditional footprint.
+    pub fn traditional_pages(&self) -> usize {
+        *self.traditional_pages.lock()
+    }
+
+    /// Voluntarily returns up to `pages` of unused budget to the
+    /// daemon. Returns the pages actually released.
+    pub fn release_slack(&self, pages: usize) -> SoftResult<usize> {
+        let Some(smd) = self.smd.upgrade() else {
+            return Err(SoftError::DaemonUnavailable);
+        };
+        let shed = self.sma.shrink_budget(pages);
+        if shed > 0 {
+            smd.release_pages(self.pid, shed)?;
+        }
+        Ok(shed)
+    }
+
+    /// Models this process's traditional (non-revocable) memory, as
+    /// the production client does: the delta is reserved/released on
+    /// the machine and reported to the daemon.
+    pub fn set_traditional_pages(&self, pages: usize) -> SoftResult<()> {
+        let machine = Arc::clone(self.sma.machine());
+        let mut current = self.traditional_pages.lock();
+        if pages > *current {
+            machine.reserve_traditional(pages - *current)?;
+        } else {
+            machine.release_traditional(*current - pages);
+        }
+        *current = pages;
+        if let Some(smd) = self.smd.upgrade() {
+            let _ = smd.report_traditional(self.pid, pages);
+        }
+        Ok(())
+    }
+
+    /// Simulates an abrupt crash: the reclaim channel goes dead and
+    /// the budget source is detached. The daemon reaps the account
+    /// lazily; the harness deregisters it explicitly at the next
+    /// checkpoint. Traditional memory stays reserved (a crashed
+    /// process's pages are recovered at teardown).
+    pub fn disconnect(&self) {
+        self.sma.clear_budget_source();
+        self.channel.kill();
+        self.active.store(false, Ordering::SeqCst);
+    }
+
+    /// Graceful teardown: detaches the budget source, deregisters from
+    /// the daemon (its budget returns to the pool), and releases
+    /// traditional memory. Idempotent.
+    pub fn shutdown(&self) {
+        self.sma.clear_budget_source();
+        self.active.store(false, Ordering::SeqCst);
+        if let Some(smd) = self.smd.upgrade() {
+            let _ = smd.deregister(self.pid);
+        }
+        let mut trad = self.traditional_pages.lock();
+        if *trad > 0 {
+            self.sma.machine().release_traditional(*trad);
+            *trad = 0;
+        }
+    }
+}
+
+impl Drop for TkProcess {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for TkProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TkProcess")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .field("budget_pages", &self.sma.budget_pages())
+            .field("held_pages", &self.sma.held_pages())
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softmem_core::{MachineMemory, Priority};
+    use softmem_daemon::SmdConfig;
+
+    fn setup() -> (Arc<MachineMemory>, Arc<Smd>) {
+        let machine = MachineMemory::new(256);
+        let smd = Smd::new(SmdConfig::new(&machine, 128).initial_budget(4));
+        (machine, smd)
+    }
+
+    #[test]
+    fn connect_grants_initial_budget_and_grows_on_demand() {
+        let (_machine, smd) = setup();
+        let p = TkProcess::connect(&smd, "a", None);
+        assert_eq!(p.sma().budget_pages(), 4);
+        let sds = p.sma().register_sds("s", Priority::default());
+        // 20 pages of data forces growth through the daemon source.
+        for _ in 0..20 {
+            p.sma().alloc_bytes(sds, 4096).unwrap();
+        }
+        assert!(p.sma().budget_pages() >= 20);
+        assert_eq!(
+            smd.stats().procs[0].usage.budget_pages,
+            p.sma().budget_pages(),
+            "daemon and SMA agree on the budget"
+        );
+    }
+
+    #[test]
+    fn disconnect_kills_the_channel_and_daemon_reaps() {
+        let (_machine, smd) = setup();
+        let a = TkProcess::connect(&smd, "a", None);
+        let b = TkProcess::connect(&smd, "b", None);
+        a.disconnect();
+        assert!(!a.channel().is_alive());
+        // b's next request reaps a's account.
+        smd.request_pages(b.pid(), 8).unwrap();
+        assert!(smd.stats().procs.iter().all(|p| p.pid != a.pid()));
+    }
+
+    #[test]
+    fn shutdown_returns_budget_and_traditional_memory() {
+        let (machine, smd) = setup();
+        let p = TkProcess::connect(&smd, "a", None);
+        p.set_traditional_pages(10).unwrap();
+        assert_eq!(machine.stats().traditional_pages, 10);
+        p.shutdown();
+        assert_eq!(machine.stats().traditional_pages, 0);
+        assert_eq!(smd.stats().assigned_pages, 0);
+    }
+}

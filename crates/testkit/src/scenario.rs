@@ -1,0 +1,581 @@
+//! The deterministic scenario runner.
+//!
+//! A scenario spawns N worker threads ("soft processes"), each driving
+//! its own [`TkProcess`] with a seeded RNG through a sequence of
+//! pressure phases. Phase boundaries are barrier-controlled: while
+//! every worker is parked, the main thread advances the simulation
+//! clock, applies planned chaos, and runs the machine-wide invariant
+//! checker over a quiescent stack.
+//!
+//! Determinism: each worker's operation stream is a pure function of
+//! `(seed, worker index)`, so the combined schedule hash — and, since
+//! the invariants are interleaving-independent, the verdict — is
+//! reproducible from the seed alone. Operation *outcomes* (a grant vs
+//! a denial) may differ between runs; the checked invariants hold
+//! either way, which is exactly what makes them invariants.
+
+use std::sync::{Arc, Barrier};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use softmem_core::{BudgetTap, MachineMemory, Priority};
+use softmem_daemon::{Smd, SmdConfig};
+use softmem_kv::Store;
+use softmem_sim::{SimClock, ZipfKeys};
+
+use crate::fault::{CadenceDenyHook, ChaosFault, FaultPlan, ScriptedTap};
+use crate::invariants::{CheckScope, InvariantFamily, Violation};
+use crate::pool::HandlePool;
+use crate::process::TkProcess;
+use crate::queue::CountedQueue;
+
+/// One pressure phase: how much work each worker does before the next
+/// barrier, and how far the virtual clock advances afterwards.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Operations each worker executes in this phase.
+    pub ops_per_worker: usize,
+    /// Virtual milliseconds the clock advances at the phase boundary.
+    pub advance_ms: u64,
+}
+
+/// Relative operation weights for a scenario's workload. A zero
+/// weight disables the operation.
+#[derive(Debug, Clone)]
+pub struct OpMix {
+    /// Pool insert (allocate + fill + track).
+    pub insert: u32,
+    /// Pool free-oldest.
+    pub remove: u32,
+    /// Pool live/stale probe.
+    pub probe: u32,
+    /// Queue push.
+    pub push: u32,
+    /// Queue pop.
+    pub pop: u32,
+    /// KV set/get with Zipf keys (requires `kv` on the spec).
+    pub kv: u32,
+    /// Voluntary budget-slack release to the daemon.
+    pub slack: u32,
+    /// Traditional-memory resize.
+    pub trad: u32,
+    /// Pool destroy + re-register (SDS churn).
+    pub recycle: u32,
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix {
+            insert: 6,
+            remove: 3,
+            probe: 3,
+            push: 4,
+            pop: 3,
+            kv: 0,
+            slack: 1,
+            trad: 0,
+            recycle: 0,
+        }
+    }
+}
+
+impl OpMix {
+    fn total(&self) -> u32 {
+        self.insert
+            + self.remove
+            + self.probe
+            + self.push
+            + self.pop
+            + self.kv
+            + self.slack
+            + self.trad
+            + self.recycle
+    }
+}
+
+/// A complete scenario description.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (printed in verdicts).
+    pub name: &'static str,
+    /// Worker/process count.
+    pub procs: usize,
+    /// Handle pools per process (≥ 1 so generation safety always has
+    /// subjects).
+    pub pools_per_proc: usize,
+    /// Physical pages on the modelled machine.
+    pub machine_pages: usize,
+    /// Soft-memory pages the daemon may assign.
+    pub capacity_pages: usize,
+    /// Registration-time budget grant.
+    pub initial_budget_pages: usize,
+    /// Upper bound for the traditional-memory resize op (pages).
+    pub trad_max_pages: usize,
+    /// Allocation size range for pool inserts (bytes).
+    pub alloc_bytes: (usize, usize),
+    /// Whether each process also runs a KV store.
+    pub kv: bool,
+    /// Operation weights.
+    pub mix: OpMix,
+    /// Pressure phases.
+    pub phases: Vec<Phase>,
+    /// Fault plan.
+    pub fault: FaultPlan,
+}
+
+impl ScenarioSpec {
+    /// A small, balanced baseline other scenarios customise.
+    pub fn baseline(name: &'static str) -> Self {
+        ScenarioSpec {
+            name,
+            procs: 3,
+            pools_per_proc: 1,
+            machine_pages: 512,
+            capacity_pages: 160,
+            initial_budget_pages: 8,
+            trad_max_pages: 0,
+            alloc_bytes: (128, 2048),
+            kv: false,
+            mix: OpMix::default(),
+            phases: vec![
+                Phase {
+                    ops_per_worker: 200,
+                    advance_ms: 1_000,
+                },
+                Phase {
+                    ops_per_worker: 200,
+                    advance_ms: 1_000,
+                },
+                Phase {
+                    ops_per_worker: 150,
+                    advance_ms: 1_000,
+                },
+            ],
+            fault: FaultPlan::none(),
+        }
+    }
+}
+
+/// The reproducible outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Scenario name.
+    pub scenario: String,
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// Order-independent hash of every worker's operation schedule.
+    pub schedule_hash: u64,
+    /// Invariant checkpoints executed (phases + quiesce).
+    pub checks: usize,
+    /// Total operations executed across workers.
+    pub ops_total: u64,
+    /// Allocation/insert failures (expected under pressure faults).
+    pub alloc_failures: u64,
+    /// Virtual milliseconds elapsed on the simulation clock.
+    pub sim_elapsed_ms: u64,
+    /// Every invariant violation observed.
+    pub violations: Vec<Violation>,
+}
+
+impl Verdict {
+    /// Whether no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The set of violated families.
+    pub fn violated_families(&self) -> std::collections::BTreeSet<InvariantFamily> {
+        self.violations.iter().map(|v| v.family).collect()
+    }
+
+    /// Panics with a reproduction-ready report if any invariant was
+    /// violated.
+    pub fn assert_clean(&self) {
+        assert!(self.is_clean(), "{self}");
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "scenario `{}` seed {:#x}: {}",
+            self.scenario,
+            self.seed,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} invariant violation(s)", self.violations.len())
+            }
+        )?;
+        writeln!(
+            f,
+            "  schedule {:#018x}, {} op(s), {} alloc failure(s), {} check(s), {} sim ms",
+            self.schedule_hash,
+            self.ops_total,
+            self.alloc_failures,
+            self.checks,
+            self.sim_elapsed_ms
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        if !self.is_clean() {
+            write!(
+                f,
+                "  reproduce with: run_scenario(&scenarios::by_name(\"{}\").unwrap(), {:#x})",
+                self.scenario, self.seed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// What each worker reports back to the runner.
+struct WorkerOut {
+    schedule_hash: u64,
+    ops: u64,
+    alloc_failures: u64,
+    gen_anomalies: u64,
+}
+
+struct WorkerCtx {
+    proc: Arc<TkProcess>,
+    pools: Vec<Arc<HandlePool>>,
+    queue: Arc<CountedQueue>,
+    store: Option<Arc<Store>>,
+    disconnect_phase: Option<usize>,
+}
+
+fn mix64(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x.wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+fn hash_step(h: u64, opcode: u64, param: u64) -> u64 {
+    (h ^ opcode.wrapping_add(param << 8)).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+fn worker_loop(
+    ctx: WorkerCtx,
+    spec: Arc<ScenarioSpec>,
+    seed: u64,
+    idx: usize,
+    barrier: Arc<Barrier>,
+) -> WorkerOut {
+    let mut rng = StdRng::seed_from_u64(mix64(seed, idx as u64 + 1));
+    let mut zipf = ZipfKeys::new(512, 1.05, mix64(seed, 0xE75 ^ (idx as u64)));
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325 ^ mix64(seed, (idx as u64) << 16);
+    let mut out = WorkerOut {
+        schedule_hash: 0,
+        ops: 0,
+        alloc_failures: 0,
+        gen_anomalies: 0,
+    };
+    let mut disconnected = false;
+    let (alloc_lo, alloc_hi) = spec.alloc_bytes;
+    let total_weight = spec.mix.total().max(1);
+
+    for (pi, phase) in spec.phases.iter().enumerate() {
+        barrier.wait();
+        if ctx.disconnect_phase == Some(pi) && !disconnected {
+            ctx.proc.disconnect();
+            disconnected = true;
+        }
+        if !disconnected {
+            for _ in 0..phase.ops_per_worker {
+                out.ops += 1;
+                let roll = rng.gen_range(0..total_weight);
+                let m = &spec.mix;
+                let mut edge = m.insert;
+                if roll < edge {
+                    let pool = &ctx.pools[rng.gen_range(0..ctx.pools.len())];
+                    let len = rng.gen_range(alloc_lo..=alloc_hi);
+                    let fill = rng.gen_range(0u32..256) as u8;
+                    hash = hash_step(hash, 1, (len as u64) ^ ((fill as u64) << 32));
+                    if pool.insert(len, fill).is_err() {
+                        out.alloc_failures += 1;
+                    }
+                    continue;
+                }
+                edge += m.remove;
+                if roll < edge {
+                    let pool = &ctx.pools[rng.gen_range(0..ctx.pools.len())];
+                    hash = hash_step(hash, 2, 0);
+                    pool.remove_oldest();
+                    continue;
+                }
+                edge += m.probe;
+                if roll < edge {
+                    let pool = &ctx.pools[rng.gen_range(0..ctx.pools.len())];
+                    let pick = rng.gen_range(0usize..1 << 16);
+                    hash = hash_step(hash, 3, pick as u64);
+                    out.gen_anomalies += pool.probe(pick);
+                    continue;
+                }
+                edge += m.push;
+                if roll < edge {
+                    let v: u64 = rng.gen_range(0..u64::MAX);
+                    hash = hash_step(hash, 4, v);
+                    if !ctx.queue.push(v) {
+                        out.alloc_failures += 1;
+                    }
+                    continue;
+                }
+                edge += m.pop;
+                if roll < edge {
+                    hash = hash_step(hash, 5, 0);
+                    ctx.queue.pop();
+                    continue;
+                }
+                edge += m.kv;
+                if roll < edge {
+                    if let Some(store) = &ctx.store {
+                        let key = format!("key:{:06}", zipf.next_key());
+                        if rng.gen_bool(0.6) {
+                            let len = rng.gen_range(32usize..512);
+                            hash = hash_step(hash, 6, len as u64);
+                            let value = vec![0x5A_u8; len];
+                            if store.set(key.as_bytes(), &value).is_err() {
+                                out.alloc_failures += 1;
+                            }
+                        } else {
+                            hash = hash_step(hash, 6, u64::MAX);
+                            let _ = store.get(key.as_bytes());
+                        }
+                    }
+                    continue;
+                }
+                edge += m.slack;
+                if roll < edge {
+                    let pages = rng.gen_range(1usize..=4);
+                    hash = hash_step(hash, 7, pages as u64);
+                    let _ = ctx.proc.release_slack(pages);
+                    continue;
+                }
+                edge += m.trad;
+                if roll < edge {
+                    let pages = rng.gen_range(0..=spec.trad_max_pages.max(1));
+                    hash = hash_step(hash, 8, pages as u64);
+                    let _ = ctx.proc.set_traditional_pages(pages);
+                    continue;
+                }
+                // recycle (remaining weight)
+                let pool = &ctx.pools[rng.gen_range(0..ctx.pools.len())];
+                hash = hash_step(hash, 9, 0);
+                pool.recycle();
+            }
+        }
+        barrier.wait();
+    }
+    out.schedule_hash = hash;
+    out
+}
+
+/// Runs `spec` with `seed`, returning the reproducible [`Verdict`].
+pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
+    let machine = MachineMemory::new(spec.machine_pages);
+    let smd = Smd::new(
+        SmdConfig::new(&machine, spec.capacity_pages).initial_budget(spec.initial_budget_pages),
+    );
+    if let Some(every) = spec.fault.deny_every {
+        smd.set_hook(Arc::new(CadenceDenyHook::new(every)));
+    }
+    let clock = SimClock::new();
+
+    let mut procs = Vec::with_capacity(spec.procs);
+    let mut pools = Vec::new();
+    let mut queues = Vec::new();
+    let mut stores: Vec<Arc<Store>> = Vec::new();
+    for w in 0..spec.procs {
+        let tap: Option<Arc<dyn BudgetTap>> = if spec.fault.budget_script.is_empty() {
+            None
+        } else {
+            Some(Arc::new(ScriptedTap::new(spec.fault.budget_script.clone())))
+        };
+        let proc = TkProcess::connect(&smd, &format!("{}-p{w}", spec.name), tap);
+        for k in 0..spec.pools_per_proc {
+            pools.push(HandlePool::new(
+                proc.sma(),
+                &format!("pool-{w}-{k}"),
+                Priority::new(1),
+            ));
+        }
+        queues.push(CountedQueue::new(
+            proc.sma(),
+            &format!("queue-{w}"),
+            Priority::new(2),
+            spec.fault.panic_callbacks,
+        ));
+        if spec.kv {
+            stores.push(Arc::new(Store::new(
+                proc.sma(),
+                &format!("kv-{w}"),
+                Priority::new(3),
+            )));
+        }
+        procs.push(proc);
+    }
+
+    let barrier = Arc::new(Barrier::new(spec.procs + 1));
+    let shared_spec = Arc::new(spec.clone());
+    let mut handles = Vec::with_capacity(spec.procs);
+    for w in 0..spec.procs {
+        let ctx = WorkerCtx {
+            proc: Arc::clone(&procs[w]),
+            pools: pools[w * spec.pools_per_proc..(w + 1) * spec.pools_per_proc].to_vec(),
+            queue: Arc::clone(&queues[w]),
+            store: stores.get(w).cloned(),
+            disconnect_phase: spec
+                .fault
+                .disconnects
+                .iter()
+                .find(|&&(ww, _)| ww == w)
+                .map(|&(_, p)| p),
+        };
+        let spec2 = Arc::clone(&shared_spec);
+        let barrier2 = Arc::clone(&barrier);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("{}-w{w}", spec.name))
+                .spawn(move || worker_loop(ctx, spec2, seed, w, barrier2))
+                .expect("spawn worker"),
+        );
+    }
+
+    let mut violations = Vec::new();
+    let mut checks = 0usize;
+    for (pi, phase) in spec.phases.iter().enumerate() {
+        barrier.wait(); // release workers into the phase
+        barrier.wait(); // wait for every worker to finish it
+        clock.advance(phase.advance_ms);
+        // Reap processes that disconnected during this phase (their
+        // connection "closed"; the daemon would reap them lazily, the
+        // harness does it deterministically).
+        for &(w, p) in &spec.fault.disconnects {
+            if p == pi {
+                let _ = smd.deregister(procs[w].pid());
+            }
+        }
+        if let Some((fault, at)) = spec.fault.chaos {
+            if at == pi {
+                apply_chaos(fault, &machine, &procs, &pools, &queues);
+            }
+        }
+        let scope = CheckScope {
+            machine: &machine,
+            smd: &smd,
+            procs: &procs,
+            pools: &pools,
+            queues: &queues,
+        };
+        violations.extend(scope.check_all(&format!("after phase {pi}")));
+        checks += 1;
+    }
+
+    let outs: Vec<WorkerOut> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker panicked"))
+        .collect();
+
+    // Quiesce: one more full check with everything still alive…
+    let scope = CheckScope {
+        machine: &machine,
+        smd: &smd,
+        procs: &procs,
+        pools: &pools,
+        queues: &queues,
+    };
+    violations.extend(scope.check_all("quiesce"));
+    checks += 1;
+
+    // …then tear the world down and verify nothing leaks through.
+    for out in &outs {
+        if out.gen_anomalies > 0 {
+            violations.push(Violation {
+                family: InvariantFamily::GenerationSafety,
+                at: "during ops".to_string(),
+                detail: format!(
+                    "{} generation anomaly(ies) observed by worker probes",
+                    outs.iter().map(|o| o.gen_anomalies).sum::<u64>()
+                ),
+            });
+            break;
+        }
+    }
+    drop(stores);
+    drop(queues);
+    drop(pools);
+    for proc in &procs {
+        proc.shutdown();
+    }
+    let assigned = smd.stats().assigned_pages;
+    if assigned != 0 {
+        violations.push(Violation {
+            family: InvariantFamily::BudgetConservation,
+            at: "teardown".to_string(),
+            detail: format!("{assigned} budget page(s) still assigned after every deregistration"),
+        });
+    }
+    drop(procs);
+    let ms = machine.stats();
+    if ms.used_pages != 0 {
+        violations.push(Violation {
+            family: InvariantFamily::MachinePages,
+            at: "teardown".to_string(),
+            detail: format!("machine still shows {} used page(s)", ms.used_pages),
+        });
+    }
+    if ms.traditional_pages != 0 {
+        violations.push(Violation {
+            family: InvariantFamily::MachinePages,
+            at: "teardown".to_string(),
+            detail: format!(
+                "machine still shows {} traditional page(s)",
+                ms.traditional_pages
+            ),
+        });
+    }
+
+    Verdict {
+        scenario: spec.name.to_string(),
+        seed,
+        schedule_hash: outs.iter().fold(0u64, |acc, o| acc ^ o.schedule_hash),
+        checks,
+        ops_total: outs.iter().map(|o| o.ops).sum(),
+        alloc_failures: outs.iter().map(|o| o.alloc_failures).sum(),
+        sim_elapsed_ms: clock.now_ms(),
+        violations,
+    }
+}
+
+fn apply_chaos(
+    fault: ChaosFault,
+    machine: &Arc<MachineMemory>,
+    procs: &[Arc<TkProcess>],
+    pools: &[Arc<HandlePool>],
+    queues: &[Arc<CountedQueue>],
+) {
+    match fault {
+        ChaosFault::LeakMachinePages(pages) => {
+            machine
+                .reserve(pages)
+                .expect("chaos leak needs machine headroom; size the scenario accordingly");
+        }
+        ChaosFault::ForgeBudget(pages) => {
+            procs[0].sma().grow_budget(pages);
+        }
+        ChaosFault::ZombieHandle => {
+            // A pool may momentarily be empty; zombify the first that
+            // has a live handle.
+            let injected = pools.iter().any(|p| p.inject_zombie());
+            assert!(injected, "no live handle to zombify; raise insert weight");
+        }
+        ChaosFault::StealthQueueOp => {
+            queues[0].inject_stealth_op();
+        }
+    }
+}

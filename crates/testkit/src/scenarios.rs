@@ -1,0 +1,278 @@
+//! The named scenario registry.
+//!
+//! Benign scenarios must produce a clean verdict for every seed; chaos
+//! scenarios deliberately break exactly one invariant family and must
+//! be *caught* — they prove the checker can fail.
+
+use softmem_core::BudgetFault;
+
+use crate::fault::{ChaosFault, FaultPlan};
+use crate::invariants::InvariantFamily;
+use crate::scenario::{OpMix, Phase, ScenarioSpec};
+
+/// Light load, no pressure: the harness itself must not invent
+/// violations.
+pub fn quiet_queues() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("quiet_queues");
+    s.capacity_pages = 256;
+    s.initial_budget_pages = 16;
+    s.mix = OpMix {
+        insert: 2,
+        remove: 1,
+        probe: 2,
+        push: 6,
+        pop: 5,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// SDS destroy/re-register churn while allocations continue.
+pub fn register_release_churn() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("register_release_churn");
+    s.pools_per_proc = 2;
+    s.mix = OpMix {
+        insert: 6,
+        remove: 2,
+        probe: 3,
+        recycle: 2,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// Budgets far below demand: every worker hammers the daemon and each
+/// grant forces reclamation from a peer.
+pub fn demand_storm() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("demand_storm");
+    s.procs = 4;
+    s.capacity_pages = 96;
+    s.initial_budget_pages = 4;
+    s.alloc_bytes = (1024, 4096);
+    s.mix = OpMix {
+        insert: 10,
+        remove: 2,
+        probe: 2,
+        push: 4,
+        pop: 1,
+        slack: 1,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// Grants racing reclamation: tight capacity plus voluntary slack
+/// releases and traditional-memory churn.
+pub fn grant_vs_reclaim_race() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("grant_vs_reclaim_race");
+    s.procs = 4;
+    s.capacity_pages = 80;
+    s.initial_budget_pages = 4;
+    s.trad_max_pages = 6;
+    s.alloc_bytes = (2048, 4096);
+    s.mix = OpMix {
+        insert: 8,
+        remove: 3,
+        probe: 2,
+        push: 3,
+        pop: 2,
+        slack: 3,
+        trad: 2,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// Every queue's reclaim callback panics; reclamation (and its
+/// accounting) must survive anyway.
+pub fn callback_panic_storm() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("callback_panic_storm");
+    s.procs = 4;
+    s.capacity_pages = 96;
+    s.initial_budget_pages = 4;
+    s.mix = OpMix {
+        insert: 6,
+        remove: 2,
+        probe: 2,
+        push: 8,
+        pop: 2,
+        ..OpMix::default()
+    };
+    s.fault.panic_callbacks = true;
+    s
+}
+
+/// A KV store per process under memory pressure, Zipf-distributed
+/// keys.
+pub fn kv_under_pressure() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("kv_under_pressure");
+    s.kv = true;
+    s.capacity_pages = 96;
+    s.initial_budget_pages = 4;
+    s.mix = OpMix {
+        insert: 3,
+        remove: 1,
+        probe: 2,
+        push: 2,
+        pop: 1,
+        kv: 8,
+        slack: 1,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// The daemon forcibly denies every 5th budget request.
+pub fn denial_wave() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("denial_wave");
+    s.procs = 4;
+    s.initial_budget_pages = 4;
+    s.fault.deny_every = Some(5);
+    s
+}
+
+/// Every other grant reply is dropped on the floor after the daemon
+/// applied it — the classic lost-reply double-accounting trap.
+pub fn dropped_grant() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("dropped_grant");
+    s.initial_budget_pages = 4;
+    s.fault.budget_script = vec![BudgetFault::PassThrough, BudgetFault::DropReply];
+    s
+}
+
+/// Grant replies are delayed while peers keep mutating.
+pub fn delayed_grant() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("delayed_grant");
+    s.initial_budget_pages = 4;
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 80,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 80,
+            advance_ms: 1_000,
+        },
+    ];
+    s.fault.budget_script = vec![BudgetFault::DelayMs(1), BudgetFault::PassThrough];
+    s
+}
+
+/// Processes disconnect abruptly mid-run; the daemon reaps them and
+/// the survivors' accounting must stay exact.
+pub fn disconnect_churn() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("disconnect_churn");
+    s.procs = 4;
+    s.initial_budget_pages = 4;
+    s.fault.disconnects = vec![(1, 1), (3, 2)];
+    s
+}
+
+/// CHAOS: machine pages leak behind the allocators' backs.
+pub fn chaos_leak_machine_pages() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("chaos_leak_machine_pages");
+    s.fault.chaos = Some((ChaosFault::LeakMachinePages(7), 1));
+    s
+}
+
+/// CHAOS: a forged grant inflates one SMA's budget with no daemon
+/// assignment behind it (the tap also forges, so the budget path
+/// itself is corrupt).
+pub fn chaos_forged_grant() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("chaos_forged_grant");
+    s.fault.chaos = Some((ChaosFault::ForgeBudget(9), 1));
+    s
+}
+
+/// CHAOS: a live handle is marked stale without revocation.
+pub fn chaos_zombie_handle() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("chaos_zombie_handle");
+    s.mix.insert = 10; // keep live handles plentiful for the zombify
+    s.fault.chaos = Some((ChaosFault::ZombieHandle, 1));
+    s
+}
+
+/// CHAOS: a queue element moves without its counters noticing.
+pub fn chaos_stealth_pop() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("chaos_stealth_pop");
+    s.mix.push = 10;
+    s.fault.chaos = Some((ChaosFault::StealthQueueOp, 1));
+    s
+}
+
+/// Every benign scenario (clean verdict expected for any seed).
+pub fn benign() -> Vec<ScenarioSpec> {
+    vec![
+        quiet_queues(),
+        register_release_churn(),
+        demand_storm(),
+        grant_vs_reclaim_race(),
+        callback_panic_storm(),
+        kv_under_pressure(),
+        denial_wave(),
+        dropped_grant(),
+        delayed_grant(),
+        disconnect_churn(),
+    ]
+}
+
+/// Every chaos scenario with the family its fault must trip.
+pub fn chaos() -> Vec<(ScenarioSpec, InvariantFamily)> {
+    [
+        chaos_leak_machine_pages(),
+        chaos_forged_grant(),
+        chaos_zombie_handle(),
+        chaos_stealth_pop(),
+    ]
+    .into_iter()
+    .map(|s| {
+        let family = s.fault.chaos.expect("chaos scenario").0.target_family();
+        (s, family)
+    })
+    .collect()
+}
+
+/// Looks a scenario up by name across both registries.
+pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+    benign()
+        .into_iter()
+        .chain(chaos().into_iter().map(|(s, _)| s))
+        .find(|s| s.name == name)
+}
+
+/// Ensures `FaultPlan::none()` really is the empty plan (guards the
+/// registry's baseline assumption).
+pub fn baseline_is_fault_free() -> bool {
+    let f = FaultPlan::none();
+    f.budget_script.is_empty()
+        && f.deny_every.is_none()
+        && f.disconnects.is_empty()
+        && !f.panic_callbacks
+        && f.chaos.is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = benign().iter().map(|s| s.name).collect();
+        names.extend(chaos().iter().map(|(s, _)| s.name));
+        let count = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), count, "duplicate scenario name");
+        for name in names {
+            assert!(by_name(name).is_some(), "{name} not resolvable");
+        }
+        assert!(by_name("no_such_scenario").is_none());
+        assert!(baseline_is_fault_free());
+    }
+
+    #[test]
+    fn chaos_scenarios_cover_all_four_families() {
+        let families: std::collections::BTreeSet<_> = chaos().into_iter().map(|(_, f)| f).collect();
+        assert_eq!(families.len(), 4);
+    }
+}

@@ -2,9 +2,13 @@
 //! allocations, frees, and reclamations may break the accounting
 //! invariants or produce an unsafe handle.
 
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
 use proptest::prelude::*;
 
-use softmem::core::{Priority, Sma, SmaConfig, SoftError, SoftHandle};
+use softmem::core::{Priority, SdsReclaimer, Sma, SmaConfig, SoftError, SoftHandle};
 
 /// One scripted allocator operation.
 #[derive(Debug, Clone)]
@@ -20,6 +24,46 @@ enum Op {
 }
 
 const N_SDS: u8 = 3;
+
+/// Ops for the page-conservation property (which needs its own enum:
+/// its reclaimer really does take live allocations).
+#[derive(Debug, Clone)]
+enum PcOp {
+    Alloc(usize),
+    Free(usize),
+    Reclaim(usize),
+}
+
+/// A tier-3 reclaimer mirroring the shipped SDSs: oldest-first, frees
+/// through the SMA, retains the revoked handles for stale probing.
+struct OldestFirstReclaimer {
+    sma: Weak<Sma>,
+    live: Weak<Mutex<VecDeque<SoftHandle>>>,
+    stale: Weak<Mutex<Vec<SoftHandle>>>,
+}
+
+impl SdsReclaimer for OldestFirstReclaimer {
+    fn reclaim(&self, bytes: usize) -> usize {
+        let (Some(sma), Some(live), Some(stale)) = (
+            self.sma.upgrade(),
+            self.live.upgrade(),
+            self.stale.upgrade(),
+        ) else {
+            return 0;
+        };
+        let mut freed = 0usize;
+        let mut l = live.lock();
+        while freed < bytes {
+            let Some(h) = l.pop_front() else { break };
+            let len = h.len().max(1);
+            if sma.free_bytes(h).is_ok() {
+                freed += len;
+            }
+            stale.lock().push(h);
+        }
+        freed
+    }
+}
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
@@ -101,6 +145,88 @@ proptest! {
         prop_assert_eq!(stats.live_bytes, 0);
         prop_assert_eq!(stats.live_allocs, 0);
         prop_assert_eq!(stats.allocs_total, stats.frees_total);
+    }
+
+    #[test]
+    fn page_conservation_survives_live_reclamation(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                5 => (1usize..6000).prop_map(PcOp::Alloc),
+                3 => any::<usize>().prop_map(PcOp::Free),
+                2 => (1usize..24).prop_map(PcOp::Reclaim),
+            ],
+            1..120,
+        ),
+    ) {
+        // Unlike `accounting_never_drifts`, this SDS registers a *real*
+        // tier-3 reclaimer, so `reclaim` digs into live allocations —
+        // the interleaving the testkit scenarios stress with many
+        // threads, checked here exhaustively on one.
+        let sma = Sma::with_config(
+            SmaConfig::for_testing(512)
+                .free_pool_retain(2)
+                .sds_retain(1),
+        );
+        let machine = Arc::clone(sma.machine());
+        let sds = sma.register_sds("pool", Priority::default());
+        let live: Arc<Mutex<VecDeque<SoftHandle>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let stale: Arc<Mutex<Vec<SoftHandle>>> = Arc::new(Mutex::new(Vec::new()));
+        sma.set_reclaimer(
+            sds,
+            Arc::new(OldestFirstReclaimer {
+                sma: Arc::downgrade(&sma),
+                live: Arc::downgrade(&live),
+                stale: Arc::downgrade(&stale),
+            }),
+        )
+        .expect("freshly registered SDS");
+
+        for op in ops {
+            match op {
+                PcOp::Alloc(size) => {
+                    if let Ok(h) = sma.alloc_bytes(sds, size) {
+                        live.lock().push_back(h);
+                    }
+                }
+                PcOp::Free(idx) => {
+                    let mut l = live.lock();
+                    if l.is_empty() { continue; }
+                    let at = idx % l.len();
+                    let h = l.remove(at).expect("index in range");
+                    drop(l);
+                    sma.free_bytes(h).expect("handle is live");
+                    stale.lock().push(h);
+                }
+                PcOp::Reclaim(pages) => {
+                    sma.reclaim(pages);
+                }
+            }
+            // Page conservation: the machine's used pages are exactly
+            // this (sole) allocator's held pages, every op.
+            let stats = sma.stats();
+            prop_assert_eq!(stats.held_pages, machine.stats().used_pages);
+            prop_assert!(stats.held_pages * 4096 >= stats.live_bytes);
+            // Generation safety rides along: reclaimed-or-freed handles
+            // never resolve.
+            for h in stale.lock().iter() {
+                prop_assert!(matches!(
+                    sma.with_bytes(h, |_| ()).unwrap_err(),
+                    SoftError::Revoked | SoftError::InvalidHandle
+                ));
+            }
+            // Live handles always do.
+            for h in live.lock().iter() {
+                prop_assert!(sma.with_bytes(h, |b| b.len()).is_ok());
+            }
+        }
+        // Teardown conserves too: free everything, drop the allocator,
+        // and the machine must read zero.
+        for h in live.lock().drain(..) {
+            sma.free_bytes(h).expect("handle is live");
+        }
+        prop_assert_eq!(sma.stats().live_bytes, 0);
+        drop(sma);
+        prop_assert_eq!(machine.stats().used_pages, 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 use softmem::core::{Priority, Sma};
 use softmem::sds::{
-    SoftContainer, SoftHashMap, SoftLinkedList, SoftLruCache, SoftSortedMap, SoftVec,
+    ReclaimEnd, SoftContainer, SoftHashMap, SoftLinkedList, SoftLruCache, SoftSortedMap, SoftVec,
 };
 
 #[derive(Debug, Clone)]
@@ -167,6 +167,117 @@ proptest! {
         let collected = map.range_collect(..);
         let expected: Vec<(u8, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
         prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn sorted_map_evicts_only_from_its_chosen_end(
+        keys in proptest::collection::btree_set(any::<u8>(), 2..60),
+        evict_bytes in 1usize..200,
+        largest_end in any::<bool>(),
+    ) {
+        let sma = Sma::standalone(1 << 14);
+        let end = if largest_end { ReclaimEnd::Largest } else { ReclaimEnd::Smallest };
+        let map: SoftSortedMap<u8, u16> =
+            SoftSortedMap::with_reclaim_end(&sma, "m", Priority::default(), end);
+        let evicted: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&evicted);
+        map.set_reclaim_callback(move |k: &u8, _v: &u16| sink.lock().push(*k));
+        for &k in &keys {
+            map.insert(k, k as u16).expect("budget");
+        }
+        map.reclaim_now(evict_bytes);
+        let ev = evicted.lock();
+        // The eviction sequence walks monotonically inward from the
+        // chosen end…
+        for w in ev.windows(2) {
+            if largest_end {
+                prop_assert!(w[0] > w[1], "largest-end eviction went backwards: {:?}", *ev);
+            } else {
+                prop_assert!(w[0] < w[1], "smallest-end eviction went backwards: {:?}", *ev);
+            }
+        }
+        // …and is exactly the outermost |ev| keys — never an interior
+        // key while an outer one survives.
+        let sorted: Vec<u8> = keys.iter().copied().collect();
+        let expected: Vec<u8> = if largest_end {
+            sorted.iter().rev().take(ev.len()).copied().collect()
+        } else {
+            sorted.iter().take(ev.len()).copied().collect()
+        };
+        prop_assert_eq!(&*ev, &expected);
+        prop_assert_eq!(map.len(), keys.len() - ev.len());
+        // Survivors are intact and the map still answers exactly.
+        for &k in sorted.iter().filter(|k| !ev.contains(k)) {
+            prop_assert_eq!(map.get(&k), Some(k as u16));
+        }
+    }
+
+    #[test]
+    fn lru_counters_are_exact_and_monotone_and_evictions_lru_first(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                4 => any::<u8>().prop_map(|k| ("insert", k)),
+                4 => any::<u8>().prop_map(|k| ("get", k)),
+                1 => any::<u8>().prop_map(|k| ("remove", k)),
+                1 => any::<u8>().prop_map(|k| ("reclaim", k)),
+            ],
+            1..150,
+        ),
+    ) {
+        let sma = Sma::standalone(1 << 14);
+        let cache: SoftLruCache<u8, u64> = SoftLruCache::new(&sma, "c", Priority::default());
+        let evicted: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&evicted);
+        cache.set_reclaim_callback(move |k: &u8, _v: &u64| sink.lock().push(*k));
+        // Model: recency order, front = least recently used.
+        let mut order: Vec<u8> = Vec::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let (mut prev_hits, mut prev_misses) = (0u64, 0u64);
+        for (op, k) in ops {
+            match op {
+                "insert" => {
+                    cache.insert(k, k as u64).expect("budget");
+                    order.retain(|&x| x != k);
+                    order.push(k);
+                }
+                "get" => {
+                    let got = cache.get(&k);
+                    if let Some(pos) = order.iter().position(|&x| x == k) {
+                        hits += 1;
+                        let k = order.remove(pos);
+                        order.push(k);
+                        prop_assert_eq!(got, Some(k as u64));
+                    } else {
+                        misses += 1;
+                        prop_assert_eq!(got, None);
+                    }
+                }
+                "remove" => {
+                    let got = cache.remove(&k);
+                    prop_assert_eq!(got.is_some(), order.contains(&k));
+                    order.retain(|&x| x != k);
+                }
+                _ => {
+                    // Evict up to k/32 entries (8 bytes per u64 value).
+                    evicted.lock().clear();
+                    cache.reclaim_now((k as usize / 32) * 8);
+                    let ev = std::mem::take(&mut *evicted.lock());
+                    // Strictly LRU-first: the evicted run is exactly the
+                    // model's least-recent prefix.
+                    prop_assert_eq!(&ev[..], &order[..ev.len()]);
+                    order.drain(..ev.len());
+                }
+            }
+            let s = cache.cache_stats();
+            prop_assert_eq!((s.hits, s.misses), (hits, misses));
+            prop_assert!(
+                s.hits >= prev_hits && s.misses >= prev_misses,
+                "hit/miss counters went backwards"
+            );
+            prev_hits = s.hits;
+            prev_misses = s.misses;
+            prop_assert_eq!(cache.len(), order.len());
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! KV server or the unix-socket daemon — only produce error replies.
 
 use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 
 use proptest::prelude::*;
@@ -9,7 +10,7 @@ use proptest::prelude::*;
 use softmem::core::{MachineMemory, Priority, Sma};
 use softmem::daemon::uds::UdsSmdServer;
 use softmem::daemon::{Smd, SmdConfig};
-use softmem::kv::{Command, Store};
+use softmem::kv::{Command, KvServer, Response, Store, TcpFrontend};
 
 /// Printable-ish junk lines (no newlines — the framing layer splits
 /// on them anyway).
@@ -46,6 +47,151 @@ proptest! {
         // The store remains consistent and usable.
         store.set(b"sentinel", b"alive").expect("budget");
         prop_assert_eq!(store.get(b"sentinel"), Some(b"alive".to_vec()));
+    }
+}
+
+/// Starts a TCP-fronted KV server and returns a raw client stream
+/// (bypassing `TcpKvClient` so tests control framing byte by byte).
+fn raw_tcp_server() -> (Sma2, KvServer, TcpFrontend, TcpStream) {
+    let sma = Sma::standalone(512);
+    let store = Store::new(&sma, "kv", Priority::default());
+    let server = KvServer::start(store);
+    let frontend = TcpFrontend::bind(server.handle()).expect("bind");
+    let stream = TcpStream::connect(frontend.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    (sma, server, frontend, stream)
+}
+
+type Sma2 = std::sync::Arc<Sma>;
+
+/// A scripted exchange whose per-command replies are known up front.
+/// Every reply here is a single line, so reply framing is trivial to
+/// check: one line back per command, in order.
+fn scripted_commands(n: usize) -> (Vec<u8>, Vec<String>) {
+    let mut wire = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..n {
+        let (cmd, reply) = match i % 5 {
+            0 => (format!("SET k{i} value-{i}"), "+OK".to_string()),
+            1 => ("PING".to_string(), "+PONG".to_string()),
+            2 => (format!("GET k{}", i - 2), format!("$value-{}", i - 2)),
+            3 => (format!("EXISTS k{}", i - 3), ":1".to_string()),
+            _ => ("DEL nothing-here".to_string(), ":0".to_string()),
+        };
+        wire.extend_from_slice(cmd.as_bytes());
+        wire.push(b'\n');
+        expected.push(reply);
+    }
+    (wire, expected)
+}
+
+#[test]
+fn tcp_pipelined_frames_are_answered_in_order() {
+    let (_sma, server, _frontend, mut stream) = raw_tcp_server();
+    let (wire, expected) = scripted_commands(40);
+    // The whole pipeline in one write: the server must frame on
+    // newlines, not on read boundaries.
+    stream.write_all(&wire).expect("write pipeline");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for (i, want) in expected.iter().enumerate() {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        assert_eq!(reply.trim_end(), want, "reply #{i} out of order");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tcp_partial_single_byte_writes_still_frame_correctly() {
+    let (_sma, server, _frontend, mut stream) = raw_tcp_server();
+    let (wire, expected) = scripted_commands(10);
+    // Worst-case fragmentation: every byte is its own segment. The
+    // server sees arbitrary partial reads and must reassemble lines.
+    for (i, &b) in wire.iter().enumerate() {
+        stream.write_all(&[b]).expect("write byte");
+        if i % 7 == 0 {
+            stream.flush().expect("flush");
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for (i, want) in expected.iter().enumerate() {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        assert_eq!(reply.trim_end(), want, "reply #{i} mangled by split frames");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tcp_half_frame_then_disconnect_does_not_wedge_the_server() {
+    let (_sma, server, frontend, mut stream) = raw_tcp_server();
+    // A command with no terminating newline, then a hard disconnect:
+    // the unfinished frame must be dropped, not executed or replayed.
+    stream.write_all(b"SET orphan half-a-fra").expect("write");
+    drop(stream);
+    // The server keeps serving fresh connections…
+    let mut stream2 = TcpStream::connect(frontend.addr()).expect("reconnect");
+    stream2.write_all(b"DBSIZE\n").expect("write");
+    let mut reader = BufReader::new(stream2.try_clone().expect("clone"));
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    // …and the orphaned half-frame was never executed.
+    assert_eq!(reply.trim_end(), ":0", "half frame must not execute");
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any chunking of the pipelined byte stream — splits may land
+    /// mid-verb, mid-key, or between frames — yields byte-identical
+    /// replies in command order.
+    #[test]
+    fn tcp_replies_are_invariant_under_arbitrary_frame_splits(
+        n_cmds in 4usize..24,
+        cuts in proptest::collection::btree_set(1usize..300, 0..12),
+    ) {
+        let (_sma, server, _frontend, mut stream) = raw_tcp_server();
+        let (wire, expected) = scripted_commands(n_cmds);
+        let mut at = 0usize;
+        for &cut in cuts.iter().filter(|&&c| c < wire.len()) {
+            stream.write_all(&wire[at..cut]).expect("write chunk");
+            stream.flush().expect("flush");
+            at = cut;
+        }
+        stream.write_all(&wire[at..]).expect("write tail");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        for (i, want) in expected.iter().enumerate() {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("read reply");
+            prop_assert_eq!(reply.trim_end(), want.as_str(), "reply #{} differs under split", i);
+        }
+        server.shutdown();
+    }
+
+    /// `Response::decode` must survive truncated multi-line (array)
+    /// frames — the partial-read case one layer up.
+    #[test]
+    fn response_decode_handles_truncated_arrays(
+        items in proptest::collection::vec(
+            proptest::collection::vec(proptest::char::range('a', 'z'), 1..9)
+                .prop_map(|cs| cs.into_iter().collect::<String>()),
+            0..6,
+        ),
+        keep in 0usize..8,
+    ) {
+        let full = Response::Array(items.iter().map(|s| s.as_bytes().to_vec()).collect()).encode();
+        let lines: Vec<&str> = full.lines().collect();
+        let keep = keep.min(lines.len());
+        let truncated = lines[..keep].join("\n");
+        match Response::decode(&truncated) {
+            // Complete prefix (or benign re-parse): must round-trip…
+            Ok(Response::Array(got)) => prop_assert_eq!(got.len(), items.len()),
+            Ok(other) => prop_assert!(keep == 0 || items.is_empty(), "unexpected: {:?}", other),
+            // …anything else must be a clean error, never a panic.
+            Err(_) => {}
+        }
     }
 }
 

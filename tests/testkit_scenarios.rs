@@ -1,0 +1,99 @@
+//! The deterministic concurrency-stress sweep.
+//!
+//! `cargo test -q` runs every named scenario over a fixed seed set.
+//! Benign scenarios must come back clean; chaos scenarios deliberately
+//! break exactly one invariant family and must be caught — proving the
+//! checker can fail. A failing verdict's panic message prints the
+//! scenario name and seed needed to replay it (see TESTING.md).
+//!
+//! Widen the sweep with `SOFTMEM_SWEEP_SEEDS=n` (CI sets a larger
+//! value than the local default).
+
+use softmem_testkit::{run_scenario, scenarios, InvariantFamily};
+
+/// The fixed seed set every `cargo test` run sweeps.
+const FIXED_SEEDS: &[u64] = &[0x5EED_0001, 0xDEAD_BEEF, 0x0B5E_55ED];
+
+fn sweep_seeds() -> Vec<u64> {
+    let extra = std::env::var("SOFTMEM_SWEEP_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let mut seeds = FIXED_SEEDS.to_vec();
+    // Derived deterministically so CI's wider sweep is reproducible too.
+    seeds.extend((0..extra).map(|i| 0x9E37_79B9u64.wrapping_mul(i + 1) ^ 0x5EED));
+    seeds
+}
+
+#[test]
+fn benign_scenarios_sweep_clean() {
+    for spec in scenarios::benign() {
+        for &seed in &sweep_seeds() {
+            run_scenario(&spec, seed).assert_clean();
+        }
+    }
+}
+
+#[test]
+fn chaos_scenarios_trip_their_target_family() {
+    for (spec, family) in scenarios::chaos() {
+        let verdict = run_scenario(&spec, FIXED_SEEDS[0]);
+        assert!(
+            !verdict.is_clean(),
+            "chaos scenario `{}` should have tripped {family}",
+            spec.name
+        );
+        assert!(
+            verdict.violated_families().contains(&family),
+            "chaos scenario `{}` tripped {:?}, expected {family}",
+            spec.name,
+            verdict.violated_families()
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_schedule_and_verdict() {
+    let spec = scenarios::demand_storm();
+    let a = run_scenario(&spec, 0xC0FFEE);
+    let b = run_scenario(&spec, 0xC0FFEE);
+    assert_eq!(
+        a.schedule_hash, b.schedule_hash,
+        "schedule not reproducible"
+    );
+    assert_eq!(a.ops_total, b.ops_total);
+    assert_eq!(a.is_clean(), b.is_clean());
+    assert_eq!(a.violated_families(), b.violated_families());
+    // A different seed must drive a different schedule.
+    let c = run_scenario(&spec, 0xC0FFEF);
+    assert_ne!(a.schedule_hash, c.schedule_hash);
+}
+
+#[test]
+fn chaos_verdicts_are_reproducible_too() {
+    let spec = scenarios::chaos_zombie_handle();
+    let a = run_scenario(&spec, FIXED_SEEDS[1]);
+    let b = run_scenario(&spec, FIXED_SEEDS[1]);
+    assert_eq!(a.schedule_hash, b.schedule_hash);
+    assert_eq!(a.violated_families(), b.violated_families());
+    assert_eq!(
+        a.violated_families(),
+        [InvariantFamily::GenerationSafety].into_iter().collect()
+    );
+}
+
+#[test]
+fn failing_verdict_prints_seed_and_scenario() {
+    let spec = scenarios::chaos_stealth_pop();
+    let verdict = run_scenario(&spec, 0xABCD);
+    assert!(!verdict.is_clean());
+    let report = verdict.to_string();
+    assert!(
+        report.contains("chaos_stealth_pop") && report.contains("0xabcd"),
+        "replay info missing from report:\n{report}"
+    );
+    assert!(
+        report.contains("run_scenario"),
+        "report should tell the reader how to reproduce:\n{report}"
+    );
+}
