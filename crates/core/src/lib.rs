@@ -55,7 +55,7 @@ pub use config::SmaConfig;
 pub use error::{SoftError, SoftResult};
 pub use handle::{Priority, RawHandle, SdsId, SoftHandle, SoftSlot};
 pub use page::{MachineMemory, PAGE_SIZE};
-pub use sma::{ReclaimReport, SdsReclaimer, SdsStats, Sma, MAX_ALLOC_BYTES};
+pub use sma::{ReclaimReport, SdsReclaimer, SdsStats, Sma, SmaMetrics, MAX_ALLOC_BYTES};
 pub use stats::SmaStats;
 
 /// Converts a byte count to the number of 4 KiB pages needed to hold it.

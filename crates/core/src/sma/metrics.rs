@@ -1,0 +1,109 @@
+//! The SMA's telemetry registry.
+//!
+//! Every [`super::Sma`] owns one [`SmaMetrics`]: lock-free mirrors of
+//! the allocator's monotonic counters, gauges synced under the SMA
+//! lock at the end of every mutating operation, and latency
+//! histograms. The testkit's metrics-consistency invariant family
+//! cross-checks the mirrors against [`crate::stats::SmaStats`] ground
+//! truth, so these numbers are certified rather than decorative.
+//!
+//! Hot-path cost: the alloc/free paths bump one counter and sync four
+//! relaxed gauges; latency is timed one call in
+//! [`softmem_telemetry::SAMPLE_EVERY`]. Reclamation and SDS callbacks
+//! are rare, so they are timed on every call.
+
+use std::sync::Arc;
+
+use softmem_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
+
+use super::SmaInner;
+
+/// The allocator's metric set (registry label `sma`).
+pub struct SmaMetrics {
+    registry: Registry,
+    /// Allocation attempts (`alloc_bytes` / `alloc_value` calls).
+    pub allocs_total: Arc<Counter>,
+    /// Allocations that failed after budget retries.
+    pub alloc_failures_total: Arc<Counter>,
+    /// Frees (explicit, take-outs, and reclaimer-driven).
+    pub frees_total: Arc<Counter>,
+    /// Mirror of `SmaStats::reclaims_total`.
+    pub reclaims_total: Arc<Counter>,
+    /// Mirror of `SmaStats::pages_reclaimed_total`.
+    pub pages_reclaimed_total: Arc<Counter>,
+    /// Mirror of `SmaStats::budget_granted_total`.
+    pub budget_granted_total: Arc<Counter>,
+    /// SDS reclaim callbacks invoked (tier-3 rounds).
+    pub sds_callbacks_total: Arc<Counter>,
+    /// Sampled allocation latency (ns), including budget round-trips.
+    pub alloc_ns: Arc<Histogram>,
+    /// Sampled free latency (ns).
+    pub free_ns: Arc<Histogram>,
+    /// Full-reclamation latency (ns), all tiers.
+    pub reclaim_ns: Arc<Histogram>,
+    /// Per-SDS reclaim-callback duration (ns).
+    pub sds_callback_ns: Arc<Histogram>,
+    /// Current soft budget in pages.
+    pub budget_pages: Arc<Gauge>,
+    /// Pages physically held (heaps + free pool).
+    pub held_pages: Arc<Gauge>,
+    /// Budget slack (budget − held).
+    pub slack_pages: Arc<Gauge>,
+    /// Free-pool occupancy in pages.
+    pub free_pool_pages: Arc<Gauge>,
+}
+
+impl SmaMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new("sma");
+        SmaMetrics {
+            allocs_total: registry.counter("allocs_total"),
+            alloc_failures_total: registry.counter("alloc_failures_total"),
+            frees_total: registry.counter("frees_total"),
+            reclaims_total: registry.counter("reclaims_total"),
+            pages_reclaimed_total: registry.counter("pages_reclaimed_total"),
+            budget_granted_total: registry.counter("budget_granted_total"),
+            sds_callbacks_total: registry.counter("sds_callbacks_total"),
+            alloc_ns: registry.histogram("alloc_ns"),
+            free_ns: registry.histogram("free_ns"),
+            reclaim_ns: registry.histogram("reclaim_ns"),
+            sds_callback_ns: registry.histogram("sds_callback_ns"),
+            budget_pages: registry.gauge("budget_pages"),
+            held_pages: registry.gauge("held_pages"),
+            slack_pages: registry.gauge("slack_pages"),
+            free_pool_pages: registry.gauge("free_pool_pages"),
+            registry,
+        }
+    }
+
+    /// The underlying registry (for snapshots and rendering).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Re-derives the occupancy gauges from allocator state. Called
+    /// under the SMA lock at the end of every mutating operation, so
+    /// gauge readings at a quiescent point equal `SmaStats`.
+    #[inline]
+    pub(crate) fn sync_gauges(&self, inner: &SmaInner) {
+        self.budget_pages.set(inner.budget_pages as i64);
+        self.held_pages.set(inner.held_pages as i64);
+        self.slack_pages
+            .set(inner.budget_pages.saturating_sub(inner.held_pages) as i64);
+        self.free_pool_pages.set(inner.free_pool.len() as i64);
+    }
+}
+
+impl std::fmt::Debug for SmaMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmaMetrics")
+            .field("allocs_total", &self.allocs_total.get())
+            .field("reclaims_total", &self.reclaims_total.get())
+            .finish_non_exhaustive()
+    }
+}

@@ -7,13 +7,16 @@
 //! is [`Sma::reclaim`]: yielding pages back on demand (the tiered
 //! protocol is documented on that method and its `ReclaimReport`).
 
+mod metrics;
 mod reclaim_impl;
 
+pub use metrics::SmaMetrics;
 pub use reclaim_impl::{ReclaimReport, SdsContribution};
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use softmem_telemetry::Timer;
 
 use crate::budget::BudgetSource;
 use crate::config::SmaConfig;
@@ -133,6 +136,7 @@ pub struct Sma {
     pub(crate) inner: Mutex<SmaInner>,
     pub(crate) cfg: SmaConfig,
     budget_source: Mutex<Option<Arc<dyn BudgetSource>>>,
+    pub(crate) metrics: SmaMetrics,
 }
 
 impl Sma {
@@ -141,7 +145,7 @@ impl Sma {
         // The PagePool's own cache is disabled: the SMA's free pool *is*
         // the process-level cache, and budget accounting covers it.
         let pool = PagePool::new(Arc::clone(&cfg.machine), 0);
-        Arc::new(Sma {
+        let sma = Arc::new(Sma {
             inner: Mutex::new(SmaInner {
                 free_pool: Vec::new(),
                 budget_pages: cfg.initial_budget_pages,
@@ -154,7 +158,10 @@ impl Sma {
             }),
             cfg,
             budget_source: Mutex::new(None),
-        })
+            metrics: SmaMetrics::new(),
+        });
+        sma.metrics.sync_gauges(&sma.inner.lock());
+        sma
     }
 
     /// Creates an allocator on a private, effectively unbounded machine
@@ -180,11 +187,19 @@ impl Sma {
         *self.budget_source.lock() = None;
     }
 
+    /// This allocator's telemetry registry — lock-free mirrors the
+    /// testkit certifies against [`Sma::stats`] ground truth.
+    pub fn metrics(&self) -> &SmaMetrics {
+        &self.metrics
+    }
+
     /// Adds `pages` to the soft budget (a grant pushed by the daemon).
     pub fn grow_budget(&self, pages: usize) {
         let mut inner = self.inner.lock();
         inner.budget_pages += pages;
         inner.budget_granted_total += pages as u64;
+        self.metrics.budget_granted_total.add(pages as u64);
+        self.metrics.sync_gauges(&inner);
     }
 
     /// Voluntarily returns up to `pages` of unused budget (slack only;
@@ -195,6 +210,7 @@ impl Sma {
         let slack = inner.budget_pages.saturating_sub(inner.held_pages);
         let take = slack.min(pages);
         inner.budget_pages -= take;
+        self.metrics.sync_gauges(&inner);
         take
     }
 
@@ -271,6 +287,7 @@ impl Sma {
             inner.held_pages -= span.pages();
             inner.pool.release_span(span);
         }
+        self.metrics.sync_gauges(&inner);
         Ok(())
     }
 
@@ -332,10 +349,30 @@ impl Sma {
         Ok(SoftSlot::new(raw))
     }
 
+    /// Allocation with budget-growth retry, instrumented: counts every
+    /// attempt, times one in [`softmem_telemetry::SAMPLE_EVERY`]
+    /// (including any daemon round-trips the retry loop incurs), and
+    /// counts terminal failures.
+    fn alloc_retrying(
+        &self,
+        sds: SdsId,
+        len: usize,
+        drop_fn: Option<DropFn>,
+        init: impl FnMut(*mut u8),
+    ) -> SoftResult<RawHandle> {
+        let timer = Timer::start_sampled(self.metrics.allocs_total.inc());
+        let result = self.alloc_retrying_inner(sds, len, drop_fn, init);
+        match &result {
+            Ok(_) => timer.observe(&self.metrics.alloc_ns),
+            Err(_) => self.metrics.alloc_failures_total.add(1),
+        }
+        result
+    }
+
     /// Allocation with budget-growth retry. `init` runs under the SMA
     /// lock immediately after the slot is carved out, so no reclamation
     /// can observe an uninitialised slot.
-    fn alloc_retrying(
+    fn alloc_retrying_inner(
         &self,
         sds: SdsId,
         len: usize,
@@ -412,6 +449,7 @@ impl Sma {
             let raw = entry.heap.insert_span(span, len, drop_fn);
             let (ptr, _) = entry.heap.resolve(raw).expect("just inserted");
             init(ptr);
+            self.metrics.sync_gauges(inner);
             return Ok(raw);
         }
         // Slab path: optimistic allocation from attached pages; only
@@ -444,6 +482,7 @@ impl Sma {
         let raw = entry.heap.alloc_slab(len, drop_fn, Some(frame))?;
         let (ptr, _) = entry.heap.resolve(raw).expect("just allocated");
         init(ptr);
+        self.metrics.sync_gauges(inner);
         Ok(raw)
     }
 
@@ -481,6 +520,7 @@ impl Sma {
     }
 
     pub(crate) fn free_raw(&self, raw: RawHandle, run_drop: bool) -> SoftResult<usize> {
+        let timer = Timer::start_sampled(self.metrics.frees_total.inc());
         let inner = &mut *self.inner.lock();
         let entry = inner.entry_mut(raw.sds)?;
         let out = entry.heap.free(raw, run_drop)?;
@@ -499,6 +539,8 @@ impl Sma {
             inner.held_pages -= span.pages();
             inner.pool.release_span(span);
         }
+        self.metrics.sync_gauges(inner);
+        timer.observe(&self.metrics.free_ns);
         Ok(out.freed_bytes)
     }
 

@@ -111,6 +111,9 @@ impl Sma {
     /// assert_eq!(sma.budget_pages(), 22);
     /// ```
     pub fn reclaim(&self, demanded_pages: usize) -> ReclaimReport {
+        // Reclamations are rare relative to allocations, so the whole
+        // protocol is timed on every call (no sampling).
+        let timer = softmem_telemetry::Timer::start();
         let mut report = ReclaimReport {
             demanded_pages,
             ..ReclaimReport::default()
@@ -121,6 +124,7 @@ impl Sma {
             // ---- Tier 1 + 2 (locked): slack and idle pages. ----
             let inner = &mut *self.inner.lock();
             inner.reclaims_total += 1;
+            self.metrics.reclaims_total.add(1);
             let slack = inner.budget_pages.saturating_sub(inner.held_pages);
             report.from_slack = slack.min(remaining);
             inner.budget_pages -= report.from_slack;
@@ -176,10 +180,13 @@ impl Sma {
                 // A panicking reclaimer (buggy SDS policy or user
                 // callback) must not unwind into the daemon: treat it
                 // as "nothing freed" and move on to the next SDS.
+                self.metrics.sds_callbacks_total.add(1);
+                let cb_timer = softmem_telemetry::Timer::start();
                 let freed_bytes = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     reclaimer.reclaim(target_bytes)
                 }))
                 .unwrap_or(0);
+                cb_timer.observe(&self.metrics.sds_callback_ns);
                 let released_this_round = {
                     let inner = &mut *self.inner.lock();
                     // Pages auto-released by the frees themselves
@@ -208,7 +215,15 @@ impl Sma {
                 report.from_sds.push(contribution);
             }
         }
-        self.inner.lock().pages_reclaimed_total += report.total_yielded() as u64;
+        {
+            let mut inner = self.inner.lock();
+            inner.pages_reclaimed_total += report.total_yielded() as u64;
+            self.metrics
+                .pages_reclaimed_total
+                .add(report.total_yielded() as u64);
+            self.metrics.sync_gauges(&inner);
+        }
+        timer.observe(&self.metrics.reclaim_ns);
         report
     }
 

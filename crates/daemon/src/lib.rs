@@ -59,6 +59,7 @@
 
 mod account;
 mod client;
+mod metrics;
 pub mod policy;
 pub mod service;
 mod smd;
@@ -66,5 +67,6 @@ pub mod uds;
 
 pub use account::{DirectChannel, ProcSnapshot, ProcUsage, ReclaimChannel, ReclaimReply};
 pub use client::{DaemonHandle, SoftProcess};
+pub use metrics::SmdMetrics;
 pub use policy::WeightPolicy;
 pub use smd::{Pid, ReclaimDecision, Smd, SmdConfig, SmdHook, SmdStats, TargetOutcome};

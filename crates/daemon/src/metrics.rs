@@ -1,0 +1,75 @@
+//! The daemon's telemetry registry.
+//!
+//! Mirrors of the [`crate::SmdStats`] monotonic counters (which the
+//! testkit's metrics-consistency family certifies against ground
+//! truth), decision-time observability the stats cannot express —
+//! per-target reclamation weight, over-reclamation rounds, grant
+//! round-trip latency — and occupancy gauges synced under the daemon
+//! lock.
+
+use std::sync::Arc;
+
+use softmem_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
+
+/// The daemon's metric set (registry label `smd`).
+pub struct SmdMetrics {
+    registry: Registry,
+    /// Mirror of `SmdStats::grants_total`.
+    pub grants_total: Arc<Counter>,
+    /// Mirror of `SmdStats::denials_total`.
+    pub denials_total: Arc<Counter>,
+    /// Mirror of `SmdStats::reclaim_rounds_total`.
+    pub reclaim_rounds_total: Arc<Counter>,
+    /// Mirror of `SmdStats::pages_reclaimed_total`.
+    pub pages_reclaimed_total: Arc<Counter>,
+    /// Pressure rounds in which over-reclamation (§4) demanded more
+    /// than the immediate shortfall from at least one target.
+    pub over_reclaim_rounds_total: Arc<Counter>,
+    /// Grant round-trip latency (ns) of `request_range`, including
+    /// any reclamation round and dead-target retry.
+    pub request_ns: Arc<Histogram>,
+    /// Reclamation weight of each selected target at decision time, in
+    /// milli-units (weight × 1000, floored).
+    pub target_weight_milli: Arc<Histogram>,
+    /// Pages currently assigned as budgets.
+    pub assigned_pages: Arc<Gauge>,
+    /// Registered (live) processes.
+    pub registered_procs: Arc<Gauge>,
+}
+
+impl SmdMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new("smd");
+        SmdMetrics {
+            grants_total: registry.counter("grants_total"),
+            denials_total: registry.counter("denials_total"),
+            reclaim_rounds_total: registry.counter("reclaim_rounds_total"),
+            pages_reclaimed_total: registry.counter("pages_reclaimed_total"),
+            over_reclaim_rounds_total: registry.counter("over_reclaim_rounds_total"),
+            request_ns: registry.histogram("request_ns"),
+            target_weight_milli: registry.histogram("target_weight_milli"),
+            assigned_pages: registry.gauge("assigned_pages"),
+            registered_procs: registry.gauge("registered_procs"),
+            registry,
+        }
+    }
+
+    /// The underlying registry (for snapshots and rendering).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl std::fmt::Debug for SmdMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmdMetrics")
+            .field("grants_total", &self.grants_total.get())
+            .field("denials_total", &self.denials_total.get())
+            .finish_non_exhaustive()
+    }
+}

@@ -10,6 +10,7 @@ use softmem_core::error::DenyReason;
 use softmem_core::{MachineMemory, SoftError, SoftResult};
 
 use crate::account::{ProcSnapshot, ProcUsage, ReclaimChannel};
+use crate::metrics::SmdMetrics;
 use crate::policy::{PaperWeight, WeightPolicy};
 
 /// Daemon-assigned process identifier.
@@ -203,6 +204,7 @@ pub struct Smd {
     policy: Box<dyn WeightPolicy>,
     inner: Mutex<SmdInner>,
     hook: Mutex<Option<Arc<dyn SmdHook>>>,
+    metrics: SmdMetrics,
 }
 
 impl Smd {
@@ -227,7 +229,24 @@ impl Smd {
                 shutting_down: false,
             }),
             hook: Mutex::new(None),
+            metrics: SmdMetrics::new(),
         })
+    }
+
+    /// The daemon's telemetry registry — lock-free mirrors the testkit
+    /// certifies against [`Smd::stats`] ground truth, plus
+    /// decision-time observability (per-target reclamation weight,
+    /// over-reclaim rounds, grant round-trip latency).
+    pub fn metrics(&self) -> &SmdMetrics {
+        &self.metrics
+    }
+
+    /// Re-derives the occupancy gauges from ledger state (called under
+    /// the daemon lock after every mutation).
+    fn sync_gauges(&self, inner: &SmdInner) {
+        let assigned: usize = inner.procs.values().map(|p| p.budget_pages).sum();
+        self.metrics.assigned_pages.set(assigned as i64);
+        self.metrics.registered_procs.set(inner.procs.len() as i64);
     }
 
     /// Installs a protocol hook (replacing any previous one). See
@@ -280,17 +299,16 @@ impl Smd {
                 channel,
             },
         );
+        self.sync_gauges(&inner);
         (pid, grant)
     }
 
     /// Deregisters a process, returning its budget to the pool.
     pub fn deregister(&self, pid: Pid) -> SoftResult<()> {
-        self.inner
-            .lock()
-            .procs
-            .remove(&pid)
-            .map(|_| ())
-            .ok_or(SoftError::UnknownProcess(pid))
+        let mut inner = self.inner.lock();
+        let removed = inner.procs.remove(&pid);
+        self.sync_gauges(&inner);
+        removed.map(|_| ()).ok_or(SoftError::UnknownProcess(pid))
     }
 
     /// Records a process's traditional-memory footprint (used by the
@@ -319,6 +337,17 @@ impl Smd {
     /// only from uncontended capacity). Returns the grant, which is
     /// ≥ `need` on success.
     pub fn request_range(&self, pid: Pid, need: usize, want: usize) -> SoftResult<usize> {
+        // Grant round-trip latency as the requester experiences it:
+        // fast-path grants, full reclamation rounds, and the
+        // dead-target retry all land in the same histogram.
+        let timer = softmem_telemetry::Timer::start();
+        let result = self.request_range_inner(pid, need, want);
+        timer.observe(&self.metrics.request_ns);
+        self.sync_gauges(&self.inner.lock());
+        result
+    }
+
+    fn request_range_inner(&self, pid: Pid, need: usize, want: usize) -> SoftResult<usize> {
         match self.request_range_once(pid, need, want) {
             Err(SoftError::Denied {
                 reason: DenyReason::ReclaimShortfall,
@@ -365,6 +394,7 @@ impl Smd {
         let inner = &mut *inner;
         if inner.shutting_down {
             inner.denials_total += 1;
+            self.metrics.denials_total.add(1);
             return Err(SoftError::Denied {
                 reason: DenyReason::ShuttingDown,
             });
@@ -379,12 +409,14 @@ impl Smd {
             .ok_or(SoftError::UnknownProcess(pid))?;
         if let Some(reason) = hook.as_ref().and_then(|h| h.pre_request(pid, need, want)) {
             inner.denials_total += 1;
+            self.metrics.denials_total.add(1);
             return Err(SoftError::Denied { reason });
         }
         let mut want = want;
         if let Some(cap) = self.cfg.per_process_cap_pages {
             if requester.budget_pages + need > cap {
                 inner.denials_total += 1;
+                self.metrics.denials_total.add(1);
                 return Err(SoftError::Denied {
                     reason: DenyReason::PerProcessCap,
                 });
@@ -399,6 +431,7 @@ impl Smd {
             proc.budget_pages += grant;
             proc.channel.grant(grant);
             inner.grants_total += 1;
+            self.metrics.grants_total.add(1);
             if let Some(h) = &hook {
                 h.on_grant(pid, grant);
             }
@@ -408,9 +441,11 @@ impl Smd {
         // ---- Memory pressure: run a reclamation round. ----
         let need = need - unassigned;
         inner.reclaim_rounds_total += 1;
+        self.metrics.reclaim_rounds_total.add(1);
         let targets = self.select_targets(inner, pid);
         let mut outcomes = Vec::new();
         let mut reclaimed = 0usize;
+        let mut over_reclaimed = false;
         for (tpid, weight, had_slack, usage) in targets {
             if reclaimed >= need || outcomes.len() >= self.cfg.max_reclaim_targets {
                 break;
@@ -418,6 +453,10 @@ impl Smd {
             let remaining = need - reclaimed;
             let over = (usage.soft_pages as f64 * self.cfg.over_reclaim_fraction).ceil() as usize;
             let demanded = remaining.max(over);
+            over_reclaimed |= demanded > remaining;
+            self.metrics
+                .target_weight_milli
+                .record((weight.max(0.0) * 1000.0) as u64);
             let proc = inner.procs.get_mut(&tpid).expect("selected from the map");
             let reply = proc.channel.demand(demanded);
             proc.budget_pages = proc.budget_pages.saturating_sub(reply.yielded_pages);
@@ -426,6 +465,9 @@ impl Smd {
             }
             reclaimed += reply.yielded_pages;
             inner.pages_reclaimed_total += reply.yielded_pages as u64;
+            self.metrics
+                .pages_reclaimed_total
+                .add(reply.yielded_pages as u64);
             outcomes.push(TargetOutcome {
                 pid: tpid,
                 demanded_pages: demanded,
@@ -433,6 +475,9 @@ impl Smd {
                 had_slack,
                 weight,
             });
+        }
+        if over_reclaimed {
+            self.metrics.over_reclaim_rounds_total.add(1);
         }
         let assigned_now: usize = inner.procs.values().map(|p| p.budget_pages).sum();
         let unassigned_now = self.cfg.capacity_pages.saturating_sub(assigned_now);
@@ -450,12 +495,14 @@ impl Smd {
             proc.budget_pages += grant;
             proc.channel.grant(grant);
             inner.grants_total += 1;
+            self.metrics.grants_total.add(1);
             if let Some(h) = &hook {
                 h.on_grant(pid, grant);
             }
             Ok(grant)
         } else {
             inner.denials_total += 1;
+            self.metrics.denials_total.add(1);
             Err(SoftError::Denied {
                 reason: DenyReason::ReclaimShortfall,
             })
@@ -472,6 +519,7 @@ impl Smd {
             .ok_or(SoftError::UnknownProcess(pid))?;
         let released = pages.min(proc.budget_pages);
         proc.budget_pages -= released;
+        self.sync_gauges(&inner);
         Ok(released)
     }
 

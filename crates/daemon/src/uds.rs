@@ -370,6 +370,12 @@ fn execute_verb(
             },
             None => "ERR malformed TRAD".into(),
         },
+        // The telemetry snapshot: one line of whitespace-free JSON, so
+        // the line-oriented framing carries it verbatim.
+        "STATS" => format!(
+            "STATS {}",
+            softmem_telemetry::combined_json(&[smd.metrics().snapshot()])
+        ),
         other => format!("ERR unknown verb {other}"),
     }
 }

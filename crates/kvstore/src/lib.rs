@@ -39,10 +39,12 @@
 //! ```
 
 pub mod crash;
+mod metrics;
 pub mod protocol;
 pub mod server;
 mod store;
 
+pub use metrics::StoreMetrics;
 pub use protocol::{Command, Response};
 pub use server::{KvHandle, KvServer, TcpFrontend, TcpKvClient};
 pub use store::{Store, StoreStats, Ttl};

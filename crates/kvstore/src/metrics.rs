@@ -1,0 +1,74 @@
+//! The KV server's telemetry registry.
+//!
+//! Mirrors of the store's behaviour counters (which the testkit's
+//! metrics-consistency family certifies against ground truth), per-op
+//! and reclamation-callback latency histograms, and keyspace occupancy
+//! gauges refreshed before every snapshot.
+
+use std::sync::Arc;
+
+use softmem_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
+
+/// The store's metric set (registry label `kv`).
+pub struct StoreMetrics {
+    registry: Registry,
+    /// Live keys (refreshed via [`crate::Store::refresh_gauges`]).
+    pub keys: Arc<Gauge>,
+    /// Bytes of soft memory held by the table.
+    pub soft_bytes: Arc<Gauge>,
+    /// Pages of soft memory attached to the table's heap.
+    pub soft_pages: Arc<Gauge>,
+    /// Mirror of [`crate::StoreStats::hits`].
+    pub hits: Arc<Counter>,
+    /// Mirror of [`crate::StoreStats::misses`].
+    pub misses: Arc<Counter>,
+    /// Mirror of [`crate::StoreStats::sets`].
+    pub sets: Arc<Counter>,
+    /// Mirror of [`crate::StoreStats::reclaimed_entries`].
+    pub reclaimed_entries: Arc<Counter>,
+    /// Mirror of [`crate::StoreStats::reclaimed_bytes`].
+    pub reclaimed_bytes: Arc<Counter>,
+    /// Reclamation-callback duration (ns), one sample per entry lost.
+    pub callback_ns: Arc<Histogram>,
+    /// Per-command execution latency (ns), across all verbs.
+    pub op_ns: Arc<Histogram>,
+}
+
+impl StoreMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new("kv");
+        StoreMetrics {
+            keys: registry.gauge("keys"),
+            soft_bytes: registry.gauge("soft_bytes"),
+            soft_pages: registry.gauge("soft_pages"),
+            hits: registry.counter("hits"),
+            misses: registry.counter("misses"),
+            sets: registry.counter("sets"),
+            reclaimed_entries: registry.counter("reclaimed_entries"),
+            reclaimed_bytes: registry.counter("reclaimed_bytes"),
+            callback_ns: registry.histogram("callback_ns"),
+            op_ns: registry.histogram("op_ns"),
+            registry,
+        }
+    }
+
+    /// The underlying registry (for snapshots and rendering).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl std::fmt::Debug for StoreMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreMetrics")
+            .field("hits", &self.hits.get())
+            .field("misses", &self.misses.get())
+            .field("sets", &self.sets.get())
+            .finish_non_exhaustive()
+    }
+}

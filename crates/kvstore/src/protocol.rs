@@ -5,7 +5,7 @@
 //! Replies use Redis-style sigils: `+OK`, `$<value>`, `:<integer>`,
 //! `-ERR <message>`, `*<n>` followed by `n` element lines.
 
-use crate::store::{Store, StoreStats};
+use crate::store::Store;
 
 /// A parsed client command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +94,8 @@ pub enum Command {
         /// Keys, position-matched in the reply.
         keys: Vec<Vec<u8>>,
     },
+    /// `STATS` → `$<telemetry JSON snapshot>` (single line).
+    Stats,
     /// `SHUTDOWN` → `+OK` and the server exits.
     Shutdown,
 }
@@ -230,6 +232,7 @@ impl Command {
                     Ok(Command::MGet { keys })
                 }
             }
+            "STATS" => Ok(Command::Stats),
             "SHUTDOWN" => Ok(Command::Shutdown),
             "" => Err("empty command".into()),
             other => Err(format!("unknown command '{other}'")),
@@ -239,6 +242,13 @@ impl Command {
     /// Executes against a store. (`Shutdown` is handled by the server
     /// loop; here it just acknowledges.)
     pub fn execute(&self, store: &Store) -> Response {
+        let timer = softmem_telemetry::Timer::start();
+        let response = self.execute_inner(store);
+        timer.observe(&store.metrics().op_ns);
+        response
+    }
+
+    fn execute_inner(&self, store: &Store) -> Response {
         match self {
             Command::Ping => Response::Ok("PONG".into()),
             Command::Set { key, value } => match store.set(key, value) {
@@ -284,6 +294,7 @@ impl Command {
                     .map(|v| v.unwrap_or_else(|| b"(nil)".to_vec()))
                     .collect(),
             ),
+            Command::Stats => Response::Bulk(Some(render_stats(store).into_bytes())),
             Command::Shutdown => Response::Ok("OK".into()),
         }
     }
@@ -291,21 +302,35 @@ impl Command {
 
 fn render_info(store: &Store) -> String {
     // Single line: the protocol frames replies by lines, so INFO packs
-    // its fields with `;` separators.
-    let StoreStats {
-        hits,
-        misses,
-        sets,
-        reclaimed_entries,
-        reclaimed_bytes,
-    } = store.stats();
-    format!(
-        "keys:{};soft_bytes:{};soft_pages:{};hits:{hits};misses:{misses};sets:{sets};\
-         reclaimed_entries:{reclaimed_entries};reclaimed_bytes:{reclaimed_bytes}",
-        store.dbsize(),
-        store.soft_bytes(),
-        store.soft_pages(),
-    )
+    // its fields with `;` separators — exactly the telemetry
+    // registry's flat rendering, so there is no bespoke formatting to
+    // drift out of sync with the metric set.
+    if softmem_telemetry::ENABLED {
+        store.refresh_gauges();
+        store.metrics().snapshot().render_flat()
+    } else {
+        // Telemetry compiled out: INFO still reports the ground-truth
+        // statistics, in the registry's field order.
+        let s = store.stats();
+        format!(
+            "keys:{};soft_bytes:{};soft_pages:{};hits:{};misses:{};sets:{};\
+             reclaimed_entries:{};reclaimed_bytes:{}",
+            store.dbsize(),
+            store.soft_bytes(),
+            store.soft_pages(),
+            s.hits,
+            s.misses,
+            s.sets,
+            s.reclaimed_entries,
+            s.reclaimed_bytes,
+        )
+    }
+}
+
+fn render_stats(store: &Store) -> String {
+    // Single line of whitespace-free JSON, safe under line framing.
+    store.refresh_gauges();
+    softmem_telemetry::combined_json(&[store.metrics().snapshot()])
 }
 
 impl Response {
@@ -561,9 +586,39 @@ mod tests {
         if let Response::Bulk(Some(info)) = Command::Info.execute(&store) {
             let text = String::from_utf8(info).unwrap();
             assert!(text.contains("keys:0"), "{text}");
-            assert!(text.contains("hits:1"), "{text}");
+            if softmem_telemetry::ENABLED {
+                assert!(text.contains("hits:1"), "{text}");
+            }
         } else {
             panic!("INFO must return bulk");
         }
+    }
+
+    #[test]
+    fn stats_returns_json_snapshot() {
+        let sma = Sma::standalone(64);
+        let store = Store::new(&sma, "kv", Priority::default());
+        store.set(b"a", b"1").unwrap();
+        store.get(b"a");
+        assert_eq!(Command::parse("stats").unwrap(), Command::Stats);
+        let reply = Command::Stats.execute(&store);
+        let Response::Bulk(Some(json)) = reply else {
+            panic!("STATS must return bulk, got {reply:?}");
+        };
+        let text = String::from_utf8(json).unwrap();
+        assert!(text.starts_with("{\"kv\":{"), "{text}");
+        assert!(!text.contains('\n'), "STATS must be one line: {text}");
+        assert!(text.contains("\"hits\":"), "{text}");
+        assert!(text.contains("\"op_ns\":"), "{text}");
+        if softmem_telemetry::ENABLED {
+            assert!(text.contains("\"hits\":1"), "{text}");
+            assert!(text.contains("\"keys\":1"), "{text}");
+        }
+        // The reply survives an encode/decode round trip intact.
+        let decoded = Response::decode(&Command::Stats.execute(&store).encode()).unwrap();
+        let Response::Bulk(Some(raw)) = decoded else {
+            panic!("decode changed shape");
+        };
+        assert!(String::from_utf8(raw).unwrap().starts_with("{\"kv\":{"));
     }
 }

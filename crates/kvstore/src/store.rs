@@ -18,6 +18,8 @@ use parking_lot::Mutex;
 use softmem_core::{Priority, Sma, SoftError, SoftResult};
 use softmem_sds::{EvictionOrder, SoftContainer, SoftHashMap};
 
+use crate::metrics::StoreMetrics;
+
 /// Result of a TTL query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Ttl {
@@ -91,6 +93,7 @@ pub struct Store {
     sma: Arc<Sma>,
     table: SoftHashMap<Vec<u8>, Vec<u8>>,
     counters: Arc<Counters>,
+    metrics: Arc<StoreMetrics>,
     /// Expiry deadlines, in traditional memory (like Redis's separate
     /// expires dict). Entries are removed lazily on access.
     expiries: Mutex<HashMap<Vec<u8>, Instant>>,
@@ -116,7 +119,9 @@ impl Store {
     ) -> Self {
         let table = SoftHashMap::with_eviction(sma, name, priority, eviction);
         let counters = Arc::new(Counters::default());
+        let metrics = Arc::new(StoreMetrics::new());
         let c = Arc::clone(&counters);
+        let m = Arc::clone(&metrics);
         table.set_reclaim_callback(move |k: &Vec<u8>, v: &Vec<u8>| {
             // The paper's reclamation callback: this is where Redis
             // "cleans up associated traditional memory for the
@@ -131,16 +136,20 @@ impl Store {
             while (start.elapsed().as_nanos() as u64) < cost {
                 std::hint::spin_loop();
             }
-            c.callback_ns
-                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let elapsed_ns = start.elapsed().as_nanos() as u64;
+            c.callback_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
             c.reclaimed_entries.fetch_add(1, Ordering::Relaxed);
             c.reclaimed_bytes
                 .fetch_add((k.len() + v.len()) as u64, Ordering::Relaxed);
+            m.callback_ns.record(elapsed_ns);
+            m.reclaimed_entries.add(1);
+            m.reclaimed_bytes.add((k.len() + v.len()) as u64);
         });
         Store {
             sma: Arc::clone(sma),
             table,
             counters,
+            metrics,
             expiries: Mutex::new(HashMap::new()),
         }
     }
@@ -164,6 +173,22 @@ impl Store {
         &self.sma
     }
 
+    /// The store's telemetry registry (label `kv`).
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// Re-syncs the occupancy gauges (`keys`, `soft_bytes`,
+    /// `soft_pages`) from the table. Reclamation changes the keyspace
+    /// behind the store's back, so gauges are refreshed on demand —
+    /// call this before snapshotting if point-in-time accuracy
+    /// matters (`INFO`/`STATS` do it automatically).
+    pub fn refresh_gauges(&self) {
+        self.metrics.keys.set(self.table.len() as i64);
+        self.metrics.soft_bytes.set(self.table.soft_bytes() as i64);
+        self.metrics.soft_pages.set(self.table.soft_pages() as i64);
+    }
+
     /// Stores `value` under `key` (overwrites).
     ///
     /// When the soft budget is exhausted (the machine lent the memory
@@ -172,6 +197,7 @@ impl Store {
     /// retries, failing only if even that cannot free a slot.
     pub fn set(&self, key: &[u8], value: &[u8]) -> SoftResult<()> {
         self.counters.sets.fetch_add(1, Ordering::Relaxed);
+        self.metrics.sets.add(1);
         self.expiries.lock().remove(key);
         match self.table.insert(key.to_vec(), value.to_vec()) {
             Ok(_) => Ok(()),
@@ -197,8 +223,14 @@ impl Store {
         self.expire_if_due(key);
         let result = self.table.get_with(&key.to_vec(), |v| v.clone());
         match &result {
-            Some(_) => self.counters.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.hits.add(1);
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.misses.add(1);
+            }
         };
         result
     }

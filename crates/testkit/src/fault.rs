@@ -39,6 +39,11 @@ pub enum ChaosFault {
     /// Moves a queue element without telling the counters →
     /// [`InvariantFamily::CallbackAccounting`].
     StealthQueueOp,
+    /// Bumps a telemetry counter mirror with no ground-truth event
+    /// behind it (a lying metric) →
+    /// [`InvariantFamily::MetricsConsistency`]. Only meaningful with
+    /// telemetry compiled in; a no-op (and uncatchable) without it.
+    ForgeCounter(u64),
 }
 
 impl ChaosFault {
@@ -49,6 +54,7 @@ impl ChaosFault {
             ChaosFault::ForgeBudget(_) => InvariantFamily::BudgetConservation,
             ChaosFault::ZombieHandle => InvariantFamily::GenerationSafety,
             ChaosFault::StealthQueueOp => InvariantFamily::CallbackAccounting,
+            ChaosFault::ForgeCounter(_) => InvariantFamily::MetricsConsistency,
         }
     }
 }
@@ -246,6 +252,10 @@ mod tests {
         assert_eq!(
             ChaosFault::StealthQueueOp.target_family(),
             InvariantFamily::CallbackAccounting
+        );
+        assert_eq!(
+            ChaosFault::ForgeCounter(1).target_family(),
+            InvariantFamily::MetricsConsistency
         );
     }
 }

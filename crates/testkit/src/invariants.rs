@@ -1,6 +1,6 @@
 //! The machine-wide invariant checker.
 //!
-//! Four families, checked between pressure phases (with every worker
+//! Five families, checked between pressure phases (with every worker
 //! parked at a barrier) and again at quiesce:
 //!
 //! 1. **Machine-page conservation** — the machine model's used pages
@@ -16,6 +16,11 @@
 //! 4. **Callback accounting** — queue elements are conserved across
 //!    push/pop/reclaim, and every reclaimed element produced exactly
 //!    one reclaim-callback invocation (even when callbacks panic).
+//! 5. **Metrics consistency** — every telemetry counter mirror equals
+//!    the checker's ground truth (SMA/SMD stats, store counters, queue
+//!    callback hits) and every occupancy gauge equals the point value
+//!    it claims to track. Skipped entirely when the `telemetry`
+//!    feature is off.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -23,12 +28,13 @@ use std::sync::Arc;
 
 use softmem_core::MachineMemory;
 use softmem_daemon::Smd;
+use softmem_kv::Store;
 
 use crate::pool::HandlePool;
 use crate::process::TkProcess;
 use crate::queue::CountedQueue;
 
-/// The four invariant families the harness checks.
+/// The five invariant families the harness checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InvariantFamily {
     /// Machine-page conservation.
@@ -39,6 +45,8 @@ pub enum InvariantFamily {
     GenerationSafety,
     /// No-lost-callback accounting.
     CallbackAccounting,
+    /// Telemetry counters agree with checker ground truth.
+    MetricsConsistency,
 }
 
 impl fmt::Display for InvariantFamily {
@@ -48,6 +56,7 @@ impl fmt::Display for InvariantFamily {
             InvariantFamily::BudgetConservation => "budget-conservation",
             InvariantFamily::GenerationSafety => "generation-safety",
             InvariantFamily::CallbackAccounting => "callback-accounting",
+            InvariantFamily::MetricsConsistency => "metrics-consistency",
         };
         f.write_str(s)
     }
@@ -84,16 +93,19 @@ pub struct CheckScope<'a> {
     pub pools: &'a [Arc<HandlePool>],
     /// Every counted queue.
     pub queues: &'a [Arc<CountedQueue>],
+    /// Every KV store (empty for scenarios without one).
+    pub stores: &'a [Arc<Store>],
 }
 
 impl CheckScope<'_> {
-    /// Runs all four families, labelling violations with `at`.
+    /// Runs all five families, labelling violations with `at`.
     pub fn check_all(&self, at: &str) -> Vec<Violation> {
         let mut v = Vec::new();
         v.extend(self.check_machine_pages(at));
         v.extend(self.check_budget_conservation(at));
         v.extend(self.check_generation_safety(at));
         v.extend(self.check_callback_accounting(at));
+        v.extend(self.check_metrics_consistency(at));
         v
     }
 
@@ -217,6 +229,146 @@ impl CheckScope<'_> {
             })
             .collect()
     }
+
+    /// Family 5: metrics consistency — every telemetry mirror equals
+    /// the ground-truth counter the checker trusts, and every
+    /// occupancy gauge equals the point value it claims to track.
+    ///
+    /// Checked at quiesce points only (workers parked), because
+    /// mirrors and ground truth are updated by separate atomic writes
+    /// and may transiently disagree mid-operation. A no-op with
+    /// telemetry compiled out: there are no mirrors to certify.
+    pub fn check_metrics_consistency(&self, at: &str) -> Vec<Violation> {
+        if !softmem_telemetry::ENABLED {
+            return Vec::new();
+        }
+        let mut defects: Vec<String> = Vec::new();
+        for proc in self.procs {
+            let m = proc.sma().metrics();
+            let s = proc.sma().stats();
+            // allocs/frees totals are intentionally absent: SmaStats
+            // folds in per-SDS counts that vanish when an SDS is
+            // destroyed, so they are not stable ground truth.
+            let counters = [
+                ("reclaims_total", m.reclaims_total.get(), s.reclaims_total),
+                (
+                    "pages_reclaimed_total",
+                    m.pages_reclaimed_total.get(),
+                    s.pages_reclaimed_total,
+                ),
+                (
+                    "budget_granted_total",
+                    m.budget_granted_total.get(),
+                    s.budget_granted_total,
+                ),
+            ];
+            for (name, mirror, truth) in counters {
+                if mirror != truth {
+                    defects.push(format!(
+                        "pid {} (`{}`): sma.{name} mirror {mirror} != ground truth {truth}",
+                        proc.pid(),
+                        proc.name()
+                    ));
+                }
+            }
+            let gauges = [
+                ("budget_pages", m.budget_pages.get(), s.budget_pages as i64),
+                ("held_pages", m.held_pages.get(), s.held_pages as i64),
+                ("slack_pages", m.slack_pages.get(), s.slack_pages() as i64),
+                (
+                    "free_pool_pages",
+                    m.free_pool_pages.get(),
+                    s.free_pool_pages as i64,
+                ),
+            ];
+            for (name, gauge, truth) in gauges {
+                if gauge != truth {
+                    defects.push(format!(
+                        "pid {} (`{}`): sma.{name} gauge {gauge} != point value {truth}",
+                        proc.pid(),
+                        proc.name()
+                    ));
+                }
+            }
+        }
+        {
+            let m = self.smd.metrics();
+            let s = self.smd.stats();
+            let counters = [
+                ("grants_total", m.grants_total.get(), s.grants_total),
+                ("denials_total", m.denials_total.get(), s.denials_total),
+                (
+                    "reclaim_rounds_total",
+                    m.reclaim_rounds_total.get(),
+                    s.reclaim_rounds_total,
+                ),
+                (
+                    "pages_reclaimed_total",
+                    m.pages_reclaimed_total.get(),
+                    s.pages_reclaimed_total,
+                ),
+            ];
+            for (name, mirror, truth) in counters {
+                if mirror != truth {
+                    defects.push(format!(
+                        "smd.{name} mirror {mirror} != ground truth {truth}"
+                    ));
+                }
+            }
+            let gauges = [
+                (
+                    "assigned_pages",
+                    m.assigned_pages.get(),
+                    s.assigned_pages as i64,
+                ),
+                (
+                    "registered_procs",
+                    m.registered_procs.get(),
+                    s.procs.len() as i64,
+                ),
+            ];
+            for (name, gauge, truth) in gauges {
+                if gauge != truth {
+                    defects.push(format!("smd.{name} gauge {gauge} != point value {truth}"));
+                }
+            }
+        }
+        for queue in self.queues {
+            defects.extend(queue.audit_telemetry());
+        }
+        for store in self.stores {
+            let m = store.metrics();
+            let s = store.stats();
+            let counters = [
+                ("hits", m.hits.get(), s.hits),
+                ("misses", m.misses.get(), s.misses),
+                ("sets", m.sets.get(), s.sets),
+                (
+                    "reclaimed_entries",
+                    m.reclaimed_entries.get(),
+                    s.reclaimed_entries,
+                ),
+                (
+                    "reclaimed_bytes",
+                    m.reclaimed_bytes.get(),
+                    s.reclaimed_bytes,
+                ),
+            ];
+            for (name, mirror, truth) in counters {
+                if mirror != truth {
+                    defects.push(format!("kv.{name} mirror {mirror} != ground truth {truth}"));
+                }
+            }
+        }
+        defects
+            .into_iter()
+            .map(|detail| Violation {
+                family: InvariantFamily::MetricsConsistency,
+                at: at.to_string(),
+                detail,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +383,7 @@ mod tests {
         Vec<Arc<TkProcess>>,
         Vec<Arc<HandlePool>>,
         Vec<Arc<CountedQueue>>,
+        Vec<Arc<Store>>,
     );
 
     fn scope_fixture() -> Fixture {
@@ -239,20 +392,32 @@ mod tests {
         let proc = TkProcess::connect(&smd, "p0", None);
         let pool = HandlePool::new(proc.sma(), "pool", Priority::new(1));
         let queue = CountedQueue::new(proc.sma(), "q", Priority::new(2), false);
-        (machine, smd, vec![proc], vec![pool], vec![queue])
+        let store = Arc::new(Store::new(proc.sma(), "kv", Priority::new(3)));
+        (
+            machine,
+            smd,
+            vec![proc],
+            vec![pool],
+            vec![queue],
+            vec![store],
+        )
     }
 
     #[test]
     fn clean_state_passes_all_families() {
-        let (machine, smd, procs, pools, queues) = scope_fixture();
+        let (machine, smd, procs, pools, queues, stores) = scope_fixture();
         pools[0].insert(1024, 0x11).unwrap();
         queues[0].push(7);
+        stores[0].set(b"k", b"v").unwrap();
+        stores[0].get(b"k");
+        stores[0].get(b"missing");
         let scope = CheckScope {
             machine: &machine,
             smd: &smd,
             procs: &procs,
             pools: &pools,
             queues: &queues,
+            stores: &stores,
         };
         let violations = scope.check_all("test");
         assert!(violations.is_empty(), "{violations:?}");
@@ -260,18 +425,22 @@ mod tests {
 
     #[test]
     fn each_family_detects_its_injected_fault() {
-        let (machine, smd, procs, pools, queues) = scope_fixture();
+        let (machine, smd, procs, pools, queues, stores) = scope_fixture();
         pools[0].insert(1024, 0x11).unwrap();
         queues[0].push(7);
 
         // Family 1: leak machine pages behind the SMAs' backs.
         machine.reserve(3).unwrap();
-        // Family 2: forge budget out of thin air.
+        // Family 2: forge budget out of thin air. (This moves ground
+        // truth and its telemetry mirror together, so family 5 stays
+        // clean — the forgery is a *budget* crime, not a lying metric.)
         procs[0].sma().grow_budget(5);
         // Family 3: zombie handle.
         assert!(pools[0].inject_zombie());
         // Family 4: stealth queue op.
         queues[0].inject_stealth_op();
+        // Family 5: a counter mirror with no event behind it.
+        procs[0].sma().metrics().reclaims_total.add(1);
 
         let scope = CheckScope {
             machine: &machine,
@@ -279,6 +448,7 @@ mod tests {
             procs: &procs,
             pools: &pools,
             queues: &queues,
+            stores: &stores,
         };
         let families: std::collections::BTreeSet<_> = scope
             .check_all("test")
@@ -289,6 +459,43 @@ mod tests {
         assert!(families.contains(&InvariantFamily::BudgetConservation));
         assert!(families.contains(&InvariantFamily::GenerationSafety));
         assert!(families.contains(&InvariantFamily::CallbackAccounting));
+        if softmem_telemetry::ENABLED {
+            assert!(families.contains(&InvariantFamily::MetricsConsistency));
+        }
         machine.release(3); // undo the leak for a clean drop
+    }
+
+    #[test]
+    fn metrics_consistency_cross_checks_every_layer() {
+        if !softmem_telemetry::ENABLED {
+            return;
+        }
+        let (machine, smd, procs, pools, queues, stores) = scope_fixture();
+        pools[0].insert(1024, 0x11).unwrap();
+        stores[0].set(b"k", b"v").unwrap();
+        let scope = CheckScope {
+            machine: &machine,
+            smd: &smd,
+            procs: &procs,
+            pools: &pools,
+            queues: &queues,
+            stores: &stores,
+        };
+        assert!(scope.check_metrics_consistency("test").is_empty());
+
+        // One forged mirror per instrumented layer; each must surface
+        // as its own metrics-consistency violation.
+        procs[0].sma().metrics().pages_reclaimed_total.add(3);
+        smd.metrics().grants_total.add(2);
+        stores[0].metrics().hits.add(9);
+        let violations = scope.check_metrics_consistency("test");
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations
+            .iter()
+            .all(|v| v.family == InvariantFamily::MetricsConsistency));
+        let details: String = violations.iter().map(|v| v.detail.as_str()).collect();
+        assert!(details.contains("sma.pages_reclaimed_total"), "{details}");
+        assert!(details.contains("smd.grants_total"), "{details}");
+        assert!(details.contains("kv.hits"), "{details}");
     }
 }

@@ -4,7 +4,7 @@
 //! The harness spawns N "soft processes" (each an [`Sma`] wired to one
 //! shared [`Smd`]/[`MachineMemory`]) and drives them through seeded
 //! pressure waves. Phase boundaries are barrier-controlled; while every
-//! worker is parked, a machine-wide invariant checker sweeps four
+//! worker is parked, a machine-wide invariant checker sweeps five
 //! families:
 //!
 //! 1. **Machine-page conservation** — the machine's used pages equal
@@ -15,6 +15,10 @@
 //!    yields `Err(Revoked)`, never stale data.
 //! 4. **Callback accounting** — no reclaim callback is lost, even when
 //!    callbacks panic.
+//! 5. **Metrics consistency** — every `softmem-telemetry` counter
+//!    mirror equals the checker's ground truth, and every occupancy
+//!    gauge equals the point value it tracks (skipped when the
+//!    `telemetry` feature is off).
 //!
 //! Every run is reproducible from `(scenario, seed)`: a failing
 //! verdict prints exactly the call needed to replay it. Fault plans

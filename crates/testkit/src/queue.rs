@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use softmem_core::{Priority, Sma};
 use softmem_sds::SoftQueue;
+use softmem_telemetry::Counter;
 
 /// A counted queue of `u64` payloads.
 pub struct CountedQueue {
@@ -23,6 +24,9 @@ pub struct CountedQueue {
     pushes: AtomicU64,
     pops: AtomicU64,
     callback_hits: Arc<AtomicU64>,
+    /// Telemetry mirror of `callback_hits`, certified by the
+    /// metrics-consistency family.
+    telemetry_callbacks: Arc<Counter>,
 }
 
 impl CountedQueue {
@@ -31,11 +35,14 @@ impl CountedQueue {
     pub fn new(sma: &Arc<Sma>, name: &str, priority: Priority, panicking: bool) -> Arc<Self> {
         let queue = SoftQueue::new(sma, name, priority);
         let callback_hits = Arc::new(AtomicU64::new(0));
+        let telemetry_callbacks = Arc::new(Counter::new());
         let hits = Arc::clone(&callback_hits);
+        let mirror = Arc::clone(&telemetry_callbacks);
         queue.set_reclaim_callback(move |_v: &u64| {
             // Count FIRST: a panicking callback must still account for
             // the element it was notified about.
             hits.fetch_add(1, Ordering::SeqCst);
+            mirror.add(1);
             if panicking {
                 panic!("injected reclaim-callback panic");
             }
@@ -46,6 +53,7 @@ impl CountedQueue {
             pushes: AtomicU64::new(0),
             pops: AtomicU64::new(0),
             callback_hits,
+            telemetry_callbacks,
         })
     }
 
@@ -120,6 +128,24 @@ impl CountedQueue {
             ));
         }
         defects
+    }
+
+    /// Audits the telemetry mirror against the trusted hit counter
+    /// (metrics-consistency family). Empty with telemetry disabled.
+    pub fn audit_telemetry(&self) -> Vec<String> {
+        if !softmem_telemetry::ENABLED {
+            return Vec::new();
+        }
+        let hits = self.callback_hits.load(Ordering::SeqCst);
+        let mirror = self.telemetry_callbacks.get();
+        if mirror != hits {
+            vec![format!(
+                "queue `{}`: telemetry callback mirror {mirror} != ground truth {hits}",
+                self.name
+            )]
+        } else {
+            Vec::new()
+        }
     }
 }
 

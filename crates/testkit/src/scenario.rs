@@ -471,6 +471,7 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
             procs: &procs,
             pools: &pools,
             queues: &queues,
+            stores: &stores,
         };
         violations.extend(scope.check_all(&format!("after phase {pi}")));
         checks += 1;
@@ -488,6 +489,7 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
         procs: &procs,
         pools: &pools,
         queues: &queues,
+        stores: &stores,
     };
     violations.extend(scope.check_all("quiesce"));
     checks += 1;
@@ -576,6 +578,12 @@ fn apply_chaos(
         }
         ChaosFault::StealthQueueOp => {
             queues[0].inject_stealth_op();
+        }
+        ChaosFault::ForgeCounter(n) => {
+            // A lying metric: the mirror advances with no reclamation
+            // behind it. Ground truth (SmaStats) is untouched, so only
+            // the metrics-consistency family can notice.
+            procs[0].sma().metrics().pages_reclaimed_total.add(n);
         }
     }
 }

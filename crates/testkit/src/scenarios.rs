@@ -168,6 +168,51 @@ pub fn disconnect_churn() -> ScenarioSpec {
     s
 }
 
+/// Telemetry under maximum churn: heavy mixed load across every
+/// instrumented layer, so the metrics-consistency family certifies
+/// the mirrors while grants, denials and reclamation race.
+pub fn telemetry_storm() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("telemetry_storm");
+    s.procs = 4;
+    s.capacity_pages = 96;
+    s.initial_budget_pages = 4;
+    s.trad_max_pages = 4;
+    s.alloc_bytes = (512, 4096);
+    s.mix = OpMix {
+        insert: 8,
+        remove: 3,
+        probe: 2,
+        push: 4,
+        pop: 2,
+        slack: 2,
+        trad: 1,
+        recycle: 1,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// The KV layer's telemetry mirrors (hits/misses/sets/reclaimed)
+/// certified while stores shed entries under pressure.
+pub fn kv_telemetry_soak() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("kv_telemetry_soak");
+    s.kv = true;
+    s.procs = 4;
+    s.capacity_pages = 80;
+    s.initial_budget_pages = 4;
+    s.mix = OpMix {
+        insert: 2,
+        remove: 1,
+        probe: 1,
+        push: 2,
+        pop: 1,
+        kv: 10,
+        slack: 1,
+        ..OpMix::default()
+    };
+    s
+}
+
 /// CHAOS: machine pages leak behind the allocators' backs.
 pub fn chaos_leak_machine_pages() -> ScenarioSpec {
     let mut s = ScenarioSpec::baseline("chaos_leak_machine_pages");
@@ -200,6 +245,15 @@ pub fn chaos_stealth_pop() -> ScenarioSpec {
     s
 }
 
+/// CHAOS: a telemetry counter is forged — the pages-reclaimed mirror
+/// advances with no reclamation behind it. Only registered with
+/// telemetry compiled in (the fault is a no-op otherwise).
+pub fn chaos_forged_counter() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("chaos_forged_counter");
+    s.fault.chaos = Some((ChaosFault::ForgeCounter(11), 1));
+    s
+}
+
 /// Every benign scenario (clean verdict expected for any seed).
 pub fn benign() -> Vec<ScenarioSpec> {
     vec![
@@ -213,23 +267,29 @@ pub fn benign() -> Vec<ScenarioSpec> {
         dropped_grant(),
         delayed_grant(),
         disconnect_churn(),
+        telemetry_storm(),
+        kv_telemetry_soak(),
     ]
 }
 
 /// Every chaos scenario with the family its fault must trip.
 pub fn chaos() -> Vec<(ScenarioSpec, InvariantFamily)> {
-    [
+    let mut specs = vec![
         chaos_leak_machine_pages(),
         chaos_forged_grant(),
         chaos_zombie_handle(),
         chaos_stealth_pop(),
-    ]
-    .into_iter()
-    .map(|s| {
-        let family = s.fault.chaos.expect("chaos scenario").0.target_family();
-        (s, family)
-    })
-    .collect()
+    ];
+    if softmem_telemetry::ENABLED {
+        specs.push(chaos_forged_counter());
+    }
+    specs
+        .into_iter()
+        .map(|s| {
+            let family = s.fault.chaos.expect("chaos scenario").0.target_family();
+            (s, family)
+        })
+        .collect()
 }
 
 /// Looks a scenario up by name across both registries.
@@ -271,8 +331,10 @@ mod tests {
     }
 
     #[test]
-    fn chaos_scenarios_cover_all_four_families() {
+    fn chaos_scenarios_cover_every_checkable_family() {
         let families: std::collections::BTreeSet<_> = chaos().into_iter().map(|(_, f)| f).collect();
-        assert_eq!(families.len(), 4);
+        // Metrics consistency is only checkable (and thus only
+        // covered) when telemetry is compiled in.
+        assert_eq!(families.len(), 4 + softmem_telemetry::ENABLED as usize);
     }
 }

@@ -8,6 +8,10 @@
 //! * [`kv`] — the Redis-like key-value store used by the paper's
 //!   evaluation.
 //! * [`sim`] — the machine/cluster simulation substrate.
+//! * [`telemetry`] — lock-free counters/gauges/histograms and the
+//!   snapshot registry (feature `telemetry`, on by default).
+//! * [`testkit`] — the deterministic concurrency harness and the
+//!   machine-wide invariant checker that certifies the telemetry.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -16,3 +20,5 @@ pub use softmem_daemon as daemon;
 pub use softmem_kv as kv;
 pub use softmem_sds as sds;
 pub use softmem_sim as sim;
+pub use softmem_telemetry as telemetry;
+pub use softmem_testkit as testkit;

@@ -195,6 +195,143 @@ proptest! {
     }
 }
 
+/// Checks one STATS bulk reply line: `$` sigil, single-line JSON with
+/// the `kv` registry and a counter that proves real content.
+fn assert_stats_reply(reply: &str) {
+    let line = reply.trim_end();
+    assert!(
+        line.starts_with("${\"kv\":{"),
+        "STATS reply malformed: {line}"
+    );
+    assert!(line.contains("\"sets\":"), "STATS missing counters: {line}");
+    assert!(
+        line.contains("\"op_ns\":"),
+        "STATS missing histograms: {line}"
+    );
+}
+
+#[test]
+fn tcp_stats_replies_frame_correctly_under_byte_splits() {
+    let (_sma, server, _frontend, mut stream) = raw_tcp_server();
+    // STATS interleaved with scripted commands, the whole exchange
+    // written one byte at a time — the JSON payload must come back as
+    // exactly one `$` line wherever the read boundaries fall.
+    let wire = b"SET a 1\nSTATS\nPING\nSTATS\n";
+    for &b in wire {
+        stream.write_all(&[b]).expect("write byte");
+    }
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut lines = Vec::new();
+    for _ in 0..4 {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        lines.push(reply);
+    }
+    assert_eq!(lines[0].trim_end(), "+OK");
+    assert_stats_reply(&lines[1]);
+    assert_eq!(lines[2].trim_end(), "+PONG");
+    assert_stats_reply(&lines[3]);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_half_stats_frame_then_disconnect_is_dropped() {
+    let (_sma, server, frontend, mut stream) = raw_tcp_server();
+    // Half a STATS verb, then a hard disconnect: the orphan frame must
+    // not execute or wedge the server.
+    stream.write_all(b"STAT").expect("write");
+    drop(stream);
+    let mut stream2 = TcpStream::connect(frontend.addr()).expect("reconnect");
+    stream2.write_all(b"STATS\n").expect("write");
+    let mut reader = BufReader::new(stream2.try_clone().expect("clone"));
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read");
+    assert_stats_reply(&reply);
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// STATS pipelined among scripted commands under arbitrary frame
+    /// splits: the scripted replies stay byte-identical and every
+    /// STATS reply is a well-formed single-line JSON bulk.
+    #[test]
+    fn tcp_stats_is_invariant_under_arbitrary_frame_splits(
+        n_cmds in 4usize..16,
+        cuts in proptest::collection::btree_set(1usize..220, 0..10),
+    ) {
+        let (_sma, server, _frontend, mut stream) = raw_tcp_server();
+        let (mut wire, expected) = scripted_commands(n_cmds);
+        wire.extend_from_slice(b"STATS\n");
+        let mut at = 0usize;
+        for &cut in cuts.iter().filter(|&&c| c < wire.len()) {
+            stream.write_all(&wire[at..cut]).expect("write chunk");
+            stream.flush().expect("flush");
+            at = cut;
+        }
+        stream.write_all(&wire[at..]).expect("write tail");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        for (i, want) in expected.iter().enumerate() {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).expect("read reply");
+            prop_assert_eq!(reply.trim_end(), want.as_str(), "reply #{} differs under split", i);
+        }
+        let mut stats = String::new();
+        reader.read_line(&mut stats).expect("read stats");
+        assert_stats_reply(&stats);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn uds_stats_command_replies_with_daemon_snapshot() {
+    let socket = std::env::temp_dir().join(format!("softmem-stats-{}.sock", std::process::id()));
+    let machine = MachineMemory::unbounded();
+    let smd = Smd::new(SmdConfig::new(&machine, 64).initial_budget(4));
+    let server = UdsSmdServer::bind(smd, &socket).expect("bind");
+
+    let mut stream = UnixStream::connect(&socket).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    // The daemon pushes unsolicited CREDIT/DEMAND lines (e.g. the
+    // registration grant) between replies; skip those.
+    let mut next_reply = move || loop {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        if !(reply.starts_with("CREDIT") || reply.starts_with("DEMAND")) {
+            return reply;
+        }
+    };
+    stream.write_all(b"REGISTER stats-probe\n").expect("write");
+    let reply = next_reply();
+    assert!(reply.starts_with("REGISTERED"), "{reply}");
+
+    // The verb split across writes: the daemon frames on newlines, so
+    // partial reads must reassemble into one STATS command.
+    stream.write_all(b"STA").expect("write");
+    stream.flush().expect("flush");
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    stream.write_all(b"TS\n").expect("write");
+    let reply = next_reply();
+    let line = reply.trim_end();
+    assert!(line.starts_with("STATS {\"smd\":{"), "{line}");
+    assert!(line.contains("\"grants_total\":"), "{line}");
+    assert!(line.contains("\"registered_procs\":"), "{line}");
+
+    // STATS before REGISTER on a fresh connection is a clean error.
+    let mut bare = UnixStream::connect(&socket).expect("connect");
+    let mut bare_reader = BufReader::new(bare.try_clone().expect("clone"));
+    bare.write_all(b"STATS\n").expect("write");
+    let mut bare_reply = String::new();
+    bare_reader.read_line(&mut bare_reply).expect("read");
+    assert!(bare_reply.starts_with("ERR"), "{bare_reply}");
+
+    drop(stream);
+    drop(bare);
+    drop(server);
+}
+
 #[test]
 fn uds_daemon_survives_garbage_clients() {
     let socket = std::env::temp_dir().join(format!("softmem-fuzz-{}.sock", std::process::id()));
