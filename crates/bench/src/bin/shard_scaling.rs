@@ -1,0 +1,399 @@
+//! Shard scaling — measures what the shard-per-core refactor buys.
+//!
+//! Two experiments, reported together as `BENCH_shard.json`:
+//!
+//! 1. **Throughput**: a fixed pool of shard-affine client threads
+//!    drives Zipf GET/SET churn against a 1-, 2- and 4-shard engine
+//!    for a fixed wall-clock window while a machine reclamation loop
+//!    applies an identical dose of budget pressure to every
+//!    configuration. Reclamation callbacks are charged an *off-CPU*
+//!    per-entry cost ([`ReclaimCostModel::Sleep`] — the
+//!    unmap/destructor/IO work a real cache does per evicted entry),
+//!    and a squeeze holds the victim map's inner lock for its whole
+//!    multi-millisecond run. With one shard that lock is the whole
+//!    keyspace and every client stalls behind it; with four, the
+//!    squeeze lands on one shard while the other three keep serving.
+//!
+//! 2. **No-stall**: one low-priority shard holds the bulk of the data
+//!    and an SMA reclamation loop squeezes it (expensive sleeping
+//!    callback per entry) while a client measures `SET` latency on the
+//!    *other* shards. The same measurement against a single-shard
+//!    engine — where the squeezed map and the measured map are the
+//!    same — shows the stall the sharding removes. Latency histograms
+//!    (p50/p99/max) for both are the evidence.
+//!
+//! Run: `cargo run --release -p softmem-bench --bin shard_scaling`
+//! Options: `--quick` (CI preset), `--out PATH`
+//! (default `BENCH_shard.json`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use softmem_core::{Priority, Sma, SmaConfig};
+use softmem_kv::{ReclaimCostModel, ShardedStore, Store};
+use softmem_sds::EvictionOrder;
+use softmem_sim::ZipfKeys;
+
+/// Client threads driving every throughput configuration (fixed, so
+/// shard count is the only variable).
+const CLIENTS: usize = 4;
+/// Keys in the Zipf working set.
+const KEYSPACE: usize = 4096;
+/// Value bytes per SET.
+const VALUE_LEN: usize = 1024;
+
+struct ThroughputResult {
+    shards: usize,
+    ops: u64,
+    elapsed: Duration,
+    reclaimed_entries: u64,
+    reclaim_rounds: usize,
+}
+
+impl ThroughputResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Carves the keyspace into one disjoint Zipf pool per client, with
+/// every key in client `c`'s pool owned by shard `c % shards` — the
+/// shard-per-core deployment model, where a connection's traffic has
+/// key affinity with the shard its worker serves (Redis-Cluster-style
+/// smart clients). Every configuration sees the same shape: [`CLIENTS`]
+/// clients × `KEYSPACE / CLIENTS` distinct keys each.
+fn client_pools(engine: &ShardedStore, shards: usize) -> Vec<Vec<String>> {
+    let pool = KEYSPACE / CLIENTS;
+    let per_shard = (CLIENTS / shards) * pool;
+    let mut owned: Vec<Vec<String>> = vec![Vec::new(); shards];
+    let mut i = 0usize;
+    while owned.iter().any(|v| v.len() < per_shard) {
+        let key = format!("key:{i:06}");
+        let s = engine.shard_of(key.as_bytes());
+        if owned[s].len() < per_shard {
+            owned[s].push(key);
+        }
+        i += 1;
+    }
+    (0..CLIENTS)
+        .map(|c| {
+            let chunk = c / shards;
+            owned[c % shards][chunk * pool..(chunk + 1) * pool].to_vec()
+        })
+        .collect()
+}
+
+/// Measures aggregate GET/SET throughput over a fixed wall-clock
+/// window while a machine reclamation loop applies a fixed dose of
+/// budget pressure (`rounds` × [`Sma::reclaim`], each squeezing entry
+/// slots out of shard maps with `cost` of off-CPU cleanup per entry).
+///
+/// The squeeze dose is identical for every shard count — only the
+/// blast radius differs. A squeeze holds the victim map's inner lock
+/// for its whole multi-millisecond callback run: with one shard that
+/// is the only map and all four clients stall behind it; with four,
+/// the three unsqueezed shards keep serving at full speed.
+fn throughput_config(
+    shards: usize,
+    window: Duration,
+    rounds: usize,
+    cost: Duration,
+    seed: u64,
+) -> ThroughputResult {
+    let sma = Sma::with_config(
+        SmaConfig::for_testing(512)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    let engine = Arc::new(ShardedStore::new(&sma, "bench", Priority::new(4), shards));
+    engine.set_reclaim_cost(cost);
+    engine.set_reclaim_cost_model(ReclaimCostModel::Sleep);
+
+    // Pre-fill every pool so the measured workload is overwrite/read
+    // churn at steady state, then burn the budget slack so each
+    // reclaim round is forced into tier 3 (map squeezes) instead of
+    // being absorbed silently.
+    let pools = client_pools(&engine, shards.max(1));
+    let value = [0x5A_u8; VALUE_LEN];
+    for pool in &pools {
+        for key in pool {
+            engine.set(key.as_bytes(), &value).expect("pre-fill");
+        }
+    }
+    let slack = sma.stats().slack_pages();
+    sma.reclaim(slack);
+
+    let ops_done = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let reclaimer = {
+        let sma = Arc::clone(&sma);
+        std::thread::spawn(move || {
+            for _ in 0..rounds {
+                sma.reclaim(2);
+            }
+        })
+    };
+    let workers: Vec<_> = pools
+        .into_iter()
+        .enumerate()
+        .map(|(c, pool)| {
+            let engine = Arc::clone(&engine);
+            let ops_done = Arc::clone(&ops_done);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut zipf = ZipfKeys::new(pool.len(), 1.05, seed ^ ((c as u64 + 1) << 32));
+                let value = [0x5A_u8; VALUE_LEN];
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let key = &pool[zipf.next_key()];
+                    if ops % 5 < 3 {
+                        // A SET may transiently fail while a squeeze
+                        // holds freed pages mid-harvest; churn retries
+                        // it on the next visit.
+                        let _ = engine.set(key.as_bytes(), &value);
+                    } else {
+                        let _ = engine.get(key.as_bytes());
+                    }
+                    ops += 1;
+                }
+                ops_done.fetch_add(ops, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().expect("client thread");
+    }
+    let elapsed = start.elapsed();
+    reclaimer.join().expect("reclaim thread");
+    ThroughputResult {
+        shards,
+        ops: ops_done.load(Ordering::Relaxed),
+        elapsed,
+        reclaimed_entries: engine.stats().reclaimed_entries,
+        reclaim_rounds: rounds,
+    }
+}
+
+struct LatencyStats {
+    samples: Vec<u64>,
+    elapsed: Duration,
+}
+
+impl LatencyStats {
+    fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let idx = ((self.samples.len() - 1) as f64 * p).round() as usize;
+        self.samples[idx]
+    }
+
+    fn max(&self) -> u64 {
+        self.samples.last().copied().unwrap_or(0)
+    }
+
+    /// SET throughput sustained *while* the reclaim loop runs — the
+    /// headline no-stall number: a stalled client completes almost no
+    /// operations per second regardless of how its fast-path p50 looks.
+    fn ops_per_sec(&self) -> f64 {
+        self.samples.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"samples\":{},\"elapsed_ms\":{},\"set_ops_per_sec\":{:.0},\
+             \"set_p50_ns\":{},\"set_p99_ns\":{},\"set_p999_ns\":{},\"set_max_ns\":{}}}",
+            self.samples.len(),
+            self.elapsed.as_millis(),
+            self.ops_per_sec(),
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.percentile(0.999),
+            self.max(),
+        )
+    }
+}
+
+/// Measures SET latency on the non-squeezed part of an engine while a
+/// reclamation loop grinds the low-priority "victim" store with an
+/// expensive off-CPU callback. `sharded` selects the 4-shard layout
+/// (victim + 3 clean shards) vs the 1-shard layout (victim == the
+/// measured store).
+fn no_stall_config(sharded: bool, rounds: usize, cost: Duration, seed: u64) -> LatencyStats {
+    let sma = Sma::with_config(
+        SmaConfig::for_testing(2048)
+            .free_pool_retain(0)
+            .sds_retain(0),
+    );
+    // The victim shard owns the bulk of the data at the lowest
+    // priority, so SMA tier-3 reclamation always lands on it.
+    let victim = Arc::new(Store::with_eviction_labeled(
+        &sma,
+        "victim",
+        Priority::new(1),
+        EvictionOrder::InsertionOrder,
+        "kv0",
+    ));
+    victim.set_reclaim_cost(cost);
+    victim.set_reclaim_cost_model(ReclaimCostModel::Sleep);
+    let value = [0x33_u8; 512];
+    for i in 0..2000 {
+        victim
+            .set(format!("victim:{i:06}").as_bytes(), &value)
+            .expect("victim fill");
+    }
+    let mut stores = vec![Arc::clone(&victim)];
+    if sharded {
+        for (i, name) in ["clean-b", "clean-c", "clean-d"].iter().enumerate() {
+            let s = Arc::new(Store::with_eviction_labeled(
+                &sma,
+                name,
+                Priority::new(5),
+                EvictionOrder::InsertionOrder,
+                &format!("kv{}", i + 1),
+            ));
+            for k in 0..256 {
+                s.set(format!("{name}:{k:04}").as_bytes(), &value)
+                    .expect("clean fill");
+            }
+            stores.push(s);
+        }
+    }
+    let engine = Arc::new(ShardedStore::from_stores(stores));
+
+    // Burn the budget slack so every reclaim demand reaches tier 3
+    // (the victim's callback) instead of being absorbed silently.
+    let slack = sma.stats().slack_pages();
+    sma.reclaim(slack);
+
+    let running = Arc::new(AtomicBool::new(true));
+    let reclaimer = {
+        let sma = Arc::clone(&sma);
+        let running = Arc::clone(&running);
+        std::thread::spawn(move || {
+            for _ in 0..rounds {
+                sma.reclaim(8);
+            }
+            running.store(false, Ordering::Release);
+        })
+    };
+
+    // Measure SETs against the clean shards (sharded) or the victim
+    // itself (unsharded) while the squeeze runs. Overwrites only, so
+    // the measured path is alloc/free — never its own eviction storm.
+    let mut zipf = ZipfKeys::new(256, 1.05, seed);
+    let mut samples = Vec::new();
+    let mut shard_pick = 0usize;
+    let begin = Instant::now();
+    while running.load(Ordering::Acquire) {
+        let key = if sharded {
+            shard_pick = (shard_pick + 1) % 3;
+            let name = ["clean-b", "clean-c", "clean-d"][shard_pick];
+            format!("{name}:{:04}", zipf.next_key())
+        } else {
+            format!("victim:{:06}", zipf.next_key())
+        };
+        let shard = if sharded { shard_pick + 1 } else { 0 };
+        let t = Instant::now();
+        let _ = engine.shard(shard).set(key.as_bytes(), &value);
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    let elapsed = begin.elapsed();
+    reclaimer.join().expect("reclaim thread");
+    samples.sort_unstable();
+    LatencyStats { samples, elapsed }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("SOFTMEM_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_shard.json".to_string());
+
+    let window = Duration::from_millis(if quick { 250 } else { 1000 });
+    let cost = Duration::from_micros(50);
+    let rounds = if quick { 12 } else { 48 };
+    let seed = 0x5EED_CAFE_u64;
+
+    println!("== shard scaling ==");
+    println!(
+        "{CLIENTS} shard-affine clients, {KEYSPACE}-key Zipf churn, {:?} window, \
+         {rounds} reclaim rounds, {}µs off-CPU cleanup per evicted entry\n",
+        window,
+        cost.as_micros()
+    );
+
+    let mut configs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let r = throughput_config(shards, window, rounds, cost, seed);
+        println!(
+            "{} shard(s): {:>9.0} ops/s  ({} ops in {:?}, {} entries squeezed out)",
+            r.shards,
+            r.ops_per_sec(),
+            r.ops,
+            r.elapsed,
+            r.reclaimed_entries
+        );
+        configs.push(r);
+    }
+    let speedup = configs[2].ops_per_sec() / configs[0].ops_per_sec().max(1e-9);
+    println!("\n4-shard vs 1-shard speedup: {speedup:.2}x");
+
+    println!("\n-- no-stall: SET latency beside an in-flight reclaim --");
+    let one = no_stall_config(false, rounds, cost, seed);
+    let four = no_stall_config(true, rounds, cost, seed);
+    for (label, s) in [("1 shard ", &one), ("4 shards", &four)] {
+        println!(
+            "{label}: {:>9.0} SET/s  p50 {:>7} ns  p99 {:>8} ns  p999 {:>10} ns  max {:>11} ns",
+            s.ops_per_sec(),
+            s.percentile(0.5),
+            s.percentile(0.99),
+            s.percentile(0.999),
+            s.max(),
+        );
+    }
+    let stall_ratio = four.ops_per_sec() / one.ops_per_sec().max(1e-9);
+    let max_ratio = one.max() as f64 / four.max().max(1) as f64;
+    println!(
+        "during-reclaim SET throughput ratio (4-shard / 1-shard): {stall_ratio:.1}x, \
+         worst-stall ratio: {max_ratio:.1}x"
+    );
+
+    let config_json: Vec<String> = configs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"shards\":{},\"clients\":{CLIENTS},\"ops\":{},\"elapsed_ms\":{},\
+                 \"ops_per_sec\":{:.0},\"reclaim_rounds\":{},\"reclaimed_entries\":{}}}",
+                r.shards,
+                r.ops,
+                r.elapsed.as_millis(),
+                r.ops_per_sec(),
+                r.reclaim_rounds,
+                r.reclaimed_entries
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"quick\":{quick},\"reclaim_cost_ns_per_entry\":{},\
+         \"throughput\":[{}],\"speedup_4x_vs_1x\":{speedup:.2},\
+         \"no_stall\":{{\"one_shard\":{},\"four_shards\":{},\
+         \"during_reclaim_throughput_ratio\":{stall_ratio:.1},\
+         \"worst_stall_ratio\":{max_ratio:.1}}}}}",
+        cost.as_nanos(),
+        config_json.join(","),
+        one.json(),
+        four.json(),
+    );
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    println!("\nwrote {out}");
+}

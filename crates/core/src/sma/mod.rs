@@ -81,6 +81,19 @@ pub(crate) struct SdsEntry {
     pub(crate) priority: Priority,
     pub(crate) heap: SdsHeap,
     pub(crate) reclaimer: Option<Arc<dyn SdsReclaimer>>,
+    /// Held (CAS true) by the reclamation pass currently squeezing this
+    /// SDS in tier 3. Concurrent [`Sma::reclaim`] calls skip a guarded
+    /// SDS instead of queueing behind its callback, so reclamations
+    /// targeting different SDSs (different shards) proceed in parallel.
+    /// Lives outside the `SmaInner` mutex by design: it is read/written
+    /// around the *unlocked* callback section.
+    pub(crate) reclaim_guard: Arc<std::sync::atomic::AtomicBool>,
+    /// Pages this SDS's frees sent straight back to the OS (retention
+    /// overflow and span releases). Tier-3 reclamation reads the delta
+    /// across a callback to credit the *target* SDS exactly — a global
+    /// counter would cross-attribute pages between concurrent
+    /// reclamation passes and double-shrink the budget.
+    pub(crate) pages_auto_released: u64,
 }
 
 pub(crate) struct SmaInner {
@@ -242,6 +255,8 @@ impl Sma {
             priority,
             heap: SdsHeap::new(id),
             reclaimer: None,
+            reclaim_guard: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            pages_auto_released: 0,
         };
         if idx == inner.sds.len() {
             inner.sds.push(Some(entry));
@@ -524,6 +539,7 @@ impl Sma {
         let inner = &mut *self.inner.lock();
         let entry = inner.entry_mut(raw.sds)?;
         let out = entry.heap.free(raw, run_drop)?;
+        let mut auto_released = 0u64;
         if out.page_now_free {
             let frames = entry.heap.harvest_free_pages(self.cfg.sds_retain_pages);
             for frame in frames {
@@ -532,12 +548,19 @@ impl Sma {
                 } else {
                     inner.pool.release_to_os(frame);
                     inner.held_pages -= 1;
+                    auto_released += 1;
                 }
             }
         }
         if let Some(span) = out.released_span {
             inner.held_pages -= span.pages();
+            auto_released += span.pages() as u64;
             inner.pool.release_span(span);
+        }
+        if auto_released > 0 {
+            if let Ok(entry) = inner.entry_mut(raw.sds) {
+                entry.pages_auto_released += auto_released;
+            }
         }
         self.metrics.sync_gauges(inner);
         timer.observe(&self.metrics.free_ns);
@@ -579,6 +602,36 @@ impl Sma {
     /// Reads a typed value.
     pub fn with_value<T, R>(&self, slot: &SoftSlot<T>, f: impl FnOnce(&T) -> R) -> SoftResult<R> {
         self.with_raw_value(slot.raw, f)
+    }
+
+    /// Reads a typed value like [`Sma::with_value`], but releases the
+    /// allocator lock before running `f`, so a slow reader — an
+    /// eviction callback charged with per-entry cleanup cost, say —
+    /// does not serialise every other SDS's allocations behind it.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee the slot stays live and un-mutated
+    /// for the duration of the call. In practice that means the caller
+    /// exclusively owns the slot (it is unreachable from any shared
+    /// structure) and holds the owning container's lock, so no other
+    /// path can free, evict, or write through it while `f` runs.
+    pub unsafe fn with_value_exclusive<T, R>(
+        &self,
+        slot: &SoftSlot<T>,
+        f: impl FnOnce(&T) -> R,
+    ) -> SoftResult<R> {
+        let ptr = {
+            let inner = self.inner.lock();
+            let (ptr, _) = inner.entry(slot.raw.sds)?.heap.resolve(slot.raw)?;
+            ptr
+        };
+        // SAFETY: live slot holding an initialised `T` (written by
+        // `alloc_value`). The lock is released, but the caller's
+        // exclusivity contract rules out concurrent frees (which could
+        // unmap the page) and writes for the call's duration.
+        let value = unsafe { &*ptr.cast::<T>() };
+        Ok(f(value))
     }
 
     /// Mutates a typed value.

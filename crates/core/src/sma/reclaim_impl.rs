@@ -18,12 +18,38 @@
 //! individual frees). Pages released by those frees — whether through
 //! the retention watermarks or the explicit harvest — are counted
 //! against the demand via the page pool's release counter.
+//!
+//! Tier 3 is additionally **parallel-safe** across SDSs: each SDS
+//! carries a reclaim guard (an atomic flag outside the `SmaInner`
+//! mutex) that one reclamation pass holds while squeezing it.
+//! Concurrent [`Sma::reclaim`] calls skip a guarded SDS instead of
+//! serialising behind its (potentially very expensive) callback, and
+//! the per-round harvest is a *two-phase* affair: the callback runs
+//! unlocked, then the lock is re-acquired only long enough to return
+//! whole pages from the free pool and the **target SDS's heap** —
+//! never to scan every heap on the machine. A sharded KV engine whose
+//! shard A is being reclaimed therefore keeps allocating on shards
+//! B–N with only page-return-sized critical sections in the way. Any
+//! idle pages the targeted harvest leaves attached to *other* heaps
+//! are swept up by a single global pass after the SDS loop, so the
+//! demand is satisfied exactly as before.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use super::{Sma, SmaInner};
 use crate::handle::SdsId;
 use crate::page::PAGE_SIZE;
+
+/// Releases an SDS's reclaim guard on drop, so a panicking bookkeeping
+/// path can never leave the SDS permanently unreclaimable.
+struct GuardRelease<'a>(&'a AtomicBool);
+
+impl Drop for GuardRelease<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
 
 /// How many free→harvest rounds to run per SDS before concluding the
 /// SDS cannot produce more whole pages (fragmentation guard: freed
@@ -53,7 +79,7 @@ pub struct ReclaimReport {
     /// Pages yielded from budget slack (no physical release needed).
     pub from_slack: usize,
     /// Physical pages released from the free pool and already-free SDS
-    /// pages (tier 2).
+    /// pages (tier 2, plus the post-tier-3 global idle sweep).
     pub from_idle: usize,
     /// Physical pages released by freeing live allocations (tier 3),
     /// per SDS in the order they were visited.
@@ -119,7 +145,8 @@ impl Sma {
             ..ReclaimReport::default()
         };
         let mut remaining = demanded_pages;
-        let order: Vec<(SdsId, String, Arc<dyn super::SdsReclaimer>)>;
+        type OrderEntry = (SdsId, String, Arc<dyn super::SdsReclaimer>, Arc<AtomicBool>);
+        let order: Vec<OrderEntry>;
         {
             // ---- Tier 1 + 2 (locked): slack and idle pages. ----
             let inner = &mut *self.inner.lock();
@@ -139,24 +166,41 @@ impl Sma {
                 .iter()
                 .flatten()
                 .filter_map(|e| {
-                    e.reclaimer
-                        .as_ref()
-                        .map(|r| (e.priority, e.heap.id(), e.name.clone(), Arc::clone(r)))
+                    e.reclaimer.as_ref().map(|r| {
+                        (
+                            e.priority,
+                            e.heap.id(),
+                            e.name.clone(),
+                            Arc::clone(r),
+                            Arc::clone(&e.reclaim_guard),
+                        )
+                    })
                 })
                 .collect();
             // Ascending priority; ties broken by registration order for
             // determinism.
-            sorted.sort_by_key(|&(prio, id, _, _)| (prio, id));
+            sorted.sort_by_key(|&(prio, id, _, _, _)| (prio, id));
             order = sorted
                 .into_iter()
-                .map(|(_, id, name, r)| (id, name, r))
+                .map(|(_, id, name, r, g)| (id, name, r, g))
                 .collect();
         }
         // ---- Tier 3 (unlocked): ask SDSs to free live allocations. ----
-        for (id, name, reclaimer) in order {
+        for (id, name, reclaimer, guard) in order {
             if remaining == 0 {
                 break;
             }
+            // Another reclamation pass is already squeezing this SDS;
+            // queueing behind its callback would serialise reclaims
+            // machine-wide, so skip it — the concurrent pass is
+            // producing the pages this one would have asked for.
+            if guard
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            let _release = GuardRelease(&guard);
             let mut contribution = SdsContribution {
                 id,
                 name,
@@ -169,13 +213,12 @@ impl Sma {
                     break;
                 }
                 let target_bytes = remaining * PAGE_SIZE;
-                let (released_before, frees_before) = {
+                let (auto_before, frees_before) = {
                     let inner = self.inner.lock();
-                    let frees = inner
+                    inner
                         .entry(id)
-                        .map(|e| e.heap.stats().frees_total)
-                        .unwrap_or(0);
-                    (inner.pool.stats().released_total, frees)
+                        .map(|e| (e.pages_auto_released, e.heap.stats().frees_total))
+                        .unwrap_or((0, 0))
                 };
                 // A panicking reclaimer (buggy SDS policy or user
                 // callback) must not unwind into the daemon: treat it
@@ -188,20 +231,28 @@ impl Sma {
                 .unwrap_or(0);
                 cb_timer.observe(&self.metrics.sds_callback_ns);
                 let released_this_round = {
+                    // Phase two of the harvest: re-acquire the lock
+                    // only to *return whole pages*. Pages auto-released
+                    // by the frees themselves (retention watermark
+                    // overflow, spans) are counted via the target SDS's
+                    // own release counter — not a global one, which a
+                    // concurrent pass on another SDS would also be
+                    // incrementing…
                     let inner = &mut *self.inner.lock();
-                    // Pages auto-released by the frees themselves
-                    // (retention watermark overflow, spans)…
-                    let auto = (inner.pool.stats().released_total - released_before) as usize;
-                    // …plus an explicit harvest of pages the frees left
-                    // idle but attached.
-                    let explicit = Self::release_idle_pages(inner, remaining.saturating_sub(auto));
+                    let (auto_after, frees_after) = inner
+                        .entry(id)
+                        .map(|e| (e.pages_auto_released, e.heap.stats().frees_total))
+                        .unwrap_or((auto_before, frees_before));
+                    let auto = (auto_after - auto_before) as usize;
+                    // …plus a harvest targeted at the SDS that just ran
+                    // its callback (free pool first, then that heap's
+                    // wholly-free pages). No global heap scan happens
+                    // in this critical section.
+                    let explicit =
+                        Self::harvest_target_pages(inner, id, remaining.saturating_sub(auto));
                     let released = auto + explicit;
                     inner.budget_pages = inner.budget_pages.saturating_sub(released);
-                    contribution.allocs_freed += inner
-                        .entry(id)
-                        .map(|e| e.heap.stats().frees_total)
-                        .unwrap_or(frees_before)
-                        - frees_before;
+                    contribution.allocs_freed += frees_after - frees_before;
                     released
                 };
                 contribution.bytes_freed += freed_bytes;
@@ -214,6 +265,16 @@ impl Sma {
             if contribution.pages > 0 || contribution.bytes_freed > 0 {
                 report.from_sds.push(contribution);
             }
+        }
+        // Final sweep: the targeted harvests deliberately left other
+        // heaps' idle pages alone; if the demand is still short, one
+        // global idle pass (same as tier 2) collects them — including
+        // pages concurrent frees idled while tier 3 ran.
+        if remaining > 0 {
+            let inner = &mut *self.inner.lock();
+            let swept = Self::release_idle_pages(inner, remaining);
+            inner.budget_pages = inner.budget_pages.saturating_sub(swept);
+            report.from_idle += swept;
         }
         {
             let mut inner = self.inner.lock();
@@ -240,6 +301,40 @@ impl Sma {
                 reclaimed_pages: report.total_yielded(),
             })
         }
+    }
+
+    /// Phase two of the tier-3 two-phase harvest: with the lock
+    /// re-acquired after an *unlocked* reclaim callback, returns up to
+    /// `want` whole pages from the free pool and then from the target
+    /// SDS's own heap. Deliberately never scans other heaps — this
+    /// critical section sits on every shard's allocation path, so it
+    /// stays proportional to the pages actually coming back, not to
+    /// the number of SDSs on the machine.
+    fn harvest_target_pages(inner: &mut SmaInner, id: SdsId, want: usize) -> usize {
+        let mut released = 0;
+        while released < want {
+            let Some(frame) = inner.free_pool.pop() else {
+                break;
+            };
+            inner.pool.release_to_os(frame);
+            inner.held_pages -= 1;
+            released += 1;
+        }
+        if released < want {
+            // The SDS may have been destroyed while its callback ran;
+            // its pages then went through `destroy_sds` already.
+            if let Ok(entry) = inner.entry_mut(id) {
+                let surplus = entry.heap.wholly_free_pages();
+                let take = surplus.min(want - released);
+                let keep = surplus - take;
+                for frame in entry.heap.harvest_free_pages(keep) {
+                    inner.pool.release_to_os(frame);
+                    inner.held_pages -= 1;
+                    released += 1;
+                }
+            }
+        }
+        released
     }
 
     /// Releases up to `want` idle pages (free pool first, then

@@ -3,9 +3,11 @@
 //! Runs the Redis-like store on its own soft-memory allocator with a
 //! fixed budget, so the cache degrades (sheds entries) instead of
 //! growing without bound — `maxmemory` semantics out of the box.
+//! `--shards N` splits the keyspace over N independent engine threads
+//! (one SDS and one worker each), the shard-per-core deployment shape.
 //!
 //! ```sh
-//! cargo run --release -p softmem-kv --bin kv_server -- --budget-mib 64
+//! cargo run --release -p softmem-kv --bin kv_server -- --budget-mib 64 --shards 4
 //! # in another terminal:
 //! cargo run --release -p softmem-kv --bin kv_cli -- 127.0.0.1:<port>
 //! ```
@@ -16,7 +18,7 @@ use std::sync::Arc;
 use softmem_core::{bytes_to_pages, Priority, Sma, SmaConfig};
 use softmem_daemon::uds::UdsProcess;
 use softmem_kv::server::{KvHandle, KvServer};
-use softmem_kv::{Response, Store};
+use softmem_kv::{Response, ShardedStore};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -29,6 +31,10 @@ fn main() {
     let budget_mib: usize = arg("--budget-mib")
         .and_then(|v| v.parse().ok())
         .unwrap_or(64);
+    let shards: usize = arg("--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
     let addr = arg("--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
 
     // Two modes: a fixed standalone budget, or membership of a
@@ -49,13 +55,16 @@ fn main() {
             ))),
         ),
     };
-    let store = Store::new(&sma, "keyspace", Priority::new(4));
-    let server = KvServer::start(store);
+    let engine = ShardedStore::new(&sma, "keyspace", Priority::new(4), shards);
+    let server = KvServer::start_sharded(engine);
     let handle = server.handle();
 
     let listener = TcpListener::bind(&addr).expect("bind listen address");
     let local = listener.local_addr().expect("bound address");
-    println!("softmem-kv listening on {local} (soft budget {budget_mib} MiB)");
+    println!(
+        "softmem-kv listening on {local} (soft budget {budget_mib} MiB, {shards} shard{})",
+        if shards == 1 { "" } else { "s" }
+    );
     println!("commands: GET SET DEL EXISTS DBSIZE KEYS INCR INCRBY APPEND PEXPIRE PTTL PERSIST INFO SHED FLUSHALL SHUTDOWN");
 
     for stream in listener.incoming() {

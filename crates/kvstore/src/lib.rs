@@ -42,9 +42,11 @@ pub mod crash;
 mod metrics;
 pub mod protocol;
 pub mod server;
+mod sharded;
 mod store;
 
 pub use metrics::StoreMetrics;
 pub use protocol::{Command, Response};
 pub use server::{KvHandle, KvServer, TcpFrontend, TcpKvClient};
-pub use store::{Store, StoreStats, Ttl};
+pub use sharded::ShardedStore;
+pub use store::{ReclaimCostModel, Store, StoreStats, Ttl};

@@ -9,7 +9,8 @@ use std::sync::Arc;
 
 use softmem_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot};
 
-/// The store's metric set (registry label `kv`).
+/// The store's metric set (registry label `kv` for a standalone store;
+/// shard `i` of a sharded engine labels its registry `kv{i}`).
 pub struct StoreMetrics {
     registry: Registry,
     /// Live keys (refreshed via [`crate::Store::refresh_gauges`]).
@@ -35,8 +36,8 @@ pub struct StoreMetrics {
 }
 
 impl StoreMetrics {
-    pub(crate) fn new() -> Self {
-        let registry = Registry::new("kv");
+    pub(crate) fn new(label: &str) -> Self {
+        let registry = Registry::new(label);
         StoreMetrics {
             keys: registry.gauge("keys"),
             soft_bytes: registry.gauge("soft_bytes"),

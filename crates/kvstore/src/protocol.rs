@@ -300,7 +300,7 @@ impl Command {
     }
 }
 
-fn render_info(store: &Store) -> String {
+pub(crate) fn render_info(store: &Store) -> String {
     // Single line: the protocol frames replies by lines, so INFO packs
     // its fields with `;` separators — exactly the telemetry
     // registry's flat rendering, so there is no bespoke formatting to
@@ -327,7 +327,7 @@ fn render_info(store: &Store) -> String {
     }
 }
 
-fn render_stats(store: &Store) -> String {
+pub(crate) fn render_stats(store: &Store) -> String {
     // Single line of whitespace-free JSON, safe under line framing.
     store.refresh_gauges();
     softmem_telemetry::combined_json(&[store.metrics().snapshot()])

@@ -1,88 +1,305 @@
-//! Servers: an in-process command loop and a TCP front-end.
+//! Servers: a shard-routing command engine and a TCP front-end.
 //!
-//! Redis is single-threaded; we mirror that with one worker thread
-//! that owns command execution, fed by a channel (in-process clients)
-//! and/or TCP connection threads that forward lines to the same
-//! worker.
+//! Redis is single-threaded per engine; we mirror that *per shard*.
+//! Each shard of the [`ShardedStore`] gets one worker thread that owns
+//! command execution for its slice of the keyspace, fed by its own
+//! channel. A thin router ([`KvHandle`]) parses each request line,
+//! hash-routes single-key commands to the owning shard, and fans out /
+//! merges cross-shard ones (`MGET`, `KEYS`, `DBSIZE`, `FLUSHALL`,
+//! `SHED`). `INFO` and `STATS` are answered router-side from the
+//! engine's aggregated view. A one-shard server is exactly the old
+//! single-worker server: every command short-circuits to shard 0, so
+//! protocol semantics are unchanged.
+//!
+//! TCP connection threads call straight into the router — there is no
+//! global submission queue to serialize behind, so two connections
+//! touching different shards proceed concurrently even while a third
+//! shard is being squeezed by the reclamation daemon.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
 
 use crate::protocol::{Command, Response};
+use crate::sharded::ShardedStore;
 use crate::store::Store;
 
-enum Req {
-    Line(String, Sender<String>),
+enum ShardReq {
+    Exec(Command, Sender<Response>),
     Stop,
 }
 
-/// An in-process KV server: one worker thread executing commands
-/// sequentially against its [`Store`].
+/// The routing core shared by every [`KvHandle`]: the engine plus one
+/// submission queue per shard worker.
+struct RouterInner {
+    engine: Arc<ShardedStore>,
+    shards: Vec<Sender<ShardReq>>,
+}
+
+/// The key a command routes by, when it has exactly one.
+fn routing_key(cmd: &Command) -> Option<&[u8]> {
+    match cmd {
+        Command::Set { key, .. }
+        | Command::Get { key }
+        | Command::Del { key }
+        | Command::Exists { key }
+        | Command::IncrBy { key, .. }
+        | Command::Append { key, .. }
+        | Command::PExpire { key, .. }
+        | Command::PTtl { key }
+        | Command::Persist { key }
+        | Command::SetNx { key, .. } => Some(key),
+        _ => None,
+    }
+}
+
+impl RouterInner {
+    /// Runs `cmd` on one shard's worker and waits for the reply.
+    fn exec_on(&self, shard: usize, cmd: Command) -> Result<Response, String> {
+        let (tx, rx) = bounded(1);
+        self.shards[shard]
+            .send(ShardReq::Exec(cmd, tx))
+            .map_err(|_| "server stopped".to_string())?;
+        rx.recv().map_err(|_| "server stopped".to_string())
+    }
+
+    /// Submits every `(shard, cmd)` pair before collecting any reply,
+    /// so shard workers execute their slices concurrently; replies
+    /// come back in submission order.
+    fn fan_out(&self, cmds: Vec<(usize, Command)>) -> Result<Vec<Response>, String> {
+        let mut pending = Vec::with_capacity(cmds.len());
+        for (shard, cmd) in cmds {
+            let (tx, rx) = bounded(1);
+            self.shards[shard]
+                .send(ShardReq::Exec(cmd, tx))
+                .map_err(|_| "server stopped".to_string())?;
+            pending.push(rx);
+        }
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| "server stopped".to_string()))
+            .collect()
+    }
+
+    fn dispatch(&self, cmd: Command) -> Result<Response, String> {
+        let n = self.shards.len();
+        if n == 1 {
+            // The unsharded fast path: one worker owns everything, and
+            // every command — including cross-shard verbs — executes
+            // exactly as the pre-sharding server did.
+            return self.exec_on(0, cmd);
+        }
+        match cmd {
+            c @ (Command::Set { .. }
+            | Command::Get { .. }
+            | Command::Del { .. }
+            | Command::Exists { .. }
+            | Command::IncrBy { .. }
+            | Command::Append { .. }
+            | Command::PExpire { .. }
+            | Command::PTtl { .. }
+            | Command::Persist { .. }
+            | Command::SetNx { .. }) => {
+                let shard = self
+                    .engine
+                    .shard_of(routing_key(&c).expect("single-key command"));
+                self.exec_on(shard, c)
+            }
+            // PING measures one engine round trip, not a fan-out.
+            Command::Ping => self.exec_on(0, Command::Ping),
+            Command::DbSize => {
+                let replies = self.fan_out((0..n).map(|i| (i, Command::DbSize)).collect())?;
+                let mut total = 0i64;
+                for r in replies {
+                    match r {
+                        Response::Int(k) => total += k,
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Response::Int(total))
+            }
+            Command::FlushAll => {
+                for r in self.fan_out((0..n).map(|i| (i, Command::FlushAll)).collect())? {
+                    if let Response::Error(_) = r {
+                        return Ok(r);
+                    }
+                }
+                Ok(Response::Ok("OK".into()))
+            }
+            Command::Keys { prefix } => {
+                let replies = self.fan_out(
+                    (0..n)
+                        .map(|i| {
+                            (
+                                i,
+                                Command::Keys {
+                                    prefix: prefix.clone(),
+                                },
+                            )
+                        })
+                        .collect(),
+                )?;
+                let mut keys = Vec::new();
+                for r in replies {
+                    match r {
+                        Response::Array(mut ks) => keys.append(&mut ks),
+                        other => return Ok(other),
+                    }
+                }
+                // Globally sorted so the reply is shard-count
+                // independent (each shard already returns sorted).
+                keys.sort();
+                Ok(Response::Array(keys))
+            }
+            Command::Shed { bytes } => {
+                let per = bytes.div_ceil(n);
+                let replies =
+                    self.fan_out((0..n).map(|i| (i, Command::Shed { bytes: per })).collect())?;
+                let mut freed = 0i64;
+                for r in replies {
+                    match r {
+                        Response::Int(k) => freed += k,
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Response::Int(freed))
+            }
+            Command::MGet { keys } => {
+                // Split the key list per shard (each shard visited
+                // once), then stitch replies back into request order.
+                let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+                for (i, k) in keys.iter().enumerate() {
+                    per_shard[self.engine.shard_of(k)].push(i);
+                }
+                let mut cmds = Vec::new();
+                let mut groups = Vec::new();
+                for (shard, idxs) in per_shard.into_iter().enumerate() {
+                    if idxs.is_empty() {
+                        continue;
+                    }
+                    cmds.push((
+                        shard,
+                        Command::MGet {
+                            keys: idxs.iter().map(|&i| keys[i].clone()).collect(),
+                        },
+                    ));
+                    groups.push(idxs);
+                }
+                let replies = self.fan_out(cmds)?;
+                let mut out = vec![b"(nil)".to_vec(); keys.len()];
+                for (idxs, reply) in groups.into_iter().zip(replies) {
+                    match reply {
+                        Response::Array(vals) => {
+                            for (i, v) in idxs.into_iter().zip(vals) {
+                                out[i] = v;
+                            }
+                        }
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Response::Array(out))
+            }
+            // Aggregated machine view, rendered router-side.
+            Command::Info => Ok(Response::Bulk(Some(self.engine.info_string().into_bytes()))),
+            Command::Stats => Ok(Response::Bulk(Some(self.engine.stats_json().into_bytes()))),
+            Command::Shutdown => {
+                // Every worker acknowledges and exits; later requests
+                // fail with "server stopped".
+                let _ = self.fan_out((0..n).map(|i| (i, Command::Shutdown)).collect())?;
+                Ok(Response::Ok("OK".into()))
+            }
+        }
+    }
+}
+
+/// An in-process KV server: one worker thread per shard, each
+/// executing commands sequentially against its own [`Store`].
 pub struct KvServer {
-    store: Arc<Store>,
-    tx: Sender<Req>,
-    worker: Option<JoinHandle<()>>,
+    inner: Arc<RouterInner>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl KvServer {
-    /// Starts the command loop over `store`.
+    /// Starts a one-shard server over `store` — the classic
+    /// single-threaded engine, protocol-identical to the pre-sharding
+    /// stack.
     pub fn start(store: Store) -> Self {
-        let store = Arc::new(store);
-        let (tx, rx) = unbounded::<Req>();
-        let worker_store = Arc::clone(&store);
-        let worker = std::thread::Builder::new()
-            .name("softmem-kv".into())
-            .spawn(move || {
-                while let Ok(req) = rx.recv() {
-                    match req {
-                        Req::Line(line, reply) => {
-                            let (text, stop) = match Command::parse(&line) {
-                                Ok(Command::Shutdown) => (Response::Ok("OK".into()).encode(), true),
-                                Ok(cmd) => (cmd.execute(&worker_store).encode(), false),
-                                Err(msg) => (Response::Error(msg).encode(), false),
-                            };
-                            let _ = reply.send(text);
-                            if stop {
-                                break;
+        Self::start_sharded(ShardedStore::from_single(store))
+    }
+
+    /// Starts one worker per shard of `engine`.
+    pub fn start_sharded(engine: ShardedStore) -> Self {
+        let engine = Arc::new(engine);
+        let mut shards = Vec::with_capacity(engine.shard_count());
+        let mut workers = Vec::with_capacity(engine.shard_count());
+        for (i, store) in engine.shards().iter().enumerate() {
+            let (tx, rx) = unbounded::<ShardReq>();
+            let store = Arc::clone(store);
+            let worker = std::thread::Builder::new()
+                .name(format!("softmem-kv-{i}"))
+                .spawn(move || {
+                    while let Ok(req) = rx.recv() {
+                        match req {
+                            ShardReq::Exec(cmd, reply) => {
+                                let stop = matches!(cmd, Command::Shutdown);
+                                let resp = if stop {
+                                    Response::Ok("OK".into())
+                                } else {
+                                    cmd.execute(&store)
+                                };
+                                let _ = reply.send(resp);
+                                if stop {
+                                    break;
+                                }
                             }
+                            ShardReq::Stop => break,
                         }
-                        Req::Stop => break,
                     }
-                }
-            })
-            .expect("spawn kv worker");
+                })
+                .expect("spawn kv shard worker");
+            shards.push(tx);
+            workers.push(worker);
+        }
         KvServer {
-            store,
-            tx,
-            worker: Some(worker),
+            inner: Arc::new(RouterInner { engine, shards }),
+            workers,
         }
     }
 
     /// A client handle to this server.
     pub fn handle(&self) -> KvHandle {
         KvHandle {
-            tx: self.tx.clone(),
+            inner: Arc::clone(&self.inner),
         }
     }
 
-    /// Shared read access to the underlying store (metrics sampling —
-    /// what the Figure-2 timeline recorder uses).
+    /// Shard 0's store — the whole keyspace for an unsharded server
+    /// (metrics sampling; what the Figure-2 timeline recorder uses).
     pub fn store(&self) -> &Arc<Store> {
-        &self.store
+        self.inner.engine.shard(0)
     }
 
-    /// Stops the worker.
+    /// The sharded engine behind this server.
+    pub fn engine(&self) -> &Arc<ShardedStore> {
+        &self.inner.engine
+    }
+
+    /// Stops every shard worker.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        if let Some(worker) = self.worker.take() {
-            let _ = self.tx.send(Req::Stop);
+        for tx in &self.inner.shards {
+            let _ = tx.send(ShardReq::Stop);
+        }
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
@@ -94,21 +311,21 @@ impl Drop for KvServer {
     }
 }
 
-/// An in-process client handle.
+/// An in-process client handle: parses, routes, and merges.
 #[derive(Clone)]
 pub struct KvHandle {
-    tx: Sender<Req>,
+    inner: Arc<RouterInner>,
 }
 
 impl KvHandle {
-    /// Sends one raw protocol line; returns the decoded reply.
+    /// Sends one raw protocol line; returns the reply. Parse failures
+    /// come back as `Ok(Response::Error(..))` — the `Err` branch means
+    /// the server itself has stopped.
     pub fn request(&self, line: &str) -> Result<Response, String> {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(Req::Line(line.to_string(), reply_tx))
-            .map_err(|_| "server stopped".to_string())?;
-        let text = reply_rx.recv().map_err(|_| "server stopped".to_string())?;
-        Response::decode(&text)
+        match Command::parse(line) {
+            Ok(cmd) => self.inner.dispatch(cmd),
+            Err(msg) => Ok(Response::Error(msg)),
+        }
     }
 
     /// `SET key value`.
@@ -144,9 +361,23 @@ impl KvHandle {
     }
 }
 
-/// A TCP front-end forwarding lines to an in-process server.
+/// State shared between a [`TcpFrontend`] and its accept loop: the
+/// stop flag plus one stream clone per live connection, so `Drop` can
+/// unblock readers parked in `read_line`.
+struct FrontendShared {
+    stop: AtomicBool,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// A TCP front-end whose connection threads call the router directly.
+///
+/// Dropping the front-end is a clean shutdown: in-flight connections
+/// have their sockets shut down (unparking blocked reads), the accept
+/// loop is woken and joins every connection thread, and `Drop` joins
+/// the accept thread — no threads outlive the front-end.
 pub struct TcpFrontend {
     addr: SocketAddr,
+    shared: Arc<FrontendShared>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -155,19 +386,52 @@ impl TcpFrontend {
     pub fn bind(handle: KvHandle) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
+        let shared = Arc::new(FrontendShared {
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("softmem-kv-tcp".into())
             .spawn(move || {
-                for stream in listener.incoming() {
+                let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+                for (id, stream) in (0u64..).zip(listener.incoming()) {
+                    if accept_shared.stop.load(Ordering::Acquire) {
+                        break;
+                    }
                     let Ok(stream) = stream else { break };
+                    // Reap connection threads that already finished so
+                    // a long-lived front-end doesn't accumulate them.
+                    let (done, running): (Vec<_>, Vec<_>) =
+                        conn_threads.drain(..).partition(|t| t.is_finished());
+                    conn_threads = running;
+                    for t in done {
+                        let _ = t.join();
+                    }
+                    if let Ok(clone) = stream.try_clone() {
+                        accept_shared.conns.lock().insert(id, clone);
+                    }
                     let handle = handle.clone();
-                    let _ = std::thread::Builder::new()
+                    let conn_shared = Arc::clone(&accept_shared);
+                    let spawned = std::thread::Builder::new()
                         .name("softmem-kv-conn".into())
-                        .spawn(move || serve_connection(stream, handle));
+                        .spawn(move || {
+                            serve_connection(stream, handle);
+                            conn_shared.conns.lock().remove(&id);
+                        });
+                    if let Ok(t) = spawned {
+                        conn_threads.push(t);
+                    }
+                }
+                // Drop's socket shutdowns have unparked any blocked
+                // readers, so these joins are bounded.
+                for t in conn_threads {
+                    let _ = t.join();
                 }
             })?;
         Ok(TcpFrontend {
             addr,
+            shared,
             accept_thread: Some(accept_thread),
         })
     }
@@ -180,11 +444,16 @@ impl TcpFrontend {
 
 impl Drop for TcpFrontend {
     fn drop(&mut self) {
-        // Unblock the accept loop with a dummy connection, then join.
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock every in-flight connection thread parked in a read.
+        for (_, stream) in self.shared.conns.lock().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Wake the accept loop; it observes the flag, joins its
+        // connection threads, and exits.
+        drop(TcpStream::connect(self.addr));
         if let Some(t) = self.accept_thread.take() {
-            drop(TcpStream::connect(self.addr));
-            drop(t); // listener thread exits when the process does; do
-                     // not block shutdown on lingering connections.
+            let _ = t.join();
         }
     }
 }
@@ -255,7 +524,7 @@ impl TcpKvClient {
         })
     }
 
-    /// Sends one line, reads one reply line (INFO and arrays read
+    /// Sends one line, reads one reply (INFO and arrays read
     /// additional lines as indicated by the reply header).
     pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
         // One write per request (line + terminator): with Nagle off
@@ -264,6 +533,38 @@ impl TcpKvClient {
         msg.push_str(line);
         msg.push('\n');
         self.writer.write_all(msg.as_bytes())?;
+        self.read_reply()
+    }
+
+    /// Sends every non-empty line in one write, then reads the replies
+    /// in order — the pipelining mode `kv_cli --pipeline` uses to
+    /// amortize round trips. Empty lines are skipped (the server never
+    /// answers them), so replies match the returned vector exactly.
+    pub fn request_pipeline<S: AsRef<str>>(
+        &mut self,
+        lines: &[S],
+    ) -> std::io::Result<Vec<Response>> {
+        let mut batch = String::new();
+        let mut expected = 0usize;
+        for line in lines {
+            let line = line.as_ref();
+            if line.trim().is_empty() {
+                continue;
+            }
+            batch.push_str(line);
+            batch.push('\n');
+            expected += 1;
+        }
+        if expected == 0 {
+            return Ok(Vec::new());
+        }
+        self.writer.write_all(batch.as_bytes())?;
+        (0..expected).map(|_| self.read_reply()).collect()
+    }
+
+    /// Reads one complete reply frame (header line plus any array
+    /// elements it announces).
+    fn read_reply(&mut self) -> std::io::Result<Response> {
         let mut first = String::new();
         self.reader.read_line(&mut first)?;
         let mut text = first.clone();
@@ -288,6 +589,12 @@ mod tests {
         let sma = Sma::standalone(512);
         let store = Store::new(&sma, "kv", Priority::default());
         (sma, KvServer::start(store))
+    }
+
+    fn sharded_server(shards: usize) -> (Arc<Sma>, KvServer) {
+        let sma = Sma::standalone(1024);
+        let engine = ShardedStore::new(&sma, "kv", Priority::default(), shards);
+        (sma, KvServer::start_sharded(engine))
     }
 
     #[test]
@@ -334,6 +641,72 @@ mod tests {
     }
 
     #[test]
+    fn sharded_roundtrip_and_merges() {
+        let (_sma, server) = sharded_server(4);
+        let h = server.handle();
+        for i in 0..40 {
+            h.set(&format!("user:{i}"), &format!("u{i}")).unwrap();
+        }
+        assert_eq!(h.dbsize().unwrap(), 40);
+        assert_eq!(h.get("user:7").unwrap(), Some(b"u7".to_vec()));
+        // MGET spans shards and preserves request order.
+        assert_eq!(
+            h.request("MGET user:1 nope user:39").unwrap(),
+            Response::Array(vec![b"u1".to_vec(), b"(nil)".to_vec(), b"u39".to_vec()])
+        );
+        // KEYS merges sorted across shards.
+        match h.request("KEYS user:3").unwrap() {
+            Response::Array(keys) => {
+                let want: Vec<Vec<u8>> = [
+                    "user:3", "user:30", "user:31", "user:32", "user:33", "user:34", "user:35",
+                    "user:36", "user:37", "user:38", "user:39",
+                ]
+                .iter()
+                .map(|s| s.as_bytes().to_vec())
+                .collect();
+                assert_eq!(keys, want);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        // INCR routes consistently: the counter lives on one shard.
+        assert_eq!(h.request("INCR hits").unwrap(), Response::Int(1));
+        assert_eq!(h.request("INCR hits").unwrap(), Response::Int(2));
+        // INFO/STATS render the aggregated machine view.
+        match h.request("INFO").unwrap() {
+            Response::Bulk(Some(text)) => {
+                let text = String::from_utf8(text).unwrap();
+                assert!(text.starts_with("shards:4;"), "{text}");
+                assert!(text.contains("keys:41"), "{text}");
+            }
+            other => panic!("expected bulk, got {other:?}"),
+        }
+        match h.request("STATS").unwrap() {
+            Response::Bulk(Some(json)) => {
+                let json = String::from_utf8(json).unwrap();
+                for label in ["\"kv0\":{", "\"kv1\":{", "\"kv2\":{", "\"kv3\":{"] {
+                    assert!(json.contains(label), "{json}");
+                }
+            }
+            other => panic!("expected bulk, got {other:?}"),
+        }
+        match h.request("FLUSHALL").unwrap() {
+            Response::Ok(_) => {}
+            other => panic!("expected OK, got {other:?}"),
+        }
+        assert_eq!(h.dbsize().unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sharded_shutdown_stops_every_worker() {
+        let (_sma, server) = sharded_server(4);
+        let h = server.handle();
+        assert_eq!(h.request("SHUTDOWN").unwrap(), Response::Ok("OK".into()));
+        assert!(h.request("PING").is_err());
+        assert!(h.request("GET anything").is_err());
+    }
+
+    #[test]
     fn tcp_roundtrip() {
         let (_sma, server) = server();
         let frontend = TcpFrontend::bind(server.handle()).unwrap();
@@ -351,6 +724,40 @@ mod tests {
             client.request("KEYS ").unwrap(),
             Response::Array(vec![b"k".to_vec()])
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_pipeline_replies_in_order() {
+        let (_sma, server) = sharded_server(2);
+        let frontend = TcpFrontend::bind(server.handle()).unwrap();
+        let mut client = TcpKvClient::connect(frontend.addr()).unwrap();
+        let replies = client
+            .request_pipeline(&["SET a 1", "SET b 2", "", "GET a", "GET b", "DBSIZE"])
+            .unwrap();
+        assert_eq!(
+            replies,
+            vec![
+                Response::Ok("OK".into()),
+                Response::Ok("OK".into()),
+                Response::Bulk(Some(b"1".to_vec())),
+                Response::Bulk(Some(b"2".to_vec())),
+                Response::Int(2),
+            ]
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn frontend_drop_reaps_threads_and_closes_connections() {
+        let (_sma, server) = server();
+        let frontend = TcpFrontend::bind(server.handle()).unwrap();
+        let mut client = TcpKvClient::connect(frontend.addr()).unwrap();
+        assert_eq!(client.request("PING").unwrap(), Response::Ok("PONG".into()));
+        // Dropping the front-end must complete even though a client is
+        // parked waiting for a next request, and must hang up on it.
+        drop(frontend);
+        assert!(client.request("PING").is_err());
         server.shutdown();
     }
 

@@ -58,6 +58,22 @@ impl StoreStats {
     }
 }
 
+/// How the simulated per-entry cleanup cost is charged inside the
+/// reclamation callback (see [`Store::set_reclaim_cost`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReclaimCostModel {
+    /// Busy-spin for the configured duration (default): the cleanup is
+    /// CPU work executing on the reclaiming core.
+    #[default]
+    Spin,
+    /// Sleep for the configured duration: the cleanup's cost is
+    /// off-CPU (I/O, unmapping syscalls, work handed to another core).
+    /// On single-vCPU machines this is the model that lets benchmarks
+    /// observe *stall* behaviour — a spinning callback would make every
+    /// engine configuration equally CPU-bound.
+    Sleep,
+}
+
 #[derive(Default)]
 struct Counters {
     hits: AtomicU64,
@@ -67,6 +83,9 @@ struct Counters {
     reclaimed_bytes: AtomicU64,
     /// Simulated per-entry cleanup cost (ns busy-work in the callback).
     reclaim_cost_ns: AtomicU64,
+    /// Whether the cleanup cost sleeps instead of spinning
+    /// ([`ReclaimCostModel::Sleep`]).
+    reclaim_cost_sleeps: std::sync::atomic::AtomicBool,
     /// Total ns spent inside the reclamation callback.
     callback_ns: AtomicU64,
 }
@@ -117,9 +136,23 @@ impl Store {
         priority: Priority,
         eviction: EvictionOrder,
     ) -> Self {
+        Self::with_eviction_labeled(sma, name, priority, eviction, "kv")
+    }
+
+    /// Like [`Store::with_eviction`], but with an explicit telemetry
+    /// registry label. A sharded engine gives each shard its own label
+    /// (`kv0`, `kv1`, …) so per-shard registries stay distinguishable
+    /// in aggregated `STATS` output.
+    pub fn with_eviction_labeled(
+        sma: &Arc<Sma>,
+        name: &str,
+        priority: Priority,
+        eviction: EvictionOrder,
+        metrics_label: &str,
+    ) -> Self {
         let table = SoftHashMap::with_eviction(sma, name, priority, eviction);
         let counters = Arc::new(Counters::default());
-        let metrics = Arc::new(StoreMetrics::new());
+        let metrics = Arc::new(StoreMetrics::new(metrics_label));
         let c = Arc::clone(&counters);
         let m = Arc::clone(&metrics);
         table.set_reclaim_callback(move |k: &Vec<u8>, v: &Vec<u8>| {
@@ -133,8 +166,14 @@ impl Store {
             // code, invoked via the callback").
             let start = std::time::Instant::now();
             let cost = c.reclaim_cost_ns.load(Ordering::Relaxed);
-            while (start.elapsed().as_nanos() as u64) < cost {
-                std::hint::spin_loop();
+            if c.reclaim_cost_sleeps.load(Ordering::Relaxed) {
+                if cost > 0 {
+                    std::thread::sleep(Duration::from_nanos(cost));
+                }
+            } else {
+                while (start.elapsed().as_nanos() as u64) < cost {
+                    std::hint::spin_loop();
+                }
             }
             let elapsed_ns = start.elapsed().as_nanos() as u64;
             c.callback_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
@@ -173,7 +212,8 @@ impl Store {
         &self.sma
     }
 
-    /// The store's telemetry registry (label `kv`).
+    /// The store's telemetry registry (label `kv` unless the store was
+    /// built with [`Store::with_eviction_labeled`]).
     pub fn metrics(&self) -> &StoreMetrics {
         &self.metrics
     }
@@ -375,6 +415,15 @@ impl Store {
         self.counters
             .reclaim_cost_ns
             .store(per_entry.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Chooses how the simulated cleanup cost is charged — CPU
+    /// busy-work (default) or an off-CPU sleep (see
+    /// [`ReclaimCostModel`]).
+    pub fn set_reclaim_cost_model(&self, model: ReclaimCostModel) {
+        self.counters
+            .reclaim_cost_sleeps
+            .store(model == ReclaimCostModel::Sleep, Ordering::Relaxed);
     }
 
     /// Total time spent inside the reclamation callback so far.

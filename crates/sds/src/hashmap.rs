@@ -320,7 +320,14 @@ impl<K: Hash + Eq + Send + 'static, V: Send + 'static> SoftHashMap<K, V> {
         if let Some(cb) = inner.callback.as_mut() {
             // Contain panicking user callbacks; the eviction proceeds.
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                sma.with_value(&slot, |e| cb(&e.key, &e.value))
+                // SAFETY: the victim was just unlinked from its bucket
+                // under the map's inner lock (still held), so the slot
+                // is exclusively ours until `free_value` below — no
+                // other path can free or mutate it. Running the
+                // callback with the allocator unlocked keeps a slow
+                // per-entry cleanup (the paper's dominant reclamation
+                // cost) from stalling every other SDS's allocations.
+                unsafe { sma.with_value_exclusive(&slot, |e| cb(&e.key, &e.value)) }
                     .expect("victim handle is live")
             }));
         }

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use softmem_core::{BudgetTap, MachineMemory, Priority};
 use softmem_daemon::{Smd, SmdConfig};
-use softmem_kv::Store;
+use softmem_kv::{ShardedStore, Store};
 use softmem_sim::{SimClock, ZipfKeys};
 
 use crate::fault::{CadenceDenyHook, ChaosFault, FaultPlan, ScriptedTap};
@@ -55,6 +55,10 @@ pub struct OpMix {
     pub pop: u32,
     /// KV set/get with Zipf keys (requires `kv` on the spec).
     pub kv: u32,
+    /// KV cross-shard operation — `MGET` over several Zipf keys,
+    /// `DBSIZE`, or a prefix `KEYS` scan (requires `kv`; exercises the
+    /// fan-out/merge paths when `kv_shards` > 1).
+    pub kv_cross: u32,
     /// Voluntary budget-slack release to the daemon.
     pub slack: u32,
     /// Traditional-memory resize.
@@ -72,6 +76,7 @@ impl Default for OpMix {
             push: 4,
             pop: 3,
             kv: 0,
+            kv_cross: 0,
             slack: 1,
             trad: 0,
             recycle: 0,
@@ -87,6 +92,7 @@ impl OpMix {
             + self.push
             + self.pop
             + self.kv
+            + self.kv_cross
             + self.slack
             + self.trad
             + self.recycle
@@ -115,6 +121,10 @@ pub struct ScenarioSpec {
     pub alloc_bytes: (usize, usize),
     /// Whether each process also runs a KV store.
     pub kv: bool,
+    /// Shards per process KV engine (1 = the classic single store;
+    /// more splits each keyspace over independent per-shard SDSs, and
+    /// every shard store is fed to the invariant checker).
+    pub kv_shards: usize,
     /// Operation weights.
     pub mix: OpMix,
     /// Pressure phases.
@@ -136,6 +146,7 @@ impl ScenarioSpec {
             trad_max_pages: 0,
             alloc_bytes: (128, 2048),
             kv: false,
+            kv_shards: 1,
             mix: OpMix::default(),
             phases: vec![
                 Phase {
@@ -243,7 +254,7 @@ struct WorkerCtx {
     proc: Arc<TkProcess>,
     pools: Vec<Arc<HandlePool>>,
     queue: Arc<CountedQueue>,
-    store: Option<Arc<Store>>,
+    store: Option<Arc<ShardedStore>>,
     disconnect_phase: Option<usize>,
 }
 
@@ -349,6 +360,31 @@ fn worker_loop(
                     }
                     continue;
                 }
+                edge += m.kv_cross;
+                if roll < edge {
+                    if let Some(store) = &ctx.store {
+                        match rng.gen_range(0u32..3) {
+                            0 => {
+                                // MGET over several Zipf keys — split
+                                // per shard and reassembled in order.
+                                let keys: Vec<String> = (0..4)
+                                    .map(|_| format!("key:{:06}", zipf.next_key()))
+                                    .collect();
+                                hash = hash_step(hash, 10, keys.len() as u64);
+                                let _ = store.mget(keys.iter().map(|k| k.as_bytes()));
+                            }
+                            1 => {
+                                hash = hash_step(hash, 10, u64::MAX);
+                                let _ = store.dbsize();
+                            }
+                            _ => {
+                                hash = hash_step(hash, 10, 1);
+                                let _ = store.keys_with_prefix(b"key:0000");
+                            }
+                        }
+                    }
+                    continue;
+                }
                 edge += m.slack;
                 if roll < edge {
                     let pages = rng.gen_range(1usize..=4);
@@ -389,6 +425,10 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
     let mut procs = Vec::with_capacity(spec.procs);
     let mut pools = Vec::new();
     let mut queues = Vec::new();
+    let mut engines: Vec<Arc<ShardedStore>> = Vec::new();
+    // Every shard's store, flattened across processes — the invariant
+    // checker certifies each shard's mirrors and accounting
+    // individually.
     let mut stores: Vec<Arc<Store>> = Vec::new();
     for w in 0..spec.procs {
         let tap: Option<Arc<dyn BudgetTap>> = if spec.fault.budget_script.is_empty() {
@@ -411,11 +451,14 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
             spec.fault.panic_callbacks,
         ));
         if spec.kv {
-            stores.push(Arc::new(Store::new(
+            let engine = Arc::new(ShardedStore::new(
                 proc.sma(),
                 &format!("kv-{w}"),
                 Priority::new(3),
-            )));
+                spec.kv_shards.max(1),
+            ));
+            stores.extend(engine.shards().iter().cloned());
+            engines.push(engine);
         }
         procs.push(proc);
     }
@@ -428,7 +471,7 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
             proc: Arc::clone(&procs[w]),
             pools: pools[w * spec.pools_per_proc..(w + 1) * spec.pools_per_proc].to_vec(),
             queue: Arc::clone(&queues[w]),
-            store: stores.get(w).cloned(),
+            store: engines.get(w).cloned(),
             disconnect_phase: spec
                 .fault
                 .disconnects
@@ -508,6 +551,7 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
             break;
         }
     }
+    drop(engines);
     drop(stores);
     drop(queues);
     drop(pools);

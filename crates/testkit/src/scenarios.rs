@@ -213,6 +213,81 @@ pub fn kv_telemetry_soak() -> ScenarioSpec {
     s
 }
 
+/// Every process runs a 4-shard KV engine and hammers it with
+/// single-key traffic under tight budgets: shard routing, per-shard
+/// SDS registration and per-shard reclamation all race, and every
+/// shard store is certified individually by all five families.
+pub fn shard_storm() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("shard_storm");
+    s.kv = true;
+    s.kv_shards = 4;
+    s.procs = 3;
+    s.capacity_pages = 96;
+    s.initial_budget_pages = 4;
+    s.mix = OpMix {
+        insert: 3,
+        remove: 1,
+        probe: 1,
+        push: 2,
+        pop: 1,
+        kv: 10,
+        slack: 1,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// Cross-shard operations (MGET fan-outs, DBSIZE sums, prefix scans)
+/// interleaved with enough allocation pressure that reclamation keeps
+/// firing mid-fan-out — merged views must never corrupt shard state.
+pub fn reclaim_during_cross_shard_op() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("reclaim_during_cross_shard_op");
+    s.kv = true;
+    s.kv_shards = 4;
+    s.procs = 3;
+    s.capacity_pages = 80;
+    s.initial_budget_pages = 4;
+    s.alloc_bytes = (1024, 4096);
+    s.mix = OpMix {
+        insert: 6,
+        remove: 1,
+        probe: 1,
+        push: 1,
+        pop: 1,
+        kv: 4,
+        kv_cross: 6,
+        slack: 1,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// Zipf keys concentrate load on whichever shards own the hot keys,
+/// so shard SDSs grow wildly unevenly while the daemon squeezes the
+/// shared budget — the uneven-pressure shape a real sharded cache
+/// lives in.
+pub fn uneven_shard_pressure() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("uneven_shard_pressure");
+    s.kv = true;
+    s.kv_shards = 4;
+    s.procs = 2;
+    s.capacity_pages = 64;
+    s.initial_budget_pages = 4;
+    s.alloc_bytes = (2048, 4096);
+    s.mix = OpMix {
+        insert: 5,
+        remove: 1,
+        probe: 1,
+        push: 1,
+        pop: 1,
+        kv: 8,
+        kv_cross: 2,
+        slack: 2,
+        ..OpMix::default()
+    };
+    s
+}
+
 /// CHAOS: machine pages leak behind the allocators' backs.
 pub fn chaos_leak_machine_pages() -> ScenarioSpec {
     let mut s = ScenarioSpec::baseline("chaos_leak_machine_pages");
@@ -269,6 +344,9 @@ pub fn benign() -> Vec<ScenarioSpec> {
         disconnect_churn(),
         telemetry_storm(),
         kv_telemetry_soak(),
+        shard_storm(),
+        reclaim_during_cross_shard_op(),
+        uneven_shard_pressure(),
     ]
 }
 
