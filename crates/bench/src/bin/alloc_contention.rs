@@ -1,0 +1,325 @@
+//! Allocation contention — measures what the magazine fast path buys.
+//!
+//! N worker threads each own an SDS and churn page-sized alloc/free
+//! pairs (the shape where every free vacates a whole page, so the
+//! steady state lives entirely in the per-SDS magazine). Every eighth
+//! op the worker *reads* its buffer with an off-CPU cost charged
+//! inside the callback — the checksum/IO/destructor work a real
+//! consumer does per access. A dedicated interference thread does the
+//! same against a shared allocation, back to back, with a larger cost.
+//!
+//! Each thread count runs twice:
+//!
+//! - **magazine** — the allocator as built: alloc/free hit the owning
+//!   SDS's magazine without any process-wide lock, and every read
+//!   callback runs on an epoch-validated copy *outside* all locks, so
+//!   the off-CPU sleeps of all threads overlap.
+//! - **global_lock** — the pre-magazine discipline, emulated by
+//!   wrapping every operation (each alloc, each free, and each read
+//!   including its off-CPU work) in one process-wide FIFO ticket lock,
+//!   exactly as the old allocator held its single `SmaInner` lock
+//!   across `with_bytes` callbacks. FIFO because that is the convoy
+//!   shape: every waiter queues behind whichever callback is sleeping.
+//!
+//! The headline number is worker ops/s per (threads, mode) pair. The
+//! sleeps make the comparison core-count-independent: serialized
+//! behind one lock they sum; on the lock-free path they overlap even
+//! on a single CPU.
+//!
+//! Run: `cargo run --release -p softmem-bench --bin alloc_contention`
+//! Options: `--quick` (CI preset), `--check` (exit nonzero unless
+//! 4-thread magazine throughput ≥ 1.5× single-thread), `--out PATH`
+//! (default `BENCH_alloc.json`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use softmem_core::{Priority, Sma, SmaConfig};
+
+/// Bytes per churned allocation: one whole 4 KiB page, so every free
+/// vacates its page and the alloc/free cycle is pure magazine traffic.
+const ALLOC_BYTES: usize = 4096;
+/// Bytes in the shared allocation the interference thread reads.
+const SHARED_BYTES: usize = 2048;
+/// A worker reads its own buffer every this many ops.
+const READ_EVERY: u64 = 8;
+/// Off-CPU cost charged per worker read (inside the callback).
+const WORKER_READ_COST: Duration = Duration::from_micros(50);
+/// Off-CPU cost charged per interference read — the slow consumer the
+/// old allocator serialized everyone behind.
+const INTERFERENCE_COST: Duration = Duration::from_micros(200);
+
+/// A FIFO ticket lock: waiters are served strictly in arrival order,
+/// reproducing the convoy the old process-wide allocator lock built
+/// whenever a callback slept while holding it.
+struct TicketLock {
+    next: AtomicU64,
+    serving: AtomicU64,
+}
+
+struct TicketGuard<'a>(&'a TicketLock);
+
+impl TicketLock {
+    fn new() -> Self {
+        TicketLock {
+            next: AtomicU64::new(0),
+            serving: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> TicketGuard<'_> {
+        let ticket = self.next.fetch_add(1, Ordering::SeqCst);
+        while self.serving.load(Ordering::Acquire) != ticket {
+            // Holders sleep for hundreds of microseconds; poll coarsely
+            // instead of burning the CPU the sleepers aren't using.
+            std::thread::sleep(Duration::from_micros(2));
+        }
+        TicketGuard(self)
+    }
+}
+
+impl Drop for TicketGuard<'_> {
+    fn drop(&mut self) {
+        self.0.serving.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Magazine,
+    GlobalLock,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Magazine => "magazine",
+            Mode::GlobalLock => "global_lock",
+        }
+    }
+}
+
+struct RunResult {
+    threads: usize,
+    mode: Mode,
+    ops: u64,
+    reads: u64,
+    elapsed: Duration,
+    magazine_refills: u64,
+}
+
+impl RunResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs `threads` alloc/free workers plus the interference reader for
+/// `window`, in the given locking mode.
+fn run_config(threads: usize, mode: Mode, window: Duration, seed: u64) -> RunResult {
+    // Budget sized so every configuration has headroom: the workload
+    // measures the fast path, not reclamation.
+    let sma = Sma::with_config(SmaConfig::for_testing(threads * 16 + 16).sds_retain(8));
+
+    // The shared allocation the interference thread reads.
+    let shared_sds = sma.register_sds("shared", Priority::new(5));
+    let pattern: Vec<u8> = (0..SHARED_BYTES)
+        .map(|i| (i as u8) ^ (seed as u8))
+        .collect();
+    let shared = sma
+        .alloc_bytes(shared_sds, SHARED_BYTES)
+        .expect("shared alloc");
+    sma.with_bytes_mut(&shared, |b| b.copy_from_slice(&pattern))
+        .expect("shared fill");
+
+    // The old allocator's process-wide lock, reintroduced for the
+    // baseline: every op (and every read callback) goes through it.
+    let global = Arc::new(TicketLock::new());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops_done = Arc::new(AtomicU64::new(0));
+    let reads_done = Arc::new(AtomicU64::new(0));
+
+    let reader = {
+        let sma = Arc::clone(&sma);
+        let global = Arc::clone(&global);
+        let stop = Arc::clone(&stop);
+        let reads_done = Arc::clone(&reads_done);
+        std::thread::spawn(move || {
+            let mut reads = 0u64;
+            let mut checksum = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let guard = (mode == Mode::GlobalLock).then(|| global.lock());
+                checksum ^= sma
+                    .with_bytes(&shared, |b| {
+                        std::thread::sleep(INTERFERENCE_COST);
+                        b.iter().fold(0u64, |a, &x| a.wrapping_add(x as u64))
+                    })
+                    .expect("shared read");
+                drop(guard);
+                reads += 1;
+            }
+            reads_done.store(reads, Ordering::Relaxed);
+            checksum
+        })
+    };
+
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let sma = Arc::clone(&sma);
+            let global = Arc::clone(&global);
+            let stop = Arc::clone(&stop);
+            let ops_done = Arc::clone(&ops_done);
+            std::thread::spawn(move || {
+                let sds = sma.register_sds(format!("worker-{t}"), Priority::new(1));
+                let mut ops = 0u64;
+                let mut sink = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let guard = (mode == Mode::GlobalLock).then(|| global.lock());
+                    let h = sma.alloc_bytes(sds, ALLOC_BYTES).expect("worker alloc");
+                    drop(guard);
+                    sma.with_bytes_mut(&h, |b| b[0] = t as u8)
+                        .expect("worker touch");
+                    if ops.is_multiple_of(READ_EVERY) {
+                        let guard = (mode == Mode::GlobalLock).then(|| global.lock());
+                        sink ^= sma
+                            .with_bytes(&h, |b| {
+                                std::thread::sleep(WORKER_READ_COST);
+                                b[0] as u64
+                            })
+                            .expect("worker read");
+                        drop(guard);
+                    }
+                    let guard = (mode == Mode::GlobalLock).then(|| global.lock());
+                    sma.free_bytes(h).expect("worker free");
+                    drop(guard);
+                    ops += 1;
+                }
+                std::hint::black_box(sink);
+                ops_done.fetch_add(ops, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Release);
+    let elapsed = start.elapsed();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    std::hint::black_box(reader.join().expect("reader thread"));
+
+    RunResult {
+        threads,
+        mode,
+        ops: ops_done.load(Ordering::Relaxed),
+        reads: reads_done.load(Ordering::Relaxed),
+        elapsed,
+        magazine_refills: sma.stats().magazine_refills_total,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("SOFTMEM_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_alloc.json".to_string());
+
+    let window = Duration::from_millis(if quick { 300 } else { 1000 });
+    let seed = 0xA110_C8ED_u64;
+
+    println!("== allocation contention ==");
+    println!(
+        "{ALLOC_BYTES}-byte alloc/free churn per worker ({}µs off-CPU read every \
+         {READ_EVERY} ops), one interference reader ({}µs off-CPU per read), \
+         {window:?} window per configuration\n",
+        WORKER_READ_COST.as_micros(),
+        INTERFERENCE_COST.as_micros()
+    );
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        for mode in [Mode::GlobalLock, Mode::Magazine] {
+            let r = run_config(threads, mode, window, seed);
+            println!(
+                "{} thread(s) {:>11}: {:>9.0} ops/s  ({} ops, {} interference reads, \
+                 {} magazine refills)",
+                r.threads,
+                r.mode.name(),
+                r.ops_per_sec(),
+                r.ops,
+                r.reads,
+                r.magazine_refills
+            );
+            results.push(r);
+        }
+    }
+
+    let by = |threads: usize, mode: Mode| -> f64 {
+        results
+            .iter()
+            .find(|r| r.threads == threads && r.mode == mode)
+            .map(|r| r.ops_per_sec())
+            .unwrap_or(0.0)
+    };
+    let speedups: Vec<(usize, f64)> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| (t, by(t, Mode::Magazine) / by(t, Mode::GlobalLock).max(1e-9)))
+        .collect();
+    let scaling_4x = by(4, Mode::Magazine) / by(1, Mode::Magazine).max(1e-9);
+    println!();
+    for (t, s) in &speedups {
+        println!("{t}-thread speedup vs global lock: {s:.2}x");
+    }
+    println!("4-thread vs 1-thread magazine scaling: {scaling_4x:.2}x");
+
+    let config_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"threads\":{},\"mode\":\"{}\",\"ops\":{},\"interference_reads\":{},\
+                 \"elapsed_ms\":{},\"ops_per_sec\":{:.0},\"magazine_refills\":{}}}",
+                r.threads,
+                r.mode.name(),
+                r.ops,
+                r.reads,
+                r.elapsed.as_millis(),
+                r.ops_per_sec(),
+                r.magazine_refills
+            )
+        })
+        .collect();
+    let speedup_json: Vec<String> = speedups
+        .iter()
+        .map(|(t, s)| format!("\"{t}\":{s:.2}"))
+        .collect();
+    let json = format!(
+        "{{\"quick\":{quick},\"alloc_bytes\":{ALLOC_BYTES},\
+         \"worker_read_cost_ns\":{},\"interference_read_cost_ns\":{},\
+         \"read_every_ops\":{READ_EVERY},\"configs\":[{}],\
+         \"speedup_vs_global_lock\":{{{}}},\
+         \"thread_scaling_4x_vs_1x\":{scaling_4x:.2}}}",
+        WORKER_READ_COST.as_nanos(),
+        INTERFERENCE_COST.as_nanos(),
+        config_json.join(","),
+        speedup_json.join(","),
+    );
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    println!("\nwrote {out}");
+
+    if check && scaling_4x < 1.5 {
+        eprintln!(
+            "CHECK FAILED: 4-thread magazine throughput is only {scaling_4x:.2}x \
+             single-thread (gate: >= 1.5x)"
+        );
+        std::process::exit(1);
+    }
+}

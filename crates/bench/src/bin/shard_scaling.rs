@@ -346,7 +346,17 @@ fn main() {
         configs.push(r);
     }
     let speedup = configs[2].ops_per_sec() / configs[0].ops_per_sec().max(1e-9);
-    println!("\n4-shard vs 1-shard speedup: {speedup:.2}x");
+    let speedup_2x = configs[1].ops_per_sec() / configs[0].ops_per_sec().max(1e-9);
+    // A plateau means adding shards stopped buying throughput: some
+    // N-shard configuration did no better than the (N/2)-shard one —
+    // the allocator (not the shard maps) has become the bottleneck.
+    let plateau = configs[1].ops_per_sec() <= configs[0].ops_per_sec()
+        || configs[2].ops_per_sec() <= configs[1].ops_per_sec();
+    println!(
+        "\n2-shard vs 1-shard speedup: {speedup_2x:.2}x, \
+         4-shard vs 1-shard speedup: {speedup:.2}x{}",
+        if plateau { "  [PLATEAU]" } else { "" }
+    );
 
     println!("\n-- no-stall: SET latency beside an in-flight reclaim --");
     let one = no_stall_config(false, rounds, cost, seed);
@@ -386,6 +396,7 @@ fn main() {
     let json = format!(
         "{{\"quick\":{quick},\"reclaim_cost_ns_per_entry\":{},\
          \"throughput\":[{}],\"speedup_4x_vs_1x\":{speedup:.2},\
+         \"speedup_2x_vs_1x\":{speedup_2x:.2},\"plateau_detected\":{plateau},\
          \"no_stall\":{{\"one_shard\":{},\"four_shards\":{},\
          \"during_reclaim_throughput_ratio\":{stall_ratio:.1},\
          \"worst_stall_ratio\":{max_ratio:.1}}}}}",

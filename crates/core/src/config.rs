@@ -21,8 +21,14 @@ pub struct SmaConfig {
     /// global free pool of transferable, on-demand soft memory." Retained
     /// pages make re-allocation cheap; surplus is given back.
     pub free_pool_retain_pages: usize,
-    /// How many wholly-free pages each SDS heap keeps attached before
-    /// transferring them to the process-global free pool.
+    /// Capacity of each SDS's page *magazine*: the small per-SDS stash
+    /// of wholly-free pages an SDS keeps for lock-free re-allocation
+    /// before overflowing frames to the process-global depot.
+    ///
+    /// (Before the magazine refactor this was the count of wholly-free
+    /// pages a heap kept *attached*; the accounting is unchanged — the
+    /// pages still count against `held_pages` — only their parking spot
+    /// moved from the heap's page table to the magazine.)
     pub sds_retain_pages: usize,
     /// Pages requested from the daemon per budget-growth round when an
     /// allocation hits [`crate::SoftError::BudgetExceeded`] and a
@@ -59,7 +65,7 @@ impl SmaConfig {
         self
     }
 
-    /// Sets the per-SDS free-page retention watermark.
+    /// Sets the per-SDS magazine capacity (free-page retention).
     pub fn sds_retain(mut self, pages: usize) -> Self {
         self.sds_retain_pages = pages;
         self

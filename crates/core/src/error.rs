@@ -48,6 +48,16 @@ pub enum SoftError {
     /// callers should treat `Revoked` and `InvalidHandle` alike when
     /// probing old handles.
     InvalidHandle,
+    /// The allocation was reclaimed or freed *while* an optimistic
+    /// (lock-free) read was in flight.
+    ///
+    /// Unlike [`SoftError::Revoked`] — the handle was already stale when
+    /// the access began — `Reclaimed` means the access started against a
+    /// live allocation and lost a race with reclamation: the epoch or
+    /// generation check after the optimistic copy failed. Callers treat
+    /// it like a miss (the paper's "client re-fetches" path); retrying
+    /// the access returns `Revoked` from then on.
+    Reclaimed,
     /// No SDS with this id is registered.
     UnknownSds(SdsId),
     /// The requested allocation exceeds the maximum supported size.
@@ -123,6 +133,9 @@ impl core::fmt::Display for SoftError {
             }
             SoftError::Revoked => write!(f, "allocation was reclaimed; handle is stale"),
             SoftError::InvalidHandle => write!(f, "handle does not refer to a live allocation"),
+            SoftError::Reclaimed => {
+                write!(f, "allocation was reclaimed during an in-flight access")
+            }
             SoftError::UnknownSds(id) => write!(f, "no registered SDS with id {id:?}"),
             SoftError::AllocTooLarge { requested, max } => {
                 write!(f, "allocation of {requested} bytes exceeds maximum {max}")
@@ -158,6 +171,7 @@ mod tests {
         assert!(msg.contains('3') && msg.contains('1'), "{msg}");
 
         assert!(SoftError::Revoked.to_string().contains("reclaimed"));
+        assert!(SoftError::Reclaimed.to_string().contains("in-flight"));
         assert!(SoftError::Denied {
             reason: DenyReason::ReclaimShortfall
         }

@@ -1,0 +1,238 @@
+//! The lock-free global frame depot — the process-wide free pool the
+//! SMA fast path refills per-SDS magazines from.
+//!
+//! Before the magazine refactor the free pool was a `Vec<PageFrame>`
+//! inside the `SmaInner` mutex, so *every* page hand-off serialised on
+//! the allocator lock. The depot replaces it with a fixed array of
+//! atomic slots: a push CAS-installs a frame into an empty slot, a pop
+//! swaps one out. Each slot transitions only `empty → frame → empty`
+//! with value-carrying CAS/swap, so the classic Treiber-stack ABA
+//! problem cannot arise — a slot never holds a pointer that is
+//! simultaneously owned by someone else, because frames are unique
+//! leases and the encoded word is the lease itself.
+//!
+//! Capacity is the configured free-pool retention watermark: a push
+//! that finds every slot occupied hands the frame back to the caller,
+//! which releases it to the OS under the slow-path lock — exactly the
+//! old retention-overflow behaviour, minus the lock on the hit path.
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use super::frame::PageFrame;
+use super::PAGE_SIZE;
+
+/// Slot value meaning "empty".
+const EMPTY: usize = 0;
+
+/// Tag bit carrying [`PageFrame`]'s `owned` flag. Page pointers are
+/// `PAGE_SIZE`-aligned, so the low bits are guaranteed free.
+const OWNED_BIT: usize = 1;
+
+fn encode(frame: PageFrame) -> usize {
+    let (ptr, owned) = frame.into_raw_parts();
+    let addr = ptr.as_ptr() as usize;
+    debug_assert_eq!(addr % PAGE_SIZE, 0, "page pointers are page-aligned");
+    addr | if owned { OWNED_BIT } else { 0 }
+}
+
+/// # Safety
+///
+/// `word` must be a non-`EMPTY` value produced by [`encode`] whose frame
+/// has not been decoded yet (decoding transfers the unique lease).
+unsafe fn decode(word: usize) -> PageFrame {
+    let ptr = NonNull::new((word & !OWNED_BIT) as *mut u8).expect("encoded frames are non-null");
+    // SAFETY: per the caller contract, `word` came from exactly one
+    // `encode` whose frame ownership we now take back.
+    unsafe { PageFrame::from_raw_parts(ptr, word & OWNED_BIT != 0) }
+}
+
+/// A bounded, lock-free pool of idle page frames.
+pub(crate) struct FrameDepot {
+    slots: Box<[AtomicUsize]>,
+    /// Occupied-slot count, maintained with `fetch_add`/`fetch_sub`
+    /// *after* each successful slot transition. Exact whenever the depot
+    /// is quiescent; transiently behind by in-flight operations.
+    len: AtomicUsize,
+    /// Rotating scan hint so concurrent pushers/poppers spread across
+    /// the slot array instead of all fighting over slot 0.
+    hint: AtomicUsize,
+}
+
+impl FrameDepot {
+    /// A depot holding at most `capacity` frames.
+    pub(crate) fn new(capacity: usize) -> Self {
+        FrameDepot {
+            slots: (0..capacity).map(|_| AtomicUsize::new(EMPTY)).collect(),
+            len: AtomicUsize::new(0),
+            hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current occupancy (exact at quiescent points).
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Deposits `frame`, or returns it if every slot is occupied (the
+    /// caller then releases it to the OS).
+    pub(crate) fn push(&self, frame: PageFrame) -> Result<(), PageFrame> {
+        if self.slots.is_empty() {
+            return Err(frame);
+        }
+        let word = encode(frame);
+        let start = self.hint.fetch_add(1, Ordering::Relaxed);
+        for i in 0..self.slots.len() {
+            let slot = &self.slots[(start + i) % self.slots.len()];
+            if slot.load(Ordering::Relaxed) != EMPTY {
+                continue;
+            }
+            // Release pairs with the Acquire swap in `pop`: a popper that
+            // sees the word also sees every prior write to the page.
+            if slot
+                .compare_exchange(EMPTY, word, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.len.fetch_add(1, Ordering::Release);
+                return Ok(());
+            }
+        }
+        // SAFETY: `word` was encoded above and no slot accepted it, so
+        // this is its only decoding.
+        Err(unsafe { decode(word) })
+    }
+
+    /// Withdraws one frame, if any slot holds one.
+    pub(crate) fn pop(&self) -> Option<PageFrame> {
+        if self.slots.is_empty() || self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let start = self.hint.fetch_add(1, Ordering::Relaxed);
+        for i in 0..self.slots.len() {
+            let slot = &self.slots[(start + i) % self.slots.len()];
+            if slot.load(Ordering::Relaxed) == EMPTY {
+                continue;
+            }
+            let word = slot.swap(EMPTY, Ordering::Acquire);
+            if word != EMPTY {
+                self.len.fetch_sub(1, Ordering::Release);
+                // SAFETY: the swap took the word out of the slot, making
+                // this its only decoding.
+                return Some(unsafe { decode(word) });
+            }
+        }
+        None
+    }
+}
+
+impl Drop for FrameDepot {
+    fn drop(&mut self) {
+        for slot in self.slots.iter_mut() {
+            let word = std::mem::replace(slot.get_mut(), EMPTY);
+            if word != EMPTY {
+                // SAFETY: `&mut self` excludes concurrent access; each
+                // occupied word is decoded exactly once.
+                drop(unsafe { decode(word) });
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FrameDepot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameDepot")
+            .field("capacity", &self.slots.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let depot = FrameDepot::new(4);
+        let frame = PageFrame::new_zeroed();
+        let addr = frame.as_ptr() as usize;
+        depot.push(frame).unwrap();
+        assert_eq!(depot.len(), 1);
+        let back = depot.pop().unwrap();
+        assert_eq!(back.as_ptr() as usize, addr);
+        assert_eq!(depot.len(), 0);
+        assert!(depot.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_returns_the_frame() {
+        let depot = FrameDepot::new(2);
+        depot.push(PageFrame::new_zeroed()).unwrap();
+        depot.push(PageFrame::new_zeroed()).unwrap();
+        assert!(depot.push(PageFrame::new_zeroed()).is_err());
+        assert_eq!(depot.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let depot = FrameDepot::new(0);
+        assert!(depot.push(PageFrame::new_zeroed()).is_err());
+        assert!(depot.pop().is_none());
+    }
+
+    #[test]
+    fn drop_frees_occupied_slots() {
+        // Owned frames would leak (and Miri/asan would notice) if Drop
+        // failed to decode them.
+        let depot = FrameDepot::new(8);
+        for _ in 0..5 {
+            depot.push(PageFrame::new_zeroed()).unwrap();
+        }
+        drop(depot);
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_frames() {
+        use std::sync::Arc;
+        let depot = Arc::new(FrameDepot::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let depot = Arc::clone(&depot);
+            handles.push(std::thread::spawn(move || {
+                let mut held = Vec::new();
+                let mut overflowed = 0usize;
+                for round in 0..200 {
+                    if round % 3 == 0 {
+                        if let Some(f) = depot.pop() {
+                            held.push(f);
+                        }
+                    } else if let Err(f) = depot.push(PageFrame::new_zeroed()) {
+                        drop(f);
+                        overflowed += 1;
+                    }
+                    if held.len() > 8 {
+                        for f in held.drain(..) {
+                            if let Err(f) = depot.push(f) {
+                                drop(f);
+                                overflowed += 1;
+                            }
+                        }
+                    }
+                }
+                (held.len(), overflowed)
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // At quiescence `len` equals the occupied-slot count exactly:
+        // drain everything and both must hit zero together.
+        let mut drained = 0usize;
+        while let Some(f) = depot.pop() {
+            drop(f);
+            drained += 1;
+        }
+        assert_eq!(depot.len(), 0);
+        assert!(drained <= 64);
+    }
+}

@@ -84,6 +84,26 @@ impl PageFrame {
         }
     }
 
+    /// Decomposes the frame into `(page pointer, owned)` without running
+    /// its destructor — the encoding used by the lock-free
+    /// [`super::FrameDepot`], which packs both into one atomic word.
+    pub(crate) fn into_raw_parts(self) -> (NonNull<u8>, bool) {
+        let parts = (self.ptr, self.owned);
+        std::mem::forget(self);
+        parts
+    }
+
+    /// Reassembles a frame from [`PageFrame::into_raw_parts`] output.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` and `owned` must come from exactly one `into_raw_parts`
+    /// call whose frame has not been reassembled yet (unique ownership
+    /// transfers back to the new frame).
+    pub(crate) unsafe fn from_raw_parts(ptr: NonNull<u8>, owned: bool) -> Self {
+        PageFrame { ptr, owned }
+    }
+
     /// Base pointer of the page.
     pub fn as_ptr(&self) -> *mut u8 {
         self.ptr.as_ptr()

@@ -11,10 +11,12 @@
 //! is the per-process interface that acquires, caches, releases, and
 //! re-backs pages.
 
+mod depot;
 mod frame;
 mod machine;
 mod pool;
 
+pub(crate) use depot::FrameDepot;
 pub use frame::{PageFrame, Span};
 pub use machine::{MachineMemory, MachineStats};
 pub use pool::{PagePool, PoolStats};

@@ -35,6 +35,12 @@ pub struct SmaMetrics {
     pub budget_granted_total: Arc<Counter>,
     /// SDS reclaim callbacks invoked (tier-3 rounds).
     pub sds_callbacks_total: Arc<Counter>,
+    /// Mirror of `SmaStats::magazine_refills_total` (fast-path depot
+    /// pulls into a magazine).
+    pub magazine_refills_total: Arc<Counter>,
+    /// Mirror of `SmaStats::magazine_steal_backs_total` (pages
+    /// reclamation stole back out of magazines).
+    pub magazine_steal_backs_total: Arc<Counter>,
     /// Sampled allocation latency (ns), including budget round-trips.
     pub alloc_ns: Arc<Histogram>,
     /// Sampled free latency (ns).
@@ -49,8 +55,15 @@ pub struct SmaMetrics {
     pub held_pages: Arc<Gauge>,
     /// Budget slack (budget − held).
     pub slack_pages: Arc<Gauge>,
-    /// Free-pool occupancy in pages.
+    /// Free-pool (depot) occupancy in pages. Maintained by *deltas* at
+    /// every depot push/pop — the depot is lock-free, so there is no
+    /// critical section to recompute it in; paired `add(±1)` calls sum
+    /// exactly at quiescent points.
     pub free_pool_pages: Arc<Gauge>,
+    /// Pages parked across all per-SDS magazines. Delta-maintained like
+    /// `free_pool_pages` (each mutation happens under that SDS's shard
+    /// lock, but no global lock).
+    pub magazine_pages: Arc<Gauge>,
 }
 
 impl SmaMetrics {
@@ -64,6 +77,8 @@ impl SmaMetrics {
             pages_reclaimed_total: registry.counter("pages_reclaimed_total"),
             budget_granted_total: registry.counter("budget_granted_total"),
             sds_callbacks_total: registry.counter("sds_callbacks_total"),
+            magazine_refills_total: registry.counter("magazine_refills_total"),
+            magazine_steal_backs_total: registry.counter("magazine_steal_backs_total"),
             alloc_ns: registry.histogram("alloc_ns"),
             free_ns: registry.histogram("free_ns"),
             reclaim_ns: registry.histogram("reclaim_ns"),
@@ -72,6 +87,7 @@ impl SmaMetrics {
             held_pages: registry.gauge("held_pages"),
             slack_pages: registry.gauge("slack_pages"),
             free_pool_pages: registry.gauge("free_pool_pages"),
+            magazine_pages: registry.gauge("magazine_pages"),
             registry,
         }
     }
@@ -87,15 +103,17 @@ impl SmaMetrics {
     }
 
     /// Re-derives the occupancy gauges from allocator state. Called
-    /// under the SMA lock at the end of every mutating operation, so
-    /// gauge readings at a quiescent point equal `SmaStats`.
+    /// under the SMA slow-path lock at the end of every operation that
+    /// changed budget or held pages, so gauge readings at a quiescent
+    /// point equal `SmaStats`. The depot and magazine gauges are *not*
+    /// recomputed here — those structures live outside the lock and
+    /// their gauges are maintained by deltas at each mutation.
     #[inline]
-    pub(crate) fn sync_gauges(&self, inner: &SmaInner) {
+    pub(crate) fn sync_occupancy(&self, inner: &SmaInner) {
         self.budget_pages.set(inner.budget_pages as i64);
         self.held_pages.set(inner.held_pages as i64);
         self.slack_pages
             .set(inner.budget_pages.saturating_sub(inner.held_pages) as i64);
-        self.free_pool_pages.set(inner.free_pool.len() as i64);
     }
 }
 

@@ -1,11 +1,38 @@
 //! The Soft Memory Allocator.
 //!
 //! One [`Sma`] instance manages all soft memory of one (simulated or
-//! real) process: it owns the process-global free pool, the soft-memory
-//! budget granted by the daemon, and one isolated heap per registered
-//! Soft Data Structure. Its headline capability — the reason it exists —
-//! is [`Sma::reclaim`]: yielding pages back on demand (the tiered
-//! protocol is documented on that method and its `ReclaimReport`).
+//! real) process: it owns the process-global frame depot, the
+//! soft-memory budget granted by the daemon, and one isolated heap per
+//! registered Soft Data Structure. Its headline capability — the reason
+//! it exists — is [`Sma::reclaim`]: yielding pages back on demand (the
+//! tiered protocol is documented on that method and its
+//! `ReclaimReport`).
+//!
+//! # Fast path
+//!
+//! The allocator is sharded per SDS. Each SDS owns a shard: its heap,
+//! plus a small *magazine* of wholly-free page frames, behind its own
+//! lock. The common alloc/free cycle therefore touches only the owning
+//! shard's lock:
+//!
+//! * **alloc** — carve a slot from a partial page, or pop a frame from
+//!   the magazine; on a magazine miss, *refill* from the lock-free
+//!   global frame depot. Only a depot miss (budget growth, fresh OS
+//!   pages) takes the global allocator lock.
+//! * **free** — return the slot; a page that comes wholly free parks in
+//!   the magazine (up to [`SmaConfig::sds_retain_pages`]), overflows to
+//!   the depot (up to [`SmaConfig::free_pool_retain_pages`]), and only
+//!   then is released to the OS under the global lock.
+//!
+//! Byte reads are *optimistic*: they snapshot a per-slot write epoch,
+//! copy without any lock held, and revalidate — see [`Sma::with_bytes`].
+//! Reclamation quiesces magazines with a steal-back protocol
+//! (documented in the reclaim module), so parked pages remain fully
+//! reclaimable.
+//!
+//! Pages parked in magazines and the depot still count against
+//! `held_pages`: moving a frame between a heap, a magazine, and the
+//! depot never changes machine-level accounting, only its parking spot.
 
 mod metrics;
 mod reclaim_impl;
@@ -13,17 +40,18 @@ mod reclaim_impl;
 pub use metrics::SmaMetrics;
 pub use reclaim_impl::{ReclaimReport, SdsContribution};
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use softmem_telemetry::Timer;
+use parking_lot::{Mutex, RwLock};
+use softmem_telemetry::{Gauge, Timer};
 
 use crate::budget::BudgetSource;
 use crate::config::SmaConfig;
 use crate::error::{SoftError, SoftResult};
-use crate::handle::{Priority, RawHandle, SdsId, SoftHandle, SoftSlot, SoftView};
-use crate::heap::{drop_fn_for, DropFn, HeapStats, SdsHeap, MAX_SLAB_ALLOC};
-use crate::page::{PageFrame, PagePool};
+use crate::handle::{AllocKind, Priority, RawHandle, SdsId, SoftHandle, SoftSlot, SoftView};
+use crate::heap::{drop_fn_for, DropFn, FreeOutcome, HeapStats, SdsHeap, MAX_SLAB_ALLOC};
+use crate::page::{FrameDepot, PageFrame, PagePool};
 use crate::stats::SmaStats;
 
 /// How many times an allocation retries after budget grants before
@@ -37,6 +65,11 @@ const MAX_BUDGET_RETRIES: usize = 8;
 /// the whole machine.
 pub const MAX_ALLOC_BYTES: usize = 1 << 30;
 
+/// How many optimistic copy attempts [`Sma::with_bytes`] makes before
+/// falling back to a locked read (bounds reader work under a
+/// pathological writer storm).
+const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
+
 /// A data structure's hook for SMA-driven reclamation.
 ///
 /// The SMA's reclamation is two-tiered (§3.1): the SMA picks SDSs in
@@ -45,7 +78,7 @@ pub const MAX_ALLOC_BYTES: usize = 1 << 30;
 /// whatever its engineer decided) by freeing them through the normal
 /// allocator API.
 ///
-/// Implementations are called **without** the SMA lock held and free
+/// Implementations are called **without** any SMA lock held and free
 /// through the regular `Sma` methods. They should keep freeing until
 /// roughly `bytes` bytes are freed or they run out of allocations.
 pub trait SdsReclaimer: Send + Sync {
@@ -74,106 +107,157 @@ pub struct SdsStats {
     pub priority: Priority,
     /// Heap accounting.
     pub heap: HeapStats,
+    /// Wholly-free pages parked in this SDS's magazine.
+    pub magazine_pages: usize,
+    /// Depot→magazine refill events on this SDS's alloc fast path.
+    pub magazine_refills: u64,
+    /// Pages reclamation stole back out of this SDS's magazine.
+    pub magazine_steal_backs: u64,
 }
 
-pub(crate) struct SdsEntry {
+/// The dynamically named per-SDS gauges (`sds{i}_magazine_pages` …).
+/// All writes happen under the owning shard's lock, so plain `set` is
+/// race-free; the gauges are zeroed when the SDS is destroyed and when
+/// its registry index is recycled.
+pub(crate) struct SdsGauges {
+    pub(crate) magazine_pages: Arc<Gauge>,
+    pub(crate) magazine_refills: Arc<Gauge>,
+    pub(crate) magazine_steal_backs: Arc<Gauge>,
+}
+
+impl SdsGauges {
+    fn new(registry: &softmem_telemetry::Registry, idx: usize) -> Self {
+        SdsGauges {
+            magazine_pages: registry.gauge(&format!("sds{idx}_magazine_pages")),
+            magazine_refills: registry.gauge(&format!("sds{idx}_magazine_refills")),
+            magazine_steal_backs: registry.gauge(&format!("sds{idx}_magazine_steal_backs")),
+        }
+    }
+
+    fn reset(&self) {
+        self.magazine_pages.set(0);
+        self.magazine_refills.set(0);
+        self.magazine_steal_backs.set(0);
+    }
+}
+
+/// The lock-protected half of one SDS shard.
+pub(crate) struct SdsState {
     pub(crate) name: String,
     pub(crate) priority: Priority,
     pub(crate) heap: SdsHeap,
+    /// This SDS's magazine: wholly-free frames kept for lock-free
+    /// (global-lock-free) re-allocation. Capacity is
+    /// [`SmaConfig::sds_retain_pages`].
+    pub(crate) magazine: Vec<PageFrame>,
     pub(crate) reclaimer: Option<Arc<dyn SdsReclaimer>>,
-    /// Held (CAS true) by the reclamation pass currently squeezing this
-    /// SDS in tier 3. Concurrent [`Sma::reclaim`] calls skip a guarded
-    /// SDS instead of queueing behind its callback, so reclamations
-    /// targeting different SDSs (different shards) proceed in parallel.
-    /// Lives outside the `SmaInner` mutex by design: it is read/written
-    /// around the *unlocked* callback section.
-    pub(crate) reclaim_guard: Arc<std::sync::atomic::AtomicBool>,
     /// Pages this SDS's frees sent straight back to the OS (retention
     /// overflow and span releases). Tier-3 reclamation reads the delta
     /// across a callback to credit the *target* SDS exactly — a global
     /// counter would cross-attribute pages between concurrent
     /// reclamation passes and double-shrink the budget.
     pub(crate) pages_auto_released: u64,
+    /// Depot→magazine refill events (alloc fast-path depot pulls).
+    pub(crate) magazine_refills: u64,
+    /// Pages reclamation stole back out of the magazine.
+    pub(crate) magazine_steal_backs: u64,
+    /// Set by [`Sma::destroy_sds`] under this lock. In-flight
+    /// operations that captured the shard `Arc` before the registry
+    /// entry was removed observe it and bail instead of touching a
+    /// dismantled heap.
+    pub(crate) dead: bool,
+    pub(crate) gauges: SdsGauges,
 }
 
+/// One SDS's shard: its state lock plus the lock-free reclaim guard.
+pub(crate) struct SdsShard {
+    pub(crate) id: SdsId,
+    /// Held (CAS true) by the reclamation pass currently squeezing this
+    /// SDS in tier 3. Concurrent [`Sma::reclaim`] calls skip a guarded
+    /// SDS instead of queueing behind its callback, so reclamations
+    /// targeting different SDSs proceed in parallel. Lives outside the
+    /// state mutex by design: it is read/written around the *unlocked*
+    /// callback section.
+    pub(crate) reclaim_guard: AtomicBool,
+    pub(crate) state: Mutex<SdsState>,
+}
+
+/// The global slow-path state: budget arithmetic and the OS interface.
+/// Taken only on depot misses, page releases, budget changes, and
+/// reclamation bookkeeping — never on the alloc/free/read fast paths.
 pub(crate) struct SmaInner {
-    /// The process-global free pool of idle, backed page frames.
-    pub(crate) free_pool: Vec<PageFrame>,
     /// Current soft budget in pages (held + slack).
     pub(crate) budget_pages: usize,
-    /// Pages physically held (free pool + all SDS heaps).
+    /// Pages physically held (heaps + magazines + depot).
     pub(crate) held_pages: usize,
-    pub(crate) sds: Vec<Option<SdsEntry>>,
     pub(crate) reclaims_total: u64,
     pub(crate) pages_reclaimed_total: u64,
     pub(crate) budget_granted_total: u64,
-    /// The OS interface owning the frame arenas. Declared (and thus
-    /// dropped) *after* `free_pool` and `sds`: outstanding frames are
-    /// leases into the pool's arenas, and SDS heaps run value
-    /// destructors against that memory while dropping.
+    /// The OS interface owning the frame arenas.
     pub(crate) pool: PagePool,
 }
 
 impl Drop for SmaInner {
     fn drop(&mut self) {
         // Return the machine claims of every physically held page
-        // (free pool + SDS heaps): the frames themselves are arena
-        // leases the pool recovers, but the machine model must see
-        // the capacity come back when the process exits.
+        // (depot + magazines + SDS heaps): the frames themselves are
+        // arena leases the pool recovers, but the machine model must
+        // see the capacity come back when the process exits.
         self.pool.machine().release(self.held_pages);
-    }
-}
-
-impl SmaInner {
-    pub(crate) fn entry(&self, id: SdsId) -> SoftResult<&SdsEntry> {
-        self.sds
-            .get(id.index() as usize)
-            .and_then(|e| e.as_ref())
-            .ok_or(SoftError::UnknownSds(id))
-    }
-
-    pub(crate) fn entry_mut(&mut self, id: SdsId) -> SoftResult<&mut SdsEntry> {
-        self.sds
-            .get_mut(id.index() as usize)
-            .and_then(|e| e.as_mut())
-            .ok_or(SoftError::UnknownSds(id))
     }
 }
 
 /// The Soft Memory Allocator for one process.
 ///
 /// Thread-safe: share it with `Arc<Sma>`. Access closures passed to
-/// [`Sma::with_value`] and friends run under the allocator lock and must
-/// not call back into the same `Sma`.
+/// [`Sma::with_value`] and friends run under the owning SDS's shard
+/// lock (not a global lock) and must not call back into the same `Sma`
+/// for the same SDS; [`Sma::with_bytes`] runs its closure on a
+/// validated copy with no lock held at all.
 pub struct Sma {
+    // Field order is drop order: shards (heaps, magazines) and the
+    // depot hold arena leases, so they must drop before `inner` (the
+    // pool owning the arenas).
+    registry: RwLock<Vec<Option<Arc<SdsShard>>>>,
+    /// The process-global free pool: a lock-free fixed-capacity depot
+    /// of idle, backed page frames.
+    depot: FrameDepot,
     pub(crate) inner: Mutex<SmaInner>,
     pub(crate) cfg: SmaConfig,
-    budget_source: Mutex<Option<Arc<dyn BudgetSource>>>,
+    budget_source: RwLock<Option<Arc<dyn BudgetSource>>>,
     pub(crate) metrics: SmaMetrics,
+    /// Ground truth for `SmaStats::magazine_refills_total`: unlike the
+    /// per-SDS counters, survives SDS destruction.
+    magazine_refills_total: AtomicU64,
+    /// Ground truth for `SmaStats::magazine_steal_backs_total`.
+    magazine_steal_backs_total: AtomicU64,
 }
 
 impl Sma {
     /// Creates an allocator with the given configuration.
     pub fn with_config(cfg: SmaConfig) -> Arc<Self> {
-        // The PagePool's own cache is disabled: the SMA's free pool *is*
+        // The PagePool's own cache is disabled: the SMA's depot *is*
         // the process-level cache, and budget accounting covers it.
         let pool = PagePool::new(Arc::clone(&cfg.machine), 0);
+        let depot = FrameDepot::new(cfg.free_pool_retain_pages);
         let sma = Arc::new(Sma {
+            registry: RwLock::new(Vec::new()),
+            depot,
             inner: Mutex::new(SmaInner {
-                free_pool: Vec::new(),
                 budget_pages: cfg.initial_budget_pages,
                 held_pages: 0,
-                sds: Vec::new(),
                 reclaims_total: 0,
                 pages_reclaimed_total: 0,
                 budget_granted_total: 0,
                 pool,
             }),
             cfg,
-            budget_source: Mutex::new(None),
+            budget_source: RwLock::new(None),
             metrics: SmaMetrics::new(),
+            magazine_refills_total: AtomicU64::new(0),
+            magazine_steal_backs_total: AtomicU64::new(0),
         });
-        sma.metrics.sync_gauges(&sma.inner.lock());
+        sma.metrics.sync_occupancy(&sma.inner.lock());
         sma
     }
 
@@ -192,12 +276,12 @@ impl Sma {
     /// Attaches the budget source consulted when allocations exceed the
     /// current budget (set by the daemon client at registration).
     pub fn set_budget_source(&self, source: Arc<dyn BudgetSource>) {
-        *self.budget_source.lock() = Some(source);
+        *self.budget_source.write() = Some(source);
     }
 
     /// Detaches the budget source (daemon disconnect).
     pub fn clear_budget_source(&self) {
-        *self.budget_source.lock() = None;
+        *self.budget_source.write() = None;
     }
 
     /// This allocator's telemetry registry — lock-free mirrors the
@@ -207,23 +291,29 @@ impl Sma {
     }
 
     /// Adds `pages` to the soft budget (a grant pushed by the daemon).
+    ///
+    /// One critical section, no other locks taken: safe to call from a
+    /// [`BudgetSource`] callback re-entering the SMA mid-allocation.
     pub fn grow_budget(&self, pages: usize) {
-        let mut inner = self.inner.lock();
+        let inner = &mut *self.inner.lock();
         inner.budget_pages += pages;
         inner.budget_granted_total += pages as u64;
         self.metrics.budget_granted_total.add(pages as u64);
-        self.metrics.sync_gauges(&inner);
+        self.metrics.sync_occupancy(inner);
     }
 
     /// Voluntarily returns up to `pages` of unused budget (slack only;
     /// held pages are untouched). Returns the pages actually shed —
     /// the caller hands them back to the daemon.
+    ///
+    /// Like [`Sma::grow_budget`], a single critical section that is
+    /// safe to call from a re-entrant [`BudgetSource`] callback.
     pub fn shrink_budget(&self, pages: usize) -> usize {
-        let mut inner = self.inner.lock();
+        let inner = &mut *self.inner.lock();
         let slack = inner.budget_pages.saturating_sub(inner.held_pages);
         let take = slack.min(pages);
         inner.budget_pages -= take;
-        self.metrics.sync_gauges(&inner);
+        self.metrics.sync_occupancy(inner);
         take
     }
 
@@ -232,7 +322,8 @@ impl Sma {
         self.inner.lock().budget_pages
     }
 
-    /// Pages physically held by soft memory (heaps + free pool).
+    /// Pages physically held by soft memory (heaps + magazines +
+    /// depot).
     pub fn held_pages(&self) -> usize {
         self.inner.lock().held_pages
     }
@@ -241,27 +332,54 @@ impl Sma {
     // SDS registry
     // ------------------------------------------------------------------
 
-    /// Registers a Soft Data Structure, giving it an isolated heap.
+    /// Looks up the shard for `id`. Clones the `Arc` (instead of
+    /// holding the registry read lock across the operation) so a
+    /// long-running shard operation never blocks `destroy_sds` on an
+    /// unrelated SDS.
+    pub(crate) fn shard(&self, id: SdsId) -> SoftResult<Arc<SdsShard>> {
+        self.registry
+            .read()
+            .get(id.index() as usize)
+            .and_then(|slot| slot.as_ref().map(Arc::clone))
+            .ok_or(SoftError::UnknownSds(id))
+    }
+
+    /// Every live shard, in registration order.
+    pub(crate) fn shards(&self) -> Vec<Arc<SdsShard>> {
+        self.registry.read().iter().flatten().cloned().collect()
+    }
+
+    /// Registers a Soft Data Structure, giving it an isolated heap and
+    /// an empty magazine.
     pub fn register_sds(&self, name: impl Into<String>, priority: Priority) -> SdsId {
-        let mut inner = self.inner.lock();
-        let idx = inner
-            .sds
+        let mut registry = self.registry.write();
+        let idx = registry
             .iter()
             .position(Option::is_none)
-            .unwrap_or(inner.sds.len());
+            .unwrap_or(registry.len());
         let id = SdsId(idx as u32);
-        let entry = SdsEntry {
-            name: name.into(),
-            priority,
-            heap: SdsHeap::new(id),
-            reclaimer: None,
-            reclaim_guard: Arc::new(std::sync::atomic::AtomicBool::new(false)),
-            pages_auto_released: 0,
-        };
-        if idx == inner.sds.len() {
-            inner.sds.push(Some(entry));
+        let gauges = SdsGauges::new(self.metrics.registry(), idx);
+        gauges.reset();
+        let shard = Arc::new(SdsShard {
+            id,
+            reclaim_guard: AtomicBool::new(false),
+            state: Mutex::new(SdsState {
+                name: name.into(),
+                priority,
+                heap: SdsHeap::new(id),
+                magazine: Vec::with_capacity(self.cfg.sds_retain_pages),
+                reclaimer: None,
+                pages_auto_released: 0,
+                magazine_refills: 0,
+                magazine_steal_backs: 0,
+                dead: false,
+                gauges,
+            }),
+        });
+        if idx == registry.len() {
+            registry.push(Some(shard));
         } else {
-            inner.sds[idx] = Some(entry);
+            registry[idx] = Some(shard);
         }
         id
     }
@@ -270,52 +388,160 @@ impl Sma {
     /// give up memory. SDS implementations call this from their
     /// constructors.
     pub fn set_reclaimer(&self, id: SdsId, reclaimer: Arc<dyn SdsReclaimer>) -> SoftResult<()> {
-        self.inner.lock().entry_mut(id)?.reclaimer = Some(reclaimer);
+        let shard = self.shard(id)?;
+        let mut st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::UnknownSds(id));
+        }
+        st.reclaimer = Some(reclaimer);
         Ok(())
     }
 
     /// Updates an SDS's reclamation priority.
     pub fn set_priority(&self, id: SdsId, priority: Priority) -> SoftResult<()> {
-        self.inner.lock().entry_mut(id)?.priority = priority;
+        let shard = self.shard(id)?;
+        let mut st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::UnknownSds(id));
+        }
+        st.priority = priority;
         Ok(())
     }
 
     /// Unregisters an SDS, dropping all its live allocations and
-    /// recycling its pages into the free pool / OS.
+    /// recycling its pages (magazine included) into the depot / OS.
     pub fn destroy_sds(&self, id: SdsId) -> SoftResult<()> {
-        let mut inner = self.inner.lock();
-        let entry = inner
-            .sds
-            .get_mut(id.index() as usize)
-            .and_then(Option::take)
-            .ok_or(SoftError::UnknownSds(id))?;
-        let (frames, spans) = entry.heap.destroy();
-        for frame in frames {
-            if inner.free_pool.len() < self.cfg.free_pool_retain_pages {
-                inner.free_pool.push(frame);
-            } else {
+        let shard = {
+            let mut registry = self.registry.write();
+            registry
+                .get_mut(id.index() as usize)
+                .and_then(Option::take)
+                .ok_or(SoftError::UnknownSds(id))?
+        };
+        let mut st = shard.state.lock();
+        st.dead = true;
+        let magazine: Vec<PageFrame> = st.magazine.drain(..).collect();
+        self.metrics.magazine_pages.add(-(magazine.len() as i64));
+        let heap = std::mem::replace(&mut st.heap, SdsHeap::new(id));
+        st.gauges.reset();
+        drop(st);
+        let (frames, spans) = heap.destroy();
+        let mut to_os = Vec::new();
+        for frame in magazine.into_iter().chain(frames) {
+            match self.depot.push(frame) {
+                Ok(()) => self.metrics.free_pool_pages.add(1),
+                Err(frame) => to_os.push(frame),
+            }
+        }
+        if !to_os.is_empty() || !spans.is_empty() {
+            let inner = &mut *self.inner.lock();
+            for frame in to_os {
                 inner.pool.release_to_os(frame);
                 inner.held_pages -= 1;
             }
+            for span in spans {
+                inner.held_pages -= span.pages();
+                inner.pool.release_span(span);
+            }
+            self.metrics.sync_occupancy(inner);
         }
-        for span in spans {
-            inner.held_pages -= span.pages();
-            inner.pool.release_span(span);
-        }
-        self.metrics.sync_gauges(&inner);
         Ok(())
     }
 
     /// Snapshot of one SDS's accounting.
     pub fn sds_stats(&self, id: SdsId) -> SoftResult<SdsStats> {
-        let inner = self.inner.lock();
-        let e = inner.entry(id)?;
-        Ok(SdsStats {
-            id,
-            name: e.name.clone(),
-            priority: e.priority,
-            heap: e.heap.stats(),
-        })
+        let shard = self.shard(id)?;
+        let st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::UnknownSds(id));
+        }
+        Ok(Self::snapshot_sds(&shard, &st))
+    }
+
+    /// Snapshot of every registered SDS, in registration order. The
+    /// testkit's metrics-consistency family uses this to cross-check
+    /// the per-SDS magazine gauges.
+    pub fn all_sds_stats(&self) -> Vec<SdsStats> {
+        self.shards()
+            .iter()
+            .filter_map(|shard| {
+                let st = shard.state.lock();
+                if st.dead {
+                    None
+                } else {
+                    Some(Self::snapshot_sds(shard, &st))
+                }
+            })
+            .collect()
+    }
+
+    fn snapshot_sds(shard: &SdsShard, st: &SdsState) -> SdsStats {
+        SdsStats {
+            id: shard.id,
+            name: st.name.clone(),
+            priority: st.priority,
+            heap: st.heap.stats(),
+            magazine_pages: st.magazine.len(),
+            magazine_refills: st.magazine_refills,
+            magazine_steal_backs: st.magazine_steal_backs,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Magazine / depot plumbing
+    // ------------------------------------------------------------------
+
+    /// Pops a frame from the shard's magazine, maintaining the gauges.
+    fn magazine_pop(&self, st: &mut SdsState) -> Option<PageFrame> {
+        let frame = st.magazine.pop()?;
+        self.metrics.magazine_pages.add(-1);
+        st.gauges.magazine_pages.set(st.magazine.len() as i64);
+        Some(frame)
+    }
+
+    /// Pops a frame from the global depot, maintaining its gauge.
+    pub(crate) fn depot_pop(&self) -> Option<PageFrame> {
+        let frame = self.depot.pop()?;
+        self.metrics.free_pool_pages.add(-1);
+        Some(frame)
+    }
+
+    /// Parks a harvested wholly-free frame: magazine (up to capacity) →
+    /// depot → `to_os` (the caller releases those under the slow-path
+    /// lock).
+    fn park_frame(&self, st: &mut SdsState, frame: PageFrame, to_os: &mut Vec<PageFrame>) {
+        if st.magazine.len() < self.cfg.sds_retain_pages {
+            st.magazine.push(frame);
+            self.metrics.magazine_pages.add(1);
+            st.gauges.magazine_pages.set(st.magazine.len() as i64);
+        } else {
+            match self.depot.push(frame) {
+                Ok(()) => self.metrics.free_pool_pages.add(1),
+                Err(frame) => to_os.push(frame),
+            }
+        }
+    }
+
+    /// Steals up to `want` parked pages out of the shard's magazine —
+    /// the reclamation *steal-back* protocol. Caller holds the shard
+    /// lock and releases the frames under the slow-path lock.
+    pub(crate) fn steal_magazine(&self, st: &mut SdsState, want: usize) -> Vec<PageFrame> {
+        let steal = st.magazine.len().min(want);
+        if steal == 0 {
+            return Vec::new();
+        }
+        let at = st.magazine.len() - steal;
+        let frames: Vec<PageFrame> = st.magazine.drain(at..).collect();
+        st.magazine_steal_backs += steal as u64;
+        st.gauges.magazine_pages.set(st.magazine.len() as i64);
+        st.gauges
+            .magazine_steal_backs
+            .set(st.magazine_steal_backs as i64);
+        self.metrics.magazine_pages.add(-(steal as i64));
+        self.magazine_steal_backs_total
+            .fetch_add(steal as u64, Ordering::Relaxed);
+        self.metrics.magazine_steal_backs_total.add(steal as u64);
+        frames
     }
 
     // ------------------------------------------------------------------
@@ -384,9 +610,11 @@ impl Sma {
         result
     }
 
-    /// Allocation with budget-growth retry. `init` runs under the SMA
+    /// Allocation with budget-growth retry. `init` runs under the shard
     /// lock immediately after the slot is carved out, so no reclamation
-    /// can observe an uninitialised slot.
+    /// can observe an uninitialised slot. The budget source is invoked
+    /// with **no** SMA locks held, so a callback may re-enter the SMA
+    /// (reclaim, shrink, even allocate) without deadlocking.
     fn alloc_retrying_inner(
         &self,
         sds: SdsId,
@@ -413,7 +641,7 @@ impl Sma {
                     available_pages: 0,
                 });
             }
-            let source = self.budget_source.lock().clone();
+            let source = self.budget_source.read().clone();
             let Some(source) = source else {
                 return Err(SoftError::BudgetExceeded {
                     requested_pages: shortfall,
@@ -434,7 +662,9 @@ impl Sma {
         }
     }
 
-    /// One allocation attempt under the lock.
+    /// One allocation attempt. Fast path: the shard lock only. The
+    /// global lock is taken just for budget-checked page acquisition
+    /// when both the magazine and the depot miss.
     fn try_alloc(
         &self,
         sds: SdsId,
@@ -448,41 +678,71 @@ impl Sma {
                 max: MAX_ALLOC_BYTES,
             });
         }
-        let inner = &mut *self.inner.lock();
-        inner.entry(sds)?; // validate id before acquiring pages
+        let shard = self.shard(sds)?;
+        let mut st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::UnknownSds(sds));
+        }
         if len > MAX_SLAB_ALLOC {
+            // Span path: spans always come from the OS interface, so
+            // this path is global-locked by nature (and rare).
             let pages = SdsHeap::pages_needed(len);
-            if inner.held_pages + pages > inner.budget_pages {
-                return Err(SoftError::BudgetExceeded {
-                    requested_pages: pages,
-                    available_pages: inner.budget_pages - inner.held_pages,
-                });
-            }
-            let span = inner.pool.acquire_span(pages)?;
-            inner.held_pages += pages;
-            let entry = inner.entry_mut(sds).expect("validated above");
-            let raw = entry.heap.insert_span(span, len, drop_fn);
-            let (ptr, _) = entry.heap.resolve(raw).expect("just inserted");
+            let span = {
+                let inner = &mut *self.inner.lock();
+                if inner.held_pages + pages > inner.budget_pages {
+                    return Err(SoftError::BudgetExceeded {
+                        requested_pages: pages,
+                        available_pages: inner.budget_pages.saturating_sub(inner.held_pages),
+                    });
+                }
+                let span = inner.pool.acquire_span(pages)?;
+                inner.held_pages += pages;
+                self.metrics.sync_occupancy(inner);
+                span
+            };
+            let raw = st.heap.insert_span(span, len, drop_fn);
+            let (ptr, _) = st.heap.resolve(raw).expect("just inserted");
             init(ptr);
-            self.metrics.sync_gauges(inner);
             return Ok(raw);
         }
-        // Slab path: optimistic allocation from attached pages; only
-        // on failure acquire a frame (free pool, then the machine,
-        // under budget) and retry.
-        let entry = inner.entry_mut(sds).expect("validated above");
-        match entry.heap.alloc_slab(len, drop_fn, None) {
+        // Slab path, tried in escalating order of cost:
+        // attached partial/free pages → magazine → depot (with a batch
+        // refill) → budget-checked OS acquisition under the global
+        // lock.
+        match st.heap.alloc_slab(len, drop_fn, None) {
             Ok(raw) => {
-                let (ptr, _) = entry.heap.resolve(raw).expect("just allocated");
+                let (ptr, _) = st.heap.resolve(raw).expect("just allocated");
                 init(ptr);
                 return Ok(raw);
             }
             Err(SoftError::BudgetExceeded { .. }) => {}
             Err(other) => return Err(other),
         }
-        let frame = if let Some(frame) = inner.free_pool.pop() {
+        let frame = if let Some(frame) = self.magazine_pop(&mut st) {
+            frame
+        } else if let Some(frame) = self.depot_pop() {
+            // Refill event: pull a small batch while we are at the
+            // depot anyway, so the next few allocations stay on the
+            // magazine fast path.
+            let room = self.cfg.sds_retain_pages.saturating_sub(st.magazine.len());
+            let batch = room.min(self.cfg.sds_retain_pages / 2);
+            for _ in 0..batch {
+                match self.depot_pop() {
+                    Some(extra) => {
+                        st.magazine.push(extra);
+                        self.metrics.magazine_pages.add(1);
+                    }
+                    None => break,
+                }
+            }
+            st.gauges.magazine_pages.set(st.magazine.len() as i64);
+            st.magazine_refills += 1;
+            st.gauges.magazine_refills.set(st.magazine_refills as i64);
+            self.magazine_refills_total.fetch_add(1, Ordering::Relaxed);
+            self.metrics.magazine_refills_total.add(1);
             frame
         } else {
+            let inner = &mut *self.inner.lock();
             if inner.held_pages + 1 > inner.budget_pages {
                 return Err(SoftError::BudgetExceeded {
                     requested_pages: 1,
@@ -491,13 +751,12 @@ impl Sma {
             }
             let frame = inner.pool.acquire()?;
             inner.held_pages += 1;
+            self.metrics.sync_occupancy(inner);
             frame
         };
-        let entry = inner.entry_mut(sds).expect("validated above");
-        let raw = entry.heap.alloc_slab(len, drop_fn, Some(frame))?;
-        let (ptr, _) = entry.heap.resolve(raw).expect("just allocated");
+        let raw = st.heap.alloc_slab(len, drop_fn, Some(frame))?;
+        let (ptr, _) = st.heap.resolve(raw).expect("just allocated");
         init(ptr);
-        self.metrics.sync_gauges(inner);
         Ok(raw)
     }
 
@@ -517,54 +776,66 @@ impl Sma {
 
     /// Moves the value out of a slot and frees it.
     pub fn take_value<T: Send>(&self, slot: SoftSlot<T>) -> SoftResult<T> {
-        let mut inner = self.inner.lock();
-        let entry = inner.entry_mut(slot.raw.sds)?;
-        let (ptr, _) = entry.heap.resolve(slot.raw)?;
-        // SAFETY: the slot is live (just resolved under the lock) and
-        // holds an initialised `T` written by `alloc_value`; the drop fn
-        // is disarmed before the slot is freed, so the value is moved
-        // out exactly once and never dropped in place.
-        let value = unsafe { ptr.cast::<T>().read() };
-        entry
-            .heap
-            .disarm_drop(slot.raw)
-            .expect("slot verified live");
-        drop(inner);
-        self.free_raw(slot.raw, false)?;
+        let shard = self.shard(slot.raw.sds)?;
+        let value = {
+            let mut st = shard.state.lock();
+            if st.dead {
+                return Err(SoftError::UnknownSds(slot.raw.sds));
+            }
+            let (ptr, _) = st.heap.resolve(slot.raw)?;
+            // SAFETY: the slot is live (just resolved under the shard
+            // lock) and holds an initialised `T` written by
+            // `alloc_value`; the drop fn is disarmed before the slot is
+            // freed, so the value is moved out exactly once and never
+            // dropped in place.
+            let value = unsafe { ptr.cast::<T>().read() };
+            st.heap.disarm_drop(slot.raw).expect("slot verified live");
+            value
+        };
+        // The handle was unique, but an SDS reclaimer may race this
+        // free; the value is already moved out and its drop disarmed,
+        // so losing that race is benign.
+        let _ = self.free_raw(slot.raw, false);
         Ok(value)
     }
 
     pub(crate) fn free_raw(&self, raw: RawHandle, run_drop: bool) -> SoftResult<usize> {
         let timer = Timer::start_sampled(self.metrics.frees_total.inc());
-        let inner = &mut *self.inner.lock();
-        let entry = inner.entry_mut(raw.sds)?;
-        let out = entry.heap.free(raw, run_drop)?;
+        let shard = self.shard(raw.sds)?;
+        let mut st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::UnknownSds(raw.sds));
+        }
+        let FreeOutcome {
+            freed_bytes,
+            released_span,
+            page_now_free,
+        } = st.heap.free(raw, run_drop)?;
+        let mut to_os = Vec::new();
+        if page_now_free {
+            for frame in st.heap.harvest_free_pages(0) {
+                self.park_frame(&mut st, frame, &mut to_os);
+            }
+        }
         let mut auto_released = 0u64;
-        if out.page_now_free {
-            let frames = entry.heap.harvest_free_pages(self.cfg.sds_retain_pages);
-            for frame in frames {
-                if inner.free_pool.len() < self.cfg.free_pool_retain_pages {
-                    inner.free_pool.push(frame);
-                } else {
-                    inner.pool.release_to_os(frame);
-                    inner.held_pages -= 1;
-                    auto_released += 1;
-                }
+        if !to_os.is_empty() || released_span.is_some() {
+            let inner = &mut *self.inner.lock();
+            for frame in to_os {
+                inner.pool.release_to_os(frame);
+                inner.held_pages -= 1;
+                auto_released += 1;
             }
-        }
-        if let Some(span) = out.released_span {
-            inner.held_pages -= span.pages();
-            auto_released += span.pages() as u64;
-            inner.pool.release_span(span);
-        }
-        if auto_released > 0 {
-            if let Ok(entry) = inner.entry_mut(raw.sds) {
-                entry.pages_auto_released += auto_released;
+            if let Some(span) = released_span {
+                inner.held_pages -= span.pages();
+                auto_released += span.pages() as u64;
+                inner.pool.release_span(span);
             }
+            self.metrics.sync_occupancy(inner);
         }
-        self.metrics.sync_gauges(inner);
+        st.pages_auto_released += auto_released;
+        drop(st);
         timer.observe(&self.metrics.free_ns);
-        Ok(out.freed_bytes)
+        Ok(freed_bytes)
     }
 
     // ------------------------------------------------------------------
@@ -573,75 +844,188 @@ impl Sma {
 
     /// Reads the bytes of an allocation.
     ///
-    /// Returns [`SoftError::Revoked`] if the allocation was reclaimed.
-    /// The closure runs under the allocator lock: keep it short and do
-    /// not call back into this `Sma`.
+    /// Slab-sized reads are **optimistic**: the slot's address and
+    /// write epoch are snapshotted under the shard lock, the bytes are
+    /// copied with *no lock held*, and the snapshot is revalidated
+    /// before the copy is handed to `f` (which also runs unlocked, so a
+    /// slow closure serialises nobody). Three outcomes:
+    ///
+    /// * snapshot still valid → `Ok` with the copied bytes;
+    /// * the slot was overwritten mid-copy (epoch moved) → retry, then
+    ///   fall back to a locked read;
+    /// * the slot was freed or reclaimed mid-copy →
+    ///   [`SoftError::Reclaimed`] — the caller treats it like a miss,
+    ///   exactly as it would a [`SoftError::Revoked`] handle, but
+    ///   without ever having stalled behind the reclamation.
+    ///
+    /// A handle that is stale *before* the read starts fails with
+    /// [`SoftError::Revoked`] as always. Span allocations use the
+    /// locked path: their memory really is returned to the OS interface
+    /// on free, and copying megabytes to revalidate would cost more
+    /// than the lock.
     pub fn with_bytes<R>(&self, handle: &SoftHandle, f: impl FnOnce(&[u8]) -> R) -> SoftResult<R> {
-        let inner = self.inner.lock();
-        let (ptr, len) = inner.entry(handle.raw.sds)?.heap.resolve(handle.raw)?;
-        // SAFETY: the slot is live and `len` bytes long; the SMA lock is
-        // held for the closure's duration, so no free/reclaim can race.
+        let shard = self.shard(handle.raw.sds)?;
+        if handle.raw.kind == AllocKind::Span {
+            let st = shard.state.lock();
+            if st.dead {
+                return Err(SoftError::UnknownSds(handle.raw.sds));
+            }
+            let (ptr, len) = st.heap.resolve(handle.raw)?;
+            // SAFETY: the span is live and `len` bytes long; the shard
+            // lock is held for the closure's duration, so no
+            // free/reclaim can race.
+            let bytes = unsafe { std::slice::from_raw_parts(ptr, len) };
+            return Ok(f(bytes));
+        }
+        let mut buf = std::mem::MaybeUninit::<[u64; MAX_SLAB_ALLOC / 8]>::uninit();
+        for attempt in 0..MAX_OPTIMISTIC_ATTEMPTS {
+            let (ptr, len, epoch) = {
+                let st = shard.state.lock();
+                if st.dead {
+                    return Err(if attempt == 0 {
+                        SoftError::UnknownSds(handle.raw.sds)
+                    } else {
+                        SoftError::Reclaimed
+                    });
+                }
+                match st.heap.resolve_for_read(handle.raw) {
+                    Ok(snap) => snap,
+                    // Stale before the first copy: the ordinary
+                    // stale-handle error. Stale on a *re*-look: the
+                    // slot died under an in-flight read.
+                    Err(e) if attempt == 0 => return Err(e),
+                    Err(_) => return Err(SoftError::Reclaimed),
+                }
+            };
+            debug_assert!(len <= MAX_SLAB_ALLOC);
+            // SAFETY: `ptr` was a live slab slot of `len` bytes when
+            // snapshotted; slab arenas stay mapped for the pool's
+            // lifetime (frees return frames to the depot/arena, they do
+            // not unmap), so this unlocked copy reads mapped memory
+            // even if the slot is freed mid-copy — the revalidation
+            // below then discards the garbage. `dst` is a local buffer
+            // of MAX_SLAB_ALLOC ≥ `len` bytes.
+            unsafe { optimistic_copy(ptr, buf.as_mut_ptr().cast::<u8>(), len) };
+            let st = shard.state.lock();
+            if st.dead {
+                return Err(SoftError::Reclaimed);
+            }
+            match st.heap.resolve_for_read(handle.raw) {
+                Ok((p, l, e)) if p == ptr && l == len && e == epoch => {
+                    drop(st);
+                    // SAFETY: the first `len` bytes of `buf` were
+                    // initialised by the copy above.
+                    let bytes =
+                        unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), len) };
+                    return Ok(f(bytes));
+                }
+                // Overwritten mid-copy: the copy may be torn; retry.
+                Ok(_) => {}
+                // Freed mid-copy.
+                Err(_) => return Err(SoftError::Reclaimed),
+            }
+        }
+        // Writer-heavy slot: give up on optimism, read under the lock.
+        let st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::Reclaimed);
+        }
+        let (ptr, len) = st.heap.resolve(handle.raw)?;
+        // SAFETY: live slot; shard lock held for the closure's
+        // duration.
         let bytes = unsafe { std::slice::from_raw_parts(ptr, len) };
         Ok(f(bytes))
     }
 
-    /// Mutates the bytes of an allocation.
+    /// Mutates the bytes of an allocation. Runs under the shard lock
+    /// and bumps the slot's write epoch, so optimistic readers racing
+    /// this writer revalidate and retry instead of observing a torn
+    /// buffer.
     pub fn with_bytes_mut<R>(
         &self,
         handle: &SoftHandle,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> SoftResult<R> {
-        let inner = self.inner.lock();
-        let (ptr, len) = inner.entry(handle.raw.sds)?.heap.resolve(handle.raw)?;
-        // SAFETY: as in `with_bytes`; exclusivity holds because handles
-        // are unique and the lock blocks all other access paths.
+        let shard = self.shard(handle.raw.sds)?;
+        let mut st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::UnknownSds(handle.raw.sds));
+        }
+        let (ptr, len) = st.heap.resolve_for_write(handle.raw)?;
+        // SAFETY: the slot is live and `len` bytes long; exclusivity
+        // holds because handles are unique and the shard lock blocks
+        // all other access paths into this SDS.
         let bytes = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
         Ok(f(bytes))
     }
 
-    /// Reads a typed value.
+    /// Reads a typed value. The closure runs under the owning SDS's
+    /// shard lock (not a global lock): keep it short and do not call
+    /// back into the same SDS.
     pub fn with_value<T, R>(&self, slot: &SoftSlot<T>, f: impl FnOnce(&T) -> R) -> SoftResult<R> {
         self.with_raw_value(slot.raw, f)
     }
 
     /// Reads a typed value like [`Sma::with_value`], but releases the
-    /// allocator lock before running `f`, so a slow reader — an
-    /// eviction callback charged with per-entry cleanup cost, say —
-    /// does not serialise every other SDS's allocations behind it.
+    /// shard lock before running `f`, so a slow reader — an eviction
+    /// callback charged with per-entry cleanup cost, say — does not
+    /// serialise the SDS's other operations behind it.
+    ///
+    /// After `f` returns, the slot's generation is revalidated under
+    /// the shard lock: if the allocation was freed, reclaimed, or its
+    /// SDS destroyed while `f` ran, the result is discarded and
+    /// [`SoftError::Reclaimed`] is returned, so the caller can never
+    /// act on data whose backing slot died mid-read.
     ///
     /// # Safety
     ///
-    /// The caller must guarantee the slot stays live and un-mutated
-    /// for the duration of the call. In practice that means the caller
+    /// The caller must guarantee the slot is not *written* for the
+    /// duration of the call (reads of a torn value would be undefined
+    /// behaviour for most `T`). In practice that means the caller
     /// exclusively owns the slot (it is unreachable from any shared
-    /// structure) and holds the owning container's lock, so no other
-    /// path can free, evict, or write through it while `f` runs.
+    /// structure) or holds the owning container's lock. Frees are
+    /// tolerated: the memory stays mapped (arena-backed) and the
+    /// revalidation reports them as `Reclaimed`.
     pub unsafe fn with_value_exclusive<T, R>(
         &self,
         slot: &SoftSlot<T>,
         f: impl FnOnce(&T) -> R,
     ) -> SoftResult<R> {
+        let shard = self.shard(slot.raw.sds)?;
         let ptr = {
-            let inner = self.inner.lock();
-            let (ptr, _) = inner.entry(slot.raw.sds)?.heap.resolve(slot.raw)?;
+            let st = shard.state.lock();
+            if st.dead {
+                return Err(SoftError::UnknownSds(slot.raw.sds));
+            }
+            let (ptr, _) = st.heap.resolve(slot.raw)?;
             ptr
         };
         // SAFETY: live slot holding an initialised `T` (written by
         // `alloc_value`). The lock is released, but the caller's
-        // exclusivity contract rules out concurrent frees (which could
-        // unmap the page) and writes for the call's duration.
+        // contract rules out concurrent writes, and the arena backing
+        // the slot stays mapped even across a racing free.
         let value = unsafe { &*ptr.cast::<T>() };
-        Ok(f(value))
+        let result = f(value);
+        let st = shard.state.lock();
+        if st.dead || st.heap.resolve(slot.raw).is_err() {
+            return Err(SoftError::Reclaimed);
+        }
+        Ok(result)
     }
 
-    /// Mutates a typed value.
+    /// Mutates a typed value. Runs under the shard lock and bumps the
+    /// slot's write epoch (see [`Sma::with_bytes_mut`]).
     pub fn with_value_mut<T, R>(
         &self,
         slot: &mut SoftSlot<T>,
         f: impl FnOnce(&mut T) -> R,
     ) -> SoftResult<R> {
-        let inner = self.inner.lock();
-        let (ptr, _) = inner.entry(slot.raw.sds)?.heap.resolve(slot.raw)?;
+        let shard = self.shard(slot.raw.sds)?;
+        let mut st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::UnknownSds(slot.raw.sds));
+        }
+        let (ptr, _) = st.heap.resolve_for_write(slot.raw)?;
         // SAFETY: live slot holding an initialised `T` (written by
         // `alloc_value`); `&mut` exclusivity per `with_bytes_mut`.
         let value = unsafe { &mut *ptr.cast::<T>() };
@@ -654,48 +1038,62 @@ impl Sma {
     }
 
     fn with_raw_value<T, R>(&self, raw: RawHandle, f: impl FnOnce(&T) -> R) -> SoftResult<R> {
-        let inner = self.inner.lock();
-        let (ptr, _) = inner.entry(raw.sds)?.heap.resolve(raw)?;
-        // SAFETY: live slot holding an initialised `T`; shared access is
-        // sound because the lock excludes writers for the closure's
-        // duration.
+        let shard = self.shard(raw.sds)?;
+        let st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::UnknownSds(raw.sds));
+        }
+        let (ptr, _) = st.heap.resolve(raw)?;
+        // SAFETY: live slot holding an initialised `T`; shared access
+        // is sound because the shard lock excludes writers for the
+        // closure's duration.
         let value = unsafe { &*ptr.cast::<T>() };
         Ok(f(value))
     }
 
     /// Whether the allocation behind `raw` is still live.
     pub fn is_live(&self, raw: RawHandle) -> bool {
-        let inner = self.inner.lock();
-        inner
-            .entry(raw.sds)
-            .and_then(|e| e.heap.resolve(raw))
-            .is_ok()
+        let Ok(shard) = self.shard(raw.sds) else {
+            return false;
+        };
+        let st = shard.state.lock();
+        !st.dead && st.heap.resolve(raw).is_ok()
     }
 
     // ------------------------------------------------------------------
     // Stats
     // ------------------------------------------------------------------
 
-    /// Snapshot of the allocator's accounting.
+    /// Snapshot of the allocator's accounting. Shard locks are taken
+    /// one at a time, so the snapshot is exact at quiescent points
+    /// (which is when the testkit certifies it) and approximate under
+    /// concurrent mutation.
     pub fn stats(&self) -> SmaStats {
-        let inner = self.inner.lock();
         let mut live_bytes = 0;
         let mut live_allocs = 0;
         let mut allocs_total = 0;
         let mut frees_total = 0;
         let mut sds_count = 0;
-        for entry in inner.sds.iter().flatten() {
-            let h = entry.heap.stats();
+        let mut magazine_pages = 0;
+        for shard in self.shards() {
+            let st = shard.state.lock();
+            if st.dead {
+                continue;
+            }
+            let h = st.heap.stats();
             live_bytes += h.live_bytes;
             live_allocs += h.live_allocs;
             allocs_total += h.allocs_total;
             frees_total += h.frees_total;
+            magazine_pages += st.magazine.len();
             sds_count += 1;
         }
+        let inner = self.inner.lock();
         SmaStats {
             budget_pages: inner.budget_pages,
             held_pages: inner.held_pages,
-            free_pool_pages: inner.free_pool.len(),
+            free_pool_pages: self.depot.len(),
+            magazine_pages,
             live_bytes,
             live_allocs,
             sds_count,
@@ -704,8 +1102,41 @@ impl Sma {
             reclaims_total: inner.reclaims_total,
             pages_reclaimed_total: inner.pages_reclaimed_total,
             budget_granted_total: inner.budget_granted_total,
+            magazine_refills_total: self.magazine_refills_total.load(Ordering::Relaxed),
+            magazine_steal_backs_total: self.magazine_steal_backs_total.load(Ordering::Relaxed),
             pool: inner.pool.stats(),
         }
+    }
+}
+
+/// Copies `len` bytes from a slot that may be concurrently freed or
+/// rewritten. Volatile reads keep the compiler from assuming the source
+/// is stable (it must neither fuse nor re-read); a torn result is fine
+/// because the caller revalidates the slot's write epoch and discards
+/// the buffer on any mismatch.
+///
+/// # Safety
+///
+/// `src..src+len` must be mapped readable memory (slab slots satisfy
+/// this: arenas stay mapped for the pool's lifetime) and `dst` must be
+/// valid for `len` writes. `src` must be 8-byte aligned (slab slots are
+/// ≥ 64-byte aligned).
+unsafe fn optimistic_copy(src: *const u8, dst: *mut u8, len: usize) {
+    let mut i = 0;
+    while i + 8 <= len {
+        // SAFETY: in-bounds per the function contract; alignment per
+        // the function contract.
+        let word = unsafe { src.add(i).cast::<u64>().read_volatile() };
+        // SAFETY: `dst` valid for `len` writes; offset keeps alignment.
+        unsafe { dst.add(i).cast::<u64>().write_unaligned(word) };
+        i += 8;
+    }
+    while i < len {
+        // SAFETY: in-bounds per the function contract.
+        let byte = unsafe { src.add(i).read_volatile() };
+        // SAFETY: `dst` valid for `len` writes.
+        unsafe { dst.add(i).write(byte) };
+        i += 1;
     }
 }
 

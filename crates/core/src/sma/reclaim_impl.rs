@@ -6,40 +6,54 @@
 //! 1. **Budget slack** — budget pages not backed by physical pages are
 //!    surrendered for free ("if the application has excess soft budget
 //!    … it first exhausts these").
-//! 2. **Idle pages** — the process-global free pool and wholly-free
-//!    pages still attached to SDS heaps are released to the OS.
+//! 2. **Idle pages** — the lock-free frame depot, every SDS's magazine
+//!    (the *steal-back* protocol, below), and wholly-free pages still
+//!    attached to SDS heaps are released to the OS.
 //! 3. **Live allocations** — SDSs are visited in ascending priority
 //!    order; each frees allocations of its choosing (via its
 //!    [`super::SdsReclaimer`]) until enough whole pages come free.
 //!
-//! Tier 3 runs *without* the SMA lock so that the reclaimer can free
+//! Tier 3 runs *without* any SMA lock so that the reclaimer can free
 //! through the ordinary allocator API (and so concurrent application
 //! threads are never blocked for the whole reclamation, only for
 //! individual frees). Pages released by those frees — whether through
 //! the retention watermarks or the explicit harvest — are counted
-//! against the demand via the page pool's release counter.
+//! against the demand via per-SDS release counters.
+//!
+//! # Steal-back
+//!
+//! The magazine fast path parks wholly-free pages outside the global
+//! lock, which would hide them from a purely global reclamation scan.
+//! Reclamation therefore *quiesces* each magazine it targets: it takes
+//! the shard lock (which the owning SDS's fast path also takes, so the
+//! magazine cannot be concurrently popped), drains up to the demanded
+//! number of frames, and counts them as `magazine_steal_backs` before
+//! releasing them to the OS under the global lock. The owning SDS
+//! simply sees a magazine miss on its next allocation and refills from
+//! the depot or the budget — no fast-path operation ever blocks for
+//! longer than the drain.
 //!
 //! Tier 3 is additionally **parallel-safe** across SDSs: each SDS
-//! carries a reclaim guard (an atomic flag outside the `SmaInner`
-//! mutex) that one reclamation pass holds while squeezing it.
-//! Concurrent [`Sma::reclaim`] calls skip a guarded SDS instead of
-//! serialising behind its (potentially very expensive) callback, and
-//! the per-round harvest is a *two-phase* affair: the callback runs
-//! unlocked, then the lock is re-acquired only long enough to return
-//! whole pages from the free pool and the **target SDS's heap** —
-//! never to scan every heap on the machine. A sharded KV engine whose
-//! shard A is being reclaimed therefore keeps allocating on shards
-//! B–N with only page-return-sized critical sections in the way. Any
-//! idle pages the targeted harvest leaves attached to *other* heaps
-//! are swept up by a single global pass after the SDS loop, so the
-//! demand is satisfied exactly as before.
+//! carries a reclaim guard (an atomic flag outside the shard mutex)
+//! that one reclamation pass holds while squeezing it. Concurrent
+//! [`Sma::reclaim`] calls skip a guarded SDS instead of serialising
+//! behind its (potentially very expensive) callback, and the per-round
+//! harvest is a *two-phase* affair: the callback runs unlocked, then
+//! the shard lock is re-taken only long enough to steal the magazine
+//! and the **target SDS's** wholly-free pages — never to scan every
+//! heap on the machine. A sharded KV engine whose shard A is being
+//! reclaimed therefore keeps allocating on shards B–N with only
+//! page-return-sized critical sections in the way. Any idle pages the
+//! targeted harvest leaves on *other* shards are swept up by a single
+//! global pass after the SDS loop, so the demand is satisfied exactly
+//! as before.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use super::{Sma, SmaInner};
+use super::{SdsShard, SdsState, Sma};
 use crate::handle::SdsId;
-use crate::page::PAGE_SIZE;
+use crate::page::{PageFrame, PAGE_SIZE};
 
 /// Releases an SDS's reclaim guard on drop, so a panicking bookkeeping
 /// path can never leave the SDS permanently unreclaimable.
@@ -78,8 +92,9 @@ pub struct ReclaimReport {
     pub demanded_pages: usize,
     /// Pages yielded from budget slack (no physical release needed).
     pub from_slack: usize,
-    /// Physical pages released from the free pool and already-free SDS
-    /// pages (tier 2, plus the post-tier-3 global idle sweep).
+    /// Physical pages released from the depot, magazines, and
+    /// already-free SDS pages (tier 2, plus the post-tier-3 global idle
+    /// sweep).
     pub from_idle: usize,
     /// Physical pages released by freeing live allocations (tier 3),
     /// per SDS in the order they were visited.
@@ -145,10 +160,8 @@ impl Sma {
             ..ReclaimReport::default()
         };
         let mut remaining = demanded_pages;
-        type OrderEntry = (SdsId, String, Arc<dyn super::SdsReclaimer>, Arc<AtomicBool>);
-        let order: Vec<OrderEntry>;
         {
-            // ---- Tier 1 + 2 (locked): slack and idle pages. ----
+            // ---- Tier 1 (global lock): budget slack. ----
             let inner = &mut *self.inner.lock();
             inner.reclaims_total += 1;
             self.metrics.reclaims_total.add(1);
@@ -156,37 +169,36 @@ impl Sma {
             report.from_slack = slack.min(remaining);
             inner.budget_pages -= report.from_slack;
             remaining -= report.from_slack;
-
-            report.from_idle = Self::release_idle_pages(inner, remaining);
-            inner.budget_pages = inner.budget_pages.saturating_sub(report.from_idle);
-            remaining -= report.from_idle;
-
-            let mut sorted: Vec<_> = inner
-                .sds
-                .iter()
-                .flatten()
-                .filter_map(|e| {
-                    e.reclaimer.as_ref().map(|r| {
-                        (
-                            e.priority,
-                            e.heap.id(),
-                            e.name.clone(),
-                            Arc::clone(r),
-                            Arc::clone(&e.reclaim_guard),
-                        )
-                    })
-                })
-                .collect();
-            // Ascending priority; ties broken by registration order for
-            // determinism.
-            sorted.sort_by_key(|&(prio, id, _, _, _)| (prio, id));
-            order = sorted
-                .into_iter()
-                .map(|(_, id, name, r, g)| (id, name, r, g))
-                .collect();
         }
+        // ---- Tier 2: idle pages (depot → magazines → heaps). ----
+        if remaining > 0 {
+            report.from_idle = self.release_idle_pages(remaining);
+            remaining -= report.from_idle;
+        }
+        // Snapshot the visiting order: ascending priority, ties broken
+        // by registration order for determinism. Shard locks are taken
+        // one at a time, briefly.
+        let order: Vec<(Arc<SdsShard>, String, Arc<dyn super::SdsReclaimer>)> = {
+            let mut sorted = Vec::new();
+            for shard in self.shards() {
+                let st = shard.state.lock();
+                if st.dead {
+                    continue;
+                }
+                if let Some(reclaimer) = st.reclaimer.as_ref() {
+                    let entry = (st.priority, st.name.clone(), Arc::clone(reclaimer));
+                    drop(st);
+                    sorted.push((entry.0, shard.id, entry.1, entry.2, shard));
+                }
+            }
+            sorted.sort_by_key(|e| (e.0, e.1));
+            sorted
+                .into_iter()
+                .map(|(_, _, name, reclaimer, shard)| (shard, name, reclaimer))
+                .collect()
+        };
         // ---- Tier 3 (unlocked): ask SDSs to free live allocations. ----
-        for (id, name, reclaimer, guard) in order {
+        for (shard, name, reclaimer) in order {
             if remaining == 0 {
                 break;
             }
@@ -194,15 +206,16 @@ impl Sma {
             // queueing behind its callback would serialise reclaims
             // machine-wide, so skip it — the concurrent pass is
             // producing the pages this one would have asked for.
-            if guard
+            if shard
+                .reclaim_guard
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_err()
             {
                 continue;
             }
-            let _release = GuardRelease(&guard);
+            let _release = GuardRelease(&shard.reclaim_guard);
             let mut contribution = SdsContribution {
-                id,
+                id: shard.id,
                 name,
                 pages: 0,
                 bytes_freed: 0,
@@ -214,11 +227,8 @@ impl Sma {
                 }
                 let target_bytes = remaining * PAGE_SIZE;
                 let (auto_before, frees_before) = {
-                    let inner = self.inner.lock();
-                    inner
-                        .entry(id)
-                        .map(|e| (e.pages_auto_released, e.heap.stats().frees_total))
-                        .unwrap_or((0, 0))
+                    let st = shard.state.lock();
+                    (st.pages_auto_released, st.heap.stats().frees_total)
                 };
                 // A panicking reclaimer (buggy SDS policy or user
                 // callback) must not unwind into the daemon: treat it
@@ -230,30 +240,35 @@ impl Sma {
                 }))
                 .unwrap_or(0);
                 cb_timer.observe(&self.metrics.sds_callback_ns);
+                // Phase two of the harvest: re-take the *shard* lock
+                // only to quiesce the magazine and return whole pages.
+                // Pages auto-released by the frees themselves
+                // (retention overflow, spans) are counted via the
+                // target SDS's own release counter — not a global one,
+                // which a concurrent pass on another SDS would also be
+                // incrementing.
                 let released_this_round = {
-                    // Phase two of the harvest: re-acquire the lock
-                    // only to *return whole pages*. Pages auto-released
-                    // by the frees themselves (retention watermark
-                    // overflow, spans) are counted via the target SDS's
-                    // own release counter — not a global one, which a
-                    // concurrent pass on another SDS would also be
-                    // incrementing…
-                    let inner = &mut *self.inner.lock();
-                    let (auto_after, frees_after) = inner
-                        .entry(id)
-                        .map(|e| (e.pages_auto_released, e.heap.stats().frees_total))
-                        .unwrap_or((auto_before, frees_before));
-                    let auto = (auto_after - auto_before) as usize;
-                    // …plus a harvest targeted at the SDS that just ran
-                    // its callback (free pool first, then that heap's
-                    // wholly-free pages). No global heap scan happens
-                    // in this critical section.
-                    let explicit =
-                        Self::harvest_target_pages(inner, id, remaining.saturating_sub(auto));
-                    let released = auto + explicit;
-                    inner.budget_pages = inner.budget_pages.saturating_sub(released);
+                    let mut st = shard.state.lock();
+                    let auto = (st.pages_auto_released - auto_before) as usize;
+                    let frees_after = st.heap.stats().frees_total;
                     contribution.allocs_freed += frees_after - frees_before;
-                    released
+                    let frames = if st.dead {
+                        Vec::new()
+                    } else {
+                        self.collect_target_frames(&mut st, remaining.saturating_sub(auto))
+                    };
+                    drop(st);
+                    let explicit = frames.len();
+                    if explicit > 0 || auto > 0 {
+                        let inner = &mut *self.inner.lock();
+                        for frame in frames {
+                            inner.pool.release_to_os(frame);
+                            inner.held_pages -= 1;
+                        }
+                        inner.budget_pages = inner.budget_pages.saturating_sub(auto + explicit);
+                        self.metrics.sync_occupancy(inner);
+                    }
+                    auto + explicit
                 };
                 contribution.bytes_freed += freed_bytes;
                 contribution.pages += released_this_round;
@@ -267,22 +282,19 @@ impl Sma {
             }
         }
         // Final sweep: the targeted harvests deliberately left other
-        // heaps' idle pages alone; if the demand is still short, one
+        // shards' idle pages alone; if the demand is still short, one
         // global idle pass (same as tier 2) collects them — including
         // pages concurrent frees idled while tier 3 ran.
         if remaining > 0 {
-            let inner = &mut *self.inner.lock();
-            let swept = Self::release_idle_pages(inner, remaining);
-            inner.budget_pages = inner.budget_pages.saturating_sub(swept);
-            report.from_idle += swept;
+            report.from_idle += self.release_idle_pages(remaining);
         }
         {
-            let mut inner = self.inner.lock();
+            let inner = &mut *self.inner.lock();
             inner.pages_reclaimed_total += report.total_yielded() as u64;
             self.metrics
                 .pages_reclaimed_total
                 .add(report.total_yielded() as u64);
-            self.metrics.sync_gauges(&inner);
+            self.metrics.sync_occupancy(inner);
         }
         timer.observe(&self.metrics.reclaim_ns);
         report
@@ -303,70 +315,73 @@ impl Sma {
         }
     }
 
-    /// Phase two of the tier-3 two-phase harvest: with the lock
-    /// re-acquired after an *unlocked* reclaim callback, returns up to
-    /// `want` whole pages from the free pool and then from the target
-    /// SDS's own heap. Deliberately never scans other heaps — this
-    /// critical section sits on every shard's allocation path, so it
-    /// stays proportional to the pages actually coming back, not to
-    /// the number of SDSs on the machine.
-    fn harvest_target_pages(inner: &mut SmaInner, id: SdsId, want: usize) -> usize {
-        let mut released = 0;
-        while released < want {
-            let Some(frame) = inner.free_pool.pop() else {
-                break;
-            };
-            inner.pool.release_to_os(frame);
-            inner.held_pages -= 1;
-            released += 1;
-        }
-        if released < want {
-            // The SDS may have been destroyed while its callback ran;
-            // its pages then went through `destroy_sds` already.
-            if let Ok(entry) = inner.entry_mut(id) {
-                let surplus = entry.heap.wholly_free_pages();
-                let take = surplus.min(want - released);
-                let keep = surplus - take;
-                for frame in entry.heap.harvest_free_pages(keep) {
-                    inner.pool.release_to_os(frame);
-                    inner.held_pages -= 1;
-                    released += 1;
-                }
+    /// Phase two of the tier-3 two-phase harvest: with the target
+    /// shard's lock held, collects up to `want` whole frames from its
+    /// magazine (steal-back), the global depot, and its heap's
+    /// wholly-free pages, in that order. Deliberately never scans other
+    /// shards — those critical sections sit on other SDSs' fast paths.
+    fn collect_target_frames(&self, st: &mut SdsState, want: usize) -> Vec<PageFrame> {
+        let mut frames = self.steal_magazine(st, want);
+        while frames.len() < want {
+            match self.depot_pop() {
+                Some(frame) => frames.push(frame),
+                None => break,
             }
         }
-        released
+        if frames.len() < want {
+            let surplus = st.heap.wholly_free_pages();
+            let take = surplus.min(want - frames.len());
+            if take > 0 {
+                frames.extend(st.heap.harvest_free_pages(surplus - take));
+            }
+        }
+        frames
     }
 
-    /// Releases up to `want` idle pages (free pool first, then
-    /// wholly-free pages attached to SDS heaps) back to the OS.
-    /// Returns pages released; the caller adjusts the budget.
-    fn release_idle_pages(inner: &mut SmaInner, want: usize) -> usize {
-        let mut released = 0;
-        while released < want {
-            let Some(frame) = inner.free_pool.pop() else {
-                break;
-            };
-            inner.pool.release_to_os(frame);
-            inner.held_pages -= 1;
-            released += 1;
+    /// Releases up to `want` idle pages back to the OS: the lock-free
+    /// depot first, then each shard's magazine (steal-back) and
+    /// wholly-free heap pages, one shard lock at a time. The budget
+    /// shrinks by the pages released (they were yielded to a demand).
+    /// Returns pages released.
+    pub(crate) fn release_idle_pages(&self, want: usize) -> usize {
+        if want == 0 {
+            return 0;
         }
-        if released < want {
-            for entry in inner.sds.iter_mut().flatten() {
-                if released >= want {
+        let mut frames: Vec<PageFrame> = Vec::new();
+        while frames.len() < want {
+            match self.depot_pop() {
+                Some(frame) => frames.push(frame),
+                None => break,
+            }
+        }
+        if frames.len() < want {
+            for shard in self.shards() {
+                if frames.len() >= want {
                     break;
                 }
-                let surplus = entry.heap.wholly_free_pages();
-                if surplus == 0 {
+                let mut st = shard.state.lock();
+                if st.dead {
                     continue;
                 }
-                let take = surplus.min(want - released);
-                let keep = surplus - take;
-                for frame in entry.heap.harvest_free_pages(keep) {
-                    inner.pool.release_to_os(frame);
-                    inner.held_pages -= 1;
-                    released += 1;
+                frames.extend(self.steal_magazine(&mut st, want - frames.len()));
+                if frames.len() < want {
+                    let surplus = st.heap.wholly_free_pages();
+                    let take = surplus.min(want - frames.len());
+                    if take > 0 {
+                        frames.extend(st.heap.harvest_free_pages(surplus - take));
+                    }
                 }
             }
+        }
+        let released = frames.len();
+        if released > 0 {
+            let inner = &mut *self.inner.lock();
+            for frame in frames {
+                inner.pool.release_to_os(frame);
+                inner.held_pages -= 1;
+            }
+            inner.budget_pages = inner.budget_pages.saturating_sub(released);
+            self.metrics.sync_occupancy(inner);
         }
         released
     }

@@ -608,6 +608,285 @@ fn allocation_proceeds_during_slow_reclaim_callback() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Magazines, depot, and epoch-validated access
+// ---------------------------------------------------------------------
+
+#[test]
+fn magazine_parks_freed_pages_for_lock_free_reuse() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(8)
+            .free_pool_retain(0)
+            .sds_retain(2),
+    );
+    let sds = sma.register_sds("t", Priority::default());
+    let slots: Vec<_> = (0..3)
+        .map(|_| sma.alloc_value(sds, [0u8; 4096]).unwrap())
+        .collect();
+    for slot in slots {
+        sma.free_value(slot).unwrap();
+    }
+    let s = sma.stats();
+    // Two pages park in the magazine (its capacity); the depot holds
+    // nothing (capacity 0), so the third went back to the OS.
+    assert_eq!(s.magazine_pages, 2);
+    assert_eq!(s.free_pool_pages, 0);
+    assert_eq!(s.held_pages, 2);
+    assert_eq!(sma.sds_stats(sds).unwrap().magazine_pages, 2);
+    let acquired_before = s.pool.acquired_total;
+    // Re-allocation is served from the magazine: no OS traffic.
+    let _slot = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    let s = sma.stats();
+    assert_eq!(s.magazine_pages, 1);
+    assert_eq!(s.pool.acquired_total, acquired_before);
+}
+
+#[test]
+fn magazine_refills_from_depot_in_batches() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(16)
+            .free_pool_retain(8)
+            .sds_retain(4),
+    );
+    // Seed the depot: a scratch SDS's pages are recycled on destroy.
+    let scratch = sma.register_sds("scratch", Priority::default());
+    let slots: Vec<_> = (0..4)
+        .map(|_| sma.alloc_value(scratch, [0u8; 4096]).unwrap())
+        .collect();
+    drop(slots);
+    sma.destroy_sds(scratch).unwrap();
+    assert_eq!(sma.stats().free_pool_pages, 4);
+
+    let sds = sma.register_sds("t", Priority::default());
+    let _slot = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    let s = sma.stats();
+    // One refill event: one frame used by the allocation plus a batch
+    // of sds_retain/2 = 2 pulled into the magazine.
+    assert_eq!(s.magazine_refills_total, 1);
+    assert_eq!(s.magazine_pages, 2);
+    assert_eq!(s.free_pool_pages, 1);
+    let per_sds = sma.sds_stats(sds).unwrap();
+    assert_eq!(per_sds.magazine_refills, 1);
+    assert_eq!(per_sds.magazine_pages, 2);
+    // The next two allocations hit the magazine: no further refills.
+    let _a = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    let _b = sma.alloc_value(sds, [0u8; 4096]).unwrap();
+    assert_eq!(sma.stats().magazine_refills_total, 1);
+    assert_eq!(sma.stats().magazine_pages, 0);
+}
+
+#[test]
+fn reclaim_steals_magazine_pages_back() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(4)
+            .free_pool_retain(0)
+            .sds_retain(4),
+    );
+    let sds = sma.register_sds("t", Priority::default());
+    let slots: Vec<_> = (0..3)
+        .map(|_| sma.alloc_value(sds, [0u8; 4096]).unwrap())
+        .collect();
+    for slot in slots {
+        sma.free_value(slot).unwrap();
+    }
+    assert_eq!(sma.stats().magazine_pages, 3);
+    assert_eq!(sma.held_pages(), 3);
+    // Demand everything: 1 page of slack, then the magazine must be
+    // quiesced (steal-back) — parked pages are not allowed to hide
+    // from reclamation.
+    let report = sma.reclaim(4);
+    assert!(report.satisfied(), "{report:?}");
+    assert_eq!(report.from_slack, 1);
+    assert_eq!(report.from_idle, 3);
+    let s = sma.stats();
+    assert_eq!(s.magazine_pages, 0);
+    assert_eq!(s.magazine_steal_backs_total, 3);
+    assert_eq!(s.held_pages, 0);
+    assert_eq!(sma.sds_stats(sds).unwrap().magazine_steal_backs, 3);
+}
+
+#[test]
+fn destroy_sds_recycles_magazine_into_depot() {
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(8)
+            .free_pool_retain(8)
+            .sds_retain(4),
+    );
+    let sds = sma.register_sds("t", Priority::default());
+    let slots: Vec<_> = (0..3)
+        .map(|_| sma.alloc_value(sds, [0u8; 4096]).unwrap())
+        .collect();
+    for slot in slots {
+        sma.free_value(slot).unwrap();
+    }
+    assert_eq!(sma.stats().magazine_pages, 3);
+    sma.destroy_sds(sds).unwrap();
+    let s = sma.stats();
+    assert_eq!(s.magazine_pages, 0);
+    assert_eq!(s.free_pool_pages, 3, "magazine recycled into the depot");
+    assert_eq!(s.held_pages, 3);
+}
+
+#[test]
+fn concurrent_readers_never_observe_torn_writes() {
+    // The epoch-validation guarantee: an optimistic byte read that
+    // races a writer either retries (epoch moved) or returns a
+    // consistent snapshot — never a torn buffer.
+    let sma = sma_with_budget(16);
+    let sds = sma.register_sds("t", Priority::default());
+    let handle = sma.alloc_bytes(sds, 256).unwrap();
+    sma.with_bytes_mut(&handle, |b| b.fill(0)).unwrap();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let writer = {
+        let sma = Arc::clone(&sma);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0u8;
+            while !stop.load(Ordering::SeqCst) {
+                i = i.wrapping_add(1);
+                sma.with_bytes_mut(&handle, |b| b.fill(i)).unwrap();
+            }
+        })
+    };
+    let reader = {
+        let sma = Arc::clone(&sma);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                sma.with_bytes(&handle, |b| {
+                    let first = b[0];
+                    assert!(
+                        b.iter().all(|&x| x == first),
+                        "torn read: starts with {first}, bytes {b:?}"
+                    );
+                })
+                .unwrap();
+                reads += 1;
+            }
+            reads
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+    writer.join().unwrap();
+    let reads = reader.join().unwrap();
+    assert!(reads > 0);
+    sma.free_bytes(handle).unwrap();
+}
+
+#[test]
+fn exclusive_read_racing_free_reports_reclaimed_exactly_once() {
+    // The generation check behind `with_value_exclusive`: a slot freed
+    // *while* the unlocked closure runs is reported as `Reclaimed`
+    // (exactly once — the free itself succeeds normally), and the
+    // closure never faults: the arena page stays mapped.
+    use std::sync::atomic::AtomicBool;
+    for destroy_instead_of_free in [false, true] {
+        let sma = sma_with_budget(16);
+        let sds = sma.register_sds("t", Priority::default());
+        let slot = sma.alloc_value(sds, 0xDEAD_BEEF_u64).unwrap();
+        let raw = slot.raw();
+        let entered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let sma = Arc::clone(&sma);
+            let entered = Arc::clone(&entered);
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                // SAFETY: the payload is a `Copy` integer and the racing
+                // operation is a *free*, not a write — exactly the
+                // "frees are tolerated" case of the contract.
+                unsafe {
+                    sma.with_value_exclusive(&slot, |v| {
+                        entered.store(true, Ordering::SeqCst);
+                        while !release.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                        *v
+                    })
+                }
+            })
+        };
+        while !entered.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // The closure is provably in flight; revoke the slot under it.
+        if destroy_instead_of_free {
+            sma.destroy_sds(sds).unwrap();
+        } else {
+            let doomed = unsafe { SoftSlot::<u64>::from_raw(raw) };
+            sma.free_value(doomed).unwrap();
+        }
+        release.store(true, Ordering::SeqCst);
+        let result = reader.join().unwrap();
+        assert_eq!(
+            result.unwrap_err(),
+            SoftError::Reclaimed,
+            "destroy={destroy_instead_of_free}"
+        );
+        // Exactly once: a fresh access through the same coordinates is
+        // the ordinary stale-handle error, not `Reclaimed` again.
+        if !destroy_instead_of_free {
+            let stale = unsafe { SoftSlot::<u64>::from_raw(raw) };
+            assert_eq!(
+                sma.with_value(&stale, |v| *v).unwrap_err(),
+                SoftError::Revoked
+            );
+        }
+    }
+}
+
+#[test]
+fn exclusive_read_without_race_revalidates_clean() {
+    let sma = sma_with_budget(4);
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, 7u64).unwrap();
+    // SAFETY: single-threaded; nothing races the read.
+    let v = unsafe { sma.with_value_exclusive(&slot, |v| *v) }.unwrap();
+    assert_eq!(v, 7);
+}
+
+// ---------------------------------------------------------------------
+// Budget-source re-entrancy (single-critical-section budget ops)
+// ---------------------------------------------------------------------
+
+#[test]
+fn budget_source_callback_may_reenter_the_sma() {
+    // Regression test: `grant_more` runs with no SMA locks held, so a
+    // budget source that re-enters the allocator — reclaiming, shrinking,
+    // reading stats, growing the budget itself — must not deadlock.
+    struct ReentrantSource {
+        sma: std::sync::Weak<Sma>,
+    }
+    impl crate::budget::BudgetSource for ReentrantSource {
+        fn grant_more(&self, need: usize, want: usize) -> crate::SoftResult<crate::budget::Grant> {
+            let sma = self.sma.upgrade().expect("sma alive");
+            // Exercise every budget-adjacent entry point from inside
+            // the callback.
+            let _ = sma.reclaim(1);
+            let _ = sma.shrink_budget(0);
+            let _ = sma.stats();
+            let _ = sma.all_sds_stats();
+            sma.grow_budget(need.max(want));
+            Ok(crate::budget::Grant {
+                pages: need.max(want),
+                already_applied: true,
+            })
+        }
+    }
+    let sma = sma_with_budget(0);
+    sma.set_budget_source(Arc::new(ReentrantSource {
+        sma: Arc::downgrade(&sma),
+    }));
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, [3u8; 4096]).expect("no deadlock");
+    assert_eq!(sma.with_value(&slot, |v| v[0]).unwrap(), 3);
+    assert!(sma.stats().budget_granted_total > 0);
+}
+
 #[test]
 fn paper_workload_shape_977k_allocs() {
     // A miniature of §5 case (1): many 1 KiB allocations under ample

@@ -10,8 +10,11 @@ pub struct SmaStats {
     /// Pages physically held by the process's soft memory (SDS heaps +
     /// process-global free pool).
     pub held_pages: usize,
-    /// Idle pages in the process-global free pool.
+    /// Idle pages in the process-global free pool (the lock-free frame
+    /// depot).
     pub free_pool_pages: usize,
+    /// Idle pages held across all per-SDS magazines.
+    pub magazine_pages: usize,
     /// Sum of requested lengths of live allocations (bytes).
     pub live_bytes: usize,
     /// Live allocation count across all SDSs.
@@ -28,6 +31,12 @@ pub struct SmaStats {
     pub pages_reclaimed_total: u64,
     /// Budget pages received from the budget source (daemon).
     pub budget_granted_total: u64,
+    /// Magazine refill operations (fast-path pulls from the depot).
+    /// Survives SDS destruction, unlike the per-SDS counters.
+    pub magazine_refills_total: u64,
+    /// Pages stolen back from magazines by reclamation. Survives SDS
+    /// destruction, unlike the per-SDS counters.
+    pub magazine_steal_backs_total: u64,
     /// Page-pool accounting (OS interface).
     pub pool: PoolStats,
 }

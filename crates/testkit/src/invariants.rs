@@ -19,7 +19,10 @@
 //! 5. **Metrics consistency** — every telemetry counter mirror equals
 //!    the checker's ground truth (SMA/SMD stats, store counters, queue
 //!    callback hits) and every occupancy gauge equals the point value
-//!    it claims to track. Skipped entirely when the `telemetry`
+//!    it claims to track — including the allocator fast path's
+//!    delta-maintained depot/magazine gauges and the per-SDS
+//!    `sds{i}_magazine_*` gauges, cross-checked against
+//!    `Sma::all_sds_stats`. Skipped entirely when the `telemetry`
 //!    feature is off.
 
 use std::collections::HashMap;
@@ -261,6 +264,16 @@ impl CheckScope<'_> {
                     m.budget_granted_total.get(),
                     s.budget_granted_total,
                 ),
+                (
+                    "magazine_refills_total",
+                    m.magazine_refills_total.get(),
+                    s.magazine_refills_total,
+                ),
+                (
+                    "magazine_steal_backs_total",
+                    m.magazine_steal_backs_total.get(),
+                    s.magazine_steal_backs_total,
+                ),
             ];
             for (name, mirror, truth) in counters {
                 if mirror != truth {
@@ -280,6 +293,11 @@ impl CheckScope<'_> {
                     m.free_pool_pages.get(),
                     s.free_pool_pages as i64,
                 ),
+                (
+                    "magazine_pages",
+                    m.magazine_pages.get(),
+                    s.magazine_pages as i64,
+                ),
             ];
             for (name, gauge, truth) in gauges {
                 if gauge != truth {
@@ -288,6 +306,32 @@ impl CheckScope<'_> {
                         proc.pid(),
                         proc.name()
                     ));
+                }
+            }
+            // Per-SDS magazine gauges: each live SDS publishes its
+            // magazine occupancy and lifetime refill/steal-back counts
+            // under `sds{i}_*`; every one must equal the SDS-level
+            // ground truth. (Registry lookups are get-or-create, so a
+            // missing gauge reads 0 and is caught by the comparison.)
+            let reg = m.registry();
+            for sds in proc.sma().all_sds_stats() {
+                let i = sds.id.index();
+                let per_sds = [
+                    ("magazine_pages", sds.magazine_pages as i64),
+                    ("magazine_refills", sds.magazine_refills as i64),
+                    ("magazine_steal_backs", sds.magazine_steal_backs as i64),
+                ];
+                for (name, truth) in per_sds {
+                    let gauge = reg.gauge(&format!("sds{i}_{name}")).get();
+                    if gauge != truth {
+                        defects.push(format!(
+                            "pid {} (`{}`): sma.sds{i}_{name} gauge {gauge} != \
+                             SDS `{}` point value {truth}",
+                            proc.pid(),
+                            proc.name(),
+                            sds.name
+                        ));
+                    }
                 }
             }
         }
@@ -488,8 +532,17 @@ mod tests {
         procs[0].sma().metrics().pages_reclaimed_total.add(3);
         smd.metrics().grants_total.add(2);
         stores[0].metrics().hits.add(9);
+        // …plus the magazine instrumentation: an SMA-level counter
+        // mirror and one per-SDS gauge (`pool` registered first → sds0).
+        procs[0].sma().metrics().magazine_refills_total.add(5);
+        procs[0]
+            .sma()
+            .metrics()
+            .registry()
+            .gauge("sds0_magazine_pages")
+            .add(7);
         let violations = scope.check_metrics_consistency("test");
-        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert_eq!(violations.len(), 5, "{violations:?}");
         assert!(violations
             .iter()
             .all(|v| v.family == InvariantFamily::MetricsConsistency));
@@ -497,5 +550,7 @@ mod tests {
         assert!(details.contains("sma.pages_reclaimed_total"), "{details}");
         assert!(details.contains("smd.grants_total"), "{details}");
         assert!(details.contains("kv.hits"), "{details}");
+        assert!(details.contains("sma.magazine_refills_total"), "{details}");
+        assert!(details.contains("sma.sds0_magazine_pages"), "{details}");
     }
 }

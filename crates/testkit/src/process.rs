@@ -156,7 +156,19 @@ impl TkProcess {
     /// Registers a new process with `smd`. When `tap` is given, every
     /// budget-growth request is routed through it.
     pub fn connect(smd: &Arc<Smd>, name: &str, tap: Option<Arc<dyn BudgetTap>>) -> Arc<Self> {
-        let cfg = SmaConfig::new(Arc::clone(&smd.config().machine), 0);
+        Self::connect_with(smd, name, tap, |cfg| cfg)
+    }
+
+    /// Like [`TkProcess::connect`], but lets the scenario tune the
+    /// allocator config (magazine capacity, depot retention, …) before
+    /// the SMA is built.
+    pub fn connect_with(
+        smd: &Arc<Smd>,
+        name: &str,
+        tap: Option<Arc<dyn BudgetTap>>,
+        tune: impl FnOnce(SmaConfig) -> SmaConfig,
+    ) -> Arc<Self> {
+        let cfg = tune(SmaConfig::new(Arc::clone(&smd.config().machine), 0));
         let sma = Sma::with_config(cfg);
         let channel = FlakyChannel::new(Arc::clone(&sma));
         // The daemon applies the registration grant through the channel.

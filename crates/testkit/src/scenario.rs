@@ -119,6 +119,12 @@ pub struct ScenarioSpec {
     pub trad_max_pages: usize,
     /// Allocation size range for pool inserts (bytes).
     pub alloc_bytes: (usize, usize),
+    /// Per-SDS magazine capacity (`SmaConfig::sds_retain_pages`) for
+    /// every process's allocator.
+    pub sds_retain_pages: usize,
+    /// Global frame-depot retention (`SmaConfig::free_pool_retain_pages`)
+    /// for every process's allocator.
+    pub free_pool_retain_pages: usize,
     /// Whether each process also runs a KV store.
     pub kv: bool,
     /// Shards per process KV engine (1 = the classic single store;
@@ -145,6 +151,8 @@ impl ScenarioSpec {
             initial_budget_pages: 8,
             trad_max_pages: 0,
             alloc_bytes: (128, 2048),
+            sds_retain_pages: 4,
+            free_pool_retain_pages: 64,
             kv: false,
             kv_shards: 1,
             mix: OpMix::default(),
@@ -436,7 +444,10 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
         } else {
             Some(Arc::new(ScriptedTap::new(spec.fault.budget_script.clone())))
         };
-        let proc = TkProcess::connect(&smd, &format!("{}-p{w}", spec.name), tap);
+        let proc = TkProcess::connect_with(&smd, &format!("{}-p{w}", spec.name), tap, |cfg| {
+            cfg.sds_retain(spec.sds_retain_pages)
+                .free_pool_retain(spec.free_pool_retain_pages)
+        });
         for k in 0..spec.pools_per_proc {
             pools.push(HandlePool::new(
                 proc.sma(),

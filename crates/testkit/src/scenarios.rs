@@ -288,6 +288,58 @@ pub fn uneven_shard_pressure() -> ScenarioSpec {
     s
 }
 
+/// Alloc/free churn sized so pages constantly cycle through the
+/// per-SDS magazines and the lock-free depot: generous budgets keep
+/// reclamation quiet, deep magazines and SDS recycling keep the
+/// park/refill/destroy-drain paths hot, and the metrics-consistency
+/// family certifies the delta-maintained magazine/depot gauges (and
+/// per-SDS `sds{i}_magazine_*` gauges) at every quiescent point.
+pub fn magazine_churn() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("magazine_churn");
+    s.procs = 4;
+    s.pools_per_proc = 2;
+    s.capacity_pages = 160;
+    s.initial_budget_pages = 24;
+    s.sds_retain_pages = 8;
+    s.free_pool_retain_pages = 16;
+    s.alloc_bytes = (2048, 4096); // page-sized slots → frees vacate whole pages
+    s.mix = OpMix {
+        insert: 8,
+        remove: 8,
+        probe: 2,
+        push: 1,
+        pop: 1,
+        recycle: 2,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// Magazines full of parked pages while budgets are squeezed hard:
+/// every grant forces reclamation to steal pages back out of peer
+/// magazines (and the depot) before touching live data, racing the
+/// owners' lock-free re-allocation. Page conservation and the
+/// steal-back counters must balance exactly.
+pub fn steal_back_pressure() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("steal_back_pressure");
+    s.procs = 4;
+    s.capacity_pages = 80;
+    s.initial_budget_pages = 4;
+    s.sds_retain_pages = 8;
+    s.free_pool_retain_pages = 8;
+    s.alloc_bytes = (2048, 4096);
+    s.mix = OpMix {
+        insert: 10,
+        remove: 6,
+        probe: 2,
+        push: 2,
+        pop: 1,
+        slack: 2,
+        ..OpMix::default()
+    };
+    s
+}
+
 /// CHAOS: machine pages leak behind the allocators' backs.
 pub fn chaos_leak_machine_pages() -> ScenarioSpec {
     let mut s = ScenarioSpec::baseline("chaos_leak_machine_pages");
@@ -347,6 +399,8 @@ pub fn benign() -> Vec<ScenarioSpec> {
         shard_storm(),
         reclaim_during_cross_shard_op(),
         uneven_shard_pressure(),
+        magazine_churn(),
+        steal_back_pressure(),
     ]
 }
 
