@@ -62,6 +62,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Why a `try_send` did not enqueue. The unsent value comes back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// Every receiver was dropped.
+        Disconnected(T),
+    }
+
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(f, "sending on a disconnected channel")
@@ -129,6 +138,26 @@ pub mod channel {
                         };
                     }
                     _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Sends `value` without blocking: fails if the bounded channel
+        /// is full or every receiver is gone. Used for coalesced wakeup
+        /// channels, where a pending message already carries the signal.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let shared = &self.shared;
+            let mut queue = shared.lock();
+            if shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = shared.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             queue.push_back(value);

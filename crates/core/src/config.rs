@@ -35,6 +35,15 @@ pub struct SmaConfig {
     /// [`crate::BudgetSource`] is attached. Growth is chunked so daemon
     /// communication amortises over many allocations (§5, case 2).
     pub auto_grow_chunk_pages: usize,
+    /// Budget floor (in pages) the process voluntarily shrinks toward
+    /// while its daemon connection is down (fail-local degraded mode).
+    ///
+    /// An orphaned process cannot be reached by reclamation demands, so
+    /// holding slack would silently starve the rest of the machine. The
+    /// degraded-mode heartbeat sheds slack until the budget reaches
+    /// `max(held_pages, orphan_budget_pages)`; held pages are never
+    /// revoked locally.
+    pub orphan_budget_pages: usize,
     /// Shared machine-wide physical capacity model. SMAs on the same
     /// simulated machine share one instance.
     pub machine: Arc<MachineMemory>,
@@ -49,6 +58,7 @@ impl SmaConfig {
             free_pool_retain_pages: 64,
             sds_retain_pages: 4,
             auto_grow_chunk_pages: 256,
+            orphan_budget_pages: 16,
             machine,
         }
     }
@@ -76,6 +86,13 @@ impl SmaConfig {
         self.auto_grow_chunk_pages = pages.max(1);
         self
     }
+
+    /// Sets the degraded-mode budget floor (see
+    /// [`SmaConfig::orphan_budget_pages`]).
+    pub fn orphan_budget(mut self, pages: usize) -> Self {
+        self.orphan_budget_pages = pages;
+        self
+    }
 }
 
 impl std::fmt::Debug for SmaConfig {
@@ -85,6 +102,7 @@ impl std::fmt::Debug for SmaConfig {
             .field("free_pool_retain_pages", &self.free_pool_retain_pages)
             .field("sds_retain_pages", &self.sds_retain_pages)
             .field("auto_grow_chunk_pages", &self.auto_grow_chunk_pages)
+            .field("orphan_budget_pages", &self.orphan_budget_pages)
             .field("machine_capacity_pages", &self.machine.capacity_pages())
             .finish()
     }
@@ -99,11 +117,13 @@ mod tests {
         let cfg = SmaConfig::for_testing(100)
             .free_pool_retain(8)
             .sds_retain(2)
-            .auto_grow_chunk(32);
+            .auto_grow_chunk(32)
+            .orphan_budget(4);
         assert_eq!(cfg.initial_budget_pages, 100);
         assert_eq!(cfg.free_pool_retain_pages, 8);
         assert_eq!(cfg.sds_retain_pages, 2);
         assert_eq!(cfg.auto_grow_chunk_pages, 32);
+        assert_eq!(cfg.orphan_budget_pages, 4);
     }
 
     #[test]

@@ -97,6 +97,21 @@ pub enum DenyReason {
     PerProcessCap,
     /// The daemon is shutting down.
     ShuttingDown,
+    /// The request carried an epoch from a previous daemon incarnation.
+    ///
+    /// The daemon restarted since the grant was issued; the client must
+    /// reconnect and reconcile its holdings before the new daemon will
+    /// serve it. Clients treat this deny as a connection failure, not a
+    /// policy decision.
+    StaleEpoch,
+    /// The process is operating in fail-local degraded mode: the daemon
+    /// connection is down, so budget growth is locally refused while the
+    /// allocator keeps serving from its existing budget and free pool.
+    ///
+    /// Unlike [`crate::SoftError::DaemonUnavailable`] this is a *transient,
+    /// supervised* state — a reconnect supervisor is retrying in the
+    /// background and in-budget operations continue to succeed.
+    Degraded,
     /// A testing hook forcibly denied the request (fault injection).
     Injected,
 }
@@ -109,6 +124,13 @@ impl core::fmt::Display for DenyReason {
             }
             DenyReason::PerProcessCap => write!(f, "per-process soft budget cap reached"),
             DenyReason::ShuttingDown => write!(f, "daemon is shutting down"),
+            DenyReason::StaleEpoch => {
+                write!(f, "request carried a stale daemon epoch (daemon restarted)")
+            }
+            DenyReason::Degraded => write!(
+                f,
+                "daemon connection down; serving locally in degraded mode"
+            ),
             DenyReason::Injected => write!(f, "denied by an injected fault"),
         }
     }

@@ -38,6 +38,19 @@ pub trait ReclaimChannel: Send + Sync {
     fn is_alive(&self) -> bool {
         true
     }
+
+    /// When the daemon last heard from the process over this channel
+    /// (any protocol line, including heartbeats).
+    ///
+    /// Returns `None` for transports with no lease semantics —
+    /// in-process channels are exempt from lease expiry because the
+    /// process cannot outlive the daemon's view of it. Remote
+    /// transports return the receive time of the last line so the
+    /// daemon can reap accounts whose lease TTL has lapsed. Must not
+    /// take the daemon lock (it is called while that lock is held).
+    fn last_activity(&self) -> Option<std::time::Instant> {
+        None
+    }
 }
 
 /// Result of one reclamation demand.

@@ -70,3 +70,4 @@ pub use client::{DaemonHandle, SoftProcess};
 pub use metrics::SmdMetrics;
 pub use policy::WeightPolicy;
 pub use smd::{Pid, ReclaimDecision, Smd, SmdConfig, SmdHook, SmdStats, TargetOutcome};
+pub use uds::{UdsClientConfig, UdsClientMetrics, UdsKillSwitch, UdsProcess, UdsSmdServer};

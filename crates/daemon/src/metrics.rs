@@ -25,6 +25,15 @@ pub struct SmdMetrics {
     /// Pressure rounds in which over-reclamation (§4) demanded more
     /// than the immediate shortfall from at least one target.
     pub over_reclaim_rounds_total: Arc<Counter>,
+    /// Mirror of `SmdStats::lease_expiries_total`: accounts reaped
+    /// because their lease TTL lapsed without a heartbeat.
+    pub lease_expiries_total: Arc<Counter>,
+    /// Mirror of `SmdStats::reconciles_total`: accounts re-adopted from
+    /// a surviving client after a daemon restart.
+    pub reconciles_total: Arc<Counter>,
+    /// Mirror of `SmdStats::reconcile_adopted_pages_total`: budget
+    /// pages adopted (held + slack) across all reconciliations.
+    pub reconcile_adopted_pages_total: Arc<Counter>,
     /// Grant round-trip latency (ns) of `request_range`, including
     /// any reclamation round and dead-target retry.
     pub request_ns: Arc<Histogram>,
@@ -46,6 +55,9 @@ impl SmdMetrics {
             reclaim_rounds_total: registry.counter("reclaim_rounds_total"),
             pages_reclaimed_total: registry.counter("pages_reclaimed_total"),
             over_reclaim_rounds_total: registry.counter("over_reclaim_rounds_total"),
+            lease_expiries_total: registry.counter("lease_expiries_total"),
+            reconciles_total: registry.counter("reconciles_total"),
+            reconcile_adopted_pages_total: registry.counter("reconcile_adopted_pages_total"),
             request_ns: registry.histogram("request_ns"),
             target_weight_milli: registry.histogram("target_weight_milli"),
             assigned_pages: registry.gauge("assigned_pages"),

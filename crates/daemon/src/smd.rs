@@ -2,7 +2,9 @@
 //! machine.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -39,6 +41,13 @@ pub struct SmdConfig {
     /// Whether the requester itself may be selected as a reclamation
     /// target (§7 leaves this open; off by default).
     pub allow_self_reclaim: bool,
+    /// Lease TTL for remote accounts: an account whose channel reports
+    /// no activity for longer than this is reaped (its budget returns
+    /// to the pool as a zero-disturbance reclamation source — the
+    /// limiting case of the §4 bias toward undisturbing targets).
+    /// `None` disables lease expiry; channels whose
+    /// [`ReclaimChannel::last_activity`] returns `None` are exempt.
+    pub lease_ttl: Option<Duration>,
 }
 
 impl SmdConfig {
@@ -52,6 +61,7 @@ impl SmdConfig {
             initial_budget_pages: 8,
             per_process_cap_pages: None,
             allow_self_reclaim: false,
+            lease_ttl: None,
         }
     }
 
@@ -84,6 +94,12 @@ impl SmdConfig {
         self.allow_self_reclaim = allow;
         self
     }
+
+    /// Sets the account lease TTL (see [`SmdConfig::lease_ttl`]).
+    pub fn lease_ttl(mut self, ttl: Duration) -> Self {
+        self.lease_ttl = Some(ttl);
+        self
+    }
 }
 
 struct Proc {
@@ -101,6 +117,9 @@ struct SmdInner {
     denials_total: u64,
     reclaim_rounds_total: u64,
     pages_reclaimed_total: u64,
+    lease_expiries_total: u64,
+    reconciles_total: u64,
+    reconcile_adopted_pages_total: u64,
     shutting_down: bool,
 }
 
@@ -181,6 +200,14 @@ pub struct SmdStats {
     pub reclaim_rounds_total: u64,
     /// Pages moved between processes by reclamation.
     pub pages_reclaimed_total: u64,
+    /// Accounts reaped because their lease TTL lapsed.
+    pub lease_expiries_total: u64,
+    /// Accounts re-adopted via [`Smd::register_adopted`].
+    pub reconciles_total: u64,
+    /// Budget pages adopted across all reconciliations.
+    pub reconcile_adopted_pages_total: u64,
+    /// This daemon incarnation's epoch.
+    pub epoch: u64,
     /// Per-process snapshots.
     pub procs: Vec<ProcSnapshot>,
 }
@@ -202,10 +229,17 @@ impl SmdStats {
 pub struct Smd {
     cfg: SmdConfig,
     policy: Box<dyn WeightPolicy>,
+    epoch: u64,
     inner: Mutex<SmdInner>,
     hook: Mutex<Option<Arc<dyn SmdHook>>>,
     metrics: SmdMetrics,
 }
+
+/// Source of daemon epochs: a process-global monotonic counter, so
+/// every `Smd` incarnation in this address space gets a distinct epoch
+/// (deterministic, unlike wall-clock-derived epochs — the testkit
+/// replays schedules byte-for-byte).
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 impl Smd {
     /// A daemon with the paper's weight policy.
@@ -218,6 +252,7 @@ impl Smd {
         Arc::new(Smd {
             cfg,
             policy,
+            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
             inner: Mutex::new(SmdInner {
                 procs: HashMap::new(),
                 next_pid: 1,
@@ -226,11 +261,22 @@ impl Smd {
                 denials_total: 0,
                 reclaim_rounds_total: 0,
                 pages_reclaimed_total: 0,
+                lease_expiries_total: 0,
+                reconciles_total: 0,
+                reconcile_adopted_pages_total: 0,
                 shutting_down: false,
             }),
             hook: Mutex::new(None),
             metrics: SmdMetrics::new(),
         })
+    }
+
+    /// This daemon incarnation's epoch. Grants are stamped with it;
+    /// requests presenting a different epoch are denied with
+    /// [`DenyReason::StaleEpoch`] so clients learn a restart happened.
+    /// Immutable for the daemon's lifetime (readable without the lock).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The daemon's telemetry registry — lock-free mirrors the testkit
@@ -303,6 +349,44 @@ impl Smd {
         (pid, grant)
     }
 
+    /// Re-adopts a surviving client's holdings after a daemon restart
+    /// (the `RECONCILE` path): a fresh account is created whose budget
+    /// equals `pages` — the client's *actual* held + slack, as reported
+    /// by the client itself — and **no grant is pushed** (the client
+    /// already holds that budget locally; crediting it again would
+    /// double-count).
+    ///
+    /// Adoption deliberately tolerates transient over-commit: if the
+    /// sum of reconciled budgets exceeds capacity, `unassigned`
+    /// saturates to zero and the normal pressure path squeezes the
+    /// excess back out on the next request — ghosts are never trusted,
+    /// but honest holdings are never revoked by fiat either.
+    pub fn register_adopted(
+        &self,
+        name: &str,
+        channel: Arc<dyn ReclaimChannel>,
+        pages: usize,
+    ) -> Pid {
+        let mut inner = self.inner.lock();
+        let pid = inner.next_pid;
+        inner.next_pid += 1;
+        inner.procs.insert(
+            pid,
+            Proc {
+                name: name.to_string(),
+                budget_pages: pages,
+                traditional_pages: 0,
+                channel,
+            },
+        );
+        inner.reconciles_total += 1;
+        inner.reconcile_adopted_pages_total += pages as u64;
+        self.metrics.reconciles_total.add(1);
+        self.metrics.reconcile_adopted_pages_total.add(pages as u64);
+        self.sync_gauges(&inner);
+        pid
+    }
+
     /// Deregisters a process, returning its budget to the pool.
     pub fn deregister(&self, pid: Pid) -> SoftResult<()> {
         let mut inner = self.inner.lock();
@@ -361,9 +445,7 @@ impl Smd {
                 // ledger already has room (someone else reaped).
                 let retry = {
                     let mut inner = self.inner.lock();
-                    let before = inner.procs.len();
-                    inner.procs.retain(|_, p| p.channel.is_alive());
-                    let reaped = before != inner.procs.len();
+                    let reaped = self.reap_dead_locked(&mut inner);
                     let assigned: usize = inner.procs.values().map(|p| p.budget_pages).sum();
                     let unassigned = self.cfg.capacity_pages.saturating_sub(assigned);
                     reaped || unassigned >= need
@@ -399,10 +481,11 @@ impl Smd {
                 reason: DenyReason::ShuttingDown,
             });
         }
-        // Reap departed processes first: a dead client's budget is
-        // phantom capacity that would otherwise force needless
-        // reclamation (or denials) until its deregistration lands.
-        inner.procs.retain(|_, p| p.channel.is_alive());
+        // Reap departed and lease-expired processes first: a dead
+        // client's budget is phantom capacity that would otherwise
+        // force needless reclamation (or denials) until its
+        // deregistration lands.
+        self.reap_dead_locked(inner);
         let requester = inner
             .procs
             .get(&pid)
@@ -509,6 +592,36 @@ impl Smd {
         }
     }
 
+    /// Removes dead and lease-expired accounts from the ledger (their
+    /// budget returns to the pool without disturbing anyone — the
+    /// zero-disturbance limiting case of the §4 weight bias). Counts
+    /// lease expiries; returns whether the ledger changed. Called with
+    /// the daemon lock held. A live requester is never reaped by its
+    /// own request: the transport touches its channel's activity clock
+    /// on every received line before the request reaches here.
+    fn reap_dead_locked(&self, inner: &mut SmdInner) -> bool {
+        let before = inner.procs.len();
+        let mut expired = 0u64;
+        let ttl = self.cfg.lease_ttl;
+        inner.procs.retain(|_, p| {
+            if !p.channel.is_alive() {
+                return false;
+            }
+            if let (Some(ttl), Some(last)) = (ttl, p.channel.last_activity()) {
+                if last.elapsed() > ttl {
+                    expired += 1;
+                    return false;
+                }
+            }
+            true
+        });
+        if expired > 0 {
+            inner.lease_expiries_total += expired;
+            self.metrics.lease_expiries_total.add(expired);
+        }
+        before != inner.procs.len()
+    }
+
     /// Returns `pages` of budget from `pid` to the unassigned pool.
     /// Returns the pages actually released.
     pub fn release_pages(&self, pid: Pid, pages: usize) -> SoftResult<usize> {
@@ -591,6 +704,10 @@ impl Smd {
             denials_total: inner.denials_total,
             reclaim_rounds_total: inner.reclaim_rounds_total,
             pages_reclaimed_total: inner.pages_reclaimed_total,
+            lease_expiries_total: inner.lease_expiries_total,
+            reconciles_total: inner.reconciles_total,
+            reconcile_adopted_pages_total: inner.reconcile_adopted_pages_total,
+            epoch: self.epoch,
             procs,
         }
     }
@@ -1047,5 +1164,136 @@ mod tests {
             );
             helper.join().unwrap();
         }
+    }
+
+    /// A channel that reports a scripted last-activity instant (lease
+    /// tests). `None` until armed, then a fixed point in the past.
+    struct LeasedProc {
+        inner: Arc<FakeProc>,
+        last: PlMutex<Option<std::time::Instant>>,
+    }
+
+    impl ReclaimChannel for LeasedProc {
+        fn soft_pages_held(&self) -> usize {
+            self.inner.soft_pages_held()
+        }
+        fn slack_pages(&self) -> usize {
+            self.inner.slack_pages()
+        }
+        fn demand(&self, pages: usize) -> ReclaimReply {
+            self.inner.demand(pages)
+        }
+        fn grant(&self, pages: usize) {
+            self.inner.grant(pages);
+        }
+        fn last_activity(&self) -> Option<std::time::Instant> {
+            *self.last.lock()
+        }
+    }
+
+    #[test]
+    fn lease_expiry_reaps_silent_accounts() {
+        let machine = MachineMemory::unbounded();
+        // Generous TTL: the "survives" phase must not flake under
+        // scheduler noise; expiry is driven by back-dating the scripted
+        // activity clock, not by sleeping.
+        let smd = Smd::new(
+            SmdConfig::new(&machine, 100)
+                .initial_budget(0)
+                .lease_ttl(Duration::from_secs(2)),
+        );
+        let silent = Arc::new(LeasedProc {
+            inner: FakeProc::new(0, 0),
+            last: PlMutex::new(None),
+        });
+        let (ps, _) = smd.register("silent", Arc::clone(&silent) as Arc<dyn ReclaimChannel>);
+        smd.request_pages(ps, 80).unwrap();
+        let (pb, _) = smd.register("live", FakeProc::new(0, 0));
+
+        // Lease not yet expired (activity is recent): account survives.
+        *silent.last.lock() = Some(std::time::Instant::now());
+        smd.request_pages(pb, 10).unwrap();
+        assert!(smd.stats().procs.iter().any(|p| p.pid == ps));
+
+        // Expired lease: the next request reaps it, and its 80 pages
+        // come back as zero-disturbance capacity.
+        *silent.last.lock() = Some(std::time::Instant::now() - Duration::from_secs(3));
+        assert_eq!(smd.request_pages(pb, 80).unwrap(), 80);
+        let s = smd.stats();
+        assert!(s.procs.iter().all(|p| p.pid != ps));
+        assert_eq!(s.lease_expiries_total, 1);
+        if softmem_telemetry::ENABLED {
+            assert_eq!(smd.metrics().lease_expiries_total.get(), 1);
+        }
+    }
+
+    #[test]
+    fn in_process_channels_are_lease_exempt() {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(
+            SmdConfig::new(&machine, 100)
+                .initial_budget(0)
+                .lease_ttl(Duration::from_millis(0)),
+        );
+        // FakeProc::last_activity is the default None: never expires.
+        let (pa, _) = smd.register("a", FakeProc::new(0, 0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(smd.request_pages(pa, 10).unwrap(), 10);
+        assert_eq!(smd.stats().lease_expiries_total, 0);
+    }
+
+    #[test]
+    fn adoption_creates_account_without_granting() {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(SmdConfig::new(&machine, 100).initial_budget(0));
+        let chan = FakeProc::new(30, 10);
+        let pid = smd.register_adopted("survivor", chan, 40);
+        let s = smd.stats();
+        assert_eq!(s.assigned_pages, 40);
+        assert_eq!(s.reconciles_total, 1);
+        assert_eq!(s.reconcile_adopted_pages_total, 40);
+        assert_eq!(s.grants_total, 0, "adoption pushes no grant");
+        assert!(s.procs.iter().any(|p| p.pid == pid));
+        // The adopted account is a normal account afterwards.
+        assert_eq!(smd.request_pages(pid, 20).unwrap(), 20);
+    }
+
+    #[test]
+    fn adoption_overcommit_resolves_through_pressure() {
+        let machine = MachineMemory::unbounded();
+        let smd = Smd::new(SmdConfig::new(&machine, 50).initial_budget(0));
+        // Two survivors whose honest holdings sum over capacity (the
+        // old daemon's assignments plus allocation raced the crash).
+        let a = FakeProc::new(0, 40);
+        let b = FakeProc::new(0, 30);
+        let pa = smd.register_adopted("a", Arc::clone(&a) as Arc<dyn ReclaimChannel>, 40);
+        let _pb = smd.register_adopted("b", Arc::clone(&b) as Arc<dyn ReclaimChannel>, 30);
+        assert_eq!(smd.stats().assigned_pages, 70, "transient over-commit");
+        assert_eq!(smd.stats().unassigned_pages(), 0, "saturates, no panic");
+        // New demand squeezes the excess out through normal pressure.
+        // Each round reclaims only the immediate need, so the 20-page
+        // over-commit drains across a few denied rounds before the
+        // grant lands — but it does land, without a panic or a stuck
+        // ledger.
+        let (pc, _) = smd.register("c", FakeProc::new(0, 0));
+        let grant = (0..5).find_map(|_| smd.request_pages(pc, 10).ok());
+        assert_eq!(grant, Some(10));
+        let s = smd.stats();
+        assert!(
+            s.assigned_pages <= s.capacity_pages,
+            "over-commit fully resolved: {} > {}",
+            s.assigned_pages,
+            s.capacity_pages
+        );
+        assert!(s.procs.iter().any(|p| p.pid == pa));
+    }
+
+    #[test]
+    fn epochs_are_distinct_per_incarnation() {
+        let machine = MachineMemory::unbounded();
+        let a = Smd::new(SmdConfig::new(&machine, 10));
+        let b = Smd::new(SmdConfig::new(&machine, 10));
+        assert_ne!(a.epoch(), b.epoch());
+        assert_eq!(a.stats().epoch, a.epoch());
     }
 }

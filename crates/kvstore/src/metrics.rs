@@ -29,6 +29,8 @@ pub struct StoreMetrics {
     pub reclaimed_entries: Arc<Counter>,
     /// Mirror of [`crate::StoreStats::reclaimed_bytes`].
     pub reclaimed_bytes: Arc<Counter>,
+    /// Mirror of [`crate::StoreStats::degraded_denies`].
+    pub degraded_denies: Arc<Counter>,
     /// Reclamation-callback duration (ns), one sample per entry lost.
     pub callback_ns: Arc<Histogram>,
     /// Per-command execution latency (ns), across all verbs.
@@ -47,6 +49,7 @@ impl StoreMetrics {
             sets: registry.counter("sets"),
             reclaimed_entries: registry.counter("reclaimed_entries"),
             reclaimed_bytes: registry.counter("reclaimed_bytes"),
+            degraded_denies: registry.counter("degraded_denies"),
             callback_ns: registry.histogram("callback_ns"),
             op_ns: registry.histogram("op_ns"),
             registry,

@@ -314,7 +314,7 @@ pub(crate) fn render_info(store: &Store) -> String {
         let s = store.stats();
         format!(
             "keys:{};soft_bytes:{};soft_pages:{};hits:{};misses:{};sets:{};\
-             reclaimed_entries:{};reclaimed_bytes:{}",
+             reclaimed_entries:{};reclaimed_bytes:{};degraded_denies:{}",
             store.dbsize(),
             store.soft_bytes(),
             store.soft_pages(),
@@ -323,6 +323,7 @@ pub(crate) fn render_info(store: &Store) -> String {
             s.sets,
             s.reclaimed_entries,
             s.reclaimed_bytes,
+            s.degraded_denies,
         )
     }
 }

@@ -288,6 +288,7 @@ impl ShardedStore {
             total.sets += st.sets;
             total.reclaimed_entries += st.reclaimed_entries;
             total.reclaimed_bytes += st.reclaimed_bytes;
+            total.degraded_denies += st.degraded_denies;
         }
         total
     }
@@ -325,7 +326,7 @@ impl ShardedStore {
         let s = self.stats();
         format!(
             "shards:{};keys:{};soft_bytes:{};soft_pages:{};hits:{};misses:{};sets:{};\
-             reclaimed_entries:{};reclaimed_bytes:{}",
+             reclaimed_entries:{};reclaimed_bytes:{};degraded_denies:{}",
             self.shards.len(),
             self.dbsize(),
             self.soft_bytes(),
@@ -335,6 +336,7 @@ impl ShardedStore {
             s.sets,
             s.reclaimed_entries,
             s.reclaimed_bytes,
+            s.degraded_denies,
         )
     }
 

@@ -44,6 +44,11 @@ pub struct StoreStats {
     pub reclaimed_entries: u64,
     /// Bytes of key+value payload lost to reclamation.
     pub reclaimed_bytes: u64,
+    /// SETs whose insert was denied because the daemon connection was
+    /// down (fail-local degraded mode). Each one was served anyway by
+    /// the local shed-and-retry path; the counter records that the
+    /// store rode out an outage, not that a client saw an error.
+    pub degraded_denies: u64,
 }
 
 impl StoreStats {
@@ -81,6 +86,7 @@ struct Counters {
     sets: AtomicU64,
     reclaimed_entries: AtomicU64,
     reclaimed_bytes: AtomicU64,
+    degraded_denies: AtomicU64,
     /// Simulated per-entry cleanup cost (ns busy-work in the callback).
     reclaim_cost_ns: AtomicU64,
     /// Whether the cleanup cost sleeps instead of spinning
@@ -241,7 +247,18 @@ impl Store {
         self.expiries.lock().remove(key);
         match self.table.insert(key.to_vec(), value.to_vec()) {
             Ok(_) => Ok(()),
-            Err(SoftError::BudgetExceeded { .. }) | Err(SoftError::Denied { .. }) => {
+            Err(err @ (SoftError::BudgetExceeded { .. } | SoftError::Denied { .. })) => {
+                if matches!(
+                    err,
+                    SoftError::Denied {
+                        reason: softmem_core::error::DenyReason::Degraded
+                    }
+                ) {
+                    self.counters
+                        .degraded_denies
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.degraded_denies.add(1);
+                }
                 // Make room: shed one page's worth of entries (the
                 // granularity at which the allocator can actually
                 // return memory).
@@ -439,6 +456,7 @@ impl Store {
             sets: self.counters.sets.load(Ordering::Relaxed),
             reclaimed_entries: self.counters.reclaimed_entries.load(Ordering::Relaxed),
             reclaimed_bytes: self.counters.reclaimed_bytes.load(Ordering::Relaxed),
+            degraded_denies: self.counters.degraded_denies.load(Ordering::Relaxed),
         }
     }
 }
@@ -478,6 +496,41 @@ mod tests {
         assert!(!s.del(b"a"));
         assert_eq!(s.get(b"a"), None);
         assert_eq!(s.dbsize(), 1);
+    }
+
+    #[test]
+    fn degraded_denials_are_counted_and_served_locally() {
+        // The budget source behaves like a UdsProcess whose daemon is
+        // down: every growth attempt fails local with Degraded. The
+        // store must keep serving writes from its existing budget by
+        // shedding, and the outage must be visible in the counters.
+        struct DegradedSource;
+        impl softmem_core::BudgetSource for DegradedSource {
+            fn grant_more(
+                &self,
+                _need: usize,
+                _want: usize,
+            ) -> SoftResult<softmem_core::budget::Grant> {
+                Err(SoftError::Denied {
+                    reason: softmem_core::error::DenyReason::Degraded,
+                })
+            }
+        }
+        let (sma, s) = store(8);
+        sma.set_budget_source(Arc::new(DegradedSource));
+        // Far more entries than 8 pages can hold: growth is needed,
+        // denied as Degraded, and shedding makes the room instead.
+        for i in 0..2000u32 {
+            s.set(format!("key-{i:06}").as_bytes(), &[7u8; 32])
+                .expect("in-budget writes keep working while degraded");
+        }
+        let stats = s.stats();
+        assert!(stats.degraded_denies > 0, "outage was counted");
+        assert!(stats.reclaimed_entries > 0, "room came from shedding");
+        if softmem_telemetry::ENABLED {
+            assert_eq!(s.metrics().degraded_denies.get(), stats.degraded_denies);
+        }
+        assert!(sma.budget_pages() <= 8, "no growth happened");
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub enum InvariantFamily {
     CallbackAccounting,
     /// Telemetry counters agree with checker ground truth.
     MetricsConsistency,
+    /// Conservation and availability across a daemon crash/restart:
+    /// post-reconcile, the sum of client-held pages stays within
+    /// machine capacity, every adopted ledger entry matches its
+    /// client's SMA, and no client ever saw `DaemonUnavailable`
+    /// (fail-local degraded mode absorbed the outage). Checked only by
+    /// the [`crate::restart`] chaos harness.
+    RestartConservation,
 }
 
 impl fmt::Display for InvariantFamily {
@@ -60,6 +67,7 @@ impl fmt::Display for InvariantFamily {
             InvariantFamily::GenerationSafety => "generation-safety",
             InvariantFamily::CallbackAccounting => "callback-accounting",
             InvariantFamily::MetricsConsistency => "metrics-consistency",
+            InvariantFamily::RestartConservation => "restart-conservation",
         };
         f.write_str(s)
     }
@@ -351,6 +359,21 @@ impl CheckScope<'_> {
                     m.pages_reclaimed_total.get(),
                     s.pages_reclaimed_total,
                 ),
+                (
+                    "lease_expiries_total",
+                    m.lease_expiries_total.get(),
+                    s.lease_expiries_total,
+                ),
+                (
+                    "reconciles_total",
+                    m.reconciles_total.get(),
+                    s.reconciles_total,
+                ),
+                (
+                    "reconcile_adopted_pages_total",
+                    m.reconcile_adopted_pages_total.get(),
+                    s.reconcile_adopted_pages_total,
+                ),
             ];
             for (name, mirror, truth) in counters {
                 if mirror != truth {
@@ -396,6 +419,11 @@ impl CheckScope<'_> {
                     "reclaimed_bytes",
                     m.reclaimed_bytes.get(),
                     s.reclaimed_bytes,
+                ),
+                (
+                    "degraded_denies",
+                    m.degraded_denies.get(),
+                    s.degraded_denies,
                 ),
             ];
             for (name, mirror, truth) in counters {

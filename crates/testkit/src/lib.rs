@@ -36,6 +36,7 @@ pub mod invariants;
 pub mod pool;
 pub mod process;
 pub mod queue;
+pub mod restart;
 pub mod scenario;
 pub mod scenarios;
 
@@ -44,4 +45,5 @@ pub use invariants::{CheckScope, InvariantFamily, Violation};
 pub use pool::{HandlePool, PoolCounters};
 pub use process::{FlakyChannel, TkProcess};
 pub use queue::CountedQueue;
+pub use restart::{run_restart_chaos, RestartSpec};
 pub use scenario::{run_scenario, OpMix, Phase, ScenarioSpec, Verdict};

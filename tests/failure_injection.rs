@@ -282,6 +282,103 @@ fn zero_page_demands_and_empty_reclaims() {
 }
 
 #[test]
+fn daemon_death_between_credit_and_grant_reply_applies_once() {
+    use std::sync::atomic::AtomicBool;
+    use std::time::{Duration, Instant};
+
+    use softmem::daemon::{Pid, SmdHook, UdsClientConfig, UdsKillSwitch, UdsProcess, UdsSmdServer};
+
+    // A hook that kills the daemon immediately after a grant is
+    // committed (the CREDIT line is already on the wire) but before
+    // the GRANT reply is written — the narrowest crash window in the
+    // protocol, where naive accounting would double-apply or leak.
+    struct KillOnGrant {
+        armed: AtomicBool,
+        kill: UdsKillSwitch,
+    }
+    impl SmdHook for KillOnGrant {
+        fn on_grant(&self, _pid: Pid, _pages: usize) {
+            if self.armed.swap(false, Ordering::SeqCst) {
+                self.kill.fire();
+            }
+        }
+    }
+
+    let path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("softmem-credit-kill-{}.sock", std::process::id()));
+        p
+    };
+    let machine = MachineMemory::new(1024);
+    let server = UdsSmdServer::bind(
+        Smd::new(SmdConfig::new(&machine, 256).initial_budget(4)),
+        &path,
+    )
+    .unwrap();
+    let ccfg = UdsClientConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        reconnect_backoff_min: Duration::from_millis(5),
+        reconnect_backoff_max: Duration::from_millis(40),
+        request_timeout: Duration::from_secs(5),
+    };
+    let p = UdsProcess::connect_with(
+        &path,
+        "mid-grant",
+        SmaConfig::new(Arc::clone(&machine), 0),
+        ccfg,
+    )
+    .unwrap();
+    let before = p.sma().budget_pages();
+    assert_eq!(before, 4, "registration grant applied");
+    server.smd().set_hook(Arc::new(KillOnGrant {
+        armed: AtomicBool::new(true),
+        kill: server.kill_switch(),
+    }));
+
+    // The caller sees a clean degraded-mode denial (never a hang, never
+    // a phantom success)…
+    let err = p.request_range(8, 8).unwrap_err();
+    assert_eq!(
+        err,
+        SoftError::Denied {
+            reason: DenyReason::Degraded
+        }
+    );
+    drop(server);
+    // …and the committed CREDIT was applied exactly once: the reader
+    // drains the stream in order before surfacing the disconnect.
+    assert_eq!(
+        p.sma().budget_pages(),
+        before + 8,
+        "credit applied exactly once, no double-apply"
+    );
+
+    // A new daemon incarnation adopts the client's actual holdings via
+    // RECONCILE: ledger and SMA agree exactly — nothing leaked in the
+    // crash window.
+    let server2 = UdsSmdServer::bind(
+        Smd::new(SmdConfig::new(&machine, 256).initial_budget(4)),
+        &path,
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while p.is_degraded() || p.epoch() != server2.smd().epoch() {
+        assert!(Instant::now() < deadline, "client failed to reconcile");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = server2.smd().stats();
+    let snap = stats
+        .procs
+        .iter()
+        .find(|s| s.name == "mid-grant")
+        .expect("reconciled account");
+    assert_eq!(snap.usage.budget_pages, p.sma().budget_pages());
+    assert_eq!(stats.assigned_pages, snap.usage.budget_pages);
+    drop(server2);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn queue_survives_interleaved_push_pop_reclaim_threads() {
     let sma = Arc::new(Sma::with_config(
         SmaConfig::for_testing(4096)

@@ -2,12 +2,14 @@
 //! requests, releases, and allocation-driven pressure may break the
 //! machine-wide invariants.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 
 use softmem::core::{MachineMemory, Priority, PAGE_SIZE};
-use softmem::daemon::{Smd, SmdConfig, SoftProcess};
+use softmem::daemon::{ReclaimChannel, ReclaimReply, Smd, SmdConfig, SoftProcess};
 use softmem::sds::SoftQueue;
 
 const N_PROCS: usize = 3;
@@ -35,6 +37,60 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         2 => (0..N_PROCS).prop_map(|p| Op::ReleaseSlack { p }),
         1 => (0..N_PROCS, 0usize..64).prop_map(|(p, pages)| Op::Trad { p, pages }),
     ]
+}
+
+/// A client that looks healthy until the daemon demands pages from it,
+/// then behaves like a process that died mid-demand: it yields nothing
+/// and its lease goes stale. Its budget is pure slack (phantom
+/// capacity) — exactly the corpse shape the dead-target retry path in
+/// `Smd::request_range` exists to clean up.
+struct ZombieChannel {
+    budget: AtomicUsize,
+    dead: AtomicBool,
+    born: Instant,
+    demands: AtomicUsize,
+}
+
+impl ZombieChannel {
+    fn new() -> Self {
+        ZombieChannel {
+            budget: AtomicUsize::new(0),
+            dead: AtomicBool::new(false),
+            born: Instant::now(),
+            demands: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl ReclaimChannel for ZombieChannel {
+    fn soft_pages_held(&self) -> usize {
+        0
+    }
+    fn slack_pages(&self) -> usize {
+        self.budget.load(Ordering::SeqCst)
+    }
+    fn demand(&self, pages: usize) -> ReclaimReply {
+        self.demands.fetch_add(1, Ordering::SeqCst);
+        self.dead.store(true, Ordering::SeqCst);
+        // Make sure the stale lease is observably older than the TTL
+        // by the time the retry path re-examines the ledger.
+        std::thread::sleep(Duration::from_millis(3));
+        ReclaimReply {
+            yielded_pages: 0,
+            shortfall_pages: pages,
+        }
+    }
+    fn grant(&self, pages: usize) {
+        self.budget.fetch_add(pages, Ordering::SeqCst);
+    }
+    fn last_activity(&self) -> Option<Instant> {
+        if self.dead.load(Ordering::SeqCst) {
+            // Frozen at birth: the lease only ages once the client dies.
+            Some(self.born)
+        } else {
+            Some(Instant::now())
+        }
+    }
 }
 
 proptest! {
@@ -107,5 +163,52 @@ proptest! {
         drop(procs);
         prop_assert_eq!(smd.stats().assigned_pages, 0);
         prop_assert_eq!(machine.stats().used_pages, 0);
+    }
+
+    /// Lease expiry vs in-flight demand: when pressure lands on an
+    /// account whose client died mid-demand, the corpse is reaped on
+    /// the dead-target retry path and its phantom budget funds the
+    /// *triggering* request — the live caller never sees the denial.
+    #[test]
+    fn lease_expiry_funds_the_triggering_request(
+        zombie_pages in 8usize..48,
+        pushes in 1usize..40,
+    ) {
+        const CAPACITY: usize = 64;
+        let machine = MachineMemory::new(CAPACITY * 8);
+        let smd = Smd::new(
+            SmdConfig::new(&machine, CAPACITY)
+                .initial_budget(0)
+                .lease_ttl(Duration::from_millis(1)),
+        );
+        let zombie = Arc::new(ZombieChannel::new());
+        let (zpid, _) = smd.register("zombie", Arc::clone(&zombie) as Arc<dyn ReclaimChannel>);
+        prop_assert_eq!(smd.request_pages(zpid, zombie_pages).unwrap(), zombie_pages);
+
+        let live = SoftProcess::spawn(&smd, "live").unwrap();
+        let q: SoftQueue<[u8; PAGE_SIZE]> = SoftQueue::new(live.sma(), "q", Priority::new(1));
+        for i in 0..pushes {
+            // Allocation-driven growth. Once the zombie's phantom
+            // budget exhausts the unassigned pool, pressure demands
+            // from the zombie, the zombie dies mid-demand, and the
+            // retry path must reap it and serve THIS push — a live
+            // request is never the one that pays for a corpse.
+            let r = q.push([i as u8; PAGE_SIZE]);
+            prop_assert!(r.is_ok(), "push {i} denied: {:?}", r.unwrap_err());
+        }
+
+        let stats = smd.stats();
+        if zombie.demands.load(Ordering::SeqCst) > 0 {
+            // Pressure reached the zombie: it must be reaped by lease
+            // expiry, not linger as phantom capacity.
+            prop_assert!(stats.lease_expiries_total >= 1);
+            prop_assert!(stats.procs.iter().all(|s| s.pid != zpid));
+        }
+        // Ledger invariants hold either way.
+        let ledger: usize = stats.procs.iter().map(|s| s.usage.budget_pages).sum();
+        prop_assert_eq!(ledger, stats.assigned_pages);
+        prop_assert!(stats.assigned_pages <= stats.capacity_pages);
+        let live_snap = stats.procs.iter().find(|s| s.name == "live").expect("live account");
+        prop_assert_eq!(live_snap.usage.budget_pages, live.sma().budget_pages());
     }
 }

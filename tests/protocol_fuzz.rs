@@ -303,26 +303,28 @@ fn uds_stats_command_replies_with_daemon_snapshot() {
             return reply;
         }
     };
-    stream.write_all(b"REGISTER stats-probe\n").expect("write");
+    stream
+        .write_all(b"REGISTER 1 stats-probe\n")
+        .expect("write");
     let reply = next_reply();
-    assert!(reply.starts_with("REGISTERED"), "{reply}");
+    assert!(reply.starts_with("REGISTERED 1 "), "{reply}");
 
     // The verb split across writes: the daemon frames on newlines, so
     // partial reads must reassemble into one STATS command.
     stream.write_all(b"STA").expect("write");
     stream.flush().expect("flush");
     std::thread::sleep(std::time::Duration::from_millis(5));
-    stream.write_all(b"TS\n").expect("write");
+    stream.write_all(b"TS 2\n").expect("write");
     let reply = next_reply();
     let line = reply.trim_end();
-    assert!(line.starts_with("STATS {\"smd\":{"), "{line}");
+    assert!(line.starts_with("STATS 2 {\"smd\":{"), "{line}");
     assert!(line.contains("\"grants_total\":"), "{line}");
     assert!(line.contains("\"registered_procs\":"), "{line}");
 
     // STATS before REGISTER on a fresh connection is a clean error.
     let mut bare = UnixStream::connect(&socket).expect("connect");
     let mut bare_reader = BufReader::new(bare.try_clone().expect("clone"));
-    bare.write_all(b"STATS\n").expect("write");
+    bare.write_all(b"STATS 7\n").expect("write");
     let mut bare_reply = String::new();
     bare_reader.read_line(&mut bare_reply).expect("read");
     assert!(bare_reply.starts_with("ERR"), "{bare_reply}");
