@@ -12,8 +12,8 @@
 //!
 //! - **magazine** — the allocator as built: alloc/free hit the owning
 //!   SDS's magazine without any process-wide lock, and every read
-//!   callback runs on an epoch-validated copy *outside* all locks, so
-//!   the off-CPU sleeps of all threads overlap.
+//!   callback runs on SMR-guarded borrowed bytes *outside* all locks,
+//!   so the off-CPU sleeps of all threads overlap.
 //! - **global_lock** — the pre-magazine discipline, emulated by
 //!   wrapping every operation (each alloc, each free, and each read
 //!   including its off-CPU work) in one process-wide FIFO ticket lock,
@@ -26,9 +26,23 @@
 //! behind one lock they sum; on the lock-free path they overlap even
 //! on a single CPU.
 //!
+//! A second section, **read-mostly** (95 % guarded reads / 5 %
+//! in-place writes over 2 KiB values), measures what zero-copy guarded
+//! reads buy over the old epoch copy-out discipline. Two modes per
+//! thread count:
+//!
+//! - **guarded** — the allocator as built: `with_bytes` resolves once,
+//!   pins an SMR guard, and runs the consumer on the *borrowed* bytes
+//!   outside every lock, so the consumers' off-CPU costs overlap.
+//! - **locked_copyout** — the pre-SMR discipline, emulated by copying
+//!   the bytes out and running the consumer under the process-wide
+//!   FIFO ticket lock, exactly as the old locked fallback serialized
+//!   read callbacks (slow consumers included) behind the allocator.
+//!
 //! Run: `cargo run --release -p softmem-bench --bin alloc_contention`
 //! Options: `--quick` (CI preset), `--check` (exit nonzero unless
-//! 4-thread magazine throughput ≥ 1.5× single-thread), `--out PATH`
+//! 4-thread magazine throughput ≥ 1.5× single-thread AND 4-thread
+//! guarded read throughput ≥ 5× locked copy-out), `--out PATH`
 //! (default `BENCH_alloc.json`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -49,6 +63,16 @@ const WORKER_READ_COST: Duration = Duration::from_micros(50);
 /// Off-CPU cost charged per interference read — the slow consumer the
 /// old allocator serialized everyone behind.
 const INTERFERENCE_COST: Duration = Duration::from_micros(200);
+/// Bytes per value in the read-mostly working set.
+const RM_VALUE_BYTES: usize = 2048;
+/// Values in each read-mostly worker's private working set.
+const RM_WORKING_SET: usize = 16;
+/// One read-mostly op in this many is an in-place write (5 %).
+const RM_WRITE_EVERY: u64 = 20;
+/// Off-CPU cost charged per read-mostly consumer: inside the guarded
+/// callback on borrowed bytes, or on the copy while still holding the
+/// process-wide lock in copy-out mode.
+const RM_READ_COST: Duration = Duration::from_micros(25);
 
 /// A FIFO ticket lock: waiters are served strictly in arrival order,
 /// reproducing the convoy the old process-wide allocator lock built
@@ -221,6 +245,187 @@ fn run_config(threads: usize, mode: Mode, window: Duration, seed: u64) -> RunRes
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum ReadMode {
+    Guarded,
+    LockedCopyout,
+}
+
+impl ReadMode {
+    fn name(self) -> &'static str {
+        match self {
+            ReadMode::Guarded => "guarded",
+            ReadMode::LockedCopyout => "locked_copyout",
+        }
+    }
+}
+
+struct ReadMostlyResult {
+    threads: usize,
+    mode: ReadMode,
+    reads: u64,
+    writes: u64,
+    elapsed: Duration,
+    guard_stalls: u64,
+}
+
+impl ReadMostlyResult {
+    fn reads_per_sec(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the 95/5 read-mostly workload: `threads` workers over private
+/// working sets of [`RM_WORKING_SET`] values of [`RM_VALUE_BYTES`]
+/// each, plus the same slow interference reader as the churn section.
+///
+/// In `Guarded` mode the consumer runs inside `with_bytes` on borrowed
+/// bytes with only an SMR guard held; in `LockedCopyout` mode the bytes
+/// are copied into a thread-local scratch buffer and the consumer runs
+/// on the copy while the process-wide ticket lock is held — the
+/// discipline the zero-copy read path replaced.
+fn run_read_mostly(
+    threads: usize,
+    mode: ReadMode,
+    window: Duration,
+    seed: u64,
+) -> ReadMostlyResult {
+    let sma = Sma::with_config(SmaConfig::for_testing(threads * 16 + 16).sds_retain(8));
+
+    let shared_sds = sma.register_sds("shared", Priority::new(5));
+    let shared = sma
+        .alloc_bytes(shared_sds, SHARED_BYTES)
+        .expect("shared alloc");
+    sma.with_bytes_mut(&shared, |b| b.fill(seed as u8))
+        .expect("shared fill");
+
+    let global = Arc::new(TicketLock::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads_done = Arc::new(AtomicU64::new(0));
+    let writes_done = Arc::new(AtomicU64::new(0));
+
+    let reader = {
+        let sma = Arc::clone(&sma);
+        let global = Arc::clone(&global);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut scratch = Vec::with_capacity(SHARED_BYTES);
+            let mut checksum = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                match mode {
+                    ReadMode::Guarded => {
+                        checksum ^= sma
+                            .with_bytes(&shared, |b| {
+                                std::thread::sleep(INTERFERENCE_COST);
+                                b.iter().fold(0u64, |a, &x| a.wrapping_add(x as u64))
+                            })
+                            .expect("shared read");
+                    }
+                    ReadMode::LockedCopyout => {
+                        let guard = global.lock();
+                        scratch.clear();
+                        sma.with_bytes(&shared, |b| scratch.extend_from_slice(b))
+                            .expect("shared read");
+                        std::thread::sleep(INTERFERENCE_COST);
+                        checksum ^= scratch.iter().fold(0u64, |a, &x| a.wrapping_add(x as u64));
+                        drop(guard);
+                    }
+                }
+            }
+            checksum
+        })
+    };
+
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let sma = Arc::clone(&sma);
+            let global = Arc::clone(&global);
+            let stop = Arc::clone(&stop);
+            let reads_done = Arc::clone(&reads_done);
+            let writes_done = Arc::clone(&writes_done);
+            std::thread::spawn(move || {
+                let sds = sma.register_sds(format!("rm-worker-{t}"), Priority::new(1));
+                let set: Vec<_> = (0..RM_WORKING_SET)
+                    .map(|i| {
+                        let h = sma.alloc_bytes(sds, RM_VALUE_BYTES).expect("rm alloc");
+                        sma.with_bytes_mut(&h, |b| b.fill((i as u8) ^ (t as u8)))
+                            .expect("rm fill");
+                        h
+                    })
+                    .collect();
+                let mut rng = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1);
+                let mut scratch = Vec::with_capacity(RM_VALUE_BYTES);
+                let mut sink = 0u64;
+                let (mut reads, mut writes, mut ops) = (0u64, 0u64, 0u64);
+                while !stop.load(Ordering::Acquire) {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let h = &set[(rng as usize) % RM_WORKING_SET];
+                    if ops % RM_WRITE_EVERY == RM_WRITE_EVERY - 1 {
+                        match mode {
+                            ReadMode::Guarded => {
+                                sma.with_bytes_mut(h, |b| b[0] = rng as u8)
+                                    .expect("rm write");
+                            }
+                            ReadMode::LockedCopyout => {
+                                let guard = global.lock();
+                                sma.with_bytes_mut(h, |b| b[0] = rng as u8)
+                                    .expect("rm write");
+                                drop(guard);
+                            }
+                        }
+                        writes += 1;
+                    } else {
+                        match mode {
+                            ReadMode::Guarded => {
+                                sink ^= sma
+                                    .with_bytes(h, |b| {
+                                        std::thread::sleep(RM_READ_COST);
+                                        b.iter().fold(0u64, |a, &x| a.wrapping_add(x as u64))
+                                    })
+                                    .expect("rm read");
+                            }
+                            ReadMode::LockedCopyout => {
+                                let guard = global.lock();
+                                scratch.clear();
+                                sma.with_bytes(h, |b| scratch.extend_from_slice(b))
+                                    .expect("rm read");
+                                std::thread::sleep(RM_READ_COST);
+                                sink ^= scratch.iter().fold(0u64, |a, &x| a.wrapping_add(x as u64));
+                                drop(guard);
+                            }
+                        }
+                        reads += 1;
+                    }
+                    ops += 1;
+                }
+                std::hint::black_box(sink);
+                reads_done.fetch_add(reads, Ordering::Relaxed);
+                writes_done.fetch_add(writes, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Release);
+    let elapsed = start.elapsed();
+    for w in workers {
+        w.join().expect("rm worker thread");
+    }
+    std::hint::black_box(reader.join().expect("rm reader thread"));
+
+    ReadMostlyResult {
+        threads,
+        mode,
+        reads: reads_done.load(Ordering::Relaxed),
+        writes: writes_done.load(Ordering::Relaxed),
+        elapsed,
+        guard_stalls: sma.stats().smr_guard_stalls_total,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick")
@@ -281,6 +486,56 @@ fn main() {
     }
     println!("4-thread vs 1-thread magazine scaling: {scaling_4x:.2}x");
 
+    println!("\n== read-mostly (95/5) ==");
+    println!(
+        "{RM_WORKING_SET} values x {RM_VALUE_BYTES} bytes per worker, \
+         {}µs off-CPU consumer per read, one write per {RM_WRITE_EVERY} ops, \
+         same interference reader\n",
+        RM_READ_COST.as_micros()
+    );
+    let mut rm_results: Vec<ReadMostlyResult> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        for mode in [ReadMode::LockedCopyout, ReadMode::Guarded] {
+            let r = run_read_mostly(threads, mode, window, seed);
+            println!(
+                "{} thread(s) {:>14}: {:>9.0} reads/s  ({} reads, {} writes, \
+                 {} guard stalls)",
+                r.threads,
+                r.mode.name(),
+                r.reads_per_sec(),
+                r.reads,
+                r.writes,
+                r.guard_stalls
+            );
+            rm_results.push(r);
+        }
+    }
+    let rm_by = |threads: usize, mode: ReadMode| -> f64 {
+        rm_results
+            .iter()
+            .find(|r| r.threads == threads && r.mode == mode)
+            .map(|r| r.reads_per_sec())
+            .unwrap_or(0.0)
+    };
+    let rm_speedups: Vec<(usize, f64)> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| {
+            (
+                t,
+                rm_by(t, ReadMode::Guarded) / rm_by(t, ReadMode::LockedCopyout).max(1e-9),
+            )
+        })
+        .collect();
+    println!();
+    for (t, s) in &rm_speedups {
+        println!("{t}-thread guarded read speedup vs locked copy-out: {s:.2}x");
+    }
+    let rm_ratio_4x = rm_speedups
+        .iter()
+        .find(|(t, _)| *t == 4)
+        .map(|(_, s)| *s)
+        .unwrap_or(0.0);
+
     let config_json: Vec<String> = results
         .iter()
         .map(|r| {
@@ -301,25 +556,64 @@ fn main() {
         .iter()
         .map(|(t, s)| format!("\"{t}\":{s:.2}"))
         .collect();
+    let rm_config_json: Vec<String> = rm_results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"threads\":{},\"mode\":\"{}\",\"reads\":{},\"writes\":{},\
+                 \"elapsed_ms\":{},\"reads_per_sec\":{:.0},\"guard_stalls\":{}}}",
+                r.threads,
+                r.mode.name(),
+                r.reads,
+                r.writes,
+                r.elapsed.as_millis(),
+                r.reads_per_sec(),
+                r.guard_stalls
+            )
+        })
+        .collect();
+    let rm_speedup_json: Vec<String> = rm_speedups
+        .iter()
+        .map(|(t, s)| format!("\"{t}\":{s:.2}"))
+        .collect();
     let json = format!(
         "{{\"quick\":{quick},\"alloc_bytes\":{ALLOC_BYTES},\
          \"worker_read_cost_ns\":{},\"interference_read_cost_ns\":{},\
          \"read_every_ops\":{READ_EVERY},\"configs\":[{}],\
          \"speedup_vs_global_lock\":{{{}}},\
-         \"thread_scaling_4x_vs_1x\":{scaling_4x:.2}}}",
+         \"thread_scaling_4x_vs_1x\":{scaling_4x:.2},\
+         \"read_mostly\":{{\"value_bytes\":{RM_VALUE_BYTES},\
+         \"working_set_per_worker\":{RM_WORKING_SET},\
+         \"read_cost_ns\":{},\"write_every_ops\":{RM_WRITE_EVERY},\
+         \"configs\":[{}],\"speedup_vs_locked_copyout\":{{{}}},\
+         \"guarded_vs_copyout_4x\":{rm_ratio_4x:.2}}}}}",
         WORKER_READ_COST.as_nanos(),
         INTERFERENCE_COST.as_nanos(),
         config_json.join(","),
         speedup_json.join(","),
+        RM_READ_COST.as_nanos(),
+        rm_config_json.join(","),
+        rm_speedup_json.join(","),
     );
     std::fs::write(&out, format!("{json}\n")).expect("write report");
     println!("\nwrote {out}");
 
+    let mut failed = false;
     if check && scaling_4x < 1.5 {
         eprintln!(
             "CHECK FAILED: 4-thread magazine throughput is only {scaling_4x:.2}x \
              single-thread (gate: >= 1.5x)"
         );
+        failed = true;
+    }
+    if check && rm_ratio_4x < 5.0 {
+        eprintln!(
+            "CHECK FAILED: 4-thread guarded read throughput is only {rm_ratio_4x:.2}x \
+             locked copy-out (gate: >= 5x)"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -25,6 +25,8 @@ struct SlabEntry {
     in_partial: bool,
     /// Whether the page id is currently listed in `free_pages`.
     in_free: bool,
+    /// Whether the page id is currently listed in `limbo_pages`.
+    in_limbo: bool,
 }
 
 struct SpanEntry {
@@ -62,6 +64,11 @@ pub struct HeapStats {
     pub live_allocs: usize,
     /// Wholly-free slab pages still attached (instantly harvestable).
     pub wholly_free_pages: usize,
+    /// Slots freed while a read guard was active, awaiting their SMR
+    /// grace period before reuse.
+    pub limbo_slots: usize,
+    /// Slab pages with at least one limbo slot.
+    pub limbo_pages: usize,
     /// Cumulative allocations.
     pub allocs_total: u64,
     /// Cumulative frees (including reclaimed allocations).
@@ -83,6 +90,11 @@ pub struct SdsHeap {
     partial: [Vec<u32>; SizeClass::COUNT],
     /// Page ids believed to be wholly free.
     free_pages: Vec<u32>,
+    /// Page ids with at least one limbo slot (maintained eagerly via
+    /// `SlabEntry::in_limbo`; detached pages are dropped on flush).
+    limbo_pages: Vec<u32>,
+    /// Exact count of limbo slots across all pages.
+    limbo_slots: usize,
     /// Exact count of wholly-free slab pages (maintained on transitions).
     wholly_free: usize,
     /// Monotonic allocation-generation counter (never reused).
@@ -103,6 +115,8 @@ impl SdsHeap {
             vacant: Vec::new(),
             partial: Default::default(),
             free_pages: Vec::new(),
+            limbo_pages: Vec::new(),
+            limbo_slots: 0,
             wholly_free: 0,
             gen_counter: 0,
             held_pages: 0,
@@ -298,6 +312,7 @@ impl SdsHeap {
             page: SlabPage::new(frame, class),
             in_partial: true,
             in_free: false,
+            in_limbo: false,
         });
         let id = self.push_entry(entry);
         self.partial[class.index()].push(id);
@@ -484,6 +499,143 @@ impl SdsHeap {
         }
     }
 
+    /// Frees the allocation behind `raw` with its memory deferred to
+    /// the SMR grace period: the handle is revoked and accounting
+    /// updated immediately, but the slot parks on the page's limbo
+    /// list (destructor included) until [`SdsHeap::flush_limbo`]
+    /// proves no read guard pinned at or before `retire_epoch` is
+    /// still active. Span handles delegate to the immediate
+    /// [`SdsHeap::free`]: span reads hold the shard lock for their
+    /// whole duration, so a span free is always serialised with its
+    /// readers and needs no grace.
+    pub fn free_deferred(
+        &mut self,
+        raw: RawHandle,
+        run_drop: bool,
+        retire_epoch: u64,
+    ) -> SoftResult<FreeOutcome> {
+        if raw.kind == AllocKind::Span {
+            return self.free(raw, run_drop);
+        }
+        let entry = self
+            .pages
+            .get_mut(raw.page as usize)
+            .ok_or(SoftError::InvalidHandle)?;
+        let PageEntry::Slab(e) = entry else {
+            return Err(SoftError::Revoked);
+        };
+        let len = e
+            .page
+            .free_deferred(raw.slot, raw.generation, run_drop, retire_epoch)?;
+        if !e.in_limbo {
+            e.in_limbo = true;
+            self.limbo_pages.push(raw.page);
+        }
+        self.limbo_slots += 1;
+        self.live_bytes -= len;
+        self.live_allocs -= 1;
+        self.frees_total += 1;
+        // The slot went to limbo, not the free list: the page gained
+        // no allocatable slot and cannot have become wholly free.
+        Ok(FreeOutcome {
+            freed_bytes: len,
+            released_span: None,
+            page_now_free: false,
+        })
+    }
+
+    /// Flushes every limbo slot whose retirement epoch satisfies
+    /// `is_safe` back into circulation, running deferred destructors
+    /// and repairing the partial/free lists for pages that gained
+    /// allocatable slots. Returns the number of slots flushed.
+    pub fn flush_limbo(&mut self, is_safe: &dyn Fn(u64) -> bool) -> usize {
+        if self.limbo_slots == 0 {
+            return 0;
+        }
+        let mut flushed = 0;
+        let mut i = 0;
+        while i < self.limbo_pages.len() {
+            let id = self.limbo_pages[i];
+            let PageEntry::Slab(e) = &mut self.pages[id as usize] else {
+                // Page was detached (harvest/destroy) out from under
+                // the list; drop the stale entry.
+                self.limbo_pages.swap_remove(i);
+                continue;
+            };
+            let was_full = e.page.is_full();
+            let n = e.page.flush_limbo(is_safe);
+            if n > 0 {
+                self.limbo_slots -= n;
+                flushed += n;
+                let class = e.page.class();
+                if was_full && !e.page.is_full() && !e.in_partial {
+                    e.in_partial = true;
+                    self.partial[class.index()].push(id);
+                }
+                if e.page.is_wholly_free() {
+                    self.wholly_free += 1;
+                    if !e.in_free {
+                        e.in_free = true;
+                        self.free_pages.push(id);
+                    }
+                }
+            }
+            if e.page.limbo() == 0 {
+                e.in_limbo = false;
+                self.limbo_pages.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Detaches up to `max` pages that consist solely of limbo slots
+    /// (no live allocations), returning each with its retirement
+    /// horizon. The SMA parks these on its limbo list and recycles the
+    /// frame once the SMR registry clears the horizon — this is how
+    /// reclamation makes progress on pages readers may still observe.
+    pub fn harvest_limbo_pages(&mut self, max: usize) -> Vec<(SlabPage, u64)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.limbo_pages.len() && out.len() < max {
+            let id = self.limbo_pages[i];
+            let detachable = matches!(
+                &self.pages[id as usize],
+                PageEntry::Slab(e) if e.page.live() == 0 && e.page.limbo() > 0
+            );
+            if !detachable {
+                i += 1;
+                continue;
+            }
+            let entry = std::mem::replace(&mut self.pages[id as usize], PageEntry::Vacant);
+            let PageEntry::Slab(e) = entry else {
+                unreachable!("matched above");
+            };
+            self.vacant.push(id);
+            self.held_pages -= 1;
+            self.limbo_slots -= e.page.limbo();
+            let horizon = e
+                .page
+                .limbo_retire_horizon()
+                .expect("limbo page has limbo slots");
+            self.limbo_pages.swap_remove(i);
+            out.push((e.page, horizon));
+        }
+        out
+    }
+
+    /// Slots currently parked in limbo across all pages.
+    pub fn limbo_slots(&self) -> usize {
+        self.limbo_slots
+    }
+
+    /// Number of attached pages with at least one limbo slot — the
+    /// SMD reclamation weight for deprioritising limbo-heavy SDSes.
+    pub fn limbo_page_count(&self) -> usize {
+        self.limbo_pages.len()
+    }
+
     /// Clears the destructor of a live allocation (payload moved out).
     pub fn disarm_drop(&mut self, raw: RawHandle) -> SoftResult<()> {
         let entry = self
@@ -543,6 +695,8 @@ impl SdsHeap {
             live_bytes: self.live_bytes,
             live_allocs: self.live_allocs,
             wholly_free_pages: self.wholly_free,
+            limbo_slots: self.limbo_slots,
+            limbo_pages: self.limbo_pages.len(),
             allocs_total: self.allocs_total,
             frees_total: self.frees_total,
         }
@@ -823,5 +977,114 @@ mod tests {
         }
         assert_eq!(h.live_bytes(), 0);
         assert_eq!(h.wholly_free_pages(), h.held_pages());
+    }
+
+    #[test]
+    fn deferred_free_keeps_page_out_of_circulation() {
+        let mut h = heap();
+        let a = h.alloc_slab(4096, None, Some(frame())).unwrap();
+        let out = h.free_deferred(a, true, 3).unwrap();
+        assert_eq!(out.freed_bytes, 4096);
+        assert!(!out.page_now_free);
+        // Accounting treats the bytes as freed immediately...
+        assert_eq!(h.live_bytes(), 0);
+        assert_eq!(h.live_allocs(), 0);
+        assert_eq!(h.stats().frees_total, 1);
+        // ...but the page is neither wholly free nor harvestable.
+        assert_eq!(h.wholly_free_pages(), 0);
+        assert_eq!(h.limbo_slots(), 1);
+        assert_eq!(h.limbo_page_count(), 1);
+        assert!(h.harvest_free_pages(0).is_empty());
+        assert_eq!(h.resolve(a).unwrap_err(), SoftError::Revoked);
+        // An unsafe epoch flushes nothing; a safe one restores it.
+        assert_eq!(h.flush_limbo(&|e| e > 3), 0);
+        assert_eq!(h.flush_limbo(&|_| true), 1);
+        assert_eq!(h.limbo_slots(), 0);
+        assert_eq!(h.wholly_free_pages(), 1);
+        assert_eq!(h.harvest_free_pages(0).len(), 1);
+    }
+
+    #[test]
+    fn flush_limbo_returns_partial_page_to_allocation() {
+        let mut h = heap();
+        // 1024-class: 4 slots. Fill the page, defer one free.
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let need = if i == 0 { Some(frame()) } else { None };
+            handles.push(h.alloc_slab(1024, None, need).unwrap());
+        }
+        assert!(!h.can_alloc_without_frame(1024));
+        h.free_deferred(handles[0], true, 1).unwrap();
+        // The limbo slot is not allocatable: still needs a frame.
+        assert!(!h.can_alloc_without_frame(1024));
+        h.flush_limbo(&|_| true);
+        // Flushed slot is allocatable again without a new frame.
+        assert!(h.can_alloc_without_frame(1024));
+        let b = h.alloc_slab(1024, None, None).unwrap();
+        assert_eq!(b.page, handles[0].page);
+    }
+
+    #[test]
+    fn harvest_limbo_pages_detaches_reader_pinned_pages() {
+        let mut h = heap();
+        let a = h.alloc_slab(4096, None, Some(frame())).unwrap();
+        let b = h.alloc_slab(4096, None, Some(frame())).unwrap();
+        h.free_deferred(a, true, 5).unwrap();
+        h.free_deferred(b, true, 9).unwrap();
+        assert_eq!(h.held_pages(), 2);
+        let parked = h.harvest_limbo_pages(1);
+        assert_eq!(parked.len(), 1);
+        assert_eq!(h.held_pages(), 1);
+        assert_eq!(h.limbo_page_count(), 1);
+        let parked2 = h.harvest_limbo_pages(8);
+        assert_eq!(parked2.len(), 1);
+        assert_eq!(h.held_pages(), 0);
+        assert_eq!(h.limbo_slots(), 0);
+        let horizons: Vec<u64> = parked
+            .into_iter()
+            .chain(parked2)
+            .map(|(page, horizon)| {
+                let _ = page.drain_limbo_and_take_frame();
+                horizon
+            })
+            .collect();
+        assert_eq!(
+            {
+                let mut h = horizons.clone();
+                h.sort_unstable();
+                h
+            },
+            vec![5, 9]
+        );
+        // Flush tolerates the detached entries.
+        assert_eq!(h.flush_limbo(&|_| true), 0);
+    }
+
+    #[test]
+    fn span_free_deferred_is_immediate() {
+        let mut h = heap();
+        let raw = h.insert_span(Span::new_zeroed(2), 8192, None);
+        let out = h.free_deferred(raw, true, 1).unwrap();
+        assert!(out.released_span.is_some());
+        assert_eq!(h.limbo_slots(), 0);
+        assert_eq!(h.held_pages(), 0);
+    }
+
+    #[test]
+    fn mixed_live_and_limbo_page_is_not_harvestable() {
+        let mut h = heap();
+        // Two 2048-slots on one page: one stays live, one goes limbo.
+        let a = h.alloc_slab(2048, None, Some(frame())).unwrap();
+        let b = h.alloc_slab(2048, None, None).unwrap();
+        assert_eq!(a.page, b.page);
+        h.free_deferred(a, true, 2).unwrap();
+        assert!(
+            h.harvest_limbo_pages(8).is_empty(),
+            "page still has a live slot"
+        );
+        assert_eq!(h.limbo_page_count(), 1);
+        // Free the live slot immediately: page is now all-limbo.
+        h.free(b, true).unwrap();
+        assert_eq!(h.harvest_limbo_pages(8).len(), 1);
     }
 }

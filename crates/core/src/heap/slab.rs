@@ -24,13 +24,17 @@ struct SlotMeta {
     /// Requested length of the occupying allocation in bytes.
     len: u32,
     /// Write epoch of the occupying allocation: bumped by every
-    /// writer-path resolution ([`SlabPage::resolve_for_write`]). An
-    /// optimistic lock-free reader snapshots `(generation, epoch)`
-    /// before copying the payload and revalidates both afterwards, so a
-    /// concurrent in-place mutation (same generation) is detected just
-    /// like a free/realloc (generation change). Wrapping `u32` is fine:
-    /// a reader would need 2³² in-flight writes during one copy to miss.
+    /// writer-path resolution ([`SlabPage::resolve_for_write`]).
+    /// Monotonic (mod 2³²) per slot lifetime — the proptest campaign
+    /// asserts writers never observe it regress, and it remains the
+    /// cheap "was this mutated" probe for diagnostics.
     write_epoch: u32,
+    /// SMR epoch the slot was retired at, valid while the slot sits on
+    /// the limbo list (see [`SlabPage::free_deferred`]). Limbo slots
+    /// have `generation == 0` (handles are already revoked) but keep
+    /// their `drop_fn` parked until the flush proves no read guard can
+    /// still observe the payload.
+    retire_epoch: u64,
 }
 
 /// A 4 KiB page carved into slots of a single size class.
@@ -40,6 +44,11 @@ pub struct SlabPage {
     slots: Box<[SlotMeta]>,
     free_head: u16,
     live: u16,
+    /// Head of the limbo list: slots freed while a read guard was
+    /// active, not yet reusable. Chained through `next_free`.
+    limbo_head: u16,
+    /// Number of slots on the limbo list.
+    limbo: u16,
 }
 
 impl SlabPage {
@@ -54,6 +63,7 @@ impl SlabPage {
                 drop_fn: None,
                 len: 0,
                 write_epoch: 0,
+                retire_epoch: 0,
             });
         }
         SlabPage {
@@ -62,6 +72,8 @@ impl SlabPage {
             slots: slots.into_boxed_slice(),
             free_head: 0,
             live: 0,
+            limbo_head: NO_SLOT,
+            limbo: 0,
         }
     }
 
@@ -75,14 +87,23 @@ impl SlabPage {
         self.live as usize
     }
 
-    /// Whether every slot is occupied.
+    /// Whether no slot is allocatable. Limbo slots count as occupied:
+    /// they cannot be handed out until the flush proves them safe, so
+    /// a page whose free list is empty stays off the partial lists
+    /// even if some of its slots are merely in limbo.
     pub fn is_full(&self) -> bool {
         self.free_head == NO_SLOT
     }
 
-    /// Whether no slot is occupied (page is harvestable).
+    /// Whether no slot is occupied *or in limbo* (page is
+    /// harvestable — its frame can be recycled with no grace period).
     pub fn is_wholly_free(&self) -> bool {
-        self.live == 0
+        self.live == 0 && self.limbo == 0
+    }
+
+    /// Number of slots parked on the limbo list.
+    pub fn limbo(&self) -> usize {
+        self.limbo as usize
     }
 
     /// Allocates a slot for `len` bytes, stamping it with `generation`.
@@ -191,6 +212,126 @@ impl SlabPage {
         Ok(len)
     }
 
+    /// Frees a slot *deferred*: the handle is revoked immediately (the
+    /// generation drops to the free sentinel, so resolution fails with
+    /// `Revoked` and accounting treats the bytes as freed), but the
+    /// slot is parked on the page's limbo list instead of the free
+    /// list, and its destructor — if `run_drop` — is retained and only
+    /// executed by [`SlabPage::flush_limbo`] once the SMR registry
+    /// proves no read guard pinned at or before `retire_epoch`
+    /// remains. Until then the payload bytes stay untouched, which is
+    /// what keeps concurrently-borrowed `&[u8]` reads valid.
+    pub fn free_deferred(
+        &mut self,
+        slot: u16,
+        generation: u64,
+        run_drop: bool,
+        retire_epoch: u64,
+    ) -> SoftResult<usize> {
+        self.slot_ptr_checked(slot)?;
+        let limbo_head = self.limbo_head;
+        let meta = &mut self.slots[slot as usize];
+        if meta.generation == 0 || meta.generation != generation {
+            return Err(SoftError::Revoked);
+        }
+        let len = meta.len as usize;
+        if !run_drop {
+            // Payload already moved out (`take_value`): nothing to
+            // defer, the slot just waits out the grace period.
+            meta.drop_fn = None;
+        }
+        meta.generation = 0;
+        meta.len = 0;
+        meta.retire_epoch = retire_epoch;
+        meta.next_free = limbo_head;
+        self.limbo_head = slot;
+        self.live -= 1;
+        self.limbo += 1;
+        Ok(len)
+    }
+
+    /// Moves every limbo slot whose retirement epoch satisfies
+    /// `is_safe` back to the free list, running its deferred
+    /// destructor. Returns the number of slots flushed.
+    pub fn flush_limbo(&mut self, is_safe: &dyn Fn(u64) -> bool) -> usize {
+        let mut flushed = 0;
+        let mut cur = self.limbo_head;
+        let mut prev = NO_SLOT;
+        while cur != NO_SLOT {
+            let next = self.slots[cur as usize].next_free;
+            if is_safe(self.slots[cur as usize].retire_epoch) {
+                let ptr = self.slot_ptr(cur);
+                let meta = &mut self.slots[cur as usize];
+                if let Some(f) = meta.drop_fn.take() {
+                    // SAFETY: the payload was live and initialised when
+                    // the slot entered limbo, has not been touched
+                    // since (limbo slots are never reallocated), and is
+                    // dropped exactly once here before the slot rejoins
+                    // the free list.
+                    unsafe { f(ptr) };
+                }
+                meta.retire_epoch = 0;
+                meta.next_free = self.free_head;
+                self.free_head = cur;
+                if prev == NO_SLOT {
+                    self.limbo_head = next;
+                } else {
+                    self.slots[prev as usize].next_free = next;
+                }
+                self.limbo -= 1;
+                flushed += 1;
+            } else {
+                prev = cur;
+            }
+            cur = next;
+        }
+        flushed
+    }
+
+    /// Highest retirement epoch on the limbo list, or `None` when the
+    /// list is empty. A page is safe to recycle wholesale once the SMR
+    /// registry clears this horizon.
+    pub fn limbo_retire_horizon(&self) -> Option<u64> {
+        let mut max = None;
+        let mut cur = self.limbo_head;
+        while cur != NO_SLOT {
+            let e = self.slots[cur as usize].retire_epoch;
+            max = Some(max.map_or(e, |m: u64| m.max(e)));
+            cur = self.slots[cur as usize].next_free;
+        }
+        max
+    }
+
+    /// Runs every deferred destructor still parked in limbo and
+    /// returns the frame. The caller must have proven the grace period
+    /// elapsed (or be tearing the allocator down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is still live (would leak destructors) —
+    /// only limbo slots are drained.
+    pub fn drain_limbo_and_take_frame(mut self) -> PageFrame {
+        assert!(self.live == 0, "harvesting a page with live slots");
+        self.drain_limbo();
+        self.frame
+    }
+
+    fn drain_limbo(&mut self) {
+        let mut cur = self.limbo_head;
+        while cur != NO_SLOT {
+            let ptr = self.slot_ptr(cur);
+            let meta = &mut self.slots[cur as usize];
+            if let Some(f) = meta.drop_fn.take() {
+                // SAFETY: as in `flush_limbo` — initialised payload,
+                // untouched since retirement, dropped exactly once.
+                unsafe { f(ptr) };
+            }
+            cur = meta.next_free;
+        }
+        self.limbo_head = NO_SLOT;
+        self.limbo = 0;
+    }
+
     /// Clears the destructor of a live slot (payload has been moved out).
     pub fn disarm_drop(&mut self, slot: u16, generation: u64) -> SoftResult<()> {
         let meta = self
@@ -215,6 +356,10 @@ impl SlabPage {
                 self.free(slot, gen, true).expect("slot verified live");
             }
         }
+        // Deferred destructors parked in limbo run here too: callers
+        // (SDS destroy, heap teardown) have already synchronised with
+        // the SMR registry, so no guard can still observe the slots.
+        self.drain_limbo();
         self.frame
     }
 
@@ -422,5 +567,110 @@ mod tests {
         let mut page = page_of(64);
         page.alloc(1, 8, None).unwrap();
         let _ = page.take_frame();
+    }
+
+    #[test]
+    fn deferred_free_parks_slot_in_limbo() {
+        let mut page = page_of(1024);
+        let slot = page.alloc(1, 800, None).unwrap();
+        assert_eq!(page.free_deferred(slot, 1, true, 7).unwrap(), 800);
+        // Handle is revoked immediately...
+        assert_eq!(page.resolve(slot, 1).unwrap_err(), SoftError::Revoked);
+        // ...but the slot is not reusable and the page not harvestable.
+        assert_eq!(page.limbo(), 1);
+        assert!(!page.is_wholly_free());
+        assert_eq!(page.limbo_retire_horizon(), Some(7));
+        // Unsafe epochs flush nothing.
+        assert_eq!(page.flush_limbo(&|e| e > 7), 0);
+        // Once safe, the slot rejoins the free list exactly once.
+        assert_eq!(page.flush_limbo(&|_| true), 1);
+        assert_eq!(page.limbo(), 0);
+        assert!(page.is_wholly_free());
+        assert_eq!(page.flush_limbo(&|_| true), 0);
+        // And it can be reallocated.
+        assert!(page.alloc(2, 100, None).is_some());
+    }
+
+    #[test]
+    fn deferred_double_free_is_rejected() {
+        let mut page = page_of(64);
+        let slot = page.alloc(3, 8, None).unwrap();
+        page.free_deferred(slot, 3, true, 1).unwrap();
+        assert_eq!(
+            page.free_deferred(slot, 3, true, 2).unwrap_err(),
+            SoftError::Revoked
+        );
+        assert_eq!(page.free(slot, 3, true).unwrap_err(), SoftError::Revoked);
+        assert_eq!(page.limbo(), 1);
+    }
+
+    #[test]
+    fn limbo_keeps_page_full_until_flush() {
+        let mut page = page_of(2048); // 2 slots
+        let s1 = page.alloc(1, 100, None).unwrap();
+        let _s2 = page.alloc(2, 100, None).unwrap();
+        assert!(page.is_full());
+        page.free_deferred(s1, 1, true, 5).unwrap();
+        // Limbo slots are not allocatable: the page is still full.
+        assert!(page.is_full());
+        assert!(page.alloc(3, 100, None).is_none());
+        page.flush_limbo(&|_| true);
+        assert!(!page.is_full());
+        assert!(page.alloc(3, 100, None).is_some());
+    }
+
+    #[test]
+    fn deferred_drop_runs_at_flush_not_free() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let mut page = page_of(64);
+        let slot = page
+            .alloc(
+                1,
+                std::mem::size_of::<Probe>(),
+                super::super::drop_fn_for::<Probe>(),
+            )
+            .unwrap();
+        let (ptr, _) = page.resolve(slot, 1).unwrap();
+        // SAFETY: the slot is live, sized and aligned for `Probe`.
+        unsafe { ptr.cast::<Probe>().write(Probe) };
+        page.free_deferred(slot, 1, true, 9).unwrap();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "drop must be deferred");
+        page.flush_limbo(&|_| true);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1, "drop runs exactly once");
+    }
+
+    #[test]
+    fn drain_limbo_and_take_frame_runs_deferred_drops() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Probe;
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let mut page = page_of(64);
+        let slot = page
+            .alloc(
+                1,
+                std::mem::size_of::<Probe>(),
+                super::super::drop_fn_for::<Probe>(),
+            )
+            .unwrap();
+        let (ptr, _) = page.resolve(slot, 1).unwrap();
+        // SAFETY: the slot is live, sized and aligned for `Probe`.
+        unsafe { ptr.cast::<Probe>().write(Probe) };
+        page.free_deferred(slot, 1, true, 3).unwrap();
+        let _frame = page.drain_limbo_and_take_frame();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
     }
 }

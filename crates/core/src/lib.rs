@@ -20,6 +20,10 @@
 //!   generation, so stale handles observe [`SoftError::Revoked`] instead of
 //!   undefined behaviour — the crate's answer to the paper's "all pointers
 //!   become invalid" open question (§7).
+//! * [`smr`] — epoch-based safe memory reclamation: per-thread read
+//!   guards pin an epoch so the read path can hand out borrowed
+//!   `&[u8]` slices with zero copies, while frees of observed slots
+//!   defer to a limbo list until every guard has advanced.
 //! * [`sma`] — the allocator proper: an SDS registry, a process-global free
 //!   pool, a soft-memory budget granted by the machine-wide daemon, and the
 //!   two-tier reclamation protocol (the SMA picks SDSs by priority, each
@@ -48,6 +52,7 @@ pub mod handle;
 pub mod heap;
 pub mod page;
 pub mod sma;
+pub mod smr;
 pub mod stats;
 
 pub use budget::{BudgetFault, BudgetSource, BudgetTap, Grant, InterposedBudget};
@@ -56,6 +61,7 @@ pub use error::{SoftError, SoftResult};
 pub use handle::{Priority, RawHandle, SdsId, SoftHandle, SoftSlot};
 pub use page::{MachineMemory, PAGE_SIZE};
 pub use sma::{ReclaimReport, SdsReclaimer, SdsStats, Sma, SmaMetrics, MAX_ALLOC_BYTES};
+pub use smr::{ReadGuard, SmrRegistry};
 pub use stats::SmaStats;
 
 /// Converts a byte count to the number of 4 KiB pages needed to hold it.

@@ -41,6 +41,9 @@ pub struct SmaMetrics {
     /// Mirror of `SmaStats::magazine_steal_backs_total` (pages
     /// reclamation stole back out of magazines).
     pub magazine_steal_backs_total: Arc<Counter>,
+    /// Mirror of `SmaStats::smr_guard_stalls_total` (grace-period
+    /// waits and guard-deferred harvests).
+    pub smr_guard_stalls_total: Arc<Counter>,
     /// Sampled allocation latency (ns), including budget round-trips.
     pub alloc_ns: Arc<Histogram>,
     /// Sampled free latency (ns).
@@ -64,6 +67,9 @@ pub struct SmaMetrics {
     /// `free_pool_pages` (each mutation happens under that SDS's shard
     /// lock, but no global lock).
     pub magazine_pages: Arc<Gauge>,
+    /// Pages on the SMR limbo list awaiting reader-epoch advance.
+    /// Delta-maintained at park/flush under the limbo lock.
+    pub smr_limbo_pages: Arc<Gauge>,
 }
 
 impl SmaMetrics {
@@ -79,6 +85,7 @@ impl SmaMetrics {
             sds_callbacks_total: registry.counter("sds_callbacks_total"),
             magazine_refills_total: registry.counter("magazine_refills_total"),
             magazine_steal_backs_total: registry.counter("magazine_steal_backs_total"),
+            smr_guard_stalls_total: registry.counter("smr_guard_stalls_total"),
             alloc_ns: registry.histogram("alloc_ns"),
             free_ns: registry.histogram("free_ns"),
             reclaim_ns: registry.histogram("reclaim_ns"),
@@ -88,6 +95,7 @@ impl SmaMetrics {
             slack_pages: registry.gauge("slack_pages"),
             free_pool_pages: registry.gauge("free_pool_pages"),
             magazine_pages: registry.gauge("magazine_pages"),
+            smr_limbo_pages: registry.gauge("smr_limbo_pages"),
             registry,
         }
     }

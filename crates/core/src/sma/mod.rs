@@ -24,11 +24,16 @@
 //!   the depot (up to [`SmaConfig::free_pool_retain_pages`]), and only
 //!   then is released to the OS under the global lock.
 //!
-//! Byte reads are *optimistic*: they snapshot a per-slot write epoch,
-//! copy without any lock held, and revalidate — see [`Sma::with_bytes`].
-//! Reclamation quiesces magazines with a steal-back protocol
-//! (documented in the reclaim module), so parked pages remain fully
-//! reclaimable.
+//! Byte reads are *guarded and zero-copy*: [`Sma::with_bytes`] resolves
+//! the slot once under the shard lock, pins an SMR read guard (see
+//! [`crate::smr`]), and hands the caller a borrowed `&[u8]` straight
+//! into the slab page — no copy, no retry loop, no locked fallback.
+//! Frees that race an active guard defer to a per-page *limbo* list and
+//! only recycle once every reader epoch has advanced. Reclamation
+//! quiesces magazines with a steal-back protocol (documented in the
+//! reclaim module), so parked pages remain fully reclaimable; pages
+//! readers may still observe park on the SMA's limbo list instead and
+//! reach the depot after their grace period.
 //!
 //! Pages parked in magazines and the depot still count against
 //! `held_pages`: moving a frame between a heap, a magazine, and the
@@ -40,7 +45,7 @@ mod reclaim_impl;
 pub use metrics::SmaMetrics;
 pub use reclaim_impl::{ReclaimReport, SdsContribution};
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -50,8 +55,9 @@ use crate::budget::BudgetSource;
 use crate::config::SmaConfig;
 use crate::error::{SoftError, SoftResult};
 use crate::handle::{AllocKind, Priority, RawHandle, SdsId, SoftHandle, SoftSlot, SoftView};
-use crate::heap::{drop_fn_for, DropFn, FreeOutcome, HeapStats, SdsHeap, MAX_SLAB_ALLOC};
+use crate::heap::{drop_fn_for, DropFn, FreeOutcome, HeapStats, SdsHeap, SlabPage, MAX_SLAB_ALLOC};
 use crate::page::{FrameDepot, PageFrame, PagePool};
+use crate::smr::{ReadGuard, SmrRegistry};
 use crate::stats::SmaStats;
 
 /// How many times an allocation retries after budget grants before
@@ -64,11 +70,6 @@ const MAX_BUDGET_RETRIES: usize = 8;
 /// [`SoftError::AllocTooLarge`] beats asking the daemon to reclaim
 /// the whole machine.
 pub const MAX_ALLOC_BYTES: usize = 1 << 30;
-
-/// How many optimistic copy attempts [`Sma::with_bytes`] makes before
-/// falling back to a locked read (bounds reader work under a
-/// pathological writer storm).
-const MAX_OPTIMISTIC_ATTEMPTS: usize = 3;
 
 /// A data structure's hook for SMA-driven reclamation.
 ///
@@ -207,21 +208,75 @@ impl Drop for SmaInner {
     }
 }
 
+/// A page detached from its heap while readers may still observe its
+/// slots: recycled by [`Sma`]'s limbo flush once the SMR registry
+/// clears `retire_epoch`.
+struct LimboPage {
+    page: SlabPage,
+    retire_epoch: u64,
+}
+
+/// A whole heap detached by a non-blocking [`Sma::destroy_sds`] while
+/// readers may still observe its slots: destroyed (destructors run,
+/// frames recycled) by the limbo flush once the SMR registry clears
+/// `retire_epoch`. Keeping the heap intact — rather than waiting for
+/// the guards — means destroy never blocks behind a parked reader.
+struct LimboHeap {
+    heap: SdsHeap,
+    /// `heap.held_pages()` at park time, for the limbo-page gauge.
+    pages: usize,
+    retire_epoch: u64,
+}
+
+#[derive(Default)]
+struct LimboState {
+    pages: Vec<LimboPage>,
+    heaps: Vec<LimboHeap>,
+}
+
+/// The SMA-level limbo list. A newtype so teardown can run the parked
+/// entries' deferred destructors: by the time the allocator drops, no
+/// guard can be live (guards borrow the `Sma` through their closures),
+/// so draining is safe.
+#[derive(Default)]
+struct LimboList(Mutex<LimboState>);
+
+impl Drop for LimboList {
+    fn drop(&mut self) {
+        let st = self.0.get_mut();
+        for lp in st.pages.drain(..) {
+            let _frame = lp.page.drain_limbo_and_take_frame();
+        }
+        // Parked heaps drop in place: `SdsHeap::drop` runs the
+        // remaining payload destructors.
+        st.heaps.clear();
+    }
+}
+
 /// The Soft Memory Allocator for one process.
 ///
 /// Thread-safe: share it with `Arc<Sma>`. Access closures passed to
 /// [`Sma::with_value`] and friends run under the owning SDS's shard
 /// lock (not a global lock) and must not call back into the same `Sma`
 /// for the same SDS; [`Sma::with_bytes`] runs its closure on a
-/// validated copy with no lock held at all.
+/// borrowed slice protected by an SMR read guard, with no lock held at
+/// all.
 pub struct Sma {
-    // Field order is drop order: shards (heaps, magazines) and the
-    // depot hold arena leases, so they must drop before `inner` (the
-    // pool owning the arenas).
+    // Field order is drop order: shards (heaps, magazines), the depot
+    // and the limbo list hold arena leases, so they must drop before
+    // `inner` (the pool owning the arenas).
     registry: RwLock<Vec<Option<Arc<SdsShard>>>>,
     /// The process-global free pool: a lock-free fixed-capacity depot
     /// of idle, backed page frames.
     depot: FrameDepot,
+    /// Epoch registry backing guarded zero-copy reads.
+    smr: Arc<SmrRegistry>,
+    /// Pages harvested from heaps while a guard could still observe
+    /// them; flushed to the depot once their retirement horizon clears.
+    limbo: LimboList,
+    /// Mirror of `limbo`'s length, readable without the limbo lock
+    /// (stats, fast emptiness checks). Updated under the limbo lock.
+    limbo_len: AtomicUsize,
     pub(crate) inner: Mutex<SmaInner>,
     pub(crate) cfg: SmaConfig,
     budget_source: RwLock<Option<Arc<dyn BudgetSource>>>,
@@ -243,6 +298,9 @@ impl Sma {
         let sma = Arc::new(Sma {
             registry: RwLock::new(Vec::new()),
             depot,
+            smr: Arc::new(SmrRegistry::new()),
+            limbo: LimboList::default(),
+            limbo_len: AtomicUsize::new(0),
             inner: Mutex::new(SmaInner {
                 budget_pages: cfg.initial_budget_pages,
                 held_pages: 0,
@@ -425,7 +483,22 @@ impl Sma {
         let heap = std::mem::replace(&mut st.heap, SdsHeap::new(id));
         st.gauges.reset();
         drop(st);
-        let (frames, spans) = heap.destroy();
+        // A zero-copy reader that resolved before `dead` was set may
+        // still hold a borrow into this heap, and destroy must not
+        // wait it out (a guard can legally be parked for a long time).
+        // Under active guards the intact heap is parked in limbo
+        // instead — destructors deferred, pages still held — and the
+        // first flush after the guards drop finishes the teardown.
+        // Magazine frames hold no observable bytes, so they recycle
+        // immediately either way.
+        let (frames, spans) = if self.smr.active_guards() > 0 && heap.held_pages() > 0 {
+            let retire_epoch = self.smr.retire();
+            self.note_guard_stall();
+            self.park_limbo_heap(heap, retire_epoch);
+            (Vec::new(), Vec::new())
+        } else {
+            heap.destroy()
+        };
         let mut to_os = Vec::new();
         for frame in magazine.into_iter().chain(frames) {
             match self.depot.push(frame) {
@@ -445,6 +518,7 @@ impl Sma {
             }
             self.metrics.sync_occupancy(inner);
         }
+        self.flush_limbo_pages();
         Ok(())
     }
 
@@ -542,6 +616,162 @@ impl Sma {
             .fetch_add(steal as u64, Ordering::Relaxed);
         self.metrics.magazine_steal_backs_total.add(steal as u64);
         frames
+    }
+
+    // ------------------------------------------------------------------
+    // SMR plumbing
+    // ------------------------------------------------------------------
+
+    /// Pins an SMR read guard. While the guard lives, no slot retired
+    /// at or after its epoch is recycled. [`Sma::with_bytes`] pins
+    /// internally; this entry point exists for tests and harnesses
+    /// that need to hold a guard across other operations (the
+    /// stalled-reader campaign).
+    pub fn pin(&self) -> ReadGuard {
+        self.smr.pin()
+    }
+
+    /// The allocator's SMR registry (tests / diagnostics).
+    pub fn smr(&self) -> &Arc<SmrRegistry> {
+        &self.smr
+    }
+
+    /// Pages currently parked on the SMA limbo list (ground truth for
+    /// the `smr_limbo_pages` gauge).
+    pub fn limbo_pages(&self) -> usize {
+        self.limbo_len.load(Ordering::Relaxed)
+    }
+
+    /// Records one guard-induced stall in both the SMR ground truth
+    /// and its telemetry mirror.
+    pub(crate) fn note_guard_stall(&self) {
+        self.smr.note_stall();
+        self.metrics.smr_guard_stalls_total.add(1);
+    }
+
+    /// Retires everything invalidated so far and blocks until no other
+    /// thread's guard can observe it. Used by in-place writers (their
+    /// grace period before mutating bytes a zero-copy reader may be
+    /// borrowing) and by destructive paths (SDS destroy) that are
+    /// about to run destructors and recycle frames without limbo
+    /// indirection. One atomic load when no guard is active.
+    fn synchronize_readers(&self) {
+        if self.smr.active_guards() == 0 {
+            return;
+        }
+        let e = self.smr.retire();
+        if !self.smr.safe_excluding_self(e) {
+            self.note_guard_stall();
+        }
+        self.smr.synchronize(e);
+    }
+
+    /// Parks heap-detached pages on the SMA limbo list (reclamation's
+    /// deferred-harvest stage).
+    pub(crate) fn park_limbo_pages(&self, pages: Vec<(SlabPage, u64)>) {
+        if pages.is_empty() {
+            return;
+        }
+        let n = pages.len() as i64;
+        let mut limbo = self.limbo.0.lock();
+        for (page, retire_epoch) in pages {
+            limbo.pages.push(LimboPage { page, retire_epoch });
+        }
+        let total = Self::limbo_page_total(&limbo);
+        self.limbo_len.store(total, Ordering::Relaxed);
+        drop(limbo);
+        self.metrics.smr_limbo_pages.add(n);
+    }
+
+    /// Parks a whole detached heap (non-blocking SDS destroy under
+    /// active guards) on the SMA limbo list.
+    fn park_limbo_heap(&self, heap: SdsHeap, retire_epoch: u64) {
+        let pages = heap.held_pages();
+        let mut limbo = self.limbo.0.lock();
+        limbo.heaps.push(LimboHeap {
+            heap,
+            pages,
+            retire_epoch,
+        });
+        let total = Self::limbo_page_total(&limbo);
+        self.limbo_len.store(total, Ordering::Relaxed);
+        drop(limbo);
+        self.metrics.smr_limbo_pages.add(pages as i64);
+    }
+
+    /// Pages across both kinds of limbo entry (ground truth for the
+    /// `smr_limbo_pages` gauge).
+    fn limbo_page_total(limbo: &LimboState) -> usize {
+        limbo.pages.len() + limbo.heaps.iter().map(|h| h.pages).sum::<usize>()
+    }
+
+    /// Returns every limbo entry whose retirement horizon has cleared
+    /// to the depot (overflow goes to the OS under the global lock),
+    /// running its deferred destructors. Cheap no-op when the list is
+    /// empty.
+    pub(crate) fn flush_limbo_pages(&self) {
+        if self.limbo_len.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut freed_pages = Vec::new();
+        let mut freed_heaps = Vec::new();
+        {
+            let mut limbo = self.limbo.0.lock();
+            let mut i = 0;
+            while i < limbo.pages.len() {
+                if self.smr.safe_to_reclaim(limbo.pages[i].retire_epoch) {
+                    freed_pages.push(limbo.pages.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            let mut i = 0;
+            while i < limbo.heaps.len() {
+                if self.smr.safe_to_reclaim(limbo.heaps[i].retire_epoch) {
+                    freed_heaps.push(limbo.heaps.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            let total = Self::limbo_page_total(&limbo);
+            self.limbo_len.store(total, Ordering::Relaxed);
+        }
+        if freed_pages.is_empty() && freed_heaps.is_empty() {
+            return;
+        }
+        let cleared = freed_pages.len() + freed_heaps.iter().map(|h| h.pages).sum::<usize>();
+        self.metrics.smr_limbo_pages.add(-(cleared as i64));
+        let mut to_os = Vec::new();
+        let mut spans = Vec::new();
+        for lp in freed_pages {
+            let frame = lp.page.drain_limbo_and_take_frame();
+            match self.depot.push(frame) {
+                Ok(()) => self.metrics.free_pool_pages.add(1),
+                Err(frame) => to_os.push(frame),
+            }
+        }
+        for lh in freed_heaps {
+            let (frames, heap_spans) = lh.heap.destroy();
+            for frame in frames {
+                match self.depot.push(frame) {
+                    Ok(()) => self.metrics.free_pool_pages.add(1),
+                    Err(frame) => to_os.push(frame),
+                }
+            }
+            spans.extend(heap_spans);
+        }
+        if !to_os.is_empty() || !spans.is_empty() {
+            let inner = &mut *self.inner.lock();
+            for frame in to_os {
+                inner.pool.release_to_os(frame);
+                inner.held_pages -= 1;
+            }
+            for span in spans {
+                inner.held_pages -= span.pages();
+                inner.pool.release_span(span);
+            }
+            self.metrics.sync_occupancy(inner);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -806,13 +1036,33 @@ impl Sma {
         if st.dead {
             return Err(SoftError::UnknownSds(raw.sds));
         }
+        // Deferral decision, made under the shard lock that serialises
+        // this free with every reader's resolve+pin: if any guard is
+        // active the slot may be observed, so it parks in limbo (the
+        // handle is revoked now; the memory and destructor wait out
+        // the grace period). With no guard the free is immediate — the
+        // pre-SMR fast path, byte for byte.
         let FreeOutcome {
             freed_bytes,
             released_span,
             page_now_free,
-        } = st.heap.free(raw, run_drop)?;
+        } = if raw.kind == AllocKind::Slab && self.smr.active_guards() > 0 {
+            let retire_epoch = self.smr.retire();
+            st.heap.free_deferred(raw, run_drop, retire_epoch)?
+        } else {
+            st.heap.free(raw, run_drop)?
+        };
+        // Opportunistic slot-limbo flush: no-op unless earlier frees
+        // deferred, in which case any slot whose readers have all
+        // unpinned rejoins the free lists here.
+        let flushed = if st.heap.limbo_slots() > 0 {
+            let smr = &self.smr;
+            st.heap.flush_limbo(&|e| smr.safe_to_reclaim(e))
+        } else {
+            0
+        };
         let mut to_os = Vec::new();
-        if page_now_free {
+        if page_now_free || (flushed > 0 && st.heap.wholly_free_pages() > 0) {
             for frame in st.heap.harvest_free_pages(0) {
                 self.park_frame(&mut st, frame, &mut to_os);
             }
@@ -834,6 +1084,9 @@ impl Sma {
         }
         st.pages_auto_released += auto_released;
         drop(st);
+        // Page-level limbo drains on the same cadence (no-op when the
+        // list is empty, which is the steady state).
+        self.flush_limbo_pages();
         timer.observe(&self.metrics.free_ns);
         Ok(freed_bytes)
     }
@@ -842,27 +1095,34 @@ impl Sma {
     // Access
     // ------------------------------------------------------------------
 
-    /// Reads the bytes of an allocation.
+    /// Reads the bytes of an allocation — **zero-copy**.
     ///
-    /// Slab-sized reads are **optimistic**: the slot's address and
-    /// write epoch are snapshotted under the shard lock, the bytes are
-    /// copied with *no lock held*, and the snapshot is revalidated
-    /// before the copy is handed to `f` (which also runs unlocked, so a
-    /// slow closure serialises nobody). Three outcomes:
+    /// Slab-sized reads resolve the slot once under the shard lock,
+    /// pin an SMR read guard ([`crate::smr`]), release the lock, and
+    /// pass a borrowed `&[u8]` pointing straight into the slab page to
+    /// `f`. No bytes are copied, there is no retry loop and no locked
+    /// fallback. The guard keeps the borrow valid: a free that races
+    /// the read parks the slot in limbo (revoking the handle but
+    /// leaving the bytes and destructor untouched) until every guard
+    /// pinned at or before the retirement has dropped, and writers
+    /// wait out the same grace period before mutating in place — so a
+    /// guarded reader never observes torn bytes, recycled memory, or
+    /// bytes from a later generation.
     ///
-    /// * snapshot still valid → `Ok` with the copied bytes;
-    /// * the slot was overwritten mid-copy (epoch moved) → retry, then
-    ///   fall back to a locked read;
-    /// * the slot was freed or reclaimed mid-copy →
-    ///   [`SoftError::Reclaimed`] — the caller treats it like a miss,
-    ///   exactly as it would a [`SoftError::Revoked`] handle, but
-    ///   without ever having stalled behind the reclamation.
+    /// Consequently a read that starts on a live handle always
+    /// completes: [`SoftError::Reclaimed`] is never surfaced to a
+    /// guarded reader. A handle that is stale *before* the read starts
+    /// fails with [`SoftError::Revoked`] as always. Span allocations
+    /// use a locked read instead: span memory really is returned to
+    /// the OS interface on free, so the shard lock (which serialises
+    /// span frees) is the cheapest way to keep the borrow valid.
     ///
-    /// A handle that is stale *before* the read starts fails with
-    /// [`SoftError::Revoked`] as always. Span allocations use the
-    /// locked path: their memory really is returned to the OS interface
-    /// on free, and copying megabytes to revalidate would cost more
-    /// than the lock.
+    /// Keep `f` short, and do not call back into this `Sma` from
+    /// inside it: while the guard is pinned, frees anywhere on the
+    /// allocator defer and in-place writers grace-wait, so a re-entrant
+    /// call can deadlock against a writer already waiting on this very
+    /// guard. Concurrent frees, writes, reclamation, and destroys from
+    /// *other* threads are all safe — that is the point.
     pub fn with_bytes<R>(&self, handle: &SoftHandle, f: impl FnOnce(&[u8]) -> R) -> SoftResult<R> {
         let shard = self.shard(handle.raw.sds)?;
         if handle.raw.kind == AllocKind::Span {
@@ -877,70 +1137,31 @@ impl Sma {
             let bytes = unsafe { std::slice::from_raw_parts(ptr, len) };
             return Ok(f(bytes));
         }
-        let mut buf = std::mem::MaybeUninit::<[u64; MAX_SLAB_ALLOC / 8]>::uninit();
-        for attempt in 0..MAX_OPTIMISTIC_ATTEMPTS {
-            let (ptr, len, epoch) = {
-                let st = shard.state.lock();
-                if st.dead {
-                    return Err(if attempt == 0 {
-                        SoftError::UnknownSds(handle.raw.sds)
-                    } else {
-                        SoftError::Reclaimed
-                    });
-                }
-                match st.heap.resolve_for_read(handle.raw) {
-                    Ok(snap) => snap,
-                    // Stale before the first copy: the ordinary
-                    // stale-handle error. Stale on a *re*-look: the
-                    // slot died under an in-flight read.
-                    Err(e) if attempt == 0 => return Err(e),
-                    Err(_) => return Err(SoftError::Reclaimed),
-                }
-            };
-            debug_assert!(len <= MAX_SLAB_ALLOC);
-            // SAFETY: `ptr` was a live slab slot of `len` bytes when
-            // snapshotted; slab arenas stay mapped for the pool's
-            // lifetime (frees return frames to the depot/arena, they do
-            // not unmap), so this unlocked copy reads mapped memory
-            // even if the slot is freed mid-copy — the revalidation
-            // below then discards the garbage. `dst` is a local buffer
-            // of MAX_SLAB_ALLOC ≥ `len` bytes.
-            unsafe { optimistic_copy(ptr, buf.as_mut_ptr().cast::<u8>(), len) };
+        let (ptr, len, _guard) = {
             let st = shard.state.lock();
             if st.dead {
-                return Err(SoftError::Reclaimed);
+                return Err(SoftError::UnknownSds(handle.raw.sds));
             }
-            match st.heap.resolve_for_read(handle.raw) {
-                Ok((p, l, e)) if p == ptr && l == len && e == epoch => {
-                    drop(st);
-                    // SAFETY: the first `len` bytes of `buf` were
-                    // initialised by the copy above.
-                    let bytes =
-                        unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), len) };
-                    return Ok(f(bytes));
-                }
-                // Overwritten mid-copy: the copy may be torn; retry.
-                Ok(_) => {}
-                // Freed mid-copy.
-                Err(_) => return Err(SoftError::Reclaimed),
-            }
-        }
-        // Writer-heavy slot: give up on optimism, read under the lock.
-        let st = shard.state.lock();
-        if st.dead {
-            return Err(SoftError::Reclaimed);
-        }
-        let (ptr, len) = st.heap.resolve(handle.raw)?;
-        // SAFETY: live slot; shard lock held for the closure's
-        // duration.
+            let (ptr, len) = st.heap.resolve(handle.raw)?;
+            // Pin *before* releasing the lock: frees take this lock,
+            // so any free of this slot orders after the pin and will
+            // defer (or wait) on the guard.
+            (ptr, len, self.smr.pin())
+        };
+        // SAFETY: the slot was live when resolved under the shard
+        // lock and the pinned guard was published before the lock was
+        // released, so every subsequent free of this slot defers to
+        // limbo (bytes and destructor untouched) and every in-place
+        // writer waits for the guard — the slice stays valid and
+        // unaliased-by-writers for the closure's whole run.
         let bytes = unsafe { std::slice::from_raw_parts(ptr, len) };
         Ok(f(bytes))
     }
 
     /// Mutates the bytes of an allocation. Runs under the shard lock
-    /// and bumps the slot's write epoch, so optimistic readers racing
-    /// this writer revalidate and retry instead of observing a torn
-    /// buffer.
+    /// and bumps the slot's write epoch; if any SMR read guard is
+    /// active the writer first waits out the grace period, so a
+    /// guarded zero-copy reader never observes a torn buffer.
     pub fn with_bytes_mut<R>(
         &self,
         handle: &SoftHandle,
@@ -952,9 +1173,12 @@ impl Sma {
             return Err(SoftError::UnknownSds(handle.raw.sds));
         }
         let (ptr, len) = st.heap.resolve_for_write(handle.raw)?;
+        self.synchronize_readers();
         // SAFETY: the slot is live and `len` bytes long; exclusivity
-        // holds because handles are unique and the shard lock blocks
-        // all other access paths into this SDS.
+        // holds because handles are unique, the shard lock blocks all
+        // other locked access paths into this SDS, and the grace wait
+        // above outlasts every guarded zero-copy reader that resolved
+        // before we took the lock.
         let bytes = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
         Ok(f(bytes))
     }
@@ -984,28 +1208,38 @@ impl Sma {
     /// behaviour for most `T`). In practice that means the caller
     /// exclusively owns the slot (it is unreachable from any shared
     /// structure) or holds the owning container's lock. Frees are
-    /// tolerated: the memory stays mapped (arena-backed) and the
-    /// revalidation reports them as `Reclaimed`.
+    /// tolerated: a guard pinned before the lock is released parks a
+    /// racing free in limbo — the value and its destructor stay intact
+    /// while `f` runs — and the revalidation then reports `Reclaimed`
+    /// exactly once, to this caller.
     pub unsafe fn with_value_exclusive<T, R>(
         &self,
         slot: &SoftSlot<T>,
         f: impl FnOnce(&T) -> R,
     ) -> SoftResult<R> {
         let shard = self.shard(slot.raw.sds)?;
-        let ptr = {
+        let (ptr, guard) = {
             let st = shard.state.lock();
             if st.dead {
                 return Err(SoftError::UnknownSds(slot.raw.sds));
             }
             let (ptr, _) = st.heap.resolve(slot.raw)?;
-            ptr
+            // Pin before unlocking, exactly as `with_bytes` does: a
+            // free racing `f` defers the slot to limbo instead of
+            // running its destructor under the reader.
+            (ptr, self.smr.pin())
         };
         // SAFETY: live slot holding an initialised `T` (written by
         // `alloc_value`). The lock is released, but the caller's
-        // contract rules out concurrent writes, and the arena backing
-        // the slot stays mapped even across a racing free.
+        // contract rules out concurrent writes, and the guard keeps a
+        // racing free from dropping the value or recycling the slot.
         let value = unsafe { &*ptr.cast::<T>() };
         let result = f(value);
+        // Drop the guard *before* re-taking the shard lock: a writer
+        // may be grace-waiting on this guard while holding that lock,
+        // and relocking with the guard still pinned would deadlock.
+        // `f` is done, so nothing dereferences the slot past here.
+        drop(guard);
         let st = shard.state.lock();
         if st.dead || st.heap.resolve(slot.raw).is_err() {
             return Err(SoftError::Reclaimed);
@@ -1013,8 +1247,9 @@ impl Sma {
         Ok(result)
     }
 
-    /// Mutates a typed value. Runs under the shard lock and bumps the
-    /// slot's write epoch (see [`Sma::with_bytes_mut`]).
+    /// Mutates a typed value. Runs under the shard lock, waits out any
+    /// guarded readers, and bumps the slot's write epoch (see
+    /// [`Sma::with_bytes_mut`]).
     pub fn with_value_mut<T, R>(
         &self,
         slot: &mut SoftSlot<T>,
@@ -1026,6 +1261,7 @@ impl Sma {
             return Err(SoftError::UnknownSds(slot.raw.sds));
         }
         let (ptr, _) = st.heap.resolve_for_write(slot.raw)?;
+        self.synchronize_readers();
         // SAFETY: live slot holding an initialised `T` (written by
         // `alloc_value`); `&mut` exclusivity per `with_bytes_mut`.
         let value = unsafe { &mut *ptr.cast::<T>() };
@@ -1104,39 +1340,10 @@ impl Sma {
             budget_granted_total: inner.budget_granted_total,
             magazine_refills_total: self.magazine_refills_total.load(Ordering::Relaxed),
             magazine_steal_backs_total: self.magazine_steal_backs_total.load(Ordering::Relaxed),
+            smr_limbo_pages: self.limbo_len.load(Ordering::Relaxed),
+            smr_guard_stalls_total: self.smr.guard_stalls(),
             pool: inner.pool.stats(),
         }
-    }
-}
-
-/// Copies `len` bytes from a slot that may be concurrently freed or
-/// rewritten. Volatile reads keep the compiler from assuming the source
-/// is stable (it must neither fuse nor re-read); a torn result is fine
-/// because the caller revalidates the slot's write epoch and discards
-/// the buffer on any mismatch.
-///
-/// # Safety
-///
-/// `src..src+len` must be mapped readable memory (slab slots satisfy
-/// this: arenas stay mapped for the pool's lifetime) and `dst` must be
-/// valid for `len` writes. `src` must be 8-byte aligned (slab slots are
-/// ≥ 64-byte aligned).
-unsafe fn optimistic_copy(src: *const u8, dst: *mut u8, len: usize) {
-    let mut i = 0;
-    while i + 8 <= len {
-        // SAFETY: in-bounds per the function contract; alignment per
-        // the function contract.
-        let word = unsafe { src.add(i).cast::<u64>().read_volatile() };
-        // SAFETY: `dst` valid for `len` writes; offset keeps alignment.
-        unsafe { dst.add(i).cast::<u64>().write_unaligned(word) };
-        i += 8;
-    }
-    while i < len {
-        // SAFETY: in-bounds per the function contract.
-        let byte = unsafe { src.add(i).read_volatile() };
-        // SAFETY: `dst` valid for `len` writes.
-        unsafe { dst.add(i).write(byte) };
-        i += 1;
     }
 }
 

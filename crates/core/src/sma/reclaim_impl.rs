@@ -47,6 +47,27 @@
 //! targeted harvest leaves on *other* shards are swept up by a single
 //! global pass after the SDS loop, so the demand is satisfied exactly
 //! as before.
+//!
+//! # Deferred harvest (SMR limbo)
+//!
+//! Zero-copy guarded reads ([`crate::smr`]) mean some freed slots are
+//! parked in limbo: their handles are revoked but their bytes may
+//! still be observed by an active read guard, so their pages cannot be
+//! recycled yet. Reclamation cooperates instead of stalling:
+//!
+//! * every pass starts by flushing cleared limbo (slots whose
+//!   retirement epoch every reader has advanced past) so those pages
+//!   count as ordinary idle pages;
+//! * tier 3 visits limbo-heavy SDSs *last* (sort key
+//!   `(priority, limbo pages, id)`) — squeezing an SDS whose freed
+//!   pages are guard-pinned yields nothing until the guards drop;
+//! * when the targeted harvest comes up short, pages that are all
+//!   limbo (zero live slots) are *detached* from the SDS heap onto the
+//!   SMA's limbo list. They are not counted as yielded — the machine
+//!   does not have them back yet — but the next free or reclamation
+//!   after the guards drop returns them to the depot/OS without
+//!   touching the SDS again. Each such deferral is recorded as a
+//!   `smr_guard_stall`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -170,14 +191,21 @@ impl Sma {
             inner.budget_pages -= report.from_slack;
             remaining -= report.from_slack;
         }
+        // Flush limbo whose guards have all dropped *before* tier 2:
+        // cleared limbo pages land in the depot and are released as
+        // ordinary idle pages instead of lingering.
+        self.flush_limbo_pages();
         // ---- Tier 2: idle pages (depot → magazines → heaps). ----
         if remaining > 0 {
             report.from_idle = self.release_idle_pages(remaining);
             remaining -= report.from_idle;
         }
-        // Snapshot the visiting order: ascending priority, ties broken
-        // by registration order for determinism. Shard locks are taken
-        // one at a time, briefly.
+        // Snapshot the visiting order: ascending priority, then
+        // ascending limbo-page count (an SDS whose freed pages are
+        // pinned by read guards yields nothing until they drop, so
+        // limbo-heavy SDSs go last), ties broken by registration order
+        // for determinism. Shard locks are taken one at a time,
+        // briefly.
         let order: Vec<(Arc<SdsShard>, String, Arc<dyn super::SdsReclaimer>)> = {
             let mut sorted = Vec::new();
             for shard in self.shards() {
@@ -186,15 +214,20 @@ impl Sma {
                     continue;
                 }
                 if let Some(reclaimer) = st.reclaimer.as_ref() {
-                    let entry = (st.priority, st.name.clone(), Arc::clone(reclaimer));
+                    let entry = (
+                        st.priority,
+                        st.heap.limbo_page_count(),
+                        st.name.clone(),
+                        Arc::clone(reclaimer),
+                    );
                     drop(st);
-                    sorted.push((entry.0, shard.id, entry.1, entry.2, shard));
+                    sorted.push((entry.0, entry.1, shard.id, entry.2, entry.3, shard));
                 }
             }
-            sorted.sort_by_key(|e| (e.0, e.1));
+            sorted.sort_by_key(|e| (e.0, e.1, e.2));
             sorted
                 .into_iter()
-                .map(|(_, _, name, reclaimer, shard)| (shard, name, reclaimer))
+                .map(|(_, _, _, name, reclaimer, shard)| (shard, name, reclaimer))
                 .collect()
         };
         // ---- Tier 3 (unlocked): ask SDSs to free live allocations. ----
@@ -320,7 +353,17 @@ impl Sma {
     /// magazine (steal-back), the global depot, and its heap's
     /// wholly-free pages, in that order. Deliberately never scans other
     /// shards — those critical sections sit on other SDSs' fast paths.
+    ///
+    /// If still short, runs the deferred-harvest stage: all-limbo
+    /// pages are detached from the heap and parked on the SMA limbo
+    /// list. Those do **not** appear in the returned frames (they are
+    /// not recyclable until every pinning guard drops) — the caller
+    /// must not count them as yielded.
     fn collect_target_frames(&self, st: &mut SdsState, want: usize) -> Vec<PageFrame> {
+        if st.heap.limbo_slots() > 0 {
+            let smr = &self.smr;
+            st.heap.flush_limbo(&|e| smr.safe_to_reclaim(e));
+        }
         let mut frames = self.steal_magazine(st, want);
         while frames.len() < want {
             match self.depot_pop() {
@@ -333,6 +376,13 @@ impl Sma {
             let take = surplus.min(want - frames.len());
             if take > 0 {
                 frames.extend(st.heap.harvest_free_pages(surplus - take));
+            }
+        }
+        if frames.len() < want {
+            let parked = st.heap.harvest_limbo_pages(want - frames.len());
+            if !parked.is_empty() {
+                self.note_guard_stall();
+                self.park_limbo_pages(parked);
             }
         }
         frames
@@ -362,6 +412,10 @@ impl Sma {
                 let mut st = shard.state.lock();
                 if st.dead {
                     continue;
+                }
+                if st.heap.limbo_slots() > 0 {
+                    let smr = &self.smr;
+                    st.heap.flush_limbo(&|e| smr.safe_to_reclaim(e));
                 }
                 frames.extend(self.steal_magazine(&mut st, want - frames.len()));
                 if frames.len() < want {

@@ -729,9 +729,10 @@ fn destroy_sds_recycles_magazine_into_depot() {
 
 #[test]
 fn concurrent_readers_never_observe_torn_writes() {
-    // The epoch-validation guarantee: an optimistic byte read that
-    // races a writer either retries (epoch moved) or returns a
-    // consistent snapshot — never a torn buffer.
+    // The writer-grace guarantee: a zero-copy guarded read that races
+    // an in-place writer always observes a fully-written buffer — the
+    // writer waits out every guard pinned before its epoch bump, so a
+    // torn mix of old and new bytes is impossible.
     let sma = sma_with_budget(16);
     let sds = sma.register_sds("t", Priority::default());
     let handle = sma.alloc_bytes(sds, 256).unwrap();
@@ -781,12 +782,23 @@ fn exclusive_read_racing_free_reports_reclaimed_exactly_once() {
     // The generation check behind `with_value_exclusive`: a slot freed
     // *while* the unlocked closure runs is reported as `Reclaimed`
     // (exactly once — the free itself succeeds normally), and the
-    // closure never faults: the arena page stays mapped.
+    // closure never faults or observes a destructed value: the read
+    // guard pinned before the lock was released parks the racing free
+    // (or the whole destroyed heap) in limbo until the closure is
+    // done.
     use std::sync::atomic::AtomicBool;
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Probe(u64);
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
     for destroy_instead_of_free in [false, true] {
+        DROPS.store(0, Ordering::SeqCst);
         let sma = sma_with_budget(16);
         let sds = sma.register_sds("t", Priority::default());
-        let slot = sma.alloc_value(sds, 0xDEAD_BEEF_u64).unwrap();
+        let slot = sma.alloc_value(sds, Probe(0xDEAD_BEEF)).unwrap();
         let raw = slot.raw();
         let entered = Arc::new(AtomicBool::new(false));
         let release = Arc::new(AtomicBool::new(false));
@@ -796,16 +808,16 @@ fn exclusive_read_racing_free_reports_reclaimed_exactly_once() {
             let entered = Arc::clone(&entered);
             let release = Arc::clone(&release);
             std::thread::spawn(move || {
-                // SAFETY: the payload is a `Copy` integer and the racing
-                // operation is a *free*, not a write — exactly the
-                // "frees are tolerated" case of the contract.
+                // SAFETY: the racing operation is a *free*, not a
+                // write — exactly the "frees are tolerated" case of
+                // the contract.
                 unsafe {
                     sma.with_value_exclusive(&slot, |v| {
                         entered.store(true, Ordering::SeqCst);
                         while !release.load(Ordering::SeqCst) {
                             std::thread::yield_now();
                         }
-                        *v
+                        v.0
                     })
                 }
             })
@@ -817,9 +829,16 @@ fn exclusive_read_racing_free_reports_reclaimed_exactly_once() {
         if destroy_instead_of_free {
             sma.destroy_sds(sds).unwrap();
         } else {
-            let doomed = unsafe { SoftSlot::<u64>::from_raw(raw) };
+            let doomed = unsafe { SoftSlot::<Probe>::from_raw(raw) };
             sma.free_value(doomed).unwrap();
         }
+        // The guard defers the destructor: the revoking call returned,
+        // but the value the closure is reading must still be intact.
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            0,
+            "destructor ran under an in-flight reader (destroy={destroy_instead_of_free})"
+        );
         release.store(true, Ordering::SeqCst);
         let result = reader.join().unwrap();
         assert_eq!(
@@ -830,12 +849,26 @@ fn exclusive_read_racing_free_reports_reclaimed_exactly_once() {
         // Exactly once: a fresh access through the same coordinates is
         // the ordinary stale-handle error, not `Reclaimed` again.
         if !destroy_instead_of_free {
-            let stale = unsafe { SoftSlot::<u64>::from_raw(raw) };
+            let stale = unsafe { SoftSlot::<Probe>::from_raw(raw) };
             assert_eq!(
-                sma.with_value(&stale, |v| *v).unwrap_err(),
+                sma.with_value(&stale, |v| v.0).unwrap_err(),
                 SoftError::Revoked
             );
         }
+        // Guard dropped; the next flush runs the deferred destructor
+        // exactly once. `reclaim(0)` flushes the parked heap of the
+        // destroy arm; an alloc+free cycle on the same SDS flushes the
+        // free arm's slot limbo.
+        let _ = sma.reclaim(0);
+        if !destroy_instead_of_free {
+            let dummy = sma.alloc_value(sds, 0u8).unwrap();
+            sma.free_value(dummy).unwrap();
+        }
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            1,
+            "deferred destructor must run exactly once (destroy={destroy_instead_of_free})"
+        );
     }
 }
 
@@ -907,4 +940,280 @@ fn paper_workload_shape_977k_allocs() {
         sma.free_value(slot).unwrap();
     }
     assert_eq!(sma.stats().live_allocs, 0);
+}
+
+// ---------------------------------------------------------------------
+// SMR generation safety: guarded zero-copy reads vs frees and reclaim
+// ---------------------------------------------------------------------
+
+#[test]
+fn guarded_read_never_observes_later_generation_bytes() {
+    // The core generation-safety property: a reader that resolved a
+    // slot keeps seeing *that generation's* bytes even if the slot is
+    // freed and new allocations land while the closure runs — the
+    // limbo'd slot cannot be recycled under the guard.
+    use std::sync::atomic::AtomicBool;
+    let sma = sma_with_budget(16);
+    let sds = sma.register_sds("t", Priority::default());
+    let handle = sma.alloc_bytes(sds, 256).unwrap();
+    sma.with_bytes_mut(&handle, |b| b.fill(0xAB)).unwrap();
+    let entered = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let sma = Arc::clone(&sma);
+        let entered = Arc::clone(&entered);
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            sma.with_bytes(&handle, |b| {
+                entered.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                // Read *after* the free and the follow-up writes: the
+                // borrow must still show generation-1 bytes.
+                b.iter().filter(|&&x| x == 0xAB).count()
+            })
+        })
+    };
+    while !entered.load(Ordering::SeqCst) {
+        std::thread::yield_now();
+    }
+    // Free the handle under the in-flight reader (defers to limbo),
+    // then allocate new memory filled with a different pattern. The
+    // fills go through `alloc_value` (a fresh slot cannot be guarded,
+    // so allocation never grace-waits); an in-place `with_bytes_mut`
+    // here would rightly stall behind the parked reader.
+    sma.free_bytes(handle).unwrap();
+    for _ in 0..8 {
+        let _fresh = sma.alloc_value(sds, [0xCDu8; 256]).unwrap();
+    }
+    release.store(true, Ordering::SeqCst);
+    let intact = reader.join().unwrap().unwrap();
+    assert_eq!(
+        intact, 256,
+        "guarded reader saw bytes from a later generation"
+    );
+}
+
+#[test]
+fn stalled_reader_parks_page_in_limbo_until_guard_drop() {
+    // Deterministic single-threaded stalled-reader scenario (also the
+    // Miri-clean variant of the campaign): a pinned guard forces a
+    // full reclamation pass to park the freed page in limbo rather
+    // than harvest it, and the page is freed exactly once after the
+    // guard drops.
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct PageProbe(#[allow(dead_code)] [u8; 4096]);
+    impl Drop for PageProbe {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    DROPS.store(0, Ordering::SeqCst);
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(16)
+            .free_pool_retain(8)
+            .sds_retain(0),
+    );
+    let sds = sma.register_sds("t", Priority::default());
+    // A no-op reclaimer so tier 3 (and with it the deferred-harvest
+    // stage) runs at all.
+    sma.set_reclaimer(sds, Arc::new(|_: usize| 0usize)).unwrap();
+    let slot = sma.alloc_value(sds, PageProbe([7u8; 4096])).unwrap();
+    assert_eq!(sma.stats().held_pages, 1);
+
+    let guard = sma.pin();
+    sma.free_value(slot).unwrap();
+    // Deferred: handle revoked, destructor and page intact.
+    assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+    assert_eq!(sma.stats().live_allocs, 0);
+    assert_eq!(sma.stats().held_pages, 1);
+    assert_eq!(sma.limbo_pages(), 0, "page-level limbo only after harvest");
+
+    // Demand everything: slack covers 15, the 16th page is the limbo'd
+    // one — reclamation must park it, not harvest it.
+    let report = sma.reclaim(16);
+    assert_eq!(report.from_slack, 15);
+    assert!(!report.satisfied());
+    assert_eq!(
+        report.shortfall(),
+        1,
+        "limbo page must not count as yielded"
+    );
+    assert_eq!(sma.limbo_pages(), 1);
+    let s = sma.stats();
+    assert_eq!(s.smr_limbo_pages, 1);
+    assert!(s.smr_guard_stalls_total >= 1, "deferral must be recorded");
+    assert_eq!(s.held_pages, 1, "limbo page is still held by the process");
+    assert_eq!(DROPS.load(Ordering::SeqCst), 0, "destructor still deferred");
+
+    drop(guard);
+    // Nothing is freed eagerly on guard drop; the next pass flushes.
+    assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+    let report2 = sma.reclaim(1);
+    assert_eq!(DROPS.load(Ordering::SeqCst), 1, "freed exactly once");
+    assert!(report2.satisfied());
+    assert_eq!(sma.limbo_pages(), 0);
+    let s = sma.stats();
+    assert_eq!(s.smr_limbo_pages, 0);
+    assert_eq!(
+        s.held_pages, 0,
+        "page conservation: limbo drained to the OS"
+    );
+}
+
+#[test]
+fn limbo_pages_are_conserved_across_guarded_reclaim() {
+    // Conservation across the whole lifecycle: live + limbo + free
+    // pages always sum to what the process holds — parking pages in
+    // limbo neither leaks nor double-frees them.
+    let sma = Sma::with_config(
+        crate::SmaConfig::for_testing(8)
+            .free_pool_retain(8)
+            .sds_retain(0),
+    );
+    let sds = sma.register_sds("t", Priority::default());
+    sma.set_reclaimer(sds, Arc::new(|_: usize| 0usize)).unwrap();
+    let slots: Vec<_> = (0..3)
+        .map(|_| sma.alloc_value(sds, [1u8; 4096]).unwrap())
+        .collect();
+    assert_eq!(sma.stats().held_pages, 3);
+
+    let guard = sma.pin();
+    for slot in slots {
+        sma.free_value(slot).unwrap();
+    }
+    // All three pages are slot-limbo inside the heap: still held.
+    assert_eq!(sma.stats().held_pages, 3);
+
+    let report = sma.reclaim(8);
+    // Slack (8 - 3 = 5) yields; the three limbo pages park instead.
+    assert_eq!(report.from_slack, 5);
+    assert_eq!(report.shortfall(), 3);
+    assert_eq!(sma.limbo_pages(), 3);
+    assert_eq!(
+        sma.stats().held_pages,
+        3,
+        "conservation: limbo pages stay in held_pages"
+    );
+
+    drop(guard);
+    let report2 = sma.reclaim(3);
+    assert!(report2.satisfied());
+    let s = sma.stats();
+    assert_eq!(sma.limbo_pages(), 0);
+    assert_eq!(s.held_pages, 0);
+    assert_eq!(s.free_pool_pages, 0);
+    assert_eq!(
+        s.pages_reclaimed_total, 8,
+        "every machine page yielded exactly once"
+    );
+}
+
+#[test]
+fn writer_grace_waits_for_cross_thread_guard() {
+    // An in-place writer must not mutate bytes while another thread's
+    // guard (pinned before the write) can still observe them.
+    use std::sync::atomic::AtomicBool;
+    let sma = sma_with_budget(16);
+    let sds = sma.register_sds("t", Priority::default());
+    let read_handle = sma.alloc_bytes(sds, 128).unwrap();
+    let write_handle = sma.alloc_bytes(sds, 128).unwrap();
+    let entered = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let wrote = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let sma = Arc::clone(&sma);
+        let entered = Arc::clone(&entered);
+        let release = Arc::clone(&release);
+        std::thread::spawn(move || {
+            sma.with_bytes(&read_handle, |_| {
+                entered.store(true, Ordering::SeqCst);
+                while !release.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        })
+    };
+    while !entered.load(Ordering::SeqCst) {
+        std::thread::yield_now();
+    }
+    let writer = {
+        let sma = Arc::clone(&sma);
+        let wrote = Arc::clone(&wrote);
+        std::thread::spawn(move || {
+            sma.with_bytes_mut(&write_handle, |b| b.fill(9)).unwrap();
+            wrote.store(true, Ordering::SeqCst);
+        })
+    };
+    // The writer must be stalled behind the reader's guard. (One-sided
+    // check: a scheduling hiccup can only make this pass vacuously,
+    // never fail spuriously.)
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        !wrote.load(Ordering::SeqCst),
+        "writer mutated bytes while a prior guard was pinned"
+    );
+    release.store(true, Ordering::SeqCst);
+    reader.join().unwrap();
+    writer.join().unwrap();
+    assert!(wrote.load(Ordering::SeqCst));
+    assert!(
+        sma.stats().smr_guard_stalls_total >= 1,
+        "the grace wait must be recorded as a stall"
+    );
+}
+
+#[test]
+fn destroy_sds_under_guard_defers_heap_teardown() {
+    // Non-blocking destroy: with a guard pinned, `destroy_sds` parks
+    // the whole heap in limbo (destructors deferred) and returns
+    // immediately; the flush after the guard drops tears it down.
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Probe(#[allow(dead_code)] u64);
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    DROPS.store(0, Ordering::SeqCst);
+    let sma = sma_with_budget(16);
+    let sds = sma.register_sds("t", Priority::default());
+    for i in 0..4 {
+        let _ = sma.alloc_value(sds, Probe(i)).unwrap();
+    }
+    let guard = sma.pin();
+    sma.destroy_sds(sds).unwrap();
+    assert_eq!(DROPS.load(Ordering::SeqCst), 0, "teardown must defer");
+    assert!(sma.limbo_pages() >= 1);
+    assert!(sma.stats().smr_guard_stalls_total >= 1);
+    drop(guard);
+    let _ = sma.reclaim(0); // flush trigger
+    assert_eq!(DROPS.load(Ordering::SeqCst), 4, "all destructors ran once");
+    assert_eq!(sma.limbo_pages(), 0);
+}
+
+#[test]
+fn guard_free_fast_path_is_unchanged_without_readers() {
+    // With no guard pinned, frees are immediate — byte-for-byte the
+    // pre-SMR fast path: no limbo, no stalls, destructor in place.
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Probe(#[allow(dead_code)] u64);
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    DROPS.store(0, Ordering::SeqCst);
+    let sma = sma_with_budget(16);
+    let sds = sma.register_sds("t", Priority::default());
+    let slot = sma.alloc_value(sds, Probe(1)).unwrap();
+    sma.free_value(slot).unwrap();
+    assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    let s = sma.stats();
+    assert_eq!(s.smr_limbo_pages, 0);
+    assert_eq!(s.smr_guard_stalls_total, 0);
+    assert_eq!(sma.smr().current_epoch(), 1, "no retirement without guards");
 }

@@ -1,0 +1,414 @@
+//! Safe memory reclamation (SMR) for guarded zero-copy reads.
+//!
+//! The allocator's read path hands callers a borrowed `&[u8]` that
+//! points straight into a slab page. Nothing in the type system stops
+//! a concurrent free (or reclamation pass) from recycling that page
+//! while the borrow is alive, so the allocator needs a runtime grace
+//! protocol. This module provides the epoch-based variant described by
+//! DEBRA and Hyaline, specialised to the SMA's needs:
+//!
+//! - a per-[`crate::Sma`] [`SmrRegistry`] holding a global epoch
+//!   counter and a fixed table of reader slots;
+//! - [`ReadGuard`]s that *pin* the current epoch in a reader slot for
+//!   the duration of a borrow;
+//! - retirement: a writer that invalidates memory calls
+//!   [`SmrRegistry::retire`], which advances the global epoch and
+//!   returns the epoch `E` the memory was retired at. The memory may
+//!   be recycled once [`SmrRegistry::safe_to_reclaim`]`(E)` — i.e.
+//!   every pinned reader entered at an epoch strictly greater than
+//!   `E`, so none of them can have resolved the retired slot.
+//!
+//! ## Why this is sound
+//!
+//! Readers pin **while holding the shard lock** that serialises every
+//! free of the slots they are about to resolve; frees and their
+//! retirement `fetch_add` happen under the same lock. A reader that
+//! successfully resolved a slot therefore published its pin before
+//! the freeing thread could acquire the lock, so the pinned epoch is
+//! `<=` the retirement epoch `E` (epochs are monotonic). Waiting for
+//! `min_pinned() > E` covers every reader that could possibly observe
+//! the retired bytes. Readers that lock *after* the free fail to
+//! resolve instead (the slot's generation is already zeroed, yielding
+//! `Revoked`).
+//!
+//! Pinning inside the lock (rather than before it) also makes the
+//! writer-side grace wait deadlock-free: a reader blocked on the
+//! shard lock holds no pin yet, so a writer spinning on
+//! [`SmrRegistry::synchronize`] while holding that lock can never be
+//! waiting for a reader that is in turn waiting for the writer.
+//!
+//! ## Fast paths
+//!
+//! `active_guards` counts live guards; when it is zero at retire time
+//! the writer can skip the grace machinery entirely — a reader that
+//! has not pinned yet is still queued on the shard lock and will
+//! observe the zeroed generation. This keeps the no-reader free path
+//! as cheap as it was before the SMR layer existed.
+//!
+//! Pinning itself is one CAS to claim a slot plus a store/validate
+//! pair, all on a cache line owned by the pinning thread.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of reader slots. Pins beyond this many *concurrent* guards
+/// on one SMA spin for a slot; 128 comfortably covers every
+/// deployment we model, because guards are scoped to a read closure
+/// and never cross a park or an await.
+const READER_SLOTS: usize = 128;
+
+/// Slot epoch value meaning "no reader pinned here".
+const IDLE: u64 = 0;
+
+/// Placeholder stored by the claim CAS before the real epoch lands.
+/// Treated as "pinned at infinity": it can never hold back a retire.
+const CLAIMED: u64 = u64::MAX;
+
+#[repr(align(64))]
+struct ReaderSlot {
+    /// Epoch the owning reader pinned at; [`IDLE`] when unclaimed.
+    epoch: AtomicU64,
+    /// Token of the thread holding the slot (0 = none). Lets
+    /// writer-side grace waits skip the current thread's own guards.
+    owner: AtomicU64,
+}
+
+/// The per-SMA pinned-epoch registry.
+pub struct SmrRegistry {
+    /// Monotonic global epoch. Starts at 1 so [`IDLE`] (0) can never
+    /// collide with a real pinned epoch.
+    global_epoch: AtomicU64,
+    slots: Box<[ReaderSlot]>,
+    /// Live [`ReadGuard`] count — the no-readers fast path.
+    active_guards: AtomicUsize,
+    /// Times a writer or the reclaimer was held up (waited, or parked
+    /// work on a limbo list) by an active guard. Ground truth for the
+    /// `smr_guard_stalls_total` telemetry mirror; bumped via
+    /// [`SmrRegistry::note_stall`] by the SMA at the same sites that
+    /// increment the telemetry counter.
+    guard_stalls: AtomicU64,
+}
+
+impl Default for SmrRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Stable nonzero token for the current thread.
+fn thread_token() -> u64 {
+    use std::cell::Cell;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: Cell<u64> = const { Cell::new(0) };
+    }
+    TOKEN.with(|t| {
+        let mut v = t.get();
+        if v == 0 {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+        }
+        v
+    })
+}
+
+impl SmrRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        let slots = (0..READER_SLOTS)
+            .map(|_| ReaderSlot {
+                epoch: AtomicU64::new(IDLE),
+                owner: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SmrRegistry {
+            global_epoch: AtomicU64::new(1),
+            slots,
+            active_guards: AtomicUsize::new(0),
+            guard_stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the current epoch, returning a guard that unpins on drop.
+    ///
+    /// While the guard is alive, no slot retired at an epoch `>=` the
+    /// pinned epoch will be recycled, so borrows resolved under it
+    /// stay valid. Callers inside the allocator pin while holding the
+    /// shard lock (see the module docs for why that ordering is the
+    /// load-bearing one).
+    pub fn pin(self: &Arc<Self>) -> ReadGuard {
+        self.active_guards.fetch_add(1, Ordering::SeqCst);
+        let token = thread_token();
+        // Claim a slot. Start the scan at a thread-derived offset so
+        // unrelated threads don't all contend on slot 0.
+        let start = (token as usize) % READER_SLOTS;
+        let idx = 'claim: loop {
+            for i in 0..READER_SLOTS {
+                let idx = (start + i) % READER_SLOTS;
+                let slot = &self.slots[idx];
+                if slot.epoch.load(Ordering::Relaxed) == IDLE
+                    && slot
+                        .epoch
+                        .compare_exchange(IDLE, CLAIMED, Ordering::SeqCst, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    break 'claim idx;
+                }
+            }
+            std::hint::spin_loop();
+        };
+        let slot = &self.slots[idx];
+        slot.owner.store(token, Ordering::SeqCst);
+        // Store-then-validate: if the global epoch moved between the
+        // load and the store, re-publish so retiring writers on other
+        // shards never miss this pin.
+        loop {
+            let e = self.global_epoch.load(Ordering::SeqCst);
+            slot.epoch.store(e, Ordering::SeqCst);
+            if self.global_epoch.load(Ordering::SeqCst) == e {
+                break;
+            }
+        }
+        ReadGuard {
+            registry: Arc::clone(self),
+            slot: idx,
+        }
+    }
+
+    /// Retires memory invalidated *before* this call (under the same
+    /// shard lock its readers resolve under): advances the global
+    /// epoch and returns the retirement epoch `E`. The memory may be
+    /// recycled once [`Self::safe_to_reclaim`]`(E)`.
+    pub fn retire(&self) -> u64 {
+        self.global_epoch.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// The current global epoch (diagnostics / tests).
+    pub fn current_epoch(&self) -> u64 {
+        self.global_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Number of live guards right now.
+    pub fn active_guards(&self) -> usize {
+        self.active_guards.load(Ordering::SeqCst)
+    }
+
+    /// Cumulative guard-stall count (ground truth for telemetry).
+    pub fn guard_stalls(&self) -> u64 {
+        self.guard_stalls.load(Ordering::SeqCst)
+    }
+
+    /// Records that a writer or reclaimer was held up by a guard. The
+    /// SMA calls this alongside the matching telemetry increment so
+    /// the mirror certifies.
+    pub fn note_stall(&self) {
+        self.guard_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Minimum epoch pinned by any reader, or `u64::MAX` when no
+    /// reader is pinned. `exclude_current_thread` skips slots owned by
+    /// the calling thread — used by writer-side grace waits so a read
+    /// closure that writes *another* handle cannot deadlock on its own
+    /// guard (mutating the handle you are reading remains a contract
+    /// violation; see `Sma::with_bytes`).
+    pub fn min_pinned(&self, exclude_current_thread: bool) -> u64 {
+        let me = if exclude_current_thread {
+            thread_token()
+        } else {
+            0
+        };
+        let mut min = u64::MAX;
+        for slot in self.slots.iter() {
+            let e = slot.epoch.load(Ordering::SeqCst);
+            if e == IDLE {
+                continue;
+            }
+            if me != 0 && slot.owner.load(Ordering::SeqCst) == me {
+                continue;
+            }
+            min = min.min(e);
+        }
+        min
+    }
+
+    /// Whether memory retired at epoch `retire_epoch` can be recycled:
+    /// no reader at all is pinned, or every pinned reader entered
+    /// after the retirement. This is the predicate limbo flushes use,
+    /// so it does **not** exclude the calling thread's own guards —
+    /// a flush must never free bytes its own thread is still reading.
+    pub fn safe_to_reclaim(&self, retire_epoch: u64) -> bool {
+        if self.active_guards.load(Ordering::SeqCst) == 0 {
+            return true;
+        }
+        self.min_pinned(false) > retire_epoch
+    }
+
+    /// Like [`Self::safe_to_reclaim`] but ignoring guards held by the
+    /// calling thread — the predicate writer grace waits spin on.
+    pub fn safe_excluding_self(&self, retire_epoch: u64) -> bool {
+        if self.active_guards.load(Ordering::SeqCst) == 0 {
+            return true;
+        }
+        self.min_pinned(true) > retire_epoch
+    }
+
+    /// Blocks (spin then yield) until memory retired at `retire_epoch`
+    /// is no longer observable by any *other* thread's guard. Guards
+    /// held by the calling thread are excluded so a writer cannot
+    /// deadlock on its own read closure — see [`Self::min_pinned`].
+    ///
+    /// Does not count stalls; callers that want the stall recorded
+    /// check [`Self::safe_excluding_self`] first and pair
+    /// [`Self::note_stall`] with their telemetry increment.
+    pub fn synchronize(&self, retire_epoch: u64) {
+        let mut spins = 0u32;
+        while !self.safe_excluding_self(retire_epoch) {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// A pinned reader epoch. Keeps every slot retired at or after the
+/// pinned epoch observable until dropped.
+///
+/// Deliberately `!Send`-in-practice: the guard records the pinning
+/// thread's token so writer-side grace waits can exclude their own
+/// thread, and moving a guard across threads would corrupt that
+/// exclusion. Guards are scoped to read closures inside the
+/// allocator, which never cross threads.
+pub struct ReadGuard {
+    registry: Arc<SmrRegistry>,
+    slot: usize,
+}
+
+impl ReadGuard {
+    /// The epoch this guard pinned.
+    pub fn epoch(&self) -> u64 {
+        self.registry.slots[self.slot].epoch.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ReadGuard {
+    fn drop(&mut self) {
+        let slot = &self.registry.slots[self.slot];
+        slot.owner.store(0, Ordering::SeqCst);
+        slot.epoch.store(IDLE, Ordering::SeqCst);
+        self.registry.active_guards.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpinned_registry_is_always_safe() {
+        let r = Arc::new(SmrRegistry::new());
+        let e = r.retire();
+        assert!(r.safe_to_reclaim(e));
+        assert_eq!(r.active_guards(), 0);
+    }
+
+    #[test]
+    fn pinned_guard_blocks_reclaim_until_drop() {
+        let r = Arc::new(SmrRegistry::new());
+        let g = r.pin();
+        assert_eq!(r.active_guards(), 1);
+        let e = r.retire();
+        // The guard pinned at an epoch <= e, so reclaim must wait...
+        assert!(!r.safe_to_reclaim(e));
+        drop(g);
+        // ...and becomes safe the moment the guard drops.
+        assert!(r.safe_to_reclaim(e));
+        assert_eq!(r.active_guards(), 0);
+    }
+
+    #[test]
+    fn guard_pinned_after_retire_does_not_block_it() {
+        let r = Arc::new(SmrRegistry::new());
+        let e = r.retire();
+        let _g = r.pin();
+        // Pinned epoch is strictly greater than the retire epoch: this
+        // reader can never have resolved the retired slot.
+        assert!(r.min_pinned(false) > e);
+        assert!(r.safe_to_reclaim(e));
+    }
+
+    #[test]
+    fn own_guard_blocks_flush_but_not_synchronize() {
+        let r = Arc::new(SmrRegistry::new());
+        let _g = r.pin();
+        let e = r.retire();
+        // A flush on this thread must not free what we are reading...
+        assert!(!r.safe_to_reclaim(e));
+        // ...but a writer grace wait excludes our own guard, so it
+        // returns immediately instead of deadlocking.
+        assert!(r.safe_excluding_self(e) || r.min_pinned(true) == u64::MAX);
+        r.synchronize(e);
+    }
+
+    #[test]
+    fn epochs_are_monotonic_across_retires() {
+        let r = Arc::new(SmrRegistry::new());
+        let mut last = 0;
+        for _ in 0..100 {
+            let e = r.retire();
+            assert!(e > last || last == 0);
+            last = e;
+        }
+        assert_eq!(r.current_epoch(), last + 1);
+    }
+
+    #[test]
+    fn many_guards_on_one_thread_reuse_slots_cleanly() {
+        let r = Arc::new(SmrRegistry::new());
+        for _ in 0..1000 {
+            let g1 = r.pin();
+            let g2 = r.pin();
+            assert_eq!(r.active_guards(), 2);
+            drop(g1);
+            drop(g2);
+        }
+        assert_eq!(r.active_guards(), 0);
+        assert_eq!(r.min_pinned(false), u64::MAX);
+    }
+
+    #[test]
+    fn note_stall_feeds_the_counter() {
+        let r = Arc::new(SmrRegistry::new());
+        assert_eq!(r.guard_stalls(), 0);
+        r.note_stall();
+        r.note_stall();
+        assert_eq!(r.guard_stalls(), 2);
+    }
+
+    #[test]
+    fn cross_thread_guard_blocks_and_releases() {
+        use std::sync::mpsc;
+        let r = Arc::new(SmrRegistry::new());
+        let (pinned_tx, pinned_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let r2 = Arc::clone(&r);
+        let t = std::thread::spawn(move || {
+            let g = r2.pin();
+            pinned_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+            drop(g);
+        });
+        pinned_rx.recv().unwrap();
+        let e = r.retire();
+        // Another thread's guard is *not* excluded.
+        assert!(!r.safe_to_reclaim(e));
+        assert!(!r.safe_excluding_self(e));
+        release_tx.send(()).unwrap();
+        r.synchronize(e);
+        assert!(r.safe_to_reclaim(e));
+        t.join().unwrap();
+    }
+}

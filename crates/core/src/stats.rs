@@ -37,6 +37,15 @@ pub struct SmaStats {
     /// Pages stolen back from magazines by reclamation. Survives SDS
     /// destruction, unlike the per-SDS counters.
     pub magazine_steal_backs_total: u64,
+    /// Pages parked on the SMR limbo list: detached from their SDS
+    /// heap but not yet recyclable because a read guard pinned at or
+    /// before their retirement is still active. Counted in
+    /// `held_pages` (the process still holds them) and *not* in
+    /// `free_pool_pages`.
+    pub smr_limbo_pages: usize,
+    /// Times a writer or reclamation pass had to wait out (or defer
+    /// around) an active read guard.
+    pub smr_guard_stalls_total: u64,
     /// Page-pool accounting (OS interface).
     pub pool: PoolStats,
 }

@@ -255,7 +255,12 @@ impl Command {
                 Ok(()) => Response::Ok("OK".into()),
                 Err(e) => Response::Error(format!("OOM {e}")),
             },
-            Command::Get { key } => Response::Bulk(store.get(key)),
+            Command::Get { key } => {
+                // Borrowed-bytes reply: the value lands in the reply
+                // buffer in one copy, straight from the guarded read.
+                let mut buf = Vec::new();
+                Response::Bulk(store.get_into(key, &mut buf).then_some(buf))
+            }
             Command::Del { key } => Response::Int(store.del(key) as i64),
             Command::Exists { key } => Response::Int(store.exists(key) as i64),
             Command::DbSize => Response::Int(store.dbsize() as i64),
@@ -288,10 +293,17 @@ impl Command {
                 Err(e) => Response::Error(format!("OOM {e}")),
             },
             Command::MGet { keys } => Response::Array(
-                store
-                    .mget(keys.iter().map(|k| k.as_slice()))
-                    .into_iter()
-                    .map(|v| v.unwrap_or_else(|| b"(nil)".to_vec()))
+                keys.iter()
+                    .map(|k| {
+                        // Each reply element is filled straight from
+                        // the guarded borrow (no Option layer, no
+                        // intermediate clone).
+                        let mut buf = Vec::new();
+                        if !store.get_into(k, &mut buf) {
+                            buf.extend_from_slice(b"(nil)");
+                        }
+                        buf
+                    })
                     .collect(),
             ),
             Command::Stats => Response::Bulk(Some(render_stats(store).into_bytes())),

@@ -159,6 +159,12 @@ impl ShardedStore {
         self.owner(key).get(key)
     }
 
+    /// Fetches the value under `key` directly into `buf` (appended);
+    /// returns whether it was a hit. See [`Store::get_into`].
+    pub fn get_into(&self, key: &[u8], buf: &mut Vec<u8>) -> bool {
+        self.owner(key).get_into(key, buf)
+    }
+
     /// Deletes `key`; returns whether it existed.
     pub fn del(&self, key: &[u8]) -> bool {
         self.owner(key).del(key)

@@ -277,19 +277,35 @@ impl Store {
     /// Fetches the value under `key`; `None` is a miss (absent or
     /// reclaimed).
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.get_into(key, &mut buf).then_some(buf)
+    }
+
+    /// Fetches the value under `key` directly into `buf` (appended);
+    /// returns whether it was a hit. On a miss `buf` is untouched.
+    ///
+    /// This is the borrowed-bytes read path: the value is copied
+    /// exactly once, from the guarded soft-memory borrow straight into
+    /// the caller's buffer — there is no intermediate owned `Vec`, so
+    /// reply loops can reuse one buffer across requests. `GET`/`MGET`
+    /// rendering routes through here.
+    pub fn get_into(&self, key: &[u8], buf: &mut Vec<u8>) -> bool {
         self.expire_if_due(key);
-        let result = self.table.get_with(&key.to_vec(), |v| v.clone());
-        match &result {
-            Some(_) => {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                self.metrics.hits.add(1);
-            }
-            None => {
-                self.counters.misses.fetch_add(1, Ordering::Relaxed);
-                self.metrics.misses.add(1);
-            }
-        };
-        result
+        let hit = self
+            .table
+            .get_with(&key.to_vec(), |v| {
+                buf.reserve(v.len());
+                buf.extend_from_slice(v);
+            })
+            .is_some();
+        if hit {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.add(1);
+        } else {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.misses.add(1);
+        }
+        hit
     }
 
     /// Deletes `key`; returns whether it existed.
@@ -531,6 +547,25 @@ mod tests {
             assert_eq!(s.metrics().degraded_denies.get(), stats.degraded_denies);
         }
         assert!(sma.budget_pages() <= 8, "no growth happened");
+    }
+
+    #[test]
+    fn get_into_reuses_caller_buffer_and_counts() {
+        let (_sma, s) = store(256);
+        s.set(b"a", b"alpha").unwrap();
+        s.set(b"b", b"beta").unwrap();
+        let mut buf = Vec::new();
+        assert!(s.get_into(b"a", &mut buf));
+        assert_eq!(buf, b"alpha");
+        // A miss leaves the buffer untouched (so reply loops can reuse
+        // it without clearing on the miss path).
+        assert!(!s.get_into(b"missing", &mut buf));
+        assert_eq!(buf, b"alpha");
+        // Appends — one buffer serves a whole MGET-style reply.
+        assert!(s.get_into(b"b", &mut buf));
+        assert_eq!(buf, b"alphabeta");
+        let st = s.stats();
+        assert_eq!((st.hits, st.misses), (2, 1));
     }
 
     #[test]

@@ -5,14 +5,19 @@
 //!
 //! 1. **Machine-page conservation** — the machine model's used pages
 //!    equal the sum of every process's physically held soft pages plus
-//!    all reserved traditional pages.
+//!    all reserved traditional pages. Pages parked on an SMR limbo
+//!    list (freed while a read guard was pinned) stay charged to their
+//!    SMA, so each process's limbo gauge is bounded by its held pages.
 //! 2. **Budget conservation** — for every registered process, the
 //!    daemon's ledger and the process's SMA agree on the budget; total
 //!    assignment never exceeds daemon capacity; no SMA holds more
 //!    pages than its budget.
 //! 3. **Generation safety** — every live handle reads back its fill
 //!    pattern; every revoked/freed handle fails with `Revoked` or
-//!    `InvalidHandle`, never stale data.
+//!    `InvalidHandle`, never stale data. Guarded dwell-reads (a reader
+//!    pinning an SMR guard across concurrent frees and reclamation)
+//!    must observe their snapshot bytes for the whole dwell — never a
+//!    later generation's payload.
 //! 4. **Callback accounting** — queue elements are conserved across
 //!    push/pop/reclaim, and every reclaimed element produced exactly
 //!    one reclaim-callback invocation (even when callbacks panic).
@@ -135,6 +140,27 @@ impl CheckScope<'_> {
                     ms.used_pages, held, ms.traditional_pages
                 ),
             });
+        }
+        // SMR limbo conservation: a limbo'd page is still *held* —
+        // charged to the owning SMA and counted in the machine sum
+        // above — until the deferred flush returns it. The limbo gauge
+        // can therefore never exceed held pages; if it does, a page
+        // was double-parked or returned without leaving the list.
+        for proc in self.procs {
+            let s = proc.sma().stats();
+            if s.smr_limbo_pages > s.held_pages {
+                v.push(Violation {
+                    family: InvariantFamily::MachinePages,
+                    at: at.to_string(),
+                    detail: format!(
+                        "pid {} (`{}`): {} limbo page(s) exceed the {} page(s) the SMA holds",
+                        proc.pid(),
+                        proc.name(),
+                        s.smr_limbo_pages,
+                        s.held_pages
+                    ),
+                });
+            }
         }
         let trad: usize = self.procs.iter().map(|p| p.traditional_pages()).sum();
         if ms.traditional_pages != trad {
@@ -282,6 +308,11 @@ impl CheckScope<'_> {
                     m.magazine_steal_backs_total.get(),
                     s.magazine_steal_backs_total,
                 ),
+                (
+                    "smr_guard_stalls_total",
+                    m.smr_guard_stalls_total.get(),
+                    s.smr_guard_stalls_total,
+                ),
             ];
             for (name, mirror, truth) in counters {
                 if mirror != truth {
@@ -305,6 +336,11 @@ impl CheckScope<'_> {
                     "magazine_pages",
                     m.magazine_pages.get(),
                     s.magazine_pages as i64,
+                ),
+                (
+                    "smr_limbo_pages",
+                    m.smr_limbo_pages.get(),
+                    s.smr_limbo_pages as i64,
                 ),
             ];
             for (name, gauge, truth) in gauges {

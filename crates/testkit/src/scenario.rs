@@ -49,6 +49,10 @@ pub struct OpMix {
     pub remove: u32,
     /// Pool live/stale probe.
     pub probe: u32,
+    /// Pool guarded dwell-read: a reader pins an SMR guard and holds
+    /// it across concurrent frees/reclamation (see
+    /// [`HandlePool::guarded_probe`]).
+    pub guarded: u32,
     /// Queue push.
     pub push: u32,
     /// Queue pop.
@@ -73,6 +77,7 @@ impl Default for OpMix {
             insert: 6,
             remove: 3,
             probe: 3,
+            guarded: 0,
             push: 4,
             pop: 3,
             kv: 0,
@@ -89,6 +94,7 @@ impl OpMix {
         self.insert
             + self.remove
             + self.probe
+            + self.guarded
             + self.push
             + self.pop
             + self.kv
@@ -333,6 +339,14 @@ fn worker_loop(
                     let pick = rng.gen_range(0usize..1 << 16);
                     hash = hash_step(hash, 3, pick as u64);
                     out.gen_anomalies += pool.probe(pick);
+                    continue;
+                }
+                edge += m.guarded;
+                if roll < edge {
+                    let pool = &ctx.pools[rng.gen_range(0..ctx.pools.len())];
+                    let pick = rng.gen_range(0usize..1 << 16);
+                    hash = hash_step(hash, 11, pick as u64);
+                    out.gen_anomalies += pool.guarded_probe(pick);
                     continue;
                 }
                 edge += m.push;

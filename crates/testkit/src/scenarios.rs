@@ -340,6 +340,51 @@ pub fn steal_back_pressure() -> ScenarioSpec {
     s
 }
 
+/// Readers hold pinned SMR guards across forced reclamation while
+/// writers recycle slots: dwelling guarded reads race frees,
+/// budget-squeezed reclamation passes and allocation churn. Freed
+/// pages must park on the limbo list instead of being recycled under a
+/// live guard, and no reader may ever observe later-generation bytes.
+/// Page-scale slots make every free vacate a whole page, so limbo
+/// parking (and its `smr_limbo_pages` mirror) stays hot.
+pub fn guarded_reader_storm() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("guarded_reader_storm");
+    s.procs = 4;
+    s.capacity_pages = 96;
+    s.initial_budget_pages = 4;
+    s.alloc_bytes = (2048, 4096);
+    s.mix = OpMix {
+        insert: 8,
+        remove: 6,
+        probe: 2,
+        guarded: 8,
+        push: 2,
+        pop: 1,
+        slack: 2,
+        ..OpMix::default()
+    };
+    s
+}
+
+/// Guarded dwell-reads racing SDS destroy/re-register churn: a
+/// destroyed SDS's heap must park in limbo while any guard is pinned
+/// (teardown defers, it never blocks the destroyer), stale handles
+/// from before the recycle must stay revoked, and limbo must drain
+/// back to the free pool once the guards are gone.
+pub fn guarded_destroy_churn() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("guarded_destroy_churn");
+    s.pools_per_proc = 2;
+    s.mix = OpMix {
+        insert: 6,
+        remove: 2,
+        probe: 2,
+        guarded: 6,
+        recycle: 2,
+        ..OpMix::default()
+    };
+    s
+}
+
 /// CHAOS: machine pages leak behind the allocators' backs.
 pub fn chaos_leak_machine_pages() -> ScenarioSpec {
     let mut s = ScenarioSpec::baseline("chaos_leak_machine_pages");
@@ -401,6 +446,8 @@ pub fn benign() -> Vec<ScenarioSpec> {
         uneven_shard_pressure(),
         magazine_churn(),
         steal_back_pressure(),
+        guarded_reader_storm(),
+        guarded_destroy_churn(),
     ]
 }
 
