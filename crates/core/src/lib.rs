@@ -24,6 +24,11 @@
 //!   guards pin an epoch so the read path can hand out borrowed
 //!   `&[u8]` slices with zero copies, while frees of observed slots
 //!   defer to a limbo list until every guard has advanced.
+//! * [`tier`] — the second-chance cold tier: a last-chance eviction
+//!   callback can *demote* a value into a compressed DRAM arena (and,
+//!   under deeper pressure, an on-disk spill log) instead of destroying
+//!   it, and promote it back on access — checksummed end to end so
+//!   corruption is a clean miss, never torn data.
 //! * [`sma`] — the allocator proper: an SDS registry, a process-global free
 //!   pool, a soft-memory budget granted by the machine-wide daemon, and the
 //!   two-tier reclamation protocol (the SMA picks SDSs by priority, each
@@ -54,6 +59,7 @@ pub mod page;
 pub mod sma;
 pub mod smr;
 pub mod stats;
+pub mod tier;
 
 pub use budget::{BudgetFault, BudgetSource, BudgetTap, Grant, InterposedBudget};
 pub use config::SmaConfig;
@@ -63,6 +69,7 @@ pub use page::{MachineMemory, PAGE_SIZE};
 pub use sma::{ReclaimReport, SdsReclaimer, SdsStats, Sma, SmaMetrics, MAX_ALLOC_BYTES};
 pub use smr::{ReadGuard, SmrRegistry};
 pub use stats::SmaStats;
+pub use tier::{ColdTier, TierConfig, TierHit, TierStats};
 
 /// Converts a byte count to the number of 4 KiB pages needed to hold it.
 ///

@@ -106,6 +106,10 @@ pub struct SdsStats {
     pub name: String,
     /// Current reclamation priority.
     pub priority: Priority,
+    /// Whether this SDS demotes evictions into a cold tier (see
+    /// [`Sma::set_demotable`]) — reclamation visits it earlier within
+    /// its priority class because squeezing it loses no data.
+    pub demotes: bool,
     /// Heap accounting.
     pub heap: HeapStats,
     /// Wholly-free pages parked in this SDS's magazine.
@@ -146,6 +150,12 @@ impl SdsGauges {
 pub(crate) struct SdsState {
     pub(crate) name: String,
     pub(crate) priority: Priority,
+    /// True when this SDS's reclaimer demotes evicted values into a
+    /// cold tier instead of destroying them. Evicting from such an SDS
+    /// is near-zero-disturbance (the data survives, compressed), so
+    /// tier-3 reclamation prefers it over non-demoting peers of the
+    /// same priority.
+    pub(crate) demotes: bool,
     pub(crate) heap: SdsHeap,
     /// This SDS's magazine: wholly-free frames kept for lock-free
     /// (global-lock-free) re-allocation. Capacity is
@@ -424,6 +434,7 @@ impl Sma {
             state: Mutex::new(SdsState {
                 name: name.into(),
                 priority,
+                demotes: false,
                 heap: SdsHeap::new(id),
                 magazine: Vec::with_capacity(self.cfg.sds_retain_pages),
                 reclaimer: None,
@@ -463,6 +474,22 @@ impl Sma {
             return Err(SoftError::UnknownSds(id));
         }
         st.priority = priority;
+        Ok(())
+    }
+
+    /// Marks an SDS as *demoting*: its reclaim callback moves evicted
+    /// values into a cold tier instead of destroying them, so evicting
+    /// from it is near-zero-disturbance. Tier-3 reclamation visits
+    /// demoting SDSs before non-demoting peers of the same priority
+    /// (priority itself still dominates — the paper's contract that
+    /// low-priority SDSs are squeezed first is unchanged).
+    pub fn set_demotable(&self, id: SdsId, demotes: bool) -> SoftResult<()> {
+        let shard = self.shard(id)?;
+        let mut st = shard.state.lock();
+        if st.dead {
+            return Err(SoftError::UnknownSds(id));
+        }
+        st.demotes = demotes;
         Ok(())
     }
 
@@ -554,6 +581,7 @@ impl Sma {
             id: shard.id,
             name: st.name.clone(),
             priority: st.priority,
+            demotes: st.demotes,
             heap: st.heap.stats(),
             magazine_pages: st.magazine.len(),
             magazine_refills: st.magazine_refills,

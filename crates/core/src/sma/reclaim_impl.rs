@@ -59,8 +59,12 @@
 //!   retirement epoch every reader has advanced past) so those pages
 //!   count as ordinary idle pages;
 //! * tier 3 visits limbo-heavy SDSs *last* (sort key
-//!   `(priority, limbo pages, id)`) — squeezing an SDS whose freed
-//!   pages are guard-pinned yields nothing until the guards drop;
+//!   `(priority, demote rank, limbo pages, id)`) — squeezing an SDS
+//!   whose freed pages are guard-pinned yields nothing until the
+//!   guards drop, while a *demoting* SDS (cold-tier eviction, see
+//!   [`crate::tier`] and [`Sma::set_demotable`]) sorts ahead of
+//!   non-demoting peers of the same priority because squeezing it
+//!   destroys no data;
 //! * when the targeted harvest comes up short, pages that are all
 //!   limbo (zero live slots) are *detached* from the SDS heap onto the
 //!   SMA's limbo list. They are not counted as yielded — the machine
@@ -200,12 +204,15 @@ impl Sma {
             report.from_idle = self.release_idle_pages(remaining);
             remaining -= report.from_idle;
         }
-        // Snapshot the visiting order: ascending priority, then
-        // ascending limbo-page count (an SDS whose freed pages are
-        // pinned by read guards yields nothing until they drop, so
-        // limbo-heavy SDSs go last), ties broken by registration order
-        // for determinism. Shard locks are taken one at a time,
-        // briefly.
+        // Snapshot the visiting order: ascending priority first (the
+        // paper's contract), then *demoting* SDSs before non-demoting
+        // peers — an SDS whose eviction callback moves values into a
+        // cold tier loses no data when squeezed, so it is a
+        // near-zero-disturbance target — then ascending limbo-page
+        // count (an SDS whose freed pages are pinned by read guards
+        // yields nothing until they drop, so limbo-heavy SDSs go
+        // last), ties broken by registration order for determinism.
+        // Shard locks are taken one at a time, briefly.
         let order: Vec<(Arc<SdsShard>, String, Arc<dyn super::SdsReclaimer>)> = {
             let mut sorted = Vec::new();
             for shard in self.shards() {
@@ -214,20 +221,22 @@ impl Sma {
                     continue;
                 }
                 if let Some(reclaimer) = st.reclaimer.as_ref() {
+                    let demote_rank = if st.demotes { 0u8 } else { 1u8 };
                     let entry = (
                         st.priority,
+                        demote_rank,
                         st.heap.limbo_page_count(),
                         st.name.clone(),
                         Arc::clone(reclaimer),
                     );
                     drop(st);
-                    sorted.push((entry.0, entry.1, shard.id, entry.2, entry.3, shard));
+                    sorted.push((entry.0, entry.1, entry.2, shard.id, entry.3, entry.4, shard));
                 }
             }
-            sorted.sort_by_key(|e| (e.0, e.1, e.2));
+            sorted.sort_by_key(|e| (e.0, e.1, e.2, e.3));
             sorted
                 .into_iter()
-                .map(|(_, _, _, name, reclaimer, shard)| (shard, name, reclaimer))
+                .map(|(_, _, _, _, name, reclaimer, shard)| (shard, name, reclaimer))
                 .collect()
         };
         // ---- Tier 3 (unlocked): ask SDSs to free live allocations. ----

@@ -1,0 +1,434 @@
+//! The dense in-DRAM cold arena: append-only segments of compressed
+//! value bytes plus an in-memory index.
+//!
+//! The arena is deliberately *not* soft memory — it is the landing pad
+//! for values the SMA just evicted, so charging it to the same budget
+//! would make demotion self-defeating. Instead it has its own hard
+//! occupancy cap: when appending a record would exceed
+//! [`super::TierConfig::arena_cap_bytes`], whole *oldest segments* are
+//! surrendered (their live entries handed back to the caller, which
+//! spills them to disk or drops them). Eviction at segment granularity
+//! keeps the arena dense without per-entry bookkeeping on the hot path.
+//!
+//! Only the value bytes live in segment buffers; keys and record
+//! metadata (offset, lengths, encoding, checksum) live in the index.
+//! Chaos byte-flips therefore land on stored values, exactly the bytes
+//! the checksum protects.
+
+use std::collections::{HashMap, VecDeque};
+
+use super::codec::Encoding;
+
+/// Where one cold entry's bytes live inside the arena.
+#[derive(Debug, Clone)]
+pub(crate) struct ArenaEntry {
+    /// Owning segment's id (monotonic; segments never renumber).
+    seg: u64,
+    /// Byte offset of the stored value within the segment buffer.
+    off: usize,
+    /// Stored (possibly compressed) length.
+    pub(crate) stored_len: usize,
+    /// Raw value length before compression.
+    pub(crate) raw_len: usize,
+    pub(crate) encoding: Encoding,
+    /// FNV-1a over the raw value (see [`super::codec::checksum`]).
+    pub(crate) checksum: u64,
+}
+
+/// A record evicted from the arena by cap pressure, ready to spill.
+#[derive(Debug)]
+pub(crate) struct EvictedRecord {
+    pub(crate) key: Vec<u8>,
+    pub(crate) stored: Vec<u8>,
+    pub(crate) raw_len: usize,
+    pub(crate) encoding: Encoding,
+    pub(crate) checksum: u64,
+}
+
+struct Segment {
+    id: u64,
+    buf: Vec<u8>,
+    /// Bytes in `buf` still referenced by the index.
+    live_bytes: usize,
+}
+
+/// Dense append-only storage for demoted values.
+pub(crate) struct ColdArena {
+    cap_bytes: usize,
+    segment_bytes: usize,
+    segments: VecDeque<Segment>,
+    next_seg_id: u64,
+    index: HashMap<Vec<u8>, ArenaEntry>,
+    compactions: u64,
+}
+
+impl ColdArena {
+    pub(crate) fn new(cap_bytes: usize, segment_bytes: usize) -> Self {
+        ColdArena {
+            cap_bytes: cap_bytes.max(segment_bytes),
+            segment_bytes: segment_bytes.max(64),
+            segments: VecDeque::new(),
+            next_seg_id: 0,
+            index: HashMap::new(),
+            compactions: 0,
+        }
+    }
+
+    pub(crate) fn entries(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total buffer bytes held (live + dead), i.e. real DRAM footprint.
+    pub(crate) fn bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.buf.len()).sum()
+    }
+
+    pub(crate) fn live_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.live_bytes).sum()
+    }
+
+    pub(crate) fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    pub(crate) fn contains(&self, key: &[u8]) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Appends a record, evicting oldest segments if the cap would be
+    /// exceeded. Returns `(replaced, evicted)`: whether the key
+    /// overwrote a previous cold entry, and the live records pushed out
+    /// by cap pressure (never including the one just inserted).
+    pub(crate) fn insert(
+        &mut self,
+        key: Vec<u8>,
+        stored: &[u8],
+        raw_len: usize,
+        encoding: Encoding,
+        checksum: u64,
+    ) -> (bool, Vec<EvictedRecord>) {
+        let replaced = self.remove(&key);
+        let seg_id = self.writable_segment(stored.len());
+        let seg = self.segments.back_mut().expect("writable segment exists");
+        debug_assert_eq!(seg.id, seg_id);
+        let off = seg.buf.len();
+        seg.buf.extend_from_slice(stored);
+        seg.live_bytes += stored.len();
+        self.index.insert(
+            key,
+            ArenaEntry {
+                seg: seg_id,
+                off,
+                stored_len: stored.len(),
+                raw_len,
+                encoding,
+                checksum,
+            },
+        );
+        let evicted = self.enforce_cap(seg_id);
+        (replaced, evicted)
+    }
+
+    /// Looks up an entry's metadata and stored bytes without removing
+    /// it. Missing segments (already evicted) are treated as absent.
+    pub(crate) fn get(&self, key: &[u8]) -> Option<(&ArenaEntry, &[u8])> {
+        let entry = self.index.get(key)?;
+        let seg = self.segments.iter().find(|s| s.id == entry.seg)?;
+        let bytes = seg.buf.get(entry.off..entry.off + entry.stored_len)?;
+        Some((entry, bytes))
+    }
+
+    /// Drops an entry from the index, returning whether it existed.
+    /// Dead bytes stay in the segment until compaction or segment
+    /// eviction reclaims them.
+    pub(crate) fn remove(&mut self, key: &[u8]) -> bool {
+        let Some(entry) = self.index.remove(key) else {
+            return false;
+        };
+        if let Some(seg) = self.segments.iter_mut().find(|s| s.id == entry.seg) {
+            seg.live_bytes = seg.live_bytes.saturating_sub(entry.stored_len);
+        }
+        self.maybe_compact();
+        true
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.segments.clear();
+        self.index.clear();
+    }
+
+    /// Chaos hook: flips one pseudo-random byte per `flips` iteration
+    /// across segment buffers. Returns how many bytes were flipped.
+    pub(crate) fn corrupt(&mut self, seed: u64, flips: usize) -> usize {
+        let total = self.bytes();
+        if total == 0 {
+            return 0;
+        }
+        let mut x = seed | 1;
+        let mut flipped = 0;
+        for _ in 0..flips {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let mut pos = (x as usize) % total;
+            for seg in self.segments.iter_mut() {
+                if pos < seg.buf.len() {
+                    seg.buf[pos] ^= ((x >> 32) as u8) | 1;
+                    flipped += 1;
+                    break;
+                }
+                pos -= seg.buf.len();
+            }
+        }
+        flipped
+    }
+
+    /// Internal-consistency check used by the tier audit. Returns
+    /// human-readable violations (empty = consistent).
+    pub(crate) fn audit(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut live_by_seg: HashMap<u64, usize> = HashMap::new();
+        for (key, entry) in &self.index {
+            match self.segments.iter().find(|s| s.id == entry.seg) {
+                None => violations.push(format!(
+                    "arena index key ({} bytes) points at missing segment {}",
+                    key.len(),
+                    entry.seg
+                )),
+                Some(seg) => {
+                    if entry.off + entry.stored_len > seg.buf.len() {
+                        violations.push(format!(
+                            "arena entry overruns segment {}: off {} + len {} > {}",
+                            entry.seg,
+                            entry.off,
+                            entry.stored_len,
+                            seg.buf.len()
+                        ));
+                    }
+                    *live_by_seg.entry(entry.seg).or_default() += entry.stored_len;
+                }
+            }
+        }
+        for seg in &self.segments {
+            let indexed = live_by_seg.get(&seg.id).copied().unwrap_or(0);
+            if indexed != seg.live_bytes {
+                violations.push(format!(
+                    "segment {} live_bytes {} != indexed bytes {}",
+                    seg.id, seg.live_bytes, indexed
+                ));
+            }
+            if seg.live_bytes > seg.buf.len() {
+                violations.push(format!(
+                    "segment {} live_bytes {} > buffer {}",
+                    seg.id,
+                    seg.live_bytes,
+                    seg.buf.len()
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Ensures the back segment can take `need` more bytes, sealing a
+    /// full one and opening a fresh segment as required. Returns the
+    /// writable segment's id.
+    fn writable_segment(&mut self, need: usize) -> u64 {
+        let open_new = match self.segments.back() {
+            None => true,
+            Some(seg) => !seg.buf.is_empty() && seg.buf.len() + need > self.segment_bytes,
+        };
+        if open_new {
+            let id = self.next_seg_id;
+            self.next_seg_id += 1;
+            self.segments.push_back(Segment {
+                id,
+                buf: Vec::with_capacity(self.segment_bytes.min(need.max(64))),
+                live_bytes: 0,
+            });
+        }
+        self.segments.back().expect("just ensured").id
+    }
+
+    /// Evicts oldest segments until the arena fits its cap, never
+    /// touching `protect` (the segment that just received an insert —
+    /// evicting it would hand the caller back the record it is trying
+    /// to demote).
+    fn enforce_cap(&mut self, protect: u64) -> Vec<EvictedRecord> {
+        let mut evicted = Vec::new();
+        while self.bytes() > self.cap_bytes && self.segments.len() > 1 {
+            if self.segments.front().map(|s| s.id) == Some(protect) {
+                break;
+            }
+            let seg = self.segments.pop_front().expect("non-empty");
+            // Collect the evicted segment's live entries by scanning
+            // the index; segment eviction is rare (cap-crossing only)
+            // so the scan cost is acceptable and keeps inserts O(1).
+            let keys: Vec<Vec<u8>> = self
+                .index
+                .iter()
+                .filter(|(_, e)| e.seg == seg.id)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in keys {
+                let entry = self.index.remove(&key).expect("just listed");
+                let stored = seg.buf[entry.off..entry.off + entry.stored_len].to_vec();
+                evicted.push(EvictedRecord {
+                    key,
+                    stored,
+                    raw_len: entry.raw_len,
+                    encoding: entry.encoding,
+                    checksum: entry.checksum,
+                });
+            }
+        }
+        evicted
+    }
+
+    /// Rewrites live entries into fresh segments when more than half of
+    /// the arena is dead bytes — keeps the DRAM footprint proportional
+    /// to live data after heavy invalidation/promotion churn.
+    fn maybe_compact(&mut self) {
+        let total = self.bytes();
+        let live = self.live_bytes();
+        if total < 2 * self.segment_bytes || live * 2 > total {
+            return;
+        }
+        self.compactions += 1;
+        let old_index = std::mem::take(&mut self.index);
+        let old_segments = std::mem::take(&mut self.segments);
+        for (key, entry) in old_index {
+            let Some(seg) = old_segments.iter().find(|s| s.id == entry.seg) else {
+                continue;
+            };
+            let Some(stored) = seg.buf.get(entry.off..entry.off + entry.stored_len) else {
+                continue;
+            };
+            let stored = stored.to_vec();
+            let seg_id = self.writable_segment(stored.len());
+            let back = self.segments.back_mut().expect("writable segment exists");
+            debug_assert_eq!(back.id, seg_id);
+            let off = back.buf.len();
+            back.buf.extend_from_slice(&stored);
+            back.live_bytes += stored.len();
+            self.index.insert(
+                key,
+                ArenaEntry {
+                    seg: seg_id,
+                    off,
+                    stored_len: entry.stored_len,
+                    raw_len: entry.raw_len,
+                    encoding: entry.encoding,
+                    checksum: entry.checksum,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::codec;
+    use super::*;
+
+    fn put(arena: &mut ColdArena, key: &[u8], value: &[u8]) -> (bool, Vec<EvictedRecord>) {
+        let (stored, enc) = codec::encode(value);
+        arena.insert(
+            key.to_vec(),
+            &stored,
+            value.len(),
+            enc,
+            codec::checksum(value),
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut arena = ColdArena::new(1 << 20, 4096);
+        let value = b"hello cold world".repeat(10);
+        put(&mut arena, b"k1", &value);
+        let (entry, stored) = arena.get(b"k1").expect("present");
+        let back = codec::decode(stored, entry.encoding, entry.raw_len).unwrap();
+        assert_eq!(back, value);
+        assert_eq!(codec::checksum(&back), entry.checksum);
+        assert!(arena.remove(b"k1"));
+        assert!(arena.get(b"k1").is_none());
+        assert!(!arena.remove(b"k1"));
+        assert!(arena.audit().is_empty());
+    }
+
+    #[test]
+    fn cap_pressure_evicts_oldest_segments() {
+        // Incompressible values so stored size ~= raw size.
+        let mut arena = ColdArena::new(4096, 1024);
+        let mut x = 7u64;
+        let mut noise = |n: usize| -> Vec<u8> {
+            (0..n)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x as u8
+                })
+                .collect()
+        };
+        let mut evicted_total = 0;
+        for i in 0..40 {
+            let key = format!("key{i}");
+            let (_, evicted) = put(&mut arena, key.as_bytes(), &noise(500));
+            evicted_total += evicted.len();
+        }
+        assert!(evicted_total > 0, "cap never enforced");
+        assert!(
+            arena.bytes() <= 4096 + 1024,
+            "arena over cap: {}",
+            arena.bytes()
+        );
+        // Newest key always survives its own insert.
+        assert!(arena.contains(b"key39"));
+        assert!(arena.audit().is_empty());
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_bytes() {
+        let mut arena = ColdArena::new(1 << 20, 512);
+        for i in 0..64 {
+            let key = format!("key{i}");
+            // Incompressible-ish unique values big enough that dead
+            // bytes dominate once most keys are removed.
+            let value: Vec<u8> = (0..96u32)
+                .map(|j| (i as u32 * 131 + j * 29 + j * j) as u8)
+                .collect();
+            put(&mut arena, key.as_bytes(), &value);
+        }
+        let before = arena.bytes();
+        for i in 0..60 {
+            arena.remove(format!("key{i}").as_bytes());
+        }
+        assert!(arena.compactions() > 0, "compaction never triggered");
+        assert!(arena.bytes() < before / 2, "dead bytes not reclaimed");
+        for i in 60..64 {
+            let key = format!("key{i}");
+            let (entry, stored) = arena.get(key.as_bytes()).expect("survivor");
+            let back = codec::decode(stored, entry.encoding, entry.raw_len).unwrap();
+            let expect: Vec<u8> = (0..96u32)
+                .map(|j| (i as u32 * 131 + j * 29 + j * j) as u8)
+                .collect();
+            assert_eq!(back, expect);
+        }
+        assert!(arena.audit().is_empty());
+    }
+
+    #[test]
+    fn corruption_flips_bytes_in_place() {
+        let mut arena = ColdArena::new(1 << 20, 4096);
+        put(&mut arena, b"k", &[0x5A; 256]);
+        let flipped = arena.corrupt(0xBAD_5EED, 8);
+        assert!(flipped > 0);
+        let (entry, stored) = arena.get(b"k").expect("still indexed");
+        // The decoded bytes (if any) must now fail the checksum.
+        match codec::decode(stored, entry.encoding, entry.raw_len) {
+            None => {}
+            Some(back) => assert_ne!(codec::checksum(&back), entry.checksum),
+        }
+    }
+}

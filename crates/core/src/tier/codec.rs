@@ -1,0 +1,265 @@
+//! The cold tier's value codec: a dependency-free LZ77-family byte
+//! compressor plus an FNV-1a content checksum.
+//!
+//! Demoted values sit in the cold arena (and on disk) for a long time,
+//! so density matters more than compression speed — but the container
+//! vendors no compression crates, so the codec is written here from
+//! scratch. Two properties are load-bearing for the rest of the tier:
+//!
+//! * **Decompression never panics.** The chaos campaign flips bytes in
+//!   the arena and truncates the spill file; a malformed stream must
+//!   surface as `None` (a clean miss), never as an out-of-bounds copy.
+//!   Every read below is bounds-checked and the output is capped at the
+//!   recorded raw length.
+//! * **Compression never expands past raw + framing.** When the LZ
+//!   stream would be larger than the input, the caller stores the value
+//!   raw ([`Encoding::Raw`]) — so a demotion's arena footprint is at
+//!   most `len + len/128 + 1` bytes even for incompressible data.
+
+/// How a demoted value's bytes are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Stored verbatim (the LZ stream would have been larger).
+    Raw,
+    /// Stored as an LZ token stream (see module docs for the format).
+    Lz,
+}
+
+/// Maximum literal run per control byte (control `0x00..=0x7F` means a
+/// run of `control + 1` literals).
+const MAX_LITERAL_RUN: usize = 128;
+/// Minimum/maximum match length (control `0x80..=0xFF` means a match of
+/// `(control & 0x7F) + MIN_MATCH` bytes at a 2-byte LE back-offset).
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 0x7F + MIN_MATCH;
+/// Offsets are 16-bit and 1-based.
+const MAX_OFFSET: usize = u16::MAX as usize;
+
+/// 64-bit FNV-1a over `bytes` — the tier's content checksum.
+///
+/// Computed over the *raw* (uncompressed) value at demotion and
+/// re-verified after decompression at promotion, so it catches both
+/// storage bit-flips and codec corruption in one check.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Compresses `input`, choosing whichever of raw/LZ is smaller.
+///
+/// Returns the stored bytes and the encoding the caller must record to
+/// decode them again.
+pub fn encode(input: &[u8]) -> (Vec<u8>, Encoding) {
+    let lz = compress_lz(input);
+    if lz.len() < input.len() {
+        (lz, Encoding::Lz)
+    } else {
+        (input.to_vec(), Encoding::Raw)
+    }
+}
+
+/// Decodes `stored` back into the raw value.
+///
+/// `raw_len` is the length recorded at demotion; any stream that does
+/// not decode to exactly that many bytes is malformed. Returns `None`
+/// on any inconsistency — the caller treats that as a corrupt entry.
+pub fn decode(stored: &[u8], encoding: Encoding, raw_len: usize) -> Option<Vec<u8>> {
+    match encoding {
+        Encoding::Raw => (stored.len() == raw_len).then(|| stored.to_vec()),
+        Encoding::Lz => decompress_lz(stored, raw_len),
+    }
+}
+
+/// Greedy LZ with a last-position hash table over 4-byte prefixes.
+fn compress_lz(input: &[u8]) -> Vec<u8> {
+    const TABLE_BITS: usize = 12;
+    const TABLE_SIZE: usize = 1 << TABLE_BITS;
+    let hash = |window: &[u8]| -> usize {
+        let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+        (v.wrapping_mul(0x9E37_79B1) >> (32 - TABLE_BITS)) as usize
+    };
+
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = [usize::MAX; TABLE_SIZE];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut run = from;
+        while run < to {
+            let n = (to - run).min(MAX_LITERAL_RUN);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&input[run..run + n]);
+            run += n;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash(&input[i..]);
+        let candidate = table[h];
+        table[h] = i;
+        let found = candidate != usize::MAX
+            && i - candidate <= MAX_OFFSET
+            && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH];
+        if !found {
+            i += 1;
+            continue;
+        }
+        let mut len = MIN_MATCH;
+        let limit = (input.len() - i).min(MAX_MATCH);
+        while len < limit && input[candidate + len] == input[i + len] {
+            len += 1;
+        }
+        flush_literals(&mut out, literal_start, i);
+        let offset = (i - candidate) as u16;
+        out.push(0x80 | (len - MIN_MATCH) as u8);
+        out.extend_from_slice(&offset.to_le_bytes());
+        i += len;
+        literal_start = i;
+    }
+    flush_literals(&mut out, literal_start, input.len());
+    out
+}
+
+/// Fully bounds-checked LZ decoder. Any malformed token — truncated
+/// stream, zero or out-of-range offset, output overrun, or a final
+/// length that is not exactly `raw_len` — yields `None`.
+fn decompress_lz(stored: &[u8], raw_len: usize) -> Option<Vec<u8>> {
+    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    let mut i = 0usize;
+    while i < stored.len() {
+        let control = stored[i];
+        i += 1;
+        if control < 0x80 {
+            let n = control as usize + 1;
+            let lit = stored.get(i..i + n)?;
+            if out.len() + n > raw_len {
+                return None;
+            }
+            out.extend_from_slice(lit);
+            i += n;
+        } else {
+            let len = (control & 0x7F) as usize + MIN_MATCH;
+            let off_bytes = stored.get(i..i + 2)?;
+            i += 2;
+            let offset = u16::from_le_bytes([off_bytes[0], off_bytes[1]]) as usize;
+            if offset == 0 || offset > out.len() || out.len() + len > raw_len {
+                return None;
+            }
+            // Byte-at-a-time copy: overlapping matches (offset < len)
+            // are legal LZ and replicate the most recent bytes.
+            let start = out.len() - offset;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    (out.len() == raw_len).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &[u8]) {
+        let (stored, enc) = encode(input);
+        let back = decode(&stored, enc, input.len()).expect("decode");
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn roundtrips_varied_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcd");
+        roundtrip(&vec![0x5A; 10_000]);
+        roundtrip(
+            b"the quick brown fox jumps over the lazy dog \
+                    the quick brown fox jumps over the lazy dog",
+        );
+        // Pseudo-random (incompressible) bytes fall back to Raw.
+        let mut x = 0x1234_5678_u64;
+        let noise: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let (stored, enc) = encode(&noise);
+        assert_eq!(enc, Encoding::Raw);
+        assert_eq!(decode(&stored, enc, noise.len()).unwrap(), noise);
+    }
+
+    #[test]
+    fn repetitive_input_actually_compresses() {
+        let input = vec![0x5A_u8; 64 * 1024];
+        let (stored, enc) = encode(&input);
+        assert_eq!(enc, Encoding::Lz);
+        assert!(
+            stored.len() < input.len() / 10,
+            "64 KiB of one byte should compress >10x, got {} bytes",
+            stored.len()
+        );
+    }
+
+    #[test]
+    fn decoder_rejects_malformed_streams_without_panicking() {
+        // Truncated literal run.
+        assert_eq!(decompress_lz(&[0x05, b'a'], 6), None);
+        // Match with zero offset.
+        assert_eq!(decompress_lz(&[0x00, b'a', 0x80, 0, 0], 5), None);
+        // Match reaching before the start of the output.
+        assert_eq!(decompress_lz(&[0x00, b'a', 0x80, 9, 0], 5), None);
+        // Output overrun vs the recorded raw length.
+        assert_eq!(decompress_lz(&[0x03, b'a', b'b', b'c', b'd'], 2), None);
+        // Wrong final length.
+        assert_eq!(decompress_lz(&[0x00, b'a'], 2), None);
+        // Truncated match offset.
+        assert_eq!(decompress_lz(&[0x00, b'a', 0x80, 1], 5), None);
+    }
+
+    #[test]
+    fn decoder_survives_random_corruption_of_valid_streams() {
+        let input: Vec<u8> = (0..2048u32)
+            .flat_map(|i| {
+                let b = ((i % 251) * 3 % 256) as u8;
+                [b, b.wrapping_add(1), b.wrapping_add(2)]
+            })
+            .map(|b| b % 97)
+            .collect();
+        let (stored, enc) = encode(&input);
+        let sum = checksum(&input);
+        let mut x = 0xDEAD_BEEF_u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let mut bad = stored.clone();
+            let pos = (x as usize) % bad.len();
+            bad[pos] ^= (x >> 32) as u8 | 1;
+            // Either the decode fails outright, or the checksum catches
+            // whatever garbage it produced. Never a panic.
+            if let Some(back) = decode(&bad, enc, input.len()) {
+                if checksum(&back) == sum {
+                    assert_eq!(back, input, "checksum collision on corrupt data");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_is_stable_and_discriminating() {
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum(b"a"), checksum(b"b"));
+        assert_ne!(checksum(b"ab"), checksum(b"ba"));
+    }
+}

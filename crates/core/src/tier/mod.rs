@@ -1,0 +1,511 @@
+//! # Second-chance soft memory: the cold tier
+//!
+//! The paper's reclamation story (§3.1) destroys evicted entries on the
+//! theory that soft data is recomputable. This module implements the
+//! stronger "Tidying Up the Address Space" position: eviction first
+//! *demotes*. A [`ColdTier`] sits under the SMA's last-chance callback
+//! and gives every evicted value two more chances before it is truly
+//! gone:
+//!
+//! 1. **Cold arena** — the value is compressed (`codec`) and packed
+//!    into a dense, append-only DRAM arena (`arena`) *outside* the
+//!    soft budget, with its own hard occupancy cap and dead-byte
+//!    compaction.
+//! 2. **Spill log** — when the arena overflows its cap, whole oldest
+//!    segments spill to an on-disk append-only log (`spill`).
+//!
+//! On access the owner *promotes*: [`ColdTier::take`] removes the entry
+//! from whichever stage holds it and returns the decompressed bytes, so
+//! the caller can reinsert them into the hot tier. A key therefore
+//! lives in **exactly one** tier at a time — hot is authoritative, and
+//! every demotion is eventually balanced by exactly one of promotion,
+//! invalidation, replacement, drop, or corruption (the conservation law
+//! [`ColdTier::audit`] and the tier proptests check).
+//!
+//! Every demoted entry carries an FNV-1a checksum of its raw bytes.
+//! Bit-flips in the arena, a truncated spill log, or a malformed
+//! compressed stream all surface as **clean misses** (plus a
+//! `corruptions` count) — never torn data, never a panic. That is the
+//! contract that makes the cold tier safe to bolt onto a store whose
+//! values must otherwise be recomputed from ground truth.
+//!
+//! Locking: the tier has a single internal mutex and calls nothing that
+//! takes another lock, so it is a *leaf* in the lock order — safe to
+//! call from an SDS reclaim callback (which runs with the SDS inner
+//! lock held) and from ordinary read paths alike.
+
+mod arena;
+pub mod codec;
+mod spill;
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use arena::ColdArena;
+use spill::SpillFile;
+
+/// Where a promoted value was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierHit {
+    /// Served from the compressed DRAM arena.
+    Arena,
+    /// Served from the on-disk spill log.
+    Disk,
+}
+
+/// Cold-tier sizing and placement knobs.
+#[derive(Debug, Clone)]
+pub struct TierConfig {
+    /// Hard cap on the arena's DRAM footprint (live + not-yet-compacted
+    /// dead bytes). Crossing it evicts oldest segments to disk.
+    pub arena_cap_bytes: usize,
+    /// Arena segment size; also the eviction/spill granularity.
+    pub segment_bytes: usize,
+    /// Where to put the spill log. `None` disables the disk stage:
+    /// arena overflow is dropped (and counted) instead of spilled.
+    pub spill_path: Option<PathBuf>,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            arena_cap_bytes: 4 << 20,
+            segment_bytes: 64 << 10,
+            spill_path: None,
+        }
+    }
+}
+
+/// Snapshot of the tier's counters and occupancy.
+///
+/// The flow counters obey a conservation law (see [`ColdTier::audit`]):
+/// `demotions == arena_hits + disk_hits + invalidations + replaced +
+/// dropped + corruptions + arena_entries + disk_entries`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Values accepted by [`ColdTier::demote`].
+    pub demotions: u64,
+    /// Raw bytes demoted (before compression).
+    pub demoted_bytes: u64,
+    /// Promotions served from the arena.
+    pub arena_hits: u64,
+    /// Promotions served from the spill log.
+    pub disk_hits: u64,
+    /// Entries removed by [`ColdTier::invalidate`] / [`ColdTier::clear`].
+    pub invalidations: u64,
+    /// Demotions that overwrote an existing cold entry for the key.
+    pub replaced: u64,
+    /// Arena-overflow records written to the spill log.
+    pub spill_writes: u64,
+    /// Bytes appended to the spill log (headers + stored values).
+    pub spill_bytes_written: u64,
+    /// Overflow records dropped (no spill configured, or spill I/O
+    /// failed).
+    pub dropped: u64,
+    /// Entries removed because their bytes failed checksum/decode.
+    pub corruptions: u64,
+    /// Arena compaction passes.
+    pub compactions: u64,
+    /// Live entries currently in the arena.
+    pub arena_entries: u64,
+    /// Arena DRAM footprint in bytes (live + dead awaiting compaction).
+    pub arena_bytes: u64,
+    /// Live entries currently in the spill log.
+    pub disk_entries: u64,
+    /// Spill-log bytes referenced by live entries.
+    pub disk_live_bytes: u64,
+    /// Total spill-log file length (including dead records).
+    pub disk_file_bytes: u64,
+}
+
+struct TierInner {
+    arena: ColdArena,
+    spill: Option<SpillFile>,
+    stats: TierStats,
+}
+
+/// The second-chance cold tier: compressed DRAM arena + disk spill.
+///
+/// # Examples
+///
+/// ```
+/// use softmem_core::tier::{ColdTier, TierConfig};
+///
+/// let tier = ColdTier::new(TierConfig::default()).unwrap();
+/// tier.demote(b"key", b"an evicted value");
+/// let (bytes, hit) = tier.take(b"key").unwrap();
+/// assert_eq!(bytes, b"an evicted value");
+/// assert_eq!(hit, softmem_core::tier::TierHit::Arena);
+/// // Promotion moves ownership: the key is no longer cold.
+/// assert!(tier.take(b"key").is_none());
+/// ```
+pub struct ColdTier {
+    inner: Mutex<TierInner>,
+}
+
+impl ColdTier {
+    /// Builds a tier from `cfg`. Fails only if the spill log cannot be
+    /// created at `cfg.spill_path`.
+    pub fn new(cfg: TierConfig) -> std::io::Result<Self> {
+        let spill = match cfg.spill_path {
+            Some(path) => Some(SpillFile::create(path)?),
+            None => None,
+        };
+        Ok(ColdTier {
+            inner: Mutex::new(TierInner {
+                arena: ColdArena::new(cfg.arena_cap_bytes, cfg.segment_bytes),
+                spill,
+                stats: TierStats::default(),
+            }),
+        })
+    }
+
+    /// Demotes an evicted `(key, value)` into the arena, spilling any
+    /// cap overflow to disk (or dropping it when no spill is
+    /// configured).
+    ///
+    /// Safe to call from an eviction callback: the tier lock is a leaf.
+    pub fn demote(&self, key: &[u8], value: &[u8]) {
+        let (stored, encoding) = codec::encode(value);
+        let sum = codec::checksum(value);
+        let inner = &mut *self.inner.lock().unwrap();
+        inner.stats.demotions += 1;
+        inner.stats.demoted_bytes += value.len() as u64;
+        let (replaced, evicted) =
+            inner
+                .arena
+                .insert(key.to_vec(), &stored, value.len(), encoding, sum);
+        if replaced {
+            inner.stats.replaced += 1;
+        }
+        // A fresh demotion supersedes any older copy of the same key
+        // that already reached the spill log. Without this, promoting
+        // the new arena copy would leave the stale on-disk value
+        // behind — and a later read would resurface it.
+        if let Some(spill) = inner.spill.as_mut() {
+            if spill.remove(key) {
+                inner.stats.replaced += 1;
+            }
+        }
+        for record in evicted {
+            match inner.spill.as_mut() {
+                Some(spill) => match spill.append(
+                    &record.key,
+                    &record.stored,
+                    record.raw_len,
+                    record.encoding,
+                    record.checksum,
+                ) {
+                    Ok((spill_replaced, bytes)) => {
+                        inner.stats.spill_writes += 1;
+                        inner.stats.spill_bytes_written += bytes;
+                        if spill_replaced {
+                            inner.stats.replaced += 1;
+                        }
+                    }
+                    Err(_) => inner.stats.dropped += 1,
+                },
+                None => inner.stats.dropped += 1,
+            }
+        }
+    }
+
+    /// Promotes a key: removes it from whichever stage holds it and
+    /// returns its raw bytes. `None` means a genuine miss *or* a
+    /// detected corruption (counted in [`TierStats::corruptions`]) —
+    /// either way the caller recomputes.
+    pub fn take(&self, key: &[u8]) -> Option<(Vec<u8>, TierHit)> {
+        let inner = &mut *self.inner.lock().unwrap();
+        if inner.arena.contains(key) {
+            let decoded = inner.arena.get(key).and_then(|(entry, stored)| {
+                codec::decode(stored, entry.encoding, entry.raw_len)
+                    .filter(|raw| codec::checksum(raw) == entry.checksum)
+            });
+            inner.arena.remove(key);
+            return match decoded {
+                Some(raw) => {
+                    inner.stats.arena_hits += 1;
+                    Some((raw, TierHit::Arena))
+                }
+                None => {
+                    inner.stats.corruptions += 1;
+                    None
+                }
+            };
+        }
+        let spill = inner.spill.as_mut()?;
+        if !spill.contains(key) {
+            return None;
+        }
+        let decoded = match spill.read(key) {
+            Ok(Some((stored, raw_len, encoding, sum))) => {
+                codec::decode(&stored, encoding, raw_len).filter(|raw| codec::checksum(raw) == sum)
+            }
+            Ok(None) | Err(()) => None,
+        };
+        spill.remove(key);
+        match decoded {
+            Some(raw) => {
+                inner.stats.disk_hits += 1;
+                Some((raw, TierHit::Disk))
+            }
+            None => {
+                inner.stats.corruptions += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether the key is cold (either stage), without promoting it.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.arena.contains(key) || inner.spill.as_ref().is_some_and(|s| s.contains(key))
+    }
+
+    /// Drops a key's cold copy (the hot tier just rewrote or deleted
+    /// it, making the cold bytes stale). Returns whether one existed.
+    pub fn invalidate(&self, key: &[u8]) -> bool {
+        let inner = &mut *self.inner.lock().unwrap();
+        let mut removed = inner.arena.remove(key);
+        if !removed {
+            if let Some(spill) = inner.spill.as_mut() {
+                removed = spill.remove(key);
+            }
+        }
+        if removed {
+            inner.stats.invalidations += 1;
+        }
+        removed
+    }
+
+    /// Empties both stages (FLUSHALL semantics).
+    pub fn clear(&self) {
+        let inner = &mut *self.inner.lock().unwrap();
+        let live =
+            inner.arena.entries() as u64 + inner.spill.as_ref().map_or(0, |s| s.entries() as u64);
+        inner.stats.invalidations += live;
+        inner.arena.clear();
+        if let Some(spill) = inner.spill.as_mut() {
+            spill.clear();
+        }
+    }
+
+    /// Counter/occupancy snapshot.
+    pub fn stats(&self) -> TierStats {
+        let inner = self.inner.lock().unwrap();
+        let mut stats = inner.stats.clone();
+        stats.compactions = inner.arena.compactions();
+        stats.arena_entries = inner.arena.entries() as u64;
+        stats.arena_bytes = inner.arena.bytes() as u64;
+        if let Some(spill) = inner.spill.as_ref() {
+            stats.disk_entries = spill.entries() as u64;
+            stats.disk_live_bytes = spill.live_bytes();
+            stats.disk_file_bytes = spill.file_bytes();
+        }
+        stats
+    }
+
+    /// Path of the spill log, if the disk stage is enabled.
+    pub fn spill_path(&self) -> Option<PathBuf> {
+        self.inner
+            .lock()
+            .unwrap()
+            .spill
+            .as_ref()
+            .map(|s| s.path().clone())
+    }
+
+    /// Chaos hook: flips `flips` pseudo-random bytes across the arena's
+    /// segment buffers. Returns how many bytes were actually flipped.
+    pub fn corrupt_arena(&self, seed: u64, flips: usize) -> usize {
+        self.inner.lock().unwrap().arena.corrupt(seed, flips)
+    }
+
+    /// Chaos hook: truncates the spill log to half its length. Returns
+    /// bytes cut (0 when no spill stage or the log is empty).
+    pub fn truncate_spill(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .spill
+            .as_mut()
+            .map_or(0, |s| s.truncate_for_chaos())
+    }
+
+    /// Self-audit: structural consistency of both stages plus the
+    /// demotion conservation law. Returns violations (empty = sound).
+    pub fn audit(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap();
+        let mut violations = inner.arena.audit();
+        if let Some(spill) = inner.spill.as_ref() {
+            violations.extend(spill.audit());
+        }
+        let s = &inner.stats;
+        let live =
+            inner.arena.entries() as u64 + inner.spill.as_ref().map_or(0, |sp| sp.entries() as u64);
+        let accounted = s.arena_hits
+            + s.disk_hits
+            + s.invalidations
+            + s.replaced
+            + s.dropped
+            + s.corruptions
+            + live;
+        if s.demotions != accounted {
+            violations.push(format!(
+                "tier conservation broken: demotions {} != hits {}+{} + invalidations {} \
+                 + replaced {} + dropped {} + corruptions {} + live {live}",
+                s.demotions,
+                s.arena_hits,
+                s.disk_hits,
+                s.invalidations,
+                s.replaced,
+                s.dropped,
+                s.corruptions,
+            ));
+        }
+        violations
+    }
+}
+
+impl std::fmt::Debug for ColdTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColdTier")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_spill(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("softmem-tier-test-{}-{name}", std::process::id()))
+    }
+
+    fn noise(seed: u64, n: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn demote_take_moves_ownership() {
+        let tier = ColdTier::new(TierConfig::default()).unwrap();
+        tier.demote(b"k", b"value");
+        assert!(tier.contains(b"k"));
+        let (bytes, hit) = tier.take(b"k").unwrap();
+        assert_eq!(bytes, b"value");
+        assert_eq!(hit, TierHit::Arena);
+        assert!(!tier.contains(b"k"));
+        assert!(tier.take(b"k").is_none());
+        assert!(tier.audit().is_empty());
+        let s = tier.stats();
+        assert_eq!((s.demotions, s.arena_hits), (1, 1));
+    }
+
+    #[test]
+    fn overflow_spills_to_disk_and_promotes_back() {
+        let tier = ColdTier::new(TierConfig {
+            arena_cap_bytes: 4096,
+            segment_bytes: 1024,
+            spill_path: Some(temp_spill("overflow")),
+        })
+        .unwrap();
+        for i in 0..40u64 {
+            tier.demote(format!("key{i}").as_bytes(), &noise(i + 1, 500));
+        }
+        let s = tier.stats();
+        assert!(s.spill_writes > 0, "no spill under cap pressure: {s:?}");
+        assert!(s.disk_entries > 0);
+        assert!(s.arena_bytes <= 4096 + 1024);
+        // Every demoted key is still promotable from one stage or the
+        // other, byte-identical.
+        let mut disk_hits = 0;
+        for i in 0..40u64 {
+            let (bytes, hit) = tier.take(format!("key{i}").as_bytes()).expect("promotable");
+            assert_eq!(bytes, noise(i + 1, 500));
+            if hit == TierHit::Disk {
+                disk_hits += 1;
+            }
+        }
+        assert!(disk_hits > 0);
+        assert!(tier.audit().is_empty(), "{:?}", tier.audit());
+    }
+
+    #[test]
+    fn overflow_without_spill_drops_cleanly() {
+        let tier = ColdTier::new(TierConfig {
+            arena_cap_bytes: 4096,
+            segment_bytes: 1024,
+            spill_path: None,
+        })
+        .unwrap();
+        for i in 0..40u64 {
+            tier.demote(format!("key{i}").as_bytes(), &noise(i + 1, 500));
+        }
+        let s = tier.stats();
+        assert!(s.dropped > 0);
+        assert_eq!(s.disk_entries, 0);
+        assert!(tier.audit().is_empty(), "{:?}", tier.audit());
+    }
+
+    #[test]
+    fn corruption_surfaces_as_clean_miss() {
+        let tier = ColdTier::new(TierConfig {
+            arena_cap_bytes: 4096,
+            segment_bytes: 1024,
+            spill_path: Some(temp_spill("corrupt")),
+        })
+        .unwrap();
+        for i in 0..40u64 {
+            tier.demote(format!("key{i}").as_bytes(), &noise(i + 1, 500));
+        }
+        assert!(tier.corrupt_arena(0xBAD, 64) > 0);
+        assert!(tier.truncate_spill() > 0);
+        let mut misses = 0;
+        for i in 0..40u64 {
+            match tier.take(format!("key{i}").as_bytes()) {
+                None => misses += 1,
+                // Anything that still decodes must be byte-identical —
+                // the checksum guarantees no torn data slips through.
+                Some((bytes, _)) => assert_eq!(bytes, noise(i + 1, 500)),
+            }
+        }
+        assert!(misses > 0, "corruption never surfaced");
+        let s = tier.stats();
+        assert!(s.corruptions > 0);
+        assert!(tier.audit().is_empty(), "{:?}", tier.audit());
+    }
+
+    #[test]
+    fn invalidate_and_clear_keep_conservation() {
+        let tier = ColdTier::new(TierConfig {
+            arena_cap_bytes: 1 << 20,
+            segment_bytes: 4096,
+            spill_path: None,
+        })
+        .unwrap();
+        for i in 0..16u64 {
+            tier.demote(format!("key{i}").as_bytes(), &noise(i + 1, 100));
+        }
+        // Overwrite a few (replacement), invalidate a few, clear the rest.
+        tier.demote(b"key0", b"fresh");
+        tier.demote(b"key1", b"fresh");
+        assert!(tier.invalidate(b"key2"));
+        assert!(!tier.invalidate(b"nope"));
+        tier.clear();
+        assert!(!tier.contains(b"key0"));
+        let s = tier.stats();
+        assert_eq!(s.demotions, 18);
+        assert_eq!(s.replaced, 2);
+        assert_eq!(s.arena_entries + s.disk_entries, 0);
+        assert!(tier.audit().is_empty(), "{:?}", tier.audit());
+    }
+}

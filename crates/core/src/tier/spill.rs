@@ -1,0 +1,279 @@
+//! The on-disk spill segment: a log-structured append-only file that
+//! takes cold-arena overflow under deep memory pressure.
+//!
+//! Layout is a sequence of records, each `[klen u32 LE][vlen u32 LE]
+//! [key][value]`, with all decode metadata (offset, lengths, encoding,
+//! raw-value checksum) kept in an in-memory index. The on-disk header
+//! exists only so a human (or a recovery tool) can walk the log; reads
+//! here go straight to the value bytes via the index.
+//!
+//! Every failure mode — I/O error, short read, truncated file, decoder
+//! rejection, checksum mismatch — must surface to the tier as a clean
+//! miss, so every read path returns `Option`/`Result` and nothing here
+//! panics on file contents.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use super::codec::Encoding;
+
+struct SpillEntry {
+    /// Offset of the *value* bytes (header and key already skipped).
+    value_off: u64,
+    stored_len: u32,
+    raw_len: u32,
+    encoding: Encoding,
+    checksum: u64,
+}
+
+/// Append-only spill log plus its in-memory index.
+pub(crate) struct SpillFile {
+    path: PathBuf,
+    file: File,
+    index: HashMap<Vec<u8>, SpillEntry>,
+    /// Next append offset.
+    tail: u64,
+    /// Value+header bytes still referenced by the index.
+    live_bytes: u64,
+}
+
+impl SpillFile {
+    /// Creates (truncating any stale file from a previous run) the
+    /// spill log at `path`.
+    pub(crate) fn create(path: PathBuf) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(SpillFile {
+            path,
+            file,
+            index: HashMap::new(),
+            tail: 0,
+            live_bytes: 0,
+        })
+    }
+
+    pub(crate) fn path(&self) -> &PathBuf {
+        &self.path
+    }
+
+    pub(crate) fn entries(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Bytes of the log still referenced by live entries.
+    pub(crate) fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Total log length including dead (overwritten/removed) records.
+    pub(crate) fn file_bytes(&self) -> u64 {
+        self.tail
+    }
+
+    pub(crate) fn contains(&self, key: &[u8]) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Appends one record. Returns `(replaced, bytes_written)`; on I/O
+    /// failure the entry is simply not indexed (caller counts a drop).
+    pub(crate) fn append(
+        &mut self,
+        key: &[u8],
+        stored: &[u8],
+        raw_len: usize,
+        encoding: Encoding,
+        checksum: u64,
+    ) -> std::io::Result<(bool, u64)> {
+        let mut header = Vec::with_capacity(8 + key.len());
+        header.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        header.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+        header.extend_from_slice(key);
+        self.file.seek(SeekFrom::Start(self.tail))?;
+        self.file.write_all(&header)?;
+        self.file.write_all(stored)?;
+        let value_off = self.tail + header.len() as u64;
+        let record_len = header.len() as u64 + stored.len() as u64;
+        self.tail += record_len;
+        let replaced = self.remove(key);
+        self.index.insert(
+            key.to_vec(),
+            SpillEntry {
+                value_off,
+                stored_len: stored.len() as u32,
+                raw_len: raw_len as u32,
+                encoding,
+                checksum,
+            },
+        );
+        self.live_bytes += record_len;
+        Ok((replaced, record_len))
+    }
+
+    /// Reads one entry's stored bytes plus decode metadata.
+    ///
+    /// `Ok(None)` means the key is not spilled; `Err(())` means the key
+    /// *is* indexed but its bytes cannot be read back (truncation or
+    /// I/O failure) — the caller must treat that as corruption.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn read(
+        &mut self,
+        key: &[u8],
+    ) -> Result<Option<(Vec<u8>, usize, Encoding, u64)>, ()> {
+        let Some(entry) = self.index.get(key) else {
+            return Ok(None);
+        };
+        let mut stored = vec![0u8; entry.stored_len as usize];
+        let ok = self
+            .file
+            .seek(SeekFrom::Start(entry.value_off))
+            .and_then(|_| self.file.read_exact(&mut stored))
+            .is_ok();
+        if !ok {
+            return Err(());
+        }
+        Ok(Some((
+            stored,
+            entry.raw_len as usize,
+            entry.encoding,
+            entry.checksum,
+        )))
+    }
+
+    /// Drops a key from the index (bytes stay in the log as garbage).
+    pub(crate) fn remove(&mut self, key: &[u8]) -> bool {
+        let Some(entry) = self.index.remove(key) else {
+            return false;
+        };
+        let record = 8 + key.len() as u64 + entry.stored_len as u64;
+        self.live_bytes = self.live_bytes.saturating_sub(record);
+        true
+    }
+
+    /// Empties the log and index, resetting the file to zero length.
+    pub(crate) fn clear(&mut self) {
+        self.index.clear();
+        self.tail = 0;
+        self.live_bytes = 0;
+        let _ = self.file.set_len(0);
+    }
+
+    /// Chaos hook: truncates the file to half its current length, so
+    /// reads of later records fail. Returns bytes cut off.
+    pub(crate) fn truncate_for_chaos(&mut self) -> u64 {
+        let cut = self.tail / 2;
+        if self.file.set_len(cut).is_ok() {
+            self.tail - cut
+        } else {
+            0
+        }
+    }
+
+    /// Internal-consistency check for the tier audit.
+    pub(crate) fn audit(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut indexed: u64 = 0;
+        for (key, entry) in &self.index {
+            let end = entry.value_off + entry.stored_len as u64;
+            if end > self.tail {
+                violations.push(format!(
+                    "spill entry ends at {} past tail {}",
+                    end, self.tail
+                ));
+            }
+            indexed += 8 + key.len() as u64 + entry.stored_len as u64;
+        }
+        if indexed != self.live_bytes {
+            violations.push(format!(
+                "spill live_bytes {} != indexed record bytes {indexed}",
+                self.live_bytes
+            ));
+        }
+        if self.live_bytes > self.tail {
+            violations.push(format!(
+                "spill live_bytes {} > file tail {}",
+                self.live_bytes, self.tail
+            ));
+        }
+        violations
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        // The spill log has no meaning across restarts (soft memory is
+        // recomputable by contract) — clean up after ourselves.
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::codec;
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("softmem-spill-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn append_read_roundtrip_and_cleanup() {
+        let path = temp_path("roundtrip");
+        {
+            let mut spill = SpillFile::create(path.clone()).unwrap();
+            let value = b"spilled value bytes".repeat(7);
+            let (stored, enc) = codec::encode(&value);
+            spill
+                .append(b"key", &stored, value.len(), enc, codec::checksum(&value))
+                .unwrap();
+            let (got, raw_len, enc2, sum) = spill.read(b"key").unwrap().expect("present");
+            let back = codec::decode(&got, enc2, raw_len).unwrap();
+            assert_eq!(back, value);
+            assert_eq!(codec::checksum(&back), sum);
+            assert!(spill.audit().is_empty());
+            assert!(spill.remove(b"key"));
+            assert!(spill.read(b"key").unwrap().is_none());
+            assert!(spill.audit().is_empty());
+        }
+        assert!(!path.exists(), "spill file must be removed on drop");
+    }
+
+    #[test]
+    fn truncation_surfaces_as_read_error_not_garbage() {
+        let path = temp_path("truncate");
+        let mut spill = SpillFile::create(path).unwrap();
+        for i in 0..32 {
+            let value = vec![i as u8; 512];
+            let (stored, enc) = codec::encode(&value);
+            spill
+                .append(
+                    format!("key{i}").as_bytes(),
+                    &stored,
+                    value.len(),
+                    enc,
+                    codec::checksum(&value),
+                )
+                .unwrap();
+        }
+        let cut = spill.truncate_for_chaos();
+        assert!(cut > 0);
+        let mut errs = 0;
+        for i in 0..32 {
+            match spill.read(format!("key{i}").as_bytes()) {
+                Err(()) => errs += 1,
+                Ok(Some((stored, raw_len, enc, sum))) => {
+                    // Early records still read back clean.
+                    let back = codec::decode(&stored, enc, raw_len).expect("intact record");
+                    assert_eq!(codec::checksum(&back), sum);
+                }
+                Ok(None) => panic!("indexed key vanished"),
+            }
+        }
+        assert!(errs > 0, "truncation should break tail reads");
+    }
+}

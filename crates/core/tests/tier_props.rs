@@ -1,0 +1,208 @@
+//! Property tests on the second-chance cold tier: under arbitrary
+//! demote/take/invalidate/replace interleavings, a promoted value is
+//! byte-identical to what was demoted, the tier's answers match a
+//! reference map exactly (when the spill stage guarantees nothing is
+//! dropped), and the demotion conservation law holds after every step.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use softmem_core::tier::{ColdTier, TierConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Demote key `k` with a value derived from `(k, salt, len, mode)`.
+    Demote {
+        k: u8,
+        salt: u8,
+        len: usize,
+        runs: bool,
+    },
+    /// Promote (and remove) key `k`.
+    Take { k: u8 },
+    /// Drop any cold copy of key `k` (a hot overwrite/DEL).
+    Invalidate { k: u8 },
+    /// Probe without promoting.
+    Contains { k: u8 },
+    /// FLUSHALL.
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), any::<u8>(), 0usize..700, any::<bool>())
+            .prop_map(|(k, salt, len, runs)| Op::Demote { k: k % 48, salt, len, runs }),
+        4 => (any::<u8>()).prop_map(|k| Op::Take { k: k % 48 }),
+        2 => (any::<u8>()).prop_map(|k| Op::Invalidate { k: k % 48 }),
+        2 => (any::<u8>()).prop_map(|k| Op::Contains { k: k % 48 }),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// Deterministic value bytes: `runs` produces long compressible runs
+/// (exercising the LZ path), otherwise an LCG emits incompressible
+/// noise (exercising the raw fallback).
+fn value_bytes(k: u8, salt: u8, len: usize, runs: bool) -> Vec<u8> {
+    if runs {
+        let mut v = vec![k ^ salt; len];
+        for (i, b) in v.iter_mut().enumerate() {
+            if i % 97 == 0 {
+                *b = salt.wrapping_add((i / 97) as u8);
+            }
+        }
+        v
+    } else {
+        let mut x = (k as u32) << 16 | (salt as u32) << 8 | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (x >> 24) as u8
+            })
+            .collect()
+    }
+}
+
+fn unique_spill_path(tag: &str) -> std::path::PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "softmem-tier-props-{tag}-{}-{n}.spill",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With a spill stage the tier is lossless: its visible behaviour
+    /// must match a reference `HashMap` op for op — same hits, same
+    /// misses, byte-identical promotions — and the conservation audit
+    /// must pass after every operation, including the arena-cap
+    /// evictions and compactions the tiny arena forces constantly.
+    #[test]
+    fn spilling_tier_matches_reference_map(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let tier = ColdTier::new(TierConfig {
+            arena_cap_bytes: 2 << 10,
+            segment_bytes: 512,
+            spill_path: Some(unique_spill_path("ref")),
+        }).expect("create tier");
+        let mut reference: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Demote { k, salt, len, runs } => {
+                    let key = vec![b'k', k];
+                    let value = value_bytes(k, salt, len, runs);
+                    tier.demote(&key, &value);
+                    reference.insert(key, value);
+                }
+                Op::Take { k } => {
+                    let key = vec![b'k', k];
+                    let got = tier.take(&key).map(|(v, _)| v);
+                    prop_assert_eq!(got, reference.remove(&key));
+                }
+                Op::Invalidate { k } => {
+                    let key = vec![b'k', k];
+                    prop_assert_eq!(tier.invalidate(&key), reference.remove(&key).is_some());
+                }
+                Op::Contains { k } => {
+                    let key = vec![b'k', k];
+                    prop_assert_eq!(tier.contains(&key), reference.contains_key(&key));
+                }
+                Op::Clear => {
+                    tier.clear();
+                    reference.clear();
+                }
+            }
+            let audit = tier.audit();
+            prop_assert!(audit.is_empty(), "audit failed: {audit:?}");
+        }
+
+        // Hot+cold accounting conserves: every demotion is accounted
+        // for as a hit, an invalidation, a replacement, or a still-live
+        // entry — with a spill stage, nothing may be dropped.
+        let s = tier.stats();
+        prop_assert_eq!(s.dropped, 0);
+        prop_assert_eq!(s.corruptions, 0);
+        prop_assert_eq!(s.arena_entries + s.disk_entries, reference.len() as u64);
+        prop_assert_eq!(
+            s.demotions,
+            s.arena_hits + s.disk_hits + s.invalidations + s.replaced
+                + s.arena_entries + s.disk_entries
+        );
+
+        // Whatever is left still promotes byte-identically.
+        let keys: Vec<Vec<u8>> = reference.keys().cloned().collect();
+        for key in keys {
+            let got = tier.take(&key).map(|(v, _)| v);
+            prop_assert_eq!(got, reference.remove(&key));
+        }
+    }
+
+    /// Without a spill stage the arena cap may legitimately drop
+    /// entries — but a `take` must still never return wrong bytes:
+    /// every hit is byte-identical to the reference, every divergence
+    /// is a clean miss, and the dropped entries are all counted.
+    #[test]
+    fn capped_arena_never_serves_wrong_bytes(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let tier = ColdTier::new(TierConfig {
+            arena_cap_bytes: 1 << 10,
+            segment_bytes: 512,
+            spill_path: None,
+        }).expect("create tier");
+        let mut reference: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Demote { k, salt, len, runs } => {
+                    let key = vec![b'k', k];
+                    let value = value_bytes(k, salt, len, runs);
+                    tier.demote(&key, &value);
+                    reference.insert(key, value);
+                }
+                Op::Take { k } => {
+                    let key = vec![b'k', k];
+                    let expected = reference.remove(&key);
+                    // A miss is fine (dropped under cap pressure); a
+                    // hit must match the reference exactly.
+                    if let Some(v) = tier.take(&key).map(|(v, _)| v) {
+                        prop_assert_eq!(Some(v), expected);
+                    }
+                }
+                Op::Invalidate { k } => {
+                    let key = vec![b'k', k];
+                    let dropped_or_present = reference.remove(&key).is_some();
+                    // The tier may have already shed the entry, so a
+                    // `false` is fine even when the reference had it.
+                    prop_assert!(dropped_or_present || !tier.invalidate(&key));
+                    if dropped_or_present {
+                        tier.invalidate(&key);
+                    }
+                }
+                Op::Contains { k } => {
+                    let key = vec![b'k', k];
+                    // Presence implies the reference agrees; absence
+                    // may just mean the cap shed it.
+                    if tier.contains(&key) {
+                        prop_assert!(reference.contains_key(&key));
+                    }
+                }
+                Op::Clear => {
+                    tier.clear();
+                    reference.clear();
+                }
+            }
+            let audit = tier.audit();
+            prop_assert!(audit.is_empty(), "audit failed: {audit:?}");
+        }
+        let s = tier.stats();
+        prop_assert_eq!(s.corruptions, 0);
+        prop_assert_eq!(
+            s.demotions,
+            s.arena_hits + s.disk_hits + s.invalidations + s.replaced + s.dropped
+                + s.arena_entries + s.disk_entries
+        );
+    }
+}

@@ -31,6 +31,30 @@ pub struct StoreMetrics {
     pub reclaimed_bytes: Arc<Counter>,
     /// Mirror of [`crate::StoreStats::degraded_denies`].
     pub degraded_denies: Arc<Counter>,
+    /// Mirror of [`crate::StoreStats::cold_demotions`]: evictions
+    /// demoted into the cold tier (incremented at each demote site).
+    pub cold_demotions: Arc<Counter>,
+    /// Mirror of [`crate::StoreStats::cold_hits`]: GETs promoted out
+    /// of the cold arena.
+    pub cold_hits: Arc<Counter>,
+    /// Mirror of [`crate::StoreStats::spill_hits`]: GETs promoted off
+    /// the spill log.
+    pub spill_hits: Arc<Counter>,
+    /// Live entries in the cold arena (refreshed from tier stats).
+    pub cold_entries: Arc<Gauge>,
+    /// Cold-arena DRAM footprint in bytes.
+    pub cold_bytes: Arc<Gauge>,
+    /// Live entries on the spill log.
+    pub spill_entries: Arc<Gauge>,
+    /// Spill-log bytes referenced by live entries.
+    pub spill_bytes: Arc<Gauge>,
+    /// Mirror of [`crate::StoreStats::spill_writes`] (set from tier
+    /// ground truth on refresh — spills happen inside the tier, out of
+    /// the store's sight).
+    pub spill_writes: Arc<Gauge>,
+    /// Mirror of [`crate::StoreStats::cold_corruptions`] (set from
+    /// tier ground truth on refresh).
+    pub cold_corruptions: Arc<Gauge>,
     /// Reclamation-callback duration (ns), one sample per entry lost.
     pub callback_ns: Arc<Histogram>,
     /// Per-command execution latency (ns), across all verbs.
@@ -50,6 +74,15 @@ impl StoreMetrics {
             reclaimed_entries: registry.counter("reclaimed_entries"),
             reclaimed_bytes: registry.counter("reclaimed_bytes"),
             degraded_denies: registry.counter("degraded_denies"),
+            cold_demotions: registry.counter("cold_demotions"),
+            cold_hits: registry.counter("cold_hits"),
+            spill_hits: registry.counter("spill_hits"),
+            cold_entries: registry.gauge("cold_entries"),
+            cold_bytes: registry.gauge("cold_bytes"),
+            spill_entries: registry.gauge("spill_entries"),
+            spill_bytes: registry.gauge("spill_bytes"),
+            spill_writes: registry.gauge("spill_writes"),
+            cold_corruptions: registry.gauge("cold_corruptions"),
             callback_ns: registry.histogram("callback_ns"),
             op_ns: registry.histogram("op_ns"),
             registry,

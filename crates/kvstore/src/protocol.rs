@@ -326,7 +326,9 @@ pub(crate) fn render_info(store: &Store) -> String {
         let s = store.stats();
         format!(
             "keys:{};soft_bytes:{};soft_pages:{};hits:{};misses:{};sets:{};\
-             reclaimed_entries:{};reclaimed_bytes:{};degraded_denies:{}",
+             reclaimed_entries:{};reclaimed_bytes:{};degraded_denies:{};\
+             cold_demotions:{};cold_hits:{};spill_hits:{};spill_writes:{};\
+             cold_corruptions:{}",
             store.dbsize(),
             store.soft_bytes(),
             store.soft_pages(),
@@ -336,6 +338,11 @@ pub(crate) fn render_info(store: &Store) -> String {
             s.reclaimed_entries,
             s.reclaimed_bytes,
             s.degraded_denies,
+            s.cold_demotions,
+            s.cold_hits,
+            s.spill_hits,
+            s.spill_writes,
+            s.cold_corruptions,
         )
     }
 }

@@ -24,6 +24,7 @@
 
 use std::sync::Arc;
 
+use softmem_core::tier::{ColdTier, TierConfig};
 use softmem_core::{Priority, Sma, SoftResult};
 use softmem_sds::EvictionOrder;
 use softmem_telemetry::Snapshot;
@@ -95,6 +96,43 @@ impl ShardedStore {
             })
             .collect();
         ShardedStore { shards: stores }
+    }
+
+    /// [`ShardedStore::with_eviction`] with a second-chance cold tier
+    /// per shard (see [`Store::with_tier`]): each shard gets its own
+    /// [`ColdTier`] built from `tier_cfg`, with the spill path (when
+    /// configured) suffixed `-s{i}` on multi-shard engines so shards
+    /// never share a log file.
+    pub fn with_tier(
+        sma: &Arc<Sma>,
+        name: &str,
+        priority: Priority,
+        eviction: EvictionOrder,
+        shards: usize,
+        tier_cfg: TierConfig,
+    ) -> std::io::Result<Self> {
+        let n = shards.max(1);
+        let mut stores = Vec::with_capacity(n);
+        for i in 0..n {
+            let (sds_name, label) = if n == 1 {
+                (name.to_string(), "kv".to_string())
+            } else {
+                (format!("{name}-s{i}"), format!("kv{i}"))
+            };
+            let mut cfg = tier_cfg.clone();
+            if n > 1 {
+                cfg.spill_path = cfg.spill_path.map(|p| {
+                    let mut os = p.into_os_string();
+                    os.push(format!("-s{i}"));
+                    os.into()
+                });
+            }
+            let tier = Arc::new(ColdTier::new(cfg)?);
+            stores.push(Arc::new(Store::with_tier(
+                sma, &sds_name, priority, eviction, &label, tier,
+            )));
+        }
+        Ok(ShardedStore { shards: stores })
     }
 
     /// Wraps an existing store as a one-shard engine (exact
@@ -295,6 +333,11 @@ impl ShardedStore {
             total.reclaimed_entries += st.reclaimed_entries;
             total.reclaimed_bytes += st.reclaimed_bytes;
             total.degraded_denies += st.degraded_denies;
+            total.cold_demotions += st.cold_demotions;
+            total.cold_hits += st.cold_hits;
+            total.spill_hits += st.spill_hits;
+            total.spill_writes += st.spill_writes;
+            total.cold_corruptions += st.cold_corruptions;
         }
         total
     }
@@ -332,7 +375,9 @@ impl ShardedStore {
         let s = self.stats();
         format!(
             "shards:{};keys:{};soft_bytes:{};soft_pages:{};hits:{};misses:{};sets:{};\
-             reclaimed_entries:{};reclaimed_bytes:{};degraded_denies:{}",
+             reclaimed_entries:{};reclaimed_bytes:{};degraded_denies:{};\
+             cold_demotions:{};cold_hits:{};spill_hits:{};spill_writes:{};\
+             cold_corruptions:{}",
             self.shards.len(),
             self.dbsize(),
             self.soft_bytes(),
@@ -343,6 +388,11 @@ impl ShardedStore {
             s.reclaimed_entries,
             s.reclaimed_bytes,
             s.degraded_denies,
+            s.cold_demotions,
+            s.cold_hits,
+            s.spill_hits,
+            s.spill_writes,
+            s.cold_corruptions,
         )
     }
 

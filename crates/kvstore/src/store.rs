@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use softmem_core::tier::{ColdTier, TierHit};
 use softmem_core::{Priority, Sma, SoftError, SoftResult};
 use softmem_sds::{EvictionOrder, SoftContainer, SoftHashMap};
 
@@ -49,6 +50,18 @@ pub struct StoreStats {
     /// the local shed-and-retry path; the counter records that the
     /// store rode out an outage, not that a client saw an error.
     pub degraded_denies: u64,
+    /// Evictions demoted into the cold tier instead of destroyed
+    /// (0 unless the store was built with [`Store::with_tier`]).
+    pub cold_demotions: u64,
+    /// GETs served by promoting a value out of the cold arena.
+    pub cold_hits: u64,
+    /// GETs served by promoting a value off the spill log.
+    pub spill_hits: u64,
+    /// Arena-overflow records written to the spill log.
+    pub spill_writes: u64,
+    /// Cold entries discarded because their bytes failed the
+    /// checksum/decode — each surfaced as a clean miss.
+    pub cold_corruptions: u64,
 }
 
 impl StoreStats {
@@ -122,6 +135,10 @@ pub struct Store {
     /// Expiry deadlines, in traditional memory (like Redis's separate
     /// expires dict). Entries are removed lazily on access.
     expiries: Mutex<HashMap<Vec<u8>, Instant>>,
+    /// The second-chance cold tier ([`Store::with_tier`]). When
+    /// present, evictions demote into it and reads fall through
+    /// hot → arena → disk, promoting on access.
+    tier: Option<Arc<ColdTier>>,
 }
 
 impl Store {
@@ -156,11 +173,43 @@ impl Store {
         eviction: EvictionOrder,
         metrics_label: &str,
     ) -> Self {
+        Self::build(sma, name, priority, eviction, metrics_label, None)
+    }
+
+    /// Like [`Store::with_eviction_labeled`], but with a second-chance
+    /// cold tier: the eviction callback *demotes* each reclaimed entry
+    /// into `tier` (compressed arena, spilling to disk under deeper
+    /// pressure) instead of letting it vanish, and reads fall through
+    /// hot → arena → disk, transparently promoting back on access.
+    ///
+    /// The store's SDS is marked demotable
+    /// ([`Sma::set_demotable`]), so machine-wide reclamation prefers
+    /// it within its priority class — squeezing it destroys no data.
+    pub fn with_tier(
+        sma: &Arc<Sma>,
+        name: &str,
+        priority: Priority,
+        eviction: EvictionOrder,
+        metrics_label: &str,
+        tier: Arc<ColdTier>,
+    ) -> Self {
+        Self::build(sma, name, priority, eviction, metrics_label, Some(tier))
+    }
+
+    fn build(
+        sma: &Arc<Sma>,
+        name: &str,
+        priority: Priority,
+        eviction: EvictionOrder,
+        metrics_label: &str,
+        tier: Option<Arc<ColdTier>>,
+    ) -> Self {
         let table = SoftHashMap::with_eviction(sma, name, priority, eviction);
         let counters = Arc::new(Counters::default());
         let metrics = Arc::new(StoreMetrics::new(metrics_label));
         let c = Arc::clone(&counters);
         let m = Arc::clone(&metrics);
+        let t = tier.clone();
         table.set_reclaim_callback(move |k: &Vec<u8>, v: &Vec<u8>| {
             // The paper's reclamation callback: this is where Redis
             // "cleans up associated traditional memory for the
@@ -189,14 +238,29 @@ impl Store {
             m.callback_ns.record(elapsed_ns);
             m.reclaimed_entries.add(1);
             m.reclaimed_bytes.add((k.len() + v.len()) as u64);
+            // Second chance: demote into the cold tier instead of
+            // letting the bytes vanish. The tier lock is a leaf, so
+            // this is safe under the map's inner lock.
+            if let Some(tier) = t.as_ref() {
+                tier.demote(k, v);
+                m.cold_demotions.add(1);
+            }
         });
-        Store {
+        let store = Store {
             sma: Arc::clone(sma),
             table,
             counters,
             metrics,
             expiries: Mutex::new(HashMap::new()),
+            tier,
+        };
+        if store.tier.is_some() {
+            // Evicting from this SDS loses no data (the value survives
+            // compressed), so reclamation should prefer it within its
+            // priority class.
+            let _ = store.sma.set_demotable(store.table.sds_id(), true);
         }
+        store
     }
 
     /// Removes `key` if its deadline has passed; returns whether it
@@ -209,8 +273,18 @@ impl Store {
         if due {
             self.expiries.lock().remove(key);
             self.table.remove(&key.to_vec());
+            // An expired key's cold copy is stale too — a later GET
+            // must not resurrect it from the tier.
+            if let Some(tier) = &self.tier {
+                tier.invalidate(key);
+            }
         }
         due
+    }
+
+    /// The store's cold tier, when built with [`Store::with_tier`].
+    pub fn tier(&self) -> Option<&Arc<ColdTier>> {
+        self.tier.as_ref()
     }
 
     /// The allocator this store draws soft memory from.
@@ -233,6 +307,15 @@ impl Store {
         self.metrics.keys.set(self.table.len() as i64);
         self.metrics.soft_bytes.set(self.table.soft_bytes() as i64);
         self.metrics.soft_pages.set(self.table.soft_pages() as i64);
+        if let Some(tier) = &self.tier {
+            let t = tier.stats();
+            self.metrics.cold_entries.set(t.arena_entries as i64);
+            self.metrics.cold_bytes.set(t.arena_bytes as i64);
+            self.metrics.spill_entries.set(t.disk_entries as i64);
+            self.metrics.spill_bytes.set(t.disk_live_bytes as i64);
+            self.metrics.spill_writes.set(t.spill_writes as i64);
+            self.metrics.cold_corruptions.set(t.corruptions as i64);
+        }
     }
 
     /// Stores `value` under `key` (overwrites).
@@ -245,6 +328,11 @@ impl Store {
         self.counters.sets.fetch_add(1, Ordering::Relaxed);
         self.metrics.sets.add(1);
         self.expiries.lock().remove(key);
+        // The hot write supersedes any cold copy; dropping it up front
+        // keeps "a key lives in at most one tier" trivially true.
+        if let Some(tier) = &self.tier {
+            tier.invalidate(key);
+        }
         match self.table.insert(key.to_vec(), value.to_vec()) {
             Ok(_) => Ok(()),
             Err(err @ (SoftError::BudgetExceeded { .. } | SoftError::Denied { .. })) => {
@@ -301,22 +389,71 @@ impl Store {
         if hit {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             self.metrics.hits.add(1);
-        } else {
-            self.counters.misses.fetch_add(1, Ordering::Relaxed);
-            self.metrics.misses.add(1);
+            return true;
         }
-        hit
+        // Second chance: fall through hot → arena → disk. A cold hit
+        // serves the caller *and* promotes the value back into the hot
+        // table (best-effort — under budget pressure the value is
+        // re-demoted rather than lost).
+        if let Some(tier) = &self.tier {
+            if let Some((value, source)) = tier.take(key) {
+                buf.reserve(value.len());
+                buf.extend_from_slice(&value);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.hits.add(1);
+                match source {
+                    TierHit::Arena => self.metrics.cold_hits.add(1),
+                    TierHit::Disk => self.metrics.spill_hits.add(1),
+                }
+                self.promote(key, value);
+                return true;
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.misses.add(1);
+        false
     }
 
-    /// Deletes `key`; returns whether it existed.
+    /// Reinserts a promoted value into the hot table, shedding a page
+    /// of colder entries and retrying once when the budget is tight.
+    /// If even that fails the value goes back to the cold tier — a
+    /// promotion may be deferred, but it is never silently dropped.
+    fn promote(&self, key: &[u8], value: Vec<u8>) {
+        let tier = self.tier.as_ref().expect("promote requires a tier");
+        match self.table.insert(key.to_vec(), value.clone()) {
+            Ok(_) => {}
+            Err(SoftError::BudgetExceeded { .. } | SoftError::Denied { .. }) => {
+                let ok = self.table.reclaim_now(4096) > 0
+                    && self.table.insert(key.to_vec(), value.clone()).is_ok();
+                if !ok {
+                    tier.demote(key, &value);
+                    self.metrics.cold_demotions.add(1);
+                }
+            }
+            Err(_) => {
+                tier.demote(key, &value);
+                self.metrics.cold_demotions.add(1);
+            }
+        }
+    }
+
+    /// Deletes `key`; returns whether it existed (in either tier).
     pub fn del(&self, key: &[u8]) -> bool {
         self.expiries.lock().remove(key);
-        self.table.remove(&key.to_vec()).is_some()
+        let hot = self.table.remove(&key.to_vec()).is_some();
+        let cold = match &self.tier {
+            Some(tier) => tier.invalidate(key),
+            None => false,
+        };
+        hot || cold
     }
 
-    /// Whether `key` is present.
+    /// Whether `key` is present (hot or cold — checking the cold tier
+    /// does not promote).
     pub fn exists(&self, key: &[u8]) -> bool {
-        !self.expire_if_due(key) && self.table.contains_key(&key.to_vec())
+        !self.expire_if_due(key)
+            && (self.table.contains_key(&key.to_vec())
+                || self.tier.as_ref().is_some_and(|t| t.contains(key)))
     }
 
     /// Sets a time-to-live on `key`; returns whether the key exists.
@@ -401,10 +538,13 @@ impl Store {
         self.table.len()
     }
 
-    /// Drops every key.
+    /// Drops every key (both tiers).
     pub fn flushall(&self) {
         self.expiries.lock().clear();
         self.table.clear();
+        if let Some(tier) = &self.tier {
+            tier.clear();
+        }
     }
 
     /// Collects the keys with the given prefix (empty prefix = all).
@@ -464,8 +604,11 @@ impl Store {
         std::time::Duration::from_nanos(self.counters.callback_ns.load(Ordering::Relaxed))
     }
 
-    /// Behaviour counters.
+    /// Behaviour counters. The `cold_*`/`spill_*` fields read the cold
+    /// tier's own counters (ground truth), so the telemetry mirrors
+    /// can be certified against them.
     pub fn stats(&self) -> StoreStats {
+        let tier = self.tier.as_ref().map(|t| t.stats()).unwrap_or_default();
         StoreStats {
             hits: self.counters.hits.load(Ordering::Relaxed),
             misses: self.counters.misses.load(Ordering::Relaxed),
@@ -473,6 +616,11 @@ impl Store {
             reclaimed_entries: self.counters.reclaimed_entries.load(Ordering::Relaxed),
             reclaimed_bytes: self.counters.reclaimed_bytes.load(Ordering::Relaxed),
             degraded_denies: self.counters.degraded_denies.load(Ordering::Relaxed),
+            cold_demotions: tier.demotions,
+            cold_hits: tier.arena_hits,
+            spill_hits: tier.disk_hits,
+            spill_writes: tier.spill_writes,
+            cold_corruptions: tier.corruptions,
         }
     }
 }
@@ -715,6 +863,178 @@ mod tests {
         assert_eq!(s.append(b"k", b"hello").unwrap(), 5);
         assert_eq!(s.append(b"k", b" world").unwrap(), 11);
         assert_eq!(s.get(b"k"), Some(b"hello world".to_vec()));
+    }
+
+    fn tiered_store(
+        budget_pages: usize,
+        spill: Option<std::path::PathBuf>,
+        arena_cap: usize,
+    ) -> (Arc<Sma>, Store) {
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(budget_pages)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        let tier = Arc::new(
+            ColdTier::new(softmem_core::TierConfig {
+                arena_cap_bytes: arena_cap,
+                segment_bytes: 4096,
+                spill_path: spill,
+            })
+            .unwrap(),
+        );
+        let s = Store::with_tier(
+            &sma,
+            "kv",
+            Priority::new(4),
+            EvictionOrder::InsertionOrder,
+            "kv",
+            tier,
+        );
+        (sma, s)
+    }
+
+    fn temp_spill(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("softmem-store-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn tiered_store_turns_reclaimed_keys_into_cold_hits() {
+        let (sma, s) = tiered_store(64, None, 1 << 20);
+        for i in 0..1000 {
+            s.set(format!("key-{i}").as_bytes(), &[7u8; 32]).unwrap();
+        }
+        let before = s.dbsize();
+        let demand = sma.stats().slack_pages() + sma.held_pages() / 2;
+        sma.reclaim(demand);
+        let after = s.dbsize();
+        assert!(after < before, "reclamation evicted entries");
+        let st = s.stats();
+        assert_eq!(
+            st.cold_demotions, st.reclaimed_entries,
+            "every eviction must demote"
+        );
+        // The oldest key was evicted — with a plain store this is a
+        // miss (reclamation_turns_hits_into_misses); with the tier it
+        // is a hit served from the arena and promoted back hot.
+        assert_eq!(s.get(b"key-0"), Some(vec![7u8; 32]));
+        let st = s.stats();
+        assert!(st.cold_hits >= 1, "{st:?}");
+        assert!(s.soft_bytes() > 0);
+        // Promotion moved it hot: a second GET is a plain hot hit.
+        let cold_hits_before = st.cold_hits;
+        assert_eq!(s.get(b"key-0"), Some(vec![7u8; 32]));
+        assert_eq!(s.stats().cold_hits, cold_hits_before);
+        assert!(s.tier().unwrap().audit().is_empty());
+    }
+
+    #[test]
+    fn tiered_store_spills_under_arena_pressure() {
+        let path = temp_spill("spill");
+        // Tiny arena cap so demotions overflow to disk quickly.
+        let (sma, s) = tiered_store(48, Some(path.clone()), 8192);
+        // Values must be incompressible-ish so the arena cap bites:
+        // use the key index to vary bytes.
+        for i in 0..1500u32 {
+            let val: Vec<u8> = (0..48u32).map(|j| (i * 131 + j * 29) as u8).collect();
+            s.set(format!("key-{i}").as_bytes(), &val).unwrap();
+        }
+        let demand = sma.stats().slack_pages() + sma.held_pages() / 2;
+        sma.reclaim(demand);
+        let st = s.stats();
+        assert!(st.cold_demotions > 0);
+        assert!(st.spill_writes > 0, "arena never overflowed: {st:?}");
+        assert!(path.exists(), "spill log on disk");
+        // Find a key that is actually on disk and promote it.
+        let tier_stats = s.tier().unwrap().stats();
+        assert!(tier_stats.disk_entries > 0);
+        let mut disk_promotions = 0;
+        for i in 0..1500u32 {
+            let key = format!("key-{i}");
+            if s.get(key.as_bytes()).is_some() {
+                let now = s.stats();
+                if now.spill_hits > disk_promotions {
+                    disk_promotions = now.spill_hits;
+                    let expect: Vec<u8> = (0..48u32).map(|j| (i * 131 + j * 29) as u8).collect();
+                    assert_eq!(s.get(key.as_bytes()), Some(expect), "byte-identical");
+                }
+            }
+            if disk_promotions > 4 {
+                break;
+            }
+        }
+        assert!(disk_promotions > 0, "no spill hit observed");
+        assert!(s.tier().unwrap().audit().is_empty());
+        drop(s);
+        assert!(!path.exists(), "spill log removed on drop");
+    }
+
+    #[test]
+    fn tiered_store_set_del_expire_invalidate_cold_copies() {
+        let (sma, s) = tiered_store(64, None, 1 << 20);
+        for i in 0..1000 {
+            s.set(format!("key-{i}").as_bytes(), &[7u8; 32]).unwrap();
+        }
+        let demand = sma.stats().slack_pages() + sma.held_pages() / 2;
+        sma.reclaim(demand);
+        let tier = Arc::clone(s.tier().unwrap());
+        assert!(tier.contains(b"key-0"), "oldest key demoted");
+        // SET supersedes the cold copy.
+        s.set(b"key-0", b"fresh").unwrap();
+        assert!(!tier.contains(b"key-0"));
+        assert_eq!(s.get(b"key-0"), Some(b"fresh".to_vec()));
+        // DEL removes a cold-only key.
+        assert!(tier.contains(b"key-1"));
+        assert!(s.del(b"key-1"), "cold-only key still deletable");
+        assert!(!tier.contains(b"key-1"));
+        assert_eq!(s.get(b"key-1"), None);
+        // EXISTS sees cold keys without promoting them.
+        assert!(tier.contains(b"key-2"));
+        let hits_before = s.stats().cold_hits;
+        assert!(s.exists(b"key-2"));
+        assert_eq!(s.stats().cold_hits, hits_before, "EXISTS must not promote");
+        assert!(tier.contains(b"key-2"));
+        // FLUSHALL empties both tiers.
+        s.flushall();
+        assert_eq!(s.dbsize(), 0);
+        assert_eq!(tier.stats().arena_entries + tier.stats().disk_entries, 0);
+        assert!(tier.audit().is_empty(), "{:?}", tier.audit());
+    }
+
+    #[test]
+    fn tiered_store_corruption_is_a_clean_miss() {
+        let (sma, s) = tiered_store(64, None, 1 << 20);
+        for i in 0..1000 {
+            s.set(format!("key-{i}").as_bytes(), &[0x5A; 32]).unwrap();
+        }
+        let demand = sma.stats().slack_pages() + sma.held_pages() / 2;
+        sma.reclaim(demand);
+        let tier = Arc::clone(s.tier().unwrap());
+        assert!(tier.stats().arena_entries > 0);
+        assert!(tier.corrupt_arena(0xBAD_5EED, 512) > 0);
+        let mut misses = 0;
+        for i in 0..1000 {
+            match s.get(format!("key-{i}").as_bytes()) {
+                None => misses += 1,
+                Some(v) => assert!(
+                    v.iter().all(|&b| b == 0x5A),
+                    "torn data served from corrupt tier"
+                ),
+            }
+        }
+        assert!(misses > 0, "corruption never surfaced");
+        let st = s.stats();
+        assert!(st.cold_corruptions > 0, "{st:?}");
+        assert!(tier.audit().is_empty(), "{:?}", tier.audit());
+        if softmem_telemetry::ENABLED {
+            s.refresh_gauges();
+            assert_eq!(
+                s.metrics().cold_corruptions.get(),
+                st.cold_corruptions as i64
+            );
+            assert_eq!(s.metrics().cold_demotions.get(), st.cold_demotions);
+            assert_eq!(s.metrics().cold_hits.get(), st.cold_hits);
+        }
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub struct FaultPlan {
     pub panic_callbacks: bool,
     /// One deliberate invariant break, applied after the given phase.
     pub chaos: Option<(ChaosFault, usize)>,
+    /// Corrupt every KV cold tier after the given phase: flip bytes in
+    /// each arena and truncate each spill log. Unlike [`ChaosFault`]s,
+    /// this targets *no* invariant family — the tier's checksums must
+    /// absorb the damage as clean misses, so the run stays benign.
+    pub corrupt_cold: Option<usize>,
 }
 
 impl FaultPlan {

@@ -27,8 +27,11 @@
 //!    it claims to track — including the allocator fast path's
 //!    delta-maintained depot/magazine gauges and the per-SDS
 //!    `sds{i}_magazine_*` gauges, cross-checked against
-//!    `Sma::all_sds_stats`. Skipped entirely when the `telemetry`
-//!    feature is off.
+//!    `Sma::all_sds_stats`. Stores with a cold tier additionally get
+//!    their `cold_*`/`spill_*` counter mirrors certified and the
+//!    tier's demotion conservation law audited (every demoted entry is
+//!    promoted, invalidated, replaced, dropped, corrupted, or still
+//!    resident). Skipped entirely when the `telemetry` feature is off.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -461,11 +464,25 @@ impl CheckScope<'_> {
                     m.degraded_denies.get(),
                     s.degraded_denies,
                 ),
+                ("cold_demotions", m.cold_demotions.get(), s.cold_demotions),
+                ("cold_hits", m.cold_hits.get(), s.cold_hits),
+                ("spill_hits", m.spill_hits.get(), s.spill_hits),
             ];
             for (name, mirror, truth) in counters {
                 if mirror != truth {
                     defects.push(format!("kv.{name} mirror {mirror} != ground truth {truth}"));
                 }
+            }
+            // Cold-tier conservation: every demoted entry is accounted
+            // for — promoted, invalidated, replaced, dropped, corrupted,
+            // or still resident — and the arena/spill structural
+            // bookkeeping (segment live bytes, index offsets) is sound.
+            if let Some(tier) = store.tier() {
+                defects.extend(
+                    tier.audit()
+                        .into_iter()
+                        .map(|d| format!("kv cold tier: {d}")),
+                );
             }
         }
         defects
@@ -596,6 +613,9 @@ mod tests {
         procs[0].sma().metrics().pages_reclaimed_total.add(3);
         smd.metrics().grants_total.add(2);
         stores[0].metrics().hits.add(9);
+        // …the cold-tier instrumentation (a hit mirror with no promote
+        // behind it — the fixture store has no tier, so truth stays 0)…
+        stores[0].metrics().cold_hits.add(1);
         // …plus the magazine instrumentation: an SMA-level counter
         // mirror and one per-SDS gauge (`pool` registered first → sds0).
         procs[0].sma().metrics().magazine_refills_total.add(5);
@@ -606,7 +626,7 @@ mod tests {
             .gauge("sds0_magazine_pages")
             .add(7);
         let violations = scope.check_metrics_consistency("test");
-        assert_eq!(violations.len(), 5, "{violations:?}");
+        assert_eq!(violations.len(), 6, "{violations:?}");
         assert!(violations
             .iter()
             .all(|v| v.family == InvariantFamily::MetricsConsistency));
@@ -614,6 +634,7 @@ mod tests {
         assert!(details.contains("sma.pages_reclaimed_total"), "{details}");
         assert!(details.contains("smd.grants_total"), "{details}");
         assert!(details.contains("kv.hits"), "{details}");
+        assert!(details.contains("kv.cold_hits"), "{details}");
         assert!(details.contains("sma.magazine_refills_total"), "{details}");
         assert!(details.contains("sma.sds0_magazine_pages"), "{details}");
     }

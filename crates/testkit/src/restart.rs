@@ -274,6 +274,10 @@ pub fn run_restart_chaos(spec: &RestartSpec, seed: u64) -> Verdict {
         ops_total: tallies.ops_total.load(Ordering::Relaxed),
         alloc_failures: tallies.alloc_failures.load(Ordering::Relaxed),
         sim_elapsed_ms: 0,
+        cold_demotions: 0,
+        cold_hits: 0,
+        spill_hits: 0,
+        spill_writes: 0,
         violations,
     };
     drop(ctxs);

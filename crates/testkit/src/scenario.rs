@@ -14,13 +14,15 @@
 //! a denial) may differ between runs; the checked invariants hold
 //! either way, which is exactly what makes them invariants.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use softmem_core::{BudgetTap, MachineMemory, Priority};
+use softmem_core::{BudgetTap, MachineMemory, Priority, TierConfig};
 use softmem_daemon::{Smd, SmdConfig};
 use softmem_kv::{ShardedStore, Store};
+use softmem_sds::EvictionOrder;
 use softmem_sim::{SimClock, ZipfKeys};
 
 use crate::fault::{CadenceDenyHook, ChaosFault, FaultPlan, ScriptedTap};
@@ -137,6 +139,14 @@ pub struct ScenarioSpec {
     /// more splits each keyspace over independent per-shard SDSs, and
     /// every shard store is fed to the invariant checker).
     pub kv_shards: usize,
+    /// Cold-tier arena capacity in bytes for every KV engine. Zero
+    /// (the default) builds the classic drop-on-evict store; non-zero
+    /// attaches a compressed second-chance tier so reclaimed entries
+    /// demote instead of vanishing, and GETs promote them back.
+    pub kv_cold_arena_bytes: usize,
+    /// Whether each tiered engine also spills arena overflow to a
+    /// unique temp file (ignored when `kv_cold_arena_bytes` is 0).
+    pub kv_spill: bool,
     /// Operation weights.
     pub mix: OpMix,
     /// Pressure phases.
@@ -161,6 +171,8 @@ impl ScenarioSpec {
             free_pool_retain_pages: 64,
             kv: false,
             kv_shards: 1,
+            kv_cold_arena_bytes: 0,
+            kv_spill: false,
             mix: OpMix::default(),
             phases: vec![
                 Phase {
@@ -198,6 +210,15 @@ pub struct Verdict {
     pub alloc_failures: u64,
     /// Virtual milliseconds elapsed on the simulation clock.
     pub sim_elapsed_ms: u64,
+    /// Aggregate cold-tier demotions across every store at quiesce
+    /// (zero for untiered scenarios).
+    pub cold_demotions: u64,
+    /// Aggregate promotions served from the cold arenas.
+    pub cold_hits: u64,
+    /// Aggregate promotions served off the spill logs.
+    pub spill_hits: u64,
+    /// Aggregate arena segments spilled to disk.
+    pub spill_writes: u64,
     /// Every invariant violation observed.
     pub violations: Vec<Violation>,
 }
@@ -242,6 +263,13 @@ impl std::fmt::Display for Verdict {
             self.checks,
             self.sim_elapsed_ms
         )?;
+        if self.cold_demotions > 0 {
+            writeln!(
+                f,
+                "  cold tier: {} demotion(s), {} arena hit(s), {} disk hit(s), {} spill write(s)",
+                self.cold_demotions, self.cold_hits, self.spill_hits, self.spill_writes
+            )?;
+        }
         for v in &self.violations {
             writeln!(f, "  {v}")?;
         }
@@ -377,7 +405,15 @@ fn worker_loop(
                             }
                         } else {
                             hash = hash_step(hash, 6, u64::MAX);
-                            let _ = store.get(key.as_bytes());
+                            // Every KV value anyone writes is a 0x5A
+                            // fill, so a torn read — including a bad
+                            // promote out of the cold tier — is
+                            // detectable on any hit.
+                            if let Some(v) = store.get(key.as_bytes()) {
+                                if v.iter().any(|&b| b != 0x5A) {
+                                    out.gen_anomalies += 1;
+                                }
+                            }
                         }
                     }
                     continue;
@@ -476,12 +512,46 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
             spec.fault.panic_callbacks,
         ));
         if spec.kv {
-            let engine = Arc::new(ShardedStore::new(
-                proc.sma(),
-                &format!("kv-{w}"),
-                Priority::new(3),
-                spec.kv_shards.max(1),
-            ));
+            let engine = if spec.kv_cold_arena_bytes > 0 {
+                // Unique spill path per engine: scenario runs may
+                // overlap across test threads, so the name folds in a
+                // process-wide run id on top of pid and worker index.
+                let spill_path = spec.kv_spill.then(|| {
+                    static TIER_RUN: AtomicU64 = AtomicU64::new(0);
+                    let run = TIER_RUN.fetch_add(1, Ordering::Relaxed);
+                    std::env::temp_dir().join(format!(
+                        "softmem-tk-{}-{}-{run}-{w}.spill",
+                        spec.name,
+                        std::process::id()
+                    ))
+                });
+                // Segment granularity scales with the cap so small
+                // flood arenas still hold several segments — the unit
+                // of spill/compaction — instead of one giant one.
+                let cfg = TierConfig {
+                    arena_cap_bytes: spec.kv_cold_arena_bytes,
+                    segment_bytes: (spec.kv_cold_arena_bytes / 4).clamp(512, 4096),
+                    spill_path,
+                };
+                Arc::new(
+                    ShardedStore::with_tier(
+                        proc.sma(),
+                        &format!("kv-{w}"),
+                        Priority::new(3),
+                        EvictionOrder::InsertionOrder,
+                        spec.kv_shards.max(1),
+                        cfg,
+                    )
+                    .expect("create tiered KV engine"),
+                )
+            } else {
+                Arc::new(ShardedStore::new(
+                    proc.sma(),
+                    &format!("kv-{w}"),
+                    Priority::new(3),
+                    spec.kv_shards.max(1),
+                ))
+            };
             stores.extend(engine.shards().iter().cloned());
             engines.push(engine);
         }
@@ -533,6 +603,19 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
                 apply_chaos(fault, &machine, &procs, &pools, &queues);
             }
         }
+        if spec.fault.corrupt_cold == Some(pi) {
+            // Storage-level sabotage of the second-chance tier: flip
+            // bytes in every cold arena and cut every spill log in
+            // half. Checksums must turn the damage into clean misses,
+            // so no invariant family may trip — the scenario stays
+            // benign by design.
+            for (si, store) in stores.iter().enumerate() {
+                if let Some(tier) = store.tier() {
+                    tier.corrupt_arena(mix64(seed, 0xC01D ^ si as u64), 64);
+                    tier.truncate_spill();
+                }
+            }
+        }
         let scope = CheckScope {
             machine: &machine,
             smd: &smd,
@@ -561,6 +644,14 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
     };
     violations.extend(scope.check_all("quiesce"));
     checks += 1;
+    let (mut cold_demotions, mut cold_hits, mut spill_hits, mut spill_writes) = (0, 0, 0, 0);
+    for store in &stores {
+        let s = store.stats();
+        cold_demotions += s.cold_demotions;
+        cold_hits += s.cold_hits;
+        spill_hits += s.spill_hits;
+        spill_writes += s.spill_writes;
+    }
 
     // …then tear the world down and verify nothing leaks through.
     for out in &outs {
@@ -569,7 +660,7 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
                 family: InvariantFamily::GenerationSafety,
                 at: "during ops".to_string(),
                 detail: format!(
-                    "{} generation anomaly(ies) observed by worker probes",
+                    "{} generation anomaly(ies) observed by worker probes/reads",
                     outs.iter().map(|o| o.gen_anomalies).sum::<u64>()
                 ),
             });
@@ -619,6 +710,10 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
         ops_total: outs.iter().map(|o| o.ops).sum(),
         alloc_failures: outs.iter().map(|o| o.alloc_failures).sum(),
         sim_elapsed_ms: clock.now_ms(),
+        cold_demotions,
+        cold_hits,
+        spill_hits,
+        spill_writes,
         violations,
     }
 }

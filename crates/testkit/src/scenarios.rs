@@ -385,6 +385,126 @@ pub fn guarded_destroy_churn() -> ScenarioSpec {
     s
 }
 
+/// Second-chance tiering under live reclamation: tight budgets keep
+/// the last-chance callback demoting KV entries into each engine's
+/// compressed cold arena while Zipf readers immediately GET them back,
+/// so demote → promote → re-demote churn races ordinary set/get
+/// traffic. Every hit is byte-validated (0x5A fill), and the
+/// metrics-consistency family certifies the `cold_*` mirrors plus the
+/// tier's demotion conservation law at every quiescent point.
+pub fn demote_promote_churn() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("demote_promote_churn");
+    s.kv = true;
+    s.kv_cold_arena_bytes = 256 << 10;
+    s.capacity_pages = 12;
+    s.initial_budget_pages = 4;
+    s.mix = OpMix {
+        insert: 1,
+        remove: 1,
+        probe: 1,
+        push: 1,
+        pop: 1,
+        kv: 16,
+        slack: 1,
+        ..OpMix::default()
+    };
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 500,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 500,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 400,
+            advance_ms: 1_000,
+        },
+    ];
+    s
+}
+
+/// The cold tier's disk stage under flood: arenas small enough that
+/// sustained demotion pressure forces segment eviction onto the spill
+/// log while readers hammer promoted keys across shards. Arena → disk
+/// → hot round-trips must stay byte-exact and the spill accounting
+/// must conserve.
+pub fn cold_tier_flood() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("cold_tier_flood");
+    s.kv = true;
+    s.kv_shards = 2;
+    s.kv_cold_arena_bytes = 1 << 10;
+    s.kv_spill = true;
+    s.capacity_pages = 12;
+    s.initial_budget_pages = 4;
+    s.mix = OpMix {
+        insert: 1,
+        remove: 1,
+        probe: 1,
+        push: 1,
+        pop: 1,
+        kv: 16,
+        slack: 1,
+        ..OpMix::default()
+    };
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 500,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 500,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 400,
+            advance_ms: 1_000,
+        },
+    ];
+    s
+}
+
+/// Cold-tier storage corruption: after phase 1 the runner flips bytes
+/// in every arena and truncates every spill log, then the workers keep
+/// reading. Checksums must surface every damaged entry as a clean miss
+/// — never torn data, a panic, or an invariant violation — so this is
+/// a *benign* scenario despite the sabotage.
+pub fn cold_tier_corruption() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("cold_tier_corruption");
+    s.kv = true;
+    s.kv_cold_arena_bytes = 1 << 10;
+    s.kv_spill = true;
+    s.capacity_pages = 12;
+    s.initial_budget_pages = 4;
+    s.mix = OpMix {
+        insert: 1,
+        remove: 1,
+        probe: 1,
+        push: 1,
+        pop: 1,
+        kv: 16,
+        slack: 1,
+        ..OpMix::default()
+    };
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 500,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 500,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 400,
+            advance_ms: 1_000,
+        },
+    ];
+    s.fault.corrupt_cold = Some(1);
+    s
+}
+
 /// CHAOS: machine pages leak behind the allocators' backs.
 pub fn chaos_leak_machine_pages() -> ScenarioSpec {
     let mut s = ScenarioSpec::baseline("chaos_leak_machine_pages");
@@ -448,6 +568,9 @@ pub fn benign() -> Vec<ScenarioSpec> {
         steal_back_pressure(),
         guarded_reader_storm(),
         guarded_destroy_churn(),
+        demote_promote_churn(),
+        cold_tier_flood(),
+        cold_tier_corruption(),
     ]
 }
 
@@ -488,6 +611,7 @@ pub fn baseline_is_fault_free() -> bool {
         && f.disconnects.is_empty()
         && !f.panic_callbacks
         && f.chaos.is_none()
+        && f.corrupt_cold.is_none()
 }
 
 #[cfg(test)]

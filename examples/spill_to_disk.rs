@@ -1,5 +1,6 @@
-//! The last-chance callback, used productively: a soft cache that
-//! *spills* evicted entries to a slower tier instead of losing them.
+//! Second-chance soft memory: the last-chance callback demotes evicted
+//! entries into a compressed cold tier that spills to disk, and reads
+//! transparently promote them back.
 //!
 //! §3.1: "Before a list element is freed, the SMA invokes a
 //! developer-defined callback on the memory. This is a last-chance for
@@ -7,75 +8,99 @@
 //! e.g., to tag the data for future re-computation or store the data
 //! elsewhere."
 //!
+//! This example wires the real tier ([`softmem::core::ColdTier`]) under
+//! a KV store via [`Store::with_tier`]: evictions compress into a DRAM
+//! arena *outside* the soft budget, arena overflow spills to an on-disk
+//! segment file, and `GET` falls through hot → arena → disk, promoting
+//! whatever it finds. Nothing squeezed out of the soft budget is lost.
+//!
 //! Run: `cargo run --release --example spill_to_disk`
 
-use std::collections::HashMap;
+use softmem::core::{Priority, Sma, SmaConfig, TierConfig};
+use softmem::kv::Store;
+use softmem::sds::EvictionOrder;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use softmem::core::{Priority, Sma, SmaConfig};
-use softmem::sds::SoftHashMap;
-
-/// The "disk": a slow second tier (here just a map + a counter of how
-/// many spill writes happened).
-#[derive(Default)]
-struct SlowTier {
-    data: HashMap<String, Vec<u8>>,
-    writes: u64,
-    reads: u64,
-}
-
 fn main() {
-    // A deliberately tiny budget, so evictions happen constantly.
+    // A deliberately tiny soft budget, so evictions happen constantly,
+    // and a cold arena far smaller than the workload, so the arena
+    // itself overflows onto disk.
     let sma = Sma::with_config(SmaConfig::for_testing(24).free_pool_retain(0).sds_retain(0));
-    let cache: SoftHashMap<String, Vec<u8>> = SoftHashMap::new(&sma, "hot-tier", Priority::new(2));
+    let spill_path =
+        std::env::temp_dir().join(format!("softmem-example-spill-{}.log", std::process::id()));
+    let tier = Arc::new(
+        softmem::core::ColdTier::new(TierConfig {
+            arena_cap_bytes: 16 << 10,
+            segment_bytes: 4 << 10,
+            spill_path: Some(spill_path.clone()),
+        })
+        .expect("create cold tier"),
+    );
+    let store = Store::with_tier(
+        &sma,
+        "hot-tier",
+        Priority::new(2),
+        EvictionOrder::InsertionOrder,
+        "kv",
+        Arc::clone(&tier),
+    );
 
-    let disk = Arc::new(Mutex::new(SlowTier::default()));
-    let spill = Arc::clone(&disk);
-    cache.set_reclaim_callback(move |key: &String, value: &Vec<u8>| {
-        // Last chance: persist the entry before it is dropped.
-        let mut disk = spill.lock();
-        disk.data.insert(key.clone(), value.clone());
-        disk.writes += 1;
-    });
-
-    // Write far more than the hot tier can hold.
+    // Write far more than the hot tier can hold. Values are
+    // pseudo-random (incompressible) so the arena fills for real.
+    let value_of = |i: usize| -> Vec<u8> {
+        (0..96u32)
+            .map(|j| (i as u32 * 131 + j * 29 + j * j) as u8)
+            .collect()
+    };
     for i in 0..5_000 {
         let key = format!("item-{i:05}");
-        let value = vec![(i % 251) as u8; 96];
-        if cache.insert(key.clone(), value.clone()).is_err() {
-            // Budget full: shed one page's worth of entries (they are
-            // spilled by the callback) and retry.
-            use softmem::sds::SoftContainer;
-            cache.reclaim_now(4096);
-            cache.insert(key, value).expect("room after shedding");
-        }
+        store
+            .set(key.as_bytes(), &value_of(i))
+            .expect("set always lands: eviction demotes, it never fails the write");
     }
 
-    // Reads: hot tier first, slow tier second — nothing was lost.
-    let mut hot = 0;
-    let mut cold = 0;
-    for i in 0..5_000 {
+    let after_writes = store.stats();
+    assert!(
+        after_writes.cold_demotions > 0,
+        "a 24-page budget cannot hold 5000 entries; evictions must demote"
+    );
+    assert!(
+        after_writes.spill_writes > 0,
+        "a 16 KiB arena cannot hold the overflow; segments must spill to disk"
+    );
+
+    // Read everything back, newest first (newest entries are hot, the
+    // middle of the stream sits in the arena, the oldest spilled to
+    // disk — so one pass exercises all three sources). Hot hits stay
+    // hot, cold hits promote — and every byte must be identical.
+    let mut lost = 0usize;
+    for i in (0..5_000).rev() {
         let key = format!("item-{i:05}");
-        let expected = vec![(i % 251) as u8; 96];
-        match cache.get(&key) {
-            Some(v) => {
-                assert_eq!(v, expected);
-                hot += 1;
-            }
-            None => {
-                let mut disk = disk.lock();
-                disk.reads += 1;
-                let v = disk.data.get(&key).expect("spilled, not lost");
-                assert_eq!(*v, expected);
-                cold += 1;
-            }
+        match store.get(key.as_bytes()) {
+            Some(v) => assert_eq!(v, value_of(i), "promoted bytes must be identical"),
+            None => lost += 1,
         }
     }
-    let d = disk.lock();
-    println!("5000 items written through a {}-page hot tier:", 24);
-    println!("  served hot : {hot}");
-    println!("  served cold: {cold} (spilled by the reclaim callback)");
-    println!("  spill writes: {}, slow reads: {}", d.writes, d.reads);
-    println!("  lost: 0 — the last-chance callback preserved every eviction");
+    let s = store.stats();
+    assert_eq!(lost, 0, "the spill stage makes the tier lossless");
+    assert!(
+        s.cold_hits > 0,
+        "some reads must have promoted from the arena"
+    );
+    assert!(s.spill_hits > 0, "some reads must have promoted from disk");
+    assert_eq!(s.cold_corruptions, 0);
+
+    println!("5000 items pushed through a 24-page hot tier:");
+    println!(
+        "  demotions     : {} (last-chance callback)",
+        s.cold_demotions
+    );
+    println!(
+        "  spill writes  : {} segments to {}",
+        s.spill_writes,
+        spill_path.display()
+    );
+    println!("  arena promotes: {}", s.cold_hits);
+    println!("  disk promotes : {}", s.spill_hits);
+    println!("  lost          : {lost} — the second chance preserved every eviction");
 }

@@ -52,6 +52,41 @@ fn chaos_scenarios_trip_their_target_family() {
     }
 }
 
+/// The tier campaign must actually exercise the machinery it claims
+/// to: a clean verdict on a scenario whose cold tier never saw a
+/// demotion would prove nothing.
+#[test]
+fn tier_scenarios_demote_promote_and_spill() {
+    for &seed in FIXED_SEEDS {
+        let v = run_scenario(&scenarios::demote_promote_churn(), seed);
+        v.assert_clean();
+        assert!(
+            v.cold_demotions > 0 && v.cold_hits > 0,
+            "seed {seed:#x}: churn scenario saw {} demotion(s) and {} promotion(s)",
+            v.cold_demotions,
+            v.cold_hits
+        );
+
+        let v = run_scenario(&scenarios::cold_tier_flood(), seed);
+        v.assert_clean();
+        assert!(
+            v.cold_demotions > 0 && v.spill_writes > 0,
+            "seed {seed:#x}: flood scenario saw {} demotion(s) and {} spill write(s)",
+            v.cold_demotions,
+            v.spill_writes
+        );
+
+        // The corruption scenario stays clean *and* keeps demoting
+        // after the sabotage — the tier survives, it doesn't shut off.
+        let v = run_scenario(&scenarios::cold_tier_corruption(), seed);
+        v.assert_clean();
+        assert!(
+            v.cold_demotions > 0,
+            "seed {seed:#x}: corruption scenario saw no demotions at all"
+        );
+    }
+}
+
 #[test]
 fn same_seed_reproduces_schedule_and_verdict() {
     let spec = scenarios::demand_storm();
