@@ -60,6 +60,12 @@ pub(crate) struct ColdArena {
     next_seg_id: u64,
     index: HashMap<Vec<u8>, ArenaEntry>,
     compactions: u64,
+    /// Running sum of every segment's `buf.len()` — every cold hit and
+    /// cap check consults the footprint, so it must not cost a walk of
+    /// the segment list (the tier mutex is held throughout).
+    total_bytes: usize,
+    /// Running sum of every segment's `live_bytes`.
+    total_live: usize,
 }
 
 impl ColdArena {
@@ -71,6 +77,8 @@ impl ColdArena {
             next_seg_id: 0,
             index: HashMap::new(),
             compactions: 0,
+            total_bytes: 0,
+            total_live: 0,
         }
     }
 
@@ -80,11 +88,14 @@ impl ColdArena {
 
     /// Total buffer bytes held (live + dead), i.e. real DRAM footprint.
     pub(crate) fn bytes(&self) -> usize {
-        self.segments.iter().map(|s| s.buf.len()).sum()
+        self.total_bytes
     }
 
-    pub(crate) fn live_bytes(&self) -> usize {
-        self.segments.iter().map(|s| s.live_bytes).sum()
+    /// Segment position by id. Ids are assigned monotonically and
+    /// segments only leave from the front, so the deque is always
+    /// sorted by id and a binary search suffices.
+    fn seg_pos(&self, id: u64) -> Option<usize> {
+        self.segments.binary_search_by_key(&id, |s| s.id).ok()
     }
 
     pub(crate) fn compactions(&self) -> u64 {
@@ -114,6 +125,8 @@ impl ColdArena {
         let off = seg.buf.len();
         seg.buf.extend_from_slice(stored);
         seg.live_bytes += stored.len();
+        self.total_bytes += stored.len();
+        self.total_live += stored.len();
         self.index.insert(
             key,
             ArenaEntry {
@@ -133,7 +146,7 @@ impl ColdArena {
     /// it. Missing segments (already evicted) are treated as absent.
     pub(crate) fn get(&self, key: &[u8]) -> Option<(&ArenaEntry, &[u8])> {
         let entry = self.index.get(key)?;
-        let seg = self.segments.iter().find(|s| s.id == entry.seg)?;
+        let seg = &self.segments[self.seg_pos(entry.seg)?];
         let bytes = seg.buf.get(entry.off..entry.off + entry.stored_len)?;
         Some((entry, bytes))
     }
@@ -145,8 +158,10 @@ impl ColdArena {
         let Some(entry) = self.index.remove(key) else {
             return false;
         };
-        if let Some(seg) = self.segments.iter_mut().find(|s| s.id == entry.seg) {
+        if let Some(pos) = self.seg_pos(entry.seg) {
+            let seg = &mut self.segments[pos];
             seg.live_bytes = seg.live_bytes.saturating_sub(entry.stored_len);
+            self.total_live = self.total_live.saturating_sub(entry.stored_len);
         }
         self.maybe_compact();
         true
@@ -155,6 +170,8 @@ impl ColdArena {
     pub(crate) fn clear(&mut self) {
         self.segments.clear();
         self.index.clear();
+        self.total_bytes = 0;
+        self.total_live = 0;
     }
 
     /// Chaos hook: flips one pseudo-random byte per `flips` iteration
@@ -187,6 +204,28 @@ impl ColdArena {
     /// human-readable violations (empty = consistent).
     pub(crate) fn audit(&self) -> Vec<String> {
         let mut violations = Vec::new();
+        let sum_bytes: usize = self.segments.iter().map(|s| s.buf.len()).sum();
+        let sum_live: usize = self.segments.iter().map(|s| s.live_bytes).sum();
+        if sum_bytes != self.total_bytes {
+            violations.push(format!(
+                "arena total_bytes {} != recomputed {sum_bytes}",
+                self.total_bytes
+            ));
+        }
+        if sum_live != self.total_live {
+            violations.push(format!(
+                "arena total_live {} != recomputed {sum_live}",
+                self.total_live
+            ));
+        }
+        if !self
+            .segments
+            .iter()
+            .zip(self.segments.iter().skip(1))
+            .all(|(a, b)| a.id < b.id)
+        {
+            violations.push("arena segment ids out of order (binary search broken)".to_string());
+        }
         let mut live_by_seg: HashMap<u64, usize> = HashMap::new();
         for (key, entry) in &self.index {
             match self.segments.iter().find(|s| s.id == entry.seg) {
@@ -255,11 +294,13 @@ impl ColdArena {
     /// to demote).
     fn enforce_cap(&mut self, protect: u64) -> Vec<EvictedRecord> {
         let mut evicted = Vec::new();
-        while self.bytes() > self.cap_bytes && self.segments.len() > 1 {
+        while self.total_bytes > self.cap_bytes && self.segments.len() > 1 {
             if self.segments.front().map(|s| s.id) == Some(protect) {
                 break;
             }
             let seg = self.segments.pop_front().expect("non-empty");
+            self.total_bytes -= seg.buf.len();
+            self.total_live = self.total_live.saturating_sub(seg.live_bytes);
             // Collect the evicted segment's live entries by scanning
             // the index; segment eviction is rare (cap-crossing only)
             // so the scan cost is acceptable and keeps inserts O(1).
@@ -288,15 +329,19 @@ impl ColdArena {
     /// the arena is dead bytes — keeps the DRAM footprint proportional
     /// to live data after heavy invalidation/promotion churn.
     fn maybe_compact(&mut self) {
-        let total = self.bytes();
-        let live = self.live_bytes();
+        let total = self.total_bytes;
+        let live = self.total_live;
         if total < 2 * self.segment_bytes || live * 2 > total {
             return;
         }
         self.compactions += 1;
         let old_index = std::mem::take(&mut self.index);
         let old_segments = std::mem::take(&mut self.segments);
+        self.total_bytes = 0;
+        self.total_live = 0;
         for (key, entry) in old_index {
+            // Rebuild walks the old list once; a per-key binary search
+            // is not worth it here since compaction is already O(live).
             let Some(seg) = old_segments.iter().find(|s| s.id == entry.seg) else {
                 continue;
             };
@@ -310,6 +355,8 @@ impl ColdArena {
             let off = back.buf.len();
             back.buf.extend_from_slice(&stored);
             back.live_bytes += stored.len();
+            self.total_bytes += stored.len();
+            self.total_live += stored.len();
             self.index.insert(
                 key,
                 ArenaEntry {

@@ -29,19 +29,26 @@
 //! contract that makes the cold tier safe to bolt onto a store whose
 //! values must otherwise be recomputed from ground truth.
 //!
-//! Locking: the tier has a single internal mutex and calls nothing that
-//! takes another lock, so it is a *leaf* in the lock order — safe to
-//! call from an SDS reclaim callback (which runs with the SDS inner
-//! lock held) and from ordinary read paths alike.
+//! Locking: the tier splits into two mutexes. `inner` guards the DRAM
+//! state (arena, counters, the deferred-spill queue) and is a *leaf* —
+//! it calls nothing that takes another lock, so it is safe to take from
+//! an SDS reclaim callback (which runs with the SDS inner lock held).
+//! `spill` guards the on-disk log and is only ever taken *before*
+//! `inner`, never from a reclaim callback: [`ColdTier::demote`] does no
+//! I/O at all. Arena overflow is queued in DRAM and written to disk
+//! later by [`ColdTier::flush`] (or by the first read/stat that needs
+//! the log), so reclamation storms never stall the owner's hot lock
+//! behind disk writes.
 
 mod arena;
 pub mod codec;
 mod spill;
 
+use std::collections::{HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-use arena::ColdArena;
+use arena::{ColdArena, EvictedRecord};
 use spill::SpillFile;
 
 /// Where a promoted value was found.
@@ -106,6 +113,8 @@ pub struct TierStats {
     pub corruptions: u64,
     /// Arena compaction passes.
     pub compactions: u64,
+    /// Spill-log compaction passes (dead-byte rewrites of the log).
+    pub spill_compactions: u64,
     /// Live entries currently in the arena.
     pub arena_entries: u64,
     /// Arena DRAM footprint in bytes (live + dead awaiting compaction).
@@ -120,8 +129,85 @@ pub struct TierStats {
 
 struct TierInner {
     arena: ColdArena,
-    spill: Option<SpillFile>,
+    /// Arena-overflow records awaiting their deferred disk write
+    /// ([`ColdTier::flush`]). Queuing here is what keeps
+    /// [`ColdTier::demote`] free of I/O — it can run inside an eviction
+    /// callback that holds the owner's map lock. Queued records are
+    /// fully live: `take`/`contains` serve them as DRAM hits.
+    pending: VecDeque<EvictedRecord>,
+    /// Keys whose on-disk record is stale (a newer demotion superseded
+    /// it, or will — see `demote`). The records are purged from the
+    /// spill index at the next sync; the set exists because `demote`
+    /// must never take the spill lock to do the purge itself.
+    /// Invariant: `superseded ⊆ spilled`.
+    superseded: HashSet<Vec<u8>>,
+    /// Mirror of the spill index's key set, maintained under this leaf
+    /// lock so `demote`/`contains`/`take` can answer "is this key on
+    /// disk?" without touching the I/O lock.
+    spilled: HashSet<Vec<u8>>,
+    /// Whether a disk stage exists (fixed at construction).
+    has_spill: bool,
     stats: TierStats,
+}
+
+impl TierInner {
+    /// Removes a key's queued overflow record, if any.
+    fn unqueue(&mut self, key: &[u8]) -> Option<EvictedRecord> {
+        let pos = self.pending.iter().position(|r| r.key == key)?;
+        self.pending.remove(pos)
+    }
+
+    /// Whether the key has a *live* record on the spill log (a stale,
+    /// superseded record does not count).
+    fn live_on_disk(&self, key: &[u8]) -> bool {
+        self.spilled.contains(key) && !self.superseded.contains(key)
+    }
+
+    /// Decodes a record's stored bytes, counting a hit or a corruption.
+    fn finish_dram_hit(&mut self, decoded: Option<Vec<u8>>) -> Option<(Vec<u8>, TierHit)> {
+        match decoded {
+            Some(raw) => {
+                self.stats.arena_hits += 1;
+                Some((raw, TierHit::Arena))
+            }
+            None => {
+                self.stats.corruptions += 1;
+                None
+            }
+        }
+    }
+
+    /// Promotes out of the DRAM stages (arena, then the overflow
+    /// queue). `None` means "not resident in DRAM — try the disk";
+    /// `Some(inner)` is the final answer (hit, or corruption-miss).
+    fn take_dram(&mut self, key: &[u8]) -> Option<Option<(Vec<u8>, TierHit)>> {
+        if self.arena.contains(key) {
+            let decoded = self.arena.get(key).and_then(|(entry, stored)| {
+                codec::decode(stored, entry.encoding, entry.raw_len)
+                    .filter(|raw| codec::checksum(raw) == entry.checksum)
+            });
+            self.arena.remove(key);
+            return Some(self.finish_dram_hit(decoded));
+        }
+        if let Some(rec) = self.unqueue(key) {
+            let decoded = codec::decode(&rec.stored, rec.encoding, rec.raw_len)
+                .filter(|raw| codec::checksum(raw) == rec.checksum);
+            return Some(self.finish_dram_hit(decoded));
+        }
+        None
+    }
+
+    /// Folds a spill-compaction result in: records that could not be
+    /// copied forward are gone — live ones count as corruptions, stale
+    /// (superseded) ones were already accounted as replacements.
+    fn note_compaction(&mut self, dropped: Vec<Vec<u8>>) {
+        for key in dropped {
+            self.spilled.remove(&key);
+            if !self.superseded.remove(&key) {
+                self.stats.corruptions += 1;
+            }
+        }
+    }
 }
 
 /// The second-chance cold tier: compressed DRAM arena + disk spill.
@@ -140,6 +226,12 @@ struct TierInner {
 /// assert!(tier.take(b"key").is_none());
 /// ```
 pub struct ColdTier {
+    /// I/O lock: guards the spill file and its index. Lock order is
+    /// `spill` before `inner`, and nothing that may run under an
+    /// owner's hot lock (i.e. [`ColdTier::demote`]) ever takes it, so
+    /// reclamation never waits on disk.
+    spill: Mutex<Option<SpillFile>>,
+    /// Leaf lock: DRAM state and counters only, no I/O under it.
     inner: Mutex<TierInner>,
 }
 
@@ -148,23 +240,29 @@ impl ColdTier {
     /// created at `cfg.spill_path`.
     pub fn new(cfg: TierConfig) -> std::io::Result<Self> {
         let spill = match cfg.spill_path {
-            Some(path) => Some(SpillFile::create(path)?),
+            Some(path) => Some(SpillFile::create(path, cfg.segment_bytes)?),
             None => None,
         };
         Ok(ColdTier {
             inner: Mutex::new(TierInner {
                 arena: ColdArena::new(cfg.arena_cap_bytes, cfg.segment_bytes),
-                spill,
+                pending: VecDeque::new(),
+                superseded: HashSet::new(),
+                spilled: HashSet::new(),
+                has_spill: spill.is_some(),
                 stats: TierStats::default(),
             }),
+            spill: Mutex::new(spill),
         })
     }
 
-    /// Demotes an evicted `(key, value)` into the arena, spilling any
-    /// cap overflow to disk (or dropping it when no spill is
-    /// configured).
+    /// Demotes an evicted `(key, value)` into the arena. Any cap
+    /// overflow is *queued* for the spill log (or dropped, and counted,
+    /// when no spill is configured) — no disk I/O happens here, ever.
     ///
-    /// Safe to call from an eviction callback: the tier lock is a leaf.
+    /// Safe to call from an eviction callback: only the leaf lock is
+    /// taken, so a reclamation storm packs the arena at memory speed
+    /// while the queued overflow waits for the next [`ColdTier::flush`].
     pub fn demote(&self, key: &[u8], value: &[u8]) {
         let (stored, encoding) = codec::encode(value);
         let sum = codec::checksum(value);
@@ -179,71 +277,147 @@ impl ColdTier {
             inner.stats.replaced += 1;
         }
         // A fresh demotion supersedes any older copy of the same key
-        // that already reached the spill log. Without this, promoting
-        // the new arena copy would leave the stale on-disk value
-        // behind — and a later read would resurface it.
-        if let Some(spill) = inner.spill.as_mut() {
-            if spill.remove(key) {
-                inner.stats.replaced += 1;
+        // still queued for — or already on — the spill log. The queued
+        // copy is dropped right here; the on-disk record is only
+        // *marked* (removing it needs the I/O lock, which demote must
+        // never take) and purged at the next sync. Until then, reads
+        // treat a marked record as absent, so the stale value can
+        // never resurface.
+        let superseded_older = inner.unqueue(key).is_some()
+            || (inner.spilled.contains(key) && inner.superseded.insert(key.to_vec()));
+        if superseded_older {
+            inner.stats.replaced += 1;
+        }
+        if inner.has_spill {
+            inner.pending.extend(evicted);
+        } else {
+            inner.stats.dropped += evicted.len() as u64;
+        }
+    }
+
+    /// Drains deferred spill work: purges superseded on-disk records
+    /// and appends queued arena-overflow records to the log, then lets
+    /// the log compact itself. Cheap no-op when nothing is queued.
+    ///
+    /// [`ColdTier::demote`] queues this work instead of doing it inline
+    /// because it may run inside an eviction callback, under the
+    /// owner's hot lock; owners call `flush` from their own call sites
+    /// once that lock is released ([`ColdTier::stats`] and disk reads
+    /// also sync, so queued records are never stranded).
+    pub fn flush(&self) {
+        {
+            let inner = self.inner.lock().unwrap();
+            if inner.pending.is_empty() && inner.superseded.is_empty() {
+                return;
             }
         }
-        for record in evicted {
-            match inner.spill.as_mut() {
-                Some(spill) => match spill.append(
-                    &record.key,
-                    &record.stored,
-                    record.raw_len,
-                    record.encoding,
-                    record.checksum,
-                ) {
-                    Ok((spill_replaced, bytes)) => {
-                        inner.stats.spill_writes += 1;
-                        inner.stats.spill_bytes_written += bytes;
-                        if spill_replaced {
-                            inner.stats.replaced += 1;
-                        }
-                    }
-                    Err(_) => inner.stats.dropped += 1,
-                },
-                None => inner.stats.dropped += 1,
+        let mut spill_guard = self.spill.lock().unwrap();
+        if let Some(spill) = spill_guard.as_mut() {
+            self.sync_spill(spill);
+        }
+    }
+
+    /// Applies the deferred queue to the log. Caller holds the spill
+    /// lock; the leaf lock is only taken in short bursts around the
+    /// I/O, never across it, so `demote` stays wait-free during writes.
+    fn sync_spill(&self, spill: &mut SpillFile) {
+        let (markers, batch) = {
+            let inner = &mut *self.inner.lock().unwrap();
+            let markers: Vec<Vec<u8>> = inner.superseded.drain().collect();
+            let batch: Vec<EvictedRecord> = inner.pending.drain(..).collect();
+            // Pre-update the mirror so a concurrent demote already sees
+            // the post-sync disk state while the writes are in flight;
+            // readers that race this window serialize on the spill lock.
+            for key in &markers {
+                inner.spilled.remove(key);
+            }
+            for rec in &batch {
+                inner.spilled.insert(rec.key.clone());
+            }
+            (markers, batch)
+        };
+        if markers.is_empty() && batch.is_empty() {
+            return;
+        }
+        for key in &markers {
+            spill.remove(key);
+        }
+        let mut writes = 0u64;
+        let mut bytes = 0u64;
+        let mut failed: Vec<Vec<u8>> = Vec::new();
+        for rec in &batch {
+            match spill.append(
+                &rec.key,
+                &rec.stored,
+                rec.raw_len,
+                rec.encoding,
+                rec.checksum,
+            ) {
+                Ok((_, n)) => {
+                    writes += 1;
+                    bytes += n;
+                }
+                Err(_) => failed.push(rec.key.clone()),
             }
         }
+        let dropped = spill.maybe_compact();
+        let inner = &mut *self.inner.lock().unwrap();
+        inner.stats.spill_writes += writes;
+        inner.stats.spill_bytes_written += bytes;
+        for key in failed {
+            inner.spilled.remove(&key);
+            inner.stats.dropped += 1;
+        }
+        inner.note_compaction(dropped);
     }
 
     /// Promotes a key: removes it from whichever stage holds it and
     /// returns its raw bytes. `None` means a genuine miss *or* a
     /// detected corruption (counted in [`TierStats::corruptions`]) —
     /// either way the caller recomputes.
+    ///
+    /// A take racing a `demote` of the *same* key may return the value
+    /// demoted earlier; callers that need per-key ordering serialize
+    /// promotion against their own writes (the KV store's key stripes
+    /// do exactly that).
     pub fn take(&self, key: &[u8]) -> Option<(Vec<u8>, TierHit)> {
-        let inner = &mut *self.inner.lock().unwrap();
-        if inner.arena.contains(key) {
-            let decoded = inner.arena.get(key).and_then(|(entry, stored)| {
-                codec::decode(stored, entry.encoding, entry.raw_len)
-                    .filter(|raw| codec::checksum(raw) == entry.checksum)
-            });
-            inner.arena.remove(key);
-            return match decoded {
-                Some(raw) => {
-                    inner.stats.arena_hits += 1;
-                    Some((raw, TierHit::Arena))
-                }
-                None => {
-                    inner.stats.corruptions += 1;
-                    None
-                }
-            };
+        // DRAM stages first, under the leaf lock only.
+        {
+            let inner = &mut *self.inner.lock().unwrap();
+            if let Some(answer) = inner.take_dram(key) {
+                return answer;
+            }
+            if !inner.live_on_disk(key) {
+                return None;
+            }
         }
-        let spill = inner.spill.as_mut()?;
-        if !spill.contains(key) {
-            return None;
+        // Disk stage. Re-check DRAM once the I/O lock is held: the key
+        // may have moved (an in-flight sync landed it, a re-demotion
+        // overtook it, or another promoter won) while we waited.
+        let mut spill_guard = self.spill.lock().unwrap();
+        let spill = spill_guard.as_mut()?;
+        {
+            let inner = &mut *self.inner.lock().unwrap();
+            if let Some(answer) = inner.take_dram(key) {
+                return answer;
+            }
+            if !inner.live_on_disk(key) {
+                return None;
+            }
         }
-        let decoded = match spill.read(key) {
+        let read = spill.read(key);
+        spill.remove(key);
+        let decoded = match read {
             Ok(Some((stored, raw_len, encoding, sum))) => {
                 codec::decode(&stored, encoding, raw_len).filter(|raw| codec::checksum(raw) == sum)
             }
             Ok(None) | Err(()) => None,
         };
-        spill.remove(key);
+        let dropped = spill.maybe_compact();
+        let inner = &mut *self.inner.lock().unwrap();
+        inner.spilled.remove(key);
+        inner.superseded.remove(key);
+        inner.note_compaction(dropped);
         match decoded {
             Some(raw) => {
                 inner.stats.disk_hits += 1;
@@ -256,48 +430,100 @@ impl ColdTier {
         }
     }
 
-    /// Whether the key is cold (either stage), without promoting it.
+    /// Whether the key is cold (any stage, queued overflow included),
+    /// without promoting it.
     pub fn contains(&self, key: &[u8]) -> bool {
         let inner = self.inner.lock().unwrap();
-        inner.arena.contains(key) || inner.spill.as_ref().is_some_and(|s| s.contains(key))
+        inner.arena.contains(key)
+            || inner.pending.iter().any(|r| r.key == key)
+            || inner.live_on_disk(key)
     }
 
     /// Drops a key's cold copy (the hot tier just rewrote or deleted
     /// it, making the cold bytes stale). Returns whether one existed.
     pub fn invalidate(&self, key: &[u8]) -> bool {
-        let inner = &mut *self.inner.lock().unwrap();
-        let mut removed = inner.arena.remove(key);
-        if !removed {
-            if let Some(spill) = inner.spill.as_mut() {
-                removed = spill.remove(key);
+        {
+            let inner = &mut *self.inner.lock().unwrap();
+            if inner.arena.remove(key) {
+                // Any on-disk record for this key is already marked
+                // superseded (demote's invariant), so it is unreadable
+                // and will be purged at the next sync.
+                inner.stats.invalidations += 1;
+                return true;
+            }
+            if inner.unqueue(key).is_some() {
+                inner.stats.invalidations += 1;
+                return true;
+            }
+            if !inner.live_on_disk(key) {
+                return false;
             }
         }
+        // Live copy on disk: drop it under the I/O lock.
+        let mut spill_guard = self.spill.lock().unwrap();
+        let Some(spill) = spill_guard.as_mut() else {
+            return false;
+        };
+        let removed = {
+            let inner = &mut *self.inner.lock().unwrap();
+            // Same re-check as take(): the key may have moved while we
+            // waited for the I/O lock.
+            if inner.arena.remove(key) || inner.unqueue(key).is_some() {
+                inner.stats.invalidations += 1;
+                return true;
+            }
+            if inner.live_on_disk(key) {
+                spill.remove(key);
+                inner.spilled.remove(key);
+                inner.stats.invalidations += 1;
+                true
+            } else {
+                false
+            }
+        };
         if removed {
-            inner.stats.invalidations += 1;
+            let dropped = spill.maybe_compact();
+            let inner = &mut *self.inner.lock().unwrap();
+            inner.note_compaction(dropped);
         }
         removed
     }
 
-    /// Empties both stages (FLUSHALL semantics).
+    /// Empties every stage (FLUSHALL semantics), queued overflow
+    /// included.
     pub fn clear(&self) {
-        let inner = &mut *self.inner.lock().unwrap();
-        let live =
-            inner.arena.entries() as u64 + inner.spill.as_ref().map_or(0, |s| s.entries() as u64);
-        inner.stats.invalidations += live;
-        inner.arena.clear();
-        if let Some(spill) = inner.spill.as_mut() {
+        let mut spill_guard = self.spill.lock().unwrap();
+        {
+            let inner = &mut *self.inner.lock().unwrap();
+            let live = inner.arena.entries() as u64
+                + inner.pending.len() as u64
+                + (inner.spilled.len() - inner.superseded.len()) as u64;
+            inner.stats.invalidations += live;
+            inner.arena.clear();
+            inner.pending.clear();
+            inner.superseded.clear();
+            inner.spilled.clear();
+        }
+        if let Some(spill) = spill_guard.as_mut() {
             spill.clear();
         }
     }
 
-    /// Counter/occupancy snapshot.
+    /// Counter/occupancy snapshot. Syncs the deferred spill queue
+    /// first, so the disk gauges reflect every demotion that happened
+    /// before the call.
     pub fn stats(&self) -> TierStats {
+        let mut spill_guard = self.spill.lock().unwrap();
+        if let Some(spill) = spill_guard.as_mut() {
+            self.sync_spill(spill);
+        }
         let inner = self.inner.lock().unwrap();
         let mut stats = inner.stats.clone();
         stats.compactions = inner.arena.compactions();
         stats.arena_entries = inner.arena.entries() as u64;
         stats.arena_bytes = inner.arena.bytes() as u64;
-        if let Some(spill) = inner.spill.as_ref() {
+        if let Some(spill) = spill_guard.as_ref() {
+            stats.spill_compactions = spill.compactions();
             stats.disk_entries = spill.entries() as u64;
             stats.disk_live_bytes = spill.live_bytes();
             stats.disk_file_bytes = spill.file_bytes();
@@ -307,10 +533,9 @@ impl ColdTier {
 
     /// Path of the spill log, if the disk stage is enabled.
     pub fn spill_path(&self) -> Option<PathBuf> {
-        self.inner
+        self.spill
             .lock()
             .unwrap()
-            .spill
             .as_ref()
             .map(|s| s.path().clone())
     }
@@ -321,28 +546,53 @@ impl ColdTier {
         self.inner.lock().unwrap().arena.corrupt(seed, flips)
     }
 
-    /// Chaos hook: truncates the spill log to half its length. Returns
+    /// Chaos hook: truncates the spill log to half its length. Syncs
+    /// the deferred queue first so there is a log to damage. Returns
     /// bytes cut (0 when no spill stage or the log is empty).
     pub fn truncate_spill(&self) -> u64 {
-        self.inner
-            .lock()
-            .unwrap()
-            .spill
-            .as_mut()
-            .map_or(0, |s| s.truncate_for_chaos())
+        let mut spill_guard = self.spill.lock().unwrap();
+        let Some(spill) = spill_guard.as_mut() else {
+            return 0;
+        };
+        self.sync_spill(spill);
+        spill.truncate_for_chaos()
     }
 
-    /// Self-audit: structural consistency of both stages plus the
+    /// Self-audit: structural consistency of every stage plus the
     /// demotion conservation law. Returns violations (empty = sound).
     pub fn audit(&self) -> Vec<String> {
+        let spill_guard = self.spill.lock().unwrap();
         let inner = self.inner.lock().unwrap();
         let mut violations = inner.arena.audit();
-        if let Some(spill) = inner.spill.as_ref() {
-            violations.extend(spill.audit());
+        let mut disk_live = 0u64;
+        match spill_guard.as_ref() {
+            Some(spill) => {
+                violations.extend(spill.audit());
+                if inner.spilled.len() != spill.entries() {
+                    violations.push(format!(
+                        "spill mirror tracks {} keys but the index holds {}",
+                        inner.spilled.len(),
+                        spill.entries()
+                    ));
+                }
+                if !inner.superseded.is_subset(&inner.spilled) {
+                    violations
+                        .push("superseded markers exist for keys not on the spill log".to_string());
+                }
+                disk_live = (inner.spilled.len() - inner.superseded.len()) as u64;
+            }
+            None => {
+                if !inner.pending.is_empty()
+                    || !inner.spilled.is_empty()
+                    || !inner.superseded.is_empty()
+                {
+                    violations
+                        .push("tier has no disk stage but holds queued spill state".to_string());
+                }
+            }
         }
         let s = &inner.stats;
-        let live =
-            inner.arena.entries() as u64 + inner.spill.as_ref().map_or(0, |sp| sp.entries() as u64);
+        let live = inner.arena.entries() as u64 + inner.pending.len() as u64 + disk_live;
         let accounted = s.arena_hits
             + s.disk_hits
             + s.invalidations
@@ -481,6 +731,42 @@ mod tests {
         assert!(misses > 0, "corruption never surfaced");
         let s = tier.stats();
         assert!(s.corruptions > 0);
+        assert!(tier.audit().is_empty(), "{:?}", tier.audit());
+    }
+
+    #[test]
+    fn demote_defers_spill_io_until_flush() {
+        let path = temp_spill("deferred");
+        let tier = ColdTier::new(TierConfig {
+            arena_cap_bytes: 4096,
+            segment_bytes: 1024,
+            spill_path: Some(path.clone()),
+        })
+        .unwrap();
+        for i in 0..40u64 {
+            tier.demote(format!("key{i}").as_bytes(), &noise(i + 1, 500));
+        }
+        // Demote never touches the disk: the log is still empty even
+        // though the tiny arena overflowed many times over.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            0,
+            "demote performed spill I/O"
+        );
+        // Queued overflow is fully live: promoting an early (evicted
+        // out of the arena) key is served from DRAM, not the disk.
+        let (bytes, hit) = tier.take(b"key0").expect("queued record promotable");
+        assert_eq!(bytes, noise(1, 500));
+        assert_eq!(hit, TierHit::Arena);
+        assert!(tier.audit().is_empty(), "{:?}", tier.audit());
+        tier.flush();
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > 0,
+            "flush never reached the disk"
+        );
+        let s = tier.stats();
+        assert!(s.spill_writes > 0, "{s:?}");
+        assert!(s.disk_entries > 0, "{s:?}");
         assert!(tier.audit().is_empty(), "{:?}", tier.audit());
     }
 

@@ -7,6 +7,13 @@
 //! exists only so a human (or a recovery tool) can walk the log; reads
 //! here go straight to the value bytes via the index.
 //!
+//! Removals and replacements leave dead records behind, so the log
+//! compacts itself ([`SpillFile::maybe_compact`]) once more than half
+//! of it is garbage: live records stream into a fresh file that is
+//! renamed over the old one. Without this the file would grow without
+//! bound under sustained demote/promote/invalidate churn even while
+//! the live set stays small.
+//!
 //! Every failure mode — I/O error, short read, truncated file, decoder
 //! rejection, checksum mismatch — must surface to the tier as a clean
 //! miss, so every read path returns `Option`/`Result` and nothing here
@@ -37,12 +44,18 @@ pub(crate) struct SpillFile {
     tail: u64,
     /// Value+header bytes still referenced by the index.
     live_bytes: u64,
+    /// Below this file length compaction never runs (mirrors the
+    /// arena's `2 * segment_bytes` floor).
+    compact_floor: u64,
+    /// Completed compaction passes.
+    compactions: u64,
 }
 
 impl SpillFile {
     /// Creates (truncating any stale file from a previous run) the
-    /// spill log at `path`.
-    pub(crate) fn create(path: PathBuf) -> std::io::Result<Self> {
+    /// spill log at `path`. `segment_bytes` is the owning tier's
+    /// segment size; it only tunes the compaction floor.
+    pub(crate) fn create(path: PathBuf, segment_bytes: usize) -> std::io::Result<Self> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -55,6 +68,8 @@ impl SpillFile {
             index: HashMap::new(),
             tail: 0,
             live_bytes: 0,
+            compact_floor: 2 * segment_bytes.max(64) as u64,
+            compactions: 0,
         })
     }
 
@@ -76,8 +91,84 @@ impl SpillFile {
         self.tail
     }
 
-    pub(crate) fn contains(&self, key: &[u8]) -> bool {
-        self.index.contains_key(key)
+    pub(crate) fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Rewrites live records into a fresh log when more than half of
+    /// the file is dead bytes (removed or superseded records) — the
+    /// disk analogue of [`super::arena::ColdArena`]'s `maybe_compact`,
+    /// and the only thing that ever shrinks the log under sustained
+    /// demote/promote/invalidate churn. Returns the keys of records
+    /// that could no longer be read back and were dropped (the caller
+    /// counts them as corruptions); on any other I/O failure the log is
+    /// left untouched and compaction is simply retried later.
+    ///
+    /// Callers must invoke this at a quiescent point — never from
+    /// inside `append`'s replace path, where a half-written record is
+    /// not yet indexed and would be silently discarded.
+    pub(crate) fn maybe_compact(&mut self) -> Vec<Vec<u8>> {
+        if self.tail < self.compact_floor || self.live_bytes * 2 > self.tail {
+            return Vec::new();
+        }
+        let tmp_path = self.path.with_extension("compact");
+        let mut dropped = Vec::new();
+        let mut new_index = HashMap::with_capacity(self.index.len());
+        let mut tail = 0u64;
+        let built = (|| -> std::io::Result<File> {
+            let mut out = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            for (key, entry) in &self.index {
+                let mut stored = vec![0u8; entry.stored_len as usize];
+                let readable = self
+                    .file
+                    .seek(SeekFrom::Start(entry.value_off))
+                    .and_then(|_| self.file.read_exact(&mut stored))
+                    .is_ok();
+                if !readable {
+                    dropped.push(key.clone());
+                    continue;
+                }
+                let mut header = Vec::with_capacity(8 + key.len());
+                header.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                header.extend_from_slice(&(stored.len() as u32).to_le_bytes());
+                header.extend_from_slice(key);
+                out.write_all(&header)?;
+                out.write_all(&stored)?;
+                new_index.insert(
+                    key.clone(),
+                    SpillEntry {
+                        value_off: tail + header.len() as u64,
+                        stored_len: entry.stored_len,
+                        raw_len: entry.raw_len,
+                        encoding: entry.encoding,
+                        checksum: entry.checksum,
+                    },
+                );
+                tail += header.len() as u64 + stored.len() as u64;
+            }
+            std::fs::rename(&tmp_path, &self.path)?;
+            Ok(out)
+        })();
+        match built {
+            Ok(file) => {
+                self.file = file;
+                self.index = new_index;
+                self.tail = tail;
+                // Every surviving record is live by construction.
+                self.live_bytes = tail;
+                self.compactions += 1;
+                dropped
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp_path);
+                Vec::new()
+            }
+        }
     }
 
     /// Appends one record. Returns `(replaced, bytes_written)`; on I/O
@@ -207,8 +298,10 @@ impl SpillFile {
 impl Drop for SpillFile {
     fn drop(&mut self) {
         // The spill log has no meaning across restarts (soft memory is
-        // recomputable by contract) — clean up after ourselves.
+        // recomputable by contract) — clean up after ourselves,
+        // including any temp file a crashed compaction left behind.
         let _ = std::fs::remove_file(&self.path);
+        let _ = std::fs::remove_file(self.path.with_extension("compact"));
     }
 }
 
@@ -225,7 +318,7 @@ mod tests {
     fn append_read_roundtrip_and_cleanup() {
         let path = temp_path("roundtrip");
         {
-            let mut spill = SpillFile::create(path.clone()).unwrap();
+            let mut spill = SpillFile::create(path.clone(), 4096).unwrap();
             let value = b"spilled value bytes".repeat(7);
             let (stored, enc) = codec::encode(&value);
             spill
@@ -246,7 +339,7 @@ mod tests {
     #[test]
     fn truncation_surfaces_as_read_error_not_garbage() {
         let path = temp_path("truncate");
-        let mut spill = SpillFile::create(path).unwrap();
+        let mut spill = SpillFile::create(path, 4096).unwrap();
         for i in 0..32 {
             let value = vec![i as u8; 512];
             let (stored, enc) = codec::encode(&value);
@@ -275,5 +368,57 @@ mod tests {
             }
         }
         assert!(errs > 0, "truncation should break tail reads");
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_log_bytes() {
+        let path = temp_path("compact");
+        let mut spill = SpillFile::create(path.clone(), 512).unwrap();
+        let value = |i: usize| -> Vec<u8> { (0..200).map(|j| (i * 131 + j * 29) as u8).collect() };
+        for i in 0..64 {
+            let v = value(i);
+            let (stored, enc) = codec::encode(&v);
+            spill
+                .append(
+                    format!("key{i}").as_bytes(),
+                    &stored,
+                    v.len(),
+                    enc,
+                    codec::checksum(&v),
+                )
+                .unwrap();
+        }
+        let before = spill.file_bytes();
+        for i in 0..60 {
+            spill.remove(format!("key{i}").as_bytes());
+        }
+        let dropped = spill.maybe_compact();
+        assert!(dropped.is_empty(), "all survivors readable: {dropped:?}");
+        assert!(spill.compactions() > 0, "compaction never triggered");
+        assert!(
+            spill.file_bytes() < before / 2,
+            "dead log bytes not reclaimed: {} vs {before}",
+            spill.file_bytes()
+        );
+        assert_eq!(spill.live_bytes(), spill.file_bytes());
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            spill.file_bytes(),
+            "on-disk length matches the compacted tail"
+        );
+        // Survivors still read back byte-identical through the
+        // rewritten offsets.
+        for i in 60..64 {
+            let (stored, raw_len, enc, sum) =
+                spill.read(format!("key{i}").as_bytes()).unwrap().unwrap();
+            let back = codec::decode(&stored, enc, raw_len).expect("survivor intact");
+            assert_eq!(back, value(i));
+            assert_eq!(codec::checksum(&back), sum);
+        }
+        assert!(spill.audit().is_empty(), "{:?}", spill.audit());
+        // A small or mostly-live log never compacts.
+        let passes = spill.compactions();
+        spill.maybe_compact();
+        assert_eq!(spill.compactions(), passes);
     }
 }

@@ -55,6 +55,9 @@ pub struct StoreMetrics {
     /// Mirror of [`crate::StoreStats::cold_corruptions`] (set from
     /// tier ground truth on refresh).
     pub cold_corruptions: Arc<Gauge>,
+    /// Spill-log compaction passes (set from tier ground truth on
+    /// refresh).
+    pub spill_compactions: Arc<Gauge>,
     /// Reclamation-callback duration (ns), one sample per entry lost.
     pub callback_ns: Arc<Histogram>,
     /// Per-command execution latency (ns), across all verbs.
@@ -83,6 +86,7 @@ impl StoreMetrics {
             spill_bytes: registry.gauge("spill_bytes"),
             spill_writes: registry.gauge("spill_writes"),
             cold_corruptions: registry.gauge("cold_corruptions"),
+            spill_compactions: registry.gauge("spill_compactions"),
             callback_ns: registry.histogram("callback_ns"),
             op_ns: registry.histogram("op_ns"),
             registry,

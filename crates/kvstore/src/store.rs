@@ -139,7 +139,19 @@ pub struct Store {
     /// present, evictions demote into it and reads fall through
     /// hot → arena → disk, promoting on access.
     tier: Option<Arc<ColdTier>>,
+    /// Per-key stripes serializing every mutation of a key's
+    /// *placement* (SET/DEL/expiry and cold-tier promotion). The hot
+    /// table's own lock makes each operation atomic, but promotion is
+    /// two operations — `tier.take` then `table.insert` — and a SET or
+    /// DEL landing in between would be silently overwritten by the
+    /// stale promoted value. Holding the key's stripe across both
+    /// halves (and across every write) closes that window.
+    stripes: Vec<Mutex<()>>,
 }
+
+/// Number of key stripes. Power of two, sized so 64 concurrent
+/// connections rarely collide on unrelated keys.
+const STRIPES: usize = 64;
 
 impl Store {
     /// Creates a store whose table is registered with `sma` as an SDS
@@ -253,6 +265,7 @@ impl Store {
             metrics,
             expiries: Mutex::new(HashMap::new()),
             tier,
+            stripes: (0..STRIPES).map(|_| Mutex::new(())).collect(),
         };
         if store.tier.is_some() {
             // Evicting from this SDS loses no data (the value survives
@@ -263,6 +276,19 @@ impl Store {
         store
     }
 
+    /// The stripe guarding `key`'s placement (FNV-1a over the key).
+    /// Callers hold it across any take/insert or remove/invalidate
+    /// pair; it is never held while acquiring another stripe (except
+    /// [`Store::flushall`], which takes all of them in index order).
+    fn stripe(&self, key: &[u8]) -> &Mutex<()> {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.stripes[(h as usize) % STRIPES]
+    }
+
     /// Removes `key` if its deadline has passed; returns whether it
     /// was expired (lazy expiry, as in Redis).
     fn expire_if_due(&self, key: &[u8]) -> bool {
@@ -271,6 +297,7 @@ impl Store {
             matches!(expiries.get(key), Some(&deadline) if deadline <= Instant::now())
         };
         if due {
+            let _placement = self.stripe(key).lock();
             self.expiries.lock().remove(key);
             self.table.remove(&key.to_vec());
             // An expired key's cold copy is stale too — a later GET
@@ -315,6 +342,9 @@ impl Store {
             self.metrics.spill_bytes.set(t.disk_live_bytes as i64);
             self.metrics.spill_writes.set(t.spill_writes as i64);
             self.metrics.cold_corruptions.set(t.corruptions as i64);
+            self.metrics
+                .spill_compactions
+                .set(t.spill_compactions as i64);
         }
     }
 
@@ -327,13 +357,9 @@ impl Store {
     pub fn set(&self, key: &[u8], value: &[u8]) -> SoftResult<()> {
         self.counters.sets.fetch_add(1, Ordering::Relaxed);
         self.metrics.sets.add(1);
+        let _placement = self.stripe(key).lock();
         self.expiries.lock().remove(key);
-        // The hot write supersedes any cold copy; dropping it up front
-        // keeps "a key lives in at most one tier" trivially true.
-        if let Some(tier) = &self.tier {
-            tier.invalidate(key);
-        }
-        match self.table.insert(key.to_vec(), value.to_vec()) {
+        let result = match self.table.insert(key.to_vec(), value.to_vec()) {
             Ok(_) => Ok(()),
             Err(err @ (SoftError::BudgetExceeded { .. } | SoftError::Denied { .. })) => {
                 if matches!(
@@ -351,15 +377,30 @@ impl Store {
                 // granularity at which the allocator can actually
                 // return memory).
                 if self.table.reclaim_now(4096) == 0 {
-                    return Err(SoftError::BudgetExceeded {
+                    Err(SoftError::BudgetExceeded {
                         requested_pages: 1,
                         available_pages: 0,
-                    });
+                    })
+                } else {
+                    self.table.insert(key.to_vec(), value.to_vec()).map(|_| ())
                 }
-                self.table.insert(key.to_vec(), value.to_vec()).map(|_| ())
             }
             Err(e) => Err(e),
+        };
+        if let Some(tier) = &self.tier {
+            // Drop the superseded cold copy only once the hot write
+            // actually holds the key: a failed SET must leave the
+            // previously readable cold value readable, not turn a cold
+            // hit into a permanent miss.
+            if result.is_ok() {
+                tier.invalidate(key);
+            }
+            // The shed-and-retry path above may have demoted a page of
+            // entries; their deferred spill writes happen here, outside
+            // the map lock.
+            tier.flush();
         }
+        result
     }
 
     /// Fetches the value under `key`; `None` is a miss (absent or
@@ -379,14 +420,7 @@ impl Store {
     /// rendering routes through here.
     pub fn get_into(&self, key: &[u8], buf: &mut Vec<u8>) -> bool {
         self.expire_if_due(key);
-        let hit = self
-            .table
-            .get_with(&key.to_vec(), |v| {
-                buf.reserve(v.len());
-                buf.extend_from_slice(v);
-            })
-            .is_some();
-        if hit {
+        if self.read_hot(key, buf) {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
             self.metrics.hits.add(1);
             return true;
@@ -396,6 +430,18 @@ impl Store {
         // table (best-effort — under budget pressure the value is
         // re-demoted rather than lost).
         if let Some(tier) = &self.tier {
+            // The stripe makes take→insert atomic with respect to
+            // SET/DEL on the same key: without it, a write landing
+            // between the two would be overwritten by the stale
+            // promoted value (lost update / deleted-key resurrection).
+            let _placement = self.stripe(key).lock();
+            // Re-check hot under the stripe — a racing promotion or
+            // SET may have landed while we waited for it.
+            if self.read_hot(key, buf) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.hits.add(1);
+                return true;
+            }
             if let Some((value, source)) = tier.take(key) {
                 buf.reserve(value.len());
                 buf.extend_from_slice(&value);
@@ -414,10 +460,22 @@ impl Store {
         false
     }
 
+    /// Copies the hot value for `key` into `buf`; returns whether it
+    /// was there. On a miss `buf` is untouched.
+    fn read_hot(&self, key: &[u8], buf: &mut Vec<u8>) -> bool {
+        self.table
+            .get_with(&key.to_vec(), |v| {
+                buf.reserve(v.len());
+                buf.extend_from_slice(v);
+            })
+            .is_some()
+    }
+
     /// Reinserts a promoted value into the hot table, shedding a page
     /// of colder entries and retrying once when the budget is tight.
     /// If even that fails the value goes back to the cold tier — a
     /// promotion may be deferred, but it is never silently dropped.
+    /// Runs with the key's stripe held (see [`Store::get_into`]).
     fn promote(&self, key: &[u8], value: Vec<u8>) {
         let tier = self.tier.as_ref().expect("promote requires a tier");
         match self.table.insert(key.to_vec(), value.clone()) {
@@ -429,16 +487,22 @@ impl Store {
                     tier.demote(key, &value);
                     self.metrics.cold_demotions.add(1);
                 }
+                // The shed (and a failed promotion's re-demotion) may
+                // have queued spill work; write it out here, outside
+                // the map lock.
+                tier.flush();
             }
             Err(_) => {
                 tier.demote(key, &value);
                 self.metrics.cold_demotions.add(1);
+                tier.flush();
             }
         }
     }
 
     /// Deletes `key`; returns whether it existed (in either tier).
     pub fn del(&self, key: &[u8]) -> bool {
+        let _placement = self.stripe(key).lock();
         self.expiries.lock().remove(key);
         let hot = self.table.remove(&key.to_vec()).is_some();
         let cold = match &self.tier {
@@ -540,6 +604,9 @@ impl Store {
 
     /// Drops every key (both tiers).
     pub fn flushall(&self) {
+        // Take every stripe (in index order, so concurrent flushes
+        // cannot deadlock) so no promotion or write straddles the wipe.
+        let _placement: Vec<_> = self.stripes.iter().map(|s| s.lock()).collect();
         self.expiries.lock().clear();
         self.table.clear();
         if let Some(tier) = &self.tier {
@@ -578,7 +645,13 @@ impl Store {
     /// Manually gives up about `bytes` of soft memory (e.g. a nightly
     /// scale-down), exactly as daemon-driven reclamation would.
     pub fn shed(&self, bytes: usize) -> usize {
-        self.table.reclaim_now(bytes)
+        let freed = self.table.reclaim_now(bytes);
+        // Demotions queued by the eviction callback get their disk
+        // writes now, outside the map lock.
+        if let Some(tier) = &self.tier {
+            tier.flush();
+        }
+        freed
     }
 
     /// Sets the simulated per-entry cleanup cost charged inside the
@@ -1035,6 +1108,109 @@ mod tests {
             assert_eq!(s.metrics().cold_demotions.get(), st.cold_demotions);
             assert_eq!(s.metrics().cold_hits.get(), st.cold_hits);
         }
+    }
+
+    #[test]
+    fn deleted_key_is_never_resurrected_by_promotion() {
+        // The promotion race the key stripes close: a GET finds the key
+        // cold, takes it from the tier, and a DEL lands before the hot
+        // reinsert. Unserialized, the promote would overwrite the
+        // delete and the key would live forever. Run the pair under a
+        // barrier many times — the key must be gone every time.
+        let (_sma, s) = tiered_store(64, None, 1 << 20);
+        for round in 0..50u32 {
+            let key = format!("race-{round}");
+            s.set(key.as_bytes(), &[9u8; 64]).unwrap();
+            // Push it cold so the GET goes down the promotion path.
+            s.shed(s.soft_bytes() + 4096);
+            assert!(
+                s.tier().unwrap().contains(key.as_bytes()),
+                "key never went cold"
+            );
+            let barrier = std::sync::Barrier::new(2);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let _ = s.get(key.as_bytes());
+                });
+                scope.spawn(|| {
+                    barrier.wait();
+                    s.del(key.as_bytes());
+                });
+            });
+            assert_eq!(
+                s.get(key.as_bytes()),
+                None,
+                "deleted key resurrected by a racing promotion"
+            );
+            assert!(!s.exists(key.as_bytes()));
+        }
+        assert!(s.tier().unwrap().audit().is_empty());
+    }
+
+    #[test]
+    fn failed_set_keeps_cold_copy_readable() {
+        // A SET that cannot get a hot slot must not destroy the cold
+        // copy it meant to supersede: invalidation happens only after
+        // the hot insert succeeds.
+        struct DegradedSource;
+        impl softmem_core::BudgetSource for DegradedSource {
+            fn grant_more(
+                &self,
+                _need: usize,
+                _want: usize,
+            ) -> SoftResult<softmem_core::budget::Grant> {
+                Err(SoftError::Denied {
+                    reason: softmem_core::error::DenyReason::Degraded,
+                })
+            }
+        }
+        let sma = Sma::with_config(
+            softmem_core::SmaConfig::for_testing(8)
+                .free_pool_retain(0)
+                .sds_retain(0),
+        );
+        sma.set_budget_source(Arc::new(DegradedSource));
+        let tier = Arc::new(
+            ColdTier::new(softmem_core::TierConfig {
+                arena_cap_bytes: 1 << 20,
+                segment_bytes: 4096,
+                spill_path: None,
+            })
+            .unwrap(),
+        );
+        let s = Store::with_tier(
+            &sma,
+            "kv",
+            Priority::new(4),
+            EvictionOrder::InsertionOrder,
+            "kv",
+            Arc::clone(&tier),
+        );
+        s.set(b"victim", b"precious cold bytes").unwrap();
+        // Demote everything, then let a sibling store starve the pool
+        // so the next insert has nowhere to get a slot from.
+        s.shed(s.soft_bytes() + 4096);
+        assert!(tier.contains(b"victim"), "value never went cold");
+        let hog = Store::new(&sma, "hog", Priority::new(4));
+        for i in 0..2000u32 {
+            hog.set(format!("hog-{i:06}").as_bytes(), &[7u8; 32])
+                .expect("hog rides out the degraded budget by shedding");
+        }
+        let err = s
+            .set(b"victim", b"replacement")
+            .expect_err("no free page, no grant, nothing of its own to shed — this SET must fail");
+        assert!(matches!(err, SoftError::BudgetExceeded { .. }), "{err:?}");
+        // The failed SET left the old cold value untouched and readable.
+        assert!(
+            tier.contains(b"victim"),
+            "failed SET destroyed the cold copy"
+        );
+        assert_eq!(
+            s.get(b"victim"),
+            Some(b"precious cold bytes".to_vec()),
+            "cold value must survive a failed overwrite"
+        );
     }
 
     #[test]
