@@ -2,17 +2,22 @@
 //!
 //! Two experiments, reported together as `BENCH_shard.json`:
 //!
-//! 1. **Throughput**: a fixed pool of shard-affine client threads
-//!    drives Zipf GET/SET churn against a 1-, 2- and 4-shard engine
-//!    for a fixed wall-clock window while a machine reclamation loop
-//!    applies an identical dose of budget pressure to every
-//!    configuration. Reclamation callbacks are charged an *off-CPU*
-//!    per-entry cost ([`ReclaimCostModel::Sleep`] — the
-//!    unmap/destructor/IO work a real cache does per evicted entry),
-//!    and a squeeze holds the victim map's inner lock for its whole
-//!    multi-millisecond run. With one shard that lock is the whole
-//!    keyspace and every client stalls behind it; with four, the
-//!    squeeze lands on one shard while the other three keep serving.
+//! 1. **Throughput**: a fixed pool of *paced* shard-affine client
+//!    threads offers a constant aggregate load (open-loop, no
+//!    catch-up: demand a stalled client couldn't serve is lost, like
+//!    live traffic) against a 1-, 2-, 4- and 8-shard engine for a
+//!    fixed wall-clock window, while a reclamation loop applies an
+//!    *exact* squeeze dose — every round [`Store::shed`]s the same
+//!    byte count from a rotating victim shard. Reclamation callbacks
+//!    are charged an *off-CPU* per-entry cost
+//!    ([`ReclaimCostModel::Sleep`] — the unmap/destructor/IO work a
+//!    real cache does per evicted entry), and a squeeze holds the
+//!    victim map's inner lock for its whole multi-millisecond run.
+//!    The offered load is deliberately below core saturation, so what
+//!    the sweep measures is the squeeze *blast radius*: with one shard
+//!    that lock is the whole keyspace and every client stalls behind
+//!    every squeeze; with eight, each squeeze stalls one client while
+//!    the other seven keep serving their offered load.
 //!
 //! 2. **No-stall**: one low-priority shard holds the bulk of the data
 //!    and an SMA reclamation loop squeezes it (expensive sleeping
@@ -23,8 +28,9 @@
 //!    (p50/p99/max) for both are the evidence.
 //!
 //! Run: `cargo run --release -p softmem-bench --bin shard_scaling`
-//! Options: `--quick` (CI preset), `--out PATH`
-//! (default `BENCH_shard.json`).
+//! Options: `--quick` (CI preset), `--check` (exit non-zero if a
+//! scaling plateau is detected — the ROADMAP's regression gate),
+//! `--out PATH` (default `BENCH_shard.json`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,16 +42,35 @@ use softmem_sds::EvictionOrder;
 use softmem_sim::ZipfKeys;
 
 /// Client threads driving every throughput configuration (fixed, so
-/// shard count is the only variable).
-const CLIENTS: usize = 4;
+/// shard count is the only variable). Eight, matching the widest shard
+/// sweep point: at 8 shards every client owns a private shard, at 4
+/// shards a squeeze stalls two clients, at 1 shard it stalls all
+/// eight.
+const CLIENTS: usize = 8;
 /// Keys in the Zipf working set.
 const KEYSPACE: usize = 4096;
 /// Value bytes per SET.
 const VALUE_LEN: usize = 1024;
+/// Offered load per paced client (open-loop). Well below what the
+/// hardware can serve, so throughput differences come from squeeze
+/// stalls, not core saturation.
+const PACE_OPS_PER_SEC: u64 = 50_000;
+/// Ops issued back-to-back per pacing tick. Coarse enough that the
+/// sleep-timer overshoot between ticks costs only a few percent of
+/// the offered load.
+const PACE_BATCH: u64 = 64;
+/// Reclaim demand each squeeze round sheds from its victim shard —
+/// the dose is exact and identical for every shard count. SDS
+/// reclamation accounts this in entry-struct bytes (~48 per entry),
+/// so this sheds ≈128 entries per round, a lock-hold of ~15-20 ms
+/// (each 50 µs sleep costs ~100-150 µs of wall clock at kernel timer
+/// granularity).
+const SHED_BYTES: usize = 6 << 10;
 
 struct ThroughputResult {
     shards: usize,
     ops: u64,
+    offered: u64,
     elapsed: Duration,
     reclaimed_entries: u64,
     reclaim_rounds: usize,
@@ -54,6 +79,11 @@ struct ThroughputResult {
 impl ThroughputResult {
     fn ops_per_sec(&self) -> f64 {
         self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of the offered load the configuration served.
+    fn achieved(&self) -> f64 {
+        self.ops as f64 / (self.offered as f64).max(1e-9)
     }
 }
 
@@ -84,16 +114,19 @@ fn client_pools(engine: &ShardedStore, shards: usize) -> Vec<Vec<String>> {
         .collect()
 }
 
-/// Measures aggregate GET/SET throughput over a fixed wall-clock
-/// window while a machine reclamation loop applies a fixed dose of
-/// budget pressure (`rounds` × [`Sma::reclaim`], each squeezing entry
-/// slots out of shard maps with `cost` of off-CPU cleanup per entry).
+/// Measures how much of a constant offered load the engine serves
+/// over a fixed wall-clock window while a reclamation loop applies an
+/// exact squeeze dose: `rounds` evenly-spaced [`Store::shed`] calls of
+/// [`SHED_BYTES`] each, rotating over victim shards, with `cost` of
+/// off-CPU cleanup charged per evicted entry inside the victim map's
+/// inner lock.
 ///
-/// The squeeze dose is identical for every shard count — only the
-/// blast radius differs. A squeeze holds the victim map's inner lock
-/// for its whole multi-millisecond callback run: with one shard that
-/// is the only map and all four clients stall behind it; with four,
-/// the three unsqueezed shards keep serving at full speed.
+/// The dose is identical for every shard count — only the blast
+/// radius differs. A squeeze holds the victim map's inner lock for
+/// its whole multi-millisecond callback run: with one shard that is
+/// the only map and all eight paced clients stall behind it (their
+/// missed demand is lost — open-loop, no catch-up); with eight, each
+/// squeeze stalls exactly one client.
 fn throughput_config(
     shards: usize,
     window: Duration,
@@ -102,7 +135,7 @@ fn throughput_config(
     seed: u64,
 ) -> ThroughputResult {
     let sma = Sma::with_config(
-        SmaConfig::for_testing(512)
+        SmaConfig::for_testing(1536)
             .free_pool_retain(0)
             .sds_retain(0),
     );
@@ -111,9 +144,8 @@ fn throughput_config(
     engine.set_reclaim_cost_model(ReclaimCostModel::Sleep);
 
     // Pre-fill every pool so the measured workload is overwrite/read
-    // churn at steady state, then burn the budget slack so each
-    // reclaim round is forced into tier 3 (map squeezes) instead of
-    // being absorbed silently.
+    // churn at steady state (the budget holds the whole keyspace;
+    // shed rounds are the only eviction pressure).
     let pools = client_pools(&engine, shards.max(1));
     let value = [0x5A_u8; VALUE_LEN];
     for pool in &pools {
@@ -121,20 +153,26 @@ fn throughput_config(
             engine.set(key.as_bytes(), &value).expect("pre-fill");
         }
     }
-    let slack = sma.stats().slack_pages();
-    sma.reclaim(slack);
 
     let ops_done = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
     let reclaimer = {
-        let sma = Arc::clone(&sma);
+        let engine = Arc::clone(&engine);
+        let period = window.div_f64(rounds as f64);
         std::thread::spawn(move || {
-            for _ in 0..rounds {
-                sma.reclaim(2);
+            let begin = Instant::now();
+            for r in 0..rounds {
+                let due = begin + period.mul_f64(r as f64);
+                let now = Instant::now();
+                if now < due {
+                    std::thread::sleep(due - now);
+                }
+                engine.shard(r % shards).shed(SHED_BYTES);
             }
         })
     };
+    let interval = Duration::from_secs_f64(PACE_BATCH as f64 / PACE_OPS_PER_SEC as f64);
     let workers: Vec<_> = pools
         .into_iter()
         .enumerate()
@@ -146,17 +184,28 @@ fn throughput_config(
                 let mut zipf = ZipfKeys::new(pool.len(), 1.05, seed ^ ((c as u64 + 1) << 32));
                 let value = [0x5A_u8; VALUE_LEN];
                 let mut ops = 0u64;
+                let mut next = Instant::now();
                 while !stop.load(Ordering::Acquire) {
-                    let key = &pool[zipf.next_key()];
-                    if ops % 5 < 3 {
-                        // A SET may transiently fail while a squeeze
-                        // holds freed pages mid-harvest; churn retries
-                        // it on the next visit.
-                        let _ = engine.set(key.as_bytes(), &value);
-                    } else {
-                        let _ = engine.get(key.as_bytes());
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep(next - now);
                     }
-                    ops += 1;
+                    for _ in 0..PACE_BATCH {
+                        let key = &pool[zipf.next_key()];
+                        if ops % 5 < 3 {
+                            // A SET may transiently fail while a
+                            // squeeze holds freed pages mid-harvest;
+                            // churn retries it on the next visit.
+                            let _ = engine.set(key.as_bytes(), &value);
+                        } else {
+                            let _ = engine.get(key.as_bytes());
+                        }
+                        ops += 1;
+                    }
+                    // Open-loop pacing with no catch-up: a client that
+                    // lost time behind a squeeze skips the ticks it
+                    // missed — that demand is gone, like live traffic.
+                    next = std::cmp::max(next + interval, Instant::now());
                 }
                 ops_done.fetch_add(ops, Ordering::Relaxed);
             })
@@ -172,6 +221,7 @@ fn throughput_config(
     ThroughputResult {
         shards,
         ops: ops_done.load(Ordering::Relaxed),
+        offered: PACE_OPS_PER_SEC * CLIENTS as u64 * elapsed.as_millis() as u64 / 1000,
         elapsed,
         reclaimed_entries: engine.stats().reclaimed_entries,
         reclaim_rounds: rounds,
@@ -312,6 +362,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick")
         || std::env::var("SOFTMEM_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let check = args.iter().any(|a| a == "--check");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -321,40 +372,47 @@ fn main() {
 
     let window = Duration::from_millis(if quick { 250 } else { 1000 });
     let cost = Duration::from_micros(50);
-    let rounds = if quick { 12 } else { 48 };
+    let rounds = if quick { 16 } else { 64 };
     let seed = 0x5EED_CAFE_u64;
 
     println!("== shard scaling ==");
     println!(
-        "{CLIENTS} shard-affine clients, {KEYSPACE}-key Zipf churn, {:?} window, \
-         {rounds} reclaim rounds, {}µs off-CPU cleanup per evicted entry\n",
+        "{CLIENTS} paced shard-affine clients offering {} ops/s total, {KEYSPACE}-key \
+         Zipf churn, {:?} window, {rounds} × {}KiB shed rounds, {}µs off-CPU cleanup \
+         per evicted entry\n",
+        PACE_OPS_PER_SEC * CLIENTS as u64,
         window,
+        SHED_BYTES >> 10,
         cost.as_micros()
     );
 
     let mut configs = Vec::new();
-    for shards in [1usize, 2, 4] {
+    for shards in [1usize, 2, 4, 8] {
         let r = throughput_config(shards, window, rounds, cost, seed);
         println!(
-            "{} shard(s): {:>9.0} ops/s  ({} ops in {:?}, {} entries squeezed out)",
+            "{} shard(s): {:>7.0} ops/s served of {:>7} offered ({:>5.1}%, \
+             {} entries squeezed out)",
             r.shards,
             r.ops_per_sec(),
-            r.ops,
-            r.elapsed,
+            r.offered,
+            r.achieved() * 100.0,
             r.reclaimed_entries
         );
         configs.push(r);
     }
     let speedup = configs[2].ops_per_sec() / configs[0].ops_per_sec().max(1e-9);
     let speedup_2x = configs[1].ops_per_sec() / configs[0].ops_per_sec().max(1e-9);
+    let speedup_8x = configs[3].ops_per_sec() / configs[0].ops_per_sec().max(1e-9);
     // A plateau means adding shards stopped buying throughput: some
     // N-shard configuration did no better than the (N/2)-shard one —
     // the allocator (not the shard maps) has become the bottleneck.
     let plateau = configs[1].ops_per_sec() <= configs[0].ops_per_sec()
-        || configs[2].ops_per_sec() <= configs[1].ops_per_sec();
+        || configs[2].ops_per_sec() <= configs[1].ops_per_sec()
+        || configs[3].ops_per_sec() <= configs[2].ops_per_sec();
     println!(
         "\n2-shard vs 1-shard speedup: {speedup_2x:.2}x, \
-         4-shard vs 1-shard speedup: {speedup:.2}x{}",
+         4-shard vs 1-shard speedup: {speedup:.2}x, \
+         8-shard vs 1-shard speedup: {speedup_8x:.2}x{}",
         if plateau { "  [PLATEAU]" } else { "" }
     );
 
@@ -382,10 +440,13 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "{{\"shards\":{},\"clients\":{CLIENTS},\"ops\":{},\"elapsed_ms\":{},\
+                "{{\"shards\":{},\"clients\":{CLIENTS},\"ops\":{},\"offered\":{},\
+                 \"achieved\":{:.3},\"elapsed_ms\":{},\
                  \"ops_per_sec\":{:.0},\"reclaim_rounds\":{},\"reclaimed_entries\":{}}}",
                 r.shards,
                 r.ops,
+                r.offered,
+                r.achieved(),
                 r.elapsed.as_millis(),
                 r.ops_per_sec(),
                 r.reclaim_rounds,
@@ -396,7 +457,8 @@ fn main() {
     let json = format!(
         "{{\"quick\":{quick},\"reclaim_cost_ns_per_entry\":{},\
          \"throughput\":[{}],\"speedup_4x_vs_1x\":{speedup:.2},\
-         \"speedup_2x_vs_1x\":{speedup_2x:.2},\"plateau_detected\":{plateau},\
+         \"speedup_2x_vs_1x\":{speedup_2x:.2},\"speedup_8x_vs_1x\":{speedup_8x:.2},\
+         \"plateau_detected\":{plateau},\
          \"no_stall\":{{\"one_shard\":{},\"four_shards\":{},\
          \"during_reclaim_throughput_ratio\":{stall_ratio:.1},\
          \"worst_stall_ratio\":{max_ratio:.1}}}}}",
@@ -407,4 +469,12 @@ fn main() {
     );
     std::fs::write(&out, format!("{json}\n")).expect("write report");
     println!("\nwrote {out}");
+
+    if check && plateau {
+        eprintln!(
+            "FAIL: shard scaling plateaued — some N-shard configuration did no \
+             better than its (N/2)-shard baseline (see {out})"
+        );
+        std::process::exit(1);
+    }
 }

@@ -6,19 +6,28 @@
 //! `--shards N` splits the keyspace over N independent engine threads
 //! (one SDS and one worker each), the shard-per-core deployment shape.
 //!
+//! Two network frontends (DESIGN.md §network-plane):
+//!
+//! * `--frontend reactor` (default on Linux) — the event-driven plane:
+//!   a small pool of epoll reactors multiplexes every client socket,
+//!   frames and hash-routes requests to per-shard SPSC rings, and shard
+//!   workers execute them in batches. Scales to thousands of idle or
+//!   slow connections without a thread each. `--reactors N` sizes the
+//!   pool (0 = auto).
+//! * `--frontend threads` — the legacy thread-per-connection loop,
+//!   kept as a baseline and for non-Linux builds.
+//!
 //! ```sh
 //! cargo run --release -p softmem-kv --bin kv_server -- --budget-mib 64 --shards 4
 //! # in another terminal:
 //! cargo run --release -p softmem-kv --bin kv_cli -- 127.0.0.1:<port>
 //! ```
 
-use std::net::TcpListener;
 use std::sync::Arc;
 
 use softmem_core::{bytes_to_pages, Priority, Sma, SmaConfig};
 use softmem_daemon::uds::UdsProcess;
-use softmem_kv::server::{KvHandle, KvServer};
-use softmem_kv::{Response, ShardedStore};
+use softmem_kv::ShardedStore;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -36,6 +45,14 @@ fn main() {
         .unwrap_or(1)
         .max(1);
     let addr = arg("--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let frontend = arg("--frontend").unwrap_or_else(|| {
+        if cfg!(target_os = "linux") {
+            "reactor".to_string()
+        } else {
+            "threads".to_string()
+        }
+    });
+    let reactors: usize = arg("--reactors").and_then(|v| v.parse().ok()).unwrap_or(0);
 
     // Two modes: a fixed standalone budget, or membership of a
     // machine-wide daemon (multiple kv_server processes then share
@@ -56,22 +73,83 @@ fn main() {
         ),
     };
     let engine = ShardedStore::new(&sma, "keyspace", Priority::new(4), shards);
+
+    match frontend.as_str() {
+        "reactor" => run_reactor(&addr, engine, reactors, budget_mib, shards),
+        "threads" => run_threads(&addr, engine, budget_mib, shards),
+        other => {
+            eprintln!("unknown --frontend {other:?} (expected 'reactor' or 'threads')");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(local: std::net::SocketAddr, frontend: &str, budget_mib: usize, shards: usize) {
+    println!(
+        "softmem-kv listening on {local} ({frontend} frontend, soft budget {budget_mib} MiB, {shards} shard{})",
+        if shards == 1 { "" } else { "s" }
+    );
+    println!("commands: GET SET DEL EXISTS DBSIZE KEYS MGET INCR INCRBY APPEND PEXPIRE PTTL PERSIST INFO STATS SHED FLUSHALL SHUTDOWN");
+}
+
+#[cfg(target_os = "linux")]
+fn run_reactor(
+    addr: &str,
+    engine: ShardedStore,
+    reactors: usize,
+    budget_mib: usize,
+    shards: usize,
+) {
+    use softmem_kv::{ReactorConfig, ReactorFrontend};
+
+    let cfg = ReactorConfig {
+        reactors,
+        ..ReactorConfig::default()
+    };
+    let frontend = ReactorFrontend::bind(addr, Arc::new(engine), cfg).expect("bind listen address");
+    banner(frontend.addr(), "reactor", budget_mib, shards);
+
+    // The reactors and shard workers do all the work; the main thread
+    // just waits for a client to issue SHUTDOWN.
+    let stats = frontend.stats();
+    while !stats
+        .shutdown_requested
+        .load(std::sync::atomic::Ordering::Acquire)
+    {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    drop(frontend); // flush + join reactors and workers before exiting
+}
+
+#[cfg(not(target_os = "linux"))]
+fn run_reactor(
+    addr: &str,
+    engine: ShardedStore,
+    _reactors: usize,
+    budget_mib: usize,
+    shards: usize,
+) {
+    eprintln!("reactor frontend requires Linux epoll; falling back to threads");
+    run_threads(addr, engine, budget_mib, shards);
+}
+
+fn run_threads(addr: &str, engine: ShardedStore, budget_mib: usize, shards: usize) {
+    use softmem_kv::server::{write_reply, KvHandle, KvServer};
+    use softmem_kv::Response;
+    use std::net::TcpListener;
+
     let server = KvServer::start_sharded(engine);
     let handle = server.handle();
 
-    let listener = TcpListener::bind(&addr).expect("bind listen address");
+    let listener = TcpListener::bind(addr).expect("bind listen address");
     let local = listener.local_addr().expect("bound address");
-    println!(
-        "softmem-kv listening on {local} (soft budget {budget_mib} MiB, {shards} shard{})",
-        if shards == 1 { "" } else { "s" }
-    );
-    println!("commands: GET SET DEL EXISTS DBSIZE KEYS INCR INCRBY APPEND PEXPIRE PTTL PERSIST INFO SHED FLUSHALL SHUTDOWN");
+    banner(local, "threads", budget_mib, shards);
 
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
         let handle: KvHandle = handle.clone();
         std::thread::spawn(move || {
-            use std::io::{BufReader, Write};
+            use std::io::BufReader;
             let _ = stream.set_nodelay(true);
             let mut writer = match stream.try_clone() {
                 Ok(w) => w,
@@ -87,7 +165,7 @@ fn main() {
                     Ok(resp) => resp.encode(),
                     Err(msg) => Response::Error(msg).encode(),
                 };
-                if writer.write_all(reply.as_bytes()).is_err() {
+                if write_reply(&mut writer, reply.as_bytes()).is_err() {
                     break;
                 }
                 if line.eq_ignore_ascii_case("shutdown") {

@@ -41,12 +41,20 @@
 pub mod crash;
 mod metrics;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 mod sharded;
 mod store;
+#[cfg(target_os = "linux")]
+pub mod swarm;
 
 pub use metrics::StoreMetrics;
-pub use protocol::{Command, Response};
+pub use protocol::{Command, CommandRef, Response};
+#[cfg(target_os = "linux")]
+pub use reactor::{NetStats, ReactorConfig, ReactorFrontend};
 pub use server::{KvHandle, KvServer, TcpFrontend, TcpKvClient};
 pub use sharded::ShardedStore;
 pub use store::{ReclaimCostModel, Store, StoreStats, Ttl};
+#[cfg(target_os = "linux")]
+pub use swarm::{RunOpts, Swarm, SwarmReport};

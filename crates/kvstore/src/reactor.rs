@@ -1,0 +1,1460 @@
+//! The event-driven network plane: epoll reactors + batched shard
+//! execution.
+//!
+//! The thread-per-connection front-end ([`crate::TcpFrontend`]) burns
+//! one OS thread per client, which caps the server at hundreds of
+//! connections and puts request parsing on the connection thread —
+//! the layer BENCH_shard.json fingered for the shard plateau. This
+//! module replaces it with a small pool of **reactor** threads
+//! multiplexing every client socket through `epoll`, and moves parsing
+//! onto the **shard workers** so the event loop only does I/O:
+//!
+//! ```text
+//!             ┌────────────────────────── reactor 0 ──┐
+//!  clients ──▶│ epoll: accept / read / write          │
+//!             │  frame (next_frame) → route            │──SPSC──▶ shard worker 0
+//!             │  (routing_key_of + shard_of)           │──SPSC──▶ shard worker 1
+//!             │  sequence replies → write bufs         │◀─inbox──  (batch: parse,
+//!             └────────────────────────────────────────┘           execute_at,
+//!             ┌────────────────────────── reactor 1 ──┐            encode_into)
+//!  clients ──▶│            …same…                      │──SPSC──▶ …
+//!             └────────────────────────────────────────┘
+//! ```
+//!
+//! Division of labour:
+//!
+//! * **Reactors** own sockets. They accept (reactor 0 holds the
+//!   listener and hands connections round-robin to its peers via each
+//!   reactor's inbox + eventfd), read into per-connection buffers,
+//!   *frame* requests with [`crate::protocol::next_frame`] (no
+//!   parsing), hash-route each raw frame by
+//!   [`crate::protocol::routing_key_of`] to the owning shard's SPSC
+//!   ring, sequence completed replies back into per-connection write
+//!   buffers, and flush them when the socket is writable.
+//! * **Shard workers** (one per shard) drain their rings in batches,
+//!   parse each frame with the borrowed-slice
+//!   [`crate::protocol::CommandRef`] parser, execute directly against
+//!   the engine ([`crate::ShardedStore::execute_at`] — no channel
+//!   hop), encode replies, and post them to the owning reactor's inbox
+//!   with one eventfd wake per reactor per batch.
+//!
+//! Backpressure is explicit and per-connection: when a connection's
+//! write buffer crosses the high-water mark, its in-flight count hits
+//! the cap, or its shard ring is full (the frame is *parked*), the
+//! reactor drops `EPOLLIN` interest for that socket — the client's
+//! sends back up into its own kernel buffers while every other
+//! connection proceeds. Reads resume when the pressure clears. A
+//! single slow reader therefore costs bounded server memory: one
+//! read buffer, one capped write buffer, one capped in-flight window.
+//!
+//! Replies preserve per-connection order even though a pipelined
+//! connection's frames may fan out to different shards: each frame
+//! gets a per-connection sequence number at framing time, and the
+//! reactor holds out-of-order completions in a per-connection reorder
+//! buffer until the next expected sequence arrives.
+//!
+//! No external dependencies: `epoll`/`eventfd` are declared as raw
+//! `extern "C"` syscalls (glibc is already linked by `std`), and the
+//! SPSC rings are built here from atomics — consistent with the
+//! repo's vendored-shim, zero-dep stance.
+
+use std::cell::UnsafeCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::mem::MaybeUninit;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{next_frame, routing_key_of, CommandRef, Response};
+use crate::sharded::ShardedStore;
+
+// ----------------------------------------------------------------------
+// Raw syscall layer: epoll + eventfd.
+// ----------------------------------------------------------------------
+
+pub(crate) mod sys {
+    //! Minimal `epoll`/`eventfd` declarations. `std` already links
+    //! libc, so the symbols resolve without any crate dependency.
+
+    pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EFD_CLOEXEC: i32 = 0o2000000;
+    pub const EFD_NONBLOCK: i32 = 0o4000;
+    pub const SOL_SOCKET: i32 = 1;
+    pub const SO_SNDBUF: i32 = 7;
+    pub const SO_RCVBUF: i32 = 8;
+
+    /// `struct epoll_event`. The kernel ABI packs this on x86-64
+    /// (12 bytes); other architectures use natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> i32;
+        pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        pub fn eventfd(initval: u32, flags: i32) -> i32;
+        pub fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const i32,
+            optlen: u32,
+        ) -> i32;
+    }
+}
+
+/// Sets a socket buffer size (`SO_SNDBUF`/`SO_RCVBUF`). The kernel
+/// doubles the value for bookkeeping and clamps to its own minimum,
+/// so small requests land around 4–8 KiB — which is the point: the
+/// backpressure machinery is only observable at test scale when the
+/// kernel isn't silently absorbing megabytes per connection.
+pub(crate) fn set_sock_buf(fd: RawFd, opt: i32, bytes: usize) -> io::Result<()> {
+    let val = bytes as i32;
+    let rc = unsafe {
+        sys::setsockopt(
+            fd,
+            sys::SOL_SOCKET,
+            opt,
+            &val,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    pub hangup: bool,
+}
+
+/// A thin safe wrapper over one `epoll` instance (level-triggered).
+pub(crate) struct Poller {
+    epfd: OwnedFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller {
+            epfd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(
+        &self,
+        op: i32,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        let mut events = sys::EPOLLRDHUP;
+        if readable {
+            events |= sys::EPOLLIN;
+        }
+        if writable {
+            events |= sys::EPOLLOUT;
+        }
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, readable, writable)
+    }
+
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, readable, writable)
+    }
+
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // The event argument is ignored for DEL but must be non-null
+        // on pre-2.6.9 kernels; pass a dummy for compatibility.
+        let mut ev = sys::EpollEvent { events: 0, data: 0 };
+        let rc = unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), sys::EPOLL_CTL_DEL, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Waits up to `timeout_ms` and appends ready events to `out`
+    /// (which is cleared first). `EINTR` returns an empty set.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        out.clear();
+        let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let n = unsafe {
+            sys::epoll_wait(
+                self.epfd.as_raw_fd(),
+                buf.as_mut_ptr(),
+                buf.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in &buf[..n as usize] {
+            // Copy fields out by value (the struct is packed on
+            // x86-64, so references into it would be unaligned).
+            let events = ev.events;
+            let data = ev.data;
+            out.push(Event {
+                token: data,
+                readable: events & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: events & sys::EPOLLOUT != 0,
+                hangup: events & (sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A nonblocking `eventfd` wrapped as a `File`: any thread can wake
+/// the owning reactor by writing 8 bytes; the reactor drains it on
+/// wakeup. (`&File` implements `Write`, so waking needs no lock.)
+pub(crate) fn new_eventfd() -> io::Result<File> {
+    let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(unsafe { File::from_raw_fd(fd) })
+}
+
+// ----------------------------------------------------------------------
+// SPSC ring: reactor → shard-worker request queue.
+// ----------------------------------------------------------------------
+
+struct SpscInner<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Consumer cursor: slots `[head, tail)` are initialised.
+    head: AtomicUsize,
+    /// Producer cursor.
+    tail: AtomicUsize,
+}
+
+// One producer and one consumer touch disjoint slots, synchronised by
+// the Release/Acquire pair on `tail` (push → pop) and `head` (pop →
+// push reuse), so sharing the ring across the two threads is sound.
+unsafe impl<T: Send> Sync for SpscInner<T> {}
+unsafe impl<T: Send> Send for SpscInner<T> {}
+
+impl<T> Drop for SpscInner<T> {
+    fn drop(&mut self) {
+        // Sole owner at this point: drain any undelivered items.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let mut i = head;
+        while i != tail {
+            unsafe { (*self.slots[i & self.mask].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// The producer half (held by exactly one reactor thread).
+pub(crate) struct SpscTx<T>(Arc<SpscInner<T>>);
+/// The consumer half (held by exactly one shard worker).
+pub(crate) struct SpscRx<T>(Arc<SpscInner<T>>);
+
+/// A bounded single-producer/single-consumer ring of `capacity`
+/// (rounded up to a power of two) slots.
+pub(crate) fn spsc<T>(capacity: usize) -> (SpscTx<T>, SpscRx<T>) {
+    let cap = capacity.next_power_of_two().max(2);
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(SpscInner {
+        mask: cap - 1,
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (SpscTx(Arc::clone(&inner)), SpscRx(inner))
+}
+
+impl<T> SpscTx<T> {
+    /// Pushes `v`, or returns it when the ring is full.
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let tail = self.0.tail.load(Ordering::Relaxed);
+        let head = self.0.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.0.mask {
+            return Err(v);
+        }
+        unsafe { (*self.0.slots[tail & self.0.mask].get()).write(v) };
+        self.0.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T> SpscRx<T> {
+    pub fn pop(&self) -> Option<T> {
+        let head = self.0.head.load(Ordering::Relaxed);
+        let tail = self.0.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let v = unsafe { (*self.0.slots[head & self.0.mask].get()).assume_init_read() };
+        self.0.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shared plumbing.
+// ----------------------------------------------------------------------
+
+/// One framed request in flight from a reactor to a shard worker.
+struct ShardReq {
+    /// Index of the reactor that owns the connection.
+    reactor: u32,
+    /// Connection id (epoll token; never reused within a frontend).
+    conn: u64,
+    /// Per-connection sequence number, assigned at framing time.
+    seq: u64,
+    /// The raw request line (terminator stripped).
+    frame: Vec<u8>,
+}
+
+/// One completed reply on its way back to a reactor.
+struct Reply {
+    conn: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+    /// Close the connection once this reply (and everything before
+    /// it) has been flushed — set for `SHUTDOWN` and protocol-fatal
+    /// errors.
+    close_after: bool,
+}
+
+/// Cross-thread mailbox for one reactor: workers post replies here,
+/// and the accepting reactor posts handed-off connections.
+struct Inbox {
+    replies: Vec<Reply>,
+    conns: Vec<TcpStream>,
+}
+
+struct ReactorShared {
+    inbox: Mutex<Inbox>,
+    wake: File,
+}
+
+impl ReactorShared {
+    fn wake(&self) {
+        let _ = (&self.wake).write_all(&1u64.to_ne_bytes());
+    }
+}
+
+/// Shard-worker parking: reactors set the flag and notify after
+/// pushing work; the worker re-checks with a timeout so a lost wake
+/// can never wedge it.
+struct Park {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Park {
+    fn notify(&self) {
+        *self.flag.lock().unwrap() = true;
+        self.cv.notify_one();
+    }
+}
+
+/// Frontend counters, all plain atomics (no telemetry dependency) so
+/// the testkit can certify the network plane's conservation laws:
+/// once traffic stops, `requests_total == replies_total` and
+/// `parked_frames == 0` means the plane is quiescent, and
+/// `accepted_total - closed_total == open_conns` at all times.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepted_total: AtomicU64,
+    /// Connections fully closed (fd released).
+    pub closed_total: AtomicU64,
+    /// Currently open connections (gauge).
+    pub open_conns: AtomicU64,
+    /// Frames assigned a sequence number (routed or parked).
+    pub requests_total: AtomicU64,
+    /// Replies accounted for: received from a worker, generated
+    /// inline by a reactor, or discarded because their connection
+    /// died first.
+    pub replies_total: AtomicU64,
+    /// Non-empty drain passes across all shard workers.
+    pub batches_total: AtomicU64,
+    /// Requests executed inside those passes (`/ batches_total` =
+    /// mean batch size).
+    pub batched_requests_total: AtomicU64,
+    /// Transitions of a connection into the reads-paused state.
+    pub paused_reads_total: AtomicU64,
+    /// Frames that found their shard ring full and parked.
+    pub route_stalls_total: AtomicU64,
+    /// Currently parked frames (gauge; at most one per connection).
+    pub parked_frames: AtomicU64,
+    /// High-water mark of any single connection's write buffer.
+    pub max_write_buf_bytes: AtomicU64,
+    /// Set when a client issued `SHUTDOWN` (the binary watches this).
+    pub shutdown_requested: AtomicBool,
+}
+
+impl NetStats {
+    /// Whether the plane has no work in flight. Only meaningful once
+    /// producers have stopped sending (counters are monotonic, so a
+    /// quiescent reading cannot be a race once traffic has ceased).
+    pub fn quiesced(&self) -> bool {
+        self.parked_frames.load(Ordering::Acquire) == 0
+            && self.requests_total.load(Ordering::Acquire)
+                == self.replies_total.load(Ordering::Acquire)
+    }
+}
+
+/// Tuning for a [`ReactorFrontend`].
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Reactor (event-loop) threads; `0` picks
+    /// `available_parallelism / 2` clamped to `1..=4`.
+    pub reactors: usize,
+    /// Per-connection cap on frames routed but not yet sequenced into
+    /// the write buffer; reads pause at the cap.
+    pub max_inflight_per_conn: usize,
+    /// Per-connection write-buffer high-water mark (bytes); reads
+    /// pause above it until the client drains.
+    pub write_highwater: usize,
+    /// Capacity of each reactor→shard request ring.
+    pub ring_capacity: usize,
+    /// Max requests a shard worker takes from one ring per pass.
+    pub batch_limit: usize,
+    /// Max request-line length; longer frames are a protocol error
+    /// and close the connection (bounds read-buffer growth).
+    pub max_frame_len: usize,
+    /// `SO_SNDBUF` applied to every accepted socket (`None` keeps the
+    /// kernel default). Shrinking it makes write-side backpressure
+    /// engage at small data volumes — the testkit's slow-reader
+    /// scenario depends on this; production leaves it alone.
+    pub so_sndbuf: Option<usize>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            reactors: 0,
+            max_inflight_per_conn: 128,
+            write_highwater: 256 << 10,
+            ring_capacity: 4096,
+            batch_limit: 256,
+            max_frame_len: 1 << 20,
+            so_sndbuf: None,
+        }
+    }
+}
+
+fn auto_reactors() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get() / 2)
+        .unwrap_or(1)
+        .clamp(1, 4)
+}
+
+// ----------------------------------------------------------------------
+// Connection state machine.
+// ----------------------------------------------------------------------
+
+/// Per-connection state. Lifecycle:
+///
+/// ```text
+/// Open ──read EOF/RDHUP──▶ Draining (answer what was pipelined)
+///   │                         │ in-flight == 0 && write buf empty
+///   │ write error / HUP /     ▼
+///   └─────────────────────▶ Closed (fd deleted, counters settled)
+/// ```
+///
+/// `close_after` (SHUTDOWN / protocol-fatal error) also enters
+/// Draining: reads stop, queued replies flush, then the fd closes.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet framed; `read_pos` is the consumed
+    /// prefix (compacted opportunistically).
+    read_buf: Vec<u8>,
+    read_pos: usize,
+    /// A frame that found its shard ring full: retried every loop
+    /// until it fits. At most one — framing stops while parked.
+    parked: Option<(usize, ShardReq)>,
+    /// Encoded replies awaiting the socket; `write_pos` is flushed.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Out-of-order completions held until `next_write` catches up.
+    reorder: BTreeMap<u64, Reply>,
+    /// Next sequence number to assign at framing.
+    next_seq: u64,
+    /// Next sequence number to append to `write_buf`.
+    next_write: u64,
+    /// Interest currently registered with epoll.
+    want_read: bool,
+    want_write: bool,
+    /// Reads paused by backpressure (write buffer, in-flight cap, or
+    /// a parked frame).
+    paused: bool,
+    /// Peer half-closed (EOF seen); drain and close.
+    peer_closed: bool,
+    /// Stop reading; close once fully flushed.
+    close_after: bool,
+    /// Pending re-examination by `update_conn`.
+    dirty: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            read_pos: 0,
+            parked: None,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            reorder: BTreeMap::new(),
+            next_seq: 0,
+            next_write: 0,
+            want_read: true,
+            want_write: false,
+            paused: false,
+            peer_closed: false,
+            close_after: false,
+            dirty: false,
+        }
+    }
+
+    /// Frames routed (or parked) but not yet sequenced into the write
+    /// buffer.
+    fn inflight(&self) -> u64 {
+        self.next_seq - self.next_write
+    }
+
+    fn pending_write(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+}
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+struct Reactor {
+    idx: usize,
+    poller: Poller,
+    /// Every reactor's mailbox (for round-robin connection handoff);
+    /// `shared[idx]` is ours.
+    shared: Vec<Arc<ReactorShared>>,
+    listener: Option<TcpListener>,
+    engine: Arc<ShardedStore>,
+    /// Request ring per shard (we are the single producer).
+    rings: Vec<SpscTx<ShardReq>>,
+    parks: Vec<Arc<Park>>,
+    conns: HashMap<u64, Conn>,
+    conn_ids: Arc<AtomicU64>,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    cfg: ReactorConfig,
+    /// Shards with new work this poll round (notified once).
+    notify: Vec<bool>,
+    /// Connections to re-examine this round.
+    dirty: Vec<u64>,
+    /// Connections with a parked frame.
+    stalled: Vec<u64>,
+    next_rr: usize,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Vec::with_capacity(256);
+        loop {
+            if self.poller.wait(&mut events, 50).is_err() {
+                break;
+            }
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.drain_wake(),
+                    id => {
+                        if ev.hangup && !ev.readable {
+                            self.close_conn(id);
+                            continue;
+                        }
+                        if ev.readable {
+                            self.handle_read(id);
+                        }
+                        if ev.writable {
+                            self.mark_dirty(id);
+                        }
+                    }
+                }
+            }
+            self.drain_inbox();
+            self.retry_parked();
+            self.flush_updates();
+            self.flush_notifications();
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        // Teardown: release every fd and settle the gauges.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn(id);
+        }
+    }
+
+    fn mark_dirty(&mut self, id: u64) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            if !conn.dirty {
+                conn.dirty = true;
+                self.dirty.push(id);
+            }
+        }
+    }
+
+    // -- accept / handoff ------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.as_ref().expect("listener event").accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_nonblocking(true);
+                    self.stats.accepted_total.fetch_add(1, Ordering::Relaxed);
+                    let target = self.next_rr % self.shared.len();
+                    self.next_rr += 1;
+                    if target == self.idx {
+                        self.register_conn(stream);
+                    } else {
+                        self.shared[target].inbox.lock().unwrap().conns.push(stream);
+                        self.shared[target].wake();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        if let Some(bytes) = self.cfg.so_sndbuf {
+            let _ = set_sock_buf(stream.as_raw_fd(), sys::SO_SNDBUF, bytes);
+        }
+        let id = self.conn_ids.fetch_add(1, Ordering::Relaxed);
+        if self
+            .poller
+            .add(stream.as_raw_fd(), id, true, false)
+            .is_err()
+        {
+            // Registration failure (fd exhaustion): account the
+            // connection as opened-and-closed so the gauges balance.
+            self.stats.closed_total.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.stats.open_conns.fetch_add(1, Ordering::Relaxed);
+        self.conns.insert(id, Conn::new(stream));
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 8];
+        while (&self.shared[self.idx].wake).read(&mut buf).is_ok() {}
+    }
+
+    fn drain_inbox(&mut self) {
+        let (replies, new_conns) = {
+            let mut inbox = self.shared[self.idx].inbox.lock().unwrap();
+            (
+                std::mem::take(&mut inbox.replies),
+                std::mem::take(&mut inbox.conns),
+            )
+        };
+        for stream in new_conns {
+            self.register_conn(stream);
+        }
+        for reply in replies {
+            self.sequence_reply(reply);
+        }
+    }
+
+    // -- read / frame / route --------------------------------------------
+
+    fn handle_read(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if !conn.want_read {
+            // Stale readiness from before a pause; ignore.
+            self.mark_dirty(id);
+            return;
+        }
+        loop {
+            let old = conn.read_buf.len();
+            conn.read_buf.resize(old + 16 * 1024, 0);
+            match conn.stream.read(&mut conn.read_buf[old..]) {
+                Ok(0) => {
+                    conn.read_buf.truncate(old);
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.truncate(old + n);
+                    // Level-triggered: leave any remainder for the
+                    // next wakeup so one chatty socket can't starve
+                    // its siblings.
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    conn.read_buf.truncate(old);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    conn.read_buf.truncate(old);
+                    continue;
+                }
+                Err(_) => {
+                    conn.read_buf.truncate(old);
+                    self.close_conn(id);
+                    return;
+                }
+            }
+        }
+        self.process_frames(id);
+        self.mark_dirty(id);
+    }
+
+    /// Frames and routes everything complete in `read_buf`, stopping
+    /// at backpressure (parked frame / in-flight cap / write-buffer
+    /// high water).
+    fn process_frames(&mut self, id: u64) {
+        let nshards = self.rings.len() as u64;
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.parked.is_some()
+                || conn.close_after
+                || conn.inflight() >= self.cfg.max_inflight_per_conn as u64
+                || conn.pending_write() >= self.cfg.write_highwater
+            {
+                break;
+            }
+            let Some((frame, used)) = next_frame(&conn.read_buf[conn.read_pos..]) else {
+                // No complete line. An over-long partial line can
+                // never become a valid frame — fail fast instead of
+                // buffering without bound.
+                if conn.read_buf.len() - conn.read_pos > self.cfg.max_frame_len {
+                    self.protocol_fatal(id, "request line too long");
+                }
+                break;
+            };
+            if frame.is_empty() {
+                // Blank line: skipped without a reply, matching the
+                // thread frontend.
+                conn.read_pos += used;
+                continue;
+            }
+            if frame.len() > self.cfg.max_frame_len {
+                self.protocol_fatal(id, "request line too long");
+                break;
+            }
+            let shard = routing_key_of(frame)
+                .map(|k| self.engine.shard_of(k))
+                .unwrap_or((id % nshards) as usize);
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+            let req = ShardReq {
+                reactor: self.idx as u32,
+                conn: id,
+                seq,
+                frame: frame.to_vec(),
+            };
+            conn.read_pos += used;
+            match self.rings[shard].push(req) {
+                Ok(()) => self.notify[shard] = true,
+                Err(req) => {
+                    // Ring full: park and stop framing; retried every
+                    // loop until the worker catches up.
+                    conn.parked = Some((shard, req));
+                    self.stats.parked_frames.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .route_stalls_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.stalled.push(id);
+                    break;
+                }
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(&id) {
+            // Compact the consumed prefix once it dominates the
+            // buffer (or the buffer is fully consumed — the common
+            // case — which makes this a free truncate).
+            if conn.read_pos > 0
+                && (conn.read_pos == conn.read_buf.len() || conn.read_pos >= 64 * 1024)
+            {
+                conn.read_buf.drain(..conn.read_pos);
+                conn.read_pos = 0;
+            }
+        }
+    }
+
+    /// Emits an inline error reply for a malformed stream and flags
+    /// the connection to close once it flushes.
+    fn protocol_fatal(&mut self, id: u64, msg: &str) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        let mut bytes = Vec::new();
+        Response::Error(msg.into()).encode_into(&mut bytes);
+        self.sequence_reply(Reply {
+            conn: id,
+            seq,
+            bytes,
+            close_after: true,
+        });
+    }
+
+    fn retry_parked(&mut self) {
+        if self.stalled.is_empty() {
+            return;
+        }
+        let stalled = std::mem::take(&mut self.stalled);
+        for id in stalled {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            let Some((shard, req)) = conn.parked.take() else {
+                continue;
+            };
+            match self.rings[shard].push(req) {
+                Ok(()) => {
+                    self.stats.parked_frames.fetch_sub(1, Ordering::Relaxed);
+                    self.notify[shard] = true;
+                    // Unblocked: resume framing whatever else queued
+                    // up behind the parked frame.
+                    self.process_frames(id);
+                    self.mark_dirty(id);
+                }
+                Err(req) => {
+                    let Some(conn) = self.conns.get_mut(&id) else {
+                        continue;
+                    };
+                    conn.parked = Some((shard, req));
+                    self.stalled.push(id);
+                }
+            }
+        }
+    }
+
+    fn flush_notifications(&mut self) {
+        for shard in 0..self.notify.len() {
+            if self.notify[shard] {
+                self.notify[shard] = false;
+                self.parks[shard].notify();
+            }
+        }
+    }
+
+    // -- replies / writes ------------------------------------------------
+
+    fn sequence_reply(&mut self, reply: Reply) {
+        // Every reply is accounted even when its connection died
+        // first — the quiescence invariant (`requests == replies`)
+        // must converge through disconnects.
+        self.stats.replies_total.fetch_add(1, Ordering::Relaxed);
+        let id = reply.conn;
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        conn.reorder.insert(reply.seq, reply);
+        while let Some(r) = conn.reorder.remove(&conn.next_write) {
+            conn.write_buf.extend_from_slice(&r.bytes);
+            conn.next_write += 1;
+            if r.close_after {
+                conn.close_after = true;
+            }
+        }
+        self.stats
+            .max_write_buf_bytes
+            .fetch_max(conn.pending_write() as u64, Ordering::Relaxed);
+        self.mark_dirty(id);
+    }
+
+    /// Re-examines every touched connection: flush, resume framing,
+    /// settle pause state, sync epoll interest, close when drained.
+    fn flush_updates(&mut self) {
+        let dirty = std::mem::take(&mut self.dirty);
+        for id in dirty {
+            self.update_conn(id);
+        }
+    }
+
+    fn update_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        conn.dirty = false;
+        // Flush as much of the write buffer as the socket accepts.
+        let mut broken = false;
+        while conn.write_pos < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    broken = true;
+                    break;
+                }
+                Ok(n) => conn.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    broken = true;
+                    break;
+                }
+            }
+        }
+        if broken {
+            self.close_conn(id);
+            return;
+        }
+        if conn.write_pos == conn.write_buf.len() && conn.write_pos > 0 {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            // A burst against a slow reader can balloon the buffer;
+            // give the excess back once drained.
+            if conn.write_buf.capacity() > self.cfg.write_highwater * 2 {
+                conn.write_buf.shrink_to(self.cfg.write_highwater);
+            }
+        }
+        // Backpressure may have cleared (replies drained, frame
+        // unparked): resume framing pipelined bytes already buffered.
+        if conn.read_pos < conn.read_buf.len() && !conn.paused {
+            self.process_frames(id);
+        }
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        // Fully drained and told to finish → close.
+        if (conn.peer_closed || conn.close_after)
+            && conn.inflight() == 0
+            && conn.parked.is_none()
+            && conn.pending_write() == 0
+        {
+            self.close_conn(id);
+            return;
+        }
+        // Settle the pause state and epoll interest.
+        let paused = conn.parked.is_some()
+            || conn.inflight() >= self.cfg.max_inflight_per_conn as u64
+            || conn.pending_write() >= self.cfg.write_highwater;
+        if paused && !conn.paused {
+            self.stats
+                .paused_reads_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        conn.paused = paused;
+        let want_read = !paused && !conn.peer_closed && !conn.close_after;
+        let want_write = conn.pending_write() > 0;
+        if want_read != conn.want_read || want_write != conn.want_write {
+            conn.want_read = want_read;
+            conn.want_write = want_write;
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), id, want_read, want_write)
+                .is_err()
+            {
+                self.close_conn(id);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.remove(&id) else {
+            return;
+        };
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        // A parked frame never reached its shard: account its "reply"
+        // here so the quiescence counters still converge.
+        if conn.parked.is_some() {
+            self.stats.parked_frames.fetch_sub(1, Ordering::Relaxed);
+            self.stats.replies_total.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.closed_total.fetch_add(1, Ordering::Relaxed);
+        self.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
+        // Frames already at shards will come back as replies for a
+        // dead conn id and be counted in `sequence_reply`; reorder
+        // entries were counted when they arrived. Nothing else to do.
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shard workers.
+// ----------------------------------------------------------------------
+
+struct WorkerCtx {
+    shard: usize,
+    engine: Arc<ShardedStore>,
+    rings: Vec<SpscRx<ShardReq>>,
+    park: Arc<Park>,
+    reactors: Vec<Arc<ReactorShared>>,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    batch_limit: usize,
+}
+
+fn shard_worker(ctx: WorkerCtx) {
+    let mut out: Vec<Vec<Reply>> = (0..ctx.reactors.len()).map(|_| Vec::new()).collect();
+    loop {
+        let mut drained = 0usize;
+        for (r, ring) in ctx.rings.iter().enumerate() {
+            let mut taken = 0usize;
+            while taken < ctx.batch_limit {
+                let Some(req) = ring.pop() else { break };
+                debug_assert_eq!(req.reactor as usize, r);
+                let (bytes, close_after) =
+                    execute_frame(&ctx.engine, ctx.shard, &req.frame, &ctx.stats);
+                out[r].push(Reply {
+                    conn: req.conn,
+                    seq: req.seq,
+                    bytes,
+                    close_after,
+                });
+                taken += 1;
+            }
+            drained += taken;
+        }
+        if drained > 0 {
+            ctx.stats.batches_total.fetch_add(1, Ordering::Relaxed);
+            ctx.stats
+                .batched_requests_total
+                .fetch_add(drained as u64, Ordering::Relaxed);
+            // One lock + one wake per reactor per batch, however many
+            // replies it carried.
+            for (r, replies) in out.iter_mut().enumerate() {
+                if replies.is_empty() {
+                    continue;
+                }
+                ctx.reactors[r]
+                    .inbox
+                    .lock()
+                    .unwrap()
+                    .replies
+                    .append(replies);
+                ctx.reactors[r].wake();
+            }
+            continue;
+        }
+        if ctx.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Idle: park until a reactor signals, with a timeout so a
+        // missed notify (or shutdown) can't wedge the worker.
+        let mut flag = ctx.park.flag.lock().unwrap();
+        while !*flag {
+            let (f, timeout) = ctx
+                .park
+                .cv
+                .wait_timeout(flag, Duration::from_millis(25))
+                .unwrap();
+            flag = f;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        *flag = false;
+    }
+}
+
+/// Parses and executes one raw frame; returns the encoded reply and
+/// whether the connection should close after it flushes.
+fn execute_frame(
+    engine: &ShardedStore,
+    shard: usize,
+    frame: &[u8],
+    stats: &NetStats,
+) -> (Vec<u8>, bool) {
+    let mut close_after = false;
+    let response = match std::str::from_utf8(frame) {
+        Ok(line) => match CommandRef::parse(line) {
+            Ok(cmd) => {
+                if matches!(cmd, CommandRef::Shutdown) {
+                    close_after = true;
+                    stats.shutdown_requested.store(true, Ordering::Release);
+                }
+                engine.execute_at(shard, &cmd)
+            }
+            Err(msg) => Response::Error(msg),
+        },
+        Err(_) => Response::Error("invalid UTF-8 in request".into()),
+    };
+    let mut bytes = Vec::with_capacity(32);
+    response.encode_into(&mut bytes);
+    (bytes, close_after)
+}
+
+// ----------------------------------------------------------------------
+// The frontend handle.
+// ----------------------------------------------------------------------
+
+/// The event-driven TCP front-end: a pool of epoll reactors feeding
+/// per-shard batch workers. See the module docs for the architecture;
+/// this type owns every thread and fd, and dropping it is a clean
+/// shutdown (sockets closed, all threads joined).
+pub struct ReactorFrontend {
+    addr: SocketAddr,
+    engine: Arc<ShardedStore>,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    shared: Vec<Arc<ReactorShared>>,
+    parks: Vec<Arc<Park>>,
+    reactor_threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl ReactorFrontend {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serves `engine` with `cfg`.
+    pub fn bind(addr: &str, engine: Arc<ShardedStore>, cfg: ReactorConfig) -> io::Result<Self> {
+        let mut cfg = cfg;
+        if cfg.reactors == 0 {
+            cfg.reactors = auto_reactors();
+        }
+        let nreactors = cfg.reactors;
+        let nshards = engine.shard_count();
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+
+        let stats = Arc::new(NetStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let conn_ids = Arc::new(AtomicU64::new(0));
+
+        let shared: Vec<Arc<ReactorShared>> = (0..nreactors)
+            .map(|_| {
+                Ok(Arc::new(ReactorShared {
+                    inbox: Mutex::new(Inbox {
+                        replies: Vec::new(),
+                        conns: Vec::new(),
+                    }),
+                    wake: new_eventfd()?,
+                }))
+            })
+            .collect::<io::Result<_>>()?;
+        let parks: Vec<Arc<Park>> = (0..nshards)
+            .map(|_| {
+                Arc::new(Park {
+                    flag: Mutex::new(false),
+                    cv: Condvar::new(),
+                })
+            })
+            .collect();
+
+        // Ring matrix: rings[reactor][shard] — each reactor the sole
+        // producer, each shard worker the sole consumer.
+        let mut tx_rings: Vec<Vec<SpscTx<ShardReq>>> = (0..nreactors).map(|_| Vec::new()).collect();
+        let mut rx_rings: Vec<Vec<SpscRx<ShardReq>>> = (0..nshards).map(|_| Vec::new()).collect();
+        for tx_row in tx_rings.iter_mut() {
+            for rx_col in rx_rings.iter_mut() {
+                let (tx, rx) = spsc(cfg.ring_capacity);
+                tx_row.push(tx);
+                rx_col.push(rx);
+            }
+        }
+
+        let mut worker_threads = Vec::with_capacity(nshards);
+        for (shard, rings) in rx_rings.into_iter().enumerate() {
+            let ctx = WorkerCtx {
+                shard,
+                engine: Arc::clone(&engine),
+                rings,
+                park: Arc::clone(&parks[shard]),
+                reactors: shared.clone(),
+                stats: Arc::clone(&stats),
+                stop: Arc::clone(&stop),
+                batch_limit: cfg.batch_limit,
+            };
+            worker_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("softmem-kv-shard-{shard}"))
+                    .spawn(move || shard_worker(ctx))?,
+            );
+        }
+
+        let mut reactor_threads = Vec::with_capacity(nreactors);
+        let mut listener = Some(listener);
+        for (idx, rings) in tx_rings.into_iter().enumerate() {
+            let poller = Poller::new()?;
+            poller.add(shared[idx].wake.as_raw_fd(), TOKEN_WAKE, true, false)?;
+            let own_listener = if idx == 0 { listener.take() } else { None };
+            if let Some(l) = &own_listener {
+                poller.add(l.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+            }
+            let reactor = Reactor {
+                idx,
+                poller,
+                shared: shared.clone(),
+                listener: own_listener,
+                engine: Arc::clone(&engine),
+                rings,
+                parks: parks.clone(),
+                conns: HashMap::new(),
+                conn_ids: Arc::clone(&conn_ids),
+                stats: Arc::clone(&stats),
+                stop: Arc::clone(&stop),
+                cfg: cfg.clone(),
+                notify: vec![false; nshards],
+                dirty: Vec::new(),
+                stalled: Vec::new(),
+                next_rr: 0,
+            };
+            reactor_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("softmem-kv-reactor-{idx}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
+
+        Ok(ReactorFrontend {
+            addr: local,
+            engine,
+            stats,
+            stop,
+            shared,
+            parks,
+            reactor_threads,
+            worker_threads,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The frontend's counters.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &Arc<ShardedStore> {
+        &self.engine
+    }
+}
+
+impl Drop for ReactorFrontend {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for s in &self.shared {
+            s.wake();
+        }
+        for t in self.reactor_threads.drain(..) {
+            let _ = t.join();
+        }
+        // Reactors are gone (their rings' producers dropped); workers
+        // drain whatever remains, observe `stop`, and exit.
+        for p in &self.parks {
+            p.notify();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::TcpKvClient;
+    use softmem_core::{Priority, Sma};
+
+    fn frontend(shards: usize) -> (Arc<Sma>, ReactorFrontend) {
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), shards));
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, ReactorConfig::default()).unwrap();
+        (sma, fe)
+    }
+
+    #[test]
+    fn spsc_ring_roundtrip_and_drop_drains() {
+        let (tx, rx) = spsc::<Vec<u8>>(4);
+        assert!(rx.pop().is_none());
+        for i in 0..4u8 {
+            tx.push(vec![i]).unwrap();
+        }
+        assert!(tx.push(vec![9]).is_err(), "ring holds exactly capacity");
+        assert_eq!(rx.pop(), Some(vec![0]));
+        tx.push(vec![4]).unwrap();
+        for want in 1..5u8 {
+            assert_eq!(rx.pop(), Some(vec![want]));
+        }
+        // Items left in a dropped ring are freed (miri/asan clean).
+        let (tx, rx) = spsc::<Vec<u8>>(8);
+        tx.push(vec![1; 128]).unwrap();
+        tx.push(vec![2; 128]).unwrap();
+        drop(tx);
+        drop(rx);
+    }
+
+    #[test]
+    fn reactor_roundtrip_single_client() {
+        let (_sma, fe) = frontend(4);
+        let mut client = TcpKvClient::connect(fe.addr()).unwrap();
+        assert_eq!(
+            client.request("SET a hello world").unwrap(),
+            Response::Ok("OK".into())
+        );
+        assert_eq!(
+            client.request("GET a").unwrap(),
+            Response::Bulk(Some(b"hello world".to_vec()))
+        );
+        assert_eq!(client.request("GET missing").unwrap(), Response::Bulk(None));
+        assert_eq!(client.request("DBSIZE").unwrap(), Response::Int(1));
+        assert_eq!(
+            client.request("MGET a nope").unwrap(),
+            Response::Array(vec![b"hello world".to_vec(), b"(nil)".to_vec()])
+        );
+        match client.request("BANANA").unwrap() {
+            Response::Error(msg) => assert!(msg.contains("unknown command"), "{msg}"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reactor_pipeline_preserves_order_across_shards() {
+        let (_sma, fe) = frontend(4);
+        let mut client = TcpKvClient::connect(fe.addr()).unwrap();
+        // A pipelined burst whose keys scatter across shards: replies
+        // must come back in request order regardless.
+        let sets: Vec<String> = (0..64).map(|i| format!("SET key-{i} v{i}")).collect();
+        for r in client.request_pipeline(&sets).unwrap() {
+            assert_eq!(r, Response::Ok("OK".into()));
+        }
+        let gets: Vec<String> = (0..64).map(|i| format!("GET key-{i}")).collect();
+        let replies = client.request_pipeline(&gets).unwrap();
+        for (i, r) in replies.into_iter().enumerate() {
+            assert_eq!(r, Response::Bulk(Some(format!("v{i}").into_bytes())), "{i}");
+        }
+        // The plane settles: all requests answered.
+        let stats = fe.stats();
+        assert!(stats.quiesced(), "{stats:?}");
+    }
+
+    #[test]
+    fn reactor_many_clients_and_clean_teardown() {
+        let (_sma, fe) = frontend(2);
+        let addr = fe.addr();
+        let mut clients: Vec<TcpKvClient> = (0..32)
+            .map(|_| TcpKvClient::connect(addr).unwrap())
+            .collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            assert_eq!(
+                c.request(&format!("SET c{i} val{i}")).unwrap(),
+                Response::Ok("OK".into())
+            );
+        }
+        for (i, c) in clients.iter_mut().enumerate() {
+            assert_eq!(
+                c.request(&format!("GET c{i}")).unwrap(),
+                Response::Bulk(Some(format!("val{i}").into_bytes()))
+            );
+        }
+        let stats = Arc::clone(fe.stats());
+        assert_eq!(stats.accepted_total.load(Ordering::Acquire), 32);
+        drop(clients);
+        // Closes are asynchronous; wait for the gauges to settle.
+        for _ in 0..200 {
+            if stats.open_conns.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(stats.open_conns.load(Ordering::Acquire), 0);
+        assert_eq!(stats.closed_total.load(Ordering::Acquire), 32);
+        drop(fe); // must not hang
+    }
+
+    #[test]
+    fn reactor_shutdown_verb_flags_and_closes() {
+        let (_sma, fe) = frontend(1);
+        let mut client = TcpKvClient::connect(fe.addr()).unwrap();
+        assert_eq!(
+            client.request("SHUTDOWN").unwrap(),
+            Response::Ok("OK".into())
+        );
+        let stats = fe.stats();
+        assert!(stats.shutdown_requested.load(Ordering::Acquire));
+        // The server closes the connection after the reply flushes.
+        for _ in 0..200 {
+            if stats.open_conns.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(stats.open_conns.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn oversize_frame_is_rejected_not_buffered() {
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 1));
+        let cfg = ReactorConfig {
+            max_frame_len: 1024,
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let mut stream = TcpStream::connect(fe.addr()).unwrap();
+        // 1 MiB of line with no terminator: the reactor must reply
+        // with an error and close, not buffer it forever.
+        let junk = vec![b'x'; 1 << 20];
+        let _ = stream.write_all(&junk);
+        let mut reply = Vec::new();
+        let _ = stream.read_to_end(&mut reply);
+        let text = String::from_utf8_lossy(&reply);
+        assert!(text.contains("-ERR"), "got: {text:?}");
+    }
+}

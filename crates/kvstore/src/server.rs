@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -42,21 +42,11 @@ struct RouterInner {
     shards: Vec<Sender<ShardReq>>,
 }
 
-/// The key a command routes by, when it has exactly one.
+/// The key a command routes by, when it has exactly one (the single
+/// source of truth is [`crate::protocol::CommandRef::routing_key`],
+/// which the reactor's frame-level fast path mirrors).
 fn routing_key(cmd: &Command) -> Option<&[u8]> {
-    match cmd {
-        Command::Set { key, .. }
-        | Command::Get { key }
-        | Command::Del { key }
-        | Command::Exists { key }
-        | Command::IncrBy { key, .. }
-        | Command::Append { key, .. }
-        | Command::PExpire { key, .. }
-        | Command::PTtl { key }
-        | Command::Persist { key }
-        | Command::SetNx { key, .. } => Some(key),
-        _ => None,
-    }
+    cmd.as_ref().routing_key()
 }
 
 impl RouterInner {
@@ -458,6 +448,50 @@ impl Drop for TcpFrontend {
     }
 }
 
+/// Short (partial) writes observed on the thread-frontend reply path
+/// — each one is a slow client whose socket buffer filled mid-reply.
+static REPLY_SHORT_WRITES: AtomicU64 = AtomicU64::new(0);
+
+/// How many reply writes on the thread-per-connection path returned
+/// short and had to loop (backpressure accounting; process-wide).
+pub fn reply_short_writes_total() -> u64 {
+    REPLY_SHORT_WRITES.load(Ordering::Relaxed)
+}
+
+/// Writes a complete reply frame, looping explicitly on short writes.
+///
+/// `write_all` also loops, but silently: a slow client backs the
+/// writer up with no trace, and an `Ok(0)` from a half-dead socket
+/// would spin forever upstreams that retry. This loop counts every
+/// short write into [`reply_short_writes_total`] (the legacy
+/// frontend's only backpressure signal — the reactor path has real
+/// pause/resume machinery instead), treats `Ok(0)` as a dead peer,
+/// and retries `Interrupted`. Either the whole frame is written or an
+/// error is returned — a truncated reply frame is never left behind
+/// on a live socket.
+pub fn write_reply(writer: &mut impl Write, frame: &[u8]) -> std::io::Result<()> {
+    let mut written = 0usize;
+    while written < frame.len() {
+        match writer.write(&frame[written..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer stopped accepting reply bytes",
+                ));
+            }
+            Ok(n) => {
+                written += n;
+                if written < frame.len() {
+                    REPLY_SHORT_WRITES.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Reads the next *complete* protocol frame into `buf` (terminator
 /// stripped). Returns `false` on EOF, I/O error, or a truncated final
 /// line: a frame is only complete once its newline arrives, and a peer
@@ -497,7 +531,7 @@ fn serve_connection(stream: TcpStream, handle: KvHandle) {
             Ok(resp) => resp.encode(),
             Err(msg) => Response::Error(msg).encode(),
         };
-        if writer.write_all(reply.as_bytes()).is_err() {
+        if write_reply(&mut writer, reply.as_bytes()).is_err() {
             break;
         }
         if line.eq_ignore_ascii_case("shutdown") {
@@ -783,5 +817,139 @@ mod tests {
         }
         assert_eq!(server.store().dbsize(), 200);
         server.shutdown();
+    }
+
+    /// A `Write` impl that accepts at most `chunk` bytes per call —
+    /// the slow-client shape that produces short writes.
+    struct Dribble {
+        chunk: usize,
+        sink: Vec<u8>,
+        /// Error injected after this many bytes, if set.
+        die_after: Option<usize>,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if let Some(limit) = self.die_after {
+                if self.sink.len() >= limit {
+                    return Ok(0);
+                }
+            }
+            let n = buf.len().min(self.chunk);
+            self.sink.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_reply_loops_on_short_writes_and_counts() {
+        let frame = b"$a-moderately-long-reply-frame-for-the-dribble-test\n";
+        let before = reply_short_writes_total();
+        let mut w = Dribble {
+            chunk: 7,
+            sink: Vec::new(),
+            die_after: None,
+        };
+        write_reply(&mut w, frame).unwrap();
+        // The whole frame arrived, in order, despite 7-byte writes.
+        assert_eq!(w.sink, frame);
+        let shorts = reply_short_writes_total() - before;
+        assert_eq!(shorts as usize, frame.len().div_ceil(7) - 1);
+        // A peer that stops accepting bytes is an error, not a spin:
+        // the frame must not be silently truncated on a "live" socket.
+        let mut dead = Dribble {
+            chunk: 7,
+            sink: Vec::new(),
+            die_after: Some(14),
+        };
+        let err = write_reply(&mut dead, frame).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+    }
+
+    /// Differential test: the reactor frontend must be
+    /// protocol-equivalent to the thread frontend — the same workload
+    /// produces the same decoded reply sequence.
+    ///
+    /// Per-key commands are pipelined (same key → same shard ring →
+    /// FIFO, so their results are order-deterministic even under
+    /// concurrent shard execution). Global and multi-key commands
+    /// (DBSIZE, KEYS, MGET, FLUSHALL) are issued as synchronous round
+    /// trips: the reactor only orders them relative to other shards'
+    /// work at reply boundaries, which is exactly what a synchronous
+    /// client observes.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reactor_and_thread_frontends_agree() {
+        use crate::reactor::{ReactorConfig, ReactorFrontend};
+
+        let pipelined: Vec<String> = {
+            let mut w = Vec::new();
+            for i in 0..30 {
+                w.push(format!("SET user:{i} value-{i}"));
+            }
+            w.push("GET user:7".into());
+            w.push("GET missing".into());
+            w.push("INCR counter".into());
+            w.push("INCRBY counter 9".into());
+            w.push("APPEND log hello world".into());
+            w.push("PEXPIRE user:1 60000".into());
+            w.push("PTTL user:1".into());
+            w.push("PERSIST user:1".into());
+            w.push("SETNX user:1 other".into());
+            w.push("DEL user:3".into());
+            w.push("EXISTS user:3".into());
+            w.push("BANANA nope".into());
+            w.push("SET incomplete".into());
+            w
+        };
+        let serial: Vec<String> = vec![
+            "MGET user:1 nope user:29".into(),
+            "DBSIZE".into(),
+            "KEYS user:2".into(),
+            "FLUSHALL".into(),
+            "DBSIZE".into(),
+        ];
+
+        let labels: Vec<&str> = pipelined
+            .iter()
+            .chain(serial.iter())
+            .map(String::as_str)
+            .collect();
+        let run = |addr: SocketAddr| -> Vec<Response> {
+            let mut c = TcpKvClient::connect(addr).unwrap();
+            let mut replies = c.request_pipeline(&pipelined).unwrap();
+            for line in &serial {
+                replies.push(c.request(line).unwrap());
+            }
+            replies
+        };
+
+        let threads = {
+            let (_sma, server) = sharded_server(4);
+            let fe = TcpFrontend::bind(server.handle()).unwrap();
+            let replies = run(fe.addr());
+            drop(fe);
+            server.shutdown();
+            replies
+        };
+        let reactor = {
+            let sma = Sma::standalone(1024);
+            let engine = Arc::new(ShardedStore::new(
+                &sma,
+                "kv",
+                softmem_core::Priority::new(4),
+                4,
+            ));
+            let fe =
+                ReactorFrontend::bind("127.0.0.1:0", engine, ReactorConfig::default()).unwrap();
+            run(fe.addr())
+        };
+        assert_eq!(threads.len(), reactor.len());
+        for (i, (t, r)) in threads.iter().zip(&reactor).enumerate() {
+            assert_eq!(t, r, "reply {i} diverged ({:?})", labels[i]);
+        }
     }
 }

@@ -29,6 +29,7 @@ use softmem_core::{Priority, Sma, SoftResult};
 use softmem_sds::EvictionOrder;
 use softmem_telemetry::Snapshot;
 
+use crate::protocol::{CommandRef, Response};
 use crate::store::{ReclaimCostModel, Store, StoreStats, Ttl};
 
 /// FNV-1a over the key bytes: stable across platforms and runs, so a
@@ -402,6 +403,51 @@ impl ShardedStore {
     pub fn stats_json(&self) -> String {
         softmem_telemetry::combined_json(&self.snapshots())
     }
+
+    /// Executes a parsed command with shard `shard` as its home shard.
+    ///
+    /// This is the reactor's batch-dispatch entry point: the frontend
+    /// hash-routes each raw frame (via [`Self::shard_of`] on its
+    /// routing key, or `conn % shards` for keyless verbs), and the
+    /// shard worker parses and calls this directly — no channel hop.
+    /// Single-key commands and `PING` run on `shard`'s store;
+    /// cross-shard verbs fan out inline through the engine's merge
+    /// helpers, producing the same replies as the in-process router
+    /// ([`crate::KvHandle`]) for every command.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard >= self.shard_count()`.
+    pub fn execute_at(&self, shard: usize, cmd: &CommandRef<'_>) -> Response {
+        match cmd {
+            // Single-key commands (and PING, which measures one engine
+            // round trip) execute on the home shard's store. The
+            // caller routed by key, so `owner()` would be identity.
+            CommandRef::Ping => cmd.execute(&self.shards[shard]),
+            c if c.routing_key().is_some() => c.execute(&self.shards[shard]),
+            // Cross-shard verbs merge inline, mirroring the router.
+            CommandRef::DbSize => Response::Int(self.dbsize() as i64),
+            CommandRef::FlushAll => {
+                self.flushall();
+                Response::Ok("OK".into())
+            }
+            CommandRef::Keys { prefix } => Response::Array(self.keys_with_prefix(prefix)),
+            CommandRef::Shed { bytes } => Response::Int(self.shed(*bytes) as i64),
+            CommandRef::MGet { keys } => Response::Array(
+                self.mget(keys.iter().copied())
+                    .into_iter()
+                    .map(|v| v.unwrap_or_else(|| b"(nil)".to_vec()))
+                    .collect(),
+            ),
+            CommandRef::Info => Response::Bulk(Some(self.info_string().into_bytes())),
+            CommandRef::Stats => Response::Bulk(Some(self.stats_json().into_bytes())),
+            // The frontend handles connection/process teardown; the
+            // engine just acknowledges.
+            CommandRef::Shutdown => Response::Ok("OK".into()),
+            // Every single-key variant was matched by routing_key().
+            _ => unreachable!("single-key command fell through routing_key guard"),
+        }
+    }
 }
 
 impl std::fmt::Debug for ShardedStore {
@@ -554,6 +600,47 @@ mod tests {
         for shard in e.shards() {
             assert!(shard.stats().reclaimed_entries > 0);
         }
+    }
+
+    #[test]
+    fn execute_at_matches_router_semantics() {
+        let (_sma, e) = engine(4, 1024);
+        for i in 0..20 {
+            let line = format!("SET user:{i} u{i}");
+            let cmd = CommandRef::parse(&line).unwrap();
+            let shard = e.shard_of(cmd.routing_key().unwrap());
+            assert_eq!(e.execute_at(shard, &cmd), Response::Ok("OK".into()));
+        }
+        // Single-key reads land on the owning shard.
+        let cmd = CommandRef::parse("GET user:3").unwrap();
+        let shard = e.shard_of(b"user:3");
+        assert_eq!(
+            e.execute_at(shard, &cmd),
+            Response::Bulk(Some(b"u3".to_vec()))
+        );
+        // Cross-shard verbs merge identically from *any* home shard.
+        for home in 0..4 {
+            assert_eq!(
+                e.execute_at(home, &CommandRef::parse("DBSIZE").unwrap()),
+                Response::Int(20)
+            );
+            let Response::Array(keys) =
+                e.execute_at(home, &CommandRef::parse("KEYS user:1").unwrap())
+            else {
+                panic!("KEYS must return array");
+            };
+            assert_eq!(keys.len(), 11);
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "globally sorted");
+            assert_eq!(
+                e.execute_at(home, &CommandRef::parse("MGET user:2 nope user:7").unwrap()),
+                Response::Array(vec![b"u2".to_vec(), b"(nil)".to_vec(), b"u7".to_vec()])
+            );
+        }
+        assert_eq!(
+            e.execute_at(0, &CommandRef::parse("FLUSHALL").unwrap()),
+            Response::Ok("OK".into())
+        );
+        assert_eq!(e.dbsize(), 0);
     }
 
     #[test]

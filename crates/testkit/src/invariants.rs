@@ -58,6 +58,16 @@ pub enum InvariantFamily {
     CallbackAccounting,
     /// Telemetry counters agree with checker ground truth.
     MetricsConsistency,
+    /// Network-plane conservation: once traffic ceases the reactor
+    /// frontend must quiesce (`requests_total == replies_total`, no
+    /// parked frames), per-connection server memory stays bounded by
+    /// the configured high-water mark plus the in-flight window, a
+    /// slow reader provably trips the pause machinery, and every
+    /// accepted fd is eventually closed (`accepted == closed` at
+    /// teardown). Checked by the net driver in scenarios that carry a
+    /// [`crate::scenario::NetSpec`]; the driver's engine and process
+    /// also feed the five families above.
+    NetworkPlane,
     /// Conservation and availability across a daemon crash/restart:
     /// post-reconcile, the sum of client-held pages stays within
     /// machine capacity, every adopted ledger entry matches its
@@ -75,6 +85,7 @@ impl fmt::Display for InvariantFamily {
             InvariantFamily::GenerationSafety => "generation-safety",
             InvariantFamily::CallbackAccounting => "callback-accounting",
             InvariantFamily::MetricsConsistency => "metrics-consistency",
+            InvariantFamily::NetworkPlane => "network-plane",
             InvariantFamily::RestartConservation => "restart-conservation",
         };
         f.write_str(s)

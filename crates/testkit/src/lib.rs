@@ -33,6 +33,8 @@
 
 pub mod fault;
 pub mod invariants;
+#[cfg(target_os = "linux")]
+mod net;
 pub mod pool;
 pub mod process;
 pub mod queue;
@@ -46,4 +48,4 @@ pub use pool::{HandlePool, PoolCounters};
 pub use process::{FlakyChannel, TkProcess};
 pub use queue::CountedQueue;
 pub use restart::{run_restart_chaos, RestartSpec};
-pub use scenario::{run_scenario, OpMix, Phase, ScenarioSpec, Verdict};
+pub use scenario::{run_scenario, NetSpec, OpMix, Phase, ScenarioSpec, Verdict};

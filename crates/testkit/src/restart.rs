@@ -278,6 +278,8 @@ pub fn run_restart_chaos(spec: &RestartSpec, seed: u64) -> Verdict {
         cold_hits: 0,
         spill_hits: 0,
         spill_writes: 0,
+        net_requests: 0,
+        net_replies: 0,
         violations,
     };
     drop(ctxs);

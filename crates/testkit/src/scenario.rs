@@ -107,6 +107,34 @@ impl OpMix {
     }
 }
 
+/// Network-plane load riding alongside a scenario: a dedicated soft
+/// process + sharded engine served by a [`softmem_kv::ReactorFrontend`]
+/// and hammered over real sockets by a [`softmem_kv::Swarm`] — one
+/// extra barrier participant that quiesces the plane before every
+/// invariant sweep (see `net.rs`). Ignored on non-Linux targets
+/// (the reactor is epoll-based).
+#[derive(Debug, Clone)]
+pub struct NetSpec {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each live client issues per phase.
+    pub requests_per_client: u64,
+    /// Pipeline depth for well-behaved clients.
+    pub pipeline: usize,
+    /// Clients turned into slow readers before phase 0: they keep
+    /// sending but never read a reply, so the server's backpressure
+    /// machinery must bound their write buffers.
+    pub stalled_clients: usize,
+    /// Phase during which half the fleet disconnects mid-pipeline
+    /// (the phase runs time-boxed so replies are in flight when the
+    /// wave lands).
+    pub disconnect_half_mid_phase: Option<usize>,
+    /// Shards behind the reactor's engine.
+    pub shards: usize,
+    /// Per-connection write-buffer high-water mark (bytes).
+    pub write_highwater: usize,
+}
+
 /// A complete scenario description.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -153,6 +181,8 @@ pub struct ScenarioSpec {
     pub phases: Vec<Phase>,
     /// Fault plan.
     pub fault: FaultPlan,
+    /// Optional network-plane load (reactor frontend + socket swarm).
+    pub net: Option<NetSpec>,
 }
 
 impl ScenarioSpec {
@@ -189,6 +219,7 @@ impl ScenarioSpec {
                 },
             ],
             fault: FaultPlan::none(),
+            net: None,
         }
     }
 }
@@ -219,6 +250,11 @@ pub struct Verdict {
     pub spill_hits: u64,
     /// Aggregate arena segments spilled to disk.
     pub spill_writes: u64,
+    /// Frames the network plane sequenced (zero without a
+    /// [`NetSpec`]).
+    pub net_requests: u64,
+    /// Replies the plane accounted for (== requests once quiescent).
+    pub net_replies: u64,
     /// Every invariant violation observed.
     pub violations: Vec<Violation>,
 }
@@ -268,6 +304,13 @@ impl std::fmt::Display for Verdict {
                 f,
                 "  cold tier: {} demotion(s), {} arena hit(s), {} disk hit(s), {} spill write(s)",
                 self.cold_demotions, self.cold_hits, self.spill_hits, self.spill_writes
+            )?;
+        }
+        if self.net_requests > 0 {
+            writeln!(
+                f,
+                "  network plane: {} request(s), {} reply(ies)",
+                self.net_requests, self.net_replies
             )?;
         }
         for v in &self.violations {
@@ -558,7 +601,32 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
         procs.push(proc);
     }
 
-    let barrier = Arc::new(Barrier::new(spec.procs + 1));
+    // The network plane (when specced) gets its own soft process and
+    // engine so the checker sweeps its shards, budget and metrics like
+    // any other participant; the driver thread below is one extra
+    // barrier party that quiesces the plane before every sweep.
+    #[cfg(target_os = "linux")]
+    let net_engine: Option<Arc<ShardedStore>> = spec.net.as_ref().map(|ns| {
+        let proc = TkProcess::connect_with(&smd, &format!("{}-net", spec.name), None, |cfg| {
+            cfg.sds_retain(spec.sds_retain_pages)
+                .free_pool_retain(spec.free_pool_retain_pages)
+        });
+        let engine = Arc::new(ShardedStore::new(
+            proc.sma(),
+            "kv-net",
+            Priority::new(3),
+            ns.shards.max(1),
+        ));
+        stores.extend(engine.shards().iter().cloned());
+        procs.push(proc);
+        engine
+    });
+    #[cfg(target_os = "linux")]
+    let net_parties = net_engine.is_some() as usize;
+    #[cfg(not(target_os = "linux"))]
+    let net_parties = 0;
+
+    let barrier = Arc::new(Barrier::new(spec.procs + 1 + net_parties));
     let shared_spec = Arc::new(spec.clone());
     let mut handles = Vec::with_capacity(spec.procs);
     for w in 0..spec.procs {
@@ -583,6 +651,16 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
                 .expect("spawn worker"),
         );
     }
+
+    #[cfg(target_os = "linux")]
+    let net_handle = net_engine.map(|engine| {
+        let spec2 = Arc::clone(&shared_spec);
+        let barrier2 = Arc::clone(&barrier);
+        std::thread::Builder::new()
+            .name(format!("{}-net", spec.name))
+            .spawn(move || crate::net::net_driver(&spec2, engine, &barrier2, seed))
+            .expect("spawn net driver")
+    });
 
     let mut violations = Vec::new();
     let mut checks = 0usize;
@@ -632,6 +710,26 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
         .into_iter()
         .map(|h| h.join().expect("worker panicked"))
         .collect();
+    // The net driver tore its frontend down (reactors and shard
+    // workers joined) before returning, so the quiesce sweep below
+    // sees a static engine.
+    let (net_requests, net_replies) = {
+        #[cfg(target_os = "linux")]
+        {
+            match net_handle {
+                Some(h) => {
+                    let out = h.join().expect("net driver panicked");
+                    violations.extend(out.violations);
+                    (out.requests, out.replies)
+                }
+                None => (0, 0),
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            (0u64, 0u64)
+        }
+    };
 
     // Quiesce: one more full check with everything still alive…
     let scope = CheckScope {
@@ -714,6 +812,8 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
         cold_hits,
         spill_hits,
         spill_writes,
+        net_requests,
+        net_replies,
         violations,
     }
 }

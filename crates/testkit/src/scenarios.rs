@@ -8,7 +8,7 @@ use softmem_core::BudgetFault;
 
 use crate::fault::{ChaosFault, FaultPlan};
 use crate::invariants::InvariantFamily;
-use crate::scenario::{OpMix, Phase, ScenarioSpec};
+use crate::scenario::{NetSpec, OpMix, Phase, ScenarioSpec};
 
 /// Light load, no pressure: the harness itself must not invent
 /// violations.
@@ -505,6 +505,74 @@ pub fn cold_tier_corruption() -> ScenarioSpec {
     s
 }
 
+/// A reactor frontend under slow readers: four of 64 socket clients
+/// stop reading mid-pipeline while hammering a 2 KiB value, so their
+/// replies pile into per-connection write buffers. The network-plane
+/// family proves the buffers stayed under the high-water bound and
+/// that the pause machinery actually engaged; budgets are generous so
+/// the only pressure is the network plane's own. The usual memory
+/// workers run alongside, and the net engine's shards, process and
+/// metrics are swept by all five classic families at every barrier.
+pub fn slow_reader_backpressure() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("slow_reader_backpressure");
+    s.capacity_pages = 256;
+    s.initial_budget_pages = 16;
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 150,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 150,
+            advance_ms: 1_000,
+        },
+    ];
+    s.net = Some(NetSpec {
+        clients: 64,
+        requests_per_client: 300,
+        pipeline: 8,
+        stalled_clients: 4,
+        disconnect_half_mid_phase: None,
+        shards: 4,
+        // Tiny on purpose: backpressure must trip within a test-sized
+        // workload.
+        write_highwater: 4 << 10,
+    });
+    s
+}
+
+/// Half of 1 000 reactor connections drop simultaneously,
+/// mid-pipeline, with replies in flight. No fd may leak
+/// (`accepted == closed` at teardown), no shard worker may wedge (the
+/// plane must quiesce and then serve the survivors a full second
+/// phase), and the quiescence counters must converge through the
+/// abandoned in-flight replies.
+pub fn mass_disconnect() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("mass_disconnect");
+    s.capacity_pages = 256;
+    s.initial_budget_pages = 16;
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+    ];
+    s.net = Some(NetSpec {
+        clients: 1_000,
+        requests_per_client: 30,
+        pipeline: 4,
+        stalled_clients: 0,
+        disconnect_half_mid_phase: Some(0),
+        shards: 4,
+        write_highwater: 64 << 10,
+    });
+    s
+}
+
 /// CHAOS: machine pages leak behind the allocators' backs.
 pub fn chaos_leak_machine_pages() -> ScenarioSpec {
     let mut s = ScenarioSpec::baseline("chaos_leak_machine_pages");
@@ -571,6 +639,8 @@ pub fn benign() -> Vec<ScenarioSpec> {
         demote_promote_churn(),
         cold_tier_flood(),
         cold_tier_corruption(),
+        slow_reader_backpressure(),
+        mass_disconnect(),
     ]
 }
 

@@ -87,6 +87,33 @@ fn tier_scenarios_demote_promote_and_spill() {
     }
 }
 
+/// The network-plane scenarios must actually push traffic through the
+/// reactor: a clean verdict on a plane that served zero requests would
+/// prove nothing about backpressure or disconnect handling.
+#[cfg(target_os = "linux")]
+#[test]
+fn net_scenarios_drive_real_traffic() {
+    for &seed in FIXED_SEEDS {
+        let v = run_scenario(&scenarios::slow_reader_backpressure(), seed);
+        v.assert_clean();
+        assert!(
+            v.net_requests > 0 && v.net_requests == v.net_replies,
+            "seed {seed:#x}: slow-reader scenario served {} request(s), {} reply(ies)",
+            v.net_requests,
+            v.net_replies
+        );
+
+        let v = run_scenario(&scenarios::mass_disconnect(), seed);
+        v.assert_clean();
+        assert!(
+            v.net_requests > 0 && v.net_requests == v.net_replies,
+            "seed {seed:#x}: mass-disconnect scenario served {} request(s), {} reply(ies)",
+            v.net_requests,
+            v.net_replies
+        );
+    }
+}
+
 #[test]
 fn same_seed_reproduces_schedule_and_verdict() {
     let spec = scenarios::demand_storm();
