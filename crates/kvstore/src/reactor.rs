@@ -68,7 +68,7 @@ use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{next_frame, routing_key_of, CommandRef, Response};
 use crate::sharded::ShardedStore;
@@ -603,7 +603,15 @@ struct Reactor {
     /// Connections with a parked frame.
     stalled: Vec<u64>,
     next_rr: usize,
+    /// Set after a fatal `accept` error (EMFILE/ENFILE): the listener
+    /// is deregistered until this deadline so a level-triggered epoll
+    /// doesn't busy-spin on the un-acceptable readiness condition.
+    accept_backoff_until: Option<Instant>,
 }
+
+/// How long the listener stays deregistered after fd exhaustion
+/// before retrying `accept`; closed connections free fds meanwhile.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(100);
 
 impl Reactor {
     fn run(mut self) {
@@ -634,6 +642,7 @@ impl Reactor {
             self.retry_parked();
             self.flush_updates();
             self.flush_notifications();
+            self.maybe_resume_listener();
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
@@ -674,7 +683,50 @@ impl Reactor {
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => break,
+                Err(_) => {
+                    // EMFILE/ENFILE and friends: the pending
+                    // connection stays in the accept queue, so a
+                    // level-triggered listener would be re-reported
+                    // readable on every `epoll_wait` and spin this
+                    // reactor at 100% CPU. Stand the listener down
+                    // and retry after a backoff — closing connections
+                    // frees fds in the meantime.
+                    self.pause_listener();
+                    break;
+                }
+            }
+        }
+    }
+
+    fn pause_listener(&mut self) {
+        if self.accept_backoff_until.is_some() {
+            return;
+        }
+        if let Some(listener) = &self.listener {
+            let _ = self.poller.delete(listener.as_raw_fd());
+        }
+        self.accept_backoff_until = Some(Instant::now() + ACCEPT_BACKOFF);
+    }
+
+    /// Re-registers a backed-off listener once its deadline passes.
+    /// Called every loop round; the 50 ms `epoll_wait` timeout bounds
+    /// the extra latency. If registration itself fails the backoff is
+    /// extended rather than spinning on `epoll_ctl`.
+    fn maybe_resume_listener(&mut self) {
+        let Some(deadline) = self.accept_backoff_until else {
+            return;
+        };
+        if Instant::now() < deadline {
+            return;
+        }
+        self.accept_backoff_until = None;
+        if let Some(listener) = &self.listener {
+            if self
+                .poller
+                .add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)
+                .is_err()
+            {
+                self.accept_backoff_until = Some(Instant::now() + ACCEPT_BACKOFF);
             }
         }
     }
@@ -847,6 +899,14 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&id) else {
             return;
         };
+        // Flag the connection fatal *now*, not when the error reply
+        // sequences through the reorder buffer: the malformed bytes
+        // are still in `read_buf`, so every later `process_frames`
+        // pass would otherwise re-trip the same condition and emit a
+        // duplicate error reply per reactor round until in-flight
+        // replies land. The top-of-loop `close_after` check makes
+        // this a one-shot.
+        conn.close_after = true;
         let seq = conn.next_seq;
         conn.next_seq += 1;
         self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
@@ -972,7 +1032,14 @@ impl Reactor {
         }
         // Backpressure may have cleared (replies drained, frame
         // unparked): resume framing pipelined bytes already buffered.
-        if conn.read_pos < conn.read_buf.len() && !conn.paused {
+        // No `paused` guard here — that flag is stale until recomputed
+        // below, and gating on it can strand buffered frames forever
+        // when a pause clears entirely within one pass (all in-flight
+        // replies land and flush at once: no further epoll event will
+        // fire for an idle, fully-drained socket). `process_frames`
+        // re-checks every backpressure condition itself and returns
+        // immediately if any still holds.
+        if conn.read_pos < conn.read_buf.len() {
             self.process_frames(id);
         }
         let Some(conn) = self.conns.get_mut(&id) else {
@@ -1250,6 +1317,7 @@ impl ReactorFrontend {
                 dirty: Vec::new(),
                 stalled: Vec::new(),
                 next_rr: 0,
+                accept_backoff_until: None,
             };
             reactor_threads.push(
                 std::thread::Builder::new()
@@ -1436,6 +1504,84 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(stats.open_conns.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn deep_pipeline_resumes_framing_after_pause_clears() {
+        // Regression: a connection whose whole backpressure pause
+        // clears within one reactor pass (all in-flight replies land
+        // and flush together) must still frame the rest of the bytes
+        // already sitting in its read buffer — there will be no
+        // further epoll event to do it later. A tiny in-flight cap
+        // forces many pause/resume cycles in a single burst.
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 2));
+        let cfg = ReactorConfig {
+            max_inflight_per_conn: 4,
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let mut stream = TcpStream::connect(fe.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        const BURST: usize = 512;
+        let mut req = Vec::new();
+        for i in 0..BURST {
+            req.extend_from_slice(format!("GET nope-{i}\n").as_bytes());
+        }
+        stream.write_all(&req).unwrap();
+        // Each miss is exactly one line (`$-1\n`); count newlines.
+        let mut got = 0usize;
+        let mut buf = [0u8; 4096];
+        while got < BURST {
+            let n = stream.read(&mut buf).expect("reply stream stalled");
+            assert_ne!(n, 0, "server closed early after {got} replies");
+            got += buf[..n].iter().filter(|&&b| b == b'\n').count();
+        }
+        assert_eq!(got, BURST);
+        // Nothing left unframed or unanswered.
+        for _ in 0..200 {
+            if fe.stats().quiesced() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(fe.stats().quiesced(), "{:?}", fe.stats());
+    }
+
+    #[test]
+    fn protocol_fatal_replies_exactly_once() {
+        // Regression: an over-long partial line arriving behind a
+        // pipelined burst must produce exactly one error reply, not
+        // one per reactor round while the burst's replies are still
+        // in flight.
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 2));
+        let cfg = ReactorConfig {
+            max_frame_len: 256,
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let mut stream = TcpStream::connect(fe.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut req = Vec::new();
+        for i in 0..64 {
+            req.extend_from_slice(format!("GET nope-{i}\n").as_bytes());
+        }
+        req.extend_from_slice(&vec![b'x'; 4096]); // no terminator
+        stream.write_all(&req).unwrap();
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).unwrap();
+        let text = String::from_utf8_lossy(&reply);
+        assert_eq!(
+            text.matches("-ERR").count(),
+            1,
+            "duplicate fatal replies: {text:?}"
+        );
+        assert_eq!(text.matches("$-1").count(), 64, "{text:?}");
     }
 
     #[test]
