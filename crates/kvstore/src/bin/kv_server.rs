@@ -53,6 +53,12 @@ fn main() {
         }
     });
     let reactors: usize = arg("--reactors").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let net = NetOpts {
+        idle_timeout_ms: arg("--idle-timeout-ms").and_then(|v| v.parse().ok()),
+        write_stall_timeout_ms: arg("--write-stall-timeout-ms").and_then(|v| v.parse().ok()),
+        shed_inflight: arg("--shed-inflight").and_then(|v| v.parse().ok()),
+        accept_pause_inflight: arg("--accept-pause-inflight").and_then(|v| v.parse().ok()),
+    };
 
     // Two modes: a fixed standalone budget, or membership of a
     // machine-wide daemon (multiple kv_server processes then share
@@ -75,13 +81,23 @@ fn main() {
     let engine = ShardedStore::new(&sma, "keyspace", Priority::new(4), shards);
 
     match frontend.as_str() {
-        "reactor" => run_reactor(&addr, engine, reactors, budget_mib, shards),
-        "threads" => run_threads(&addr, engine, budget_mib, shards),
+        "reactor" => run_reactor(&addr, engine, reactors, budget_mib, shards, net),
+        "threads" => run_threads(&addr, engine, budget_mib, shards, net),
         other => {
             eprintln!("unknown --frontend {other:?} (expected 'reactor' or 'threads')");
             std::process::exit(2);
         }
     }
+}
+
+/// Fault-plane knobs shared by both frontends (all off by default):
+/// connection deadlines and overload admission control.
+#[derive(Clone, Copy, Default)]
+struct NetOpts {
+    idle_timeout_ms: Option<u64>,
+    write_stall_timeout_ms: Option<u64>,
+    shed_inflight: Option<u64>,
+    accept_pause_inflight: Option<u64>,
 }
 
 fn banner(local: std::net::SocketAddr, frontend: &str, budget_mib: usize, shards: usize) {
@@ -99,11 +115,17 @@ fn run_reactor(
     reactors: usize,
     budget_mib: usize,
     shards: usize,
+    net: NetOpts,
 ) {
     use softmem_kv::{ReactorConfig, ReactorFrontend};
+    use std::time::Duration;
 
     let cfg = ReactorConfig {
         reactors,
+        idle_timeout: net.idle_timeout_ms.map(Duration::from_millis),
+        write_stall_timeout: net.write_stall_timeout_ms.map(Duration::from_millis),
+        overload_shed_inflight: net.shed_inflight,
+        overload_accept_inflight: net.accept_pause_inflight,
         ..ReactorConfig::default()
     };
     let frontend = ReactorFrontend::bind(addr, Arc::new(engine), cfg).expect("bind listen address");
@@ -128,50 +150,29 @@ fn run_reactor(
     _reactors: usize,
     budget_mib: usize,
     shards: usize,
+    net: NetOpts,
 ) {
     eprintln!("reactor frontend requires Linux epoll; falling back to threads");
-    run_threads(addr, engine, budget_mib, shards);
+    run_threads(addr, engine, budget_mib, shards, net);
 }
 
-fn run_threads(addr: &str, engine: ShardedStore, budget_mib: usize, shards: usize) {
-    use softmem_kv::server::{write_reply, KvHandle, KvServer};
-    use softmem_kv::Response;
-    use std::net::TcpListener;
+fn run_threads(addr: &str, engine: ShardedStore, budget_mib: usize, shards: usize, net: NetOpts) {
+    use softmem_kv::{FrontendOpts, KvServer, TcpFrontend};
+    use std::time::Duration;
 
     let server = KvServer::start_sharded(engine);
     let handle = server.handle();
+    let opts = FrontendOpts {
+        idle_timeout: net.idle_timeout_ms.map(Duration::from_millis),
+        ..FrontendOpts::default()
+    };
+    let frontend = TcpFrontend::bind_with(addr, handle.clone(), opts).expect("bind listen address");
+    banner(frontend.addr(), "threads", budget_mib, shards);
 
-    let listener = TcpListener::bind(addr).expect("bind listen address");
-    let local = listener.local_addr().expect("bound address");
-    banner(local, "threads", budget_mib, shards);
-
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let handle: KvHandle = handle.clone();
-        std::thread::spawn(move || {
-            use std::io::BufReader;
-            let _ = stream.set_nodelay(true);
-            let mut writer = match stream.try_clone() {
-                Ok(w) => w,
-                Err(_) => return,
-            };
-            let mut reader = BufReader::new(stream);
-            let mut line = String::new();
-            while softmem_kv::server::read_frame(&mut reader, &mut line) {
-                if line.is_empty() {
-                    continue;
-                }
-                let reply = match handle.request(&line) {
-                    Ok(resp) => resp.encode(),
-                    Err(msg) => Response::Error(msg).encode(),
-                };
-                if write_reply(&mut writer, reply.as_bytes()).is_err() {
-                    break;
-                }
-                if line.eq_ignore_ascii_case("shutdown") {
-                    std::process::exit(0);
-                }
-            }
-        });
+    // The frontend's accept loop and connection threads do the work;
+    // the main thread just waits for SHUTDOWN to stop the engine.
+    while handle.request("PING").is_ok() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
     }
+    drop(frontend); // hang up on in-flight connections and join them
 }

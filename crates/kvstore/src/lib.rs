@@ -52,8 +52,10 @@ pub mod swarm;
 pub use metrics::StoreMetrics;
 pub use protocol::{Command, CommandRef, Response};
 #[cfg(target_os = "linux")]
-pub use reactor::{NetStats, ReactorConfig, ReactorFrontend};
-pub use server::{KvHandle, KvServer, TcpFrontend, TcpKvClient};
+pub use reactor::{
+    NetMetrics, NetStats, ReactorConfig, ReactorFrontend, RealSysIo, SysIo, WorkerHook,
+};
+pub use server::{FrontendOpts, KvHandle, KvServer, TcpFrontend, TcpKvClient};
 pub use sharded::ShardedStore;
 pub use store::{ReclaimCostModel, Store, StoreStats, Ttl};
 #[cfg(target_os = "linux")]

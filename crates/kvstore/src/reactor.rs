@@ -57,6 +57,36 @@
 //! `extern "C"` syscalls (glibc is already linked by `std`), and the
 //! SPSC rings are built here from atomics — consistent with the
 //! repo's vendored-shim, zero-dep stance.
+//!
+//! ## The fault plane
+//!
+//! Robustness here is designed to be *provable*, not incidental:
+//!
+//! * Every raw I/O call (`read`/`write`/`accept`/`epoll_wait`/eventfd
+//!   wakes) goes through the [`SysIo`] trait. Production uses
+//!   [`RealSysIo`] (the plain syscalls); the testkit swaps in a seeded
+//!   shim that injects `EINTR`, `EAGAIN`, `ECONNRESET`, `EMFILE`,
+//!   short reads and partial writes by plan, so the error paths run on
+//!   every seed-matrix sweep instead of never.
+//! * Per-connection **deadlines** (idle and write-stall) ride a lazy
+//!   timer wheel checked each reactor round; a slow reader is evicted
+//!   after a bound (`conn_deadline_closes_total`) instead of holding
+//!   its write buffer and reorder slots forever.
+//! * **Overload admission control**: past a global in-flight
+//!   high-water mark the reactor sheds new frames with an immediate
+//!   `-ERR overloaded` reply (`overload_sheds_total`), shard-ring
+//!   parks give up after a bound, and a harder limit stands the
+//!   listener down — brownout, not blackout.
+//! * Shard workers and reactors run **supervised** under
+//!   `catch_unwind`: a panicked worker is restarted, its in-flight
+//!   request answered with a clean error reply
+//!   (`panic_error_replies_total`), and the other shards keep serving;
+//!   a panicked reactor closes its connections and resumes accepting.
+//!
+//! Every one of those outcomes is a counter, and together they form a
+//! ledger ([`NetStats::ledger`]): replies == executed + shed + fatal +
+//! discarded + panic-failed, so an injected fault can never leave a
+//! request silently unaccounted.
 
 use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, HashMap};
@@ -65,10 +95,13 @@ use std::io::{self, Read, Write};
 use std::mem::MaybeUninit;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use softmem_telemetry::{Counter, Gauge, Registry, Snapshot};
 
 use crate::protocol::{next_frame, routing_key_of, CommandRef, Response};
 use crate::sharded::ShardedStore;
@@ -146,7 +179,7 @@ pub(crate) fn set_sock_buf(fd: RawFd, opt: i32, bytes: usize) -> io::Result<()> 
 
 /// One readiness notification from [`Poller::wait`].
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct Event {
+pub struct Event {
     pub token: u64,
     pub readable: bool,
     pub writable: bool,
@@ -154,7 +187,7 @@ pub(crate) struct Event {
 }
 
 /// A thin safe wrapper over one `epoll` instance (level-triggered).
-pub(crate) struct Poller {
+pub struct Poller {
     epfd: OwnedFd,
 }
 
@@ -261,6 +294,85 @@ pub(crate) fn new_eventfd() -> io::Result<File> {
         return Err(io::Error::last_os_error());
     }
     Ok(unsafe { File::from_raw_fd(fd) })
+}
+
+// ----------------------------------------------------------------------
+// Syscall shim: the reactor's only door to the kernel.
+// ----------------------------------------------------------------------
+
+/// Every raw I/O call the network plane makes, as a trait, so the
+/// testkit can interpose a seeded fault injector (`EINTR`, `EAGAIN`,
+/// `ECONNRESET`, `EMFILE`, short reads, partial writes) and prove the
+/// error handling instead of trusting it. Production uses
+/// [`RealSysIo`]; the dynamic dispatch is one vtable hop per syscall,
+/// noise next to the syscall itself (the `conn_scaling` gate holds
+/// with the shim in place).
+///
+/// Implementations must be deterministic for a fixed seed and call
+/// sequence — the testkit replays failures from `(scenario, seed)`.
+pub trait SysIo: Send + Sync {
+    /// `read(2)` from a connected stream into `buf`.
+    fn read(&self, stream: &TcpStream, buf: &mut [u8]) -> io::Result<usize>;
+    /// `write(2)` of `buf` to a connected stream.
+    fn write(&self, stream: &TcpStream, buf: &[u8]) -> io::Result<usize>;
+    /// `accept(2)` on the listener.
+    fn accept(&self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)>;
+    /// `epoll_wait(2)` via the reactor's [`Poller`]. Unlike
+    /// [`Poller::wait`], an implementation may surface `EINTR` as an
+    /// error — the reactor loop must tolerate it.
+    fn epoll_wait(&self, poller: &Poller, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()>;
+    /// One eventfd wake (an 8-byte write). A lost wake must only cost
+    /// latency, never liveness: the worker park and the reactor poll
+    /// both re-check on a timeout.
+    fn wake(&self, efd: &File) -> io::Result<()>;
+}
+
+/// The production [`SysIo`]: the plain syscalls, no interposition.
+#[derive(Debug, Default)]
+pub struct RealSysIo;
+
+impl SysIo for RealSysIo {
+    fn read(&self, stream: &TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+        (&mut &*stream).read(buf)
+    }
+
+    fn write(&self, stream: &TcpStream, buf: &[u8]) -> io::Result<usize> {
+        (&mut &*stream).write(buf)
+    }
+
+    fn accept(&self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
+        listener.accept()
+    }
+
+    fn epoll_wait(&self, poller: &Poller, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        poller.wait(out, timeout_ms)
+    }
+
+    fn wake(&self, efd: &File) -> io::Result<()> {
+        (&mut &*efd).write_all(&1u64.to_ne_bytes())
+    }
+}
+
+/// A hook called at chosen points inside worker and reactor threads.
+/// The testkit's panic-injection chaos uses it to prove the
+/// supervision story; the default methods do nothing, and production
+/// configs carry no hook at all.
+pub trait WorkerHook: Send + Sync {
+    /// Called by a shard worker just before parsing + executing a
+    /// frame. May panic — the worker supervisor must recover.
+    fn before_execute(&self, _shard: usize, _frame: &[u8]) {}
+    /// Called by a reactor at the top of each poll round. May panic —
+    /// the reactor supervisor must recover.
+    fn before_poll(&self, _reactor: usize) {}
+}
+
+/// Locks `m`, shrugging off poison: the network plane's shared state
+/// (inboxes, park flags) is safe under a panicking peer — every
+/// mutation is complete before the lock is released or trivially
+/// idempotent — so a worker that panicked while a reactor held the
+/// lock must not cascade-kill the whole frontend.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 // ----------------------------------------------------------------------
@@ -381,11 +493,17 @@ struct Inbox {
 struct ReactorShared {
     inbox: Mutex<Inbox>,
     wake: File,
+    /// The syscall shim the wake write goes through (same instance the
+    /// owning reactor uses), so fault plans can drop wakes too.
+    io: Arc<dyn SysIo>,
 }
 
 impl ReactorShared {
     fn wake(&self) {
-        let _ = (&self.wake).write_all(&1u64.to_ne_bytes());
+        // A failed (or deliberately dropped) wake is tolerated: the
+        // reactor polls on a 50 ms timeout and the workers park with a
+        // 25 ms timeout, so a lost edge costs latency, not liveness.
+        let _ = self.io.wake(&self.wake);
     }
 }
 
@@ -399,7 +517,7 @@ struct Park {
 
 impl Park {
     fn notify(&self) {
-        *self.flag.lock().unwrap() = true;
+        *lock_unpoisoned(&self.flag) = true;
         self.cv.notify_one();
     }
 }
@@ -436,6 +554,28 @@ pub struct NetStats {
     pub parked_frames: AtomicU64,
     /// High-water mark of any single connection's write buffer.
     pub max_write_buf_bytes: AtomicU64,
+    /// Times the listener stood down (fd exhaustion backoff or the
+    /// hard overload limit) instead of busy-spinning on accept.
+    pub accept_backoffs_total: AtomicU64,
+    /// Connections evicted by the idle or write-stall deadline.
+    pub conn_deadline_closes_total: AtomicU64,
+    /// Frames answered with `-ERR overloaded` instead of being
+    /// executed (global in-flight high water, or a park that outlived
+    /// its bound).
+    pub overload_sheds_total: AtomicU64,
+    /// Inline protocol-fatal error replies (oversize / malformed
+    /// stream) generated by a reactor without shard execution.
+    pub fatal_replies_total: AtomicU64,
+    /// Parked frames discarded because their connection closed before
+    /// the shard ring ever had room.
+    pub parked_discards_total: AtomicU64,
+    /// In-flight requests answered with an error reply because their
+    /// shard worker panicked mid-execution.
+    pub panic_error_replies_total: AtomicU64,
+    /// Shard workers restarted by the supervisor after a panic.
+    pub worker_restarts_total: AtomicU64,
+    /// Reactor threads restarted by the supervisor after a panic.
+    pub reactor_restarts_total: AtomicU64,
     /// Set when a client issued `SHUTDOWN` (the binary watches this).
     pub shutdown_requested: AtomicBool,
 }
@@ -449,10 +589,116 @@ impl NetStats {
             && self.requests_total.load(Ordering::Acquire)
                 == self.replies_total.load(Ordering::Acquire)
     }
+
+    /// The fault-accounting ledger: every reply has exactly one
+    /// origin, so at quiescence
+    ///
+    /// ```text
+    /// replies_total == batched_requests_total   (executed at a shard)
+    ///                + overload_sheds_total     (shed at admission)
+    ///                + fatal_replies_total      (protocol-fatal inline)
+    ///                + parked_discards_total    (conn died while parked)
+    ///                + panic_error_replies_total(worker panicked on it)
+    /// ```
+    ///
+    /// Returns `(replies_total, sum-of-origins)`; the testkit's
+    /// network-plane family asserts the two sides agree, which is the
+    /// "shed + closed + completed == offered" law (offered ==
+    /// `requests_total` == `replies_total` once quiescent).
+    pub fn ledger(&self) -> (u64, u64) {
+        let lhs = self.replies_total.load(Ordering::Acquire);
+        let rhs = self.batched_requests_total.load(Ordering::Acquire)
+            + self.overload_sheds_total.load(Ordering::Acquire)
+            + self.fatal_replies_total.load(Ordering::Acquire)
+            + self.parked_discards_total.load(Ordering::Acquire)
+            + self.panic_error_replies_total.load(Ordering::Acquire);
+        (lhs, rhs)
+    }
+}
+
+/// The network plane's telemetry registry (label `net`). The
+/// fault-plane *counters* are true mirrors incremented at the same
+/// site as their [`NetStats`] ground truth (the metrics-consistency
+/// invariant family certifies the two agree); the traffic *gauges*
+/// are set from ground truth on [`NetMetrics::refresh`], which runs
+/// before every `STATS` snapshot.
+pub struct NetMetrics {
+    registry: Registry,
+    /// Mirror of [`NetStats::accept_backoffs_total`].
+    pub accept_backoffs: Arc<Counter>,
+    /// Mirror of [`NetStats::conn_deadline_closes_total`].
+    pub conn_deadline_closes: Arc<Counter>,
+    /// Mirror of [`NetStats::overload_sheds_total`].
+    pub overload_sheds: Arc<Counter>,
+    /// Mirror of [`NetStats::worker_restarts_total`].
+    pub worker_restarts: Arc<Counter>,
+    /// Mirror of [`NetStats::reactor_restarts_total`].
+    pub reactor_restarts: Arc<Counter>,
+    /// Mirror of [`NetStats::panic_error_replies_total`].
+    pub panic_error_replies: Arc<Counter>,
+    /// [`NetStats::requests_total`] at last refresh.
+    pub requests: Arc<Gauge>,
+    /// [`NetStats::replies_total`] at last refresh.
+    pub replies: Arc<Gauge>,
+    /// [`NetStats::open_conns`] at last refresh.
+    pub open_conns: Arc<Gauge>,
+    /// [`NetStats::parked_frames`] at last refresh.
+    pub parked_frames: Arc<Gauge>,
+}
+
+impl NetMetrics {
+    fn new() -> Self {
+        let registry = Registry::new("net");
+        NetMetrics {
+            accept_backoffs: registry.counter("accept_backoffs"),
+            conn_deadline_closes: registry.counter("conn_deadline_closes"),
+            overload_sheds: registry.counter("overload_sheds"),
+            worker_restarts: registry.counter("worker_restarts"),
+            reactor_restarts: registry.counter("reactor_restarts"),
+            panic_error_replies: registry.counter("panic_error_replies"),
+            requests: registry.gauge("requests"),
+            replies: registry.gauge("replies"),
+            open_conns: registry.gauge("open_conns"),
+            parked_frames: registry.gauge("parked_frames"),
+            registry,
+        }
+    }
+
+    /// Sets the traffic gauges from ground truth.
+    pub fn refresh(&self, stats: &NetStats) {
+        self.requests
+            .set(stats.requests_total.load(Ordering::Acquire) as i64);
+        self.replies
+            .set(stats.replies_total.load(Ordering::Acquire) as i64);
+        self.open_conns
+            .set(stats.open_conns.load(Ordering::Acquire) as i64);
+        self.parked_frames
+            .set(stats.parked_frames.load(Ordering::Acquire) as i64);
+    }
+
+    /// The underlying registry (for snapshots and rendering).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl std::fmt::Debug for NetMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetMetrics")
+            .field("overload_sheds", &self.overload_sheds.get())
+            .field("conn_deadline_closes", &self.conn_deadline_closes.get())
+            .field("worker_restarts", &self.worker_restarts.get())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Tuning for a [`ReactorFrontend`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ReactorConfig {
     /// Reactor (event-loop) threads; `0` picks
     /// `available_parallelism / 2` clamped to `1..=4`.
@@ -475,6 +721,35 @@ pub struct ReactorConfig {
     /// engage at small data volumes — the testkit's slow-reader
     /// scenario depends on this; production leaves it alone.
     pub so_sndbuf: Option<usize>,
+    /// Evict a connection that has sent no bytes for this long
+    /// (`None` disables — the default, so embedders opt in; the
+    /// `kv_server` binary enables it with `--idle-timeout-ms`).
+    pub idle_timeout: Option<Duration>,
+    /// Evict a connection whose pending write buffer has made no
+    /// progress for this long — a paused slow reader is released
+    /// after a bound instead of holding buffers forever (`None`
+    /// disables).
+    pub write_stall_timeout: Option<Duration>,
+    /// Global in-flight high-water mark (`requests - replies`): at or
+    /// above it, newly framed requests are shed with an immediate
+    /// `-ERR overloaded` reply instead of being routed (`None`
+    /// disables).
+    pub overload_shed_inflight: Option<u64>,
+    /// The harder limit: at or above this global in-flight count the
+    /// listener stands down for the accept backoff (100 ms) instead
+    /// of accepting more connections (`None` disables).
+    pub overload_accept_inflight: Option<u64>,
+    /// A frame parked on a full shard ring for longer than this is
+    /// shed with `-ERR overloaded` instead of waiting forever —
+    /// "the ring stays full" becomes brownout, not a wedged
+    /// connection (`None` waits indefinitely).
+    pub park_shed_after: Option<Duration>,
+    /// The syscall shim every raw I/O call goes through. Production
+    /// (the default) is [`RealSysIo`]; the testkit injects faults here.
+    pub io: Arc<dyn SysIo>,
+    /// Chaos hook run inside worker/reactor threads (panic
+    /// injection). `None` in production.
+    pub hook: Option<Arc<dyn WorkerHook>>,
 }
 
 impl Default for ReactorConfig {
@@ -487,7 +762,34 @@ impl Default for ReactorConfig {
             batch_limit: 256,
             max_frame_len: 1 << 20,
             so_sndbuf: None,
+            idle_timeout: None,
+            write_stall_timeout: None,
+            overload_shed_inflight: None,
+            overload_accept_inflight: None,
+            park_shed_after: None,
+            io: Arc::new(RealSysIo),
+            hook: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ReactorConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorConfig")
+            .field("reactors", &self.reactors)
+            .field("max_inflight_per_conn", &self.max_inflight_per_conn)
+            .field("write_highwater", &self.write_highwater)
+            .field("ring_capacity", &self.ring_capacity)
+            .field("batch_limit", &self.batch_limit)
+            .field("max_frame_len", &self.max_frame_len)
+            .field("so_sndbuf", &self.so_sndbuf)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("write_stall_timeout", &self.write_stall_timeout)
+            .field("overload_shed_inflight", &self.overload_shed_inflight)
+            .field("overload_accept_inflight", &self.overload_accept_inflight)
+            .field("park_shed_after", &self.park_shed_after)
+            .field("hook", &self.hook.is_some())
+            .finish_non_exhaustive()
     }
 }
 
@@ -496,6 +798,70 @@ fn auto_reactors() -> usize {
         .map(|p| p.get() / 2)
         .unwrap_or(1)
         .clamp(1, 4)
+}
+
+// ----------------------------------------------------------------------
+// Timer wheel: connection deadlines.
+// ----------------------------------------------------------------------
+
+/// Which per-connection deadline a wheel entry tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DeadlineKind {
+    /// No bytes received for `idle_timeout`.
+    Idle,
+    /// Pending write bytes made no progress for `write_stall_timeout`.
+    WriteStall,
+}
+
+const WHEEL_SLOTS: usize = 128;
+const WHEEL_TICK_MS: u64 = 10;
+
+/// A single-level lazy timer wheel. Entries are *hints*, not truth:
+/// the connection itself holds the authoritative deadline, which the
+/// hot path refreshes with a plain store (no wheel churn per read or
+/// write). When a hint fires, the reactor compares against the
+/// authoritative deadline and either evicts, re-inserts further out
+/// (activity pushed the deadline), or drops the hint (disarmed or
+/// closed). Deadlines beyond the wheel's 1.28 s horizon simply take a
+/// few laps. At most one hint per `(connection, kind)` is live.
+struct TimerWheel {
+    slots: Vec<Vec<(u64, DeadlineKind)>>,
+    cursor: usize,
+    last_tick: Instant,
+}
+
+impl TimerWheel {
+    fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            last_tick: now,
+        }
+    }
+
+    fn insert(&mut self, now: Instant, deadline: Instant, id: u64, kind: DeadlineKind) {
+        let delay_ms = deadline.saturating_duration_since(now).as_millis() as u64;
+        // +1 so an entry never lands on the cursor's own slot (it
+        // would fire a tick early); cap at the horizon.
+        let ticks = (delay_ms / WHEEL_TICK_MS + 1).min(WHEEL_SLOTS as u64 - 1) as usize;
+        self.slots[(self.cursor + ticks) % WHEEL_SLOTS].push((id, kind));
+    }
+
+    /// Advances the cursor past every elapsed tick, draining due
+    /// hints into `out`.
+    fn expire_into(&mut self, now: Instant, out: &mut Vec<(u64, DeadlineKind)>) {
+        let elapsed_ms = now.saturating_duration_since(self.last_tick).as_millis() as u64;
+        let ticks = elapsed_ms / WHEEL_TICK_MS;
+        if ticks == 0 {
+            return;
+        }
+        self.last_tick += Duration::from_millis(ticks * WHEEL_TICK_MS);
+        // A full lap visits every slot; more laps add nothing.
+        for _ in 0..ticks.min(WHEEL_SLOTS as u64) {
+            self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
+            out.append(&mut self.slots[self.cursor]);
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -543,6 +909,16 @@ struct Conn {
     close_after: bool,
     /// Pending re-examination by `update_conn`.
     dirty: bool,
+    /// When the current park began (for the park-shed bound).
+    parked_since: Option<Instant>,
+    /// Authoritative idle deadline (refreshed on every read).
+    idle_deadline: Option<Instant>,
+    /// Authoritative write-stall deadline (refreshed on write
+    /// progress; disarmed when the write buffer drains).
+    write_deadline: Option<Instant>,
+    /// Whether a wheel hint for each kind is outstanding (at most one).
+    idle_hint: bool,
+    write_hint: bool,
 }
 
 impl Conn {
@@ -563,6 +939,11 @@ impl Conn {
             peer_closed: false,
             close_after: false,
             dirty: false,
+            parked_since: None,
+            idle_deadline: None,
+            write_deadline: None,
+            idle_hint: false,
+            write_hint: false,
         }
     }
 
@@ -594,6 +975,7 @@ struct Reactor {
     conns: HashMap<u64, Conn>,
     conn_ids: Arc<AtomicU64>,
     stats: Arc<NetStats>,
+    metrics: Arc<NetMetrics>,
     stop: Arc<AtomicBool>,
     cfg: ReactorConfig,
     /// Shards with new work this poll round (notified once).
@@ -607,6 +989,8 @@ struct Reactor {
     /// is deregistered until this deadline so a level-triggered epoll
     /// doesn't busy-spin on the un-acceptable readiness condition.
     accept_backoff_until: Option<Instant>,
+    /// Deadline hints for idle / write-stall eviction.
+    wheel: TimerWheel,
 }
 
 /// How long the listener stays deregistered after fd exhaustion
@@ -614,11 +998,49 @@ struct Reactor {
 const ACCEPT_BACKOFF: Duration = Duration::from_millis(100);
 
 impl Reactor {
+    /// The supervisor shell: runs the event loop under `catch_unwind`
+    /// and, if it panics (a bug, or injected via
+    /// [`WorkerHook::before_poll`]), recovers and goes again. A
+    /// reactor panic may leave per-connection state half-mutated, so
+    /// recovery closes this reactor's connections (settling every
+    /// counter) and resumes with a clean table — the other reactors,
+    /// the workers, and the listener keep serving throughout.
     fn run(mut self) {
+        loop {
+            let crashed = catch_unwind(AssertUnwindSafe(|| self.run_loop())).is_err();
+            if !crashed {
+                break;
+            }
+            self.stats
+                .reactor_restarts_total
+                .fetch_add(1, Ordering::Relaxed);
+            self.metrics.reactor_restarts.inc();
+            self.recover_after_panic();
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        // Teardown: release every fd and settle the gauges.
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn(id);
+        }
+    }
+
+    fn run_loop(&mut self) {
         let mut events = Vec::with_capacity(256);
         loop {
-            if self.poller.wait(&mut events, 50).is_err() {
-                break;
+            if let Some(hook) = &self.cfg.hook {
+                hook.before_poll(self.idx);
+            }
+            match self.cfg.io.epoll_wait(&self.poller, &mut events, 50) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    // `Poller::wait` absorbs real EINTR; a shim may
+                    // surface it raw. Treat as an empty round.
+                    events.clear();
+                }
+                Err(_) => break,
             }
             for &ev in &events {
                 match ev.token {
@@ -641,17 +1063,84 @@ impl Reactor {
             self.drain_inbox();
             self.retry_parked();
             self.flush_updates();
+            self.check_deadlines();
             self.flush_notifications();
             self.maybe_resume_listener();
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
         }
-        // Teardown: release every fd and settle the gauges.
+    }
+
+    /// Post-panic cleanup: close every connection this reactor owns
+    /// (frames already at shards come back as replies for dead conn
+    /// ids and are accounted normally) and reset the round-scoped
+    /// scratch state, whose contents may be torn mid-update.
+    fn recover_after_panic(&mut self) {
         let ids: Vec<u64> = self.conns.keys().copied().collect();
         for id in ids {
             self.close_conn(id);
         }
+        self.dirty.clear();
+        self.stalled.clear();
+        for n in self.notify.iter_mut() {
+            *n = false;
+        }
+        self.wheel = TimerWheel::new(Instant::now());
+    }
+
+    /// Fires due deadline hints; evicts connections whose
+    /// authoritative deadline has truly passed.
+    fn check_deadlines(&mut self) {
+        if self.cfg.idle_timeout.is_none() && self.cfg.write_stall_timeout.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        self.wheel.expire_into(now, &mut due);
+        for (id, kind) in due {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue; // Closed since the hint was planted.
+            };
+            let armed = match kind {
+                DeadlineKind::Idle => {
+                    conn.idle_hint = false;
+                    conn.idle_deadline
+                }
+                DeadlineKind::WriteStall => {
+                    conn.write_hint = false;
+                    conn.write_deadline
+                }
+            };
+            match armed {
+                None => {} // Disarmed (e.g. the write buffer drained).
+                Some(deadline) if deadline > now => {
+                    // Activity pushed the deadline; re-plant the hint.
+                    match kind {
+                        DeadlineKind::Idle => conn.idle_hint = true,
+                        DeadlineKind::WriteStall => conn.write_hint = true,
+                    }
+                    self.wheel.insert(now, deadline, id, kind);
+                }
+                Some(_) => {
+                    self.stats
+                        .conn_deadline_closes_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.conn_deadline_closes.inc();
+                    self.close_conn(id);
+                }
+            }
+        }
+    }
+
+    /// Global in-flight (offered but unanswered) frames, across every
+    /// reactor. Relaxed loads race by a frame or two — admission
+    /// control is a dam, not a turnstile.
+    fn global_inflight(&self) -> u64 {
+        self.stats
+            .requests_total
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.stats.replies_total.load(Ordering::Relaxed))
     }
 
     fn mark_dirty(&mut self, id: u64) {
@@ -666,8 +1155,22 @@ impl Reactor {
     // -- accept / handoff ------------------------------------------------
 
     fn accept_ready(&mut self) {
+        // The hard overload limit: past it, stop accepting entirely
+        // for a backoff period — the shed path below keeps existing
+        // clients browned out, this keeps the accept queue from
+        // feeding the fire.
+        if let Some(limit) = self.cfg.overload_accept_inflight {
+            if self.global_inflight() >= limit {
+                self.pause_listener();
+                return;
+            }
+        }
         loop {
-            match self.listener.as_ref().expect("listener event").accept() {
+            match self
+                .cfg
+                .io
+                .accept(self.listener.as_ref().expect("listener event"))
+            {
                 Ok((stream, _)) => {
                     let _ = stream.set_nodelay(true);
                     let _ = stream.set_nonblocking(true);
@@ -677,7 +1180,9 @@ impl Reactor {
                     if target == self.idx {
                         self.register_conn(stream);
                     } else {
-                        self.shared[target].inbox.lock().unwrap().conns.push(stream);
+                        lock_unpoisoned(&self.shared[target].inbox)
+                            .conns
+                            .push(stream);
                         self.shared[target].wake();
                     }
                 }
@@ -705,6 +1210,10 @@ impl Reactor {
         if let Some(listener) = &self.listener {
             let _ = self.poller.delete(listener.as_raw_fd());
         }
+        self.stats
+            .accept_backoffs_total
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics.accept_backoffs.inc();
         self.accept_backoff_until = Some(Instant::now() + ACCEPT_BACKOFF);
     }
 
@@ -747,7 +1256,14 @@ impl Reactor {
             return;
         }
         self.stats.open_conns.fetch_add(1, Ordering::Relaxed);
-        self.conns.insert(id, Conn::new(stream));
+        let mut conn = Conn::new(stream);
+        if let Some(t) = self.cfg.idle_timeout {
+            let now = Instant::now();
+            conn.idle_deadline = Some(now + t);
+            conn.idle_hint = true;
+            self.wheel.insert(now, now + t, id, DeadlineKind::Idle);
+        }
+        self.conns.insert(id, conn);
     }
 
     fn drain_wake(&mut self) {
@@ -757,7 +1273,7 @@ impl Reactor {
 
     fn drain_inbox(&mut self) {
         let (replies, new_conns) = {
-            let mut inbox = self.shared[self.idx].inbox.lock().unwrap();
+            let mut inbox = lock_unpoisoned(&self.shared[self.idx].inbox);
             (
                 std::mem::take(&mut inbox.replies),
                 std::mem::take(&mut inbox.conns),
@@ -785,7 +1301,7 @@ impl Reactor {
         loop {
             let old = conn.read_buf.len();
             conn.read_buf.resize(old + 16 * 1024, 0);
-            match conn.stream.read(&mut conn.read_buf[old..]) {
+            match self.cfg.io.read(&conn.stream, &mut conn.read_buf[old..]) {
                 Ok(0) => {
                     conn.read_buf.truncate(old);
                     conn.peer_closed = true;
@@ -793,6 +1309,11 @@ impl Reactor {
                 }
                 Ok(n) => {
                     conn.read_buf.truncate(old + n);
+                    if let Some(t) = self.cfg.idle_timeout {
+                        // Authoritative deadline only — the wheel hint
+                        // planted at registration re-chases it lazily.
+                        conn.idle_deadline = Some(Instant::now() + t);
+                    }
                     // Level-triggered: leave any remainder for the
                     // next wakeup so one chatty socket can't starve
                     // its siblings.
@@ -822,6 +1343,14 @@ impl Reactor {
     /// high water).
     fn process_frames(&mut self, id: u64) {
         let nshards = self.rings.len() as u64;
+        // Admission control, sampled once per pass: past the global
+        // in-flight high water, every frame this pass is shed with an
+        // immediate error reply — the connection lives (brownout),
+        // the work does not.
+        let shed_now = matches!(
+            self.cfg.overload_shed_inflight,
+            Some(limit) if self.global_inflight() >= limit
+        );
         loop {
             let Some(conn) = self.conns.get_mut(&id) else {
                 return;
@@ -852,6 +1381,25 @@ impl Reactor {
                 self.protocol_fatal(id, "request line too long");
                 break;
             }
+            if shed_now {
+                conn.read_pos += used;
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .overload_sheds_total
+                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.overload_sheds.inc();
+                let mut bytes = Vec::new();
+                Response::Error("overloaded".into()).encode_into(&mut bytes);
+                self.sequence_reply(Reply {
+                    conn: id,
+                    seq,
+                    bytes,
+                    close_after: false,
+                });
+                continue;
+            }
             let shard = routing_key_of(frame)
                 .map(|k| self.engine.shard_of(k))
                 .unwrap_or((id % nshards) as usize);
@@ -869,8 +1417,10 @@ impl Reactor {
                 Ok(()) => self.notify[shard] = true,
                 Err(req) => {
                     // Ring full: park and stop framing; retried every
-                    // loop until the worker catches up.
+                    // loop until the worker catches up (or the
+                    // park-shed bound gives up on it).
                     conn.parked = Some((shard, req));
+                    conn.parked_since = Some(Instant::now());
                     self.stats.parked_frames.fetch_add(1, Ordering::Relaxed);
                     self.stats
                         .route_stalls_total
@@ -910,6 +1460,9 @@ impl Reactor {
         let seq = conn.next_seq;
         conn.next_seq += 1;
         self.stats.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .fatal_replies_total
+            .fetch_add(1, Ordering::Relaxed);
         let mut bytes = Vec::new();
         Response::Error(msg.into()).encode_into(&mut bytes);
         self.sequence_reply(Reply {
@@ -936,6 +1489,9 @@ impl Reactor {
                 Ok(()) => {
                     self.stats.parked_frames.fetch_sub(1, Ordering::Relaxed);
                     self.notify[shard] = true;
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.parked_since = None;
+                    }
                     // Unblocked: resume framing whatever else queued
                     // up behind the parked frame.
                     self.process_frames(id);
@@ -945,8 +1501,38 @@ impl Reactor {
                     let Some(conn) = self.conns.get_mut(&id) else {
                         continue;
                     };
-                    conn.parked = Some((shard, req));
-                    self.stalled.push(id);
+                    // The ring *stays* full: past the park-shed bound
+                    // the frame is answered `-ERR overloaded` instead
+                    // of waiting forever — its seq is already
+                    // assigned, so the reply slots into order.
+                    let give_up = matches!(
+                        (self.cfg.park_shed_after, conn.parked_since),
+                        (Some(bound), Some(since)) if since.elapsed() >= bound
+                    );
+                    if give_up {
+                        conn.parked_since = None;
+                        let seq = req.seq;
+                        self.stats.parked_frames.fetch_sub(1, Ordering::Relaxed);
+                        self.stats
+                            .overload_sheds_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.metrics.overload_sheds.inc();
+                        let mut bytes = Vec::new();
+                        Response::Error("overloaded".into()).encode_into(&mut bytes);
+                        self.sequence_reply(Reply {
+                            conn: id,
+                            seq,
+                            bytes,
+                            close_after: false,
+                        });
+                        // The park no longer blocks framing; whatever
+                        // queued behind it may now proceed (or shed).
+                        self.process_frames(id);
+                        self.mark_dirty(id);
+                    } else {
+                        conn.parked = Some((shard, req));
+                        self.stalled.push(id);
+                    }
                 }
             }
         }
@@ -1002,13 +1588,21 @@ impl Reactor {
         conn.dirty = false;
         // Flush as much of the write buffer as the socket accepts.
         let mut broken = false;
+        let mut wrote = false;
         while conn.write_pos < conn.write_buf.len() {
-            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            match self
+                .cfg
+                .io
+                .write(&conn.stream, &conn.write_buf[conn.write_pos..])
+            {
                 Ok(0) => {
                     broken = true;
                     break;
                 }
-                Ok(n) => conn.write_pos += n,
+                Ok(n) => {
+                    conn.write_pos += n;
+                    wrote = true;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -1020,6 +1614,23 @@ impl Reactor {
         if broken {
             self.close_conn(id);
             return;
+        }
+        // Write-stall deadline: armed while bytes are pending, pushed
+        // forward by progress, disarmed by a drained buffer. The
+        // wheel hint is only (re)planted on arming — refreshes chase
+        // the authoritative deadline lazily.
+        if let Some(t) = self.cfg.write_stall_timeout {
+            if conn.pending_write() == 0 {
+                conn.write_deadline = None;
+            } else if wrote || conn.write_deadline.is_none() {
+                let now = Instant::now();
+                conn.write_deadline = Some(now + t);
+                if !conn.write_hint {
+                    conn.write_hint = true;
+                    self.wheel
+                        .insert(now, now + t, id, DeadlineKind::WriteStall);
+                }
+            }
         }
         if conn.write_pos == conn.write_buf.len() && conn.write_pos > 0 {
             conn.write_buf.clear();
@@ -1085,10 +1696,14 @@ impl Reactor {
         };
         let _ = self.poller.delete(conn.stream.as_raw_fd());
         // A parked frame never reached its shard: account its "reply"
-        // here so the quiescence counters still converge.
+        // here so the quiescence counters still converge, and ledger
+        // it as a discard (offered, then closed unanswered).
         if conn.parked.is_some() {
             self.stats.parked_frames.fetch_sub(1, Ordering::Relaxed);
             self.stats.replies_total.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .parked_discards_total
+                .fetch_add(1, Ordering::Relaxed);
         }
         self.stats.closed_total.fetch_add(1, Ordering::Relaxed);
         self.stats.open_conns.fetch_sub(1, Ordering::Relaxed);
@@ -1109,12 +1724,63 @@ struct WorkerCtx {
     park: Arc<Park>,
     reactors: Vec<Arc<ReactorShared>>,
     stats: Arc<NetStats>,
+    metrics: Arc<NetMetrics>,
     stop: Arc<AtomicBool>,
     batch_limit: usize,
+    hook: Option<Arc<dyn WorkerHook>>,
 }
 
+/// Supervisor-owned worker state, kept *outside* the `catch_unwind`
+/// boundary so a panic cannot destroy it: replies already executed
+/// but not yet posted, and the identity of the request that was
+/// mid-execution when the roof fell in.
+struct WorkerState {
+    out: Vec<Vec<Reply>>,
+    /// `(reactor, conn, seq)` of the in-flight request.
+    inflight: Option<(u32, u64, u64)>,
+}
+
+/// The supervisor shell around [`worker_loop`]: on a panic (an engine
+/// bug, or injected via [`WorkerHook::before_execute`]) it answers
+/// the in-flight request with a clean error reply, posts whatever the
+/// crashed pass had already completed, and restarts the loop. The
+/// other shards never stop serving.
 fn shard_worker(ctx: WorkerCtx) {
-    let mut out: Vec<Vec<Reply>> = (0..ctx.reactors.len()).map(|_| Vec::new()).collect();
+    let mut st = WorkerState {
+        out: (0..ctx.reactors.len()).map(|_| Vec::new()).collect(),
+        inflight: None,
+    };
+    loop {
+        let crashed = catch_unwind(AssertUnwindSafe(|| worker_loop(&ctx, &mut st))).is_err();
+        if !crashed {
+            break;
+        }
+        ctx.stats
+            .worker_restarts_total
+            .fetch_add(1, Ordering::Relaxed);
+        ctx.metrics.worker_restarts.inc();
+        if let Some((reactor, conn, seq)) = st.inflight.take() {
+            // The client sees a whole, correctly-sequenced error line
+            // — never a torn stream or a hole in its pipeline.
+            ctx.stats
+                .panic_error_replies_total
+                .fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.panic_error_replies.inc();
+            let mut bytes = Vec::new();
+            Response::Error("shard worker restarted; request aborted".into())
+                .encode_into(&mut bytes);
+            st.out[reactor as usize].push(Reply {
+                conn,
+                seq,
+                bytes,
+                close_after: false,
+            });
+        }
+        post_replies(&ctx, &mut st.out);
+    }
+}
+
+fn worker_loop(ctx: &WorkerCtx, st: &mut WorkerState) {
     loop {
         let mut drained = 0usize;
         for (r, ring) in ctx.rings.iter().enumerate() {
@@ -1122,37 +1788,31 @@ fn shard_worker(ctx: WorkerCtx) {
             while taken < ctx.batch_limit {
                 let Some(req) = ring.pop() else { break };
                 debug_assert_eq!(req.reactor as usize, r);
-                let (bytes, close_after) =
-                    execute_frame(&ctx.engine, ctx.shard, &req.frame, &ctx.stats);
-                out[r].push(Reply {
+                st.inflight = Some((req.reactor, req.conn, req.seq));
+                if let Some(hook) = &ctx.hook {
+                    hook.before_execute(ctx.shard, &req.frame);
+                }
+                let (bytes, close_after) = execute_frame(ctx, &req.frame);
+                // Counted per request, not per batch: a panic
+                // mid-batch must not lose the ledger's record of what
+                // actually executed.
+                ctx.stats
+                    .batched_requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+                st.out[r].push(Reply {
                     conn: req.conn,
                     seq: req.seq,
                     bytes,
                     close_after,
                 });
+                st.inflight = None;
                 taken += 1;
             }
             drained += taken;
         }
         if drained > 0 {
             ctx.stats.batches_total.fetch_add(1, Ordering::Relaxed);
-            ctx.stats
-                .batched_requests_total
-                .fetch_add(drained as u64, Ordering::Relaxed);
-            // One lock + one wake per reactor per batch, however many
-            // replies it carried.
-            for (r, replies) in out.iter_mut().enumerate() {
-                if replies.is_empty() {
-                    continue;
-                }
-                ctx.reactors[r]
-                    .inbox
-                    .lock()
-                    .unwrap()
-                    .replies
-                    .append(replies);
-                ctx.reactors[r].wake();
-            }
+            post_replies(ctx, &mut st.out);
             continue;
         }
         if ctx.stop.load(Ordering::Acquire) {
@@ -1160,13 +1820,13 @@ fn shard_worker(ctx: WorkerCtx) {
         }
         // Idle: park until a reactor signals, with a timeout so a
         // missed notify (or shutdown) can't wedge the worker.
-        let mut flag = ctx.park.flag.lock().unwrap();
+        let mut flag = lock_unpoisoned(&ctx.park.flag);
         while !*flag {
             let (f, timeout) = ctx
                 .park
                 .cv
                 .wait_timeout(flag, Duration::from_millis(25))
-                .unwrap();
+                .unwrap_or_else(PoisonError::into_inner);
             flag = f;
             if timeout.timed_out() {
                 break;
@@ -1176,23 +1836,42 @@ fn shard_worker(ctx: WorkerCtx) {
     }
 }
 
+/// One lock + one wake per reactor per batch, however many replies it
+/// carried.
+fn post_replies(ctx: &WorkerCtx, out: &mut [Vec<Reply>]) {
+    for (r, replies) in out.iter_mut().enumerate() {
+        if replies.is_empty() {
+            continue;
+        }
+        lock_unpoisoned(&ctx.reactors[r].inbox)
+            .replies
+            .append(replies);
+        ctx.reactors[r].wake();
+    }
+}
+
 /// Parses and executes one raw frame; returns the encoded reply and
 /// whether the connection should close after it flushes.
-fn execute_frame(
-    engine: &ShardedStore,
-    shard: usize,
-    frame: &[u8],
-    stats: &NetStats,
-) -> (Vec<u8>, bool) {
+fn execute_frame(ctx: &WorkerCtx, frame: &[u8]) -> (Vec<u8>, bool) {
     let mut close_after = false;
     let response = match std::str::from_utf8(frame) {
         Ok(line) => match CommandRef::parse(line) {
             Ok(cmd) => {
                 if matches!(cmd, CommandRef::Shutdown) {
                     close_after = true;
-                    stats.shutdown_requested.store(true, Ordering::Release);
+                    ctx.stats.shutdown_requested.store(true, Ordering::Release);
                 }
-                engine.execute_at(shard, &cmd)
+                if matches!(cmd, CommandRef::Stats) {
+                    // Splice the network plane's section into the
+                    // engine's snapshot (and refresh the telemetry
+                    // gauges from ground truth while we're here).
+                    ctx.metrics.refresh(&ctx.stats);
+                    Response::Bulk(Some(
+                        stats_json_with_net(&ctx.engine, &ctx.stats).into_bytes(),
+                    ))
+                } else {
+                    ctx.engine.execute_at(ctx.shard, &cmd)
+                }
             }
             Err(msg) => Response::Error(msg),
         },
@@ -1201,6 +1880,42 @@ fn execute_frame(
     let mut bytes = Vec::with_capacity(32);
     response.encode_into(&mut bytes);
     (bytes, close_after)
+}
+
+/// The engine's `STATS` JSON with a `"net"` section spliced in front,
+/// rendered from [`NetStats`] ground truth (hand-rolled — the repo
+/// has no serde).
+fn stats_json_with_net(engine: &ShardedStore, stats: &NetStats) -> String {
+    let ld = |c: &AtomicU64| c.load(Ordering::Acquire);
+    let net = format!(
+        concat!(
+            "{{\"accepted_total\":{},\"closed_total\":{},\"open_conns\":{},",
+            "\"requests_total\":{},\"replies_total\":{},",
+            "\"paused_reads_total\":{},\"route_stalls_total\":{},",
+            "\"accept_backoffs_total\":{},\"conn_deadline_closes_total\":{},",
+            "\"overload_sheds_total\":{},\"worker_restarts_total\":{},",
+            "\"reactor_restarts_total\":{},\"panic_error_replies_total\":{}}}"
+        ),
+        ld(&stats.accepted_total),
+        ld(&stats.closed_total),
+        ld(&stats.open_conns),
+        ld(&stats.requests_total),
+        ld(&stats.replies_total),
+        ld(&stats.paused_reads_total),
+        ld(&stats.route_stalls_total),
+        ld(&stats.accept_backoffs_total),
+        ld(&stats.conn_deadline_closes_total),
+        ld(&stats.overload_sheds_total),
+        ld(&stats.worker_restarts_total),
+        ld(&stats.reactor_restarts_total),
+        ld(&stats.panic_error_replies_total),
+    );
+    let engine_json = engine.stats_json();
+    match engine_json.strip_prefix('{') {
+        Some("}") => format!("{{\"net\":{net}}}"),
+        Some(rest) => format!("{{\"net\":{net},{rest}"),
+        None => engine_json,
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -1215,6 +1930,7 @@ pub struct ReactorFrontend {
     addr: SocketAddr,
     engine: Arc<ShardedStore>,
     stats: Arc<NetStats>,
+    metrics: Arc<NetMetrics>,
     stop: Arc<AtomicBool>,
     shared: Vec<Arc<ReactorShared>>,
     parks: Vec<Arc<Park>>,
@@ -1237,6 +1953,7 @@ impl ReactorFrontend {
         let local = listener.local_addr()?;
 
         let stats = Arc::new(NetStats::default());
+        let metrics = Arc::new(NetMetrics::new());
         let stop = Arc::new(AtomicBool::new(false));
         let conn_ids = Arc::new(AtomicU64::new(0));
 
@@ -1248,6 +1965,7 @@ impl ReactorFrontend {
                         conns: Vec::new(),
                     }),
                     wake: new_eventfd()?,
+                    io: Arc::clone(&cfg.io),
                 }))
             })
             .collect::<io::Result<_>>()?;
@@ -1281,8 +1999,10 @@ impl ReactorFrontend {
                 park: Arc::clone(&parks[shard]),
                 reactors: shared.clone(),
                 stats: Arc::clone(&stats),
+                metrics: Arc::clone(&metrics),
                 stop: Arc::clone(&stop),
                 batch_limit: cfg.batch_limit,
+                hook: cfg.hook.clone(),
             };
             worker_threads.push(
                 std::thread::Builder::new()
@@ -1311,6 +2031,7 @@ impl ReactorFrontend {
                 conns: HashMap::new(),
                 conn_ids: Arc::clone(&conn_ids),
                 stats: Arc::clone(&stats),
+                metrics: Arc::clone(&metrics),
                 stop: Arc::clone(&stop),
                 cfg: cfg.clone(),
                 notify: vec![false; nshards],
@@ -1318,6 +2039,7 @@ impl ReactorFrontend {
                 stalled: Vec::new(),
                 next_rr: 0,
                 accept_backoff_until: None,
+                wheel: TimerWheel::new(Instant::now()),
             };
             reactor_threads.push(
                 std::thread::Builder::new()
@@ -1330,6 +2052,7 @@ impl ReactorFrontend {
             addr: local,
             engine,
             stats,
+            metrics,
             stop,
             shared,
             parks,
@@ -1346,6 +2069,11 @@ impl ReactorFrontend {
     /// The frontend's counters.
     pub fn stats(&self) -> &Arc<NetStats> {
         &self.stats
+    }
+
+    /// The frontend's telemetry registry (label `net`).
+    pub fn metrics(&self) -> &Arc<NetMetrics> {
+        &self.metrics
     }
 
     /// The engine being served.
@@ -1602,5 +2330,434 @@ mod tests {
         let _ = stream.read_to_end(&mut reply);
         let text = String::from_utf8_lossy(&reply);
         assert!(text.contains("-ERR"), "got: {text:?}");
+    }
+
+    // -- fault plane -----------------------------------------------------
+
+    fn await_true(mut cond: impl FnMut() -> bool, what: &str) {
+        for _ in 0..400 {
+            if cond() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    fn assert_ledger(stats: &NetStats) {
+        let (lhs, rhs) = stats.ledger();
+        assert_eq!(lhs, rhs, "reply ledger unbalanced: {stats:?}");
+    }
+
+    #[test]
+    fn timer_wheel_fires_due_hints_and_holds_future_ones() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        wheel.insert(t0, t0 + Duration::from_millis(30), 1, DeadlineKind::Idle);
+        wheel.insert(
+            t0,
+            t0 + Duration::from_millis(900),
+            2,
+            DeadlineKind::WriteStall,
+        );
+        let mut due = Vec::new();
+        wheel.expire_into(t0 + Duration::from_millis(10), &mut due);
+        assert!(due.is_empty(), "nothing due yet: {due:?}");
+        wheel.expire_into(t0 + Duration::from_millis(60), &mut due);
+        assert_eq!(due, vec![(1, DeadlineKind::Idle)]);
+        due.clear();
+        // The far entry fires once its slot comes around (or after a
+        // full lap for beyond-horizon deadlines) — never before its
+        // own slot.
+        wheel.expire_into(t0 + Duration::from_millis(2000), &mut due);
+        assert_eq!(due, vec![(2, DeadlineKind::WriteStall)]);
+    }
+
+    #[test]
+    fn idle_deadline_evicts_silent_connection() {
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 1));
+        let cfg = ReactorConfig {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        // An active client is refreshed by its own traffic...
+        let mut active = TcpKvClient::connect(fe.addr()).unwrap();
+        // ...while a silent one is evicted after the bound. Keep the
+        // active side talking while we wait, so only the silent one
+        // can go idle.
+        let mut silent = TcpStream::connect(fe.addr()).unwrap();
+        silent
+            .set_read_timeout(Some(Duration::from_millis(25)))
+            .unwrap();
+        let t0 = Instant::now();
+        let mut buf = [0u8; 8];
+        loop {
+            assert_eq!(active.request("DBSIZE").unwrap(), Response::Int(0));
+            match silent.read(&mut buf) {
+                Ok(0) => break, // Evicted.
+                Ok(n) => panic!("silent conn received {n} unsolicited byte(s)"),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    assert!(
+                        t0.elapsed() < Duration::from_secs(10),
+                        "silent connection never evicted"
+                    );
+                }
+                Err(e) => panic!("unexpected read error: {e}"),
+            }
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(80),
+            "evicted too early: {:?}",
+            t0.elapsed()
+        );
+        let stats = fe.stats();
+        // Exactly one eviction: the reaper must not touch the
+        // traffic-refreshed connection.
+        assert_eq!(stats.conn_deadline_closes_total.load(Ordering::Acquire), 1);
+        assert_eq!(active.request("DBSIZE").unwrap(), Response::Int(0));
+        assert_ledger(stats);
+    }
+
+    #[test]
+    fn write_stall_deadline_evicts_slow_reader() {
+        let sma = Sma::standalone(4096);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 1));
+        let cfg = ReactorConfig {
+            write_stall_timeout: Some(Duration::from_millis(150)),
+            write_highwater: 4 << 10,
+            so_sndbuf: Some(4096),
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let mut client = TcpKvClient::connect(fe.addr()).unwrap();
+        let fat = "v".repeat(8 << 10);
+        assert_eq!(
+            client.request(&format!("SET fat {fat}")).unwrap(),
+            Response::Ok("OK".into())
+        );
+        // A raw socket that pipelines fat GETs and never reads: the
+        // server's write buffer stalls, and the deadline evicts it.
+        let mut stalled = TcpStream::connect(fe.addr()).unwrap();
+        let _ = set_sock_buf(stalled.as_raw_fd(), sys::SO_RCVBUF, 4096);
+        let mut req = Vec::new();
+        for _ in 0..64 {
+            req.extend_from_slice(b"GET fat\n");
+        }
+        stalled.write_all(&req).unwrap();
+        let stats = Arc::clone(fe.stats());
+        await_true(
+            || stats.conn_deadline_closes_total.load(Ordering::Acquire) >= 1,
+            "write-stall eviction",
+        );
+        await_true(|| stats.quiesced(), "quiescence after eviction");
+        assert_ledger(&stats);
+        // The plane is still serving.
+        assert_eq!(
+            client.request("DBSIZE").unwrap(),
+            Response::Int(1),
+            "surviving client must still be served"
+        );
+    }
+
+    #[test]
+    fn overload_shed_answers_err_overloaded() {
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 1));
+        let cfg = ReactorConfig {
+            // In-flight is always >= 0: every frame sheds.
+            overload_shed_inflight: Some(0),
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let mut client = TcpKvClient::connect(fe.addr()).unwrap();
+        match client.request("GET x").unwrap() {
+            Response::Error(msg) => assert!(msg.contains("overloaded"), "{msg}"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // Brownout, not blackout: the connection survives and keeps
+        // getting (fast-failed) answers in order.
+        let replies = client
+            .request_pipeline(&["GET a", "GET b", "GET c"])
+            .unwrap();
+        assert_eq!(replies.len(), 3);
+        let stats = fe.stats();
+        assert_eq!(stats.overload_sheds_total.load(Ordering::Acquire), 4);
+        if softmem_telemetry::ENABLED {
+            assert_eq!(fe.metrics().overload_sheds.get(), 4);
+        }
+        await_true(|| stats.quiesced(), "quiescence");
+        assert_ledger(stats);
+    }
+
+    /// A hook that makes every execution much slower than the
+    /// park-shed bound, so a tiny ring stays full long enough for the
+    /// reactor to give up on parked frames.
+    struct SlowExec;
+    impl WorkerHook for SlowExec {
+        fn before_execute(&self, _shard: usize, _frame: &[u8]) {
+            std::thread::sleep(Duration::from_millis(150));
+        }
+    }
+
+    #[test]
+    fn park_shed_gives_up_on_a_ring_that_stays_full() {
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 1));
+        let cfg = ReactorConfig {
+            ring_capacity: 2,
+            batch_limit: 1,
+            park_shed_after: Some(Duration::from_millis(50)),
+            hook: Some(Arc::new(SlowExec)),
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let mut stream = TcpStream::connect(fe.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        const BURST: usize = 16;
+        let mut req = Vec::new();
+        for _ in 0..BURST {
+            req.extend_from_slice(b"GET nope\n");
+        }
+        stream.write_all(&req).unwrap();
+        // Every request gets exactly one one-line answer — a miss
+        // (`$-1`) or a shed (`-ERR overloaded`) — in order.
+        let mut replies = Vec::new();
+        let mut buf = [0u8; 4096];
+        while replies.iter().filter(|&&b| b == b'\n').count() < BURST {
+            let n = stream.read(&mut buf).expect("reply stream stalled");
+            assert_ne!(n, 0, "server closed early");
+            replies.extend_from_slice(&buf[..n]);
+        }
+        let text = String::from_utf8_lossy(&replies);
+        let sheds = text.matches("-ERR overloaded").count();
+        let misses = text.matches("$-1").count();
+        assert_eq!(sheds + misses, BURST, "{text:?}");
+        let stats = Arc::clone(fe.stats());
+        assert!(
+            stats.overload_sheds_total.load(Ordering::Acquire) >= 1,
+            "park-shed never engaged: {stats:?}"
+        );
+        await_true(|| stats.quiesced(), "quiescence");
+        assert_ledger(&stats);
+    }
+
+    /// Panics (quietly, via `resume_unwind`) on a marker frame.
+    struct PanicOnBoom;
+    impl WorkerHook for PanicOnBoom {
+        fn before_execute(&self, _shard: usize, frame: &[u8]) {
+            if frame == b"GET boom" {
+                std::panic::resume_unwind(Box::new("injected worker panic"));
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_supervised_and_answered_cleanly() {
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 2));
+        let cfg = ReactorConfig {
+            hook: Some(Arc::new(PanicOnBoom)),
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let mut client = TcpKvClient::connect(fe.addr()).unwrap();
+        assert_eq!(
+            client.request("SET a alive").unwrap(),
+            Response::Ok("OK".into())
+        );
+        match client.request("GET boom").unwrap() {
+            Response::Error(msg) => assert!(msg.contains("worker restarted"), "{msg}"),
+            other => panic!("expected a clean error reply, got {other:?}"),
+        }
+        // The worker was restarted and the whole plane still serves —
+        // including the shard that panicked.
+        assert_eq!(
+            client.request("GET a").unwrap(),
+            Response::Bulk(Some(b"alive".to_vec()))
+        );
+        let stats = fe.stats();
+        assert_eq!(stats.worker_restarts_total.load(Ordering::Acquire), 1);
+        assert_eq!(stats.panic_error_replies_total.load(Ordering::Acquire), 1);
+        await_true(|| stats.quiesced(), "quiescence");
+        assert_ledger(stats);
+    }
+
+    /// Panics a reactor's poll loop once, when armed.
+    struct PanicWhenArmed(Arc<AtomicBool>);
+    impl WorkerHook for PanicWhenArmed {
+        fn before_poll(&self, _reactor: usize) {
+            if self.0.swap(false, Ordering::AcqRel) {
+                std::panic::resume_unwind(Box::new("injected reactor panic"));
+            }
+        }
+    }
+
+    #[test]
+    fn reactor_panic_recovers_and_accepts_new_connections() {
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 1));
+        let arm = Arc::new(AtomicBool::new(false));
+        let cfg = ReactorConfig {
+            reactors: 1,
+            hook: Some(Arc::new(PanicWhenArmed(Arc::clone(&arm)))),
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let mut before = TcpKvClient::connect(fe.addr()).unwrap();
+        assert_eq!(
+            before.request("SET a 1").unwrap(),
+            Response::Ok("OK".into())
+        );
+        arm.store(true, Ordering::Release);
+        let stats = Arc::clone(fe.stats());
+        await_true(
+            || stats.reactor_restarts_total.load(Ordering::Acquire) >= 1,
+            "reactor restart",
+        );
+        // Recovery closes the pre-panic connection (its state may be
+        // torn)...
+        assert!(
+            before.request("GET a").is_err(),
+            "pre-panic connection should be closed"
+        );
+        // ...but the restarted reactor accepts and serves new ones.
+        let mut after = TcpKvClient::connect(fe.addr()).unwrap();
+        assert_eq!(
+            after.request("GET a").unwrap(),
+            Response::Bulk(Some(b"1".to_vec()))
+        );
+        await_true(|| stats.quiesced(), "quiescence");
+        assert_ledger(&stats);
+    }
+
+    /// A deterministic, intentionally nasty [`SysIo`]: interrupts,
+    /// spurious would-blocks, short reads and short writes on a fixed
+    /// cadence, plus dropped wakes — while remaining a functionally
+    /// correct transport.
+    struct FlakyIo {
+        reads: AtomicU64,
+        writes: AtomicU64,
+        polls: AtomicU64,
+        wakes: AtomicU64,
+    }
+
+    impl FlakyIo {
+        fn new() -> Self {
+            FlakyIo {
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                polls: AtomicU64::new(0),
+                wakes: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl SysIo for FlakyIo {
+        fn read(&self, stream: &TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+            let n = self.reads.fetch_add(1, Ordering::Relaxed);
+            if n % 7 == 1 {
+                return Err(io::ErrorKind::Interrupted.into());
+            }
+            if n % 5 == 2 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let cap = buf.len().min(129);
+            (&mut &*stream).read(&mut buf[..cap])
+        }
+
+        fn write(&self, stream: &TcpStream, buf: &[u8]) -> io::Result<usize> {
+            let n = self.writes.fetch_add(1, Ordering::Relaxed);
+            if n % 11 == 1 {
+                return Err(io::ErrorKind::Interrupted.into());
+            }
+            if n % 6 == 2 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let cap = buf.len().min(57);
+            (&mut &*stream).write(&buf[..cap])
+        }
+
+        fn accept(&self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
+            listener.accept()
+        }
+
+        fn epoll_wait(
+            &self,
+            poller: &Poller,
+            out: &mut Vec<Event>,
+            timeout_ms: i32,
+        ) -> io::Result<()> {
+            if self.polls.fetch_add(1, Ordering::Relaxed) % 13 == 3 {
+                return Err(io::ErrorKind::Interrupted.into());
+            }
+            poller.wait(out, timeout_ms)
+        }
+
+        fn wake(&self, efd: &File) -> io::Result<()> {
+            if self.wakes.fetch_add(1, Ordering::Relaxed) % 3 == 1 {
+                return Ok(()); // Dropped on the floor.
+            }
+            RealSysIo.wake(efd)
+        }
+    }
+
+    #[test]
+    fn flaky_syscalls_never_tear_or_reorder_replies() {
+        let sma = Sma::standalone(1024);
+        let engine = Arc::new(ShardedStore::new(&sma, "kv", Priority::new(4), 4));
+        let cfg = ReactorConfig {
+            io: Arc::new(FlakyIo::new()),
+            ..ReactorConfig::default()
+        };
+        let fe = ReactorFrontend::bind("127.0.0.1:0", engine, cfg).unwrap();
+        let mut client = TcpKvClient::connect(fe.addr()).unwrap();
+        let sets: Vec<String> = (0..128).map(|i| format!("SET key-{i} v{i}")).collect();
+        for r in client.request_pipeline(&sets).unwrap() {
+            assert_eq!(r, Response::Ok("OK".into()));
+        }
+        let gets: Vec<String> = (0..128).map(|i| format!("GET key-{i}")).collect();
+        for (i, r) in client
+            .request_pipeline(&gets)
+            .unwrap()
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(r, Response::Bulk(Some(format!("v{i}").into_bytes())), "{i}");
+        }
+        let stats = Arc::clone(fe.stats());
+        drop(client);
+        await_true(|| stats.quiesced(), "quiescence under flaky I/O");
+        assert_ledger(&stats);
+    }
+
+    #[test]
+    fn stats_verb_includes_net_section() {
+        let (_sma, fe) = frontend(2);
+        let mut client = TcpKvClient::connect(fe.addr()).unwrap();
+        let Response::Bulk(Some(json)) = client.request("STATS").unwrap() else {
+            panic!("STATS should return a bulk JSON blob");
+        };
+        let json = String::from_utf8(json).unwrap();
+        assert!(json.starts_with("{\"net\":{"), "{json}");
+        for key in [
+            "accept_backoffs_total",
+            "conn_deadline_closes_total",
+            "overload_sheds_total",
+            "worker_restarts_total",
+            "reactor_restarts_total",
+        ] {
+            assert!(json.contains(key), "missing {key}: {json}");
+        }
+        // The engine's own sections survive the splice.
+        assert!(json.contains("\"kv0\""), "{json}");
     }
 }

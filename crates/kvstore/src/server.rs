@@ -18,10 +18,11 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
@@ -351,6 +352,23 @@ impl KvHandle {
     }
 }
 
+/// Tuning knobs for a [`TcpFrontend`]. `Default` reproduces the
+/// classic behaviour: block forever on a silent client, write straight
+/// to the socket.
+#[derive(Clone, Default)]
+pub struct FrontendOpts {
+    /// Close a connection that sends no complete request for this long
+    /// (counted in [`thread_idle_closes_total`]). `None` blocks forever
+    /// — the legacy shape, where one silent client pins one thread for
+    /// the lifetime of the process.
+    pub idle_timeout: Option<Duration>,
+    /// Route reply writes through a [`crate::reactor::SysIo`] shim so
+    /// the fault harness can inject short writes and transient errors
+    /// on this frontend too.
+    #[cfg(target_os = "linux")]
+    pub io: Option<Arc<dyn crate::reactor::SysIo>>,
+}
+
 /// State shared between a [`TcpFrontend`] and its accept loop: the
 /// stop flag plus one stream clone per live connection, so `Drop` can
 /// unblock readers parked in `read_line`.
@@ -372,9 +390,19 @@ pub struct TcpFrontend {
 }
 
 impl TcpFrontend {
-    /// Binds `127.0.0.1:0` (ephemeral port) and serves `handle`.
+    /// Binds `127.0.0.1:0` (ephemeral port) and serves `handle` with
+    /// default options.
     pub fn bind(handle: KvHandle) -> std::io::Result<Self> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        Self::bind_with("127.0.0.1:0", handle, FrontendOpts::default())
+    }
+
+    /// Binds `addr` and serves `handle` with explicit [`FrontendOpts`].
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        handle: KvHandle,
+        opts: FrontendOpts,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(FrontendShared {
             stop: AtomicBool::new(false),
@@ -402,11 +430,12 @@ impl TcpFrontend {
                         accept_shared.conns.lock().insert(id, clone);
                     }
                     let handle = handle.clone();
+                    let opts = opts.clone();
                     let conn_shared = Arc::clone(&accept_shared);
                     let spawned = std::thread::Builder::new()
                         .name("softmem-kv-conn".into())
                         .spawn(move || {
-                            serve_connection(stream, handle);
+                            serve_connection(stream, handle, opts);
                             conn_shared.conns.lock().remove(&id);
                         });
                     if let Ok(t) = spawned {
@@ -458,6 +487,15 @@ pub fn reply_short_writes_total() -> u64 {
     REPLY_SHORT_WRITES.load(Ordering::Relaxed)
 }
 
+/// Idle-deadline evictions on the thread-per-connection frontend.
+static THREAD_IDLE_CLOSES: AtomicU64 = AtomicU64::new(0);
+
+/// How many thread-frontend connections were closed by the idle
+/// deadline ([`FrontendOpts::idle_timeout`]; process-wide).
+pub fn thread_idle_closes_total() -> u64 {
+    THREAD_IDLE_CLOSES.load(Ordering::Relaxed)
+}
+
 /// Writes a complete reply frame, looping explicitly on short writes.
 ///
 /// `write_all` also loops, but silently: a slow client backs the
@@ -466,9 +504,13 @@ pub fn reply_short_writes_total() -> u64 {
 /// short write into [`reply_short_writes_total`] (the legacy
 /// frontend's only backpressure signal — the reactor path has real
 /// pause/resume machinery instead), treats `Ok(0)` as a dead peer,
-/// and retries `Interrupted`. Either the whole frame is written or an
-/// error is returned — a truncated reply frame is never left behind
-/// on a live socket.
+/// and retries `Interrupted` and `WouldBlock`. Either the whole frame
+/// is written or an error is returned — a truncated reply frame is
+/// never left behind on a live socket.
+///
+/// The `WouldBlock` retry is safe here because this frontend's sockets
+/// are blocking — a real `EAGAIN` cannot occur, only a transient one
+/// injected by a fault-plane [`crate::reactor::SysIo`] shim.
 pub fn write_reply(writer: &mut impl Write, frame: &[u8]) -> std::io::Result<()> {
     let mut written = 0usize;
     while written < frame.len() {
@@ -485,7 +527,14 @@ pub fn write_reply(writer: &mut impl Write, frame: &[u8]) -> std::io::Result<()>
                     REPLY_SHORT_WRITES.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                continue
+            }
             Err(e) => return Err(e),
         }
     }
@@ -499,31 +548,86 @@ pub fn write_reply(writer: &mut impl Write, frame: &[u8]) -> std::io::Result<()>
 /// executing `SET k 10` out of a truncated `SET k 1000` would silently
 /// corrupt data.
 pub fn read_frame(reader: &mut impl BufRead, buf: &mut String) -> bool {
+    read_frame_io(reader, buf).unwrap_or(false)
+}
+
+/// [`read_frame`], but with the I/O error surfaced so callers with a
+/// read deadline can tell *idle* (`WouldBlock`/`TimedOut`) apart from
+/// a dead peer. `Ok(false)` is EOF or a truncated final line.
+pub fn read_frame_io(reader: &mut impl BufRead, buf: &mut String) -> std::io::Result<bool> {
     buf.clear();
-    match reader.read_line(buf) {
-        Ok(0) | Err(_) => return false,
-        Ok(_) => {}
+    if reader.read_line(buf)? == 0 {
+        return Ok(false);
     }
     if !buf.ends_with('\n') {
-        return false;
+        return Ok(false);
     }
     while buf.ends_with(['\r', '\n']) {
         buf.pop();
     }
-    true
+    Ok(true)
 }
 
-fn serve_connection(stream: TcpStream, handle: KvHandle) {
+/// Reply writes go through a [`crate::reactor::SysIo`] shim when the
+/// frontend is configured with one, so chaos campaigns can storm this
+/// path with short writes and transient errors too.
+#[cfg(target_os = "linux")]
+struct SysIoWriter {
+    io: Arc<dyn crate::reactor::SysIo>,
+    stream: TcpStream,
+}
+
+#[cfg(target_os = "linux")]
+impl Write for SysIoWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.io.write(&self.stream, buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn serve_connection(stream: TcpStream, handle: KvHandle, opts: FrontendOpts) {
     // Request/response protocol: disable Nagle so replies are not
     // held back waiting for the client's delayed ACK.
     let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
+    // The idle deadline rides on the socket read timeout: a connection
+    // that produces no request for the bound is evicted instead of
+    // pinning its thread forever.
+    if let Some(t) = opts.idle_timeout {
+        let _ = stream.set_read_timeout(Some(t));
+    }
+    let writer_stream = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
+    #[cfg(target_os = "linux")]
+    let mut writer: Box<dyn Write> = match &opts.io {
+        Some(io) => Box::new(SysIoWriter {
+            io: Arc::clone(io),
+            stream: writer_stream,
+        }),
+        None => Box::new(writer_stream),
+    };
+    #[cfg(not(target_os = "linux"))]
+    let mut writer: Box<dyn Write> = Box::new(writer_stream);
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    while read_frame(&mut reader, &mut line) {
+    loop {
+        match read_frame_io(&mut reader, &mut line) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                THREAD_IDLE_CLOSES.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(_) => break,
+        }
         if line.is_empty() {
             continue;
         }
@@ -867,6 +971,102 @@ mod tests {
         };
         let err = write_reply(&mut dead, frame).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn thread_frontend_idle_timeout_evicts_silent_client() {
+        use std::io::Read;
+
+        let (_sma, server) = server();
+        let opts = FrontendOpts {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..FrontendOpts::default()
+        };
+        let frontend = TcpFrontend::bind_with("127.0.0.1:0", server.handle(), opts).unwrap();
+        let before = thread_idle_closes_total();
+        // A client that connects and says nothing is evicted...
+        let mut silent = TcpStream::connect(frontend.addr()).unwrap();
+        silent
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut eof = Vec::new();
+        silent.read_to_end(&mut eof).expect("server-side close");
+        assert!(eof.is_empty());
+        assert!(thread_idle_closes_total() > before);
+        // ...and the frontend still serves fresh connections.
+        let mut client = TcpKvClient::connect(frontend.addr()).unwrap();
+        assert_eq!(client.request("PING").unwrap(), Response::Ok("PONG".into()));
+        server.shutdown();
+    }
+
+    /// The short-write storm, thread-frontend edition: every reply
+    /// write is truncated by the shim, yet pipelined replies come back
+    /// byte-identical and each short write is accounted.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn thread_frontend_short_write_storm_keeps_replies_whole() {
+        use crate::reactor::SysIo;
+
+        /// Caps every reply write at 9 bytes; passes reads through.
+        #[derive(Debug, Default)]
+        struct ShortWriteIo;
+        impl SysIo for ShortWriteIo {
+            fn read(&self, stream: &TcpStream, buf: &mut [u8]) -> std::io::Result<usize> {
+                use std::io::Read;
+                (&mut &*stream).read(buf)
+            }
+            fn write(&self, stream: &TcpStream, buf: &[u8]) -> std::io::Result<usize> {
+                let cap = buf.len().min(9);
+                (&mut &*stream).write(&buf[..cap])
+            }
+            fn accept(&self, listener: &TcpListener) -> std::io::Result<(TcpStream, SocketAddr)> {
+                listener.accept()
+            }
+            fn epoll_wait(
+                &self,
+                poller: &crate::reactor::Poller,
+                out: &mut Vec<crate::reactor::Event>,
+                timeout_ms: i32,
+            ) -> std::io::Result<()> {
+                poller.wait(out, timeout_ms)
+            }
+            fn wake(&self, efd: &std::fs::File) -> std::io::Result<()> {
+                crate::reactor::RealSysIo.wake(efd)
+            }
+        }
+
+        let (_sma, server) = sharded_server(2);
+        let opts = FrontendOpts {
+            io: Some(Arc::new(ShortWriteIo)),
+            ..FrontendOpts::default()
+        };
+        let frontend = TcpFrontend::bind_with("127.0.0.1:0", server.handle(), opts).unwrap();
+        let mut client = TcpKvClient::connect(frontend.addr()).unwrap();
+        let before = reply_short_writes_total();
+        let sets: Vec<String> = (0..32).map(|i| format!("SET k{i} value-{i}")).collect();
+        for r in client.request_pipeline(&sets).unwrap() {
+            assert_eq!(r, Response::Ok("OK".into()));
+        }
+        let gets: Vec<String> = (0..32).map(|i| format!("GET k{i}")).collect();
+        for (i, r) in client
+            .request_pipeline(&gets)
+            .unwrap()
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(
+                r,
+                Response::Bulk(Some(format!("value-{i}").into_bytes())),
+                "reply {i} torn or reordered"
+            );
+        }
+        // Replies longer than the 9-byte cap must have looped — the
+        // storm provably exercised the short-write path.
+        assert!(
+            reply_short_writes_total() > before,
+            "shim never produced a short write"
+        );
+        server.shutdown();
     }
 
     /// Differential test: the reactor frontend must be

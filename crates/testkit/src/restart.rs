@@ -280,6 +280,10 @@ pub fn run_restart_chaos(spec: &RestartSpec, seed: u64) -> Verdict {
         spill_writes: 0,
         net_requests: 0,
         net_replies: 0,
+        net_deadline_closes: 0,
+        net_sheds: 0,
+        net_worker_restarts: 0,
+        net_injected_faults: 0,
         violations,
     };
     drop(ctxs);

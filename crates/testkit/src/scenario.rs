@@ -25,7 +25,7 @@ use softmem_kv::{ShardedStore, Store};
 use softmem_sds::EvictionOrder;
 use softmem_sim::{SimClock, ZipfKeys};
 
-use crate::fault::{CadenceDenyHook, ChaosFault, FaultPlan, ScriptedTap};
+use crate::fault::{CadenceDenyHook, ChaosFault, FaultPlan, NetChaos, ScriptedTap};
 use crate::invariants::{CheckScope, InvariantFamily, Violation};
 use crate::pool::HandlePool;
 use crate::process::TkProcess;
@@ -133,6 +133,9 @@ pub struct NetSpec {
     pub shards: usize,
     /// Per-connection write-buffer high-water mark (bytes).
     pub write_highwater: usize,
+    /// Network-plane chaos: syscall faults, deadlines, overload
+    /// limits, worker panics ([`NetChaos::none`] = a quiet plane).
+    pub chaos: NetChaos,
 }
 
 /// A complete scenario description.
@@ -255,6 +258,14 @@ pub struct Verdict {
     pub net_requests: u64,
     /// Replies the plane accounted for (== requests once quiescent).
     pub net_replies: u64,
+    /// Connections the plane's deadline reaper evicted.
+    pub net_deadline_closes: u64,
+    /// Requests answered `ERR overloaded` by admission control.
+    pub net_sheds: u64,
+    /// Shard workers restarted by the panic supervisor.
+    pub net_worker_restarts: u64,
+    /// Syscall faults the chaos shim injected.
+    pub net_injected_faults: u64,
     /// Every invariant violation observed.
     pub violations: Vec<Violation>,
 }
@@ -311,6 +322,21 @@ impl std::fmt::Display for Verdict {
                 f,
                 "  network plane: {} request(s), {} reply(ies)",
                 self.net_requests, self.net_replies
+            )?;
+        }
+        if self.net_deadline_closes > 0
+            || self.net_sheds > 0
+            || self.net_worker_restarts > 0
+            || self.net_injected_faults > 0
+        {
+            writeln!(
+                f,
+                "  net fault plane: {} deadline close(s), {} shed(s), \
+                 {} worker restart(s), {} injected syscall fault(s)",
+                self.net_deadline_closes,
+                self.net_sheds,
+                self.net_worker_restarts,
+                self.net_injected_faults
             )?;
         }
         for v in &self.violations {
@@ -713,21 +739,35 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
     // The net driver tore its frontend down (reactors and shard
     // workers joined) before returning, so the quiesce sweep below
     // sees a static engine.
-    let (net_requests, net_replies) = {
+    let (
+        net_requests,
+        net_replies,
+        net_deadline_closes,
+        net_sheds,
+        net_worker_restarts,
+        net_injected_faults,
+    ) = {
         #[cfg(target_os = "linux")]
         {
             match net_handle {
                 Some(h) => {
                     let out = h.join().expect("net driver panicked");
                     violations.extend(out.violations);
-                    (out.requests, out.replies)
+                    (
+                        out.requests,
+                        out.replies,
+                        out.deadline_closes,
+                        out.sheds,
+                        out.worker_restarts,
+                        out.injected_faults,
+                    )
                 }
-                None => (0, 0),
+                None => (0, 0, 0, 0, 0, 0),
             }
         }
         #[cfg(not(target_os = "linux"))]
         {
-            (0u64, 0u64)
+            (0u64, 0u64, 0u64, 0u64, 0u64, 0u64)
         }
     };
 
@@ -814,6 +854,10 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Verdict {
         spill_writes,
         net_requests,
         net_replies,
+        net_deadline_closes,
+        net_sheds,
+        net_worker_restarts,
+        net_injected_faults,
         violations,
     }
 }

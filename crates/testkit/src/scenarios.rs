@@ -6,7 +6,7 @@
 
 use softmem_core::BudgetFault;
 
-use crate::fault::{ChaosFault, FaultPlan};
+use crate::fault::{ChaosFault, FaultPlan, NetChaos, SysIoPlan};
 use crate::invariants::InvariantFamily;
 use crate::scenario::{NetSpec, OpMix, Phase, ScenarioSpec};
 
@@ -537,6 +537,7 @@ pub fn slow_reader_backpressure() -> ScenarioSpec {
         // Tiny on purpose: backpressure must trip within a test-sized
         // workload.
         write_highwater: 4 << 10,
+        chaos: NetChaos::none(),
     });
     s
 }
@@ -569,8 +570,182 @@ pub fn mass_disconnect() -> ScenarioSpec {
         disconnect_half_mid_phase: Some(0),
         shards: 4,
         write_highwater: 64 << 10,
+        chaos: NetChaos::none(),
     });
     s
+}
+
+/// NET FAULT: every raw syscall in the reactor misbehaves on a seeded
+/// schedule — EINTR, EAGAIN, ECONNRESET, EMFILE on accept, short reads,
+/// partial writes, EINTR'd epoll waits and dropped eventfd wakes. The
+/// plane must retry, never tear or reorder a reply on a surviving
+/// connection, and balance its reply ledger through every reset.
+pub fn net_syscall_storm() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("net_syscall_storm");
+    s.capacity_pages = 256;
+    s.initial_budget_pages = 16;
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+    ];
+    let mut chaos = NetChaos::none();
+    chaos.sysio = SysIoPlan {
+        eintr_every: 7,
+        eagain_every: 11,
+        reset_every: 97, // disruptive: a reset kills the connection
+        short_read_cap: 129,
+        short_write_cap: 57,
+        accept_emfile_every: 13,
+        poll_eintr_every: 19,
+        drop_wake_every: 5,
+    };
+    s.net = Some(NetSpec {
+        clients: 48,
+        requests_per_client: 200,
+        pipeline: 8,
+        stalled_clients: 0,
+        disconnect_half_mid_phase: None,
+        shards: 4,
+        write_highwater: 64 << 10,
+        chaos,
+    });
+    s
+}
+
+/// NET FAULT: the deadline reaper under stalled readers. Four clients
+/// stop reading mid-pipeline; the write-stall deadline must evict them
+/// (`expect_deadline_closes`) while every healthy client is served in
+/// full and the ledger accounts for the evicted conns' parked frames.
+pub fn net_deadline_reaper() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("net_deadline_reaper");
+    s.capacity_pages = 256;
+    s.initial_budget_pages = 16;
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+    ];
+    let mut chaos = NetChaos::none();
+    // Short on purpose: the whole scenario runs in a few hundred wall
+    // milliseconds (memory phases are simulated time), so the stall
+    // bound must fire well inside one phase. Healthy clients make
+    // write progress every swarm pass and keep pushing their deadline.
+    chaos.write_stall_timeout_ms = Some(50);
+    chaos.idle_timeout_ms = Some(2_500);
+    chaos.expect_deadline_closes = true;
+    s.net = Some(NetSpec {
+        clients: 32,
+        requests_per_client: 400,
+        // Deep enough that a stalled reader's pipelined fat replies
+        // overflow both shrunken kernel buffers and leave bytes stuck
+        // in the server's write buffer — otherwise the kernel absorbs
+        // the whole pipeline and the stall deadline disarms.
+        pipeline: 16,
+        stalled_clients: 4,
+        disconnect_half_mid_phase: None,
+        shards: 4,
+        // Tiny so stalled conns hit the high-water mark (and then the
+        // stall deadline) within a test-sized workload.
+        write_highwater: 4 << 10,
+        chaos,
+    });
+    s
+}
+
+/// NET FAULT: admission control brownout. Tiny rings and a low global
+/// in-flight ceiling force fast `ERR overloaded` sheds under a
+/// pipelined burst (`expect_sheds`), but every shed is answered in
+/// order on a healthy connection — this scenario is *not* disruptive,
+/// so any io error or torn reply is still a violation.
+pub fn net_overload_brownout() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("net_overload_brownout");
+    s.capacity_pages = 256;
+    s.initial_budget_pages = 16;
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+    ];
+    let mut chaos = NetChaos::none();
+    chaos.ring_capacity = Some(8);
+    chaos.shed_inflight = Some(64);
+    chaos.accept_pause_inflight = Some(512);
+    chaos.park_shed_after_ms = Some(50);
+    chaos.expect_sheds = true;
+    s.net = Some(NetSpec {
+        clients: 64,
+        requests_per_client: 150,
+        pipeline: 16,
+        stalled_clients: 0,
+        disconnect_half_mid_phase: None,
+        shards: 4,
+        write_highwater: 64 << 10,
+        chaos,
+    });
+    s
+}
+
+/// NET FAULT: a shard worker panics every N frames. The supervisor must
+/// restart it (`expect_worker_restarts`), the aborted request must get
+/// a clean error reply instead of a hung or torn connection, and the
+/// other shards must keep serving throughout — also not disruptive.
+pub fn net_worker_panic() -> ScenarioSpec {
+    let mut s = ScenarioSpec::baseline("net_worker_panic");
+    s.capacity_pages = 256;
+    s.initial_budget_pages = 16;
+    s.phases = vec![
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+        Phase {
+            ops_per_worker: 100,
+            advance_ms: 1_000,
+        },
+    ];
+    let mut chaos = NetChaos::none();
+    chaos.worker_panic_every = 50;
+    chaos.expect_worker_restarts = true;
+    s.net = Some(NetSpec {
+        clients: 16,
+        requests_per_client: 200,
+        pipeline: 8,
+        stalled_clients: 0,
+        disconnect_half_mid_phase: None,
+        shards: 4,
+        write_highwater: 64 << 10,
+        chaos,
+    });
+    s
+}
+
+/// The network-plane fault campaign: each scenario arms one fault
+/// family against the reactor frontend and must still produce a clean
+/// verdict. Kept out of [`benign`] so the campaign sweep (and its CI
+/// job) is the single place they run.
+pub fn net_fault_campaign() -> Vec<ScenarioSpec> {
+    vec![
+        net_syscall_storm(),
+        net_deadline_reaper(),
+        net_overload_brownout(),
+        net_worker_panic(),
+    ]
 }
 
 /// CHAOS: machine pages leak behind the allocators' backs.
